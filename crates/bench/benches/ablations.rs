@@ -1,0 +1,89 @@
+//! Criterion bench: processing-cost ablations of the design choices
+//! DESIGN.md calls out (distance definition, reduction, per-process
+//! streams, frequent-file filtering).
+//!
+//! The *quality* impact of the same choices is reported by the
+//! `ablation_quality` binary; these benches show their time cost.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use seer_core::{SeerConfig, SeerEngine};
+use seer_distance::{DistanceKind, ReductionKind};
+use seer_trace::EventSink;
+use seer_workload::{generate, MachineProfile, Workload};
+
+fn workload() -> Workload {
+    let profile = MachineProfile { days: 8, ..MachineProfile::by_name("F").expect("F") };
+    generate(&profile, 23)
+}
+
+fn run(workload: &Workload, config: SeerConfig) -> SeerEngine {
+    let mut engine = SeerEngine::new(config);
+    for ev in &workload.trace.events {
+        engine.on_event(ev, &workload.trace.strings);
+    }
+    engine
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let w = workload();
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(15);
+
+    for kind in [DistanceKind::Temporal, DistanceKind::Sequence, DistanceKind::Lifetime] {
+        group.bench_with_input(
+            BenchmarkId::new("distance_kind", format!("{kind:?}")),
+            &kind,
+            |b, &kind| {
+                b.iter_batched(
+                    || {
+                        let mut cfg = SeerConfig::default();
+                        cfg.distance.kind = kind;
+                        cfg
+                    },
+                    |cfg| run(&w, cfg),
+                    BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+
+    for reduction in [ReductionKind::Arithmetic, ReductionKind::Geometric] {
+        group.bench_with_input(
+            BenchmarkId::new("reduction", format!("{reduction:?}")),
+            &reduction,
+            |b, &reduction| {
+                b.iter_batched(
+                    || {
+                        let mut cfg = SeerConfig::default();
+                        cfg.distance.reduction = reduction;
+                        cfg
+                    },
+                    |cfg| run(&w, cfg),
+                    BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+
+    for per_process in [true, false] {
+        group.bench_with_input(
+            BenchmarkId::new("per_process", per_process),
+            &per_process,
+            |b, &per_process| {
+                b.iter_batched(
+                    || {
+                        let mut cfg = SeerConfig::default();
+                        cfg.distance.per_process = per_process;
+                        cfg
+                    },
+                    |cfg| run(&w, cfg),
+                    BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion bench: cluster formation cost (§5.3's "about 2 minutes of
+//! CPU time", §3.3.1's linear-time requirement).
+//!
+//! Verifies the O(N·n) scaling of the modified Jarvis–Patrick algorithm by
+//! clustering synthetic neighbor tables of increasing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use seer_cluster::{cluster_files, ClusterConfig};
+use seer_distance::{DistanceConfig, NeighborTable};
+use seer_trace::{FileId, PathTable};
+
+/// Builds a table of `n_files` files in implicit projects of ~12, each
+/// file related to its project neighbors.
+fn build_table(n_files: u32) -> (NeighborTable, PathTable) {
+    let dc = DistanceConfig::default();
+    let mut table = NeighborTable::new(
+        dc.n_neighbors,
+        dc.reduction,
+        dc.aging_refs,
+        dc.deletion_delay,
+        dc.seed,
+    );
+    let mut paths = PathTable::new();
+    for f in 0..n_files {
+        let project = f / 12;
+        paths.intern(&format!("/home/user/proj{project}/f{f}.c"));
+    }
+    for f in 0..n_files {
+        let project = f / 12;
+        let base = project * 12;
+        for k in 0..12u32 {
+            let to = base + (f - base + k + 1) % 12;
+            if to != f && to < n_files {
+                table.observe(FileId(f), FileId(to), f64::from(k % 4));
+            }
+        }
+    }
+    (table, paths)
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clustering");
+    group.sample_size(15);
+    for n_files in [1_000u32, 5_000, 20_000] {
+        let (table, paths) = build_table(n_files);
+        let config = ClusterConfig::default();
+        group.throughput(Throughput::Elements(u64::from(n_files)));
+        group.bench_with_input(BenchmarkId::new("files", n_files), &n_files, |b, _| {
+            b.iter(|| cluster_files(&table, &paths, &[], &config));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clustering);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion bench: semantic-distance maintenance (§3.1.3).
+//!
+//! Measures the cost of one open's worth of distance observations as the
+//! window `M` and neighbor count `n` vary — the constants whose O(N²)
+//! alternatives the heuristic exists to avoid.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use seer_distance::{DistanceConfig, DistanceEngine};
+use seer_observer::{RefKind, Reference, ReferenceSink};
+use seer_trace::{FileId, PathTable, Pid, Seq, Timestamp};
+
+/// Builds a reference stream touching `files` distinct files round-robin.
+fn stream(len: u64, files: u32) -> Vec<Reference> {
+    (0..len)
+        .map(|i| Reference {
+            seq: Seq(i),
+            time: Timestamp::from_millis(i),
+            pid: Pid(1),
+            file: FileId((i % u64::from(files)) as u32),
+            kind: if i % 2 == 0 {
+                RefKind::Open { read: true, write: false, exec: false }
+            } else {
+                RefKind::Close
+            },
+        })
+        .collect()
+}
+
+fn bench_distance(c: &mut Criterion) {
+    let paths = PathTable::new();
+    let mut group = c.benchmark_group("distance_update");
+    group.sample_size(20);
+    for (m, n) in [(50u64, 10usize), (100, 20), (200, 40)] {
+        let refs = stream(20_000, 500);
+        group.bench_with_input(
+            BenchmarkId::new("window_neighbors", format!("M{m}_n{n}")),
+            &(m, n),
+            |b, &(m, n)| {
+                b.iter_batched(
+                    || {
+                        DistanceEngine::new(DistanceConfig {
+                            window_m: m,
+                            n_neighbors: n,
+                            ..DistanceConfig::default()
+                        })
+                    },
+                    |mut engine| {
+                        for r in &refs {
+                            engine.on_reference(r, &paths);
+                        }
+                        engine
+                    },
+                    BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distance);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench: hoard selection (ranking + whole-project packing).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seer_cluster::Clustering;
+use seer_core::{select_hoard, ActivityTracker};
+use seer_trace::{FileId, Seq, Timestamp};
+use std::collections::HashSet;
+
+fn setup(n_files: u32) -> (Clustering, ActivityTracker) {
+    let members: Vec<Vec<FileId>> = (0..n_files / 15)
+        .map(|c| (0..15).map(|k| FileId(c * 15 + k)).collect())
+        .collect();
+    let clustering = Clustering::from_members(members);
+    let mut activity = ActivityTracker::new();
+    for f in 0..n_files {
+        activity.record(
+            FileId(f),
+            Seq(u64::from((f * 2_654_435_761) % n_files)),
+            Timestamp::from_secs(u64::from(f)),
+        );
+    }
+    (clustering, activity)
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hoard_selection");
+    group.sample_size(30);
+    for n_files in [1_000u32, 10_000] {
+        let (clustering, activity) = setup(n_files);
+        let always = HashSet::new();
+        let budget = u64::from(n_files) * 500; // Roughly half fits.
+        group.bench_with_input(BenchmarkId::new("files", n_files), &n_files, |b, _| {
+            b.iter(|| {
+                select_hoard(&clustering, &activity, &always, &|_| 1_000, budget)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection);
+criterion_main!(benches);

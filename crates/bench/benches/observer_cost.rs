@@ -1,0 +1,49 @@
+//! Criterion bench: per-event observation cost (§5.3's 35 µs claim).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use seer_core::SeerEngine;
+use seer_observer::reference::CollectRefs;
+use seer_observer::{Observer, ObserverConfig};
+use seer_trace::EventSink;
+use seer_workload::{generate, MachineProfile};
+
+fn bench_observer(c: &mut Criterion) {
+    let profile = MachineProfile { days: 10, ..MachineProfile::by_name("F").expect("F") };
+    let workload = generate(&profile, 17);
+    let trace = workload.trace;
+    let mut group = c.benchmark_group("observer_cost");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.sample_size(20);
+
+    // Observer alone (the syscall-tracing path of §5.3).
+    group.bench_function("observer_only", |b| {
+        b.iter_batched(
+            || Observer::new(ObserverConfig::default(), CollectRefs::default()),
+            |mut obs| {
+                for ev in &trace.events {
+                    obs.on_event(ev, &trace.strings);
+                }
+                obs
+            },
+            BatchSize::LargeInput,
+        );
+    });
+
+    // Full pipeline: observer + correlator (distance maintenance).
+    group.bench_function("full_engine", |b| {
+        b.iter_batched(
+            SeerEngine::default,
+            |mut engine| {
+                for ev in &trace.events {
+                    engine.on_event(ev, &trace.strings);
+                }
+                engine
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_observer);
+criterion_main!(benches);

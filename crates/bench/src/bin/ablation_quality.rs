@@ -1,0 +1,93 @@
+//! Quality ablations: what each design choice buys, measured on cluster
+//! quality against ground truth and on the weekly miss-free hoard size.
+//!
+//! Covers the design choices DESIGN.md calls out:
+//! * geometric vs arithmetic reduction (§3.1.2),
+//! * temporal vs sequence vs lifetime distance (Definitions 1–3),
+//! * per-process vs merged reference streams (§4.7),
+//! * frequent-file filtering on/off (§4.2),
+//! * the four meaningless-process strategies (§4.1).
+//!
+//! Run with: `cargo run -p seer-bench --bin ablation_quality --release`
+
+use seer_bench::{cluster_quality, kb};
+use seer_core::{SeerConfig, SeerEngine};
+use seer_distance::{DistanceKind, ReductionKind};
+use seer_observer::MeaninglessStrategy;
+use seer_sim::{run_missfree, MissFreeConfig};
+use seer_trace::EventSink;
+use seer_workload::{generate, MachineProfile, Workload};
+
+fn evaluate(name: &str, workload: &Workload, config: SeerConfig) {
+    // Cluster quality.
+    let mut engine = SeerEngine::new(config.clone());
+    for ev in &workload.trace.events {
+        engine.on_event(ev, &workload.trace.strings);
+    }
+    let clustering = engine.recluster().clone();
+    let q = cluster_quality(workload, &engine, &clustering);
+    // Weekly miss-free size.
+    let cfg = MissFreeConfig { seer: config, ..MissFreeConfig::weekly() };
+    let out = run_missfree(workload, &cfg);
+    let ws = out.mean_of(|p| p.working_set);
+    let seer = out.mean_of(|p| p.seer.bytes);
+    println!(
+        "{:<34} {:>7.3} {:>9.3} {:>7.3} {:>11.1} {:>9.2}",
+        name,
+        q.purity,
+        q.cohesion,
+        q.f1(),
+        kb(seer as u64),
+        if ws > 0.0 { seer / ws } else { 0.0 },
+    );
+}
+
+fn main() {
+    let profile = MachineProfile::by_name("F").expect("F").scaled_to_days(45);
+    let workload = generate(&profile, 31);
+    println!(
+        "{:<34} {:>7} {:>9} {:>7} {:>11} {:>9}",
+        "variant", "purity", "cohesion", "f1", "seer(KB)", "seer/ws"
+    );
+
+    evaluate("baseline (paper design)", &workload, SeerConfig::default());
+
+    let mut c = SeerConfig::default();
+    c.distance.reduction = ReductionKind::Arithmetic;
+    evaluate("arithmetic mean (§3.1.2)", &workload, c);
+
+    let mut c = SeerConfig::default();
+    c.distance.kind = DistanceKind::Temporal;
+    evaluate("temporal distance (Def. 1)", &workload, c);
+
+    let mut c = SeerConfig::default();
+    c.distance.kind = DistanceKind::Sequence;
+    evaluate("sequence distance (Def. 2)", &workload, c);
+
+    let mut c = SeerConfig::default();
+    c.distance.per_process = false;
+    evaluate("merged streams (no §4.7)", &workload, c);
+
+    let mut c = SeerConfig::default();
+    c.observer.frequent_fraction = 2.0; // Disable frequent-file detection.
+    evaluate("no frequent filter (no §4.2)", &workload, c);
+
+    for (name, strategy) in [
+        ("meaningless: control list only", MeaninglessStrategy::ControlListOnly),
+        ("meaningless: dir-open forever", MeaninglessStrategy::DirOpenForever),
+        ("meaningless: while dir open", MeaninglessStrategy::DirOpenWhileOpen),
+        ("meaningless: access ratio (SEER)", MeaninglessStrategy::PotentialAccessRatio),
+    ] {
+        let mut c = SeerConfig::default();
+        c.observer.meaningless_strategy = strategy;
+        evaluate(name, &workload, c);
+    }
+
+    println!("\nMeasured shape (see EXPERIMENTS.md): the two filters §4 spends the most");
+    println!("text on dominate — disabling frequent-file filtering or meaningless-");
+    println!("process detection collapses purity (shared libraries / find sweeps fuse");
+    println!("projects) and inflates the miss-free hoard by ~20%. The distance-");
+    println!("definition and reduction variants agree on neighbor *ordering* for this");
+    println!("workload, so clustering is insensitive to them here; the paper likewise");
+    println!("treats them as refinements rather than make-or-break choices.");
+}

@@ -1,0 +1,76 @@
+//! Figure 1: the lifetime-semantic-distance worked example.
+//!
+//! The paper's reference sequence {Ao, Bo, Bc, Co, Cc, Ac, Do, Dc} and the
+//! distances Definition 3 assigns: A→B = A→C = 0 (A still open), A→D = 3,
+//! B→C = 1, B→D = 2, C→D = 1; all reverse distances undefined.
+//!
+//! Run with: `cargo run -p seer-bench --bin figure1`
+
+use seer_distance::{DistanceConfig, DistanceEngine};
+use seer_observer::{RefKind, Reference, ReferenceSink};
+use seer_trace::{FileId, PathTable, Pid, Seq, Timestamp};
+
+fn main() {
+    let paths = PathTable::new();
+    let mut engine = DistanceEngine::new(DistanceConfig::default());
+    let mut seq = 0u64;
+    let mut send = |engine: &mut DistanceEngine, file: u32, kind: RefKind| {
+        let r = Reference {
+            seq: Seq(seq),
+            time: Timestamp::from_secs(seq),
+            pid: Pid(1),
+            file: FileId(file),
+            kind,
+        };
+        engine.on_reference(&r, &paths);
+        seq += 1;
+    };
+    let open = RefKind::Open { read: true, write: false, exec: false };
+    let (a, b, c, d) = (0u32, 1, 2, 3);
+    // The Figure 1 sequence.
+    send(&mut engine, a, open);
+    send(&mut engine, b, open);
+    send(&mut engine, b, RefKind::Close);
+    send(&mut engine, c, open);
+    send(&mut engine, c, RefKind::Close);
+    send(&mut engine, a, RefKind::Close);
+    send(&mut engine, d, open);
+    send(&mut engine, d, RefKind::Close);
+
+    println!("Figure 1 — lifetime semantic distances for {{Ao Bo Bc Co Cc Ac Do Dc}}\n");
+    println!("{:>6} {:>6} {:>10} {:>10}", "from", "to", "measured", "paper");
+    let names = ["A", "B", "C", "D"];
+    let expected = [
+        (a, b, Some(0.0)),
+        (a, c, Some(0.0)),
+        (a, d, Some(3.0)),
+        (b, c, Some(1.0)),
+        (b, d, Some(2.0)),
+        (c, d, Some(1.0)),
+        (b, a, None),
+        (c, a, None),
+        (d, a, None),
+        (c, b, None),
+        (d, b, None),
+        (d, c, None),
+    ];
+    let mut all_match = true;
+    for (x, y, want) in expected {
+        let got = engine.table().distance(FileId(x), FileId(y));
+        let ok = match (got, want) {
+            (Some(g), Some(w)) => (g - w).abs() < 1e-9,
+            (None, None) => true,
+            _ => false,
+        };
+        all_match &= ok;
+        println!(
+            "{:>6} {:>6} {:>10} {:>10}",
+            names[x as usize],
+            names[y as usize],
+            got.map_or("undef".to_owned(), |g| format!("{g:.0}")),
+            want.map_or("undef".to_owned(), |w| format!("{w:.0}")),
+        );
+    }
+    println!("\nresult: {}", if all_match { "MATCHES the paper" } else { "MISMATCH" });
+    assert!(all_match);
+}

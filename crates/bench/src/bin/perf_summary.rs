@@ -1,0 +1,73 @@
+//! §5.3 performance claims: per-event observation cost, clustering cost,
+//! and memory per tracked file.
+//!
+//! Paper figures (133 MHz Pentium / 486 era): ~35 µs per traced system
+//! call, ~2 CPU-minutes to form clusters over ~20 000 files, and ~1 KB of
+//! (deliberately unoptimized) memory per known file. Absolute numbers on
+//! modern hardware differ by orders of magnitude; what should hold is the
+//! *structure*: per-event cost constant and far below clustering cost,
+//! clustering linear-ish in files, and per-file memory well under the
+//! paper's 1 KB.
+//!
+//! Run with: `cargo run -p seer-bench --bin perf_summary --release`
+
+use seer_core::SeerEngine;
+use seer_trace::EventSink;
+use seer_workload::{generate, MachineProfile};
+use std::time::Instant;
+
+fn main() {
+    let profile = MachineProfile {
+        days: 90,
+        ..MachineProfile::by_name("F").expect("F")
+    };
+    let workload = generate(&profile, 9);
+    let n_events = workload.trace.len();
+    println!("workload: machine F, 90 days, {n_events} events");
+
+    let mut engine = SeerEngine::default();
+    let t0 = Instant::now();
+    for ev in &workload.trace.events {
+        engine.on_event(ev, &workload.trace.strings);
+    }
+    let observe = t0.elapsed();
+    let per_event_us = observe.as_secs_f64() * 1e6 / n_events as f64;
+
+    let n_files = engine.paths().len();
+    let table = engine.correlator().distance().table();
+    let entries = table.total_entries();
+    // Rough per-file footprint: path string + neighbor row.
+    let path_bytes: usize = (0..n_files)
+        .filter_map(|i| engine.paths().resolve(seer_trace::FileId(i as u32)))
+        .map(str::len)
+        .sum();
+    let entry_bytes = entries * std::mem::size_of::<seer_distance::NeighborEntry>();
+    let per_file_bytes = (path_bytes + entry_bytes) as f64 / n_files as f64;
+
+    let t1 = Instant::now();
+    let clustering = engine.recluster().clone();
+    let cluster_time = t1.elapsed();
+
+    println!("\n{:<38} {:>14} {:>18}", "metric", "measured", "paper (1997 hw)");
+    println!(
+        "{:<38} {:>11.2} µs {:>18}",
+        "observation cost per event", per_event_us, "~35 µs"
+    );
+    println!(
+        "{:<38} {:>11.2} ms {:>18}",
+        "cluster formation",
+        cluster_time.as_secs_f64() * 1e3,
+        "~2 CPU-min"
+    );
+    println!(
+        "{:<38} {:>11.0} B {:>18}",
+        "memory per tracked file", per_file_bytes, "~1 KB"
+    );
+    println!("\nfiles tracked: {n_files}; neighbor entries: {entries}; clusters: {}",
+        clustering.len());
+    println!(
+        "structure check: clustering is {}× the per-event cost — a rare, schedulable \
+         operation, as the paper argues",
+        (cluster_time.as_secs_f64() / (per_event_us / 1e6)).round()
+    );
+}

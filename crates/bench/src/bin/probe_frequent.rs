@@ -1,0 +1,49 @@
+//! Diagnostic: per-file reference fractions, for calibrating the §4.2
+//! frequently-referenced threshold on model-scale traces.
+//!
+//! Run with: `cargo run -p seer-bench --bin probe_frequent --release -- A 25`
+
+use seer_core::SeerEngine;
+use seer_trace::EventSink;
+use seer_workload::{generate, MachineProfile};
+
+fn main() {
+    let machine = std::env::args().nth(1).unwrap_or_else(|| "A".into());
+    let days: u32 = std::env::args().nth(2).and_then(|a| a.parse().ok()).unwrap_or(25);
+    let profile = MachineProfile::by_name(&machine)
+        .expect("machine")
+        .scaled_to_days(days);
+    let workload = generate(&profile, 77);
+    let mut engine = SeerEngine::default();
+    for ev in &workload.trace.events {
+        engine.on_event(ev, &workload.trace.strings);
+    }
+    let activity = engine.correlator().activity();
+    let total: u64 = activity
+        .files()
+        .filter_map(|f| activity.last_ref(f))
+        .map(|r| r.count)
+        .sum();
+    let mut rows: Vec<(u64, String)> = activity
+        .files()
+        .filter_map(|f| {
+            let r = activity.last_ref(f)?;
+            Some((r.count, engine.paths().resolve(f)?.to_owned()))
+        })
+        .collect();
+    rows.sort_by(|a, b| b.0.cmp(&a.0));
+    println!("total correlator-visible refs: {total}");
+    for (count, path) in rows.iter().take(25) {
+        println!("{count:>6}  {:6.2}%  {path}", 100.0 * *count as f64 / total as f64);
+    }
+    println!("\n(always-hoard set, for comparison)");
+    let mut hoard: Vec<&str> = engine
+        .always_hoard()
+        .iter()
+        .filter_map(|&f| engine.paths().resolve(f))
+        .collect();
+    hoard.sort_unstable();
+    for p in hoard.iter().take(25) {
+        println!("  {p}");
+    }
+}

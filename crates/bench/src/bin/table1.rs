@@ -1,0 +1,46 @@
+//! Table 1: the clustering algorithm's action summary.
+//!
+//! | relationship    | action                                    |
+//! |-----------------|-------------------------------------------|
+//! | kn ≤ x          | clusters combined into one                |
+//! | kf ≤ x < kn     | files inserted, but clusters not combined |
+//! | x < kf          | no action                                 |
+//!
+//! Run with: `cargo run -p seer-bench --bin table1`
+
+use seer_cluster::{cluster_from_counts, ClusterConfig};
+use seer_trace::FileId;
+
+fn main() {
+    let config = ClusterConfig::default();
+    let (kn, kf) = (config.kn, config.kf);
+    println!("Table 1 — clustering actions (kn = {kn}, kf = {kf})\n");
+    println!("{:<16} {:<44} {}", "shared x", "action (observed)", "clusters");
+
+    // Each file gets a companion so the outcome is observable.
+    let (a, b, x, y) = (FileId(0), FileId(1), FileId(10), FileId(11));
+    let base = [(a, x, kn), (b, y, kn)];
+    for (label, shared) in [
+        ("x ≥ kn", kn),
+        ("kf ≤ x < kn", kf),
+        ("x < kf", kf - 1.0),
+    ] {
+        let mut pairs = base.to_vec();
+        pairs.push((a, b, shared));
+        let r = cluster_from_counts(&pairs, &[], &config);
+        let a_clusters = r.clusters_of(a).to_vec();
+        let b_clusters = r.clusters_of(b).to_vec();
+        let combined = a_clusters == b_clusters && a_clusters.len() == 1;
+        let overlapped = !combined
+            && a_clusters.iter().any(|c| r.cluster(*c).contains(b))
+            && b_clusters.iter().any(|c| r.cluster(*c).contains(a));
+        let action = if combined {
+            "clusters combined into one"
+        } else if overlapped {
+            "files inserted, but clusters not combined"
+        } else {
+            "no action"
+        };
+        println!("{:<16} {:<44} {}", label, action, r.len());
+    }
+}

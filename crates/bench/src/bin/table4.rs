@@ -1,0 +1,66 @@
+//! Table 4: failed disconnections at each severity, per machine.
+//!
+//! The paper ran its nine machines live with 50 MB hoards (98 MB for G),
+//! sizes "deliberately chosen unrealistically small … to stress the
+//! system": post-analysis showed machine F's working set often exceeded
+//! its 50 MB hoard, so F (and only F) suffered a significant failure rate
+//! (13 % of disconnections), mostly at the unobtrusive severities 3–4, and
+//! no machine ever hit severity 0.
+//!
+//! Our workload scales file *counts* down much more than file sizes, so a
+//! single absolute budget cannot reproduce the paper's per-machine stress.
+//! Instead each machine's budget preserves the paper's stress relation —
+//! hoard versus per-disconnection demand: a base covering the always-hoard
+//! system files plus a multiple of the machine's mean disconnection
+//! working set. F's multiple sits at its demand (its working set "often
+//! exceeded" the hoard); everyone else gets comfortable headroom. See
+//! EXPERIMENTS.md for the calibration table.
+//!
+//! Run with: `cargo run -p seer-bench --bin table4 --release`
+//! (optional arg: days cap)
+
+use seer_bench::calibration::live_budget;
+use seer_replication::Severity;
+use seer_sim::{run_live, LiveConfig, LiveResult};
+use seer_workload::{generate, MachineProfile};
+
+fn main() {
+    let days_cap: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(u32::MAX);
+    println!("Table 4 — failed disconnections by severity (hoard in paper-MB labels)\n");
+    println!(
+        "{:<5} {:>6} {:>5} {:>5} {:>5} {:>5} {:>5} {:>9} {:>6} {:>7}",
+        "User", "Hoard", "0", "1", "2", "3", "4", "Any Sev.", "Auto", "#Disc"
+    );
+    for profile in MachineProfile::paper_machines() {
+        let profile = profile.scaled_to_days(days_cap.min(profile.days));
+        let result = run(&profile);
+        let row: Vec<usize> = Severity::ALL.iter().map(|&s| result.count_at(s)).collect();
+        println!(
+            "{:<5} {:>6} {:>5} {:>5} {:>5} {:>5} {:>5} {:>9} {:>6} {:>7}",
+            profile.name,
+            profile.hoard_size_mb,
+            row[0],
+            row[1],
+            row[2],
+            row[3],
+            row[4],
+            result.failed_disconnections(),
+            result.auto_count(),
+            result.n_disconnections,
+        );
+    }
+    println!("\npaper shape: zero severity-0 failures anywhere; F (and only F) with a");
+    println!("significant failure rate, mostly at severities 3–4; scattered auto-only");
+    println!("detections elsewhere that users did not consider failures.");
+}
+
+fn run(profile: &MachineProfile) -> LiveResult {
+    let seed = 1000 + u64::from(profile.name.as_bytes()[0]);
+    let workload = generate(profile, seed);
+    let budget = live_budget(&workload, seed);
+    let cfg = LiveConfig { hoard_bytes: budget, size_seed: seed, ..LiveConfig::default() };
+    run_live(&workload, &cfg)
+}

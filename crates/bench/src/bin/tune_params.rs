@@ -1,0 +1,57 @@
+//! Parameter-space search (§4.9): sweeps the clustering thresholds and
+//! directory weight, scoring cluster quality against ground truth.
+//!
+//! "We found it necessary to devote significant effort to searching the
+//! parameter space for the values that would produce good results for all
+//! users." This binary is that search for the reproduction; the chosen
+//! defaults are recorded in `EXPERIMENTS.md`.
+//!
+//! Run with: `cargo run -p seer-bench --bin tune_params --release`
+
+use seer_bench::cluster_quality;
+use seer_cluster::ClusterConfig;
+use seer_core::{SeerConfig, SeerEngine};
+use seer_trace::EventSink;
+use seer_workload::{generate, MachineProfile};
+
+fn main() {
+    let machines = ["A", "F"];
+    println!("{:<8} {:>4} {:>4} {:>5}  {:>6} {:>8} {:>8} {:>6} {:>8}", "machine", "kn", "kf",
+        "dirw", "purity", "cohesion", "f1", "nclust", "largest");
+    for m in machines {
+        let profile = MachineProfile::by_name(m)
+            .expect("machine exists")
+            .scaled_to_days(30);
+        let workload = generate(&profile, 7);
+        for (kn, kf) in [(3.0, 2.0), (4.0, 2.0), (5.0, 2.0), (5.0, 3.0), (6.0, 3.0), (8.0, 4.0)] {
+            for dirw in [0.0, 0.5, 1.0, 2.0] {
+                let mut config = SeerConfig::default();
+                config.cluster = ClusterConfig {
+                    kn,
+                    kf,
+                    directory_weight: dirw,
+                    ..ClusterConfig::default()
+                };
+                let mut engine = SeerEngine::new(config);
+                for ev in &workload.trace.events {
+                    engine.on_event(ev, &workload.trace.strings);
+                }
+                let clustering = engine.recluster().clone();
+                let q = cluster_quality(&workload, &engine, &clustering);
+                let largest = clustering.clusters.iter().map(|c| c.len()).max().unwrap_or(0);
+                println!(
+                    "{:<8} {:>4} {:>4} {:>5.1}  {:>6.3} {:>8.3} {:>8.3} {:>6} {:>8}",
+                    m,
+                    kn,
+                    kf,
+                    dirw,
+                    q.purity,
+                    q.cohesion,
+                    q.f1(),
+                    clustering.len(),
+                    largest
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Live-usage budget calibration shared by the Table 4 and Table 5
+//! binaries.
+//!
+//! The paper's hoards were absolute (50 MB; 98 MB for G) and their bite
+//! came from the relation to each user's demand. Our workload scales file
+//! counts far more than file sizes, so the budgets here preserve that
+//! *relation* instead: an always-hoard base (system binaries, shared
+//! libraries, dot-files) plus a multiple of the machine's mean
+//! per-disconnection working set.
+
+use seer_sim::{SizeModel, UniverseBuilder};
+use seer_trace::Timestamp;
+use seer_workload::Workload;
+
+/// The paper's stress multiple per machine: hoard budget (beyond the
+/// always-hoard base) as a multiple of the machine's mean disconnection
+/// working set.
+#[must_use]
+pub fn stress_multiple(machine: &str) -> f64 {
+    match machine {
+        // F's working set often exceeded its hoard (§5.2.2).
+        "F" => 1.0,
+        // I recorded a single severity-1 failure and several autos.
+        "I" => 2.0,
+        // G's 98 MB hoard was comfortable.
+        "G" => 6.0,
+        _ => 5.0,
+    }
+}
+
+/// `(always-hoard base bytes, mean disconnection working-set bytes)` for a
+/// workload.
+#[must_use]
+pub fn demand_basis(workload: &Workload, size_seed: u64) -> (u64, u64) {
+    // Boundaries alternate: [0, disc0.start, disc0.end, disc1.start, …],
+    // so even-indexed periods ≥ 1 … actually odd periods are the
+    // disconnection windows (period i spans boundaries[i]..boundaries[i+1]).
+    let mut boundaries = vec![Timestamp::ZERO];
+    for p in &workload.schedule {
+        boundaries.push(p.start);
+        boundaries.push(p.end);
+    }
+    let universe = UniverseBuilder::with_boundaries(boundaries).build(&workload.trace);
+    let mut sizes = SizeModel::new(&workload.fs, size_seed);
+    let mut disc_ws: Vec<u64> = Vec::new();
+    for (i, period) in universe.periods.iter().enumerate() {
+        if i % 2 == 1 && !period.needed.is_empty() {
+            let ws: u64 = period
+                .needed
+                .iter()
+                .filter_map(|&f| universe.paths.resolve(f))
+                .map(|p| {
+                    let p = p.to_owned();
+                    sizes.size_of_path(&p)
+                })
+                .sum();
+            disc_ws.push(ws);
+        }
+    }
+    let mean_ws = if disc_ws.is_empty() {
+        0
+    } else {
+        disc_ws.iter().sum::<u64>() / disc_ws.len() as u64
+    };
+    let sys = &workload.system;
+    let base: u64 = sys
+        .shared_libs
+        .iter()
+        .chain([&sys.shell, &sys.editor, &sys.cc, &sys.make, &sys.latex, &sys.mail, &sys.find])
+        .chain(sys.dotfiles.iter())
+        .map(|p| sizes.size_of_path(p))
+        .sum();
+    (base, mean_ws)
+}
+
+/// The calibrated live-simulation budget for one machine's workload.
+#[must_use]
+pub fn live_budget(workload: &Workload, size_seed: u64) -> u64 {
+    let (base, mean_ws) = demand_basis(workload, size_seed);
+    base + (mean_ws as f64 * stress_multiple(&workload.profile.name)) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seer_workload::{generate, MachineProfile};
+
+    #[test]
+    fn stress_multiples_are_ordered() {
+        assert!(stress_multiple("F") < stress_multiple("I"));
+        assert!(stress_multiple("I") < stress_multiple("A"));
+    }
+
+    #[test]
+    fn demand_basis_is_positive_for_active_machines() {
+        let profile = MachineProfile::by_name("D").expect("D").scaled_to_days(20);
+        let w = generate(&profile, 3);
+        let (base, ws) = demand_basis(&w, 3);
+        assert!(base > 0, "system files have size");
+        assert!(ws > 0, "disconnections saw work");
+        assert!(live_budget(&w, 3) > base);
+    }
+}

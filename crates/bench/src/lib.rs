@@ -1,0 +1,164 @@
+//! Shared helpers for the SEER benchmark harness and table/figure
+//! regeneration binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure from the
+//! paper's evaluation (see `DESIGN.md`'s experiment index); the Criterion
+//! benches in `benches/` cover the §5.3 performance claims and the
+//! ablations. This library holds what they share: cluster-quality scoring
+//! against the workload's ground-truth projects, and small formatting
+//! utilities.
+
+#![warn(missing_docs)]
+
+pub mod calibration;
+
+use seer_cluster::Clustering;
+use seer_core::SeerEngine;
+use seer_trace::FileId;
+use seer_workload::Workload;
+use std::collections::HashMap;
+
+/// How well a clustering matches the workload's ground-truth projects.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterQuality {
+    /// Of all same-cluster file pairs (both in ground-truth projects),
+    /// the fraction belonging to the same project (precision).
+    pub purity: f64,
+    /// Of all same-project file pairs that SEER has clustered at all, the
+    /// fraction sharing a cluster (recall).
+    pub cohesion: f64,
+}
+
+impl ClusterQuality {
+    /// Harmonic mean of purity and cohesion.
+    #[must_use]
+    pub fn f1(&self) -> f64 {
+        if self.purity + self.cohesion == 0.0 {
+            0.0
+        } else {
+            2.0 * self.purity * self.cohesion / (self.purity + self.cohesion)
+        }
+    }
+}
+
+/// Scores `clustering` against the workload's project ground truth.
+///
+/// Only files belonging to some ground-truth project participate; system
+/// files, mail, and documents have no defined project.
+#[must_use]
+pub fn cluster_quality(
+    workload: &Workload,
+    engine: &SeerEngine,
+    clustering: &Clustering,
+) -> ClusterQuality {
+    // Ground truth: engine file id → project index.
+    let mut truth: HashMap<FileId, usize> = HashMap::new();
+    for (i, p) in workload.projects.iter().enumerate() {
+        for f in p.all_files() {
+            if let Some(id) = engine.paths().get(f) {
+                truth.insert(id, i);
+            }
+        }
+    }
+    let mut same_cluster_pairs = 0u64;
+    let mut same_cluster_same_project = 0u64;
+    for cluster in &clustering.clusters {
+        let members: Vec<(FileId, usize)> = cluster
+            .files
+            .iter()
+            .filter_map(|f| truth.get(f).map(|&p| (*f, p)))
+            .collect();
+        for i in 0..members.len() {
+            for j in i + 1..members.len() {
+                same_cluster_pairs += 1;
+                if members[i].1 == members[j].1 {
+                    same_cluster_same_project += 1;
+                }
+            }
+        }
+    }
+    // Cohesion: same-project pairs among clustered files that share a
+    // cluster.
+    let mut project_files: HashMap<usize, Vec<FileId>> = HashMap::new();
+    for (&f, &p) in &truth {
+        if !clustering.clusters_of(f).is_empty() {
+            project_files.entry(p).or_default().push(f);
+        }
+    }
+    let mut same_project_pairs = 0u64;
+    let mut same_project_shared = 0u64;
+    for files in project_files.values() {
+        for i in 0..files.len() {
+            for j in i + 1..files.len() {
+                same_project_pairs += 1;
+                let ci = clustering.clusters_of(files[i]);
+                let cj = clustering.clusters_of(files[j]);
+                if ci.iter().any(|c| cj.contains(c)) {
+                    same_project_shared += 1;
+                }
+            }
+        }
+    }
+    ClusterQuality {
+        purity: ratio(same_cluster_same_project, same_cluster_pairs),
+        cohesion: ratio(same_project_shared, same_project_pairs),
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        1.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Renders a proportional ASCII bar of `value` against `max` within
+/// `width` columns.
+#[must_use]
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 || value <= 0.0 {
+        return String::new();
+    }
+    let n = ((value / max) * width as f64).round() as usize;
+    "█".repeat(n.min(width))
+}
+
+/// Formats a byte count as fixed-point megabytes.
+#[must_use]
+pub fn mb(bytes: u64) -> f64 {
+    bytes as f64 / 1_048_576.0
+}
+
+/// Formats a byte count as fixed-point kilobytes.
+#[must_use]
+pub fn kb(bytes: u64) -> f64 {
+    bytes as f64 / 1024.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quality_math() {
+        let q = ClusterQuality { purity: 1.0, cohesion: 0.5 };
+        assert!((q.f1() - 2.0 / 3.0).abs() < 1e-12);
+        let zero = ClusterQuality { purity: 0.0, cohesion: 0.0 };
+        assert_eq!(zero.f1(), 0.0);
+    }
+
+    #[test]
+    fn unit_helpers() {
+        assert!((mb(1_048_576) - 1.0).abs() < 1e-12);
+        assert!((kb(2048) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bars_scale_and_clamp() {
+        assert_eq!(bar(5.0, 10.0, 10).chars().count(), 5);
+        assert_eq!(bar(20.0, 10.0, 10).chars().count(), 10, "clamped");
+        assert_eq!(bar(0.0, 10.0, 10), "");
+        assert_eq!(bar(1.0, 0.0, 10), "");
+    }
+}

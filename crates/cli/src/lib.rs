@@ -1,0 +1,23 @@
+//! The `seer` command-line interface.
+//!
+//! Drives the full SEER pipeline from the shell:
+//!
+//! ```text
+//! seer generate --machine F --days 30 --seed 1 --trace t.jsonl --fs fs.json
+//! seer stats t.jsonl
+//! seer observe t.jsonl --state seer.json
+//! seer clusters seer.json --min-size 2
+//! seer hoard seer.json --budget 2000000 --fs fs.json
+//! seer missfree t.jsonl --period weekly --fs fs.json
+//! seer demo
+//! ```
+//!
+//! The library half holds the argument parser and the command
+//! implementations so they are unit-testable; `main.rs` is a thin shell.
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{Args, CliError};

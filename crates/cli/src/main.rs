@@ -1,0 +1,18 @@
+//! The `seer` binary: parse arguments and dispatch.
+
+use seer_cli::args::Args;
+use seer_cli::commands::dispatch;
+
+fn main() {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("seer: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = dispatch(&args) {
+        eprintln!("seer: {e}");
+        std::process::exit(1);
+    }
+}

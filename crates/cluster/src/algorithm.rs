@@ -1,0 +1,318 @@
+//! The two-phase combine/overlap clustering algorithm (§3.3.2, §3.3.3).
+
+use crate::config::ClusterConfig;
+use crate::relation::ExternalRelation;
+use crate::result::Clustering;
+use crate::shared::SharedNeighborCounter;
+use crate::unionfind::UnionFind;
+use seer_distance::NeighborTable;
+use seer_trace::{FileId, PathTable};
+use std::collections::{HashMap, HashSet};
+
+/// Clusters from explicit candidate pairs with precomputed (already
+/// adjusted) shared-neighbor counts.
+///
+/// This is the algorithm core used by [`cluster_files`]; it is public so
+/// tests and benches can drive it with literal inputs such as the paper's
+/// Table 2 example.
+///
+/// Phase one combines the clusters of every pair with `count ≥ kn`. Phase
+/// two inserts the files of every pair with `kf ≤ count < kn` into each
+/// other's clusters without combining them. `universe` supplies the files
+/// that should appear even if no pair mentions them (singletons).
+#[must_use]
+pub fn cluster_from_counts(
+    pairs: &[(FileId, FileId, f64)],
+    universe: &[FileId],
+    config: &ClusterConfig,
+) -> Clustering {
+    let mut uf = UnionFind::new();
+    for &f in universe {
+        uf.insert(f);
+    }
+    for &(a, b, _) in pairs {
+        uf.insert(a);
+        uf.insert(b);
+    }
+    // Phase one: combine.
+    for &(a, b, count) in pairs {
+        if count >= config.kn {
+            uf.union(a, b);
+        }
+    }
+    // Materialize phase-one groups.
+    let groups = uf.groups();
+    let mut members: Vec<Vec<FileId>> = groups;
+    let mut group_of: HashMap<FileId, usize> = HashMap::new();
+    for (i, g) in members.iter().enumerate() {
+        for &f in g {
+            group_of.insert(f, i);
+        }
+    }
+    // Phase two: overlap. Each file of a mid-strength pair joins the other
+    // file's cluster, but the clusters stay distinct.
+    for &(a, b, count) in pairs {
+        if count >= config.kf && count < config.kn {
+            let (Some(&ga), Some(&gb)) = (group_of.get(&a), group_of.get(&b)) else {
+                continue;
+            };
+            if ga != gb {
+                members[gb].push(a);
+                members[ga].push(b);
+            }
+        }
+    }
+    if !config.include_singletons {
+        members.retain(|m| m.len() > 1);
+    }
+    Clustering::from_members(members)
+}
+
+/// Full clustering pipeline: shared-neighbor counts from the distance
+/// table, adjusted by directory distance and external relations (§3.3.3),
+/// then the two-phase algorithm.
+#[must_use]
+pub fn cluster_files(
+    table: &NeighborTable,
+    paths: &PathTable,
+    relations: &[ExternalRelation],
+    config: &ClusterConfig,
+) -> Clustering {
+    cluster_files_excluding(table, paths, relations, &HashSet::new(), config)
+}
+
+/// [`cluster_files`] with an exclusion set: files in `exclude`
+/// (frequently-referenced, critical — the always-hoard set) take no part
+/// in clustering (§4.2).
+#[must_use]
+pub fn cluster_files_excluding(
+    table: &NeighborTable,
+    paths: &PathTable,
+    relations: &[ExternalRelation],
+    exclude: &HashSet<FileId>,
+    config: &ClusterConfig,
+) -> Clustering {
+    let counter = SharedNeighborCounter::from_table_excluding(table, exclude);
+    let mut counts: HashMap<(FileId, FileId), f64> = HashMap::new();
+    for (a, b) in counter.candidate_pairs() {
+        let mut count = f64::from(counter.shared(a, b));
+        if let Some(dd) = paths.directory_distance(a, b) {
+            // Widely-separated directories argue against clustering
+            // (§3.3.3: subtracted from the shared-neighbor count).
+            count -= config.directory_weight * f64::from(dd);
+        }
+        counts.insert((a, b), count);
+    }
+    // Investigator relations are tested regardless of whether a semantic
+    // distance was independently stored (§3.3.3).
+    for rel in relations {
+        for (a, b) in rel.pairs() {
+            let base = counts.get(&(a, b)).copied().unwrap_or_else(|| {
+                let mut c = f64::from(counter.shared(a, b));
+                if let Some(dd) = paths.directory_distance(a, b) {
+                    c -= config.directory_weight * f64::from(dd);
+                }
+                c
+            });
+            let adjusted = base + rel.strength;
+            // A sufficiently strong relation forces combination outright.
+            let forced = rel.strength >= config.force_strength;
+            counts.insert((a, b), if forced { f64::INFINITY } else { adjusted });
+        }
+    }
+    let pairs: Vec<(FileId, FileId, f64)> =
+        counts.into_iter().map(|((a, b), c)| (a, b, c)).collect();
+    let universe = counter.all_files();
+    cluster_from_counts(&pairs, &universe, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(kn: f64, kf: f64) -> ClusterConfig {
+        ClusterConfig { kn, kf, ..ClusterConfig::default() }
+    }
+
+    const KN: f64 = 4.0;
+    const KF: f64 = 2.0;
+
+    fn fid(c: char) -> FileId {
+        FileId(c as u32 - 'A' as u32)
+    }
+
+    fn files(cluster: &crate::result::Cluster) -> String {
+        cluster
+            .files
+            .iter()
+            .map(|f| char::from(b'A' + f.0 as u8))
+            .collect()
+    }
+
+    /// Table 1: the three regimes of the clustering rule.
+    #[test]
+    fn table1_regimes() {
+        let c = cfg(KN, KF);
+        let (a, b) = (FileId(0), FileId(1));
+        // x ≥ kn: combined into one cluster.
+        let r = cluster_from_counts(&[(a, b, KN)], &[], &c);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.clusters[0].files, vec![a, b]);
+        // kf ≤ x < kn: inserted into each other's clusters, not combined.
+        // Give each file its own companion so the two clusters remain
+        // observably distinct after the mutual insertion.
+        let (x, y) = (FileId(10), FileId(11));
+        let r = cluster_from_counts(&[(a, x, KN), (b, y, KN), (a, b, KF)], &[], &c);
+        assert_eq!(r.len(), 2, "two distinct clusters remain");
+        assert!(r.clusters.iter().all(|cl| cl.contains(a) && cl.contains(b)));
+        assert!(r.clusters.iter().any(|cl| cl.contains(x) && !cl.contains(y)));
+        // x < kf: no action.
+        let r = cluster_from_counts(&[(a, b, KF - 1.0)], &[], &c);
+        assert_eq!(r.len(), 2);
+        assert!(r.clusters.iter().all(|cl| cl.len() == 1));
+    }
+
+    /// The paper's Table 2 worked example (§3.3.2): seven files whose
+    /// final clusters are {A,B,C,D} and {C,D,E,F,G}.
+    #[test]
+    fn table2_worked_example() {
+        let pairs = [
+            (fid('A'), fid('B'), KN),
+            (fid('A'), fid('C'), KF),
+            (fid('B'), fid('C'), KN),
+            (fid('C'), fid('D'), KF),
+            (fid('D'), fid('E'), KN),
+            (fid('F'), fid('G'), KN),
+            (fid('G'), fid('D'), KN),
+        ];
+        let universe: Vec<FileId> = (0..7).map(FileId).collect();
+        let r = cluster_from_counts(&pairs, &universe, &cfg(KN, KF));
+        let mut names: Vec<String> = r.clusters.iter().map(files).collect();
+        names.sort();
+        assert_eq!(names, vec!["ABCD".to_owned(), "CDEFG".to_owned()]);
+        // C and D belong to both projects; A only to the first.
+        assert_eq!(r.clusters_of(fid('C')).len(), 2);
+        assert_eq!(r.clusters_of(fid('D')).len(), 2);
+        assert_eq!(r.clusters_of(fid('A')).len(), 1);
+    }
+
+    /// Phase one is transitive: A~B and B~C puts A and C together even
+    /// with no direct relationship (the example's first step).
+    #[test]
+    fn phase_one_transitivity() {
+        let pairs = [(fid('A'), fid('B'), KN), (fid('B'), fid('C'), KN)];
+        let r = cluster_from_counts(&pairs, &[], &cfg(KN, KF));
+        assert_eq!(r.len(), 1);
+        assert_eq!(files(&r.clusters[0]), "ABC");
+    }
+
+    /// Overlap pairs already in the same cluster take no further action.
+    #[test]
+    fn overlap_within_one_cluster_is_noop() {
+        let pairs = [
+            (fid('A'), fid('B'), KN),
+            (fid('B'), fid('C'), KN),
+            (fid('A'), fid('C'), KF), // Same cluster already.
+        ];
+        let r = cluster_from_counts(&pairs, &[], &cfg(KN, KF));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn singletons_controlled_by_config() {
+        let pairs = [(fid('A'), fid('B'), KN)];
+        let universe = [fid('A'), fid('B'), fid('Z')];
+        let with = cluster_from_counts(&pairs, &universe, &cfg(KN, KF));
+        assert_eq!(with.len(), 2, "AB cluster plus singleton Z");
+        let without = cluster_from_counts(
+            &pairs,
+            &universe,
+            &ClusterConfig { include_singletons: false, ..cfg(KN, KF) },
+        );
+        assert_eq!(without.len(), 1);
+    }
+
+    #[test]
+    fn cluster_files_uses_shared_neighbors() {
+        use seer_distance::{DistanceConfig, NeighborTable};
+        // Build a table where files 0 and 1 share neighbors 2..7, by
+        // observing small distances from each to the common neighbors.
+        let dc = DistanceConfig::default();
+        let mut t = NeighborTable::new(dc.n_neighbors, dc.reduction, dc.aging_refs,
+            dc.deletion_delay, dc.seed);
+        let mut paths = PathTable::new();
+        for i in 0..10u32 {
+            paths.intern(&format!("/proj/f{i}"));
+        }
+        for target in 2..8u32 {
+            t.observe(FileId(0), FileId(target), 1.0);
+            t.observe(FileId(1), FileId(target), 1.0);
+        }
+        // 0 must list 1 (or vice versa) for the pair to be examined.
+        t.observe(FileId(0), FileId(1), 1.0);
+        let r = cluster_files(&t, &paths, &[], &ClusterConfig::default());
+        let c0 = r.clusters_of(FileId(0));
+        let c1 = r.clusters_of(FileId(1));
+        assert!(!c0.is_empty() && c0 == c1, "0 and 1 share 6 ≥ kn neighbors: same cluster");
+    }
+
+    #[test]
+    fn directory_distance_discourages_clustering() {
+        use seer_distance::{DistanceConfig, NeighborTable};
+        let dc = DistanceConfig::default();
+        let mut t = NeighborTable::new(dc.n_neighbors, dc.reduction, dc.aging_refs,
+            dc.deletion_delay, dc.seed);
+        let mut paths = PathTable::new();
+        // Files in wildly different trees.
+        let a = paths.intern("/home/u/projects/alpha/src/deep/a.c");
+        let b = paths.intern("/opt/data/archive/old/backup/b.c");
+        assert_eq!(a, FileId(0));
+        assert_eq!(b, FileId(1));
+        for i in 2..8u32 {
+            paths.intern(&format!("/x/f{i}"));
+            t.observe(FileId(0), FileId(i), 1.0);
+            t.observe(FileId(1), FileId(i), 1.0);
+        }
+        t.observe(FileId(0), FileId(1), 1.0);
+        // Without directory weighting they share 6 ≥ kn neighbors…
+        let loose = ClusterConfig { directory_weight: 0.0, ..ClusterConfig::default() };
+        let r = cluster_files(&t, &paths, &[], &loose);
+        assert_eq!(r.clusters_of(FileId(0)), r.clusters_of(FileId(1)));
+        // …but a strong directory weight keeps the distant trees apart.
+        let strict = ClusterConfig { directory_weight: 1.0, ..ClusterConfig::default() };
+        let r = cluster_files(&t, &paths, &[], &strict);
+        assert_ne!(r.clusters_of(FileId(0)), r.clusters_of(FileId(1)));
+    }
+
+    #[test]
+    fn investigator_relation_bridges_unseen_pairs() {
+        use seer_distance::{DistanceConfig, NeighborTable};
+        let dc = DistanceConfig::default();
+        let t = NeighborTable::new(dc.n_neighbors, dc.reduction, dc.aging_refs,
+            dc.deletion_delay, dc.seed);
+        let mut paths = PathTable::new();
+        let a = paths.intern("/p/a.c");
+        let b = paths.intern("/p/a.h");
+        // No distance data at all, but an investigator knows better.
+        let rel = ExternalRelation::new(vec![a, b], 10.0);
+        let r = cluster_files(&t, &paths, &[rel], &ClusterConfig::default());
+        assert_eq!(r.clusters_of(a), r.clusters_of(b));
+        assert!(!r.clusters_of(a).is_empty());
+    }
+
+    #[test]
+    fn forced_relation_overrides_everything() {
+        use seer_distance::{DistanceConfig, NeighborTable};
+        let dc = DistanceConfig::default();
+        let t = NeighborTable::new(dc.n_neighbors, dc.reduction, dc.aging_refs,
+            dc.deletion_delay, dc.seed);
+        let mut paths = PathTable::new();
+        // Enormous directory distance would normally keep these apart.
+        let a = paths.intern("/a/b/c/d/e/f/g/x.c");
+        let b = paths.intern("/z/y/w/v/u/t/s/y.c");
+        let rel = ExternalRelation::new(vec![a, b], 1000.0);
+        let config = ClusterConfig { directory_weight: 50.0, ..ClusterConfig::default() };
+        let r = cluster_files(&t, &paths, &[rel], &config);
+        assert_eq!(r.clusters_of(a), r.clusters_of(b), "forced cluster (§3.3.3)");
+    }
+}

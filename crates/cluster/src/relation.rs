@@ -1,0 +1,63 @@
+//! External investigator relations (§3.2, §3.3.3).
+
+use seer_trace::FileId;
+use serde::{Deserialize, Serialize};
+
+/// A group of related files reported by an external investigator, "together
+/// with an investigator-chosen weight indicating the strength of the
+/// relation" (§3.2).
+///
+/// The strength is *added* to the shared-neighbor count of every pair in
+/// the group, so a sufficiently strong relation forces clustering
+/// regardless of observed distances (§3.3.3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExternalRelation {
+    /// The related files (order is irrelevant; duplicates are ignored).
+    pub files: Vec<FileId>,
+    /// Relation strength, in shared-neighbor units.
+    pub strength: f64,
+}
+
+impl ExternalRelation {
+    /// Creates a relation over `files` with the given strength.
+    #[must_use]
+    pub fn new(files: Vec<FileId>, strength: f64) -> ExternalRelation {
+        ExternalRelation { files, strength }
+    }
+
+    /// All unordered pairs within the relation.
+    pub fn pairs(&self) -> impl Iterator<Item = (FileId, FileId)> + '_ {
+        self.files
+            .iter()
+            .enumerate()
+            .flat_map(move |(i, &a)| self.files[i + 1..].iter().map(move |&b| (a, b)))
+            .filter(|(a, b)| a != b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairs_enumerates_unordered_pairs() {
+        let r = ExternalRelation::new(vec![FileId(1), FileId(2), FileId(3)], 5.0);
+        let pairs: Vec<_> = r.pairs().collect();
+        assert_eq!(pairs.len(), 3);
+        assert!(pairs.contains(&(FileId(1), FileId(2))));
+        assert!(pairs.contains(&(FileId(1), FileId(3))));
+        assert!(pairs.contains(&(FileId(2), FileId(3))));
+    }
+
+    #[test]
+    fn duplicate_files_do_not_self_pair() {
+        let r = ExternalRelation::new(vec![FileId(1), FileId(1)], 1.0);
+        assert_eq!(r.pairs().count(), 0);
+    }
+
+    #[test]
+    fn empty_and_singleton_relations_have_no_pairs() {
+        assert_eq!(ExternalRelation::new(vec![], 1.0).pairs().count(), 0);
+        assert_eq!(ExternalRelation::new(vec![FileId(1)], 1.0).pairs().count(), 0);
+    }
+}

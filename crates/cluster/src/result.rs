@@ -1,0 +1,163 @@
+//! Clustering results: overlapping file-to-project assignments.
+
+use seer_trace::FileId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifier of a cluster within one [`Clustering`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ClusterId(pub u32);
+
+impl ClusterId {
+    /// Returns the id as an index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One project: a set of files. Files may belong to several clusters
+/// (§3.3.1's overlapping-clusters requirement).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cluster {
+    /// Member files, sorted and deduplicated.
+    pub files: Vec<FileId>,
+}
+
+impl Cluster {
+    /// Number of member files.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Whether the cluster has no members.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Whether `file` is a member.
+    #[must_use]
+    pub fn contains(&self, file: FileId) -> bool {
+        self.files.binary_search(&file).is_ok()
+    }
+}
+
+/// A complete cluster assignment.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Clustering {
+    /// All clusters, in deterministic order.
+    pub clusters: Vec<Cluster>,
+    membership: HashMap<FileId, Vec<ClusterId>>,
+}
+
+impl Clustering {
+    /// Builds a clustering from member lists, deriving the reverse index.
+    #[must_use]
+    pub fn from_members(mut members: Vec<Vec<FileId>>) -> Clustering {
+        for m in &mut members {
+            m.sort_unstable();
+            m.dedup();
+        }
+        members.retain(|m| !m.is_empty());
+        members.sort();
+        members.dedup();
+        let mut membership: HashMap<FileId, Vec<ClusterId>> = HashMap::new();
+        let clusters: Vec<Cluster> = members
+            .into_iter()
+            .enumerate()
+            .map(|(i, files)| {
+                for &f in &files {
+                    membership.entry(f).or_default().push(ClusterId(i as u32));
+                }
+                Cluster { files }
+            })
+            .collect();
+        Clustering { clusters, membership }
+    }
+
+    /// The clusters containing `file` (empty if unknown).
+    #[must_use]
+    pub fn clusters_of(&self, file: FileId) -> &[ClusterId] {
+        self.membership.get(&file).map_or(&[], Vec::as_slice)
+    }
+
+    /// The cluster with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this clustering.
+    #[must_use]
+    pub fn cluster(&self, id: ClusterId) -> &Cluster {
+        &self.clusters[id.index()]
+    }
+
+    /// Number of clusters.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Whether there are no clusters.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// All distinct files appearing in any cluster.
+    #[must_use]
+    pub fn all_files(&self) -> Vec<FileId> {
+        let mut v: Vec<FileId> = self.membership.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_members_sorts_dedups_and_indexes() {
+        let c = Clustering::from_members(vec![
+            vec![FileId(3), FileId(1), FileId(3)],
+            vec![FileId(2)],
+            vec![],
+        ]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.clusters[0].files, vec![FileId(1), FileId(3)]);
+        assert_eq!(c.clusters_of(FileId(1)), &[ClusterId(0)]);
+        assert_eq!(c.clusters_of(FileId(2)), &[ClusterId(1)]);
+        assert!(c.clusters_of(FileId(99)).is_empty());
+    }
+
+    #[test]
+    fn overlapping_membership() {
+        let c = Clustering::from_members(vec![
+            vec![FileId(1), FileId(2)],
+            vec![FileId(2), FileId(3)],
+        ]);
+        assert_eq!(c.clusters_of(FileId(2)).len(), 2);
+        assert!(c.cluster(ClusterId(0)).contains(FileId(2)));
+        assert!(c.cluster(ClusterId(1)).contains(FileId(2)));
+    }
+
+    #[test]
+    fn duplicate_clusters_collapse() {
+        let c = Clustering::from_members(vec![
+            vec![FileId(1), FileId(2)],
+            vec![FileId(2), FileId(1)],
+        ]);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn all_files_is_sorted_union() {
+        let c = Clustering::from_members(vec![
+            vec![FileId(5), FileId(1)],
+            vec![FileId(3), FileId(1)],
+        ]);
+        assert_eq!(c.all_files(), vec![FileId(1), FileId(3), FileId(5)]);
+    }
+}

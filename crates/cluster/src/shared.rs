@@ -1,0 +1,154 @@
+//! Shared-neighbor counting from the stored n-neighbor lists.
+
+use seer_distance::NeighborTable;
+use seer_trace::FileId;
+use std::collections::HashMap;
+
+/// Precomputed sorted neighbor sets, supporting O(n) shared-neighbor
+/// counting between any candidate pair.
+#[derive(Debug, Default, Clone)]
+pub struct SharedNeighborCounter {
+    sets: HashMap<FileId, Vec<FileId>>,
+}
+
+impl SharedNeighborCounter {
+    /// Builds the counter from a distance table.
+    ///
+    /// As in Jarvis & Patrick's formulation, every file is a member of its
+    /// own neighbor set, so two mutually-listed files share at least
+    /// themselves.
+    #[must_use]
+    pub fn from_table(table: &NeighborTable) -> SharedNeighborCounter {
+        SharedNeighborCounter::from_table_excluding(table, &std::collections::HashSet::new())
+    }
+
+    /// Builds the counter, ignoring `exclude`d files entirely — neither as
+    /// rows nor as neighbor-set members.
+    ///
+    /// Frequently-referenced files are "eliminated from the calculation of
+    /// semantic distances and file relationships" (§4.2); passing the
+    /// always-hoard set here removes the bridges that would otherwise fuse
+    /// unrelated projects through shared libraries.
+    #[must_use]
+    pub fn from_table_excluding(
+        table: &NeighborTable,
+        exclude: &std::collections::HashSet<FileId>,
+    ) -> SharedNeighborCounter {
+        let mut sets: HashMap<FileId, Vec<FileId>> = HashMap::new();
+        for f in table.files() {
+            if exclude.contains(&f) {
+                continue;
+            }
+            let mut targets: Vec<FileId> = table
+                .neighbors(f)
+                .map(|e| e.to)
+                .filter(|t| !exclude.contains(t))
+                .collect();
+            targets.push(f);
+            targets.sort_unstable();
+            targets.dedup();
+            sets.insert(f, targets);
+        }
+        SharedNeighborCounter { sets }
+    }
+
+    /// Builds the counter directly from neighbor lists (for tests and
+    /// synthetic inputs).
+    #[must_use]
+    pub fn from_lists(lists: Vec<(FileId, Vec<FileId>)>) -> SharedNeighborCounter {
+        let mut sets = HashMap::new();
+        for (f, mut targets) in lists {
+            targets.sort_unstable();
+            targets.dedup();
+            sets.insert(f, targets);
+        }
+        SharedNeighborCounter { sets }
+    }
+
+    /// Number of neighbors `a` and `b` share.
+    #[must_use]
+    pub fn shared(&self, a: FileId, b: FileId) -> u32 {
+        let (Some(sa), Some(sb)) = (self.sets.get(&a), self.sets.get(&b)) else {
+            return 0;
+        };
+        let (mut i, mut j, mut count) = (0, 0, 0);
+        while i < sa.len() && j < sb.len() {
+            match sa[i].cmp(&sb[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    count += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// The directed candidate pairs `(A, B)` where `B` appears in `A`'s
+    /// neighbor list — the only pairs the O(N) variation examines
+    /// (§3.3.2).
+    pub fn candidate_pairs(&self) -> impl Iterator<Item = (FileId, FileId)> + '_ {
+        self.sets
+            .iter()
+            .flat_map(|(&a, targets)| targets.iter().map(move |&b| (a, b)))
+            .filter(|(a, b)| a != b)
+    }
+
+    /// Every file mentioned anywhere (as a row or as a neighbor).
+    #[must_use]
+    pub fn all_files(&self) -> Vec<FileId> {
+        let mut v: Vec<FileId> = self.sets.keys().copied().collect();
+        for targets in self.sets.values() {
+            v.extend_from_slice(targets);
+        }
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// The neighbor set of `file`, if stored.
+    #[must_use]
+    pub fn neighbors(&self, file: FileId) -> Option<&[FileId]> {
+        self.sets.get(&file).map(Vec::as_slice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter() -> SharedNeighborCounter {
+        SharedNeighborCounter::from_lists(vec![
+            (FileId(1), vec![FileId(10), FileId(11), FileId(12)]),
+            (FileId(2), vec![FileId(11), FileId(12), FileId(13)]),
+            (FileId(3), vec![FileId(20)]),
+        ])
+    }
+
+    #[test]
+    fn shared_counts_intersection() {
+        let c = counter();
+        assert_eq!(c.shared(FileId(1), FileId(2)), 2);
+        assert_eq!(c.shared(FileId(1), FileId(3)), 0);
+        assert_eq!(c.shared(FileId(1), FileId(99)), 0, "unknown file shares nothing");
+    }
+
+    #[test]
+    fn candidate_pairs_are_directed_by_listing() {
+        let c = counter();
+        let pairs: Vec<_> = c.candidate_pairs().collect();
+        assert!(pairs.contains(&(FileId(1), FileId(10))));
+        assert!(!pairs.contains(&(FileId(10), FileId(1))), "10 has no list");
+    }
+
+    #[test]
+    fn all_files_includes_targets() {
+        let c = counter();
+        let all = c.all_files();
+        assert!(all.contains(&FileId(1)));
+        assert!(all.contains(&FileId(20)));
+        assert_eq!(all.len(), 8);
+    }
+}

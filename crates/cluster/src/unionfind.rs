@@ -1,0 +1,120 @@
+//! Union-find over arbitrary [`FileId`]s, used by clustering phase one.
+
+use seer_trace::FileId;
+use std::collections::HashMap;
+
+/// Disjoint-set forest with path compression and union by size.
+#[derive(Debug, Default, Clone)]
+pub struct UnionFind {
+    parent: HashMap<FileId, FileId>,
+    size: HashMap<FileId, u32>,
+}
+
+impl UnionFind {
+    /// Creates an empty forest.
+    #[must_use]
+    pub fn new() -> UnionFind {
+        UnionFind::default()
+    }
+
+    /// Ensures `x` is present as (at least) a singleton set.
+    pub fn insert(&mut self, x: FileId) {
+        self.parent.entry(x).or_insert(x);
+        self.size.entry(x).or_insert(1);
+    }
+
+    /// Finds the representative of `x`, inserting it if new.
+    pub fn find(&mut self, x: FileId) -> FileId {
+        self.insert(x);
+        let mut root = x;
+        while self.parent[&root] != root {
+            root = self.parent[&root];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[&cur] != root {
+            let next = self.parent[&cur];
+            self.parent.insert(cur, root);
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the sets containing `a` and `b`.
+    pub fn union(&mut self, a: FileId, b: FileId) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return;
+        }
+        let (big, small) = if self.size[&ra] >= self.size[&rb] { (ra, rb) } else { (rb, ra) };
+        self.parent.insert(small, big);
+        let total = self.size[&ra] + self.size[&rb];
+        self.size.insert(big, total);
+    }
+
+    /// Whether `a` and `b` are currently in the same set.
+    pub fn same(&mut self, a: FileId, b: FileId) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Groups all inserted elements by representative.
+    pub fn groups(&mut self) -> Vec<Vec<FileId>> {
+        let members: Vec<FileId> = self.parent.keys().copied().collect();
+        let mut by_root: HashMap<FileId, Vec<FileId>> = HashMap::new();
+        for m in members {
+            let r = self.find(m);
+            by_root.entry(r).or_default().push(m);
+        }
+        let mut out: Vec<Vec<FileId>> = by_root.into_values().collect();
+        for g in &mut out {
+            g.sort_unstable();
+        }
+        out.sort_by_key(|g| g[0]);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_and_find() {
+        let mut uf = UnionFind::new();
+        uf.union(FileId(1), FileId(2));
+        uf.union(FileId(2), FileId(3));
+        assert!(uf.same(FileId(1), FileId(3)));
+        assert!(!uf.same(FileId(1), FileId(4)));
+    }
+
+    #[test]
+    fn groups_partition_elements() {
+        let mut uf = UnionFind::new();
+        uf.union(FileId(1), FileId(2));
+        uf.insert(FileId(5));
+        uf.union(FileId(3), FileId(4));
+        let groups = uf.groups();
+        assert_eq!(groups.len(), 3);
+        assert!(groups.contains(&vec![FileId(1), FileId(2)]));
+        assert!(groups.contains(&vec![FileId(3), FileId(4)]));
+        assert!(groups.contains(&vec![FileId(5)]));
+    }
+
+    #[test]
+    fn transitive_merge_through_chain() {
+        let mut uf = UnionFind::new();
+        for i in 0..100 {
+            uf.union(FileId(i), FileId(i + 1));
+        }
+        assert!(uf.same(FileId(0), FileId(100)));
+        assert_eq!(uf.groups().len(), 1);
+    }
+
+    #[test]
+    fn self_union_is_noop() {
+        let mut uf = UnionFind::new();
+        uf.union(FileId(7), FileId(7));
+        assert_eq!(uf.groups(), vec![vec![FileId(7)]]);
+    }
+}

@@ -1,0 +1,40 @@
+//! Top-level SEER configuration.
+
+use seer_cluster::ClusterConfig;
+use seer_distance::DistanceConfig;
+use seer_observer::ObserverConfig;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a full [`crate::SeerEngine`], aggregating the observer,
+/// distance, and clustering settings (the paper's control files plus the
+/// §4.9 tunables).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SeerConfig {
+    /// Observer settings (§4 heuristics).
+    pub observer: ObserverConfig,
+    /// Semantic-distance settings (§3.1).
+    pub distance: DistanceConfig,
+    /// Clustering settings (§3.3).
+    pub cluster: ClusterConfig,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_composes_component_defaults() {
+        let c = SeerConfig::default();
+        assert_eq!(c.distance.n_neighbors, 20);
+        assert!(c.cluster.is_valid());
+        assert!(c.observer.exclude_dot_files);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = SeerConfig::default();
+        let json = serde_json::to_string_pretty(&c).expect("serialize");
+        let back: SeerConfig = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.distance.window_m, c.distance.window_m);
+    }
+}

@@ -1,0 +1,312 @@
+//! The assembled SEER engine.
+
+use crate::config::SeerConfig;
+use crate::correlator::Correlator;
+use crate::manager::{select_hoard, HoardSelection};
+use crate::rankers::{HoardRanker, RankContext, SeerRanker};
+use seer_cluster::{cluster_files_excluding, Clustering, ExternalRelation};
+use seer_observer::Observer;
+use seer_trace::{EventSink, FileId, PathTable, StringTable, TraceEvent};
+use std::collections::HashSet;
+
+/// The complete SEER pipeline: feed it raw [`TraceEvent`]s, then ask for
+/// hoard contents before a disconnection.
+///
+/// # Examples
+///
+/// ```
+/// use seer_core::SeerEngine;
+/// use seer_trace::{OpenMode, Pid, TraceBuilder};
+///
+/// let mut b = TraceBuilder::new();
+/// let pid = Pid(1);
+/// for _ in 0..3 {
+///     let f1 = b.open(pid, "/home/user/proj/main.c", OpenMode::Read);
+///     let f2 = b.open(pid, "/home/user/proj/defs.h", OpenMode::Read);
+///     b.close(pid, f2);
+///     b.close(pid, f1);
+/// }
+/// let trace = b.build();
+///
+/// let mut engine = SeerEngine::default();
+/// trace.replay(&mut engine);
+/// engine.recluster();
+/// let hoard = engine.choose_hoard(1 << 20, &|_| 1024);
+/// assert!(!hoard.files.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct SeerEngine {
+    observer: Observer<Correlator>,
+    cluster_config: seer_cluster::ClusterConfig,
+    relations: Vec<ExternalRelation>,
+    clustering: Option<Clustering>,
+}
+
+impl Default for SeerEngine {
+    fn default() -> SeerEngine {
+        SeerEngine::new(SeerConfig::default())
+    }
+}
+
+impl SeerEngine {
+    /// Creates an engine from a configuration.
+    #[must_use]
+    pub fn new(config: SeerConfig) -> SeerEngine {
+        let correlator = Correlator::new(config.distance.clone());
+        SeerEngine {
+            observer: Observer::new(config.observer, correlator),
+            cluster_config: config.cluster,
+            relations: Vec::new(),
+            clustering: None,
+        }
+    }
+
+    /// The canonical path table (owned by the observer).
+    #[must_use]
+    pub fn paths(&self) -> &PathTable {
+        self.observer.paths()
+    }
+
+    /// Mutable path-table access for investigators that intern new paths
+    /// (§3.2).
+    pub fn paths_mut(&mut self) -> &mut PathTable {
+        self.observer.paths_mut()
+    }
+
+    /// Observer statistics (filter counters).
+    #[must_use]
+    pub fn observer_stats(&self) -> &seer_observer::ObserverStats {
+        self.observer.stats()
+    }
+
+    /// The correlator (distance table and activity).
+    #[must_use]
+    pub fn correlator(&self) -> &Correlator {
+        self.observer.sink()
+    }
+
+    /// Files SEER will hoard unconditionally.
+    #[must_use]
+    pub fn always_hoard(&self) -> &HashSet<FileId> {
+        self.observer.always_hoard()
+    }
+
+    /// Installs investigator relations to be used at the next reclustering
+    /// (§3.3.3).
+    pub fn set_relations(&mut self, relations: Vec<ExternalRelation>) {
+        self.relations = relations;
+        self.clustering = None;
+    }
+
+    /// Runs the clustering algorithm over the current distance table,
+    /// replacing any previous project assignment.
+    pub fn recluster(&mut self) -> &Clustering {
+        let clustering = cluster_files_excluding(
+            self.correlator().distance().table(),
+            self.observer.paths(),
+            &self.relations,
+            self.observer.always_hoard(),
+            &self.cluster_config,
+        );
+        self.clustering = Some(clustering);
+        self.clustering.as_ref().expect("just set")
+    }
+
+    /// The current project assignment, if one has been computed.
+    #[must_use]
+    pub fn clustering(&self) -> Option<&Clustering> {
+        self.clustering.as_ref()
+    }
+
+    /// Full SEER priority ranking of all known files (most important
+    /// first). Requires a prior [`SeerEngine::recluster`] for project
+    /// structure; without one it degrades to always-hoard + LRU.
+    #[must_use]
+    pub fn rank(&self) -> Vec<FileId> {
+        let ctx = RankContext {
+            activity: self.correlator().activity(),
+            clustering: self.clustering.as_ref(),
+            always_hoard: self.observer.always_hoard(),
+        };
+        SeerRanker.rank(&ctx)
+    }
+
+    /// Bytes conservatively reserved for directories: SEER "leaves
+    /// hoarding decisions regarding directories up to the replication
+    /// substrate … \[but\] makes the conservative assumption that all
+    /// directories are hoarded" (§4.6). One nominal KiB per known
+    /// directory.
+    #[must_use]
+    pub fn directory_reserve(&self) -> u64 {
+        self.observer.known_dirs().len() as u64 * 1024
+    }
+
+    /// Selects hoard contents for a disconnection: whole projects by
+    /// priority within `budget` bytes (less the §4.6 directory reserve),
+    /// always-hoard files included unconditionally. Reclusters if no
+    /// clustering is current.
+    pub fn choose_hoard(&mut self, budget: u64, sizes: &dyn Fn(FileId) -> u64) -> HoardSelection {
+        if self.clustering.is_none() {
+            self.recluster();
+        }
+        let reserve = self.directory_reserve();
+        let clustering = self.clustering.as_ref().expect("reclustered above");
+        let mut sel = select_hoard(
+            clustering,
+            self.observer.sink().activity(),
+            self.observer.always_hoard(),
+            sizes,
+            budget.saturating_sub(reserve),
+        );
+        sel.directory_reserve = reserve;
+        sel
+    }
+
+    /// Takes the automatically detected hoard misses accumulated since the
+    /// last call; each missed file's project should be added to the next
+    /// hoard (§4.4), which happens naturally because the miss counts as
+    /// fresh activity.
+    pub fn take_misses(&mut self) -> Vec<FileId> {
+        self.observer.sink_mut().take_misses()
+    }
+
+    /// The clustering configuration in use.
+    #[must_use]
+    pub fn cluster_config(&self) -> &seer_cluster::ClusterConfig {
+        &self.cluster_config
+    }
+
+    /// The observer's persistent state (used by [`crate::persist`]).
+    #[must_use]
+    pub fn observer_snapshot(&self) -> seer_observer::ObserverSnapshot {
+        self.observer.snapshot()
+    }
+
+    /// Rebuilds an engine from restored components (used by
+    /// [`crate::persist`]).
+    #[must_use]
+    pub(crate) fn from_restored_parts(
+        observer_snap: seer_observer::ObserverSnapshot,
+        correlator: Correlator,
+        cluster_config: seer_cluster::ClusterConfig,
+    ) -> SeerEngine {
+        SeerEngine {
+            observer: seer_observer::Observer::from_snapshot(observer_snap, correlator),
+            cluster_config,
+            relations: Vec::new(),
+            clustering: None,
+        }
+    }
+}
+
+impl EventSink for SeerEngine {
+    fn on_event(&mut self, ev: &TraceEvent, strings: &StringTable) {
+        self.observer.on_event(ev, strings);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seer_trace::{OpenMode, Pid, TraceBuilder};
+
+    /// Builds a trace with two separate projects worked in distinct
+    /// processes and phases, with realistic variation in access order.
+    fn two_project_trace() -> seer_trace::Trace {
+        let alpha = [
+            "/home/user/alpha/main.c",
+            "/home/user/alpha/defs.h",
+            "/home/user/alpha/util.c",
+            "/home/user/alpha/types.h",
+        ];
+        let mut b = TraceBuilder::new();
+        for round in 0..8u32 {
+            let pid = Pid(10 + round);
+            b.exec(pid, "/usr/bin/cc");
+            // Rotate the access order across rounds, as edits and
+            // compiles do in real life.
+            let first = b.open(pid, alpha[round as usize % 4], OpenMode::Read);
+            for k in 1..4 {
+                b.touch(pid, alpha[(round as usize + k) % 4], OpenMode::Read);
+            }
+            b.close(pid, first);
+            b.exit(pid);
+        }
+        for round in 0..5u32 {
+            let pid = Pid(50 + round);
+            b.exec(pid, "/usr/bin/latex");
+            let doc = b.open(pid, "/home/user/beta/paper.tex", OpenMode::ReadWrite);
+            b.touch(pid, "/home/user/beta/refs.bib", OpenMode::Read);
+            b.close(pid, doc);
+            b.exit(pid);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn end_to_end_projects_form_and_hoard_selects() {
+        let mut engine = SeerEngine::default();
+        two_project_trace().replay(&mut engine);
+        let clustering = engine.recluster().clone();
+        let paths = engine.paths();
+        let main = paths.get("/home/user/alpha/main.c").expect("seen");
+        let defs = paths.get("/home/user/alpha/defs.h").expect("seen");
+        let tex = paths.get("/home/user/beta/paper.tex").expect("seen");
+        let bib = paths.get("/home/user/beta/refs.bib").expect("seen");
+        // Same-project files share a cluster; cross-project files do not.
+        let c_main = clustering.clusters_of(main).to_vec();
+        let c_defs = clustering.clusters_of(defs).to_vec();
+        let c_tex = clustering.clusters_of(tex).to_vec();
+        assert!(c_main.iter().any(|c| c_defs.contains(c)), "alpha files cluster together");
+        assert!(!c_main.iter().any(|c| c_tex.contains(c)), "projects stay apart");
+
+        // Hoard selection: beta was touched last, so with a budget for one
+        // project beta wins.
+        let sel = engine.choose_hoard(3000, &|_| 1000);
+        assert!(sel.contains(tex) && sel.contains(bib), "most recent project hoarded");
+    }
+
+    #[test]
+    fn rank_covers_all_activity() {
+        let mut engine = SeerEngine::default();
+        two_project_trace().replay(&mut engine);
+        engine.recluster();
+        let rank = engine.rank();
+        let activity_files = engine.correlator().activity().len();
+        assert!(rank.len() >= activity_files, "ranking covers every tracked file");
+        let mut dedup = rank.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), rank.len(), "no duplicates in ranking");
+    }
+
+    #[test]
+    fn miss_boosts_project_priority() {
+        let mut b = TraceBuilder::new();
+        // Alpha project used heavily, beta project barely.
+        for i in 0..5u32 {
+            let pid = Pid(i + 1);
+            b.touch(pid, "/home/user/alpha/a.c", OpenMode::Read);
+            b.touch(pid, "/home/user/alpha/b.c", OpenMode::Read);
+        }
+        b.touch(Pid(99), "/home/user/beta/x.tex", OpenMode::Read);
+        b.touch(Pid(99), "/home/user/beta/y.bib", OpenMode::Read);
+        // Later, disconnected, the user misses a beta file.
+        b.open_err(
+            Pid(100),
+            "/home/user/beta/x.tex",
+            OpenMode::Read,
+            seer_trace::ErrorKind::NotHoarded,
+        );
+        let trace = b.build();
+        let mut engine = SeerEngine::default();
+        trace.replay(&mut engine);
+        let misses = engine.take_misses();
+        assert_eq!(misses.len(), 1);
+        engine.recluster();
+        let x = engine.paths().get("/home/user/beta/x.tex").expect("seen");
+        let rank = engine.rank();
+        let pos_x = rank.iter().position(|&f| f == x).expect("ranked");
+        assert!(pos_x <= 2, "missed file's project now leads the ranking: pos {pos_x}");
+    }
+}

@@ -1,0 +1,204 @@
+//! Engine persistence: SEER's on-disk database of known files.
+//!
+//! The real SEER keeps its database of ~20 000 known files in (virtual)
+//! memory and notes that storing it on disk would be straightforward
+//! because "only a small fraction of the information is active at any
+//! given time" (§5.3). This module is that straightforward step: the
+//! engine's accumulated knowledge — path table, semantic-distance table,
+//! per-file activity, always-hoard set, frequency counts, and per-program
+//! history — serializes to JSON and restores into a fresh engine.
+//!
+//! Per-process state (descriptor tables, open-file lifetimes, live
+//! counters) is deliberately *not* persisted: the processes it describes
+//! do not survive the restart the snapshot exists for.
+
+use crate::config::SeerConfig;
+use crate::correlator::CorrelatorSnapshot;
+use crate::engine::SeerEngine;
+use seer_cluster::ClusterConfig;
+use seer_observer::ObserverSnapshot;
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, Write};
+
+/// The complete persistent state of a [`SeerEngine`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SeerSnapshot {
+    /// Observer knowledge (paths, always-hoard, frequency, program
+    /// history).
+    pub observer: ObserverSnapshot,
+    /// Correlator knowledge (distance table, activity).
+    pub correlator: CorrelatorSnapshot,
+    /// Clustering configuration.
+    pub cluster: ClusterConfig,
+}
+
+/// Errors arising while saving or loading a snapshot.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The input was not a valid snapshot.
+    Format(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            PersistError::Format(m) => write!(f, "snapshot format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> PersistError {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> PersistError {
+        PersistError::Format(e.to_string())
+    }
+}
+
+impl SeerSnapshot {
+    /// Writes the snapshot as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Io`] on write failure.
+    pub fn save<W: Write>(&self, w: &mut W) -> Result<(), PersistError> {
+        serde_json::to_writer(w, self)?;
+        Ok(())
+    }
+
+    /// Reads a snapshot written by [`SeerSnapshot::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Format`] if the input does not parse.
+    pub fn load<R: BufRead>(r: &mut R) -> Result<SeerSnapshot, PersistError> {
+        Ok(serde_json::from_reader(r)?)
+    }
+}
+
+impl SeerEngine {
+    /// Captures the engine's persistent knowledge (see the module docs for
+    /// what is and is not included).
+    #[must_use]
+    pub fn snapshot(&self) -> SeerSnapshot {
+        SeerSnapshot {
+            observer: self.observer_snapshot(),
+            correlator: self.correlator().snapshot(),
+            cluster: self.cluster_config().clone(),
+        }
+    }
+
+    /// Restores an engine from a snapshot; project clustering is
+    /// recomputed on the next [`SeerEngine::recluster`].
+    #[must_use]
+    pub fn from_snapshot(snap: SeerSnapshot) -> SeerEngine {
+        let correlator = crate::correlator::Correlator::from_snapshot(snap.correlator);
+        SeerEngine::from_restored_parts(snap.observer, correlator, snap.cluster)
+    }
+
+    /// The effective configuration of a snapshot-restored or live engine.
+    #[must_use]
+    pub fn effective_config(&self) -> SeerConfig {
+        SeerConfig {
+            observer: self.observer_snapshot().config,
+            distance: self.correlator().distance().config().clone(),
+            cluster: self.cluster_config().clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seer_trace::{OpenMode, Pid, TraceBuilder};
+
+    fn sample_trace() -> seer_trace::Trace {
+        let mut b = TraceBuilder::new();
+        for round in 0..6u32 {
+            let pid = Pid(10 + round);
+            b.exec(pid, "/usr/bin/cc");
+            let files = ["/p/a.c", "/p/b.h", "/p/c.c", "/p/d.h"];
+            let first = b.open(pid, files[round as usize % 4], OpenMode::Read);
+            for k in 1..4 {
+                b.touch(pid, files[(round as usize + k) % 4], OpenMode::Read);
+            }
+            b.close(pid, first);
+            b.exit(pid);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let mut engine = SeerEngine::default();
+        sample_trace().replay(&mut engine);
+        engine.recluster();
+        let snap = engine.snapshot();
+        let mut buf = Vec::new();
+        snap.save(&mut buf).expect("save");
+        let back = SeerSnapshot::load(&mut buf.as_slice()).expect("load");
+        let restored = SeerEngine::from_snapshot(back);
+        // Knowledge survives: paths, activity, distances.
+        assert_eq!(restored.paths().len(), engine.paths().len());
+        assert_eq!(
+            restored.correlator().activity().len(),
+            engine.correlator().activity().len()
+        );
+        let a = engine.paths().get("/p/a.c").expect("known");
+        let b = engine.paths().get("/p/b.h").expect("known");
+        assert_eq!(
+            restored.correlator().distance().table().distance(a, b).is_some(),
+            engine.correlator().distance().table().distance(a, b).is_some()
+        );
+    }
+
+    #[test]
+    fn restored_engine_reclusters_identically() {
+        let mut engine = SeerEngine::default();
+        sample_trace().replay(&mut engine);
+        let original = engine.recluster().clone();
+        let mut restored = SeerEngine::from_snapshot(engine.snapshot());
+        let re = restored.recluster().clone();
+        assert_eq!(original.len(), re.len());
+        let mut a: Vec<_> = original.clusters.iter().map(|c| c.files.clone()).collect();
+        let mut b: Vec<_> = re.clusters.iter().map(|c| c.files.clone()).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "identical clusters after restore");
+    }
+
+    #[test]
+    fn restored_engine_keeps_learning() {
+        let mut engine = SeerEngine::default();
+        sample_trace().replay(&mut engine);
+        let mut restored = SeerEngine::from_snapshot(engine.snapshot());
+        // Continue observing after the "restart".
+        let mut b = TraceBuilder::new();
+        b.touch(Pid(99), "/p/new.c", OpenMode::Read);
+        b.touch(Pid(99), "/p/a.c", OpenMode::Read);
+        b.build().replay(&mut restored);
+        assert!(restored.paths().get("/p/new.c").is_some());
+        restored.recluster();
+        assert!(!restored.rank().is_empty());
+    }
+
+    #[test]
+    fn ranking_is_preserved_across_restore() {
+        let mut engine = SeerEngine::default();
+        sample_trace().replay(&mut engine);
+        engine.recluster();
+        let rank_before = engine.rank();
+        let mut restored = SeerEngine::from_snapshot(engine.snapshot());
+        restored.recluster();
+        assert_eq!(restored.rank(), rank_before);
+    }
+}

@@ -1,0 +1,114 @@
+//! Naive reference implementation of semantic distance, for testing.
+//!
+//! Computes distances with unbounded storage and O(N²) work, exactly
+//! following the definitions of §3.1.1, so the approximation heuristic of
+//! §3.1.3 can be validated against ground truth on small streams.
+
+use crate::config::{DistanceKind, ReductionKind};
+use crate::reduction::PairSummary;
+use seer_trace::{FileId, Timestamp};
+use std::collections::HashMap;
+
+/// One event in a single-process reference stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExactEvent {
+    /// Open `file` at `time`.
+    Open(FileId, Timestamp),
+    /// Close `file`.
+    Close(FileId),
+}
+
+/// Computes the exact reduced distance between every ordered file pair in
+/// a single-process stream.
+///
+/// Follows the closest-pair rule: each open of `B` contributes one
+/// observation from the *latest* earlier open of every other file `A`.
+#[must_use]
+pub fn exact_distances(
+    kind: DistanceKind,
+    reduction: ReductionKind,
+    events: &[ExactEvent],
+) -> HashMap<(FileId, FileId), f64> {
+    struct OpenRecord {
+        index: u64,
+        time: Timestamp,
+        open: bool,
+    }
+    let mut latest: HashMap<FileId, OpenRecord> = HashMap::new();
+    let mut summaries: HashMap<(FileId, FileId), PairSummary> = HashMap::new();
+    let mut index = 0u64;
+    for ev in events {
+        match *ev {
+            ExactEvent::Open(file, time) => {
+                index += 1;
+                for (&from, rec) in &latest {
+                    if from == file {
+                        continue;
+                    }
+                    let d = match kind {
+                        DistanceKind::Temporal => {
+                            time.saturating_since(rec.time).as_secs() as f64
+                        }
+                        DistanceKind::Sequence => (index - rec.index).saturating_sub(1) as f64,
+                        DistanceKind::Lifetime => {
+                            if rec.open {
+                                0.0
+                            } else {
+                                (index - rec.index) as f64
+                            }
+                        }
+                    };
+                    summaries
+                        .entry((from, file))
+                        .and_modify(|s| s.observe(reduction, d))
+                        .or_insert_with(|| PairSummary::first(reduction, d));
+                }
+                latest.insert(file, OpenRecord { index, time, open: true });
+            }
+            ExactEvent::Close(file) => {
+                if let Some(rec) = latest.get_mut(&file) {
+                    rec.open = false;
+                }
+            }
+        }
+    }
+    summaries
+        .into_iter()
+        .map(|(k, s)| (k, s.distance(reduction)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn o(f: u32, t: u64) -> ExactEvent {
+        ExactEvent::Open(FileId(f), Timestamp::from_secs(t))
+    }
+
+    fn c(f: u32) -> ExactEvent {
+        ExactEvent::Close(FileId(f))
+    }
+
+    #[test]
+    fn figure1_exact() {
+        let events = [o(0, 0), o(1, 1), c(1), o(2, 2), c(2), c(0), o(3, 3), c(3)];
+        let d = exact_distances(DistanceKind::Lifetime, ReductionKind::Geometric, &events);
+        let g = |x: u32, y: u32| d[&(FileId(x), FileId(y))];
+        assert!(g(0, 1).abs() < 1e-9);
+        assert!(g(0, 2).abs() < 1e-9);
+        assert!((g(0, 3) - 3.0).abs() < 1e-9);
+        assert!((g(1, 2) - 1.0).abs() < 1e-9);
+        assert!((g(1, 3) - 2.0).abs() < 1e-9);
+        assert!((g(2, 3) - 1.0).abs() < 1e-9);
+        assert!(!d.contains_key(&(FileId(3), FileId(0))), "backward distances undefined");
+    }
+
+    #[test]
+    fn repeated_pairs_reduce() {
+        // A→B observed twice, at distances 1 and 1.
+        let events = [o(0, 0), c(0), o(1, 1), c(1), o(0, 2), c(0), o(1, 3), c(1)];
+        let d = exact_distances(DistanceKind::Lifetime, ReductionKind::Geometric, &events);
+        assert!((d[&(FileId(0), FileId(1))] - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,427 @@
+//! Per-process reference history (§3.1.1, §4.7).
+//!
+//! Each process carries its own stream of whole-file references so that
+//! interleaved independent activities (reading mail during a compile) do
+//! not create spurious relationships. The history yields, for each new
+//! open, the set of `(earlier file, event distance)` observations to fold
+//! into the global [`crate::NeighborTable`].
+
+use crate::config::DistanceKind;
+use seer_trace::{FileId, Timestamp};
+use std::collections::{HashMap, VecDeque};
+
+/// One entry in the recent-opens window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct WindowEntry {
+    file: FileId,
+    /// Process-local open index.
+    index: u64,
+    /// Process-local *distinct*-open index: does not advance when the same
+    /// file is opened back-to-back (the footnote-1 elision alternative).
+    distinct_index: u64,
+    /// Wall-clock time of the open.
+    time: Timestamp,
+}
+
+/// A `(from, distance)` observation produced by an open.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observation {
+    /// The earlier-referenced file.
+    pub from: FileId,
+    /// Event distance from `from`'s reference to the new one.
+    pub distance: f64,
+    /// Whether the raw value exceeded the window cap `M` and was
+    /// compensated by inserting `M` (§3.1.3).
+    pub compensated: bool,
+}
+
+/// Reference history of one process.
+#[derive(Debug, Clone, Default)]
+pub struct ProcessHistory {
+    /// Last `M` opens, oldest first. Holds the *latest* open of each file
+    /// (the closest-pair rule of §3.1.1, footnote 1).
+    window: VecDeque<WindowEntry>,
+    /// Currently-open count per file (opens minus closes; execs count).
+    open_files: HashMap<FileId, u32>,
+    /// Process-local open counter.
+    open_seq: u64,
+    /// Distinct-open counter (repeats of the immediately preceding file do
+    /// not advance it).
+    distinct_seq: u64,
+    /// The most recently opened file, for repeat elision.
+    last_opened: Option<FileId>,
+}
+
+impl ProcessHistory {
+    /// Creates an empty history.
+    #[must_use]
+    pub fn new() -> ProcessHistory {
+        ProcessHistory::default()
+    }
+
+    /// Number of opens recorded.
+    #[must_use]
+    pub fn opens(&self) -> u64 {
+        self.open_seq
+    }
+
+    /// Whether `file` is currently open in this process.
+    #[must_use]
+    pub fn is_open(&self, file: FileId) -> bool {
+        self.open_files.get(&file).copied().unwrap_or(0) > 0
+    }
+
+    /// Records an open of `file`, returning the distance observations from
+    /// every eligible earlier file (§3.1.3: files within the window, plus
+    /// still-open files, which are at lifetime distance zero).
+    ///
+    /// Values that would exceed `window_m` are compensated to exactly
+    /// `window_m`.
+    pub fn record_open(
+        &mut self,
+        kind: DistanceKind,
+        window_m: u64,
+        file: FileId,
+        time: Timestamp,
+        out: &mut Vec<Observation>,
+    ) {
+        self.record_open_with(kind, window_m, false, file, time, out);
+    }
+
+    /// [`ProcessHistory::record_open`] with the repeat-elision switch
+    /// (footnote 1): when `elide_repeats` is set, intervening-open counts
+    /// skip consecutive re-references to the same file.
+    pub fn record_open_with(
+        &mut self,
+        kind: DistanceKind,
+        window_m: u64,
+        elide_repeats: bool,
+        file: FileId,
+        time: Timestamp,
+        out: &mut Vec<Observation>,
+    ) {
+        self.open_seq += 1;
+        if self.last_opened != Some(file) {
+            self.distinct_seq += 1;
+            self.last_opened = Some(file);
+        }
+        let index = self.open_seq;
+        let distinct_index = self.distinct_seq;
+        let m = window_m as f64;
+
+        // Collect the latest window entry per distinct earlier file.
+        let mut latest: HashMap<FileId, WindowEntry> = HashMap::with_capacity(self.window.len());
+        for e in &self.window {
+            if e.file != file {
+                latest.insert(e.file, *e);
+            }
+        }
+        for (&f, e) in &latest {
+            let (idx, e_idx) = if elide_repeats {
+                (distinct_index, e.distinct_index)
+            } else {
+                (index, e.index)
+            };
+            let raw = match kind {
+                DistanceKind::Temporal => time.saturating_since(e.time).as_secs() as f64,
+                DistanceKind::Sequence => (idx - e_idx).saturating_sub(1) as f64,
+                DistanceKind::Lifetime => {
+                    if self.is_open(f) {
+                        0.0
+                    } else {
+                        (idx - e_idx) as f64
+                    }
+                }
+            };
+            let compensated = raw > m;
+            out.push(Observation { from: f, distance: if compensated { m } else { raw }, compensated });
+        }
+        // Still-open files that have already slid out of the window are at
+        // lifetime distance zero (their lifetime encloses this open).
+        if kind == DistanceKind::Lifetime {
+            for (&f, &count) in &self.open_files {
+                if count > 0 && f != file && !latest.contains_key(&f) {
+                    out.push(Observation { from: f, distance: 0.0, compensated: false });
+                }
+            }
+        }
+
+        // Slide the window: drop an older entry for the same file (keep
+        // only the closest pair), then append and trim to M entries.
+        if let Some(pos) = self.window.iter().position(|e| e.file == file) {
+            self.window.remove(pos);
+        }
+        self.window
+            .push_back(WindowEntry { file, index, distinct_index, time });
+        while self.window.len() as u64 > window_m {
+            self.window.pop_front();
+        }
+
+        *self.open_files.entry(file).or_insert(0) += 1;
+    }
+
+    /// Records a close of `file`.
+    pub fn record_close(&mut self, file: FileId) {
+        if let Some(c) = self.open_files.get_mut(&file) {
+            *c = c.saturating_sub(1);
+            if *c == 0 {
+                self.open_files.remove(&file);
+            }
+        }
+    }
+
+    /// Merges a child's history into this one at exit (§4.7): the child's
+    /// recent references are appended so future parent references can
+    /// relate to them. The child's still-open files are implicitly closed.
+    pub fn merge_child(&mut self, child: &ProcessHistory, window_m: u64) {
+        for e in &child.window {
+            self.open_seq += 1;
+            self.distinct_seq += 1;
+            let index = self.open_seq;
+            let distinct_index = self.distinct_seq;
+            if let Some(pos) = self.window.iter().position(|w| w.file == e.file) {
+                self.window.remove(pos);
+            }
+            self.window.push_back(WindowEntry {
+                file: e.file,
+                index,
+                distinct_index,
+                time: e.time,
+            });
+        }
+        while self.window.len() as u64 > window_m {
+            self.window.pop_front();
+        }
+    }
+
+    /// Drops every trace of `file` (used after delayed deletion, §4.8).
+    pub fn forget_file(&mut self, file: FileId) {
+        self.window.retain(|e| e.file != file);
+        self.open_files.remove(&file);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn open(
+        h: &mut ProcessHistory,
+        kind: DistanceKind,
+        f: FileId,
+        t: u64,
+    ) -> Vec<(FileId, f64)> {
+        let mut out = Vec::new();
+        h.record_open(kind, 100, f, Timestamp::from_secs(t), &mut out);
+        out.into_iter().map(|o| (o.from, o.distance)).collect()
+    }
+
+    /// The paper's Figure 1 sequence: Ao Bo Bc Co Cc Ac Do Dc.
+    #[test]
+    fn figure1_lifetime_distances() {
+        let k = DistanceKind::Lifetime;
+        let mut h = ProcessHistory::new();
+        let (a, b, c, d) = (FileId(0), FileId(1), FileId(2), FileId(3));
+
+        assert!(open(&mut h, k, a, 0).is_empty());
+        let from_b = open(&mut h, k, b, 1);
+        assert_eq!(from_b, vec![(a, 0.0)], "A→B = 0 (A still open)");
+        h.record_close(b);
+        let mut from_c = open(&mut h, k, c, 2);
+        from_c.sort_by_key(|(f, _)| f.0);
+        assert_eq!(from_c, vec![(a, 0.0), (b, 1.0)], "A→C = 0, B→C = 1");
+        h.record_close(c);
+        h.record_close(a);
+        let mut from_d = open(&mut h, k, d, 3);
+        from_d.sort_by_key(|(f, _)| f.0);
+        assert_eq!(
+            from_d,
+            vec![(a, 3.0), (b, 2.0), (c, 1.0)],
+            "A→D = 3, B→D = 2, C→D = 1"
+        );
+    }
+
+    /// §3.1.1 footnote: in {A, C, C, C, B} the strict sequence distance
+    /// A→B is 3 (repeated references are not elided).
+    #[test]
+    fn sequence_distance_counts_repeats() {
+        let k = DistanceKind::Sequence;
+        let mut h = ProcessHistory::new();
+        let (a, b, c) = (FileId(0), FileId(1), FileId(2));
+        open(&mut h, k, a, 0);
+        for t in 1..=3 {
+            open(&mut h, k, c, t);
+            h.record_close(c);
+        }
+        let from_b = open(&mut h, k, b, 4);
+        let d_a_b = from_b.iter().find(|(f, _)| *f == a).expect("A in window").1;
+        assert_eq!(d_a_b, 3.0);
+    }
+
+    /// In {A, A, ..., B} only the closest pair counts.
+    #[test]
+    fn closest_pair_rule() {
+        let k = DistanceKind::Sequence;
+        let mut h = ProcessHistory::new();
+        let (a, b) = (FileId(0), FileId(1));
+        open(&mut h, k, a, 0);
+        h.record_close(a);
+        open(&mut h, k, a, 1);
+        h.record_close(a);
+        let from_b = open(&mut h, k, b, 2);
+        assert_eq!(from_b, vec![(a, 0.0)], "distance from the *latest* open of A");
+    }
+
+    #[test]
+    fn temporal_distance_uses_clock() {
+        let k = DistanceKind::Temporal;
+        let mut h = ProcessHistory::new();
+        let (a, b) = (FileId(0), FileId(1));
+        open(&mut h, k, a, 10);
+        let from_b = open(&mut h, k, b, 25);
+        assert_eq!(from_b, vec![(a, 15.0)]);
+    }
+
+    #[test]
+    fn window_limits_and_compensates() {
+        let k = DistanceKind::Lifetime;
+        let mut h = ProcessHistory::new();
+        let a = FileId(0);
+        let mut out = Vec::new();
+        h.record_open(k, 100, a, Timestamp::ZERO, &mut out);
+        h.record_close(a);
+        // 99 other files: A stays just inside the window of 100.
+        for i in 1..=99 {
+            h.record_open(k, 100, FileId(i), Timestamp::ZERO, &mut out);
+            h.record_close(FileId(i));
+        }
+        out.clear();
+        h.record_open(k, 100, FileId(200), Timestamp::ZERO, &mut out);
+        let oa = out.iter().find(|o| o.from == a).expect("A still in window");
+        assert_eq!(oa.distance, 100.0, "distance 100 = M exactly");
+        assert!(!oa.compensated, "exactly M is not compensated");
+
+        // One more open pushes A out of the window entirely.
+        out.clear();
+        h.record_open(k, 100, FileId(201), Timestamp::ZERO, &mut out);
+        assert!(out.iter().all(|o| o.from != a), "A slid out of the window");
+    }
+
+    #[test]
+    fn compensation_caps_values_above_m() {
+        // Repeated re-opens of B keep the window short (closest-pair dedup)
+        // while the open index races ahead, so A's raw distance exceeds M.
+        let k = DistanceKind::Lifetime;
+        let mut h = ProcessHistory::new();
+        let (a, b) = (FileId(0), FileId(1));
+        let mut out = Vec::new();
+        h.record_open(k, 100, a, Timestamp::ZERO, &mut out);
+        h.record_close(a);
+        for _ in 0..200 {
+            h.record_open(k, 100, b, Timestamp::ZERO, &mut out);
+            h.record_close(b);
+        }
+        out.clear();
+        h.record_open(k, 100, FileId(2), Timestamp::ZERO, &mut out);
+        let oa = out.iter().find(|o| o.from == a).expect("A still in short window");
+        assert_eq!(oa.distance, 100.0, "capped to M");
+        assert!(oa.compensated);
+    }
+
+    #[test]
+    fn still_open_files_outside_window_stay_at_zero() {
+        let k = DistanceKind::Lifetime;
+        let mut h = ProcessHistory::new();
+        let a = FileId(0);
+        let mut out = Vec::new();
+        // A is opened and *kept open* while 150 others stream past.
+        h.record_open(k, 100, a, Timestamp::ZERO, &mut out);
+        for i in 1..=150 {
+            h.record_open(k, 100, FileId(i), Timestamp::ZERO, &mut out);
+            h.record_close(FileId(i));
+        }
+        out.clear();
+        h.record_open(k, 100, FileId(999), Timestamp::ZERO, &mut out);
+        let oa = out.iter().find(|o| o.from == a).expect("A reported despite window");
+        assert_eq!(oa.distance, 0.0, "A's lifetime encloses the open");
+    }
+
+    #[test]
+    fn merge_child_appends_files() {
+        let k = DistanceKind::Lifetime;
+        let mut parent = ProcessHistory::new();
+        let mut child = ProcessHistory::new();
+        let (pa, ca) = (FileId(1), FileId(2));
+        let mut out = Vec::new();
+        parent.record_open(k, 100, pa, Timestamp::ZERO, &mut out);
+        parent.record_close(pa);
+        child.record_open(k, 100, ca, Timestamp::ZERO, &mut out);
+        child.record_close(ca);
+        parent.merge_child(&child, 100);
+        // A subsequent parent open relates to the child's file.
+        out.clear();
+        parent.record_open(k, 100, FileId(3), Timestamp::ZERO, &mut out);
+        assert!(out.iter().any(|o| o.from == ca), "child file visible to parent");
+        assert!(out.iter().any(|o| o.from == pa), "parent file still visible");
+    }
+
+    #[test]
+    fn forget_file_removes_everything() {
+        let k = DistanceKind::Lifetime;
+        let mut h = ProcessHistory::new();
+        let a = FileId(1);
+        let mut out = Vec::new();
+        h.record_open(k, 100, a, Timestamp::ZERO, &mut out);
+        h.forget_file(a);
+        assert!(!h.is_open(a));
+        out.clear();
+        h.record_open(k, 100, FileId(2), Timestamp::ZERO, &mut out);
+        assert!(out.is_empty());
+    }
+
+    /// Footnote 1's alternative: in {A, C, C, C, B} the elided sequence
+    /// distance A→B is 1 instead of 3.
+    #[test]
+    fn elide_repeats_collapses_runs() {
+        let k = DistanceKind::Sequence;
+        let (a, b, c) = (FileId(0), FileId(1), FileId(2));
+        let mut out = Vec::new();
+        let mut strict = ProcessHistory::new();
+        let mut elided = ProcessHistory::new();
+        // Strict history.
+        strict.record_open_with(k, 100, false, a, Timestamp::ZERO, &mut out);
+        strict.record_close(a);
+        for _ in 0..3 {
+            strict.record_open_with(k, 100, false, c, Timestamp::ZERO, &mut out);
+            strict.record_close(c);
+        }
+        out.clear();
+        strict.record_open_with(k, 100, false, b, Timestamp::ZERO, &mut out);
+        let d = out.iter().find(|o| o.from == a).expect("A related").distance;
+        assert_eq!(d, 3.0, "strict counting (the paper's choice)");
+        // Elided history.
+        elided.record_open_with(k, 100, true, a, Timestamp::ZERO, &mut out);
+        elided.record_close(a);
+        for _ in 0..3 {
+            elided.record_open_with(k, 100, true, c, Timestamp::ZERO, &mut out);
+            elided.record_close(c);
+        }
+        out.clear();
+        elided.record_open_with(k, 100, true, b, Timestamp::ZERO, &mut out);
+        let d = out.iter().find(|o| o.from == a).expect("A related").distance;
+        assert_eq!(d, 1.0, "elided counting (the footnote alternative)");
+    }
+
+    #[test]
+    fn nested_opens_need_matching_closes() {
+        let mut h = ProcessHistory::new();
+        let a = FileId(1);
+        let mut out = Vec::new();
+        h.record_open(DistanceKind::Lifetime, 100, a, Timestamp::ZERO, &mut out);
+        h.record_open(DistanceKind::Lifetime, 100, a, Timestamp::ZERO, &mut out);
+        h.record_close(a);
+        assert!(h.is_open(a), "one close of a doubly-open file leaves it open");
+        h.record_close(a);
+        assert!(!h.is_open(a));
+    }
+}

@@ -1,0 +1,121 @@
+//! Online reduction of event distances to a single file distance (§3.1.2).
+
+use crate::config::ReductionKind;
+use serde::{Deserialize, Serialize};
+
+/// Streaming summary of the distances observed between one ordered file
+/// pair.
+///
+/// For the geometric mean the accumulator stores `Σ ln(1 + dᵢ)`, so the
+/// summary is updatable online in O(1) space — one of the paper's explicit
+/// requirements ("easy to calculate, updatable on-line, small in storage").
+/// Zero distances (lifetime overlaps) are handled by the `1 + d` shift.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PairSummary {
+    /// `Σ ln(1 + dᵢ)` for geometric reduction, `Σ dᵢ` for arithmetic.
+    acc: f64,
+    /// Number of observations.
+    count: u32,
+}
+
+impl PairSummary {
+    /// Creates a summary from a first observation.
+    #[must_use]
+    pub fn first(kind: ReductionKind, d: f64) -> PairSummary {
+        let mut s = PairSummary { acc: 0.0, count: 0 };
+        s.observe(kind, d);
+        s
+    }
+
+    /// Folds one observation into the summary.
+    pub fn observe(&mut self, kind: ReductionKind, d: f64) {
+        let d = d.max(0.0);
+        self.acc += match kind {
+            ReductionKind::Arithmetic => d,
+            ReductionKind::Geometric => (1.0 + d).ln(),
+        };
+        self.count += 1;
+    }
+
+    /// Current reduced distance.
+    #[must_use]
+    pub fn distance(&self, kind: ReductionKind) -> f64 {
+        if self.count == 0 {
+            return f64::INFINITY;
+        }
+        let mean = self.acc / f64::from(self.count);
+        match kind {
+            ReductionKind::Arithmetic => mean,
+            ReductionKind::Geometric => mean.exp() - 1.0,
+        }
+    }
+
+    /// Number of observations folded in.
+    #[must_use]
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_mean_is_plain_average() {
+        let mut s = PairSummary::first(ReductionKind::Arithmetic, 1.0);
+        s.observe(ReductionKind::Arithmetic, 1.0);
+        s.observe(ReductionKind::Arithmetic, 1498.0);
+        assert!((s.distance(ReductionKind::Arithmetic) - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geometric_mean_weighs_small_values_more() {
+        // The paper's motivating example (§3.1.2): distances 1, 1, 1498
+        // should look much closer than 500, 500, 500.
+        let k = ReductionKind::Geometric;
+        let mut close = PairSummary::first(k, 1.0);
+        close.observe(k, 1.0);
+        close.observe(k, 1498.0);
+        let mut far = PairSummary::first(k, 500.0);
+        far.observe(k, 500.0);
+        far.observe(k, 500.0);
+        assert!(
+            close.distance(k) < far.distance(k) / 10.0,
+            "geometric: {} vs {}",
+            close.distance(k),
+            far.distance(k)
+        );
+    }
+
+    #[test]
+    fn zero_distances_are_representable() {
+        let k = ReductionKind::Geometric;
+        let mut s = PairSummary::first(k, 0.0);
+        s.observe(k, 0.0);
+        assert!(s.distance(k).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_observation_round_trips() {
+        for k in [ReductionKind::Arithmetic, ReductionKind::Geometric] {
+            let s = PairSummary::first(k, 7.0);
+            assert!((s.distance(k) - 7.0).abs() < 1e-9, "{k:?}");
+        }
+    }
+
+    #[test]
+    fn negative_observations_clamp_to_zero() {
+        let k = ReductionKind::Geometric;
+        let s = PairSummary::first(k, -5.0);
+        assert!(s.distance(k).abs() < 1e-12);
+    }
+
+    #[test]
+    fn count_tracks_observations() {
+        let mut s = PairSummary::first(ReductionKind::Geometric, 1.0);
+        assert_eq!(s.count(), 1);
+        s.observe(ReductionKind::Geometric, 2.0);
+        assert_eq!(s.count(), 2);
+    }
+}

@@ -1,0 +1,464 @@
+//! The n-nearest-neighbor distance table (§3.1.3).
+//!
+//! Storing all N² pairwise distances is prohibitive, so SEER keeps only the
+//! `n = 20` closest neighbors of each file. When a closer candidate
+//! arrives and the row is full, replacement follows a strict priority:
+//! first a neighbor marked for deletion, then the neighbor with the largest
+//! current distance (ties broken randomly) if it is farther than the
+//! candidate, and finally an aging rule that lets very old, inactive
+//! references give way to new ones.
+
+use crate::config::ReductionKind;
+use crate::reduction::PairSummary;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use seer_trace::FileId;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// One stored neighbor relation `from → to`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct NeighborEntry {
+    /// The related file.
+    pub to: FileId,
+    /// Streaming distance summary.
+    pub summary: PairSummary,
+    /// Table clock value of the most recent update (drives aging).
+    pub last_update: u64,
+}
+
+/// The global semantic-distance table.
+#[derive(Debug)]
+pub struct NeighborTable {
+    n: usize,
+    reduction: ReductionKind,
+    aging_refs: u64,
+    deletion_delay: u64,
+    rows: HashMap<FileId, Vec<NeighborEntry>>,
+    /// Files whose names were deleted, with the deletion tick at which the
+    /// mark was placed (§4.8's delayed removal).
+    marked: HashMap<FileId, u64>,
+    /// Files fully purged; entries pointing at them are garbage.
+    dead: HashSet<FileId>,
+    deletion_tick: u64,
+    clock: u64,
+    rng: SmallRng,
+}
+
+impl NeighborTable {
+    /// Creates a table keeping `n` neighbors per file.
+    #[must_use]
+    pub fn new(
+        n: usize,
+        reduction: ReductionKind,
+        aging_refs: u64,
+        deletion_delay: u64,
+        seed: u64,
+    ) -> NeighborTable {
+        NeighborTable {
+            n,
+            reduction,
+            aging_refs,
+            deletion_delay,
+            rows: HashMap::new(),
+            marked: HashMap::new(),
+            dead: HashSet::new(),
+            deletion_tick: 0,
+            clock: 0,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The reduction in use.
+    #[must_use]
+    pub fn reduction(&self) -> ReductionKind {
+        self.reduction
+    }
+
+    /// Advances the table clock by one reference; call once per processed
+    /// reference so aging is measured in references.
+    pub fn tick(&mut self) {
+        self.clock += 1;
+    }
+
+    /// Current table clock.
+    #[must_use]
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Folds one distance observation `from → to` into the table.
+    pub fn observe(&mut self, from: FileId, to: FileId, distance: f64) {
+        if from == to || self.dead.contains(&from) || self.dead.contains(&to) {
+            return;
+        }
+        // A fresh reference *to* a deletion-marked name means the name was
+        // reused; rescue it (§4.8). `from` files are mere window history
+        // and do not count as reuse.
+        self.marked.remove(&to);
+
+        let clock = self.clock;
+        let reduction = self.reduction;
+        let row = self.rows.entry(from).or_default();
+        if let Some(e) = row.iter_mut().find(|e| e.to == to) {
+            e.summary.observe(reduction, distance);
+            e.last_update = clock;
+            return;
+        }
+        let candidate = NeighborEntry {
+            to,
+            summary: PairSummary::first(reduction, distance),
+            last_update: clock,
+        };
+        if row.len() < self.n {
+            row.push(candidate);
+            return;
+        }
+        // Priority 1: replace a neighbor marked for deletion (or dead).
+        if let Some(idx) = row
+            .iter()
+            .position(|e| self.marked.contains_key(&e.to) || self.dead.contains(&e.to))
+        {
+            row[idx] = candidate;
+            return;
+        }
+        // Priority 2: replace the largest-distance neighbor (random tie
+        // break) if it is farther than the candidate.
+        let mut max_d = f64::NEG_INFINITY;
+        let mut max_idxs: Vec<usize> = Vec::new();
+        for (i, e) in row.iter().enumerate() {
+            let d = e.summary.distance(reduction);
+            if d > max_d + 1e-12 {
+                max_d = d;
+                max_idxs.clear();
+                max_idxs.push(i);
+            } else if (d - max_d).abs() <= 1e-12 {
+                max_idxs.push(i);
+            }
+        }
+        let new_d = candidate.summary.distance(reduction);
+        if max_d > new_d {
+            let pick = max_idxs[self.rng.gen_range(0..max_idxs.len())];
+            row[pick] = candidate;
+            return;
+        }
+        // Priority 3: aging — replace the stalest entry if it has been
+        // inactive long enough.
+        if let Some((idx, stalest)) = row
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| e.last_update)
+            .map(|(i, e)| (i, e.last_update))
+        {
+            if clock.saturating_sub(stalest) > self.aging_refs {
+                row[idx] = candidate;
+            }
+        }
+    }
+
+    /// Marks `file` as deleted; actual purging happens after
+    /// `deletion_delay` further deletions (§4.8). Returns files purged by
+    /// this deletion.
+    pub fn note_deletion(&mut self, file: FileId) -> Vec<FileId> {
+        self.deletion_tick += 1;
+        self.marked.insert(file, self.deletion_tick);
+        let due: Vec<FileId> = self
+            .marked
+            .iter()
+            .filter(|&(_, &t)| self.deletion_tick.saturating_sub(t) >= self.deletion_delay)
+            .map(|(&f, _)| f)
+            .collect();
+        for &f in &due {
+            self.marked.remove(&f);
+            self.dead.insert(f);
+            self.rows.remove(&f);
+        }
+        due
+    }
+
+    /// Whether `file` is currently marked for deletion.
+    #[must_use]
+    pub fn is_marked_deleted(&self, file: FileId) -> bool {
+        self.marked.contains_key(&file)
+    }
+
+    /// The stored neighbors of `file` (dead targets filtered out).
+    pub fn neighbors(&self, file: FileId) -> impl Iterator<Item = &NeighborEntry> {
+        self.rows
+            .get(&file)
+            .into_iter()
+            .flatten()
+            .filter(|e| !self.dead.contains(&e.to))
+    }
+
+    /// The reduced distance `from → to`, if stored.
+    #[must_use]
+    pub fn distance(&self, from: FileId, to: FileId) -> Option<f64> {
+        self.rows
+            .get(&from)?
+            .iter()
+            .find(|e| e.to == to)
+            .map(|e| e.summary.distance(self.reduction))
+    }
+
+    /// All files with at least one stored neighbor.
+    pub fn files(&self) -> impl Iterator<Item = FileId> + '_ {
+        self.rows.keys().copied()
+    }
+
+    /// Number of files with stored rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Total stored neighbor entries (memory diagnostics, §5.3).
+    #[must_use]
+    pub fn total_entries(&self) -> usize {
+        self.rows.values().map(Vec::len).sum()
+    }
+
+    /// Captures the table's persistent state (the SEER database of known
+    /// files that survives restarts, §5.3).
+    #[must_use]
+    pub fn snapshot(&self) -> TableSnapshot {
+        let mut rows: Vec<(FileId, Vec<NeighborEntry>)> = self
+            .rows
+            .iter()
+            .map(|(&f, v)| (f, v.clone()))
+            .collect();
+        rows.sort_by_key(|(f, _)| *f);
+        let mut marked: Vec<(FileId, u64)> = self.marked.iter().map(|(&f, &t)| (f, t)).collect();
+        marked.sort_by_key(|(f, _)| *f);
+        let mut dead: Vec<FileId> = self.dead.iter().copied().collect();
+        dead.sort_unstable();
+        TableSnapshot {
+            n: self.n,
+            reduction: self.reduction,
+            aging_refs: self.aging_refs,
+            deletion_delay: self.deletion_delay,
+            deletion_tick: self.deletion_tick,
+            clock: self.clock,
+            rows,
+            marked,
+            dead,
+        }
+    }
+
+    /// Restores a table from a snapshot. The random tie-break state is
+    /// reseeded from `seed`.
+    #[must_use]
+    pub fn from_snapshot(snap: TableSnapshot, seed: u64) -> NeighborTable {
+        NeighborTable {
+            n: snap.n,
+            reduction: snap.reduction,
+            aging_refs: snap.aging_refs,
+            deletion_delay: snap.deletion_delay,
+            rows: snap.rows.into_iter().collect(),
+            marked: snap.marked.into_iter().collect(),
+            dead: snap.dead.into_iter().collect(),
+            deletion_tick: snap.deletion_tick,
+            clock: snap.clock,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+/// Serializable state of a [`NeighborTable`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TableSnapshot {
+    /// Neighbors kept per file.
+    pub n: usize,
+    /// Reduction in use.
+    pub reduction: ReductionKind,
+    /// Aging threshold in references.
+    pub aging_refs: u64,
+    /// Deletion delay in deletions.
+    pub deletion_delay: u64,
+    /// Deletion counter.
+    pub deletion_tick: u64,
+    /// Reference clock.
+    pub clock: u64,
+    /// All rows, sorted by file id.
+    pub rows: Vec<(FileId, Vec<NeighborEntry>)>,
+    /// Deletion-marked files with their mark ticks.
+    pub marked: Vec<(FileId, u64)>,
+    /// Fully purged files.
+    pub dead: Vec<FileId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(n: usize) -> NeighborTable {
+        NeighborTable::new(n, ReductionKind::Geometric, 1000, 3, 42)
+    }
+
+    #[test]
+    fn observe_and_query() {
+        let mut t = table(5);
+        t.observe(FileId(1), FileId(2), 4.0);
+        assert!((t.distance(FileId(1), FileId(2)).expect("stored") - 4.0).abs() < 1e-9);
+        assert_eq!(t.distance(FileId(2), FileId(1)), None, "asymmetric");
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn repeated_observations_reduce() {
+        let mut t = table(5);
+        t.observe(FileId(1), FileId(2), 0.0);
+        t.observe(FileId(1), FileId(2), 0.0);
+        let d = t.distance(FileId(1), FileId(2)).expect("stored");
+        assert!(d.abs() < 1e-9);
+    }
+
+    #[test]
+    fn self_distance_ignored() {
+        let mut t = table(5);
+        t.observe(FileId(1), FileId(1), 0.0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn full_row_replaces_largest_when_closer() {
+        let mut t = table(2);
+        t.observe(FileId(0), FileId(1), 50.0);
+        t.observe(FileId(0), FileId(2), 80.0);
+        // Candidate closer than the current max (80): replaces it.
+        t.observe(FileId(0), FileId(3), 10.0);
+        assert!(t.distance(FileId(0), FileId(2)).is_none(), "largest evicted");
+        assert!(t.distance(FileId(0), FileId(1)).is_some());
+        assert!(t.distance(FileId(0), FileId(3)).is_some());
+    }
+
+    #[test]
+    fn full_row_keeps_existing_when_candidate_is_farther() {
+        let mut t = table(2);
+        t.observe(FileId(0), FileId(1), 5.0);
+        t.observe(FileId(0), FileId(2), 8.0);
+        t.observe(FileId(0), FileId(3), 100.0);
+        assert!(t.distance(FileId(0), FileId(3)).is_none(), "far candidate dropped");
+        assert_eq!(t.neighbors(FileId(0)).count(), 2);
+    }
+
+    #[test]
+    fn deletion_marked_neighbor_is_first_to_go() {
+        let mut t = table(2);
+        t.observe(FileId(0), FileId(1), 5.0);
+        t.observe(FileId(0), FileId(2), 1.0);
+        t.note_deletion(FileId(2));
+        // Candidate is farther than everything, but the deletion-marked
+        // neighbor still loses its slot (priority 1).
+        t.observe(FileId(0), FileId(3), 90.0);
+        assert!(t.distance(FileId(0), FileId(2)).is_none());
+        assert!(t.distance(FileId(0), FileId(3)).is_some());
+    }
+
+    #[test]
+    fn aging_replaces_stale_entries() {
+        let mut t = NeighborTable::new(2, ReductionKind::Geometric, 10, 3, 42);
+        t.observe(FileId(0), FileId(1), 1.0);
+        t.observe(FileId(0), FileId(2), 2.0);
+        for _ in 0..50 {
+            t.tick();
+        }
+        // Candidate is farther than both, but both entries are stale.
+        t.observe(FileId(0), FileId(3), 99.0);
+        assert!(t.distance(FileId(0), FileId(3)).is_some(), "aged entry replaced");
+        assert_eq!(t.neighbors(FileId(0)).count(), 2);
+    }
+
+    #[test]
+    fn recently_updated_entries_do_not_age_out() {
+        let mut t = NeighborTable::new(2, ReductionKind::Geometric, 1_000, 3, 42);
+        t.observe(FileId(0), FileId(1), 1.0);
+        t.observe(FileId(0), FileId(2), 2.0);
+        t.tick();
+        t.observe(FileId(0), FileId(3), 99.0);
+        assert!(t.distance(FileId(0), FileId(3)).is_none());
+    }
+
+    #[test]
+    fn delayed_deletion_purges_after_delay() {
+        let mut t = table(5);
+        t.observe(FileId(1), FileId(2), 1.0);
+        t.observe(FileId(2), FileId(1), 1.0);
+        let purged = t.note_deletion(FileId(1));
+        assert!(purged.is_empty(), "not purged immediately");
+        assert!(t.is_marked_deleted(FileId(1)));
+        assert!(t.distance(FileId(1), FileId(2)).is_some(), "row survives the delay");
+        // Two more deletions push the tick past the delay of 3.
+        t.note_deletion(FileId(10));
+        t.note_deletion(FileId(11));
+        let purged = t.note_deletion(FileId(12));
+        assert!(purged.contains(&FileId(1)));
+        assert!(t.distance(FileId(1), FileId(2)).is_none(), "row purged");
+        // Entries *to* the dead file are filtered from queries.
+        assert!(t.neighbors(FileId(2)).all(|e| e.to != FileId(1)));
+    }
+
+    #[test]
+    fn reference_rescues_marked_file() {
+        let mut t = table(5);
+        t.observe(FileId(1), FileId(2), 1.0);
+        t.note_deletion(FileId(1));
+        assert!(t.is_marked_deleted(FileId(1)));
+        // The name is reused (referenced anew) before the delay expires
+        // (§4.8).
+        t.observe(FileId(3), FileId(1), 2.0);
+        assert!(!t.is_marked_deleted(FileId(1)));
+        t.note_deletion(FileId(20));
+        t.note_deletion(FileId(21));
+        t.note_deletion(FileId(22));
+        assert!(t.distance(FileId(1), FileId(2)).is_some(), "rescued row survives");
+    }
+
+    #[test]
+    fn observations_to_dead_files_are_dropped() {
+        let mut t = NeighborTable::new(5, ReductionKind::Geometric, 1000, 1, 42);
+        t.observe(FileId(1), FileId(2), 1.0);
+        t.note_deletion(FileId(1)); // Delay 1: purged on the next deletion.
+        t.note_deletion(FileId(9));
+        t.observe(FileId(1), FileId(3), 1.0);
+        assert!(t.distance(FileId(1), FileId(3)).is_none());
+        t.observe(FileId(4), FileId(1), 1.0);
+        assert!(t.neighbors(FileId(4)).next().is_none());
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let mut t = table(5);
+        t.observe(FileId(1), FileId(2), 4.0);
+        t.observe(FileId(1), FileId(3), 1.0);
+        t.tick();
+        t.note_deletion(FileId(9));
+        let snap = t.snapshot();
+        let json = serde_json::to_string(&snap).expect("serialize");
+        let back: TableSnapshot = serde_json::from_str(&json).expect("deserialize");
+        let restored = NeighborTable::from_snapshot(back, 7);
+        assert_eq!(restored.clock(), t.clock());
+        let (a, b) = (
+            restored.distance(FileId(1), FileId(2)).expect("stored"),
+            t.distance(FileId(1), FileId(2)).expect("stored"),
+        );
+        assert!((a - b).abs() < 1e-9, "JSON float round-trip within tolerance");
+        assert!(restored.is_marked_deleted(FileId(9)));
+        assert_eq!(restored.total_entries(), t.total_entries());
+    }
+
+    #[test]
+    fn total_entries_counts_all_rows() {
+        let mut t = table(5);
+        t.observe(FileId(1), FileId(2), 1.0);
+        t.observe(FileId(1), FileId(3), 1.0);
+        t.observe(FileId(2), FileId(3), 1.0);
+        assert_eq!(t.total_entries(), 3);
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests: the §3.1.3 approximation heuristic against the
+//! exact O(N²) reference implementation, plus structural invariants.
+
+use proptest::prelude::*;
+use seer_distance::exact::{exact_distances, ExactEvent};
+use seer_distance::{DistanceConfig, DistanceEngine, DistanceKind, ReductionKind};
+use seer_observer::{RefKind, Reference, ReferenceSink};
+use seer_trace::{FileId, PathTable, Pid, Seq, Timestamp};
+
+/// A tiny single-process reference script: opens and closes over a small
+/// file universe.
+fn script_strategy(files: u32, len: usize) -> impl Strategy<Value = Vec<ExactEvent>> {
+    prop::collection::vec(0..files, 1..len).prop_map(|ops| {
+        // Alternate opens and closes per file so lifetimes are well formed
+        // (no nested double-opens; those are exercised in unit tests).
+        let mut open = vec![false; 64];
+        let mut out = Vec::new();
+        let mut t = 0u64;
+        for f in ops {
+            let fid = FileId(f);
+            if !open[f as usize] {
+                t += 1;
+                out.push(ExactEvent::Open(fid, Timestamp::from_secs(t)));
+                open[f as usize] = true;
+            } else {
+                out.push(ExactEvent::Close(fid));
+                open[f as usize] = false;
+            }
+        }
+        out
+    })
+}
+
+fn run_engine(config: DistanceConfig, events: &[ExactEvent]) -> DistanceEngine {
+    let paths = PathTable::new();
+    let mut engine = DistanceEngine::new(config);
+    let mut seq = 0u64;
+    for ev in events {
+        let (file, kind, time) = match *ev {
+            ExactEvent::Open(f, t) => (f, RefKind::Open { read: true, write: false, exec: false }, t),
+            ExactEvent::Close(f) => (f, RefKind::Close, Timestamp::ZERO),
+        };
+        let r = Reference { seq: Seq(seq), time, pid: Pid(1), file, kind };
+        engine.on_reference(&r, &paths);
+        seq += 1;
+    }
+    engine
+}
+
+proptest! {
+    /// With an unbounded-size table (n larger than the universe) and a
+    /// window larger than the stream, the heuristic must agree exactly
+    /// with the naive implementation.
+    #[test]
+    fn heuristic_matches_exact_when_unconstrained(
+        events in script_strategy(8, 60),
+        kind in prop::sample::select(vec![
+            DistanceKind::Lifetime,
+            DistanceKind::Sequence,
+            DistanceKind::Temporal,
+        ]),
+    ) {
+        let config = DistanceConfig {
+            kind,
+            n_neighbors: 64,
+            window_m: 1000,
+            ..DistanceConfig::default()
+        };
+        let engine = run_engine(config, &events);
+        let exact = exact_distances(kind, ReductionKind::Geometric, &events);
+        for (&(from, to), &d_exact) in &exact {
+            let d_engine = engine.table().distance(from, to);
+            prop_assert!(
+                d_engine.is_some(),
+                "pair {from:?}->{to:?} missing from engine table"
+            );
+            let d_engine = d_engine.expect("checked");
+            prop_assert!(
+                (d_engine - d_exact).abs() < 1e-6,
+                "pair {from:?}->{to:?}: engine {d_engine} vs exact {d_exact}"
+            );
+        }
+    }
+
+    /// Neighbor rows never exceed n, and never contain self-references or
+    /// duplicate targets.
+    #[test]
+    fn table_structural_invariants(
+        events in script_strategy(12, 120),
+        n in 1usize..6,
+    ) {
+        let config = DistanceConfig {
+            n_neighbors: n,
+            window_m: 10,
+            ..DistanceConfig::default()
+        };
+        let engine = run_engine(config, &events);
+        let table = engine.table();
+        for f in table.files() {
+            let row: Vec<_> = table.neighbors(f).collect();
+            prop_assert!(row.len() <= n, "row of {f:?} has {} > n = {n}", row.len());
+            prop_assert!(row.iter().all(|e| e.to != f), "self-reference in row of {f:?}");
+            let mut targets: Vec<_> = row.iter().map(|e| e.to).collect();
+            targets.sort_unstable();
+            targets.dedup();
+            prop_assert_eq!(targets.len(), row.len(), "duplicate targets in row");
+        }
+    }
+
+    /// All stored distances are finite, non-negative, and — for the
+    /// sequence/lifetime kinds — bounded by the window cap M.
+    #[test]
+    fn distances_are_bounded(
+        events in script_strategy(10, 100),
+        kind in prop::sample::select(vec![DistanceKind::Lifetime, DistanceKind::Sequence]),
+    ) {
+        let m = 20u64;
+        let config = DistanceConfig { kind, window_m: m, ..DistanceConfig::default() };
+        let engine = run_engine(config, &events);
+        let table = engine.table();
+        for f in table.files() {
+            for e in table.neighbors(f) {
+                let d = e.summary.distance(ReductionKind::Geometric);
+                prop_assert!(d.is_finite() && d >= 0.0, "bad distance {d}");
+                prop_assert!(d <= m as f64 + 1e-9, "distance {d} exceeds M = {m}");
+            }
+        }
+    }
+
+    /// The lifetime distance from a file that stays open is always zero.
+    #[test]
+    fn open_file_distance_is_zero(extra in 1u32..30) {
+        let mut events = vec![ExactEvent::Open(FileId(0), Timestamp::ZERO)];
+        for i in 1..=extra {
+            events.push(ExactEvent::Open(FileId(i), Timestamp::from_secs(u64::from(i))));
+            events.push(ExactEvent::Close(FileId(i)));
+        }
+        let config = DistanceConfig { n_neighbors: 64, ..DistanceConfig::default() };
+        let engine = run_engine(config, &events);
+        for i in 1..=extra {
+            let d = engine
+                .table()
+                .distance(FileId(0), FileId(i))
+                .expect("pair must exist");
+            prop_assert!(d.abs() < 1e-9, "0→{i} should be 0, got {d}");
+        }
+    }
+}

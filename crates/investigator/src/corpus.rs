@@ -1,0 +1,65 @@
+//! The source corpus investigators read from.
+
+use std::collections::BTreeMap;
+
+/// Absolute path → file content, standing in for the traced machine's disk.
+///
+/// Only files an investigator might care about (sources, makefiles,
+/// documents) need content; everything else can stay absent.
+#[derive(Debug, Default, Clone)]
+pub struct SourceCorpus {
+    files: BTreeMap<String, String>,
+}
+
+impl SourceCorpus {
+    /// Creates an empty corpus.
+    #[must_use]
+    pub fn new() -> SourceCorpus {
+        SourceCorpus::default()
+    }
+
+    /// Inserts or replaces a file's content.
+    pub fn insert(&mut self, path: &str, content: &str) {
+        self.files.insert(path.to_owned(), content.to_owned());
+    }
+
+    /// The content of `path`, if present.
+    #[must_use]
+    pub fn get(&self, path: &str) -> Option<&str> {
+        self.files.get(path).map(String::as_str)
+    }
+
+    /// Iterates over `(path, content)` in path order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.files.iter().map(|(p, c)| (p.as_str(), c.as_str()))
+    }
+
+    /// Number of files with content.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Whether the corpus is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_iterate() {
+        let mut c = SourceCorpus::new();
+        c.insert("/p/a.c", "#include \"a.h\"\n");
+        c.insert("/p/Makefile", "a: a.c\n");
+        assert_eq!(c.len(), 2);
+        assert!(c.get("/p/a.c").expect("present").contains("a.h"));
+        assert_eq!(c.get("/missing"), None);
+        let paths: Vec<_> = c.iter().map(|(p, _)| p).collect();
+        assert_eq!(paths, vec!["/p/Makefile", "/p/a.c"], "ordered iteration");
+    }
+}

@@ -1,0 +1,83 @@
+//! The hot-link investigator — the OLE analog of §3.2.
+//!
+//! WINDOWS OLE lets documents embed links to other objects; those links are
+//! "valuable and low-cost information about fundamental relationships". On
+//! our simulated corpus, documents declare links with `link: <path>` lines.
+
+use crate::corpus::SourceCorpus;
+use crate::Investigator;
+use seer_cluster::ExternalRelation;
+use seer_trace::path::{dirname, extension, normalize};
+use seer_trace::PathTable;
+
+/// Discovers explicit `link:` declarations in document files.
+#[derive(Debug, Clone)]
+pub struct HotLinkInvestigator {
+    /// Strength assigned per link.
+    pub strength: f64,
+}
+
+impl Default for HotLinkInvestigator {
+    fn default() -> HotLinkInvestigator {
+        HotLinkInvestigator { strength: 8.0 }
+    }
+}
+
+impl HotLinkInvestigator {
+    fn is_document(path: &str) -> bool {
+        matches!(extension(path), Some("doc" | "tex" | "txt" | "md" | "xls"))
+    }
+}
+
+impl Investigator for HotLinkInvestigator {
+    fn name(&self) -> &'static str {
+        "hot-link"
+    }
+
+    fn investigate(&self, corpus: &SourceCorpus, paths: &mut PathTable) -> Vec<ExternalRelation> {
+        let mut relations = Vec::new();
+        for (path, content) in corpus.iter() {
+            if !Self::is_document(path) {
+                continue;
+            }
+            let dir = dirname(path);
+            for line in content.lines() {
+                let Some(target) = line.trim_start().strip_prefix("link:") else { continue };
+                let target = target.trim();
+                if target.is_empty() {
+                    continue;
+                }
+                let doc = paths.intern(path);
+                let linked = paths.intern(&normalize(dir, target));
+                relations.push(ExternalRelation::new(vec![doc, linked], self.strength));
+            }
+        }
+        relations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discovers_links_in_documents() {
+        let mut corpus = SourceCorpus::new();
+        corpus.insert("/docs/report.doc", "Quarterly report\nlink: figures/q3.xls\n");
+        corpus.insert("/docs/code.c", "link: not-a-document\n");
+        let mut paths = PathTable::new();
+        let rels = HotLinkInvestigator::default().investigate(&corpus, &mut paths);
+        assert_eq!(rels.len(), 1);
+        assert_eq!(paths.resolve(rels[0].files[1]), Some("/docs/figures/q3.xls"));
+    }
+
+    #[test]
+    fn empty_link_lines_are_ignored() {
+        let mut corpus = SourceCorpus::new();
+        corpus.insert("/d/a.txt", "link:\nlink:   \n");
+        let mut paths = PathTable::new();
+        assert!(HotLinkInvestigator::default()
+            .investigate(&corpus, &mut paths)
+            .is_empty());
+    }
+}

@@ -1,0 +1,121 @@
+//! The `#include` investigator — the paper's worked example of the
+//! mechanism ("a simple script that can read C source files to discover
+//! #include relationships", §3.2).
+
+use crate::corpus::SourceCorpus;
+use crate::Investigator;
+use seer_cluster::ExternalRelation;
+use seer_trace::path::{dirname, extension, normalize};
+use seer_trace::PathTable;
+
+/// Scans C/C++ sources for `#include` directives and emits one relation
+/// per (source, header) pair.
+#[derive(Debug, Clone)]
+pub struct IncludeScanner {
+    /// Directories searched for `<...>`-style includes.
+    pub include_dirs: Vec<String>,
+    /// Strength assigned to each discovered relationship.
+    pub strength: f64,
+}
+
+impl Default for IncludeScanner {
+    fn default() -> IncludeScanner {
+        IncludeScanner { include_dirs: vec!["/usr/include".into()], strength: 6.0 }
+    }
+}
+
+impl IncludeScanner {
+    /// Extracts the target of one `#include` line, if any.
+    fn parse_line(line: &str) -> Option<(&str, bool)> {
+        let rest = line.trim_start().strip_prefix('#')?.trim_start();
+        let rest = rest.strip_prefix("include")?.trim_start();
+        if let Some(inner) = rest.strip_prefix('"') {
+            let end = inner.find('"')?;
+            Some((&inner[..end], false))
+        } else if let Some(inner) = rest.strip_prefix('<') {
+            let end = inner.find('>')?;
+            Some((&inner[..end], true))
+        } else {
+            None
+        }
+    }
+
+    fn is_c_source(path: &str) -> bool {
+        matches!(extension(path), Some("c" | "h" | "cc" | "cpp" | "hpp" | "cxx"))
+    }
+}
+
+impl Investigator for IncludeScanner {
+    fn name(&self) -> &'static str {
+        "include-scanner"
+    }
+
+    fn investigate(&self, corpus: &SourceCorpus, paths: &mut PathTable) -> Vec<ExternalRelation> {
+        let mut relations = Vec::new();
+        for (path, content) in corpus.iter() {
+            if !Self::is_c_source(path) {
+                continue;
+            }
+            let dir = dirname(path);
+            for line in content.lines() {
+                let Some((target, system)) = Self::parse_line(line) else { continue };
+                let resolved = if system {
+                    self.include_dirs
+                        .first()
+                        .map(|d| normalize(d, target))
+                        .unwrap_or_else(|| normalize("/usr/include", target))
+                } else {
+                    normalize(dir, target)
+                };
+                let src = paths.intern(path);
+                let hdr = paths.intern(&resolved);
+                relations.push(ExternalRelation::new(vec![src, hdr], self.strength));
+            }
+        }
+        relations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_quoted_and_angle_includes() {
+        assert_eq!(IncludeScanner::parse_line("#include \"a.h\""), Some(("a.h", false)));
+        assert_eq!(IncludeScanner::parse_line("  #  include <stdio.h>"), Some(("stdio.h", true)));
+        assert_eq!(IncludeScanner::parse_line("int x = 3;"), None);
+        assert_eq!(IncludeScanner::parse_line("#define X"), None);
+        assert_eq!(IncludeScanner::parse_line("#include \"unterminated"), None);
+    }
+
+    #[test]
+    fn discovers_relative_and_system_includes() {
+        let mut corpus = SourceCorpus::new();
+        corpus.insert(
+            "/home/u/p/main.c",
+            "#include \"defs.h\"\n#include <stdio.h>\nint main(){}\n",
+        );
+        corpus.insert("/home/u/p/notes.txt", "#include \"ignored.h\"\n");
+        let mut paths = PathTable::new();
+        let scanner = IncludeScanner::default();
+        let rels = scanner.investigate(&corpus, &mut paths);
+        assert_eq!(rels.len(), 2, "two includes in the one C file");
+        let names: Vec<Vec<&str>> = rels
+            .iter()
+            .map(|r| r.files.iter().map(|&f| paths.resolve(f).expect("interned")).collect())
+            .collect();
+        assert!(names.contains(&vec!["/home/u/p/main.c", "/home/u/p/defs.h"]));
+        assert!(names.contains(&vec!["/home/u/p/main.c", "/usr/include/stdio.h"]));
+    }
+
+    #[test]
+    fn subdirectory_includes_resolve() {
+        let mut corpus = SourceCorpus::new();
+        corpus.insert("/p/src/a.c", "#include \"../include/a.h\"\n");
+        let mut paths = PathTable::new();
+        let rels = IncludeScanner::default().investigate(&corpus, &mut paths);
+        let hdr = paths.resolve(rels[0].files[1]).expect("interned");
+        assert_eq!(hdr, "/p/include/a.h");
+    }
+}

@@ -1,0 +1,152 @@
+//! The makefile investigator (§3.2): "a makefile investigator could
+//! potentially identify every file needed to build a particular program
+//! and create a cluster containing exactly these files."
+
+use crate::corpus::SourceCorpus;
+use crate::Investigator;
+use seer_cluster::ExternalRelation;
+use seer_trace::path::{basename, dirname, normalize};
+use seer_trace::PathTable;
+use std::collections::BTreeSet;
+
+/// Parses makefiles and emits one high-strength relation per makefile,
+/// grouping the makefile itself with every target and prerequisite.
+#[derive(Debug, Clone)]
+pub struct MakefileInvestigator {
+    /// Strength of the whole-build relation; set at or above the cluster
+    /// configuration's `force_strength` to force project formation.
+    pub strength: f64,
+}
+
+impl Default for MakefileInvestigator {
+    fn default() -> MakefileInvestigator {
+        MakefileInvestigator { strength: 100.0 }
+    }
+}
+
+impl MakefileInvestigator {
+    fn is_makefile(path: &str) -> bool {
+        matches!(basename(path), "Makefile" | "makefile" | "GNUmakefile")
+    }
+
+    /// Collects the file words of `target: prerequisites` rule lines.
+    fn rule_files(content: &str) -> BTreeSet<String> {
+        // First pass: names declared phony are not files.
+        let mut phony = BTreeSet::new();
+        for line in content.lines() {
+            if let Some(rest) = line.trim_start().strip_prefix(".PHONY:") {
+                phony.extend(rest.split_whitespace().map(str::to_owned));
+            }
+        }
+        let mut out = BTreeSet::new();
+        for line in content.lines() {
+            // Skip recipe lines (tab-indented), comments, special-target
+            // lines, and variable assignments.
+            if line.starts_with('\t')
+                || line.trim_start().starts_with('#')
+                || line.trim_start().starts_with('.')
+            {
+                continue;
+            }
+            let Some(colon) = line.find(':') else { continue };
+            if line[colon..].starts_with(":=") || line[..colon].contains('=') {
+                continue;
+            }
+            let (targets, deps) = line.split_at(colon);
+            for word in targets.split_whitespace() {
+                // Targets name build products unless declared phony.
+                if !word.contains('$') && !phony.contains(word) {
+                    out.insert(word.to_owned());
+                }
+            }
+            for word in deps[1..].split_whitespace() {
+                // Prerequisites must look like files.
+                if !word.contains('$') && (word.contains('.') || word.contains('/')) {
+                    out.insert(word.to_owned());
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Investigator for MakefileInvestigator {
+    fn name(&self) -> &'static str {
+        "makefile"
+    }
+
+    fn investigate(&self, corpus: &SourceCorpus, paths: &mut PathTable) -> Vec<ExternalRelation> {
+        let mut relations = Vec::new();
+        for (path, content) in corpus.iter() {
+            if !Self::is_makefile(path) {
+                continue;
+            }
+            let dir = dirname(path);
+            let mut files: Vec<_> = vec![paths.intern(path)];
+            for word in Self::rule_files(content) {
+                files.push(paths.intern(&normalize(dir, &word)));
+            }
+            if files.len() > 1 {
+                relations.push(ExternalRelation::new(files, self.strength));
+            }
+        }
+        relations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MAKEFILE: &str = "\
+# build rules
+CC := gcc
+prog: main.o util.o
+\tgcc -o prog main.o util.o
+main.o: main.c defs.h
+\tgcc -c main.c
+util.o: util.c defs.h
+\tgcc -c util.c
+.PHONY: clean
+clean:
+\trm -f *.o
+";
+
+    #[test]
+    fn extracts_rule_files() {
+        let files = MakefileInvestigator::rule_files(MAKEFILE);
+        for f in ["main.o", "util.o", "main.c", "util.c", "defs.h"] {
+            assert!(files.contains(f), "missing {f}");
+        }
+        assert!(!files.iter().any(|f| f.contains("gcc")), "recipes skipped");
+        assert!(!files.contains("clean"), "extensionless phony target skipped");
+    }
+
+    #[test]
+    fn groups_the_whole_build() {
+        let mut corpus = SourceCorpus::new();
+        corpus.insert("/p/Makefile", MAKEFILE);
+        let mut paths = PathTable::new();
+        let rels = MakefileInvestigator::default().investigate(&corpus, &mut paths);
+        assert_eq!(rels.len(), 1);
+        let names: BTreeSet<&str> = rels[0]
+            .files
+            .iter()
+            .map(|&f| paths.resolve(f).expect("interned"))
+            .collect();
+        assert!(names.contains("/p/Makefile"));
+        assert!(names.contains("/p/main.c"));
+        assert!(names.contains("/p/defs.h"));
+        assert!(names.contains("/p/prog"), "the built program belongs to the project");
+    }
+
+    #[test]
+    fn non_makefiles_are_ignored() {
+        let mut corpus = SourceCorpus::new();
+        corpus.insert("/p/main.c", "prog: main.o\n");
+        let mut paths = PathTable::new();
+        assert!(MakefileInvestigator::default()
+            .investigate(&corpus, &mut paths)
+            .is_empty());
+    }
+}

@@ -1,0 +1,144 @@
+//! Frequently-referenced file detection (§4.2).
+//!
+//! Shared libraries appear in every program's reference sequence and would
+//! fuse unrelated projects into one cluster. SEER's defense: any file
+//! accounting for more than a configured fraction (1 %) of all accesses is
+//! designated "frequently-referenced", removed from semantic-distance
+//! calculation, and unconditionally hoarded.
+
+use seer_trace::FileId;
+use std::collections::HashMap;
+
+/// Tracks per-file access counts and flags frequently-referenced files.
+#[derive(Debug, Default, Clone)]
+pub struct FrequencyTracker {
+    counts: HashMap<FileId, u64>,
+    total: u64,
+    fraction: f64,
+    min_total: u64,
+    min_accesses: u64,
+}
+
+impl FrequencyTracker {
+    /// Creates a tracker flagging files above `fraction` of all accesses,
+    /// once at least `min_total` accesses have been seen overall and
+    /// `min_accesses` for the file itself (warm-up guards).
+    #[must_use]
+    pub fn new(fraction: f64, min_total: u64, min_accesses: u64) -> FrequencyTracker {
+        FrequencyTracker { counts: HashMap::new(), total: 0, fraction, min_total, min_accesses }
+    }
+
+    /// Records one access and reports whether the file is now (already)
+    /// frequently-referenced.
+    pub fn record(&mut self, file: FileId) -> bool {
+        self.total += 1;
+        let c = self.counts.entry(file).or_insert(0);
+        *c += 1;
+        let c = *c;
+        self.is_frequent_counts(c)
+    }
+
+    /// Whether `file` is currently flagged as frequently-referenced.
+    #[must_use]
+    pub fn is_frequent(&self, file: FileId) -> bool {
+        let c = self.counts.get(&file).copied().unwrap_or(0);
+        self.is_frequent_counts(c)
+    }
+
+    /// All currently frequent files (unordered).
+    #[must_use]
+    pub fn frequent_files(&self) -> Vec<FileId> {
+        self.counts
+            .iter()
+            .filter(|&(_, &c)| self.is_frequent_counts(c))
+            .map(|(&f, _)| f)
+            .collect()
+    }
+
+    /// Total accesses recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Accesses recorded for one file.
+    #[must_use]
+    pub fn count(&self, file: FileId) -> u64 {
+        self.counts.get(&file).copied().unwrap_or(0)
+    }
+
+    /// Exports `(file, count)` pairs plus the total, for persistence.
+    #[must_use]
+    pub fn export(&self) -> (Vec<(FileId, u64)>, u64) {
+        let mut v: Vec<(FileId, u64)> = self.counts.iter().map(|(&f, &c)| (f, c)).collect();
+        v.sort_by_key(|(f, _)| *f);
+        (v, self.total)
+    }
+
+    /// Restores counts exported by [`FrequencyTracker::export`] into a
+    /// freshly configured tracker.
+    pub fn restore(&mut self, counts: Vec<(FileId, u64)>, total: u64) {
+        self.counts = counts.into_iter().collect();
+        self.total = total;
+    }
+
+    fn is_frequent_counts(&self, file_count: u64) -> bool {
+        self.total >= self.min_total
+            && file_count >= self.min_accesses
+            && (file_count as f64) > self.fraction * self.total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_library_becomes_frequent() {
+        // 2% of accesses go to the library, above the 1% threshold.
+        let mut t = FrequencyTracker::new(0.01, 100, 5);
+        let lib = FileId(0);
+        for i in 0..1000u32 {
+            if i % 50 == 0 {
+                t.record(lib);
+            } else {
+                t.record(FileId(1 + i));
+            }
+        }
+        assert!(t.is_frequent(lib));
+        assert_eq!(t.frequent_files(), vec![lib]);
+    }
+
+    #[test]
+    fn rare_file_is_not_frequent() {
+        let mut t = FrequencyTracker::new(0.01, 100, 5);
+        for i in 0..1000u32 {
+            t.record(FileId(i % 500));
+        }
+        // Every file has 2 accesses = 0.2% of total.
+        assert!(!t.is_frequent(FileId(3)));
+        assert!(t.frequent_files().is_empty());
+    }
+
+    #[test]
+    fn warmup_guards_hold_back_early_flags() {
+        let mut t = FrequencyTracker::new(0.01, 100, 5);
+        let f = FileId(1);
+        // 4 accesses out of 4 total: fraction 100% but below both minima.
+        for _ in 0..4 {
+            assert!(!t.record(f));
+        }
+        assert!(!t.is_frequent(f));
+    }
+
+    #[test]
+    fn counts_are_tracked() {
+        let mut t = FrequencyTracker::new(0.01, 10, 2);
+        t.record(FileId(1));
+        t.record(FileId(1));
+        t.record(FileId(2));
+        assert_eq!(t.count(FileId(1)), 2);
+        assert_eq!(t.count(FileId(9)), 0);
+        assert_eq!(t.total(), 3);
+    }
+}

@@ -1,0 +1,39 @@
+//! The SEER observer: from raw syscall events to clean file references.
+//!
+//! The observer is the first of SEER's two major components (§2): it
+//! "watches the user's behavior and file accesses, classifying each access
+//! according to type, converting pathnames to absolute format, and feeding
+//! the results to a correlator". Most of the engineering in the paper's §4
+//! ("Real-World Intrusions") lives here:
+//!
+//! * per-process working directories, descriptor tables, and reference
+//!   streams, inherited across `fork` and merged at `exit` (§4.7);
+//! * meaningless-process detection — the potential-access-ratio heuristic
+//!   with per-program history, plus the three rejected strategies for
+//!   ablation (§4.1);
+//! * `getcwd`-pattern suppression (§4.1);
+//! * frequently-referenced file detection, the shared-library defense
+//!   (§4.2);
+//! * critical-file and dot-file exclusion (§4.3), temporary directories
+//!   (§4.5), non-file objects (§4.6), non-open reference classification
+//!   including stat/open collapsing (§4.8), and superuser exclusion
+//!   (§4.10).
+//!
+//! Output is a stream of [`Reference`]s delivered to a [`ReferenceSink`]
+//! (the correlator in a full SEER engine).
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod frequency;
+pub mod observer;
+pub mod process;
+pub mod program_history;
+pub mod reference;
+pub mod stats;
+
+pub use config::{MeaninglessStrategy, ObserverConfig};
+pub use frequency::FrequencyTracker;
+pub use observer::{Observer, ObserverSnapshot};
+pub use reference::{RefKind, Reference, ReferenceSink};
+pub use stats::ObserverStats;

@@ -1,0 +1,153 @@
+//! Per-process observation state.
+
+use seer_trace::{Fd, FileId, Pid};
+use std::collections::HashMap;
+
+/// What a process descriptor refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FdTarget {
+    /// An open regular file.
+    File(FileId),
+    /// An open directory (drives the §4.1 heuristics, not distance).
+    Dir(FileId),
+}
+
+/// Observation state for one live process.
+///
+/// Tracks everything the §4 heuristics need: working directory, descriptor
+/// table, program image, potential-vs-actual access counters (§4.1), the
+/// `getcwd` walk detector, and the pending-stat buffer used to collapse
+/// stat-then-open into a single reference (§4.8).
+#[derive(Debug, Clone)]
+pub struct ProcessState {
+    /// Process id.
+    pub pid: Pid,
+    /// Parent process, if created by an observed fork.
+    pub parent: Option<Pid>,
+    /// Current working directory (absolute).
+    pub cwd: String,
+    /// Open descriptors.
+    pub fds: HashMap<Fd, FdTarget>,
+    /// Program image currently executing, if an exec was observed.
+    pub program: Option<FileId>,
+    /// Basename of the program image.
+    pub program_name: Option<String>,
+    /// Files the process has learned about by reading directories (§4.1).
+    pub learned: u64,
+    /// Files the process has actually touched (§4.1).
+    pub touched: u64,
+    /// Whether the process has been judged meaningless; sticky for the
+    /// process lifetime (§4.1).
+    pub meaningless: bool,
+    /// Whether the process ever opened a directory (strategy 2 state).
+    pub ever_opened_dir: bool,
+    /// Directory currently being walked by a detected `getcwd` (§4.1);
+    /// holds the directory path whose open started the walk.
+    pub getcwd_walk: Option<String>,
+    /// A stat awaiting the next same-process event, so stat-then-open can
+    /// collapse into one reference (§4.8).
+    pub pending_stat: Option<PendingStat>,
+}
+
+/// A buffered attribute examination (§4.8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingStat {
+    /// The examined file.
+    pub file: FileId,
+    /// Sequence number of the stat event.
+    pub seq: seer_trace::Seq,
+    /// Time of the stat event.
+    pub time: seer_trace::Timestamp,
+}
+
+impl ProcessState {
+    /// Creates state for a fresh process with the given working directory.
+    #[must_use]
+    pub fn new(pid: Pid, cwd: String) -> ProcessState {
+        ProcessState {
+            pid,
+            parent: None,
+            cwd,
+            fds: HashMap::new(),
+            program: None,
+            program_name: None,
+            learned: 0,
+            touched: 0,
+            meaningless: false,
+            ever_opened_dir: false,
+            getcwd_walk: None,
+            pending_stat: None,
+        }
+    }
+
+    /// Creates a child process state inheriting from `parent` (§4.7: cwd
+    /// and descriptors are inherited; counters restart).
+    #[must_use]
+    pub fn fork_from(parent: &ProcessState, child: Pid) -> ProcessState {
+        ProcessState {
+            pid: child,
+            parent: Some(parent.pid),
+            cwd: parent.cwd.clone(),
+            fds: parent.fds.clone(),
+            program: parent.program,
+            program_name: parent.program_name.clone(),
+            learned: 0,
+            touched: 0,
+            meaningless: parent.meaningless,
+            ever_opened_dir: false,
+            getcwd_walk: None,
+            pending_stat: None,
+        }
+    }
+
+    /// Whether the process currently holds any directory open (strategy 3).
+    #[must_use]
+    pub fn holds_dir_open(&self) -> bool {
+        self.fds.values().any(|t| matches!(t, FdTarget::Dir(_)))
+    }
+
+    /// Current touched/learned ratio, or `None` before anything is learned.
+    #[must_use]
+    pub fn access_ratio(&self) -> Option<f64> {
+        (self.learned > 0).then(|| self.touched as f64 / self.learned as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seer_trace::Fd;
+
+    #[test]
+    fn fork_inherits_cwd_fds_and_meaninglessness() {
+        let mut p = ProcessState::new(Pid(1), "/home/u".into());
+        p.fds.insert(Fd(3), FdTarget::File(FileId(7)));
+        p.meaningless = true;
+        p.learned = 100;
+        let c = ProcessState::fork_from(&p, Pid(2));
+        assert_eq!(c.parent, Some(Pid(1)));
+        assert_eq!(c.cwd, "/home/u");
+        assert_eq!(c.fds.get(&Fd(3)), Some(&FdTarget::File(FileId(7))));
+        assert!(c.meaningless, "a meaningless parent implies a meaningless child");
+        assert_eq!(c.learned, 0, "counters restart in the child");
+    }
+
+    #[test]
+    fn holds_dir_open_tracks_fd_table() {
+        let mut p = ProcessState::new(Pid(1), "/".into());
+        assert!(!p.holds_dir_open());
+        p.fds.insert(Fd(3), FdTarget::Dir(FileId(1)));
+        assert!(p.holds_dir_open());
+        p.fds.remove(&Fd(3));
+        assert!(!p.holds_dir_open());
+    }
+
+    #[test]
+    fn access_ratio() {
+        let mut p = ProcessState::new(Pid(1), "/".into());
+        assert_eq!(p.access_ratio(), None);
+        p.learned = 10;
+        p.touched = 9;
+        assert_eq!(p.access_ratio(), Some(0.9));
+    }
+}

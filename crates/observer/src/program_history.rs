@@ -1,0 +1,165 @@
+//! Historical access-ratio tracking per program image (§4.1).
+//!
+//! "SEER tracks the historical behavior of a particular program and
+//! compares the relative values of the counters to a threshold, based on
+//! that history." `find` tends to touch every file it learns about across
+//! invocations; an editor does not.
+
+use seer_trace::FileId;
+use std::collections::HashMap;
+
+/// Exponentially weighted history of touched/learned ratios per program.
+#[derive(Debug, Default, Clone)]
+pub struct ProgramHistory {
+    ratios: HashMap<FileId, RatioRecord>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RatioRecord {
+    ema: f64,
+    runs: u32,
+}
+
+/// Smoothing factor: each completed run contributes 30 % to the estimate.
+const ALPHA: f64 = 0.3;
+
+impl ProgramHistory {
+    /// Creates an empty history.
+    #[must_use]
+    pub fn new() -> ProgramHistory {
+        ProgramHistory::default()
+    }
+
+    /// Records the final touched/learned ratio of one completed run of
+    /// `program`. Runs that learned nothing are not recorded.
+    pub fn record_run(&mut self, program: FileId, touched: u64, learned: u64) {
+        if learned == 0 {
+            return;
+        }
+        let ratio = (touched as f64 / learned as f64).min(1.0);
+        let rec = self
+            .ratios
+            .entry(program)
+            .or_insert(RatioRecord { ema: ratio, runs: 0 });
+        rec.ema = if rec.runs == 0 { ratio } else { ALPHA * ratio + (1.0 - ALPHA) * rec.ema };
+        rec.runs += 1;
+    }
+
+    /// The historical ratio estimate for `program`, if any run has been
+    /// recorded.
+    #[must_use]
+    pub fn historical_ratio(&self, program: FileId) -> Option<f64> {
+        self.ratios.get(&program).map(|r| r.ema)
+    }
+
+    /// Number of completed runs recorded for `program`.
+    #[must_use]
+    pub fn runs(&self, program: FileId) -> u32 {
+        self.ratios.get(&program).map_or(0, |r| r.runs)
+    }
+
+    /// Exports `(program, ema, runs)` triples for persistence.
+    #[must_use]
+    pub fn export(&self) -> Vec<(FileId, f64, u32)> {
+        let mut v: Vec<(FileId, f64, u32)> = self
+            .ratios
+            .iter()
+            .map(|(&p, r)| (p, r.ema, r.runs))
+            .collect();
+        v.sort_by_key(|(f, _, _)| *f);
+        v
+    }
+
+    /// Restores triples exported by [`ProgramHistory::export`].
+    pub fn restore(&mut self, triples: Vec<(FileId, f64, u32)>) {
+        self.ratios = triples
+            .into_iter()
+            .map(|(p, ema, runs)| (p, RatioRecord { ema, runs }))
+            .collect();
+    }
+
+    /// Blends the historical estimate with a live process's counters,
+    /// weighting history by its run count.
+    ///
+    /// Returns `None` when there is neither history nor live evidence.
+    #[must_use]
+    pub fn blended_ratio(
+        &self,
+        program: Option<FileId>,
+        touched: u64,
+        learned: u64,
+    ) -> Option<f64> {
+        let live = (learned > 0).then(|| (touched as f64 / learned as f64).min(1.0));
+        let hist = program.and_then(|p| self.ratios.get(&p).map(|r| (r.ema, r.runs)));
+        match (live, hist) {
+            (None, None) => None,
+            (Some(l), None) => Some(l),
+            (None, Some((h, _))) => Some(h),
+            (Some(l), Some((h, runs))) => {
+                // History counts as `runs` pseudo-observations, the live
+                // process as one.
+                let w = runs.min(10) as f64;
+                Some((l + w * h) / (1.0 + w))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn find_like_program_accumulates_high_ratio() {
+        let mut h = ProgramHistory::new();
+        let find = FileId(1);
+        for _ in 0..5 {
+            h.record_run(find, 1000, 1000);
+        }
+        assert!(h.historical_ratio(find).expect("recorded") > 0.99);
+        assert_eq!(h.runs(find), 5);
+    }
+
+    #[test]
+    fn editor_like_program_stays_low() {
+        let mut h = ProgramHistory::new();
+        let ed = FileId(2);
+        h.record_run(ed, 3, 200);
+        h.record_run(ed, 5, 300);
+        assert!(h.historical_ratio(ed).expect("recorded") < 0.1);
+    }
+
+    #[test]
+    fn zero_learned_runs_are_ignored() {
+        let mut h = ProgramHistory::new();
+        h.record_run(FileId(1), 10, 0);
+        assert_eq!(h.historical_ratio(FileId(1)), None);
+    }
+
+    #[test]
+    fn blended_ratio_prefers_strong_history() {
+        let mut h = ProgramHistory::new();
+        let find = FileId(1);
+        for _ in 0..10 {
+            h.record_run(find, 100, 100);
+        }
+        // A fresh run that has only read a directory but touched little yet
+        // still blends high because history dominates.
+        let r = h.blended_ratio(Some(find), 1, 50).expect("history");
+        assert!(r > 0.85, "blended {r}");
+    }
+
+    #[test]
+    fn blended_ratio_without_history_is_live() {
+        let h = ProgramHistory::new();
+        assert_eq!(h.blended_ratio(Some(FileId(9)), 8, 10), Some(0.8));
+        assert_eq!(h.blended_ratio(None, 0, 0), None);
+    }
+
+    #[test]
+    fn ratio_is_capped_at_one() {
+        let mut h = ProgramHistory::new();
+        h.record_run(FileId(1), 500, 100);
+        assert_eq!(h.historical_ratio(FileId(1)), Some(1.0));
+    }
+}

@@ -1,0 +1,124 @@
+//! The cleaned file-reference stream produced by the observer.
+
+use seer_trace::{FileId, PathTable, Pid, Seq, Timestamp};
+
+/// The classified kind of a file reference (§4.8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefKind {
+    /// A whole-file open; the file stays "live" until the matching
+    /// [`RefKind::Close`]. `exec` opens last for the process lifetime.
+    Open {
+        /// Whether the open can read existing content (false for a pure
+        /// truncating write, which needs no hoarded copy).
+        read: bool,
+        /// Whether the open can modify the file.
+        write: bool,
+        /// Whether this open is a process execution (§4.8).
+        exec: bool,
+    },
+    /// The close matching an earlier open of `file` by the same process.
+    Close,
+    /// A point-in-time reference, "an open followed immediately by a close"
+    /// (§3.1): stat, setattr, create, and each leg of a rename.
+    Point {
+        /// Whether the reference modified the file.
+        write: bool,
+    },
+    /// The file's name was deleted; table removal should be delayed (§4.8).
+    Delete,
+    /// Process creation: the child inherits the parent's reference history
+    /// (§4.7).
+    Fork {
+        /// The new child process.
+        child: Pid,
+    },
+    /// Process exit: the history merges into the parent (§4.7).
+    Exit {
+        /// Parent to merge into, when known.
+        parent: Option<Pid>,
+    },
+    /// An access failed because the file exists but is not hoarded — an
+    /// automatically detectable hoard miss (§4.4).
+    HoardMiss,
+    /// The process listed a directory (emitted only when
+    /// [`crate::ObserverConfig::emit_dir_events`] is set). Directory
+    /// references carry no semantic-distance information (§4.6), but a
+    /// listing lets a disconnected user *notice* missing files — the
+    /// "implied misses" of §4.4.
+    DirList,
+}
+
+/// One observed, filtered, classified file reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reference {
+    /// Sequence number of the originating trace event.
+    pub seq: Seq,
+    /// Wall-clock time of the reference.
+    pub time: Timestamp,
+    /// The process making the reference.
+    pub pid: Pid,
+    /// The file referenced; for [`RefKind::Fork`]/[`RefKind::Exit`] this is
+    /// the process image.
+    pub file: FileId,
+    /// The reference classification.
+    pub kind: RefKind,
+}
+
+/// Consumer of the observer's reference stream (the correlator, in a full
+/// engine).
+pub trait ReferenceSink {
+    /// Handles one reference; `paths` resolves [`FileId`]s.
+    fn on_reference(&mut self, r: &Reference, paths: &PathTable);
+}
+
+impl<S: ReferenceSink + ?Sized> ReferenceSink for &mut S {
+    fn on_reference(&mut self, r: &Reference, paths: &PathTable) {
+        (**self).on_reference(r, paths);
+    }
+}
+
+/// A sink that records every reference, for tests and offline analysis.
+#[derive(Debug, Default)]
+pub struct CollectRefs {
+    /// All references received, in order.
+    pub refs: Vec<Reference>,
+}
+
+impl ReferenceSink for CollectRefs {
+    fn on_reference(&mut self, r: &Reference, _paths: &PathTable) {
+        self.refs.push(*r);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collect_refs_records_in_order() {
+        let mut paths = PathTable::new();
+        let f = paths.intern("/a");
+        let mut c = CollectRefs::default();
+        for i in 0..3 {
+            let r = Reference {
+                seq: Seq(i),
+                time: Timestamp::from_secs(i),
+                pid: Pid(1),
+                file: f,
+                kind: RefKind::Point { write: false },
+            };
+            c.on_reference(&r, &paths);
+        }
+        assert_eq!(c.refs.len(), 3);
+        assert!(c.refs.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    #[test]
+    fn kinds_compare() {
+        assert_eq!(RefKind::Close, RefKind::Close);
+        assert_ne!(
+            RefKind::Open { read: true, write: false, exec: false },
+            RefKind::Open { read: true, write: true, exec: false }
+        );
+    }
+}

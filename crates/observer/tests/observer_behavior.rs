@@ -1,0 +1,397 @@
+//! Behavioral tests for the observer's §4 heuristics.
+
+use seer_observer::reference::CollectRefs;
+use seer_observer::{MeaninglessStrategy, Observer, ObserverConfig, RefKind};
+use seer_trace::{ErrorKind, OpenMode, Pid, TraceBuilder};
+
+fn run(config: ObserverConfig, build: impl FnOnce(&mut TraceBuilder)) -> Observer<CollectRefs> {
+    let mut b = TraceBuilder::new();
+    build(&mut b);
+    let trace = b.build();
+    let mut obs = Observer::new(config, CollectRefs::default());
+    trace.replay(&mut obs);
+    obs
+}
+
+fn paths_of(obs: &Observer<CollectRefs>) -> Vec<String> {
+    obs.sink()
+        .refs
+        .iter()
+        .filter_map(|r| obs.paths().resolve(r.file).map(str::to_owned))
+        .collect()
+}
+
+#[test]
+fn open_close_pairs_flow_through() {
+    let obs = run(ObserverConfig::default(), |b| {
+        let p = Pid(1);
+        let fd = b.open(p, "/home/user/src/main.c", OpenMode::Read);
+        b.close(p, fd);
+    });
+    let refs = &obs.sink().refs;
+    assert_eq!(refs.len(), 2);
+    assert!(matches!(refs[0].kind, RefKind::Open { read: true, write: false, exec: false }));
+    assert!(matches!(refs[1].kind, RefKind::Close));
+    assert_eq!(refs[0].file, refs[1].file);
+}
+
+#[test]
+fn relative_paths_resolve_against_cwd() {
+    let obs = run(ObserverConfig::default(), |b| {
+        let p = Pid(1);
+        b.chdir(p, "/home/user/proj");
+        b.touch(p, "main.c", OpenMode::Read);
+        b.touch(p, "../other/util.c", OpenMode::Read);
+    });
+    let paths = paths_of(&obs);
+    assert_eq!(paths, vec!["/home/user/proj/main.c", "/home/user/proj/main.c",
+        "/home/user/other/util.c", "/home/user/other/util.c"]);
+}
+
+#[test]
+fn temp_critical_device_and_dot_files_are_suppressed() {
+    let obs = run(ObserverConfig::default(), |b| {
+        let p = Pid(1);
+        b.touch(p, "/tmp/scratch123", OpenMode::Write);
+        b.touch(p, "/etc/passwd", OpenMode::Read);
+        b.touch(p, "/dev/tty1", OpenMode::ReadWrite);
+        b.touch(p, "/home/user/.login", OpenMode::Read);
+        b.touch(p, "/home/user/kept.c", OpenMode::Read);
+    });
+    let paths = paths_of(&obs);
+    assert_eq!(paths, vec!["/home/user/kept.c", "/home/user/kept.c"]);
+    let s = obs.stats();
+    assert_eq!(s.suppressed_temp, 2);
+    assert_eq!(s.suppressed_critical, 2);
+    assert_eq!(s.suppressed_device, 2);
+    assert_eq!(s.suppressed_dotfile, 2);
+    // Critical, device, and dot files are always hoarded (§4.3, §4.6).
+    let hoard: Vec<_> = obs
+        .always_hoard()
+        .iter()
+        .filter_map(|&f| obs.paths().resolve(f))
+        .collect();
+    assert!(hoard.contains(&"/etc/passwd"));
+    assert!(hoard.contains(&"/dev/tty1"));
+    assert!(hoard.contains(&"/home/user/.login"));
+    assert!(!hoard.contains(&"/tmp/scratch123"), "temp files are ignored, not hoarded");
+}
+
+#[test]
+fn superuser_activity_is_excluded() {
+    let obs = run(ObserverConfig::default(), |b| {
+        let p = Pid(1);
+        let path = b.path("/var/cron/tabs");
+        let fd = seer_trace::Fd(3);
+        b.emit_full(
+            p,
+            seer_trace::EventKind::Open { path, mode: OpenMode::Read, fd },
+            None,
+            true,
+        );
+        b.touch(Pid(2), "/home/user/a.c", OpenMode::Read);
+    });
+    assert_eq!(obs.stats().suppressed_superuser, 1);
+    assert_eq!(paths_of(&obs), vec!["/home/user/a.c", "/home/user/a.c"]);
+}
+
+#[test]
+fn failed_opens_of_nonexistent_files_are_ignored() {
+    let obs = run(ObserverConfig::default(), |b| {
+        b.open_err(Pid(1), "/home/user/.nonexistent-but-dot", OpenMode::Read, ErrorKind::NotFound);
+        b.open_err(Pid(1), "/home/user/gone.c", OpenMode::Read, ErrorKind::NotFound);
+    });
+    assert!(obs.sink().refs.is_empty());
+    assert_eq!(obs.stats().suppressed_failed, 2);
+}
+
+#[test]
+fn not_hoarded_failures_surface_as_hoard_misses() {
+    let obs = run(ObserverConfig::default(), |b| {
+        b.open_err(Pid(1), "/home/user/proj/paper.tex", OpenMode::Read, ErrorKind::NotHoarded);
+    });
+    let refs = &obs.sink().refs;
+    assert_eq!(refs.len(), 1);
+    assert!(matches!(refs[0].kind, RefKind::HoardMiss));
+    assert_eq!(obs.stats().hoard_misses, 1);
+}
+
+#[test]
+fn stat_followed_by_open_collapses() {
+    let obs = run(ObserverConfig::default(), |b| {
+        let p = Pid(1);
+        b.stat(p, "/home/user/a.c");
+        let fd = b.open(p, "/home/user/a.c", OpenMode::Read);
+        b.close(p, fd);
+    });
+    let refs = &obs.sink().refs;
+    assert_eq!(refs.len(), 2, "stat collapsed into the open: {refs:?}");
+    assert!(matches!(refs[0].kind, RefKind::Open { .. }));
+    assert_eq!(obs.stats().stats_collapsed, 1);
+}
+
+#[test]
+fn stat_not_followed_by_open_becomes_point_reference() {
+    let obs = run(ObserverConfig::default(), |b| {
+        let p = Pid(1);
+        b.stat(p, "/home/user/a.c");
+        b.touch(p, "/home/user/b.c", OpenMode::Read);
+    });
+    let refs = &obs.sink().refs;
+    assert!(matches!(refs[0].kind, RefKind::Point { write: false }));
+    assert_eq!(obs.paths().resolve(refs[0].file), Some("/home/user/a.c"));
+}
+
+#[test]
+fn stat_buffer_is_per_process() {
+    // A stat by pid 1 interleaved with pid 2's open of the same file must
+    // still collapse with pid 1's own following open (§4.7: per-process
+    // streams).
+    let obs = run(ObserverConfig::default(), |b| {
+        b.stat(Pid(1), "/home/user/a.c");
+        b.touch(Pid(2), "/home/user/other.c", OpenMode::Read);
+        let fd = b.open(Pid(1), "/home/user/a.c", OpenMode::Read);
+        b.close(Pid(1), fd);
+    });
+    assert_eq!(obs.stats().stats_collapsed, 1);
+}
+
+#[test]
+fn exec_and_exit_bracket_the_image_like_open_close() {
+    let obs = run(ObserverConfig::default(), |b| {
+        let p = Pid(5);
+        b.exec(p, "/usr/bin/cc");
+        b.touch(p, "/home/user/a.c", OpenMode::Read);
+        b.exit(p);
+    });
+    let refs = &obs.sink().refs;
+    assert!(matches!(refs[0].kind, RefKind::Open { exec: true, .. }));
+    assert_eq!(obs.paths().resolve(refs[0].file), Some("/usr/bin/cc"));
+    let close_of_image = refs
+        .iter()
+        .any(|r| matches!(r.kind, RefKind::Close) && r.file == refs[0].file);
+    assert!(close_of_image, "exit closes the image (§4.8)");
+    assert!(matches!(refs.last().expect("refs").kind, RefKind::Exit { .. }));
+}
+
+#[test]
+fn fork_emits_structural_reference_and_inherits_cwd() {
+    let obs = run(ObserverConfig::default(), |b| {
+        let parent = Pid(1);
+        let child = Pid(2);
+        b.chdir(parent, "/home/user/proj");
+        b.fork(parent, child);
+        b.touch(child, "notes.txt", OpenMode::Read);
+        b.exit(child);
+    });
+    let refs = &obs.sink().refs;
+    assert!(refs.iter().any(|r| matches!(r.kind, RefKind::Fork { child: Pid(2) })));
+    assert!(paths_of(&obs).contains(&"/home/user/proj/notes.txt".to_owned()));
+    let exit = refs
+        .iter()
+        .find(|r| matches!(r.kind, RefKind::Exit { .. }))
+        .expect("exit reference");
+    assert!(
+        matches!(exit.kind, RefKind::Exit { parent: Some(Pid(1)) }),
+        "exit names the parent for history merging (§4.7)"
+    );
+}
+
+#[test]
+fn find_like_process_becomes_meaningless() {
+    // A find-style sweep: read a big directory, then touch everything in it.
+    let obs = run(ObserverConfig::default(), |b| {
+        let p = Pid(9);
+        b.exec(p, "/usr/bin/find");
+        let fd = b.opendir(p, "/home/user/proj");
+        b.readdir(p, fd, 50);
+        b.close(p, fd);
+        for i in 0..50 {
+            b.stat(p, &format!("/home/user/proj/f{i}.c"));
+        }
+        b.exit(p);
+    });
+    assert_eq!(obs.stats().processes_marked_meaningless, 1);
+    // Most of the stats must have been dropped once the process was judged.
+    assert!(
+        obs.stats().suppressed_meaningless > 10,
+        "suppressed {} refs",
+        obs.stats().suppressed_meaningless
+    );
+}
+
+#[test]
+fn editor_like_process_stays_meaningful() {
+    // An editor reads a directory for completion but touches few files.
+    let obs = run(ObserverConfig::default(), |b| {
+        let p = Pid(9);
+        b.exec(p, "/usr/bin/emacs");
+        let fd = b.opendir(p, "/home/user/proj");
+        b.readdir(p, fd, 200);
+        b.close(p, fd);
+        b.touch(p, "/home/user/proj/main.c", OpenMode::ReadWrite);
+        b.touch(p, "/home/user/proj/util.c", OpenMode::Read);
+        b.exit(p);
+    });
+    assert_eq!(obs.stats().processes_marked_meaningless, 0);
+    assert!(paths_of(&obs).contains(&"/home/user/proj/main.c".to_owned()));
+}
+
+#[test]
+fn meaningless_history_carries_across_invocations() {
+    // First run of "find" is judged mid-flight; the second run should be
+    // suppressed quickly because the program's history is damning (§4.1).
+    let config = ObserverConfig::default();
+    let obs = run(config, |b| {
+        for run in 0..2 {
+            let p = Pid(10 + run);
+            b.exec(p, "/usr/bin/find");
+            let fd = b.opendir(p, "/home/user/proj");
+            b.readdir(p, fd, 40);
+            b.close(p, fd);
+            for i in 0..40 {
+                b.stat(p, &format!("/home/user/proj/f{i}.c"));
+            }
+            b.exit(p);
+        }
+    });
+    assert_eq!(obs.stats().processes_marked_meaningless, 2);
+}
+
+#[test]
+fn dir_open_forever_strategy_kills_editors_too() {
+    // Strategy 2 (rejected in the paper): the editor from above is wrongly
+    // marked meaningless, demonstrating why the strategy failed.
+    let config = ObserverConfig {
+        meaningless_strategy: MeaninglessStrategy::DirOpenForever,
+        ..ObserverConfig::default()
+    };
+    let obs = run(config, |b| {
+        let p = Pid(9);
+        b.exec(p, "/usr/bin/emacs");
+        let fd = b.opendir(p, "/home/user/proj");
+        b.readdir(p, fd, 200);
+        b.close(p, fd);
+        b.touch(p, "/home/user/proj/main.c", OpenMode::ReadWrite);
+        b.exit(p);
+    });
+    assert!(obs.stats().suppressed_meaningless > 0, "editor refs wrongly suppressed");
+}
+
+#[test]
+fn control_listed_programs_are_always_meaningless() {
+    let obs = run(ObserverConfig::default(), |b| {
+        let p = Pid(3);
+        b.exec(p, "/usr/bin/xargs");
+        b.touch(p, "/home/user/proj/a.c", OpenMode::Read);
+        b.exit(p);
+    });
+    assert!(
+        !paths_of(&obs).contains(&"/home/user/proj/a.c".to_owned()),
+        "xargs references must be suppressed"
+    );
+}
+
+#[test]
+fn frequent_file_is_filtered_and_always_hoarded() {
+    let mut config = ObserverConfig::default();
+    config.frequent_min_total = 100;
+    config.frequent_min_accesses = 10;
+    let obs = run(config, |b| {
+        let p = Pid(1);
+        // The shared library is referenced alongside every distinct file.
+        for i in 0..300 {
+            b.touch(p, "/lib/libc.so", OpenMode::Read);
+            b.touch(p, &format!("/home/user/f{}.c", i % 150), OpenMode::Read);
+        }
+    });
+    let lib = obs.paths().get("/lib/libc.so").expect("seen");
+    assert!(obs.frequent_files().contains(&lib));
+    assert!(obs.always_hoard().contains(&lib));
+    assert!(obs.stats().suppressed_frequent > 0);
+}
+
+#[test]
+fn getcwd_walk_is_suppressed() {
+    let obs = run(ObserverConfig::default(), |b| {
+        let p = Pid(1);
+        b.chdir(p, "/home/user/proj/sub");
+        // Classic getcwd: climb to the parent, list it, stat entries.
+        let fd = b.opendir(p, "..");
+        b.readdir(p, fd, 12);
+        b.stat(p, "../sub");
+        b.stat(p, "../other");
+        b.close(p, fd);
+        let fd2 = b.opendir(p, "../..");
+        b.readdir(p, fd2, 8);
+        b.stat(p, "../../proj");
+        b.close(p, fd2);
+        // Back to real work.
+        b.touch(p, "main.c", OpenMode::Read);
+    });
+    let paths = paths_of(&obs);
+    assert_eq!(paths, vec![
+        "/home/user/proj/sub/main.c".to_owned(),
+        "/home/user/proj/sub/main.c".to_owned(),
+    ]);
+    assert!(obs.stats().suppressed_getcwd >= 4, "walk activity suppressed");
+    // The walk must not have poisoned the meaningless counters.
+    assert_eq!(obs.stats().processes_marked_meaningless, 0);
+}
+
+#[test]
+fn directory_references_do_not_reach_the_correlator() {
+    let obs = run(ObserverConfig::default(), |b| {
+        let p = Pid(1);
+        let fd = b.opendir(p, "/home/user/proj");
+        b.readdir(p, fd, 3);
+        b.close(p, fd);
+        b.stat(p, "/home/user/proj"); // Stat of a known directory.
+        b.touch(p, "/home/user/proj/a.c", OpenMode::Read);
+    });
+    let paths = paths_of(&obs);
+    assert!(paths.iter().all(|p| p.ends_with("a.c")), "only the file got through: {paths:?}");
+    assert!(obs.stats().suppressed_directory >= 1);
+}
+
+#[test]
+fn rename_produces_point_references_for_both_names() {
+    let obs = run(ObserverConfig::default(), |b| {
+        b.rename(Pid(1), "/home/user/draft.txt", "/home/user/final.txt");
+    });
+    let paths = paths_of(&obs);
+    assert_eq!(paths, vec!["/home/user/draft.txt", "/home/user/final.txt"]);
+    assert!(obs
+        .sink()
+        .refs
+        .iter()
+        .all(|r| matches!(r.kind, RefKind::Point { write: true })));
+}
+
+#[test]
+fn unlink_produces_delete_reference() {
+    let obs = run(ObserverConfig::default(), |b| {
+        b.unlink(Pid(1), "/home/user/old.o");
+    });
+    assert!(matches!(obs.sink().refs[0].kind, RefKind::Delete));
+}
+
+#[test]
+fn reexec_closes_previous_image() {
+    let obs = run(ObserverConfig::default(), |b| {
+        let p = Pid(1);
+        b.exec(p, "/bin/sh");
+        b.exec(p, "/usr/bin/cc");
+        b.exit(p);
+    });
+    let refs = &obs.sink().refs;
+    let sh = obs.paths().get("/bin/sh").expect("seen");
+    let cc = obs.paths().get("/usr/bin/cc").expect("seen");
+    let closes: Vec<_> = refs
+        .iter()
+        .filter(|r| matches!(r.kind, RefKind::Close))
+        .map(|r| r.file)
+        .collect();
+    assert!(closes.contains(&sh), "re-exec closed the old image");
+    assert!(closes.contains(&cc), "exit closed the new image");
+}

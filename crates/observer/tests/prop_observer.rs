@@ -1,0 +1,164 @@
+//! Property tests: the observer never panics on arbitrary event streams
+//! and maintains its structural invariants.
+
+use proptest::prelude::*;
+use seer_observer::reference::CollectRefs;
+use seer_observer::{Observer, ObserverConfig, RefKind};
+use seer_trace::{ErrorKind, EventKind, Fd, OpenMode, Pid, TraceBuilder};
+
+#[derive(Debug, Clone)]
+enum RawOp {
+    Open(u8, u8, bool),
+    OpenErr(u8, u8),
+    Close(u8, u8),
+    OpenDir(u8, u8),
+    ReadDir(u8, u8, u8),
+    Exec(u8, u8),
+    Exit(u8),
+    Fork(u8),
+    Stat(u8, u8),
+    Chdir(u8, u8),
+    Unlink(u8, u8),
+    Rename(u8, u8, u8),
+    Create(u8, u8),
+    RootOp(u8, u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = RawOp> {
+    prop_oneof![
+        (0..6u8, 0..24u8, prop::bool::ANY).prop_map(|(p, f, w)| RawOp::Open(p, f, w)),
+        (0..6u8, 0..24u8).prop_map(|(p, f)| RawOp::OpenErr(p, f)),
+        (0..6u8, 0..12u8).prop_map(|(p, f)| RawOp::Close(p, f)),
+        (0..6u8, 0..6u8).prop_map(|(p, d)| RawOp::OpenDir(p, d)),
+        (0..6u8, 0..12u8, 0..40u8).prop_map(|(p, f, n)| RawOp::ReadDir(p, f, n)),
+        (0..6u8, 0..4u8).prop_map(|(p, b)| RawOp::Exec(p, b)),
+        (0..6u8).prop_map(RawOp::Exit),
+        (0..6u8).prop_map(RawOp::Fork),
+        (0..6u8, 0..24u8).prop_map(|(p, f)| RawOp::Stat(p, f)),
+        (0..6u8, 0..6u8).prop_map(|(p, d)| RawOp::Chdir(p, d)),
+        (0..6u8, 0..24u8).prop_map(|(p, f)| RawOp::Unlink(p, f)),
+        (0..6u8, 0..24u8, 0..24u8).prop_map(|(p, a, b)| RawOp::Rename(p, a, b)),
+        (0..6u8, 0..24u8).prop_map(|(p, f)| RawOp::Create(p, f)),
+        (0..6u8, 0..24u8).prop_map(|(p, f)| RawOp::RootOp(p, f)),
+    ]
+}
+
+/// Builds a raw trace; deliberately sloppy (dangling closes, relative
+/// paths, repeated exits) — the observer must survive anything.
+fn build(ops: &[RawOp]) -> seer_trace::Trace {
+    let mut b = TraceBuilder::new();
+    let mut child = 500u32;
+    for op in ops {
+        match *op {
+            RawOp::Open(p, f, w) => {
+                let mode = if w { OpenMode::ReadWrite } else { OpenMode::Read };
+                // Mix relative and absolute paths.
+                let path = if f % 3 == 0 {
+                    format!("f{f}.c")
+                } else {
+                    format!("/u/d{}/f{f}.c", f % 4)
+                };
+                b.open(Pid(u32::from(p)), &path, mode);
+            }
+            RawOp::OpenErr(p, f) => {
+                let err = if f % 2 == 0 { ErrorKind::NotFound } else { ErrorKind::NotHoarded };
+                b.open_err(Pid(u32::from(p)), &format!("/gone/f{f}"), OpenMode::Read, err);
+            }
+            RawOp::Close(p, fd) => {
+                // Possibly-dangling close of an arbitrary descriptor.
+                b.emit(Pid(u32::from(p)), EventKind::Close { fd: Fd(u32::from(fd) + 3) });
+            }
+            RawOp::OpenDir(p, d) => {
+                b.opendir(Pid(u32::from(p)), &format!("/u/d{d}"));
+            }
+            RawOp::ReadDir(p, fd, n) => {
+                b.readdir(Pid(u32::from(p)), Fd(u32::from(fd) + 3), u32::from(n));
+            }
+            RawOp::Exec(p, bin) => b.exec(Pid(u32::from(p)), &format!("/bin/b{bin}")),
+            RawOp::Exit(p) => b.exit(Pid(u32::from(p))),
+            RawOp::Fork(p) => {
+                b.fork(Pid(u32::from(p)), Pid(child));
+                child += 1;
+            }
+            RawOp::Stat(p, f) => b.stat(Pid(u32::from(p)), &format!("/u/d{}/f{f}.c", f % 4)),
+            RawOp::Chdir(p, d) => b.chdir(Pid(u32::from(p)), &format!("/u/d{d}")),
+            RawOp::Unlink(p, f) => b.unlink(Pid(u32::from(p)), &format!("/u/d{}/f{f}.c", f % 4)),
+            RawOp::Rename(p, a, z) => {
+                b.rename(Pid(u32::from(p)), &format!("/u/r{a}"), &format!("/u/r{z}"));
+            }
+            RawOp::Create(p, f) => b.create(Pid(u32::from(p)), &format!("/u/new{f}")),
+            RawOp::RootOp(p, f) => {
+                let path = b.path(&format!("/var/sys{f}"));
+                b.emit_full(
+                    Pid(u32::from(p) + 50),
+                    EventKind::Open { path, mode: OpenMode::Read, fd: Fd(3) },
+                    None,
+                    true,
+                );
+            }
+        }
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// No panic, and every emitted reference resolves to a valid absolute
+    /// path (or is a structural fork/exit record).
+    #[test]
+    fn observer_survives_arbitrary_streams(ops in prop::collection::vec(op_strategy(), 0..400)) {
+        let trace = build(&ops);
+        let mut obs = Observer::new(ObserverConfig::default(), CollectRefs::default());
+        trace.replay(&mut obs);
+        for r in &obs.sink().refs {
+            match r.kind {
+                RefKind::Fork { .. } | RefKind::Exit { .. } => {}
+                _ => {
+                    let path = obs.paths().resolve(r.file);
+                    prop_assert!(path.is_some(), "unresolvable file id in {:?}", r.kind);
+                    prop_assert!(path.expect("checked").starts_with('/'), "non-absolute path");
+                }
+            }
+        }
+        prop_assert!(obs.stats().events as usize == trace.len());
+    }
+
+    /// Per (pid, file): the observer never reports more closes than opens
+    /// (dangling closes of unknown descriptors are swallowed).
+    #[test]
+    fn closes_never_exceed_opens(ops in prop::collection::vec(op_strategy(), 0..300)) {
+        use std::collections::HashMap;
+        let trace = build(&ops);
+        let mut obs = Observer::new(ObserverConfig::default(), CollectRefs::default());
+        trace.replay(&mut obs);
+        let mut balance: HashMap<(seer_trace::Pid, seer_trace::FileId), i64> = HashMap::new();
+        for r in &obs.sink().refs {
+            match r.kind {
+                RefKind::Open { .. } => *balance.entry((r.pid, r.file)).or_insert(0) += 1,
+                RefKind::Close => *balance.entry((r.pid, r.file)).or_insert(0) -= 1,
+                _ => {}
+            }
+        }
+        for (&(pid, file), &bal) in &balance {
+            prop_assert!(
+                bal >= 0,
+                "more closes than opens for {pid:?}/{file:?}: balance {bal}"
+            );
+        }
+    }
+
+    /// The permissive configuration emits at least as many references as
+    /// the default (filters only remove).
+    #[test]
+    fn permissive_sees_at_least_as_much(ops in prop::collection::vec(op_strategy(), 0..250)) {
+        let trace = build(&ops);
+        let mut strict = Observer::new(ObserverConfig::default(), CollectRefs::default());
+        let mut loose = Observer::new(ObserverConfig::permissive(), CollectRefs::default());
+        trace.replay(&mut strict);
+        trace.replay(&mut loose);
+        // Superuser ops are dropped by default but kept by permissive, and
+        // all path-based filters only subtract.
+        prop_assert!(loose.sink().refs.len() >= strict.sink().refs.len());
+    }
+}

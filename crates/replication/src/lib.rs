@@ -1,0 +1,33 @@
+//! Simulated replication substrates (§2, §4.4).
+//!
+//! SEER deliberately does *not* move files itself: "an underlying
+//! replication system performs this task", freeing SEER from transport,
+//! update propagation, and conflict management. The paper runs atop RUMOR
+//! (user-level peer reconciliation), a custom master–slave service called
+//! CHEAP RUMOR, and CODA, and notes that miss *detection* capability varies
+//! by substrate — from trivial to impossible (§4.4).
+//!
+//! This crate supplies the same narrow interface ([`ReplicationSystem`])
+//! and three simulated substrates mirroring those capability profiles:
+//!
+//! * [`RumorLike`] — optimistic peer reconciliation; no remote access, no
+//!   automatic miss detection (misses must be logged manually);
+//! * [`CheapRumor`] — master–slave; no remote access, but misses are
+//!   detectable;
+//! * [`CodaLike`] — client–server with remote access while connected and
+//!   detectable misses when disconnected.
+//!
+//! [`MissLog`] implements §4.4's manual miss recording with severity codes
+//! 0–4 plus the automatic detector's counter.
+
+#![warn(missing_docs)]
+
+pub mod miss;
+pub mod store;
+pub mod substrates;
+pub mod system;
+
+pub use miss::{MissLog, MissRecord, Severity};
+pub use store::HoardStore;
+pub use substrates::{CheapRumor, CodaLike, RumorLike};
+pub use system::{AccessOutcome, Capabilities, FillReport, ReconcileReport, ReplicationSystem};

@@ -1,0 +1,167 @@
+//! Hoard-miss recording (§4.4).
+
+use seer_trace::{FileId, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// User-assigned severity of a hoard miss (§4.4's five-point scale).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Severity {
+    /// 0 — the computer is unusable (e.g. a critical startup file is
+    /// missing); cannot even be recorded until reconnection.
+    Unusable,
+    /// 1 — the current task must change.
+    TaskChange,
+    /// 2 — activity within the task is modified.
+    ActivityChange,
+    /// 3 — little or no trouble.
+    Minor,
+    /// 4 — not needed now; preload the hoard for the future.
+    Preload,
+}
+
+impl Severity {
+    /// All severities in ascending numeric order.
+    pub const ALL: [Severity; 5] = [
+        Severity::Unusable,
+        Severity::TaskChange,
+        Severity::ActivityChange,
+        Severity::Minor,
+        Severity::Preload,
+    ];
+
+    /// The paper's numeric code (0–4).
+    #[must_use]
+    pub fn code(self) -> u8 {
+        match self {
+            Severity::Unusable => 0,
+            Severity::TaskChange => 1,
+            Severity::ActivityChange => 2,
+            Severity::Minor => 3,
+            Severity::Preload => 4,
+        }
+    }
+}
+
+/// One recorded hoard miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MissRecord {
+    /// The missing file.
+    pub file: FileId,
+    /// When the miss was recorded.
+    pub time: Timestamp,
+    /// User-assigned severity (`None` for automatically detected misses,
+    /// which carry no user judgment).
+    pub severity: Option<Severity>,
+    /// Whether the miss was implied (noticed in a listing) rather than a
+    /// direct access failure.
+    pub implied: bool,
+}
+
+/// The miss log: manual recording plus the automatic detector's records.
+///
+/// The same user action records a miss *and* schedules the file for
+/// hoarding at the next reconnection — coupling statistics gathering to a
+/// function the user needs, so misses do not go unrecorded.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct MissLog {
+    records: Vec<MissRecord>,
+    /// Files awaiting hoarding at the next reconnection.
+    pending_hoard: Vec<FileId>,
+}
+
+impl MissLog {
+    /// Creates an empty log.
+    #[must_use]
+    pub fn new() -> MissLog {
+        MissLog::default()
+    }
+
+    /// Manually records a miss with a severity, scheduling the file for
+    /// future hoarding.
+    pub fn record_manual(
+        &mut self,
+        file: FileId,
+        time: Timestamp,
+        severity: Severity,
+        implied: bool,
+    ) {
+        self.records
+            .push(MissRecord { file, time, severity: Some(severity), implied });
+        self.pending_hoard.push(file);
+    }
+
+    /// Records an automatically detected miss (§4.4's backup mechanism).
+    pub fn record_auto(&mut self, file: FileId, time: Timestamp) {
+        self.records.push(MissRecord { file, time, severity: None, implied: false });
+        self.pending_hoard.push(file);
+    }
+
+    /// All records in order.
+    #[must_use]
+    pub fn records(&self) -> &[MissRecord] {
+        &self.records
+    }
+
+    /// Count of manual records at one severity.
+    #[must_use]
+    pub fn count_at(&self, severity: Severity) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.severity == Some(severity))
+            .count()
+    }
+
+    /// Count of automatically detected misses.
+    #[must_use]
+    pub fn auto_count(&self) -> usize {
+        self.records.iter().filter(|r| r.severity.is_none()).count()
+    }
+
+    /// Takes the files scheduled for hoarding, clearing the queue (called
+    /// at reconnection).
+    pub fn take_pending(&mut self) -> Vec<FileId> {
+        std::mem::take(&mut self.pending_hoard)
+    }
+
+    /// Whether any miss has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_codes_match_paper() {
+        assert_eq!(Severity::Unusable.code(), 0);
+        assert_eq!(Severity::TaskChange.code(), 1);
+        assert_eq!(Severity::ActivityChange.code(), 2);
+        assert_eq!(Severity::Minor.code(), 3);
+        assert_eq!(Severity::Preload.code(), 4);
+        assert_eq!(Severity::ALL.len(), 5);
+    }
+
+    #[test]
+    fn manual_record_schedules_hoarding() {
+        let mut log = MissLog::new();
+        log.record_manual(FileId(7), Timestamp::from_hours(2), Severity::TaskChange, false);
+        assert_eq!(log.count_at(Severity::TaskChange), 1);
+        assert_eq!(log.take_pending(), vec![FileId(7)]);
+        assert!(log.take_pending().is_empty(), "queue cleared");
+        assert!(!log.is_empty(), "records persist after take");
+    }
+
+    #[test]
+    fn auto_records_are_counted_separately() {
+        let mut log = MissLog::new();
+        log.record_auto(FileId(1), Timestamp::ZERO);
+        log.record_manual(FileId(2), Timestamp::ZERO, Severity::Minor, true);
+        assert_eq!(log.auto_count(), 1);
+        assert_eq!(log.count_at(Severity::Minor), 1);
+        assert_eq!(log.records().len(), 2);
+        assert!(log.records()[1].implied);
+    }
+}

@@ -1,0 +1,134 @@
+//! The hoard container shared by all substrates.
+
+use crate::system::FillReport;
+use seer_trace::FileId;
+use std::collections::HashMap;
+
+/// The set of locally hoarded files with their sizes.
+#[derive(Debug, Default, Clone)]
+pub struct HoardStore {
+    files: HashMap<FileId, u64>,
+    bytes: u64,
+}
+
+impl HoardStore {
+    /// Creates an empty hoard.
+    #[must_use]
+    pub fn new() -> HoardStore {
+        HoardStore::default()
+    }
+
+    /// Whether `file` is hoarded.
+    #[must_use]
+    pub fn contains(&self, file: FileId) -> bool {
+        self.files.contains_key(&file)
+    }
+
+    /// Size of a hoarded file.
+    #[must_use]
+    pub fn size_of(&self, file: FileId) -> Option<u64> {
+        self.files.get(&file).copied()
+    }
+
+    /// Total hoarded bytes.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Number of hoarded files.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Whether the hoard is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Inserts or resizes a file.
+    pub fn insert(&mut self, file: FileId, size: u64) {
+        let old = self.files.insert(file, size).unwrap_or(0);
+        self.bytes = self.bytes - old + size;
+    }
+
+    /// Removes a file, returning its size.
+    pub fn remove(&mut self, file: FileId) -> Option<u64> {
+        let size = self.files.remove(&file)?;
+        self.bytes -= size;
+        Some(size)
+    }
+
+    /// Replaces the contents with `want`, producing a transport report.
+    pub fn refill(&mut self, want: &[(FileId, u64)]) -> FillReport {
+        let mut report = FillReport::default();
+        let wanted: HashMap<FileId, u64> = want.iter().copied().collect();
+        let current: Vec<FileId> = self.files.keys().copied().collect();
+        for f in current {
+            if !wanted.contains_key(&f) {
+                self.remove(f);
+                report.evicted += 1;
+            }
+        }
+        for (&f, &size) in &wanted {
+            if self.contains(f) {
+                report.retained += 1;
+                self.insert(f, size);
+            } else {
+                report.fetched += 1;
+                report.bytes_fetched += size;
+                self.insert(f, size);
+            }
+        }
+        report
+    }
+
+    /// Iterates over hoarded `(file, size)` pairs (unordered).
+    pub fn iter(&self) -> impl Iterator<Item = (FileId, u64)> + '_ {
+        self.files.iter().map(|(&f, &s)| (f, s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_accounting() {
+        let mut h = HoardStore::new();
+        h.insert(FileId(1), 100);
+        h.insert(FileId(2), 50);
+        assert_eq!(h.bytes(), 150);
+        h.insert(FileId(1), 80); // Resize.
+        assert_eq!(h.bytes(), 130);
+        assert_eq!(h.remove(FileId(2)), Some(50));
+        assert_eq!(h.bytes(), 80);
+        assert_eq!(h.remove(FileId(2)), None);
+    }
+
+    #[test]
+    fn refill_reports_transport() {
+        let mut h = HoardStore::new();
+        h.insert(FileId(1), 10);
+        h.insert(FileId(2), 20);
+        let report = h.refill(&[(FileId(2), 20), (FileId(3), 30)]);
+        assert_eq!(report.evicted, 1, "file 1 evicted");
+        assert_eq!(report.retained, 1, "file 2 kept");
+        assert_eq!(report.fetched, 1, "file 3 fetched");
+        assert_eq!(report.bytes_fetched, 30);
+        assert!(!h.contains(FileId(1)));
+        assert_eq!(h.bytes(), 50);
+    }
+
+    #[test]
+    fn empty_refill_clears() {
+        let mut h = HoardStore::new();
+        h.insert(FileId(1), 10);
+        let report = h.refill(&[]);
+        assert_eq!(report.evicted, 1);
+        assert!(h.is_empty());
+        assert_eq!(h.bytes(), 0);
+    }
+}

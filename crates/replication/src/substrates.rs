@@ -1,0 +1,330 @@
+//! The three simulated substrates: RUMOR, CHEAP RUMOR, and CODA analogs.
+
+use crate::store::HoardStore;
+use crate::system::{
+    AccessOutcome, Capabilities, FillReport, ReconcileReport, ReplicationSystem,
+};
+use seer_trace::FileId;
+use std::collections::HashMap;
+
+/// State common to all simulated substrates.
+#[derive(Debug, Default, Clone)]
+struct BaseState {
+    store: HoardStore,
+    connected: bool,
+    /// Updates made locally while disconnected, awaiting propagation.
+    local_dirty: HashMap<FileId, u64>,
+    /// Updates made at other replicas, awaiting integration.
+    remote_dirty: HashMap<FileId, u64>,
+}
+
+impl BaseState {
+    fn access(&self, file: FileId, exists: bool, caps: Capabilities) -> AccessOutcome {
+        if self.store.contains(file) {
+            return AccessOutcome::Local;
+        }
+        if !exists {
+            return AccessOutcome::NotFound;
+        }
+        if self.connected && caps.remote_access {
+            return AccessOutcome::Remote;
+        }
+        if self.connected {
+            // Connected without remote access still reaches the network
+            // filesystem outside the replication system's purview.
+            return AccessOutcome::Remote;
+        }
+        if caps.detects_misses {
+            AccessOutcome::MissDetected
+        } else {
+            AccessOutcome::ErrorIndistinct
+        }
+    }
+
+    fn record_local(&mut self, file: FileId, new_size: u64) {
+        if self.store.contains(file) {
+            self.store.insert(file, new_size);
+            if !self.connected {
+                self.local_dirty.insert(file, new_size);
+            }
+        }
+    }
+
+    fn record_remote(&mut self, file: FileId, new_size: u64) {
+        if self.connected && self.store.contains(file) {
+            // Connected: remote updates arrive immediately.
+            self.store.insert(file, new_size);
+        } else {
+            self.remote_dirty.insert(file, new_size);
+        }
+    }
+
+    /// Reconciles queues; `local_wins` selects the conflict policy.
+    fn reconcile(&mut self, local_wins: bool) -> ReconcileReport {
+        let mut report = ReconcileReport::default();
+        let local: Vec<FileId> = self.local_dirty.keys().copied().collect();
+        for f in &local {
+            if self.remote_dirty.contains_key(f) {
+                report.conflicts += 1;
+            }
+        }
+        report.pushed = self.local_dirty.len() as u64;
+        for (f, size) in self.remote_dirty.drain() {
+            let conflicted = self.local_dirty.contains_key(&f);
+            if self.store.contains(f) && (!conflicted || !local_wins) {
+                self.store.insert(f, size);
+            }
+            if !conflicted {
+                report.pulled += 1;
+            }
+        }
+        self.local_dirty.clear();
+        report
+    }
+}
+
+macro_rules! forward_common {
+    () => {
+        fn fill_hoard(&mut self, want: &[(FileId, u64)]) -> FillReport {
+            self.base.store.refill(want)
+        }
+
+        fn contains(&self, file: FileId) -> bool {
+            self.base.store.contains(file)
+        }
+
+        fn hoard_bytes(&self) -> u64 {
+            self.base.store.bytes()
+        }
+
+        fn set_connected(&mut self, connected: bool) {
+            self.base.connected = connected;
+        }
+
+        fn is_connected(&self) -> bool {
+            self.base.connected
+        }
+
+        fn access(&mut self, file: FileId, exists: bool) -> AccessOutcome {
+            self.base.access(file, exists, self.capabilities())
+        }
+
+        fn record_local_update(&mut self, file: FileId, new_size: u64) {
+            self.base.record_local(file, new_size);
+        }
+
+        fn record_remote_update(&mut self, file: FileId, new_size: u64) {
+            self.base.record_remote(file, new_size);
+        }
+    };
+}
+
+/// RUMOR analog: user-level, optimistic, peer-to-peer reconciliation.
+///
+/// No remote access and no miss detection — failed disconnected accesses
+/// are indistinguishable from nonexistent files, forcing the manual miss
+/// log (§4.4).
+#[derive(Debug, Default, Clone)]
+pub struct RumorLike {
+    base: BaseState,
+}
+
+impl RumorLike {
+    /// Creates a disconnected, empty substrate.
+    #[must_use]
+    pub fn new() -> RumorLike {
+        RumorLike::default()
+    }
+}
+
+impl ReplicationSystem for RumorLike {
+    fn name(&self) -> &'static str {
+        "rumor"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities { remote_access: false, detects_misses: false }
+    }
+
+    fn reconcile(&mut self) -> ReconcileReport {
+        // Peer reconciliation: latest update wins; we model local
+        // preference, as RUMOR's resolver favors the reconciling replica.
+        self.base.reconcile(true)
+    }
+
+    forward_common!();
+}
+
+/// CHEAP RUMOR analog: custom master–slave replication.
+///
+/// The laptop is a slave; the master's copy wins conflicts. The custom
+/// service reports hoard misses distinctly.
+#[derive(Debug, Default, Clone)]
+pub struct CheapRumor {
+    base: BaseState,
+}
+
+impl CheapRumor {
+    /// Creates a disconnected, empty substrate.
+    #[must_use]
+    pub fn new() -> CheapRumor {
+        CheapRumor::default()
+    }
+}
+
+impl ReplicationSystem for CheapRumor {
+    fn name(&self) -> &'static str {
+        "cheap-rumor"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities { remote_access: false, detects_misses: true }
+    }
+
+    fn reconcile(&mut self) -> ReconcileReport {
+        self.base.reconcile(false)
+    }
+
+    forward_common!();
+}
+
+/// CODA analog: client–server with remote access while connected and
+/// distinguishable disconnected misses.
+#[derive(Debug, Default, Clone)]
+pub struct CodaLike {
+    base: BaseState,
+}
+
+impl CodaLike {
+    /// Creates a disconnected, empty substrate.
+    #[must_use]
+    pub fn new() -> CodaLike {
+        CodaLike::default()
+    }
+}
+
+impl ReplicationSystem for CodaLike {
+    fn name(&self) -> &'static str {
+        "coda"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities { remote_access: true, detects_misses: true }
+    }
+
+    fn reconcile(&mut self) -> ReconcileReport {
+        // Coda reintegration: local mutations replay at the server; we
+        // model local preference with conflicts surfaced.
+        self.base.reconcile(true)
+    }
+
+    forward_common!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill<S: ReplicationSystem>(s: &mut S) {
+        s.fill_hoard(&[(FileId(1), 100), (FileId(2), 200)]);
+    }
+
+    #[test]
+    fn hoarded_files_are_local_everywhere() {
+        let mut r = RumorLike::new();
+        fill(&mut r);
+        assert_eq!(r.access(FileId(1), true), AccessOutcome::Local);
+        assert_eq!(r.hoard_bytes(), 300);
+    }
+
+    #[test]
+    fn miss_detection_differs_by_substrate() {
+        let mut rumor = RumorLike::new();
+        let mut cheap = CheapRumor::new();
+        let mut coda = CodaLike::new();
+        for s in [
+            &mut rumor as &mut dyn ReplicationSystem,
+            &mut cheap as &mut dyn ReplicationSystem,
+            &mut coda as &mut dyn ReplicationSystem,
+        ] {
+            s.set_connected(false);
+        }
+        // Existing but unhoarded file, disconnected:
+        assert_eq!(rumor.access(FileId(9), true), AccessOutcome::ErrorIndistinct);
+        assert_eq!(cheap.access(FileId(9), true), AccessOutcome::MissDetected);
+        assert_eq!(coda.access(FileId(9), true), AccessOutcome::MissDetected);
+        // Nonexistent file is NotFound everywhere:
+        assert_eq!(rumor.access(FileId(9), false), AccessOutcome::NotFound);
+        assert_eq!(coda.access(FileId(9), false), AccessOutcome::NotFound);
+    }
+
+    #[test]
+    fn connected_access_reaches_unhoarded_files() {
+        let mut coda = CodaLike::new();
+        coda.set_connected(true);
+        assert_eq!(coda.access(FileId(5), true), AccessOutcome::Remote);
+        assert_eq!(coda.access(FileId(5), false), AccessOutcome::NotFound);
+    }
+
+    #[test]
+    fn disconnected_updates_push_at_reconcile() {
+        let mut r = RumorLike::new();
+        fill(&mut r);
+        r.set_connected(false);
+        r.record_local_update(FileId(1), 150);
+        r.set_connected(true);
+        let report = r.reconcile();
+        assert_eq!(report.pushed, 1);
+        assert_eq!(report.conflicts, 0);
+    }
+
+    #[test]
+    fn conflicting_updates_are_detected() {
+        let mut r = RumorLike::new();
+        fill(&mut r);
+        r.set_connected(false);
+        r.record_local_update(FileId(1), 150);
+        r.record_remote_update(FileId(1), 175);
+        r.record_remote_update(FileId(2), 250);
+        let report = r.reconcile();
+        assert_eq!(report.conflicts, 1);
+        assert_eq!(report.pulled, 1, "only the non-conflicting remote update counts as pulled");
+        // Local wins under rumor: file 1 keeps the local size.
+        assert_eq!(r.base.store.size_of(FileId(1)), Some(150));
+        assert_eq!(r.base.store.size_of(FileId(2)), Some(250));
+    }
+
+    #[test]
+    fn master_wins_under_cheap_rumor() {
+        let mut c = CheapRumor::new();
+        c.fill_hoard(&[(FileId(1), 100)]);
+        c.set_connected(false);
+        c.record_local_update(FileId(1), 150);
+        c.record_remote_update(FileId(1), 175);
+        let report = c.reconcile();
+        assert_eq!(report.conflicts, 1);
+        assert_eq!(c.base.store.size_of(FileId(1)), Some(175), "master copy wins");
+    }
+
+    #[test]
+    fn connected_updates_propagate_immediately() {
+        let mut r = RumorLike::new();
+        fill(&mut r);
+        r.set_connected(true);
+        r.record_local_update(FileId(1), 111);
+        r.record_remote_update(FileId(2), 222);
+        let report = r.reconcile();
+        assert_eq!(report.pushed, 0);
+        assert_eq!(report.pulled, 0);
+        assert_eq!(r.base.store.size_of(FileId(2)), Some(222));
+    }
+
+    #[test]
+    fn updates_to_unhoarded_files_are_ignored_locally() {
+        let mut r = RumorLike::new();
+        r.set_connected(false);
+        r.record_local_update(FileId(42), 10);
+        let report = r.reconcile();
+        assert_eq!(report.pushed, 0);
+    }
+}

@@ -1,0 +1,122 @@
+//! The narrow interface SEER assumes of a replication substrate (§2).
+
+use seer_trace::FileId;
+use serde::{Deserialize, Serialize};
+
+/// What a substrate can do for SEER (§4.4: "Depending on the underlying
+/// replication system, detecting a hoard miss can range from trivial to
+/// impossible").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Capabilities {
+    /// Whether a non-local access can be serviced remotely while
+    /// connected (FICUS/CODA-style remote access).
+    pub remote_access: bool,
+    /// Whether a failed access to an existing-but-unhoarded file is
+    /// distinguishable from an access to a nonexistent file.
+    pub detects_misses: bool,
+}
+
+/// Result of one file access through the substrate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// Served from the local hoard.
+    Local,
+    /// Served by remote access (connected, remote-access-capable).
+    Remote,
+    /// Failed, and the substrate knows the file exists but is unhoarded —
+    /// an automatically detectable hoard miss.
+    MissDetected,
+    /// Failed with an error code indistinguishable from "no such file";
+    /// only the user can classify it (manual miss logging, §4.4).
+    ErrorIndistinct,
+    /// The file genuinely does not exist.
+    NotFound,
+}
+
+impl AccessOutcome {
+    /// Whether the access succeeded.
+    #[must_use]
+    pub fn ok(self) -> bool {
+        matches!(self, AccessOutcome::Local | AccessOutcome::Remote)
+    }
+}
+
+/// Transport report from installing a hoard.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FillReport {
+    /// Files fetched from the remote side.
+    pub fetched: u64,
+    /// Bytes fetched.
+    pub bytes_fetched: u64,
+    /// Files evicted from the hoard.
+    pub evicted: u64,
+    /// Files already present and kept.
+    pub retained: u64,
+}
+
+/// Report from a reconnection-time reconciliation.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReconcileReport {
+    /// Local updates propagated outward.
+    pub pushed: u64,
+    /// Remote updates brought in.
+    pub pulled: u64,
+    /// Conflicting concurrent updates detected (resolved per substrate
+    /// policy, cf. FICUS resolvers).
+    pub conflicts: u64,
+}
+
+/// The substrate interface: hoard installation, access servicing, update
+/// tracking, and reconciliation. SEER assumes nothing more (§2).
+pub trait ReplicationSystem {
+    /// Substrate name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Capability profile.
+    fn capabilities(&self) -> Capabilities;
+
+    /// Replaces the hoard contents with `want` (file, size) pairs,
+    /// fetching what is absent and evicting what is no longer wanted.
+    fn fill_hoard(&mut self, want: &[(FileId, u64)]) -> FillReport;
+
+    /// Whether `file` is currently hoarded.
+    fn contains(&self, file: FileId) -> bool;
+
+    /// Total hoarded bytes.
+    fn hoard_bytes(&self) -> u64;
+
+    /// Sets connectivity state.
+    fn set_connected(&mut self, connected: bool);
+
+    /// Current connectivity.
+    fn is_connected(&self) -> bool;
+
+    /// Services an access to `file`; `exists` says whether the file exists
+    /// anywhere in the namespace (the substrate may or may not be able to
+    /// tell on a failure).
+    fn access(&mut self, file: FileId, exists: bool) -> AccessOutcome;
+
+    /// Records a local update to a hoarded file (while connected it
+    /// propagates immediately; while disconnected it is queued).
+    fn record_local_update(&mut self, file: FileId, new_size: u64);
+
+    /// Records an update made at another replica (for conflict modeling).
+    fn record_remote_update(&mut self, file: FileId, new_size: u64);
+
+    /// Reconciles queued updates at reconnection.
+    fn reconcile(&mut self) -> ReconcileReport;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_ok() {
+        assert!(AccessOutcome::Local.ok());
+        assert!(AccessOutcome::Remote.ok());
+        assert!(!AccessOutcome::MissDetected.ok());
+        assert!(!AccessOutcome::ErrorIndistinct.ok());
+        assert!(!AccessOutcome::NotFound.ok());
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests for the replication substrates.
+
+use proptest::prelude::*;
+use seer_replication::{
+    AccessOutcome, CheapRumor, CodaLike, HoardStore, ReplicationSystem, RumorLike,
+};
+use seer_trace::FileId;
+use std::collections::HashMap;
+
+fn fill_list() -> impl Strategy<Value = Vec<(FileId, u64)>> {
+    prop::collection::vec((0u32..40, 1u64..100_000), 0..30).prop_map(|v| {
+        let mut seen = HashMap::new();
+        for (f, s) in v {
+            seen.insert(FileId(f), s);
+        }
+        seen.into_iter().collect()
+    })
+}
+
+proptest! {
+    /// Refill makes the store contents exactly the wanted set, and byte
+    /// accounting matches the sum of sizes.
+    #[test]
+    fn refill_is_set_semantics(first in fill_list(), second in fill_list()) {
+        let mut store = HoardStore::new();
+        store.refill(&first);
+        let report = store.refill(&second);
+        prop_assert_eq!(store.len(), second.len());
+        let want_bytes: u64 = second.iter().map(|&(_, s)| s).sum();
+        prop_assert_eq!(store.bytes(), want_bytes);
+        for &(f, s) in &second {
+            prop_assert_eq!(store.size_of(f), Some(s));
+        }
+        // Transport accounting: retained + fetched = wanted.
+        prop_assert_eq!(report.retained + report.fetched, second.len() as u64);
+        // Evicted = files in first but not in second.
+        let evicted_expect = first
+            .iter()
+            .filter(|&&(f, _)| !second.iter().any(|&(g, _)| g == f))
+            .count() as u64;
+        prop_assert_eq!(report.evicted, evicted_expect);
+    }
+
+    /// For every substrate: hoarded files are always locally accessible;
+    /// unhoarded existing files fail while disconnected, with the outcome
+    /// determined by the substrate's capability.
+    #[test]
+    fn access_outcomes_respect_capabilities(want in fill_list(), probe in 0u32..50) {
+        let probe = FileId(probe);
+        let substrates: Vec<Box<dyn ReplicationSystem>> = vec![
+            Box::new(RumorLike::new()),
+            Box::new(CheapRumor::new()),
+            Box::new(CodaLike::new()),
+        ];
+        for mut s in substrates {
+            s.fill_hoard(&want);
+            s.set_connected(false);
+            let hoarded = want.iter().any(|&(f, _)| f == probe);
+            let outcome = s.access(probe, true);
+            if hoarded {
+                prop_assert_eq!(outcome, AccessOutcome::Local, "{}", s.name());
+            } else if s.capabilities().detects_misses {
+                prop_assert_eq!(outcome, AccessOutcome::MissDetected, "{}", s.name());
+            } else {
+                prop_assert_eq!(outcome, AccessOutcome::ErrorIndistinct, "{}", s.name());
+            }
+            // Nonexistent files are NotFound regardless of hoarding state.
+            if !hoarded {
+                prop_assert_eq!(s.access(probe, false), AccessOutcome::NotFound);
+            }
+        }
+    }
+
+    /// Reconciliation invariants: conflicts never exceed pushed updates,
+    /// and a second reconcile with no new updates is a no-op.
+    #[test]
+    fn reconcile_invariants(
+        want in fill_list(),
+        local in prop::collection::vec(0u32..40, 0..10),
+        remote in prop::collection::vec(0u32..40, 0..10),
+    ) {
+        let mut s = RumorLike::new();
+        s.fill_hoard(&want);
+        s.set_connected(false);
+        for &f in &local {
+            s.record_local_update(FileId(f), 1_000);
+        }
+        for &f in &remote {
+            s.record_remote_update(FileId(f), 2_000);
+        }
+        s.set_connected(true);
+        let r1 = s.reconcile();
+        prop_assert!(r1.conflicts <= r1.pushed, "conflicts ≤ pushed");
+        let r2 = s.reconcile();
+        prop_assert_eq!(r2.pushed, 0);
+        prop_assert_eq!(r2.pulled, 0);
+        prop_assert_eq!(r2.conflicts, 0);
+    }
+}

@@ -1,0 +1,31 @@
+//! Trace-driven simulation and live-usage evaluation (§5).
+//!
+//! This crate regenerates the paper's evaluation:
+//!
+//! * [`missfree`] — the *miss-free hoard size* metric (§5.1.2): the hoard
+//!   size an algorithm would have needed to avoid every miss in a
+//!   disconnection period;
+//! * [`universe`] — a permissive replay pass establishing the canonical
+//!   file universe, per-period working sets, and the unfiltered activity
+//!   the LRU/CODA baselines rank by;
+//! * [`replay`] — the Figure 2/3 driver: daily and weekly simulated
+//!   disconnections, SEER vs. LRU (and CODA-inspired) miss-free sizes,
+//!   with and without external investigators;
+//! * [`live`] — the Tables 4/5 driver: fixed hoard sizes, real
+//!   disconnection schedules, miss severities, and time to first miss;
+//! * [`sizes`] — the file-size model (image sizes with the paper's
+//!   geometric fallback, §5.1.2).
+
+#![warn(missing_docs)]
+
+pub mod live;
+pub mod missfree;
+pub mod replay;
+pub mod sizes;
+pub mod universe;
+
+pub use live::{run_live, LiveConfig, LiveResult, MissEvent, RefillPolicy};
+pub use missfree::{miss_free_size, working_set_bytes, MissFree};
+pub use replay::{run_missfree, run_missfree_parts, MissFreeConfig, MissFreeInput, MissFreeOutcome, PeriodResult};
+pub use sizes::SizeModel;
+pub use universe::{Universe, UniverseBuilder};

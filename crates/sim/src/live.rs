@@ -1,0 +1,523 @@
+//! Live-usage simulation: Tables 4 and 5.
+//!
+//! Replays a workload against its real disconnection schedule with a fixed
+//! hoard size. At each disconnection the engine reclusters and fills the
+//! hoard; during the disconnection, read accesses to known,
+//! not-freshly-created, unhoarded files are hoard misses, classified with
+//! the §4.4 severity scale. Unlike the paper's live deployment, the
+//! replayed user cannot *react* to a miss (the trace is fixed) — but the
+//! workload generator already models the paper's "briefcase" behavior by
+//! keeping disconnected sessions on recently-used projects (§5.2.2).
+
+use crate::sizes::SizeModel;
+use seer_core::{SeerConfig, SeerEngine};
+use seer_observer::{Observer, ObserverConfig, RefKind, Reference, ReferenceSink};
+use seer_replication::{CheapRumor, ReplicationSystem, Severity};
+use seer_trace::{EventSink, FileId, PathTable, Timestamp};
+use seer_workload::Workload;
+use std::collections::{HashMap, HashSet};
+
+/// Role of a file inside a project (drives severity assignment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    Source,
+    Support,
+}
+
+/// When hoard contents are recomputed and installed (§2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RefillPolicy {
+    /// The user informs the system that a disconnection is imminent; the
+    /// hoard fills right before each disconnection (the paper's default
+    /// interaction).
+    OnDisconnect,
+    /// "Automated periodic hoard filling" (§2): the hoard refreshes every
+    /// given number of hours while connected, and the system needs no
+    /// disconnection warning at all. Disconnections catch the hoard as the
+    /// last periodic fill left it.
+    Periodic(f64),
+}
+
+/// Configuration for a live-usage run.
+#[derive(Debug, Clone)]
+pub struct LiveConfig {
+    /// Hoard budget in bytes.
+    pub hoard_bytes: u64,
+    /// Size-model seed.
+    pub size_seed: u64,
+    /// Fraction of the trace treated as deployment shakedown: misses in
+    /// disconnections starting before this point are not recorded, as the
+    /// paper's statistics collection began only after early testing
+    /// (§5.2.2, footnote 5).
+    pub warmup_fraction: f64,
+    /// Hoard refill policy.
+    pub refill: RefillPolicy,
+    /// SEER engine configuration.
+    pub seer: SeerConfig,
+}
+
+impl Default for LiveConfig {
+    fn default() -> LiveConfig {
+        LiveConfig {
+            hoard_bytes: u64::MAX,
+            size_seed: 1,
+            warmup_fraction: 0.15,
+            refill: RefillPolicy::OnDisconnect,
+            seer: SeerConfig::default(),
+        }
+    }
+}
+
+/// One recorded hoard miss.
+#[derive(Debug, Clone)]
+pub struct MissEvent {
+    /// Index into the workload's disconnection schedule.
+    pub disconnection: usize,
+    /// User-assigned severity; `None` for automatically detected misses
+    /// the user never judged (attribute examinations by build tools etc.).
+    pub severity: Option<Severity>,
+    /// Wall-clock hours from disconnection start to the miss.
+    pub hours_into: f64,
+    /// *Active* hours from disconnection start to the miss: time in which
+    /// the machine was actually in use, suspension periods discarded as in
+    /// §5.1.1 ("it would be incorrect to report a 16-hour overnight
+    /// disconnection if the laptop were only in active use for 2 hours").
+    pub active_hours_into: f64,
+    /// Whether the miss was *implied* — noticed in a directory listing
+    /// rather than hit by a direct access (§4.4).
+    pub implied: bool,
+    /// The missing file's path.
+    pub path: String,
+}
+
+/// Aggregate result of a live-usage run.
+#[derive(Debug, Clone)]
+pub struct LiveResult {
+    /// Machine label.
+    pub machine: String,
+    /// Hoard budget used.
+    pub hoard_bytes: u64,
+    /// Disconnections simulated.
+    pub n_disconnections: usize,
+    /// All recorded misses.
+    pub misses: Vec<MissEvent>,
+    /// Bytes fetched across all hoard fills.
+    pub bytes_fetched: u64,
+}
+
+impl LiveResult {
+    /// Manual miss count at one severity (a Table 4 cell).
+    #[must_use]
+    pub fn count_at(&self, severity: Severity) -> usize {
+        self.misses
+            .iter()
+            .filter(|m| m.severity == Some(severity))
+            .count()
+    }
+
+    /// Automatically detected miss count (Table 4's "Auto" column).
+    #[must_use]
+    pub fn auto_count(&self) -> usize {
+        self.misses.iter().filter(|m| m.severity.is_none()).count()
+    }
+
+    /// Disconnections with at least one user-judged miss (Table 4's "Any
+    /// Sev." column).
+    #[must_use]
+    pub fn failed_disconnections(&self) -> usize {
+        let discs: HashSet<usize> = self
+            .misses
+            .iter()
+            .filter(|m| m.severity.is_some())
+            .map(|m| m.disconnection)
+            .collect();
+        discs.len()
+    }
+
+    /// Hours to the *first* miss of each failed disconnection, grouped by
+    /// severity class (Table 5 rows). `None` keys are automatic misses.
+    /// Uses active hours (suspensions discarded, §5.1.1).
+    #[must_use]
+    pub fn first_miss_hours(&self) -> HashMap<Option<Severity>, Vec<f64>> {
+        let mut firsts: HashMap<(usize, Option<Severity>), f64> = HashMap::new();
+        for m in &self.misses {
+            let k = (m.disconnection, m.severity);
+            let e = firsts.entry(k).or_insert(f64::INFINITY);
+            *e = e.min(m.active_hours_into);
+        }
+        let mut out: HashMap<Option<Severity>, Vec<f64>> = HashMap::new();
+        for ((_, sev), h) in firsts {
+            out.entry(sev).or_default().push(h);
+        }
+        for v in out.values_mut() {
+            v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        }
+        out
+    }
+}
+
+/// The miss-detection sink driven by the permissive observation pass.
+struct MissSink {
+    in_disconnection: bool,
+    disconnection: usize,
+    disc_start: Timestamp,
+    /// Active-time accounting: last reference time and accumulated active
+    /// seconds within the current disconnection. Gaps longer than
+    /// [`SUSPEND_GAP_SECS`] count as suspensions and are discarded.
+    last_ref_time: Timestamp,
+    active_secs: u64,
+    hoarded: HashSet<FileId>,
+    created_this_disc: HashSet<FileId>,
+    missed_this_disc: HashSet<FileId>,
+    seen: HashSet<FileId>,
+    project_of: HashMap<FileId, (usize, Role)>,
+    current_project: Option<usize>,
+    /// Known files per directory path, for implied-miss detection (§4.4).
+    by_dir: HashMap<String, Vec<FileId>>,
+    misses: Vec<(usize, Option<Severity>, f64, f64, FileId, bool)>,
+}
+
+/// A reference gap longer than this counts as a suspension (§5.1.1).
+const SUSPEND_GAP_SECS: u64 = 30 * 60;
+
+impl MissSink {
+    /// §4.4 implied misses: a directory listing while disconnected lets
+    /// the user notice known, unhoarded files of the project they are
+    /// working on — without ever attempting an access.
+    fn handle_dir_list(&mut self, r: &Reference, paths: &PathTable) {
+        self.tick_active(r.time);
+        if !self.in_disconnection {
+            return;
+        }
+        let Some(dir) = paths.resolve(r.file) else { return };
+        let Some(children) = self.by_dir.get(dir) else { return };
+        let noticed: Vec<FileId> = children
+            .iter()
+            .copied()
+            .filter(|f| {
+                // Only the current project's files register as "missing"
+                // to the user browsing a listing.
+                self.project_of
+                    .get(f)
+                    .is_some_and(|&(proj, _)| Some(proj) == self.current_project)
+                    && !self.hoarded.contains(f)
+                    && !self.created_this_disc.contains(f)
+            })
+            .collect();
+        for f in noticed {
+            if self.missed_this_disc.insert(f) {
+                let hours = r.time.saturating_since(self.disc_start).as_hours_f64();
+                let active = self.active_secs as f64 / 3600.0;
+                // An implied miss never interrupts the task at hand; the
+                // user schedules the file for the future (severity 4).
+                self.misses.push((
+                    self.disconnection,
+                    Some(Severity::Preload),
+                    hours,
+                    active,
+                    f,
+                    true,
+                ));
+            }
+        }
+    }
+
+    /// Advances the active-time clock to `now`.
+    fn tick_active(&mut self, now: Timestamp) {
+        if self.in_disconnection {
+            let gap = now.saturating_since(self.last_ref_time).as_secs();
+            if gap < SUSPEND_GAP_SECS {
+                self.active_secs += gap;
+            }
+        }
+        self.last_ref_time = now;
+    }
+
+    fn classify(&self, file: FileId, is_stat: bool) -> Option<Severity> {
+        if is_stat {
+            // Attribute examinations surface only through the automatic
+            // detector; users rarely consider them failures (§5.2.2).
+            return None;
+        }
+        match self.project_of.get(&file) {
+            Some(&(proj, role)) => {
+                if Some(proj) == self.current_project {
+                    Some(if role == Role::Source {
+                        Severity::TaskChange
+                    } else {
+                        Severity::ActivityChange
+                    })
+                } else if file.0 % 2 == 0 {
+                    Some(Severity::Minor)
+                } else {
+                    Some(Severity::Preload)
+                }
+            }
+            // Mail and stray documents: annoying but unobtrusive; some
+            // are wanted only for the future (§4.4's severity 4).
+            None if file.0 % 3 == 0 => Some(Severity::Preload),
+            None => Some(Severity::Minor),
+        }
+    }
+}
+
+impl ReferenceSink for MissSink {
+    fn on_reference(&mut self, r: &Reference, paths: &PathTable) {
+        if let RefKind::DirList = r.kind {
+            self.handle_dir_list(r, paths);
+            return;
+        }
+        let (reads, writes, is_stat) = match r.kind {
+            RefKind::Open { read, write, .. } => (read, write, false),
+            RefKind::Point { write } => (!write, write, true),
+            _ => return,
+        };
+        if let Some(path) = paths.resolve(r.file) {
+            if !self.seen.contains(&r.file) {
+                self.by_dir
+                    .entry(seer_trace::path::dirname(path).to_owned())
+                    .or_default()
+                    .push(r.file);
+            }
+        }
+        self.tick_active(r.time);
+        if let Some(&(proj, _)) = self.project_of.get(&r.file) {
+            self.current_project = Some(proj);
+        }
+        let previously_seen = !self.seen.insert(r.file);
+        if !self.in_disconnection {
+            return;
+        }
+        if !previously_seen {
+            // First appearance ever, and it happened while disconnected:
+            // no hoarding system could have known the file.
+            self.created_this_disc.insert(r.file);
+            return;
+        }
+        if reads {
+            if previously_seen
+                && !self.created_this_disc.contains(&r.file)
+                && !self.hoarded.contains(&r.file)
+                && self.missed_this_disc.insert(r.file)
+            {
+                let hours = r.time.saturating_since(self.disc_start).as_hours_f64();
+                let active = self.active_secs as f64 / 3600.0;
+                let sev = self.classify(r.file, is_stat);
+                self.misses
+                    .push((self.disconnection, sev, hours, active, r.file, false));
+            }
+        } else if writes {
+            self.created_this_disc.insert(r.file);
+        }
+    }
+}
+
+/// Runs the live-usage simulation for one workload.
+#[must_use]
+pub fn run_live(workload: &Workload, cfg: &LiveConfig) -> LiveResult {
+    let trace = &workload.trace;
+    let mut engine = SeerEngine::new(cfg.seer.clone());
+    let mut sizes = SizeModel::new(&workload.fs, cfg.size_seed);
+    let mut substrate = CheapRumor::new();
+    substrate.set_connected(true);
+
+    // The miss checker: a permissive observer whose table is pre-seeded
+    // with project files so severities can be classified.
+    let sink = MissSink {
+        in_disconnection: false,
+        disconnection: 0,
+        disc_start: Timestamp::ZERO,
+        last_ref_time: Timestamp::ZERO,
+        active_secs: 0,
+        hoarded: HashSet::new(),
+        created_this_disc: HashSet::new(),
+        missed_this_disc: HashSet::new(),
+        seen: HashSet::new(),
+        project_of: HashMap::new(),
+        current_project: None,
+        by_dir: HashMap::new(),
+        misses: Vec::new(),
+    };
+    let mut checker = Observer::new(ObserverConfig::permissive(), sink);
+    for (i, p) in workload.projects.iter().enumerate() {
+        for s in &p.sources {
+            let f = checker.paths_mut().intern(s);
+            checker.sink_mut().project_of.insert(f, (i, Role::Source));
+        }
+        for s in p
+            .headers
+            .iter()
+            .chain(p.objects.iter())
+            .chain(p.makefile.iter())
+            .chain(std::iter::once(&p.product))
+        {
+            let f = checker.paths_mut().intern(s);
+            checker.sink_mut().project_of.insert(f, (i, Role::Support));
+        }
+    }
+
+    let schedule = &workload.schedule;
+    let mut next_start = 0usize;
+    let mut next_end = 0usize;
+    let mut bytes_fetched = 0u64;
+    // The manual miss log's second function (§4.4): recording a miss
+    // arranges for the file to be hoarded at the next reconnection.
+    let mut forced: HashSet<String> = HashSet::new();
+    let mut forced_upto = 0usize;
+    // Periodic refills (§2's automated hoard filling).
+    let periodic_step = match cfg.refill {
+        RefillPolicy::Periodic(hours) => Some(Timestamp((hours * 3_600e6) as u64)),
+        RefillPolicy::OnDisconnect => None,
+    };
+    let mut next_periodic = periodic_step;
+    // The most recently installed hoard, in checker ids.
+    let mut current_hoard: HashSet<FileId> = HashSet::new();
+
+    /// Computes and installs a fresh hoard, returning the fetched bytes.
+    fn install_hoard(
+        engine: &mut SeerEngine,
+        checker: &mut Observer<MissSink>,
+        substrate: &mut CheapRumor,
+        sizes: &mut SizeModel,
+        forced: &HashSet<String>,
+        budget: u64,
+    ) -> (HashSet<FileId>, u64) {
+        engine.recluster();
+        // Sizes for every rankable file, resolved through the engine's
+        // table up front so the selection closure stays immutable.
+        let mut size_by_id: HashMap<FileId, u64> = HashMap::new();
+        for f in engine.rank() {
+            let s = sizes.size_of(engine.paths(), f);
+            size_by_id.insert(f, s);
+        }
+        let selection =
+            engine.choose_hoard(budget, &|f| size_by_id.get(&f).copied().unwrap_or(0));
+        // Install the hoard: map engine ids → checker ids.
+        let mut fill: Vec<(FileId, u64)> = selection
+            .files
+            .iter()
+            .filter_map(|&f| {
+                let path = engine.paths().resolve(f)?.to_owned();
+                let size = size_by_id.get(&f).copied().unwrap_or(0);
+                Some((checker.paths_mut().intern(&path), size))
+            })
+            .collect();
+        for path in forced {
+            let size = sizes.size_of_path(path);
+            let id = checker.paths_mut().intern(path);
+            if !fill.iter().any(|&(f, _)| f == id) {
+                fill.push((id, size));
+            }
+        }
+        let report = substrate.fill_hoard(&fill);
+        (fill.into_iter().map(|(f, _)| f).collect(), report.bytes_fetched)
+    }
+
+    for ev in &trace.events {
+        // Disconnection end first (an end always precedes the next start).
+        while next_end < schedule.len() && ev.time >= schedule[next_end].end {
+            checker.sink_mut().in_disconnection = false;
+            substrate.set_connected(true);
+            substrate.reconcile();
+            engine.take_misses();
+            next_end += 1;
+        }
+        // Misses recorded so far schedule their files for hoarding
+        // (§4.4); fold them into every future fill.
+        while forced_upto < checker.sink().misses.len() {
+            let (_, _, _, _, file, _) = checker.sink().misses[forced_upto];
+            if let Some(p) = checker.paths().resolve(file) {
+                forced.insert(p.to_owned());
+            }
+            forced_upto += 1;
+        }
+        // Periodic refills happen only while connected; fills that would
+        // land inside a disconnection are deferred to reconnection time.
+        if let (Some(step), Some(due)) = (periodic_step, next_periodic) {
+            if ev.time >= due {
+                if !checker.sink().in_disconnection {
+                    let (hoard, fetched) = install_hoard(
+                        &mut engine,
+                        &mut checker,
+                        &mut substrate,
+                        &mut sizes,
+                        &forced,
+                        cfg.hoard_bytes,
+                    );
+                    current_hoard = hoard;
+                    bytes_fetched += fetched;
+                }
+                let mut due = due;
+                while ev.time >= due {
+                    due = due + step;
+                }
+                next_periodic = Some(due);
+            }
+        }
+        while next_start < schedule.len() && ev.time >= schedule[next_start].start {
+            if ev.time >= schedule[next_start].end {
+                // The whole disconnection passed between two events: the
+                // machine was idle, nothing to hoard or miss.
+                next_start += 1;
+                continue;
+            }
+            if periodic_step.is_none() {
+                // Disconnection imminent: recluster, choose, and fill
+                // (§2's user-signalled mode). Under periodic filling the
+                // system gets no warning and rides its last refresh.
+                let (hoard, fetched) = install_hoard(
+                    &mut engine,
+                    &mut checker,
+                    &mut substrate,
+                    &mut sizes,
+                    &forced,
+                    cfg.hoard_bytes,
+                );
+                current_hoard = hoard;
+                bytes_fetched += fetched;
+            }
+            substrate.set_connected(false);
+            let disc = next_start;
+            let start = schedule[disc].start;
+            let sink = checker.sink_mut();
+            sink.in_disconnection = true;
+            sink.disconnection = disc;
+            sink.disc_start = start;
+            sink.last_ref_time = start;
+            sink.active_secs = 0;
+            sink.hoarded = current_hoard.clone();
+            sink.created_this_disc.clear();
+            sink.missed_this_disc.clear();
+            next_start += 1;
+        }
+        engine.on_event(ev, &trace.strings);
+        checker.on_event(ev, &trace.strings);
+    }
+
+    let (checker_paths, _always, _stats, sink) = checker.into_parts();
+    // Deployment warm-up: only disconnections starting after the shakedown
+    // period count toward the statistics.
+    let end_time = trace.events.last().map_or(Timestamp::ZERO, |e| e.time);
+    let warmup = Timestamp((end_time.0 as f64 * cfg.warmup_fraction) as u64);
+    let counted = |disc: usize| schedule[disc].start >= warmup;
+    let misses = sink
+        .misses
+        .iter()
+        .filter(|&&(disc, _, _, _, _, _)| counted(disc))
+        .map(|&(disc, sev, hours, active, file, implied)| MissEvent {
+            disconnection: disc,
+            severity: sev,
+            hours_into: hours,
+            active_hours_into: active,
+            implied,
+            path: checker_paths.resolve(file).unwrap_or("").to_owned(),
+        })
+        .collect();
+    LiveResult {
+        machine: workload.profile.name.clone(),
+        hoard_bytes: cfg.hoard_bytes,
+        n_disconnections: schedule.iter().filter(|p| p.start >= warmup).count(),
+        misses,
+        bytes_fetched,
+    }
+}

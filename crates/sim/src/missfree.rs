@@ -1,0 +1,124 @@
+//! The miss-free hoard size metric (§5.1.2).
+//!
+//! "The miss-free hoard size … is defined as the size a hoard would have
+//! to be to ensure no misses." For a ranking-based manager: locate the
+//! worst-ranked file that the disconnection period actually referenced and
+//! sum the sizes of everything ranked at or above it.
+
+use seer_trace::FileId;
+use std::collections::HashSet;
+
+/// A miss-free hoard size result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MissFree {
+    /// Bytes the hoard would have needed.
+    pub bytes: u64,
+    /// Needed files the ranking did not contain at all (their sizes are
+    /// included in `bytes`; a nonzero count means the manager had never
+    /// learned of files the user needed).
+    pub uncovered: usize,
+}
+
+/// Computes the miss-free hoard size of `ranking` against the period's
+/// `needed` set.
+#[must_use]
+pub fn miss_free_size(
+    ranking: &[FileId],
+    needed: &HashSet<FileId>,
+    sizes: &mut dyn FnMut(FileId) -> u64,
+) -> MissFree {
+    if needed.is_empty() {
+        return MissFree { bytes: 0, uncovered: 0 };
+    }
+    let last_needed = ranking
+        .iter()
+        .rposition(|f| needed.contains(f));
+    let mut bytes = 0u64;
+    let mut covered: HashSet<FileId> = HashSet::new();
+    if let Some(last) = last_needed {
+        for &f in &ranking[..=last] {
+            bytes += sizes(f);
+            if needed.contains(&f) {
+                covered.insert(f);
+            }
+        }
+    }
+    let mut uncovered = 0usize;
+    for &f in needed {
+        if !covered.contains(&f) {
+            uncovered += 1;
+            bytes += sizes(f);
+        }
+    }
+    MissFree { bytes, uncovered }
+}
+
+/// Total size of a period's working set — the space an optimal manager
+/// needs (the lowest bar element of Figure 2).
+#[must_use]
+pub fn working_set_bytes(needed: &HashSet<FileId>, sizes: &mut dyn FnMut(FileId) -> u64) -> u64 {
+    needed.iter().map(|&f| sizes(f)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u32]) -> HashSet<FileId> {
+        ids.iter().map(|&i| FileId(i)).collect()
+    }
+
+    fn rank(ids: &[u32]) -> Vec<FileId> {
+        ids.iter().map(|&i| FileId(i)).collect()
+    }
+
+    #[test]
+    fn prefix_up_to_worst_needed_file() {
+        // Ranking 0,1,2,3,4; needed = {1, 3}: prefix 0..=3 → 4 files.
+        let mf = miss_free_size(&rank(&[0, 1, 2, 3, 4]), &set(&[1, 3]), &mut |_| 10);
+        assert_eq!(mf.bytes, 40);
+        assert_eq!(mf.uncovered, 0);
+    }
+
+    #[test]
+    fn perfect_ranking_equals_working_set() {
+        let needed = set(&[0, 1]);
+        let mf = miss_free_size(&rank(&[0, 1, 2, 3]), &needed, &mut |_| 7);
+        assert_eq!(mf.bytes, working_set_bytes(&needed, &mut |_| 7));
+    }
+
+    #[test]
+    fn empty_needed_costs_nothing() {
+        let mf = miss_free_size(&rank(&[0, 1]), &set(&[]), &mut |_| 10);
+        assert_eq!(mf.bytes, 0);
+    }
+
+    #[test]
+    fn unranked_needed_files_count_as_uncovered() {
+        let mf = miss_free_size(&rank(&[0, 1]), &set(&[1, 9]), &mut |_| 5);
+        // Prefix 0..=1 (10 bytes) plus the unranked file 9 (5 bytes).
+        assert_eq!(mf.bytes, 15);
+        assert_eq!(mf.uncovered, 1);
+    }
+
+    #[test]
+    fn all_needed_unranked() {
+        let mf = miss_free_size(&rank(&[0, 1]), &set(&[7, 8]), &mut |_| 3);
+        assert_eq!(mf.bytes, 6, "only the needed files themselves");
+        assert_eq!(mf.uncovered, 2);
+    }
+
+    #[test]
+    fn lru_worse_than_clustered_on_attention_shift() {
+        // The scenario of §6.1: a project member untouched for ages.
+        // Cluster-aware ranking keeps project {1, 2} adjacent; LRU has
+        // stale member 2 at the very bottom, forcing a huge hoard.
+        let needed = set(&[1, 2]);
+        let sizes = &mut |_| 10u64;
+        let seer = miss_free_size(&rank(&[1, 2, 50, 51, 52, 53]), &needed, sizes);
+        let lru = miss_free_size(&rank(&[1, 50, 51, 52, 53, 2]), &needed, sizes);
+        assert_eq!(seer.bytes, 20);
+        assert_eq!(lru.bytes, 60);
+        assert!(lru.bytes >= seer.bytes * 3);
+    }
+}

@@ -1,0 +1,361 @@
+//! The Figure 2 / Figure 3 simulation driver.
+//!
+//! Replays a workload under simulated periodic disconnections (24 hours or
+//! 7 days, §5.1.2) and measures, for every period, the working set and the
+//! miss-free hoard sizes of SEER's cluster-based manager, strict LRU, and
+//! optionally the CODA-inspired schemes.
+
+use crate::missfree::{miss_free_size, working_set_bytes, MissFree};
+use crate::sizes::SizeModel;
+use crate::universe::{Universe, UniverseBuilder};
+use seer_core::{
+    ActivityTracker, CodaInspiredRanker, HoardRanker, LruRanker, RankContext, SeerConfig,
+    SeerEngine,
+};
+use seer_investigator::{
+    HotLinkInvestigator, IncludeScanner, Investigator, MakefileInvestigator,
+};
+use seer_observer::{Observer, ObserverConfig};
+use seer_trace::{EventSink, FileId, PathTable, Timestamp};
+use seer_workload::Workload;
+use std::collections::HashSet;
+
+/// Configuration for a miss-free simulation run.
+#[derive(Debug, Clone)]
+pub struct MissFreeConfig {
+    /// Simulated disconnection period (24 h or 7 d in the paper).
+    pub period: Timestamp,
+    /// Whether external investigators supply relations (the starred bars
+    /// of Figure 2).
+    pub investigators: bool,
+    /// Seed for the fallback file-size distribution (varied across
+    /// repetitions, §5.1.2).
+    pub size_seed: u64,
+    /// Recency horizons (in references) for the CODA-inspired baselines;
+    /// empty to skip them.
+    pub coda_horizons: Vec<u64>,
+    /// SEER engine configuration.
+    pub seer: SeerConfig,
+}
+
+impl MissFreeConfig {
+    /// Daily disconnections, no investigators.
+    #[must_use]
+    pub fn daily() -> MissFreeConfig {
+        MissFreeConfig {
+            period: Timestamp::from_hours(24),
+            investigators: false,
+            size_seed: 1,
+            coda_horizons: Vec::new(),
+            seer: SeerConfig::default(),
+        }
+    }
+
+    /// Weekly disconnections, no investigators.
+    #[must_use]
+    pub fn weekly() -> MissFreeConfig {
+        MissFreeConfig { period: Timestamp::from_hours(24 * 7), ..MissFreeConfig::daily() }
+    }
+}
+
+/// Results for one simulated disconnection period.
+#[derive(Debug, Clone)]
+pub struct PeriodResult {
+    /// Period start time.
+    pub start: Timestamp,
+    /// Working-set bytes (the optimal manager's requirement).
+    pub working_set: u64,
+    /// Files in the working set.
+    pub working_files: usize,
+    /// SEER's miss-free hoard size.
+    pub seer: MissFree,
+    /// Strict LRU's miss-free hoard size.
+    pub lru: MissFree,
+    /// CODA-inspired miss-free sizes, one per configured horizon.
+    pub coda: Vec<MissFree>,
+}
+
+/// A complete miss-free simulation outcome.
+#[derive(Debug, Clone)]
+pub struct MissFreeOutcome {
+    /// Per-period results (periods with empty working sets included).
+    pub periods: Vec<PeriodResult>,
+    /// Distinct files in the universe.
+    pub n_files: usize,
+}
+
+impl MissFreeOutcome {
+    /// Periods in which any work happened (nonempty working set) — the
+    /// ones that contribute to Figure 2's means.
+    pub fn active_periods(&self) -> impl Iterator<Item = &PeriodResult> {
+        self.periods.iter().filter(|p| p.working_files > 0)
+    }
+
+    /// Mean of a per-period metric over active periods, in bytes.
+    #[must_use]
+    pub fn mean_of(&self, f: impl Fn(&PeriodResult) -> u64) -> f64 {
+        let vals: Vec<f64> = self.active_periods().map(|p| f(p) as f64).collect();
+        if vals.is_empty() {
+            0.0
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        }
+    }
+}
+
+/// The default investigator battery (§3.2).
+#[must_use]
+pub fn standard_investigators() -> Vec<Box<dyn Investigator>> {
+    vec![
+        Box::new(IncludeScanner::default()),
+        Box::new(MakefileInvestigator::default()),
+        Box::new(HotLinkInvestigator::default()),
+    ]
+}
+
+/// The inputs a miss-free simulation needs: a trace, a size source, and
+/// (optionally) file contents for the investigators.
+#[derive(Debug, Clone, Copy)]
+pub struct MissFreeInput<'a> {
+    /// The syscall trace to replay.
+    pub trace: &'a seer_trace::Trace,
+    /// Filesystem image for file sizes (the geometric fallback covers the
+    /// rest, §5.1.2).
+    pub fs: &'a seer_trace::FsImage,
+    /// Contents for the external investigators, when
+    /// [`MissFreeConfig::investigators`] is set.
+    pub corpus: Option<&'a seer_investigator::SourceCorpus>,
+}
+
+impl<'a> From<&'a Workload> for MissFreeInput<'a> {
+    fn from(w: &'a Workload) -> MissFreeInput<'a> {
+        MissFreeInput { trace: &w.trace, fs: &w.fs, corpus: Some(&w.corpus) }
+    }
+}
+
+/// Runs the miss-free simulation for one workload.
+#[must_use]
+pub fn run_missfree(workload: &Workload, cfg: &MissFreeConfig) -> MissFreeOutcome {
+    run_missfree_parts(MissFreeInput::from(workload), cfg)
+}
+
+/// Runs the miss-free simulation from explicit parts (trace files, CLI).
+#[must_use]
+pub fn run_missfree_parts(input: MissFreeInput<'_>, cfg: &MissFreeConfig) -> MissFreeOutcome {
+    let trace = input.trace;
+    let total = trace
+        .events
+        .last()
+        .map_or(Timestamp::ZERO, |e| e.time);
+
+    // Pass 1: universe and per-period working sets.
+    let universe = UniverseBuilder::with_period(cfg.period, total).build(trace);
+    let mut sizes = SizeModel::new(input.fs, cfg.size_seed);
+
+    // Pass 2: baselines (unfiltered activity, as real LRU systems see it).
+    let lru_ranks = baseline_rankings(trace, &universe, &cfg.coda_horizons);
+
+    // Pass 3: SEER.
+    let seer_ranks = seer_rankings(input, cfg, &universe);
+
+    let mut periods = Vec::with_capacity(universe.boundaries.len());
+    for (i, start) in universe.boundaries.iter().enumerate() {
+        let needed = &universe.periods[i].needed;
+        let mut size_of = |f: FileId| sizes.size_of(&universe.paths, f);
+        let working_set = working_set_bytes(needed, &mut size_of);
+        let seer = miss_free_size(&seer_ranks[i], needed, &mut size_of);
+        let lru = miss_free_size(&lru_ranks[i].0, needed, &mut size_of);
+        let coda = lru_ranks[i]
+            .1
+            .iter()
+            .map(|r| miss_free_size(r, needed, &mut size_of))
+            .collect();
+        periods.push(PeriodResult {
+            start: *start,
+            working_set,
+            working_files: needed.len(),
+            seer,
+            lru,
+            coda,
+        });
+    }
+    MissFreeOutcome { periods, n_files: universe.n_files() }
+}
+
+/// Maps a ranking expressed in `from` ids into universe ids, dropping
+/// paths the universe never saw.
+fn map_ranking(rank: &[FileId], from: &PathTable, universe: &Universe) -> Vec<FileId> {
+    rank.iter()
+        .filter_map(|&f| from.resolve(f).and_then(|p| universe.paths.get(p)))
+        .collect()
+}
+
+/// Replays the trace through a permissive observer, snapshotting LRU and
+/// CODA-inspired rankings at every boundary.
+fn baseline_rankings(
+    trace: &seer_trace::Trace,
+    universe: &Universe,
+    coda_horizons: &[u64],
+) -> Vec<(Vec<FileId>, Vec<Vec<FileId>>)> {
+    let mut obs = Observer::new(ObserverConfig::permissive(), ActivityTracker::new());
+    let mut out = Vec::with_capacity(universe.boundaries.len());
+    let mut next = 0usize;
+    let empty: HashSet<FileId> = HashSet::new();
+    let snapshot = |obs: &Observer<ActivityTracker>| {
+        let ctx = RankContext {
+            activity: obs.sink(),
+            clustering: None,
+            always_hoard: &empty,
+        };
+        let lru = map_ranking(&LruRanker.rank(&ctx), obs.paths(), universe);
+        let coda = coda_horizons
+            .iter()
+            .map(|&h| {
+                let r = CodaInspiredRanker { horizon_refs: h }.rank(&ctx);
+                map_ranking(&r, obs.paths(), universe)
+            })
+            .collect();
+        (lru, coda)
+    };
+    for ev in &trace.events {
+        while next < universe.boundaries.len() && ev.time >= universe.boundaries[next] {
+            out.push(snapshot(&obs));
+            next += 1;
+        }
+        obs.on_event(ev, &trace.strings);
+    }
+    while next < universe.boundaries.len() {
+        out.push(snapshot(&obs));
+        next += 1;
+    }
+    out
+}
+
+/// Replays the trace through a full SEER engine, reclustering and ranking
+/// at every boundary.
+fn seer_rankings(
+    input: MissFreeInput<'_>,
+    cfg: &MissFreeConfig,
+    universe: &Universe,
+) -> Vec<Vec<FileId>> {
+    let mut engine = SeerEngine::new(cfg.seer.clone());
+    if cfg.investigators {
+        if let Some(corpus) = input.corpus {
+            let mut relations = Vec::new();
+            for inv in standard_investigators() {
+                relations.extend(inv.investigate(corpus, engine.paths_mut()));
+            }
+            engine.set_relations(relations);
+        }
+    }
+    let trace = input.trace;
+    let mut out = Vec::with_capacity(universe.boundaries.len());
+    let mut next = 0usize;
+    for ev in &trace.events {
+        while next < universe.boundaries.len() && ev.time >= universe.boundaries[next] {
+            engine.recluster();
+            out.push(map_ranking(&engine.rank(), engine.paths(), universe));
+            next += 1;
+        }
+        engine.on_event(ev, &trace.strings);
+    }
+    while next < universe.boundaries.len() {
+        engine.recluster();
+        out.push(map_ranking(&engine.rank(), engine.paths(), universe));
+        next += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seer_workload::{generate, MachineProfile};
+
+    fn small_workload() -> Workload {
+        let profile = MachineProfile::by_name("A").expect("machine").scaled_to_days(21);
+        generate(&profile, 11)
+    }
+
+    #[test]
+    fn daily_simulation_produces_periods() {
+        let w = small_workload();
+        let out = run_missfree(&w, &MissFreeConfig::daily());
+        assert!(out.periods.len() >= 20, "one period per day");
+        assert!(out.active_periods().count() > 3);
+        for p in out.active_periods() {
+            assert!(p.working_set > 0);
+            assert!(p.seer.bytes >= p.working_set / 2, "sanity: sizes are comparable scales");
+        }
+    }
+
+    #[test]
+    fn seer_beats_lru_on_average() {
+        // Pool several seeds: on tiny 21-day windows a single draw can go
+        // either way, but the average must show SEER's advantage (the
+        // full-scale comparison lives in the figure2 binary).
+        let profile = MachineProfile::by_name("A").expect("machine").scaled_to_days(21);
+        let (mut ws, mut seer, mut lru) = (0.0, 0.0, 0.0);
+        for seed in [11, 12, 13] {
+            let w = generate(&profile, seed);
+            let out = run_missfree(&w, &MissFreeConfig::weekly());
+            ws += out.mean_of(|p| p.working_set);
+            seer += out.mean_of(|p| p.seer.bytes);
+            lru += out.mean_of(|p| p.lru.bytes);
+        }
+        assert!(ws > 0.0);
+        assert!(
+            seer <= lru,
+            "SEER ({seer:.0}) must not need more hoard than LRU ({lru:.0})"
+        );
+        // SEER's overhead above the working set is smaller than LRU's.
+        let seer_over = seer - ws;
+        let lru_over = lru - ws;
+        assert!(
+            seer_over <= lru_over,
+            "SEER overhead {seer_over:.0} vs LRU {lru_over:.0}"
+        );
+    }
+
+    #[test]
+    fn coda_inspired_is_no_better_than_lru() {
+        // §5.1.2: without hand management the CODA-inspired schemes
+        // "performed more poorly than LRU". With a short recency horizon
+        // most files fall into the arbitrary-order class, so the effect
+        // grows as the horizon shrinks; we assert the qualitative claim
+        // with a tolerance for sampling noise, at two horizons.
+        let w = small_workload();
+        let cfg = MissFreeConfig {
+            coda_horizons: vec![100, 2_000],
+            ..MissFreeConfig::weekly()
+        };
+        let out = run_missfree(&w, &cfg);
+        let lru = out.mean_of(|p| p.lru.bytes);
+        let coda_tight = out.mean_of(|p| p.coda[0].bytes);
+        let coda_loose = out.mean_of(|p| p.coda[1].bytes);
+        assert!(
+            coda_tight >= lru * 0.9,
+            "tight-horizon coda {coda_tight:.0} should not beat lru {lru:.0}"
+        );
+        assert!(
+            coda_loose >= lru * 0.9,
+            "loose-horizon coda {coda_loose:.0} should not beat lru {lru:.0}"
+        );
+        // The tighter horizon degrades at least as much as the looser one.
+        assert!(coda_tight >= coda_loose * 0.95);
+    }
+
+    #[test]
+    fn investigators_run_without_breaking_anything() {
+        let w = small_workload();
+        let base = run_missfree(&w, &MissFreeConfig::weekly());
+        let cfg = MissFreeConfig { investigators: true, ..MissFreeConfig::weekly() };
+        let with_inv = run_missfree(&w, &cfg);
+        assert_eq!(base.periods.len(), with_inv.periods.len());
+        // The paper found no statistically significant difference (§5.2.1);
+        // at minimum the run must stay in the same ballpark.
+        let a = base.mean_of(|p| p.seer.bytes);
+        let b = with_inv.mean_of(|p| p.seer.bytes);
+        assert!(b <= a * 3.0 + 1e4, "with investigators {b:.0} vs without {a:.0}");
+    }
+}

@@ -1,0 +1,213 @@
+//! The permissive first pass: file universe and per-period working sets.
+
+use seer_observer::{Observer, ObserverConfig, RefKind, Reference, ReferenceSink};
+use seer_trace::{FileId, PathTable, Timestamp, Trace};
+use std::collections::{HashMap, HashSet};
+
+/// What a disconnection period needed and produced.
+#[derive(Debug, Default, Clone)]
+pub struct PeriodSets {
+    /// Files referenced read-first during the period — what an optimal
+    /// hoard must contain. Only files already known before the period
+    /// start qualify (a never-before-seen file is unhoardable by *any*
+    /// algorithm and is excluded from the metric, as in the paper's LRU
+    /// formulation which requires a prior reference time).
+    pub needed: HashSet<FileId>,
+    /// Files created (written before any read) during the period.
+    pub created: HashSet<FileId>,
+}
+
+/// The canonical file universe for one workload replay: every path
+/// interned into one table, each file's first-seen period, and per-period
+/// working sets for the configured boundary spacing.
+#[derive(Debug)]
+pub struct Universe {
+    /// Canonical path table (the permissive observer's).
+    pub paths: PathTable,
+    /// Period start times (period `i` spans `boundaries[i]` to
+    /// `boundaries[i + 1]`, the last period ending at the trace end).
+    pub boundaries: Vec<Timestamp>,
+    /// Per-period working sets.
+    pub periods: Vec<PeriodSets>,
+    first_seen: HashMap<FileId, usize>,
+}
+
+impl Universe {
+    /// Whether `file` was known before period `period` began.
+    #[must_use]
+    pub fn known_before(&self, file: FileId, period: usize) -> bool {
+        self.first_seen.get(&file).is_some_and(|&p| p < period)
+    }
+
+    /// Number of distinct files ever referenced.
+    #[must_use]
+    pub fn n_files(&self) -> usize {
+        self.first_seen.len()
+    }
+}
+
+/// Builds a [`Universe`] by replaying a trace through a permissive
+/// observer.
+#[derive(Debug)]
+pub struct UniverseBuilder {
+    boundaries: Vec<Timestamp>,
+}
+
+impl UniverseBuilder {
+    /// Creates a builder with period boundaries every `period` over
+    /// `total` trace time.
+    #[must_use]
+    pub fn with_period(period: Timestamp, total: Timestamp) -> UniverseBuilder {
+        assert!(period.0 > 0, "period must be positive");
+        let mut boundaries = Vec::new();
+        let mut t = Timestamp::ZERO;
+        while t <= total {
+            boundaries.push(t);
+            t = t + period;
+        }
+        UniverseBuilder { boundaries }
+    }
+
+    /// Creates a builder with explicit boundaries (e.g. a real
+    /// disconnection schedule).
+    #[must_use]
+    pub fn with_boundaries(boundaries: Vec<Timestamp>) -> UniverseBuilder {
+        UniverseBuilder { boundaries }
+    }
+
+    /// Replays `trace` and produces the universe.
+    #[must_use]
+    pub fn build(self, trace: &Trace) -> Universe {
+        let sink = UniverseSink {
+            boundaries: self.boundaries.clone(),
+            current: 0,
+            periods: vec![PeriodSets::default(); self.boundaries.len().max(1)],
+            first_seen: HashMap::new(),
+        };
+        let mut obs = Observer::new(ObserverConfig::permissive(), sink);
+        trace.replay(&mut obs);
+        let (paths, _always, _stats, sink) = obs.into_parts();
+        Universe {
+            paths,
+            boundaries: self.boundaries,
+            periods: sink.periods,
+            first_seen: sink.first_seen,
+        }
+    }
+}
+
+struct UniverseSink {
+    boundaries: Vec<Timestamp>,
+    current: usize,
+    periods: Vec<PeriodSets>,
+    first_seen: HashMap<FileId, usize>,
+}
+
+impl ReferenceSink for UniverseSink {
+    fn on_reference(&mut self, r: &Reference, _paths: &PathTable) {
+        // Advance to the period containing this reference.
+        while self.current + 1 < self.boundaries.len()
+            && r.time >= self.boundaries[self.current + 1]
+        {
+            self.current += 1;
+        }
+        let (reads, writes) = match r.kind {
+            RefKind::Open { read, write, .. } => (read, write),
+            RefKind::Point { write } => (!write, write),
+            RefKind::Delete => (false, true),
+            RefKind::Close
+            | RefKind::Fork { .. }
+            | RefKind::Exit { .. }
+            | RefKind::HoardMiss
+            | RefKind::DirList => return,
+        };
+        let period = &mut self.periods[self.current];
+        let first_seen = *self.first_seen.entry(r.file).or_insert(self.current);
+        if reads {
+            let created_here = period.created.contains(&r.file);
+            if !created_here && first_seen < self.current {
+                period.needed.insert(r.file);
+            }
+        } else if writes && !period.needed.contains(&r.file) {
+            // Written before any read this period: a fresh creation.
+            period.created.insert(r.file);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seer_trace::{OpenMode, Pid, TraceBuilder};
+
+    fn hours(h: u64) -> Timestamp {
+        Timestamp::from_hours(h)
+    }
+
+    #[test]
+    fn boundaries_tile_the_trace() {
+        let b = UniverseBuilder::with_period(hours(24), hours(80));
+        assert_eq!(b.boundaries, vec![hours(0), hours(24), hours(48), hours(72)]);
+    }
+
+    #[test]
+    fn needed_requires_prior_knowledge() {
+        let mut b = TraceBuilder::new();
+        let p = Pid(1);
+        // Period 0: file seen.
+        b.touch(p, "/a", OpenMode::Read);
+        b.advance(hours(25));
+        // Period 1: file read again → needed.
+        b.touch(p, "/a", OpenMode::Read);
+        // Period 1: brand-new file read → NOT needed (unknowable).
+        b.touch(p, "/fresh", OpenMode::Read);
+        let trace = b.build();
+        let u = UniverseBuilder::with_period(hours(24), hours(26)).build(&trace);
+        let a = u.paths.get("/a").expect("interned");
+        let fresh = u.paths.get("/fresh").expect("interned");
+        assert!(u.periods[1].needed.contains(&a));
+        assert!(!u.periods[1].needed.contains(&fresh));
+        assert!(u.known_before(a, 1));
+        assert!(!u.known_before(fresh, 1));
+    }
+
+    #[test]
+    fn created_files_are_not_needed() {
+        let mut b = TraceBuilder::new();
+        let p = Pid(1);
+        b.touch(p, "/obj.o", OpenMode::Read); // Known in period 0.
+        b.advance(hours(25));
+        // Period 1: written (truncate) then read — a rebuild, not a miss.
+        b.touch(p, "/obj.o", OpenMode::Write);
+        b.touch(p, "/obj.o", OpenMode::Read);
+        let trace = b.build();
+        let u = UniverseBuilder::with_period(hours(24), hours(26)).build(&trace);
+        let obj = u.paths.get("/obj.o").expect("interned");
+        assert!(u.periods[1].created.contains(&obj));
+        assert!(!u.periods[1].needed.contains(&obj));
+    }
+
+    #[test]
+    fn read_write_opens_need_content() {
+        let mut b = TraceBuilder::new();
+        let p = Pid(1);
+        b.touch(p, "/doc.tex", OpenMode::Read);
+        b.advance(hours(25));
+        b.touch(p, "/doc.tex", OpenMode::ReadWrite); // Edit: needs content.
+        let trace = b.build();
+        let u = UniverseBuilder::with_period(hours(24), hours(26)).build(&trace);
+        let doc = u.paths.get("/doc.tex").expect("interned");
+        assert!(u.periods[1].needed.contains(&doc));
+    }
+
+    #[test]
+    fn permissive_pass_sees_temp_and_dot_files() {
+        let mut b = TraceBuilder::new();
+        let p = Pid(1);
+        b.touch(p, "/tmp/x", OpenMode::Read);
+        b.touch(p, "/home/u/.rc", OpenMode::Read);
+        let trace = b.build();
+        let u = UniverseBuilder::with_period(hours(24), hours(1)).build(&trace);
+        assert_eq!(u.n_files(), 2, "nothing is filtered in the universe pass");
+    }
+}

@@ -1,0 +1,101 @@
+//! Geometric distribution, the paper's fallback file-size model.
+//!
+//! §5.1.2: "when the size of a file was not available, the size was
+//! randomly assigned from a geometric distribution with a parameter of
+//! 0.00007, for an average file size of 14284 bytes."
+
+use rand::Rng;
+
+/// A geometric distribution over positive integers with success
+/// probability `p` (mean ≈ 1/p).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Geometric {
+    p: f64,
+}
+
+impl Geometric {
+    /// The paper's file-size distribution: p = 0.00007, mean 14 284 bytes.
+    pub const PAPER_FILE_SIZES: Geometric = Geometric { p: 0.00007 };
+
+    /// Creates a geometric distribution; returns `None` unless `0 < p ≤ 1`.
+    #[must_use]
+    pub fn new(p: f64) -> Option<Geometric> {
+        (p > 0.0 && p <= 1.0 && p.is_finite()).then_some(Geometric { p })
+    }
+
+    /// The distribution parameter.
+    #[must_use]
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// The distribution mean, 1/p.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        1.0 / self.p
+    }
+
+    /// Draws one sample (≥ 1) by inversion.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.p >= 1.0 {
+            return 1;
+        }
+        // Inversion: ceil(ln(U) / ln(1-p)) with U in (0, 1).
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let x = (u.ln() / (1.0 - self.p).ln()).ceil();
+        x.max(1.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_parameterization() {
+        let g = Geometric::PAPER_FILE_SIZES;
+        assert!((g.mean() - 14285.7).abs() < 1.0, "1/0.00007 ≈ 14285.7");
+    }
+
+    #[test]
+    fn new_validates_p() {
+        assert!(Geometric::new(0.0).is_none());
+        assert!(Geometric::new(-0.5).is_none());
+        assert!(Geometric::new(1.5).is_none());
+        assert!(Geometric::new(f64::NAN).is_none());
+        assert!(Geometric::new(1.0).is_some());
+        assert!(Geometric::new(0.3).is_some());
+    }
+
+    #[test]
+    fn p_one_always_samples_one() {
+        let g = Geometric::new(1.0).expect("valid");
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(g.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn sample_mean_approximates_distribution_mean() {
+        let g = Geometric::PAPER_FILE_SIZES;
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 50_000;
+        let total: u64 = (0..n).map(|_| g.sample(&mut rng)).sum();
+        let mean = total as f64 / n as f64;
+        let expected = g.mean();
+        assert!(
+            (mean - expected).abs() / expected < 0.03,
+            "sample mean {mean} too far from {expected}"
+        );
+    }
+
+    #[test]
+    fn samples_are_positive() {
+        let g = Geometric::new(0.5).expect("valid");
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!((0..1000).all(|_| g.sample(&mut rng) >= 1));
+    }
+}

@@ -1,0 +1,123 @@
+//! Fixed-bin histogram for distribution inspection.
+
+/// A histogram over `[lo, hi)` with equal-width bins plus underflow and
+/// overflow counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi)`.
+    ///
+    /// Returns `None` if `bins == 0`, the range is empty, or the bounds are
+    /// not finite.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Option<Histogram> {
+        if bins == 0 || !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
+            return None;
+        }
+        Some(Histogram { lo, hi, bins: vec![0; bins], underflow: 0, overflow: 0 })
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = ((x - self.lo) / width) as usize;
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Count in bin `i`.
+    #[must_use]
+    pub fn bin(&self, i: usize) -> u64 {
+        self.bins.get(i).copied().unwrap_or(0)
+    }
+
+    /// `[lo, hi)` bounds of bin `i` (even for out-of-range `i`).
+    #[must_use]
+    pub fn bin_range(&self, i: usize) -> (f64, f64) {
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + width * i as f64, self.lo + width * (i + 1) as f64)
+    }
+
+    /// Number of bins.
+    #[must_use]
+    pub fn num_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Observations below the range.
+    #[must_use]
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the upper bound.
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations recorded, including out-of-range ones.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.underflow + self.overflow + self.bins.iter().sum::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_construction() {
+        assert!(Histogram::new(0.0, 1.0, 0).is_none());
+        assert!(Histogram::new(1.0, 1.0, 4).is_none());
+        assert!(Histogram::new(2.0, 1.0, 4).is_none());
+        assert!(Histogram::new(0.0, f64::INFINITY, 4).is_none());
+        assert!(Histogram::new(0.0, 10.0, 4).is_some());
+    }
+
+    #[test]
+    fn records_into_correct_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 5).expect("valid");
+        h.record(0.0);
+        h.record(1.9);
+        h.record(2.0);
+        h.record(9.99);
+        assert_eq!(h.bin(0), 2);
+        assert_eq!(h.bin(1), 1);
+        assert_eq!(h.bin(4), 1);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn out_of_range_counts() {
+        let mut h = Histogram::new(0.0, 10.0, 2).expect("valid");
+        h.record(-1.0);
+        h.record(10.0);
+        h.record(100.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn bin_ranges_tile_the_domain() {
+        let h = Histogram::new(0.0, 10.0, 4).expect("valid");
+        assert_eq!(h.bin_range(0), (0.0, 2.5));
+        assert_eq!(h.bin_range(3), (7.5, 10.0));
+        assert_eq!(h.num_bins(), 4);
+    }
+}

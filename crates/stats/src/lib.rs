@@ -1,0 +1,20 @@
+//! Statistics utilities for the SEER reproduction.
+//!
+//! The paper's evaluation reports means, medians, standard deviations,
+//! ranges (Tables 3 and 5), and 99 % confidence intervals (Figure 2), and
+//! models unknown file sizes with a geometric distribution (§5.1.2). This
+//! crate provides those pieces: [`Summary`] for batch statistics,
+//! [`OnlineStats`] for streaming mean/variance, [`Geometric`] for the file
+//! size model, and [`Histogram`] for distribution inspection.
+
+#![warn(missing_docs)]
+
+pub mod geometric;
+pub mod histogram;
+pub mod online;
+pub mod summary;
+
+pub use geometric::Geometric;
+pub use histogram::Histogram;
+pub use online::OnlineStats;
+pub use summary::{confidence_interval_99, Summary};

@@ -1,0 +1,146 @@
+//! Batch summary statistics (mean, median, σ, range, confidence interval).
+
+/// Five-number-style summary of a sample, as reported in the paper's
+/// Tables 3 and 5 (mean x̄, median x₀.₅, standard deviation σ, min, max).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (average of middle two for even sizes).
+    pub median: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n < 2).
+    pub stddev: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Sum of observations.
+    pub total: f64,
+}
+
+impl Summary {
+    /// Computes a summary of `data`; returns `None` for an empty sample or
+    /// one containing non-finite values.
+    #[must_use]
+    pub fn of(data: &[f64]) -> Option<Summary> {
+        if data.is_empty() || data.iter().any(|x| !x.is_finite()) {
+            return None;
+        }
+        let n = data.len();
+        let total: f64 = data.iter().sum();
+        let mean = total / n as f64;
+        let var = if n > 1 {
+            data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("values are finite"));
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        };
+        Some(Summary {
+            n,
+            mean,
+            median,
+            stddev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            total,
+        })
+    }
+
+    /// Half-width of the 99 % confidence interval about the mean.
+    #[must_use]
+    pub fn ci99_half_width(&self) -> f64 {
+        confidence_interval_99(self.stddev, self.n)
+    }
+}
+
+/// Half-width of a 99 % confidence interval about a sample mean, using the
+/// normal approximation (z₀.₀₀₅ ≈ 2.576). Returns 0 for n < 2.
+#[must_use]
+pub fn confidence_interval_99(stddev: f64, n: usize) -> f64 {
+    if n < 2 {
+        return 0.0;
+    }
+    2.576 * stddev / (n as f64).sqrt()
+}
+
+/// Quantile of a sample via linear interpolation (`q` in `[0, 1]`).
+///
+/// Returns `None` for an empty sample, out-of-range `q`, or non-finite data.
+#[must_use]
+pub fn quantile(data: &[f64], q: f64) -> Option<f64> {
+    if data.is_empty() || !(0.0..=1.0).contains(&q) || data.iter().any(|x| !x.is_finite()) {
+        return None;
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("values are finite"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).expect("non-empty");
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.median - 4.5).abs() < 1e-12);
+        // Sample stddev with n-1: variance = 32/7.
+        assert!((s.stddev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.total, 40.0);
+    }
+
+    #[test]
+    fn summary_rejects_empty_and_nan() {
+        assert!(Summary::of(&[]).is_none());
+        assert!(Summary::of(&[1.0, f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn summary_single_element() {
+        let s = Summary::of(&[3.5]).expect("single");
+        assert_eq!(s.mean, 3.5);
+        assert_eq!(s.median, 3.5);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.ci99_half_width(), 0.0);
+    }
+
+    #[test]
+    fn median_odd_sample() {
+        let s = Summary::of(&[9.0, 1.0, 5.0]).expect("odd");
+        assert_eq!(s.median, 5.0);
+    }
+
+    #[test]
+    fn ci_shrinks_with_n() {
+        let wide = confidence_interval_99(10.0, 4);
+        let narrow = confidence_interval_99(10.0, 400);
+        assert!(narrow < wide / 5.0);
+        assert!((confidence_interval_99(1.0, 100) - 0.2576).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let d = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&d, 0.0), Some(1.0));
+        assert_eq!(quantile(&d, 1.0), Some(4.0));
+        assert_eq!(quantile(&d, 0.5), Some(2.5));
+        assert!(quantile(&d, 1.5).is_none());
+        assert!(quantile(&[], 0.5).is_none());
+    }
+}

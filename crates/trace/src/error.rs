@@ -1,0 +1,64 @@
+//! Error type for trace serialization.
+
+use std::fmt;
+use std::io;
+
+/// Errors arising while reading or writing traces.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The input was not a valid serialized trace.
+    Format(String),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::Format(m) => write!(f, "trace format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            TraceError::Format(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> TraceError {
+        TraceError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for TraceError {
+    fn from(e: serde_json::Error) -> TraceError {
+        TraceError::Format(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_cause() {
+        let e = TraceError::Format("bad header".into());
+        assert!(e.to_string().contains("bad header"));
+        let e = TraceError::from(io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn source_chains() {
+        use std::error::Error as _;
+        let e = TraceError::from(io::Error::new(io::ErrorKind::Other, "x"));
+        assert!(e.source().is_some());
+        assert!(TraceError::Format("y".into()).source().is_none());
+    }
+}

@@ -1,0 +1,261 @@
+//! Trace event types: one record per observed system call.
+
+use crate::ids::{Fd, Pid, RawPathId, Seq};
+use crate::time::Timestamp;
+use serde::{Deserialize, Serialize};
+
+/// Access mode of an open, treated by SEER as a whole-file operation (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpenMode {
+    /// Read-only open.
+    Read,
+    /// Write/truncate/create open.
+    Write,
+    /// Read-write open.
+    ReadWrite,
+}
+
+impl OpenMode {
+    /// Whether the open can modify the file.
+    #[must_use]
+    pub fn writes(self) -> bool {
+        matches!(self, OpenMode::Write | OpenMode::ReadWrite)
+    }
+}
+
+/// Failure cause for an unsuccessful call.
+///
+/// The observer traces calls *after* completion precisely so it can see
+/// success or failure (§4.11); failed opens matter because accesses to
+/// nonexistent files must not be confused with hoard misses (§4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ErrorKind {
+    /// The named object does not exist (`ENOENT`).
+    NotFound,
+    /// The object exists but is not hoarded locally — a detectable hoard
+    /// miss under substrates that can distinguish it (§4.4).
+    NotHoarded,
+    /// Permission denied or any other failure.
+    Other,
+}
+
+/// The operation a trace event records.
+///
+/// Covers the reference types of §4.8: opens/closes, process lifetimes
+/// (exec/exit/fork), deletion, creation, renames, attribute examination and
+/// modification, and directory reads (which drive the meaningless-process
+/// heuristics of §4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EventKind {
+    /// Open a regular file; on success the process holds `fd` until a
+    /// matching [`EventKind::Close`].
+    Open {
+        /// Raw path argument.
+        path: RawPathId,
+        /// Access mode.
+        mode: OpenMode,
+        /// Descriptor returned on success.
+        fd: Fd,
+    },
+    /// Close a previously opened descriptor (file or directory).
+    Close {
+        /// Descriptor being closed.
+        fd: Fd,
+    },
+    /// Open a directory for reading (e.g. `opendir`).
+    OpenDir {
+        /// Raw path argument.
+        path: RawPathId,
+        /// Descriptor returned on success.
+        fd: Fd,
+    },
+    /// Read entries from an open directory.
+    ReadDir {
+        /// Directory descriptor.
+        fd: Fd,
+        /// Number of entries returned — the count of files the process has
+        /// now "learned about" for the potential-access heuristic (§4.1).
+        entries: u32,
+    },
+    /// Execute a program image; treated as an open of the image that lasts
+    /// until process exit (§4.8).
+    Exec {
+        /// Raw path of the program image.
+        path: RawPathId,
+    },
+    /// Process termination; closes the image and merges the reference
+    /// history into the parent (§4.7).
+    Exit,
+    /// Process creation; the child inherits cwd, descriptors, and reference
+    /// history (§4.7).
+    Fork {
+        /// Pid of the new child.
+        child: Pid,
+    },
+    /// Delete a name (`unlink`); removal from SEER's tables is delayed
+    /// (§4.8).
+    Unlink {
+        /// Raw path argument.
+        path: RawPathId,
+    },
+    /// Create a filesystem object without holding it open (`mkdir`,
+    /// `mknod`, `symlink`); treated as a point-in-time reference.
+    Create {
+        /// Raw path argument.
+        path: RawPathId,
+    },
+    /// Rename a file; as semantically meaningful as an open (§3.1).
+    Rename {
+        /// Raw source path.
+        from: RawPathId,
+        /// Raw destination path.
+        to: RawPathId,
+    },
+    /// Examine attributes (`stat`/`access`); treated as an open/close pair
+    /// unless immediately followed by an open of the same file (§4.8).
+    Stat {
+        /// Raw path argument.
+        path: RawPathId,
+    },
+    /// Modify attributes (`chmod`/`utimes`); a point-in-time reference.
+    SetAttr {
+        /// Raw path argument.
+        path: RawPathId,
+    },
+    /// Change the process working directory.
+    Chdir {
+        /// Raw path of the new working directory.
+        path: RawPathId,
+    },
+}
+
+impl EventKind {
+    /// The primary raw path this event references, if any.
+    #[must_use]
+    pub fn path(&self) -> Option<RawPathId> {
+        match *self {
+            EventKind::Open { path, .. }
+            | EventKind::OpenDir { path, .. }
+            | EventKind::Exec { path }
+            | EventKind::Unlink { path }
+            | EventKind::Create { path }
+            | EventKind::Rename { from: path, .. }
+            | EventKind::Stat { path }
+            | EventKind::SetAttr { path }
+            | EventKind::Chdir { path } => Some(path),
+            EventKind::Close { .. }
+            | EventKind::ReadDir { .. }
+            | EventKind::Exit
+            | EventKind::Fork { .. } => None,
+        }
+    }
+
+    /// Short lowercase name of the syscall class (for stats and dumps).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Open { .. } => "open",
+            EventKind::Close { .. } => "close",
+            EventKind::OpenDir { .. } => "opendir",
+            EventKind::ReadDir { .. } => "readdir",
+            EventKind::Exec { .. } => "exec",
+            EventKind::Exit => "exit",
+            EventKind::Fork { .. } => "fork",
+            EventKind::Unlink { .. } => "unlink",
+            EventKind::Create { .. } => "create",
+            EventKind::Rename { .. } => "rename",
+            EventKind::Stat { .. } => "stat",
+            EventKind::SetAttr { .. } => "setattr",
+            EventKind::Chdir { .. } => "chdir",
+        }
+    }
+}
+
+/// One observed system call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Global sequence number, dense and increasing within a trace.
+    pub seq: Seq,
+    /// Wall-clock time of completion.
+    pub time: Timestamp,
+    /// Issuing process.
+    pub pid: Pid,
+    /// Whether the process runs as the superuser; such calls are mostly
+    /// excluded from observation to avoid deadlock-analogous feedback
+    /// (§4.10).
+    pub root: bool,
+    /// The operation performed.
+    pub kind: EventKind,
+    /// `None` on success; the failure cause otherwise.
+    pub error: Option<ErrorKind>,
+}
+
+impl TraceEvent {
+    /// Whether the call completed successfully.
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            seq: Seq(0),
+            time: Timestamp::ZERO,
+            pid: Pid(1),
+            root: false,
+            kind,
+            error: None,
+        }
+    }
+
+    #[test]
+    fn open_mode_writes() {
+        assert!(!OpenMode::Read.writes());
+        assert!(OpenMode::Write.writes());
+        assert!(OpenMode::ReadWrite.writes());
+    }
+
+    #[test]
+    fn path_extraction() {
+        let p = RawPathId(3);
+        assert_eq!(
+            ev(EventKind::Open { path: p, mode: OpenMode::Read, fd: Fd(4) })
+                .kind
+                .path(),
+            Some(p)
+        );
+        assert_eq!(ev(EventKind::Exit).kind.path(), None);
+        assert_eq!(ev(EventKind::Close { fd: Fd(4) }).kind.path(), None);
+        assert_eq!(
+            ev(EventKind::Rename { from: p, to: RawPathId(9) }).kind.path(),
+            Some(p)
+        );
+    }
+
+    #[test]
+    fn ok_reflects_error() {
+        let mut e = ev(EventKind::Exit);
+        assert!(e.ok());
+        e.error = Some(ErrorKind::NotFound);
+        assert!(!e.ok());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let e = ev(EventKind::Open { path: RawPathId(1), mode: OpenMode::Write, fd: Fd(7) });
+        let json = serde_json::to_string(&e).expect("serialize");
+        let back: TraceEvent = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(ev(EventKind::Exit).kind.name(), "exit");
+        assert_eq!(ev(EventKind::ReadDir { fd: Fd(1), entries: 10 }).kind.name(), "readdir");
+    }
+}

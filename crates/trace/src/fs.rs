@@ -1,0 +1,221 @@
+//! Model of the traced machine's filesystem.
+//!
+//! The paper's simulator "made use of actual file sizes whenever possible"
+//! (§5.1.2); our synthetic traces come with an [`FsImage`] giving every
+//! generated object a kind and size, so hoard-size arithmetic uses real
+//! (model) sizes and falls back to the paper's geometric distribution only
+//! for files never described by the image.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+use crate::path::dirname;
+
+/// The kind of a filesystem object (§4.6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FileKind {
+    /// Ordinary data file.
+    Regular,
+    /// Directory.
+    Directory,
+    /// Symbolic link.
+    Symlink,
+    /// Device node or other special object (`/dev/tty*` etc.).
+    Device,
+}
+
+impl FileKind {
+    /// Whether SEER always hoards this kind regardless of reference history
+    /// (§4.6: non-files are critical and nearly free to hoard).
+    #[must_use]
+    pub fn always_hoard(self) -> bool {
+        matches!(self, FileKind::Symlink | FileKind::Device)
+    }
+}
+
+/// Metadata for one filesystem object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FsEntry {
+    /// Object kind.
+    pub kind: FileKind,
+    /// Size in bytes (directories: size of the directory object itself).
+    pub size: u64,
+}
+
+impl FsEntry {
+    /// A regular file of `size` bytes.
+    #[must_use]
+    pub fn regular(size: u64) -> FsEntry {
+        FsEntry { kind: FileKind::Regular, size }
+    }
+
+    /// A directory (charged a nominal 1 KiB, the conservative assumption of
+    /// §4.6 that all directories are hoarded).
+    #[must_use]
+    pub fn directory() -> FsEntry {
+        FsEntry { kind: FileKind::Directory, size: 1024 }
+    }
+
+    /// A symbolic link.
+    #[must_use]
+    pub fn symlink() -> FsEntry {
+        FsEntry { kind: FileKind::Symlink, size: 64 }
+    }
+
+    /// A device node.
+    #[must_use]
+    pub fn device() -> FsEntry {
+        FsEntry { kind: FileKind::Device, size: 0 }
+    }
+}
+
+/// A snapshot of the traced machine's filesystem: absolute path → metadata.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct FsImage {
+    entries: HashMap<String, FsEntry>,
+}
+
+impl FsImage {
+    /// Creates an empty image.
+    #[must_use]
+    pub fn new() -> FsImage {
+        FsImage::default()
+    }
+
+    /// Inserts or replaces an object, creating parent directories as needed.
+    pub fn insert(&mut self, path: &str, entry: FsEntry) {
+        let mut dir = dirname(path);
+        while dir != "/" && !self.entries.contains_key(dir) {
+            self.entries.insert(dir.to_owned(), FsEntry::directory());
+            dir = dirname(dir);
+        }
+        self.entries.insert(path.to_owned(), entry);
+    }
+
+    /// Removes an object, returning its metadata if present.
+    pub fn remove(&mut self, path: &str) -> Option<FsEntry> {
+        self.entries.remove(path)
+    }
+
+    /// Looks up an object.
+    #[must_use]
+    pub fn get(&self, path: &str) -> Option<FsEntry> {
+        self.entries.get(path).copied()
+    }
+
+    /// Size of an object, if known.
+    #[must_use]
+    pub fn size_of(&self, path: &str) -> Option<u64> {
+        self.get(path).map(|e| e.size)
+    }
+
+    /// Whether the image contains `path`.
+    #[must_use]
+    pub fn contains(&self, path: &str) -> bool {
+        self.entries.contains_key(path)
+    }
+
+    /// Number of objects in the image.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the image is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total size of all objects, in bytes.
+    #[must_use]
+    pub fn total_size(&self) -> u64 {
+        self.entries.values().map(|e| e.size).sum()
+    }
+
+    /// Number of immediate children of a directory — what a full
+    /// `readdir` of it would report, feeding the potential-access counter
+    /// of §4.1.
+    #[must_use]
+    pub fn dir_entry_count(&self, dir: &str) -> u32 {
+        self.entries
+            .keys()
+            .filter(|p| p.as_str() != dir && dirname(p) == dir)
+            .count() as u32
+    }
+
+    /// Iterates over all `(path, entry)` pairs (unordered).
+    pub fn iter(&self) -> impl Iterator<Item = (&str, FsEntry)> {
+        self.entries.iter().map(|(p, e)| (p.as_str(), *e))
+    }
+
+    /// Paths of the immediate children of `dir` (unordered).
+    pub fn children_of<'a>(&'a self, dir: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        self.entries
+            .keys()
+            .map(String::as_str)
+            .filter(move |p| *p != dir && dirname(p) == dir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_creates_parents() {
+        let mut fs = FsImage::new();
+        fs.insert("/home/u/src/a.c", FsEntry::regular(100));
+        assert!(fs.contains("/home/u/src"));
+        assert!(fs.contains("/home/u"));
+        assert!(fs.contains("/home"));
+        assert_eq!(fs.get("/home").map(|e| e.kind), Some(FileKind::Directory));
+        assert_eq!(fs.size_of("/home/u/src/a.c"), Some(100));
+    }
+
+    #[test]
+    fn dir_entry_count_counts_immediate_children_only() {
+        let mut fs = FsImage::new();
+        fs.insert("/d/a", FsEntry::regular(1));
+        fs.insert("/d/b", FsEntry::regular(1));
+        fs.insert("/d/sub/c", FsEntry::regular(1));
+        assert_eq!(fs.dir_entry_count("/d"), 3); // a, b, sub
+        assert_eq!(fs.dir_entry_count("/d/sub"), 1);
+        assert_eq!(fs.dir_entry_count("/nowhere"), 0);
+    }
+
+    #[test]
+    fn total_size_sums_everything() {
+        let mut fs = FsImage::new();
+        fs.insert("/a", FsEntry::regular(10));
+        fs.insert("/b", FsEntry::regular(32));
+        // Two regular files only; no intermediate dirs besides root (not stored).
+        assert_eq!(fs.total_size(), 42);
+    }
+
+    #[test]
+    fn remove_returns_entry() {
+        let mut fs = FsImage::new();
+        fs.insert("/a", FsEntry::regular(10));
+        assert_eq!(fs.remove("/a"), Some(FsEntry::regular(10)));
+        assert_eq!(fs.remove("/a"), None);
+    }
+
+    #[test]
+    fn always_hoard_kinds() {
+        assert!(FileKind::Device.always_hoard());
+        assert!(FileKind::Symlink.always_hoard());
+        assert!(!FileKind::Regular.always_hoard());
+        assert!(!FileKind::Directory.always_hoard());
+    }
+
+    #[test]
+    fn children_iteration() {
+        let mut fs = FsImage::new();
+        fs.insert("/d/a", FsEntry::regular(1));
+        fs.insert("/d/b", FsEntry::regular(2));
+        let mut kids: Vec<_> = fs.children_of("/d").collect();
+        kids.sort_unstable();
+        assert_eq!(kids, vec!["/d/a", "/d/b"]);
+    }
+}

@@ -1,0 +1,92 @@
+//! Small copyable identifier types shared across the workspace.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a canonical absolute path in a [`crate::PathTable`].
+///
+/// This is the identity space that the correlator, semantic-distance,
+/// clustering, and hoarding layers all operate in. Two references to the
+/// same absolute path always yield the same `FileId`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FileId(pub u32);
+
+impl FileId {
+    /// Sentinel for references that carry no file (process fork/exit
+    /// records); never issued by a `PathTable`.
+    pub const NONE: FileId = FileId(u32::MAX);
+
+    /// Returns the id as an array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of a raw (possibly relative) path string in a
+/// [`crate::StringTable`].
+///
+/// Raw paths are what a system call actually received; the observer resolves
+/// them against the issuing process's working directory to obtain a
+/// [`FileId`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RawPathId(pub u32);
+
+impl RawPathId {
+    /// Returns the id as an array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A process identifier within a trace.
+///
+/// Unlike a real kernel pid, trace pids are never reused; the workload
+/// generator allocates them monotonically so a `Pid` names one process for
+/// the whole life of the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Pid(pub u32);
+
+/// A per-process file descriptor, as returned by an open event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Fd(pub u32);
+
+/// A global, monotonically increasing event sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Seq(pub u64);
+
+impl Seq {
+    /// The first sequence number in a trace.
+    pub const ZERO: Seq = Seq(0);
+
+    /// Returns the next sequence number.
+    #[inline]
+    #[must_use]
+    pub fn next(self) -> Seq {
+        Seq(self.0 + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_next_increments() {
+        assert_eq!(Seq::ZERO.next(), Seq(1));
+        assert_eq!(Seq(41).next(), Seq(42));
+    }
+
+    #[test]
+    fn ids_are_ordered_by_value() {
+        assert!(FileId(1) < FileId(2));
+        assert!(RawPathId(0) < RawPathId(7));
+        assert!(Pid(3) < Pid(30));
+    }
+
+    #[test]
+    fn index_round_trips() {
+        assert_eq!(FileId(9).index(), 9);
+        assert_eq!(RawPathId(11).index(), 11);
+    }
+}

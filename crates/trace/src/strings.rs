@@ -1,0 +1,142 @@
+//! Interning table for raw path strings.
+
+use crate::ids::RawPathId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// An append-only interning table mapping raw path strings to [`RawPathId`]s.
+///
+/// Raw paths are the byte-for-byte arguments of traced system calls — they
+/// may be relative, contain `.`/`..` components, or name files that do not
+/// exist. Interning keeps a month-scale trace (hundreds of millions of
+/// events in the paper) compact: each event stores a 4-byte id.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct StringTable {
+    strings: Vec<String>,
+    #[serde(skip)]
+    index: HashMap<String, RawPathId>,
+}
+
+impl StringTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> StringTable {
+        StringTable::default()
+    }
+
+    /// Interns `s`, returning its id; repeated interning of an equal string
+    /// returns the same id.
+    pub fn intern(&mut self, s: &str) -> RawPathId {
+        if let Some(&id) = self.index.get(s) {
+            return id;
+        }
+        let id = RawPathId(self.strings.len() as u32);
+        self.strings.push(s.to_owned());
+        self.index.insert(s.to_owned(), id);
+        id
+    }
+
+    /// Looks up an already-interned string without inserting.
+    #[must_use]
+    pub fn get(&self, s: &str) -> Option<RawPathId> {
+        self.index.get(s).copied()
+    }
+
+    /// Resolves an id back to its string.
+    ///
+    /// Returns `None` for ids not issued by this table.
+    #[must_use]
+    pub fn resolve(&self, id: RawPathId) -> Option<&str> {
+        self.strings.get(id.index()).map(String::as_str)
+    }
+
+    /// Number of distinct interned strings.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Rebuilds the lookup index after deserialization.
+    ///
+    /// `serde` skips the index map; call this once on a freshly
+    /// deserialized table before using [`StringTable::intern`] or
+    /// [`StringTable::get`].
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.clone(), RawPathId(i as u32)))
+            .collect();
+    }
+
+    /// Iterates over `(id, string)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (RawPathId, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (RawPathId(i as u32), s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = StringTable::new();
+        let a = t.intern("/usr/bin/cc");
+        let b = t.intern("/usr/bin/cc");
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut t = StringTable::new();
+        let a = t.intern("main.c");
+        let b = t.intern("../include/defs.h");
+        assert_eq!(t.resolve(a), Some("main.c"));
+        assert_eq!(t.resolve(b), Some("../include/defs.h"));
+        assert_eq!(t.resolve(RawPathId(99)), None);
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let mut t = StringTable::new();
+        assert_eq!(t.get("x"), None);
+        assert_eq!(t.len(), 0);
+        let id = t.intern("x");
+        assert_eq!(t.get("x"), Some(id));
+    }
+
+    #[test]
+    fn rebuild_index_restores_lookup() {
+        let mut t = StringTable::new();
+        t.intern("a");
+        t.intern("b");
+        let json = serde_json::to_string(&t).expect("serialize");
+        let mut back: StringTable = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.get("a"), None, "index is skipped by serde");
+        back.rebuild_index();
+        assert_eq!(back.get("a"), Some(RawPathId(0)));
+        assert_eq!(back.get("b"), Some(RawPathId(1)));
+        assert_eq!(back.intern("b"), RawPathId(1));
+    }
+
+    #[test]
+    fn iter_in_insertion_order() {
+        let mut t = StringTable::new();
+        t.intern("one");
+        t.intern("two");
+        let v: Vec<_> = t.iter().map(|(_, s)| s.to_owned()).collect();
+        assert_eq!(v, vec!["one", "two"]);
+    }
+}

@@ -1,0 +1,350 @@
+//! Compact line-oriented trace format.
+//!
+//! JSON-lines traces (see [`crate::Trace::save_jsonl`]) are convenient but
+//! bulky; month-scale traces deserve something closer to what a kernel
+//! trace module would actually emit. One event per line:
+//!
+//! ```text
+//! # seer-trace v1 machine=F days=252
+//! 12 4533000 107 open r 5 /home/user/proj0/src1.c
+//! 13 4534000 107 close 5
+//! 14 4535000 107 exec /usr/bin/cc
+//! 15 4536000 107 . stat /home/user/proj0/Makefile
+//! ```
+//!
+//! Fields: sequence, time (µs), pid, [`!` for superuser] [`.` for a failed
+//! call (`,` for a not-hoarded failure)], operation, operands. Paths are
+//! percent-escaped only for whitespace and `%`.
+
+use crate::error::TraceError;
+use crate::event::{ErrorKind, EventKind, OpenMode, TraceEvent};
+use crate::ids::{Fd, Pid, RawPathId, Seq};
+use crate::time::Timestamp;
+use crate::trace::{Trace, TraceMeta};
+use std::io::{BufRead, Write};
+
+/// Escapes whitespace and `%` in a path.
+fn escape(path: &str) -> String {
+    let mut out = String::with_capacity(path.len());
+    for c in path.chars() {
+        match c {
+            ' ' => out.push_str("%20"),
+            '\t' => out.push_str("%09"),
+            '\n' => out.push_str("%0A"),
+            '%' => out.push_str("%25"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Reverses [`escape`].
+fn unescape(s: &str) -> Result<String, TraceError> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '%' {
+            out.push(c);
+            continue;
+        }
+        let hi = chars.next();
+        let lo = chars.next();
+        let (Some(hi), Some(lo)) = (hi, lo) else {
+            return Err(TraceError::Format("truncated escape".into()));
+        };
+        let byte = u8::from_str_radix(&format!("{hi}{lo}"), 16)
+            .map_err(|_| TraceError::Format(format!("bad escape %{hi}{lo}")))?;
+        out.push(byte as char);
+    }
+    Ok(out)
+}
+
+fn mode_char(mode: OpenMode) -> char {
+    match mode {
+        OpenMode::Read => 'r',
+        OpenMode::Write => 'w',
+        OpenMode::ReadWrite => 'b',
+    }
+}
+
+fn parse_mode(s: &str) -> Result<OpenMode, TraceError> {
+    match s {
+        "r" => Ok(OpenMode::Read),
+        "w" => Ok(OpenMode::Write),
+        "b" => Ok(OpenMode::ReadWrite),
+        other => Err(TraceError::Format(format!("bad open mode: {other}"))),
+    }
+}
+
+impl Trace {
+    /// Writes the trace in the compact text format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] on write failure.
+    pub fn save_text<W: Write>(&self, w: &mut W) -> Result<(), TraceError> {
+        writeln!(
+            w,
+            "# seer-trace v1 machine={} days={}",
+            escape(&self.meta.machine),
+            self.meta.days
+        )?;
+        for ev in &self.events {
+            let mut line = format!("{} {} {}", ev.seq.0, ev.time.0, ev.pid.0);
+            if ev.root {
+                line.push_str(" !");
+            }
+            match ev.error {
+                Some(ErrorKind::NotHoarded) => line.push_str(" ,"),
+                Some(_) => line.push_str(" ."),
+                None => {}
+            }
+            let path = |id: RawPathId| {
+                self.strings
+                    .resolve(id)
+                    .map(escape)
+                    .unwrap_or_else(|| "?".into())
+            };
+            match ev.kind {
+                EventKind::Open { path: p, mode, fd } => {
+                    line.push_str(&format!(" open {} {} {}", mode_char(mode), fd.0, path(p)));
+                }
+                EventKind::Close { fd } => line.push_str(&format!(" close {}", fd.0)),
+                EventKind::OpenDir { path: p, fd } => {
+                    line.push_str(&format!(" opendir {} {}", fd.0, path(p)));
+                }
+                EventKind::ReadDir { fd, entries } => {
+                    line.push_str(&format!(" readdir {} {entries}", fd.0));
+                }
+                EventKind::Exec { path: p } => line.push_str(&format!(" exec {}", path(p))),
+                EventKind::Exit => line.push_str(" exit"),
+                EventKind::Fork { child } => line.push_str(&format!(" fork {}", child.0)),
+                EventKind::Unlink { path: p } => line.push_str(&format!(" unlink {}", path(p))),
+                EventKind::Create { path: p } => line.push_str(&format!(" create {}", path(p))),
+                EventKind::Rename { from, to } => {
+                    line.push_str(&format!(" rename {} {}", path(from), path(to)));
+                }
+                EventKind::Stat { path: p } => line.push_str(&format!(" stat {}", path(p))),
+                EventKind::SetAttr { path: p } => line.push_str(&format!(" setattr {}", path(p))),
+                EventKind::Chdir { path: p } => line.push_str(&format!(" chdir {}", path(p))),
+            }
+            writeln!(w, "{line}")?;
+        }
+        Ok(())
+    }
+
+    /// Reads a trace written by [`Trace::save_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Format`] on malformed input.
+    pub fn load_text<R: BufRead>(r: &mut R) -> Result<Trace, TraceError> {
+        let mut trace = Trace::default();
+        let mut first = true;
+        for line in r.lines() {
+            let line = line?;
+            let line = line.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            if first {
+                first = false;
+                let rest = line
+                    .strip_prefix("# seer-trace v1")
+                    .ok_or_else(|| TraceError::Format("missing text-trace header".into()))?;
+                let mut meta = TraceMeta::default();
+                for kv in rest.split_whitespace() {
+                    match kv.split_once('=') {
+                        Some(("machine", v)) => meta.machine = unescape(v)?,
+                        Some(("days", v)) => {
+                            meta.days = v
+                                .parse()
+                                .map_err(|_| TraceError::Format("bad days".into()))?;
+                        }
+                        _ => {}
+                    }
+                }
+                trace.meta = meta;
+                continue;
+            }
+            trace.events.push(parse_line(line, &mut trace.strings)?);
+        }
+        if first {
+            return Err(TraceError::Format("empty trace file".into()));
+        }
+        Ok(trace)
+    }
+}
+
+fn parse_line(
+    line: &str,
+    strings: &mut crate::strings::StringTable,
+) -> Result<TraceEvent, TraceError> {
+    let mut toks = line.split_whitespace().peekable();
+    let bad = |what: &str| TraceError::Format(format!("{what} in line: {line}"));
+    let next_num = |toks: &mut std::iter::Peekable<std::str::SplitWhitespace<'_>>,
+                        what: &str|
+     -> Result<u64, TraceError> {
+        toks.next()
+            .ok_or_else(|| bad(what))?
+            .parse()
+            .map_err(|_| bad(what))
+    };
+    let seq = Seq(next_num(&mut toks, "missing seq")?);
+    let time = Timestamp(next_num(&mut toks, "missing time")?);
+    let pid = Pid(next_num(&mut toks, "missing pid")? as u32);
+    let mut root = false;
+    let mut error = None;
+    while let Some(&flag) = toks.peek() {
+        match flag {
+            "!" => {
+                root = true;
+                toks.next();
+            }
+            "." => {
+                error = Some(ErrorKind::NotFound);
+                toks.next();
+            }
+            "," => {
+                error = Some(ErrorKind::NotHoarded);
+                toks.next();
+            }
+            _ => break,
+        }
+    }
+    let op = toks.next().ok_or_else(|| bad("missing operation"))?;
+    let mut path_arg = |toks: &mut std::iter::Peekable<std::str::SplitWhitespace<'_>>|
+     -> Result<RawPathId, TraceError> {
+        let raw = toks.next().ok_or_else(|| bad("missing path"))?;
+        Ok(strings.intern(&unescape(raw)?))
+    };
+    let kind = match op {
+        "open" => {
+            let mode = parse_mode(toks.next().ok_or_else(|| bad("missing mode"))?)?;
+            let fd = Fd(next_num(&mut toks, "missing fd")? as u32);
+            EventKind::Open { path: path_arg(&mut toks)?, mode, fd }
+        }
+        "close" => EventKind::Close { fd: Fd(next_num(&mut toks, "missing fd")? as u32) },
+        "opendir" => {
+            let fd = Fd(next_num(&mut toks, "missing fd")? as u32);
+            EventKind::OpenDir { path: path_arg(&mut toks)?, fd }
+        }
+        "readdir" => {
+            let fd = Fd(next_num(&mut toks, "missing fd")? as u32);
+            let entries = next_num(&mut toks, "missing entries")? as u32;
+            EventKind::ReadDir { fd, entries }
+        }
+        "exec" => EventKind::Exec { path: path_arg(&mut toks)? },
+        "exit" => EventKind::Exit,
+        "fork" => EventKind::Fork { child: Pid(next_num(&mut toks, "missing child")? as u32) },
+        "unlink" => EventKind::Unlink { path: path_arg(&mut toks)? },
+        "create" => EventKind::Create { path: path_arg(&mut toks)? },
+        "rename" => {
+            let from = path_arg(&mut toks)?;
+            let to = path_arg(&mut toks)?;
+            EventKind::Rename { from, to }
+        }
+        "stat" => EventKind::Stat { path: path_arg(&mut toks)? },
+        "setattr" => EventKind::SetAttr { path: path_arg(&mut toks)? },
+        "chdir" => EventKind::Chdir { path: path_arg(&mut toks)? },
+        other => return Err(bad(&format!("unknown operation {other}"))),
+    };
+    Ok(TraceEvent { seq, time, pid, root, kind, error })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceBuilder;
+
+    fn sample() -> Trace {
+        let mut b = TraceBuilder::new().meta(TraceMeta {
+            machine: "F".into(),
+            description: String::new(),
+            days: 30,
+        });
+        let p = Pid(7);
+        b.chdir(p, "/home/user with space");
+        let fd = b.open(p, "a%b.c", OpenMode::ReadWrite);
+        b.stat(p, "/etc/passwd");
+        b.close(p, fd);
+        b.exec(p, "/usr/bin/cc");
+        b.fork(p, Pid(8));
+        let d = b.opendir(Pid(8), "/home");
+        b.readdir(Pid(8), d, 12);
+        b.rename(Pid(8), "/a b", "/c d");
+        b.unlink(Pid(8), "/tmp/x");
+        b.create(Pid(8), "/tmp/y");
+        b.open_err(p, "/missing", OpenMode::Read, ErrorKind::NotFound);
+        b.open_err(p, "/unhoarded", OpenMode::Read, ErrorKind::NotHoarded);
+        b.exit(Pid(8));
+        b.exit(p);
+        b.build()
+    }
+
+    #[test]
+    fn text_round_trip_preserves_semantics() {
+        let t = sample();
+        let mut buf = Vec::new();
+        t.save_text(&mut buf).expect("save");
+        let back = Trace::load_text(&mut buf.as_slice()).expect("load");
+        assert_eq!(back.meta.machine, "F");
+        assert_eq!(back.meta.days, 30);
+        assert_eq!(back.events.len(), t.events.len());
+        for (a, b) in t.events.iter().zip(back.events.iter()) {
+            assert_eq!(a.seq, b.seq);
+            assert_eq!(a.time, b.time);
+            assert_eq!(a.pid, b.pid);
+            assert_eq!(a.root, b.root);
+            assert_eq!(a.error, b.error);
+            assert_eq!(a.kind.name(), b.kind.name());
+            // Path contents survive (ids may be renumbered).
+            let pa = a.kind.path().and_then(|p| t.strings.resolve(p));
+            let pb = b.kind.path().and_then(|p| back.strings.resolve(p));
+            assert_eq!(pa, pb, "paths of {:?}", a.kind.name());
+        }
+    }
+
+    #[test]
+    fn escaping_round_trips() {
+        for s in ["/a b/c", "100%", "tab\there", "plain"] {
+            assert_eq!(unescape(&escape(s)).expect("escape is valid"), s);
+        }
+    }
+
+    #[test]
+    fn text_is_much_smaller_than_json() {
+        let t = sample();
+        let mut text = Vec::new();
+        t.save_text(&mut text).expect("save text");
+        let mut json = Vec::new();
+        t.save_jsonl(&mut json).expect("save json");
+        assert!(
+            text.len() * 2 < json.len(),
+            "text {} vs json {}",
+            text.len(),
+            json.len()
+        );
+    }
+
+    #[test]
+    fn malformed_input_errors() {
+        assert!(Trace::load_text(&mut &b""[..]).is_err());
+        assert!(Trace::load_text(&mut &b"not a header\n"[..]).is_err());
+        let bad_event = b"# seer-trace v1 machine=X days=1\n1 2 3 frobnicate /x\n";
+        assert!(Trace::load_text(&mut &bad_event[..]).is_err());
+        let short = b"# seer-trace v1\n1 2\n";
+        assert!(Trace::load_text(&mut &short[..]).is_err());
+    }
+
+    #[test]
+    fn failed_calls_keep_their_error_kind() {
+        let t = sample();
+        let mut buf = Vec::new();
+        t.save_text(&mut buf).expect("save");
+        let back = Trace::load_text(&mut buf.as_slice()).expect("load");
+        let errors: Vec<Option<ErrorKind>> =
+            back.events.iter().map(|e| e.error).filter(|e| e.is_some()).collect();
+        assert_eq!(errors, vec![Some(ErrorKind::NotFound), Some(ErrorKind::NotHoarded)]);
+    }
+}

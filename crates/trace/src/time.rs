@@ -1,0 +1,122 @@
+//! Trace time representation.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// Microseconds elapsed since the start of the trace.
+///
+/// The paper's temporal semantic distance (Definition 1) and all of the
+/// disconnection-duration statistics (Table 3) are expressed in wall-clock
+/// time, so trace events carry a microsecond timestamp. Timestamps are
+/// monotone non-decreasing within a trace.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// The trace epoch.
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// Builds a timestamp from whole seconds.
+    #[must_use]
+    pub fn from_secs(secs: u64) -> Timestamp {
+        Timestamp(secs * 1_000_000)
+    }
+
+    /// Builds a timestamp from whole milliseconds.
+    #[must_use]
+    pub fn from_millis(ms: u64) -> Timestamp {
+        Timestamp(ms * 1_000)
+    }
+
+    /// Builds a timestamp from whole hours.
+    #[must_use]
+    pub fn from_hours(hours: u64) -> Timestamp {
+        Timestamp::from_secs(hours * 3600)
+    }
+
+    /// Returns the timestamp in (truncated) whole seconds.
+    #[must_use]
+    pub fn as_secs(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Returns the timestamp in fractional hours.
+    #[must_use]
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / 3_600e6
+    }
+
+    /// Returns the duration from `earlier` to `self`, saturating at zero.
+    #[must_use]
+    pub fn saturating_since(self, earlier: Timestamp) -> Timestamp {
+        Timestamp(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add for Timestamp {
+    type Output = Timestamp;
+
+    fn add(self, rhs: Timestamp) -> Timestamp {
+        Timestamp(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Timestamp {
+    type Output = Timestamp;
+
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`.
+    fn sub(self, rhs: Timestamp) -> Timestamp {
+        debug_assert!(rhs.0 <= self.0, "timestamp subtraction underflow");
+        Timestamp(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total_secs = self.0 / 1_000_000;
+        let micros = self.0 % 1_000_000;
+        let (h, rem) = (total_secs / 3600, total_secs % 3600);
+        let (m, s) = (rem / 60, rem % 60);
+        write!(f, "{h:02}:{m:02}:{s:02}.{micros:06}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_round_trips() {
+        assert_eq!(Timestamp::from_secs(2).0, 2_000_000);
+        assert_eq!(Timestamp::from_millis(5).0, 5_000);
+        assert_eq!(Timestamp::from_hours(1), Timestamp::from_secs(3600));
+        assert_eq!(Timestamp::from_secs(90).as_secs(), 90);
+    }
+
+    #[test]
+    fn hours_f64() {
+        assert!((Timestamp::from_hours(3).as_hours_f64() - 3.0).abs() < 1e-12);
+        assert!((Timestamp::from_secs(1800).as_hours_f64() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Timestamp::from_secs(10);
+        let b = Timestamp::from_secs(4);
+        assert_eq!(a - b, Timestamp::from_secs(6));
+        assert_eq!(a + b, Timestamp::from_secs(14));
+        assert_eq!(b.saturating_since(a), Timestamp::ZERO);
+        assert_eq!(a.saturating_since(b), Timestamp::from_secs(6));
+    }
+
+    #[test]
+    fn display_format() {
+        let t = Timestamp::from_secs(3661) + Timestamp(42);
+        assert_eq!(t.to_string(), "01:01:01.000042");
+    }
+}

@@ -1,0 +1,467 @@
+//! In-memory traces, the streaming sink abstraction, and serialization.
+
+use crate::error::TraceError;
+use crate::event::{ErrorKind, EventKind, OpenMode, TraceEvent};
+use crate::ids::{Fd, Pid, RawPathId, Seq};
+use crate::strings::StringTable;
+use crate::time::Timestamp;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+
+/// Descriptive metadata attached to a trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceMeta {
+    /// Machine label ("A" through "I" for the paper's laptops).
+    pub machine: String,
+    /// Free-form description of how the trace was produced.
+    pub description: String,
+    /// Number of calendar days the trace covers.
+    pub days: u32,
+}
+
+/// Consumer of a stream of trace events.
+///
+/// The paper processes months of references online; this trait lets the
+/// workload generator feed the observer (or any analysis) without
+/// materializing hundreds of millions of events. The emitter owns the raw
+/// [`StringTable`] and lends it with each event so sinks can resolve paths.
+pub trait EventSink {
+    /// Handles one event. `strings` resolves the event's [`RawPathId`]s.
+    fn on_event(&mut self, ev: &TraceEvent, strings: &StringTable);
+}
+
+impl<S: EventSink + ?Sized> EventSink for &mut S {
+    fn on_event(&mut self, ev: &TraceEvent, strings: &StringTable) {
+        (**self).on_event(ev, strings);
+    }
+}
+
+/// A sink that fans each event out to two sinks in order.
+pub struct Tee<A, B>(pub A, pub B);
+
+impl<A: EventSink, B: EventSink> EventSink for Tee<A, B> {
+    fn on_event(&mut self, ev: &TraceEvent, strings: &StringTable) {
+        self.0.on_event(ev, strings);
+        self.1.on_event(ev, strings);
+    }
+}
+
+/// A complete in-memory trace: events plus the raw-path string table.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct Trace {
+    /// Trace metadata.
+    pub meta: TraceMeta,
+    /// Interned raw path strings.
+    pub strings: StringTable,
+    /// Events in sequence order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Number of events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace has no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Replays every event into `sink` in order.
+    pub fn replay<S: EventSink>(&self, sink: &mut S) {
+        for ev in &self.events {
+            sink.on_event(ev, &self.strings);
+        }
+    }
+
+    /// Computes summary statistics.
+    #[must_use]
+    pub fn stats(&self) -> TraceStats {
+        let mut per_kind: HashMap<&'static str, u64> = HashMap::new();
+        let mut failures = 0u64;
+        for ev in &self.events {
+            *per_kind.entry(ev.kind.name()).or_insert(0) += 1;
+            if !ev.ok() {
+                failures += 1;
+            }
+        }
+        let duration = match (self.events.first(), self.events.last()) {
+            (Some(a), Some(b)) => b.time.saturating_since(a.time),
+            _ => Timestamp::ZERO,
+        };
+        TraceStats {
+            events: self.events.len() as u64,
+            distinct_raw_paths: self.strings.len() as u64,
+            failures,
+            duration,
+            per_kind: per_kind.into_iter().map(|(k, v)| (k.to_owned(), v)).collect(),
+        }
+    }
+
+    /// Writes the trace as JSON-lines: one header line (meta + strings)
+    /// followed by one line per event.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] on write failure.
+    pub fn save_jsonl<W: Write>(&self, w: &mut W) -> Result<(), TraceError> {
+        #[derive(Serialize)]
+        struct Header<'a> {
+            meta: &'a TraceMeta,
+            strings: &'a StringTable,
+        }
+        serde_json::to_writer(&mut *w, &Header { meta: &self.meta, strings: &self.strings })?;
+        w.write_all(b"\n")?;
+        for ev in &self.events {
+            serde_json::to_writer(&mut *w, ev)?;
+            w.write_all(b"\n")?;
+        }
+        Ok(())
+    }
+
+    /// Reads a trace written by [`Trace::save_jsonl`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Format`] if the header is missing or any line
+    /// fails to parse, and [`TraceError::Io`] on read failure.
+    pub fn load_jsonl<R: BufRead>(r: &mut R) -> Result<Trace, TraceError> {
+        #[derive(Deserialize)]
+        struct Header {
+            meta: TraceMeta,
+            strings: StringTable,
+        }
+        let mut lines = r.lines();
+        let header_line = lines
+            .next()
+            .ok_or_else(|| TraceError::Format("empty trace file".into()))??;
+        let header: Header = serde_json::from_str(&header_line)?;
+        let mut strings = header.strings;
+        strings.rebuild_index();
+        let mut events = Vec::new();
+        for line in lines {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            events.push(serde_json::from_str(&line)?);
+        }
+        Ok(Trace { meta: header.meta, strings, events })
+    }
+}
+
+/// Summary statistics over a trace.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Total events.
+    pub events: u64,
+    /// Distinct raw path strings.
+    pub distinct_raw_paths: u64,
+    /// Events that completed with an error.
+    pub failures: u64,
+    /// Time from first to last event.
+    pub duration: Timestamp,
+    /// Event count per syscall class name.
+    pub per_kind: Vec<(String, u64)>,
+}
+
+impl TraceStats {
+    /// Count for one syscall class (0 if absent).
+    #[must_use]
+    pub fn count(&self, kind: &str) -> u64 {
+        self.per_kind
+            .iter()
+            .find(|(k, _)| k == kind)
+            .map_or(0, |(_, v)| *v)
+    }
+}
+
+/// Convenience builder for constructing traces programmatically.
+///
+/// Manages sequence numbers, the clock, per-process descriptor allocation,
+/// and raw-path interning, so tests and workload models can write natural
+/// event sequences. All emission methods advance the clock by the
+/// configured tick.
+#[derive(Debug)]
+pub struct TraceBuilder {
+    trace: Trace,
+    seq: Seq,
+    clock: Timestamp,
+    tick: Timestamp,
+    next_fd: HashMap<Pid, u32>,
+}
+
+impl Default for TraceBuilder {
+    fn default() -> TraceBuilder {
+        TraceBuilder::new()
+    }
+}
+
+impl TraceBuilder {
+    /// Creates a builder with a 1 ms default tick.
+    #[must_use]
+    pub fn new() -> TraceBuilder {
+        TraceBuilder {
+            trace: Trace::default(),
+            seq: Seq::ZERO,
+            clock: Timestamp::ZERO,
+            tick: Timestamp::from_millis(1),
+            next_fd: HashMap::new(),
+        }
+    }
+
+    /// Sets the trace metadata.
+    #[must_use]
+    pub fn meta(mut self, meta: TraceMeta) -> TraceBuilder {
+        self.trace.meta = meta;
+        self
+    }
+
+    /// Sets the per-event clock increment.
+    pub fn set_tick(&mut self, tick: Timestamp) {
+        self.tick = tick;
+    }
+
+    /// Current clock value.
+    #[must_use]
+    pub fn now(&self) -> Timestamp {
+        self.clock
+    }
+
+    /// Advances the clock without emitting an event.
+    pub fn advance(&mut self, by: Timestamp) {
+        self.clock = self.clock + by;
+    }
+
+    /// Interns a raw path.
+    pub fn path(&mut self, raw: &str) -> RawPathId {
+        self.trace.strings.intern(raw)
+    }
+
+    /// Emits an arbitrary event with the given pid and kind.
+    pub fn emit(&mut self, pid: Pid, kind: EventKind) -> &mut TraceBuilder {
+        self.emit_full(pid, kind, None, false)
+    }
+
+    /// Emits an event with explicit error status and superuser flag.
+    pub fn emit_full(
+        &mut self,
+        pid: Pid,
+        kind: EventKind,
+        error: Option<ErrorKind>,
+        root: bool,
+    ) -> &mut TraceBuilder {
+        let ev = TraceEvent { seq: self.seq, time: self.clock, pid, root, kind, error };
+        self.trace.events.push(ev);
+        self.seq = self.seq.next();
+        self.clock = self.clock + self.tick;
+        self
+    }
+
+    /// Emits a successful open, returning the allocated descriptor.
+    pub fn open(&mut self, pid: Pid, raw: &str, mode: OpenMode) -> Fd {
+        let path = self.path(raw);
+        let fd = self.alloc_fd(pid);
+        self.emit(pid, EventKind::Open { path, mode, fd });
+        fd
+    }
+
+    /// Emits a failed open (no descriptor is allocated).
+    pub fn open_err(&mut self, pid: Pid, raw: &str, mode: OpenMode, err: ErrorKind) {
+        let path = self.path(raw);
+        let fd = Fd(u32::MAX);
+        self.emit_full(pid, EventKind::Open { path, mode, fd }, Some(err), false);
+    }
+
+    /// Emits a close of `fd`.
+    pub fn close(&mut self, pid: Pid, fd: Fd) {
+        self.emit(pid, EventKind::Close { fd });
+    }
+
+    /// Emits an open immediately followed by a close (a point reference).
+    pub fn touch(&mut self, pid: Pid, raw: &str, mode: OpenMode) {
+        let fd = self.open(pid, raw, mode);
+        self.close(pid, fd);
+    }
+
+    /// Emits a directory open, returning the descriptor.
+    pub fn opendir(&mut self, pid: Pid, raw: &str) -> Fd {
+        let path = self.path(raw);
+        let fd = self.alloc_fd(pid);
+        self.emit(pid, EventKind::OpenDir { path, fd });
+        fd
+    }
+
+    /// Emits a directory read of `entries` entries.
+    pub fn readdir(&mut self, pid: Pid, fd: Fd, entries: u32) {
+        self.emit(pid, EventKind::ReadDir { fd, entries });
+    }
+
+    /// Emits an exec of `raw` by `pid`.
+    pub fn exec(&mut self, pid: Pid, raw: &str) {
+        let path = self.path(raw);
+        self.emit(pid, EventKind::Exec { path });
+    }
+
+    /// Emits a fork creating `child`.
+    pub fn fork(&mut self, pid: Pid, child: Pid) {
+        self.emit(pid, EventKind::Fork { child });
+    }
+
+    /// Emits a process exit.
+    pub fn exit(&mut self, pid: Pid) {
+        self.emit(pid, EventKind::Exit);
+    }
+
+    /// Emits a stat (attribute examination).
+    pub fn stat(&mut self, pid: Pid, raw: &str) {
+        let path = self.path(raw);
+        self.emit(pid, EventKind::Stat { path });
+    }
+
+    /// Emits a chdir.
+    pub fn chdir(&mut self, pid: Pid, raw: &str) {
+        let path = self.path(raw);
+        self.emit(pid, EventKind::Chdir { path });
+    }
+
+    /// Emits an unlink.
+    pub fn unlink(&mut self, pid: Pid, raw: &str) {
+        let path = self.path(raw);
+        self.emit(pid, EventKind::Unlink { path });
+    }
+
+    /// Emits a rename.
+    pub fn rename(&mut self, pid: Pid, from: &str, to: &str) {
+        let from = self.path(from);
+        let to = self.path(to);
+        self.emit(pid, EventKind::Rename { from, to });
+    }
+
+    /// Emits a create (mkdir/mknod/symlink).
+    pub fn create(&mut self, pid: Pid, raw: &str) {
+        let path = self.path(raw);
+        self.emit(pid, EventKind::Create { path });
+    }
+
+    /// Finishes the build, returning the trace.
+    #[must_use]
+    pub fn build(self) -> Trace {
+        self.trace
+    }
+
+    fn alloc_fd(&mut self, pid: Pid) -> Fd {
+        let next = self.next_fd.entry(pid).or_insert(3);
+        let fd = Fd(*next);
+        *next += 1;
+        fd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sequences_and_clocks() {
+        let mut b = TraceBuilder::new();
+        let p = Pid(1);
+        let fd = b.open(p, "/a", OpenMode::Read);
+        b.close(p, fd);
+        let t = b.build();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.events[0].seq, Seq(0));
+        assert_eq!(t.events[1].seq, Seq(1));
+        assert!(t.events[1].time > t.events[0].time);
+    }
+
+    #[test]
+    fn builder_allocates_distinct_fds_per_pid() {
+        let mut b = TraceBuilder::new();
+        let f1 = b.open(Pid(1), "/a", OpenMode::Read);
+        let f2 = b.open(Pid(1), "/b", OpenMode::Read);
+        let f3 = b.open(Pid(2), "/c", OpenMode::Read);
+        assert_ne!(f1, f2);
+        assert_eq!(f3, Fd(3), "fresh pid starts over");
+    }
+
+    #[test]
+    fn replay_visits_all_events() {
+        struct Counter(u64);
+        impl EventSink for Counter {
+            fn on_event(&mut self, _: &TraceEvent, _: &StringTable) {
+                self.0 += 1;
+            }
+        }
+        let mut b = TraceBuilder::new();
+        b.touch(Pid(1), "/a", OpenMode::Read);
+        b.touch(Pid(1), "/b", OpenMode::Write);
+        let t = b.build();
+        let mut c = Counter(0);
+        t.replay(&mut c);
+        assert_eq!(c.0, 4);
+    }
+
+    #[test]
+    fn tee_fans_out() {
+        struct Counter(u64);
+        impl EventSink for Counter {
+            fn on_event(&mut self, _: &TraceEvent, _: &StringTable) {
+                self.0 += 1;
+            }
+        }
+        let mut b = TraceBuilder::new();
+        b.touch(Pid(1), "/a", OpenMode::Read);
+        let t = b.build();
+        let mut tee = Tee(Counter(0), Counter(0));
+        t.replay(&mut tee);
+        assert_eq!(tee.0 .0, 2);
+        assert_eq!(tee.1 .0, 2);
+    }
+
+    #[test]
+    fn stats_counts_kinds_and_failures() {
+        let mut b = TraceBuilder::new();
+        b.touch(Pid(1), "/a", OpenMode::Read);
+        b.open_err(Pid(1), "/missing", OpenMode::Read, ErrorKind::NotFound);
+        b.stat(Pid(1), "/a");
+        let t = b.build();
+        let s = t.stats();
+        assert_eq!(s.events, 4);
+        assert_eq!(s.count("open"), 2);
+        assert_eq!(s.count("close"), 1);
+        assert_eq!(s.count("stat"), 1);
+        assert_eq!(s.failures, 1);
+        assert_eq!(s.distinct_raw_paths, 2);
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let mut b = TraceBuilder::new().meta(TraceMeta {
+            machine: "F".into(),
+            description: "test".into(),
+            days: 252,
+        });
+        b.touch(Pid(1), "/a", OpenMode::Read);
+        b.exec(Pid(2), "/usr/bin/cc");
+        b.exit(Pid(2));
+        let t = b.build();
+
+        let mut buf = Vec::new();
+        t.save_jsonl(&mut buf).expect("save");
+        let back = Trace::load_jsonl(&mut buf.as_slice()).expect("load");
+        assert_eq!(back.meta, t.meta);
+        assert_eq!(back.events, t.events);
+        assert_eq!(back.strings.resolve(RawPathId(0)), Some("/a"));
+    }
+
+    #[test]
+    fn load_rejects_empty_input() {
+        let err = Trace::load_jsonl(&mut &b""[..]).unwrap_err();
+        assert!(matches!(err, TraceError::Format(_)));
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests: trace serialization round-trips and path normalization
+//! invariants.
+
+use proptest::prelude::*;
+use seer_trace::path::{basename, dirname, normalize};
+use seer_trace::{ErrorKind, OpenMode, Pid, Trace, TraceBuilder, TraceMeta};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Touch(u8, String, u8),
+    Stat(u8, String),
+    Exec(u8, String),
+    Fork(u8),
+    Exit(u8),
+    Chdir(u8, String),
+    Rename(u8, String, String),
+    Fail(u8, String, bool),
+}
+
+fn path_strategy() -> impl Strategy<Value = String> {
+    // Paths with interesting characters: spaces, percent signs, dots.
+    prop::collection::vec("[a-z%. ]{1,6}", 1..4)
+        .prop_map(|segs| format!("/{}", segs.join("/")))
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..4u8, path_strategy(), 0..3u8).prop_map(|(p, s, m)| Op::Touch(p, s, m)),
+        (0..4u8, path_strategy()).prop_map(|(p, s)| Op::Stat(p, s)),
+        (0..4u8, path_strategy()).prop_map(|(p, s)| Op::Exec(p, s)),
+        (0..4u8).prop_map(Op::Fork),
+        (0..4u8).prop_map(Op::Exit),
+        (0..4u8, path_strategy()).prop_map(|(p, s)| Op::Chdir(p, s)),
+        (0..4u8, path_strategy(), path_strategy()).prop_map(|(p, a, b)| Op::Rename(p, a, b)),
+        (0..4u8, path_strategy(), prop::bool::ANY).prop_map(|(p, s, h)| Op::Fail(p, s, h)),
+    ]
+}
+
+fn build(ops: &[Op]) -> Trace {
+    let mut b = TraceBuilder::new().meta(TraceMeta {
+        machine: "T".into(),
+        description: "prop".into(),
+        days: 1,
+    });
+    let mut kid = 100u32;
+    for op in ops {
+        match op {
+            Op::Touch(p, s, m) => {
+                let mode = match m % 3 {
+                    0 => OpenMode::Read,
+                    1 => OpenMode::Write,
+                    _ => OpenMode::ReadWrite,
+                };
+                b.touch(Pid(u32::from(*p)), s, mode);
+            }
+            Op::Stat(p, s) => b.stat(Pid(u32::from(*p)), s),
+            Op::Exec(p, s) => b.exec(Pid(u32::from(*p)), s),
+            Op::Fork(p) => {
+                b.fork(Pid(u32::from(*p)), Pid(kid));
+                kid += 1;
+            }
+            Op::Exit(p) => b.exit(Pid(u32::from(*p))),
+            Op::Chdir(p, s) => b.chdir(Pid(u32::from(*p)), s),
+            Op::Rename(p, a, z) => b.rename(Pid(u32::from(*p)), a, z),
+            Op::Fail(p, s, hoard) => {
+                let err = if *hoard { ErrorKind::NotHoarded } else { ErrorKind::NotFound };
+                b.open_err(Pid(u32::from(*p)), s, OpenMode::Read, err);
+            }
+        }
+    }
+    b.build()
+}
+
+fn events_equivalent(a: &Trace, b: &Trace) -> bool {
+    a.events.len() == b.events.len()
+        && a.events.iter().zip(b.events.iter()).all(|(x, y)| {
+            x.seq == y.seq
+                && x.time == y.time
+                && x.pid == y.pid
+                && x.root == y.root
+                && x.error == y.error
+                && x.kind.name() == y.kind.name()
+                && x.kind.path().and_then(|p| a.strings.resolve(p))
+                    == y.kind.path().and_then(|p| b.strings.resolve(p))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Both serialization formats round-trip arbitrary traces.
+    #[test]
+    fn formats_round_trip(ops in prop::collection::vec(op_strategy(), 0..120)) {
+        let t = build(&ops);
+        let mut json = Vec::new();
+        t.save_jsonl(&mut json).expect("save json");
+        let back = Trace::load_jsonl(&mut json.as_slice()).expect("load json");
+        prop_assert!(events_equivalent(&t, &back), "jsonl mismatch");
+
+        let mut text = Vec::new();
+        t.save_text(&mut text).expect("save text");
+        let back = Trace::load_text(&mut text.as_slice()).expect("load text");
+        prop_assert!(events_equivalent(&t, &back), "text mismatch");
+    }
+
+    /// Normalization is idempotent and always yields an absolute path.
+    #[test]
+    fn normalize_invariants(cwd in path_strategy(), raw in "[a-z./ ]{0,20}") {
+        let once = normalize(&cwd, &raw);
+        prop_assert!(once.starts_with('/'));
+        prop_assert!(!once.contains("//"));
+        prop_assert!(!once.split('/').any(|c| c == "." || c == ".."));
+        let twice = normalize("/elsewhere", &once);
+        prop_assert_eq!(&once, &twice, "absolute paths ignore cwd");
+    }
+
+    /// dirname/basename decompose consistently.
+    #[test]
+    fn dirname_basename_consistent(p in path_strategy()) {
+        let d = dirname(&p);
+        let b = basename(&p);
+        let rejoined = if d == "/" { format!("/{b}") } else { format!("{d}/{b}") };
+        prop_assert_eq!(rejoined, p);
+    }
+}

@@ -1,0 +1,340 @@
+//! The simulated user filesystem: projects, system files, configuration.
+
+use crate::profile::MachineProfile;
+use rand::Rng;
+use seer_investigator::SourceCorpus;
+use seer_trace::{FsEntry, FsImage};
+use serde::{Deserialize, Serialize};
+
+/// What kind of work a project holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProjectKind {
+    /// A C program: sources, headers, objects, a makefile, a binary.
+    Code,
+    /// A document: TeX sources, bibliography, figures.
+    Document,
+}
+
+/// One user project on disk.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProjectModel {
+    /// Project directory (absolute).
+    pub dir: String,
+    /// Project kind.
+    pub kind: ProjectKind,
+    /// Editable primary files (sources or TeX).
+    pub sources: Vec<String>,
+    /// Included files (headers or bibliography/figures).
+    pub headers: Vec<String>,
+    /// Build products (objects; empty for documents).
+    pub objects: Vec<String>,
+    /// The makefile, if any.
+    pub makefile: Option<String>,
+    /// The linked binary or formatted output.
+    pub product: String,
+}
+
+impl ProjectModel {
+    /// Every file belonging to the project.
+    pub fn all_files(&self) -> impl Iterator<Item = &str> {
+        self.sources
+            .iter()
+            .chain(self.headers.iter())
+            .chain(self.objects.iter())
+            .chain(self.makefile.iter())
+            .map(String::as_str)
+            .chain(std::iter::once(self.product.as_str()))
+    }
+
+    /// Number of files in the project.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.all_files().count()
+    }
+
+    /// Whether the project is empty (never true for generated projects).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Well-known system paths used by the session generators.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SystemFiles {
+    /// The login shell.
+    pub shell: String,
+    /// The text editor.
+    pub editor: String,
+    /// The C compiler.
+    pub cc: String,
+    /// The build driver.
+    pub make: String,
+    /// The document formatter.
+    pub latex: String,
+    /// The mail reader.
+    pub mail: String,
+    /// The `find` utility (a meaningless process, §4.1).
+    pub find: String,
+    /// Shared libraries opened by every exec (§4.2).
+    pub shared_libs: Vec<String>,
+    /// Per-user dot-files read at session start (§4.3).
+    pub dotfiles: Vec<String>,
+    /// The mail spool file.
+    pub mail_spool: String,
+    /// Saved mail messages.
+    pub mail_messages: Vec<String>,
+    /// Miscellaneous documents outside any project.
+    pub misc_docs: Vec<String>,
+}
+
+/// The full simulated machine: filesystem image, investigator corpus,
+/// project models, and system files.
+#[derive(Debug, Clone)]
+pub struct UserFilesystem {
+    /// Path → kind/size image.
+    pub fs: FsImage,
+    /// Contents for investigator-readable files.
+    pub corpus: SourceCorpus,
+    /// The user's projects.
+    pub projects: Vec<ProjectModel>,
+    /// System paths.
+    pub system: SystemFiles,
+}
+
+/// Builds the machine's filesystem for a profile.
+#[must_use]
+pub fn build_filesystem<R: Rng + ?Sized>(
+    profile: &MachineProfile,
+    rng: &mut R,
+) -> UserFilesystem {
+    let mut fs = FsImage::new();
+    let mut corpus = SourceCorpus::new();
+
+    // System binaries and shared libraries.
+    let system = SystemFiles {
+        shell: "/bin/sh".into(),
+        editor: "/usr/bin/emacs".into(),
+        cc: "/usr/bin/cc".into(),
+        make: "/usr/bin/make".into(),
+        latex: "/usr/bin/latex".into(),
+        mail: "/usr/bin/mail".into(),
+        find: "/usr/bin/find".into(),
+        shared_libs: vec!["/lib/libc.so.5".into(), "/lib/libm.so.5".into()],
+        dotfiles: vec![
+            "/home/user/.login".into(),
+            "/home/user/.cshrc".into(),
+            "/home/user/.emacs".into(),
+        ],
+        mail_spool: "/var/spool/mail/user".into(),
+        mail_messages: (0..30)
+            .map(|i| format!("/home/user/Mail/inbox/{}", i + 1))
+            .collect(),
+        misc_docs: (0..12)
+            .map(|i| format!("/home/user/docs/note{i}.txt"))
+            .collect(),
+    };
+    for bin in [
+        &system.shell,
+        &system.editor,
+        &system.cc,
+        &system.make,
+        &system.latex,
+        &system.mail,
+        &system.find,
+    ] {
+        fs.insert(bin, FsEntry::regular(rng.gen_range(40_000..400_000)));
+    }
+    for lib in &system.shared_libs {
+        fs.insert(lib, FsEntry::regular(rng.gen_range(300_000..700_000)));
+    }
+    for dot in &system.dotfiles {
+        fs.insert(dot, FsEntry::regular(rng.gen_range(500..4_000)));
+    }
+    fs.insert(&system.mail_spool, FsEntry::regular(rng.gen_range(10_000..200_000)));
+    for m in &system.mail_messages {
+        fs.insert(m, FsEntry::regular(rng.gen_range(800..20_000)));
+    }
+    for d in &system.misc_docs {
+        fs.insert(d, FsEntry::regular(rng.gen_range(2_000..60_000)));
+    }
+    // Critical system files and devices (§4.3, §4.6).
+    for etc in ["/etc/passwd", "/etc/fstab", "/etc/hosts"] {
+        fs.insert(etc, FsEntry::regular(rng.gen_range(400..4_000)));
+    }
+    for dev in ["/dev/tty1", "/dev/console", "/dev/null"] {
+        fs.insert(dev, FsEntry::device());
+    }
+
+    // Projects.
+    let mut projects = Vec::new();
+    for p in 0..profile.n_projects {
+        let kind = if p % 3 == 2 { ProjectKind::Document } else { ProjectKind::Code };
+        projects.push(build_project(p, kind, profile, &mut fs, &mut corpus, rng));
+    }
+
+    UserFilesystem { fs, corpus, projects, system }
+}
+
+fn build_project<R: Rng + ?Sized>(
+    index: u32,
+    kind: ProjectKind,
+    profile: &MachineProfile,
+    fs: &mut FsImage,
+    corpus: &mut SourceCorpus,
+    rng: &mut R,
+) -> ProjectModel {
+    let (lo, hi) = profile.files_per_project;
+    let n_files = rng.gen_range(lo..=hi).max(4);
+    match kind {
+        ProjectKind::Code => {
+            let dir = format!("/home/user/proj{index}");
+            let n_src = (n_files * 3 / 5).max(2);
+            let n_hdr = (n_files / 5).max(1);
+            let sources: Vec<String> =
+                (0..n_src).map(|i| format!("{dir}/src{i}.c")).collect();
+            let headers: Vec<String> =
+                (0..n_hdr).map(|i| format!("{dir}/hdr{i}.h")).collect();
+            let objects: Vec<String> =
+                (0..n_src).map(|i| format!("{dir}/src{i}.o")).collect();
+            let makefile = format!("{dir}/Makefile");
+            let product = format!("{dir}/prog{index}");
+
+            let mut make_text = String::new();
+            make_text.push_str(&format!(
+                "prog{index}: {}\n\tcc -o prog{index} *.o\n",
+                objects
+                    .iter()
+                    .map(|o| seer_trace::path::basename(o))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            ));
+            for (i, src) in sources.iter().enumerate() {
+                let size = rng.gen_range(1_000..40_000);
+                fs.insert(src, FsEntry::regular(size));
+                // Each source includes one to three project headers.
+                let n_inc = rng.gen_range(1..=headers.len().min(3));
+                let mut content = String::new();
+                for k in 0..n_inc {
+                    let h = &headers[(i + k) % headers.len()];
+                    content.push_str(&format!(
+                        "#include \"{}\"\n",
+                        seer_trace::path::basename(h)
+                    ));
+                }
+                content.push_str("#include <stdio.h>\nint work(void) { return 0; }\n");
+                corpus.insert(src, &content);
+                make_text.push_str(&format!(
+                    "src{i}.o: src{i}.c\n\tcc -c src{i}.c\n"
+                ));
+            }
+            for h in &headers {
+                fs.insert(h, FsEntry::regular(rng.gen_range(300..8_000)));
+                corpus.insert(h, "#define PROJECT 1\n");
+            }
+            for o in &objects {
+                fs.insert(o, FsEntry::regular(rng.gen_range(2_000..80_000)));
+            }
+            fs.insert(&makefile, FsEntry::regular(make_text.len() as u64));
+            corpus.insert(&makefile, &make_text);
+            fs.insert(&product, FsEntry::regular(rng.gen_range(20_000..300_000)));
+            ProjectModel {
+                dir,
+                kind,
+                sources,
+                headers,
+                objects,
+                makefile: Some(makefile),
+                product,
+            }
+        }
+        ProjectKind::Document => {
+            let dir = format!("/home/user/doc{index}");
+            let n_tex = (n_files / 2).max(2);
+            let sources: Vec<String> =
+                (0..n_tex).map(|i| format!("{dir}/ch{i}.tex")).collect();
+            let headers = vec![format!("{dir}/refs.bib"), format!("{dir}/macros.tex")];
+            let product = format!("{dir}/paper{index}.dvi");
+            for s in &sources {
+                fs.insert(s, FsEntry::regular(rng.gen_range(4_000..60_000)));
+                corpus.insert(s, &format!("link: {}\n", "refs.bib"));
+            }
+            for h in &headers {
+                fs.insert(h, FsEntry::regular(rng.gen_range(1_000..30_000)));
+            }
+            fs.insert(&product, FsEntry::regular(rng.gen_range(30_000..200_000)));
+            ProjectModel {
+                dir,
+                kind,
+                sources,
+                headers,
+                objects: Vec::new(),
+                makefile: None,
+                product,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn build() -> UserFilesystem {
+        let profile = MachineProfile::by_name("A").expect("A");
+        let mut rng = StdRng::seed_from_u64(1);
+        build_filesystem(&profile, &mut rng)
+    }
+
+    #[test]
+    fn projects_match_profile() {
+        let ufs = build();
+        assert_eq!(ufs.projects.len(), 6);
+        assert!(ufs.projects.iter().any(|p| p.kind == ProjectKind::Document));
+        for p in &ufs.projects {
+            assert!(p.len() >= 4);
+            for f in p.all_files() {
+                assert!(ufs.fs.contains(f), "project file {f} missing from image");
+            }
+        }
+    }
+
+    #[test]
+    fn system_files_exist_in_image() {
+        let ufs = build();
+        for f in [&ufs.system.shell, &ufs.system.cc, &ufs.system.find] {
+            assert!(ufs.fs.contains(f));
+        }
+        for lib in &ufs.system.shared_libs {
+            assert!(ufs.fs.contains(lib));
+        }
+        assert!(ufs.fs.contains("/etc/passwd"));
+        assert!(ufs.fs.get("/dev/tty1").expect("device").kind == seer_trace::FileKind::Device);
+    }
+
+    #[test]
+    fn corpus_carries_includes_and_makefiles() {
+        let ufs = build();
+        let code = ufs
+            .projects
+            .iter()
+            .find(|p| p.kind == ProjectKind::Code)
+            .expect("code project");
+        let src = &code.sources[0];
+        assert!(ufs.corpus.get(src).expect("content").contains("#include"));
+        let mk = code.makefile.as_ref().expect("makefile");
+        assert!(ufs.corpus.get(mk).expect("content").contains(".o"));
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let profile = MachineProfile::by_name("B").expect("B");
+        let a = build_filesystem(&profile, &mut StdRng::seed_from_u64(9));
+        let b = build_filesystem(&profile, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a.fs.len(), b.fs.len());
+        assert_eq!(a.projects.len(), b.projects.len());
+        assert_eq!(a.projects[0].sources, b.projects[0].sources);
+    }
+}

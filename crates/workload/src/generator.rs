@@ -1,0 +1,250 @@
+//! Whole-trace generation: days of sessions over the measured period.
+
+use crate::filesystem::{build_filesystem, ProjectKind, ProjectModel, SystemFiles};
+use crate::profile::MachineProfile;
+use crate::schedule::{generate_schedule, DisconnectionPeriod};
+use crate::session::{
+    compile_burst, cron_burst, doc_burst, edit_burst, find_sweep, mail_burst, misc_burst,
+    session_start, temp_burst, SessionCtx,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use seer_investigator::SourceCorpus;
+use seer_trace::{FsImage, Timestamp, Trace, TraceBuilder, TraceMeta};
+
+/// A complete generated workload for one machine.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The syscall trace over the measured period.
+    pub trace: Trace,
+    /// The machine's filesystem image (kinds and sizes).
+    pub fs: FsImage,
+    /// Investigator-readable file contents.
+    pub corpus: SourceCorpus,
+    /// Project models (ground truth for severity assignment).
+    pub projects: Vec<ProjectModel>,
+    /// Well-known system paths.
+    pub system: SystemFiles,
+    /// The machine's disconnection schedule.
+    pub schedule: Vec<DisconnectionPeriod>,
+    /// The profile that produced this workload.
+    pub profile: MachineProfile,
+}
+
+impl Workload {
+    /// The project containing `path`, if any.
+    #[must_use]
+    pub fn project_of(&self, path: &str) -> Option<usize> {
+        self.projects
+            .iter()
+            .position(|p| p.all_files().any(|f| f == path))
+    }
+}
+
+/// Generates the full workload for `profile`, deterministically per seed.
+#[must_use]
+pub fn generate(profile: &MachineProfile, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let ufs = build_filesystem(profile, &mut rng);
+    let schedule = generate_schedule(profile, &mut rng);
+
+    let mut b = TraceBuilder::new().meta(TraceMeta {
+        machine: profile.name.clone(),
+        description: format!("synthetic workload, seed {seed}"),
+        days: profile.days,
+    });
+    b.set_tick(Timestamp::from_millis(5));
+
+    let mut current_project = 0usize;
+    let mut recent_projects: Vec<usize> = vec![0];
+    let mut recent_mail: Vec<usize> = Vec::new();
+    let mut recent_docs: Vec<usize> = Vec::new();
+    let mut next_pid = 100u32;
+
+    for day in 0..profile.days {
+        let spd = profile.intensity.sessions_per_day();
+        let n_sessions = {
+            let whole = spd.floor() as u32;
+            let extra = u32::from(rng.gen_bool(spd.fract()));
+            whole + extra
+        };
+        if n_sessions == 0 {
+            continue;
+        }
+        // Session start hours within the working day, sorted so the trace
+        // clock stays monotone.
+        let mut starts: Vec<f64> = (0..n_sessions)
+            .map(|_| rng.gen_range(8.0..22.0))
+            .collect();
+        starts.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        // Root housekeeping fires daily regardless of user activity
+        // (§4.10: superuser calls are not traced by SEER).
+        {
+            let mut ctx = SessionCtx::new(&mut b, &ufs, next_pid);
+            cron_burst(&mut ctx, &mut rng);
+            next_pid = ctx.next_pid;
+        }
+        for start_h in starts {
+            let target =
+                Timestamp::from_hours(u64::from(day) * 24) + Timestamp((start_h * 3_600e6) as u64);
+            if target > b.now() {
+                let gap = target.saturating_since(b.now());
+                b.advance(gap);
+            }
+            let disconnected = schedule.iter().any(|p| p.contains(b.now()));
+
+            // Attention shifts: connected users roam; disconnected users
+            // stick to recently-hoarded projects (the "briefcase"
+            // behavior of §5.2.2).
+            if disconnected {
+                if rng.gen_bool(0.05) && recent_projects.len() > 1 {
+                    current_project =
+                        recent_projects[rng.gen_range(0..recent_projects.len().min(2))];
+                }
+            } else if rng.gen_bool(profile.shift_probability) {
+                current_project = rng.gen_range(0..ufs.projects.len());
+            }
+            if recent_projects.first() != Some(&current_project) {
+                recent_projects.retain(|&p| p != current_project);
+                recent_projects.insert(0, current_project);
+                recent_projects.truncate(4);
+            }
+
+            let mut ctx = SessionCtx::new(&mut b, &ufs, next_pid);
+            let shell = session_start(&mut ctx, &mut rng);
+            let bursts = {
+                let base = profile.intensity.bursts_per_session();
+                rng.gen_range(base / 2..=base + base / 2).max(1)
+            };
+            for _ in 0..bursts {
+                let project = &ufs.projects[current_project];
+                let roll: f64 = rng.gen();
+                match project.kind {
+                    ProjectKind::Code => {
+                        if roll < 0.35 {
+                            edit_burst(&mut ctx, &mut rng, shell, project);
+                        } else if roll < 0.60 {
+                            compile_burst(&mut ctx, &mut rng, shell, project);
+                        } else if roll < 0.72 {
+                            mail_burst(&mut ctx, &mut rng, shell, &mut recent_mail, disconnected);
+                        } else if roll < 0.80 {
+                            misc_burst(&mut ctx, &mut rng, shell, &mut recent_docs, disconnected);
+                        } else if roll < 0.90 {
+                            temp_burst(&mut ctx, &mut rng, shell);
+                        } else if roll < 0.95 && !disconnected {
+                            find_sweep(&mut ctx, shell);
+                        } else {
+                            edit_burst(&mut ctx, &mut rng, shell, project);
+                        }
+                    }
+                    ProjectKind::Document => {
+                        if roll < 0.55 {
+                            doc_burst(&mut ctx, &mut rng, shell, project);
+                        } else if roll < 0.75 {
+                            mail_burst(&mut ctx, &mut rng, shell, &mut recent_mail, disconnected);
+                        } else if roll < 0.85 {
+                            misc_burst(&mut ctx, &mut rng, shell, &mut recent_docs, disconnected);
+                        } else if roll < 0.92 && !disconnected {
+                            find_sweep(&mut ctx, shell);
+                        } else {
+                            temp_burst(&mut ctx, &mut rng, shell);
+                        }
+                    }
+                }
+                ctx.b.advance(Timestamp::from_secs(rng.gen_range(60..900)));
+            }
+            ctx.b.exit(shell);
+            next_pid = ctx.next_pid;
+        }
+    }
+
+    Workload {
+        trace: b.build(),
+        fs: ufs.fs,
+        corpus: ufs.corpus,
+        projects: ufs.projects,
+        system: ufs.system,
+        schedule,
+        profile: profile.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_profile() -> MachineProfile {
+        MachineProfile {
+            days: 10,
+            ..MachineProfile::by_name("A").expect("A")
+        }
+    }
+
+    #[test]
+    fn generated_trace_is_nonempty_and_monotone() {
+        let w = generate(&small_profile(), 42);
+        assert!(w.trace.len() > 500, "got {} events", w.trace.len());
+        assert!(w
+            .trace
+            .events
+            .windows(2)
+            .all(|e| e[0].time <= e[1].time && e[0].seq < e[1].seq));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&small_profile(), 7);
+        let b = generate(&small_profile(), 7);
+        assert_eq!(a.trace.len(), b.trace.len());
+        assert_eq!(a.trace.events, b.trace.events);
+        let c = generate(&small_profile(), 8);
+        assert_ne!(a.trace.len(), c.trace.len(), "different seed, different trace");
+    }
+
+    #[test]
+    fn trace_exercises_every_event_kind() {
+        let w = generate(&small_profile(), 3);
+        let stats = w.trace.stats();
+        for kind in [
+            "open", "close", "opendir", "readdir", "exec", "exit", "fork", "unlink", "create",
+            "stat", "chdir",
+        ] {
+            assert!(stats.count(kind) > 0, "no {kind} events generated");
+        }
+    }
+
+    #[test]
+    fn project_of_maps_paths() {
+        let w = generate(&small_profile(), 3);
+        let p0_file = w.projects[0].sources[0].clone();
+        assert_eq!(w.project_of(&p0_file), Some(0));
+        assert_eq!(w.project_of("/etc/passwd"), None);
+    }
+
+    #[test]
+    fn heavier_machines_generate_more_events() {
+        let light = MachineProfile { days: 15, ..MachineProfile::by_name("E").expect("E") };
+        let heavy = MachineProfile { days: 15, ..MachineProfile::by_name("F").expect("F") };
+        let wl = generate(&light, 1);
+        let wh = generate(&heavy, 1);
+        assert!(
+            wh.trace.len() > wl.trace.len() * 2,
+            "heavy {} vs light {}",
+            wh.trace.len(),
+            wl.trace.len()
+        );
+    }
+
+    #[test]
+    fn referenced_project_files_exist_in_image() {
+        let w = generate(&small_profile(), 5);
+        // Spot-check: every project file the trace references is in the
+        // filesystem image with a positive size.
+        for p in &w.projects {
+            for f in p.all_files() {
+                let entry = w.fs.get(f).expect("in image");
+                assert!(entry.size > 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Synthetic workload generation for the SEER evaluation.
+//!
+//! The paper's evaluation replays file-reference traces captured from nine
+//! 486 laptops over one to eight months (§5.1.1, Table 3). Those traces are
+//! not available, so this crate synthesizes month-scale traces whose
+//! *shape* matches what the paper describes and what SEER's heuristics
+//! feed on:
+//!
+//! * project-structured file trees and edit/compile/document/mail sessions
+//!   with realistic access-order variation;
+//! * multi-process interleaving (shells, compilers, editors, background
+//!   daemons) with fork/exec/exit structure (§4.7);
+//! * `find`-style sweeps, `getcwd` walks, temporary files, shared
+//!   libraries on every exec, and dot-file configuration reads — the §4
+//!   intrusions;
+//! * an attention-shift model: the user works on one project at a time and
+//!   occasionally switches (§6.1 — the case where LRU fails);
+//! * per-machine disconnection schedules calibrated to Table 3's counts,
+//!   medians, means, and maxima.
+//!
+//! The entry point is [`generate`], returning a [`Workload`]: the trace,
+//! the filesystem image, a source corpus for investigators, the
+//! disconnection schedule, and the project models.
+
+#![warn(missing_docs)]
+
+pub mod filesystem;
+pub mod generator;
+pub mod profile;
+pub mod schedule;
+pub mod session;
+
+pub use filesystem::{ProjectKind, ProjectModel, UserFilesystem};
+pub use generator::{generate, Workload};
+pub use profile::{MachineProfile, UsageIntensity};
+pub use schedule::{generate_schedule, DisconnectionPeriod};

@@ -1,0 +1,145 @@
+//! Disconnection schedules calibrated to Table 3.
+
+use crate::profile::MachineProfile;
+use rand::Rng;
+use seer_trace::Timestamp;
+use serde::{Deserialize, Serialize};
+
+/// One disconnection period.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DisconnectionPeriod {
+    /// Disconnection start.
+    pub start: Timestamp,
+    /// Reconnection time.
+    pub end: Timestamp,
+}
+
+impl DisconnectionPeriod {
+    /// Duration in fractional hours.
+    #[must_use]
+    pub fn hours(&self) -> f64 {
+        self.end.saturating_since(self.start).as_hours_f64()
+    }
+
+    /// Whether `t` falls within the period.
+    #[must_use]
+    pub fn contains(&self, t: Timestamp) -> bool {
+        t >= self.start && t < self.end
+    }
+}
+
+/// Generates a machine's disconnection schedule.
+///
+/// Durations are lognormal with the profile's median and mean/median
+/// ratio, truncated at the observed maximum and floored at the paper's
+/// 15-minute minimum (§5.1.1 discards shorter disconnections). Start times
+/// spread uniformly over the measured days, with overlapping periods
+/// merged — mirroring the paper's merging of disconnections separated by
+/// brief reconnections.
+#[must_use]
+pub fn generate_schedule<R: Rng + ?Sized>(
+    profile: &MachineProfile,
+    rng: &mut R,
+) -> Vec<DisconnectionPeriod> {
+    let sigma = profile.duration_sigma();
+    let mu = profile.median_disc_hours.max(0.25).ln();
+    let total_hours = f64::from(profile.days) * 24.0;
+    let mut periods: Vec<DisconnectionPeriod> = (0..profile.n_disconnections)
+        .map(|_| {
+            // Box–Muller normal sample.
+            let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            let hours = (mu + sigma * z)
+                .exp()
+                .clamp(0.25, profile.max_disc_hours);
+            let latest_start = (total_hours - hours).max(0.0);
+            let start_h = rng.gen_range(0.0..=latest_start);
+            DisconnectionPeriod {
+                start: Timestamp((start_h * 3_600e6) as u64),
+                end: Timestamp(((start_h + hours) * 3_600e6) as u64),
+            }
+        })
+        .collect();
+    periods.sort_by_key(|p| p.start);
+    // Merge overlaps (brief reconnections between adjacent disconnections
+    // are discarded, §5.1.1).
+    let mut merged: Vec<DisconnectionPeriod> = Vec::with_capacity(periods.len());
+    for p in periods {
+        match merged.last_mut() {
+            Some(last) if p.start <= last.end => {
+                last.end = last.end.max(p.end);
+            }
+            _ => merged.push(p),
+        }
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use seer_stats::Summary;
+
+    #[test]
+    fn schedule_matches_profile_statistics() {
+        let profile = crate::profile::MachineProfile::by_name("F").expect("F");
+        let mut rng = StdRng::seed_from_u64(7);
+        // Average over several schedules to damp sampling noise.
+        let mut medians = Vec::new();
+        let mut counts = Vec::new();
+        for _ in 0..10 {
+            let sched = generate_schedule(&profile, &mut rng);
+            let hours: Vec<f64> = sched.iter().map(DisconnectionPeriod::hours).collect();
+            let s = Summary::of(&hours).expect("non-empty");
+            medians.push(s.median);
+            counts.push(sched.len() as f64);
+            // Individual draws are capped at the profile max, but merging
+            // adjacent periods (the paper's brief-reconnection rule) can
+            // exceed it somewhat.
+            assert!(s.max <= profile.max_disc_hours * 2.0 + 1e-9);
+            assert!(s.min >= 0.25 - 1e-9, "15-minute floor");
+        }
+        let med = Summary::of(&medians).expect("n").mean;
+        assert!(
+            (med - profile.median_disc_hours).abs() / profile.median_disc_hours < 0.35,
+            "median {med} vs profile {}",
+            profile.median_disc_hours
+        );
+        let n = Summary::of(&counts).expect("n").mean;
+        assert!(n > f64::from(profile.n_disconnections) * 0.7, "merging loses few periods");
+    }
+
+    #[test]
+    fn periods_are_sorted_and_disjoint() {
+        let profile = crate::profile::MachineProfile::by_name("D").expect("D");
+        let mut rng = StdRng::seed_from_u64(3);
+        let sched = generate_schedule(&profile, &mut rng);
+        for w in sched.windows(2) {
+            assert!(w[0].end < w[1].start, "disjoint after merging");
+        }
+    }
+
+    #[test]
+    fn contains_and_hours() {
+        let p = DisconnectionPeriod {
+            start: Timestamp::from_hours(10),
+            end: Timestamp::from_hours(13),
+        };
+        assert!((p.hours() - 3.0).abs() < 1e-12);
+        assert!(p.contains(Timestamp::from_hours(11)));
+        assert!(!p.contains(Timestamp::from_hours(13)));
+        assert!(!p.contains(Timestamp::from_hours(9)));
+    }
+
+    #[test]
+    fn periods_fit_in_measured_window() {
+        let profile = crate::profile::MachineProfile::by_name("B").expect("B");
+        let mut rng = StdRng::seed_from_u64(11);
+        let sched = generate_schedule(&profile, &mut rng);
+        let total = Timestamp::from_hours(u64::from(profile.days) * 24);
+        assert!(sched.iter().all(|p| p.end <= total));
+    }
+}

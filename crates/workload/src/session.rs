@@ -1,0 +1,388 @@
+//! Session and activity-burst generators.
+//!
+//! Each burst emits the syscall pattern of one real-world activity —
+//! editing, compiling, document work, mail, `find` sweeps, temp files,
+//! `getcwd` walks — with the multi-process structure SEER's per-process
+//! heuristics depend on (§4.1, §4.7).
+
+use crate::filesystem::{ProjectKind, ProjectModel, UserFilesystem};
+use rand::Rng;
+use seer_trace::{OpenMode, Pid, Timestamp, TraceBuilder};
+
+/// Mutable generation state threaded through the burst emitters.
+pub struct SessionCtx<'a> {
+    /// The trace under construction.
+    pub b: &'a mut TraceBuilder,
+    /// The machine model.
+    pub ufs: &'a UserFilesystem,
+    /// Monotone pid allocator.
+    pub next_pid: u32,
+}
+
+impl<'a> SessionCtx<'a> {
+    /// Creates a context starting pids at `first_pid`.
+    #[must_use]
+    pub fn new(b: &'a mut TraceBuilder, ufs: &'a UserFilesystem, first_pid: u32) -> SessionCtx<'a> {
+        SessionCtx { b, ufs, next_pid: first_pid }
+    }
+
+    /// Allocates a fresh process id.
+    pub fn alloc_pid(&mut self) -> Pid {
+        let p = Pid(self.next_pid);
+        self.next_pid += 1;
+        p
+    }
+
+    /// Emits an exec of `bin` plus the shared-library opens every dynamic
+    /// binary performs (§4.2).
+    pub fn exec_with_libs(&mut self, pid: Pid, bin: &str) {
+        self.b.exec(pid, bin);
+        for lib in &self.ufs.system.shared_libs {
+            self.b.touch(pid, lib, OpenMode::Read);
+        }
+    }
+
+    /// Spawns a child of `parent` running `bin`, returning its pid.
+    pub fn spawn(&mut self, parent: Pid, bin: &str) -> Pid {
+        let child = self.alloc_pid();
+        self.b.fork(parent, child);
+        self.exec_with_libs(child, bin);
+        child
+    }
+}
+
+/// Session start: a login shell reads the user's dot-files (§4.3) and
+/// occasionally asks for its working directory (§4.1).
+pub fn session_start<R: Rng + ?Sized>(ctx: &mut SessionCtx<'_>, rng: &mut R) -> Pid {
+    let shell = ctx.alloc_pid();
+    ctx.exec_with_libs(shell, &ctx.ufs.system.shell.clone());
+    for dot in &ctx.ufs.system.dotfiles.clone() {
+        ctx.b.touch(shell, dot, OpenMode::Read);
+    }
+    ctx.b.chdir(shell, "/home/user");
+    if rng.gen_bool(0.3) {
+        getcwd_walk(ctx, shell, 1);
+    }
+    shell
+}
+
+/// The `getcwd` climb: open the parent directory, read it, stat entries
+/// looking for the current directory's inode, repeat upward (§4.1).
+pub fn getcwd_walk(ctx: &mut SessionCtx<'_>, pid: Pid, levels: u32) {
+    for _ in 0..levels {
+        let fd = ctx.b.opendir(pid, "..");
+        ctx.b.readdir(pid, fd, 8);
+        ctx.b.stat(pid, "../user");
+        ctx.b.stat(pid, "../lost+found");
+        ctx.b.close(pid, fd);
+    }
+}
+
+/// An editing burst: the editor opens configuration, reads the project
+/// directory for completion, then works on one or two sources with their
+/// headers nearby.
+pub fn edit_burst<R: Rng + ?Sized>(
+    ctx: &mut SessionCtx<'_>,
+    rng: &mut R,
+    shell: Pid,
+    project: &ProjectModel,
+) {
+    let editor = ctx.spawn(shell, &ctx.ufs.system.editor.clone());
+    ctx.b.touch(editor, "/home/user/.emacs", OpenMode::Read);
+    ctx.b.chdir(editor, &project.dir);
+    // Filename completion reads the directory — a meaningful process that
+    // reads directories (§4.1's strategy-2 counterexample).
+    let fd = ctx.b.opendir(editor, ".");
+    ctx.b.readdir(editor, fd, project.len() as u32);
+    ctx.b.close(editor, fd);
+    let n_edit = rng.gen_range(1..=2.min(project.sources.len()));
+    let start = rng.gen_range(0..project.sources.len());
+    for k in 0..n_edit {
+        let src = &project.sources[(start + k) % project.sources.len()];
+        // Editors commonly stat before opening (§4.8 collapse case).
+        ctx.b.stat(editor, src);
+        let fd = ctx.b.open(editor, src, OpenMode::ReadWrite);
+        // Consult a header or neighbor while the source stays open.
+        if !project.headers.is_empty() && rng.gen_bool(0.7) {
+            let h = &project.headers[rng.gen_range(0..project.headers.len())];
+            ctx.b.touch(editor, h, OpenMode::Read);
+        }
+        ctx.b.advance(Timestamp::from_secs(rng.gen_range(30..600)));
+        ctx.b.close(editor, fd);
+    }
+    ctx.b.exit(editor);
+}
+
+/// A build burst: `make` stats the world (§4.8 attribute examination),
+/// then compiles a few sources in child `cc` processes (each opening the
+/// source, its headers, a temp file, and renaming the object into place)
+/// and finally links.
+pub fn compile_burst<R: Rng + ?Sized>(
+    ctx: &mut SessionCtx<'_>,
+    rng: &mut R,
+    shell: Pid,
+    project: &ProjectModel,
+) {
+    if project.kind != ProjectKind::Code {
+        return;
+    }
+    let make = ctx.spawn(shell, &ctx.ufs.system.make.clone());
+    ctx.b.chdir(make, &project.dir);
+    if let Some(mk) = &project.makefile {
+        ctx.b.touch(make, mk, OpenMode::Read);
+    }
+    // Dependency checking: stat every project file.
+    for f in project.all_files().map(str::to_owned).collect::<Vec<_>>() {
+        ctx.b.stat(make, &f);
+    }
+    let n_rebuild = rng.gen_range(1..=3.min(project.sources.len()));
+    let start = rng.gen_range(0..project.sources.len());
+    for k in 0..n_rebuild {
+        let idx = (start + k) % project.sources.len();
+        let src = project.sources[idx].clone();
+        let obj = project.objects[idx].clone();
+        let cc = ctx.spawn(make, &ctx.ufs.system.cc.clone());
+        ctx.b.chdir(cc, &project.dir);
+        let src_fd = ctx.b.open(cc, &src, OpenMode::Read);
+        for h in project.headers.clone() {
+            ctx.b.touch(cc, &h, OpenMode::Read);
+        }
+        // Temporary assembler output (§4.5), then the object via rename.
+        let tmp = format!("/tmp/cc{}.s", ctx.next_pid);
+        ctx.b.touch(cc, &tmp, OpenMode::Write);
+        ctx.b.unlink(cc, &tmp);
+        let obj_fd = ctx.b.open(cc, &obj, OpenMode::Write);
+        ctx.b.close(cc, obj_fd);
+        ctx.b.close(cc, src_fd);
+        ctx.b.exit(cc);
+    }
+    // Link step.
+    let ld = ctx.spawn(make, &ctx.ufs.system.cc.clone());
+    ctx.b.chdir(ld, &project.dir);
+    for obj in project.objects.clone() {
+        ctx.b.touch(ld, &obj, OpenMode::Read);
+    }
+    ctx.b.touch(ld, &project.product.clone(), OpenMode::Write);
+    ctx.b.exit(ld);
+    ctx.b.exit(make);
+}
+
+/// A document burst: edit a chapter, then run the formatter over all
+/// chapters and the bibliography.
+pub fn doc_burst<R: Rng + ?Sized>(
+    ctx: &mut SessionCtx<'_>,
+    rng: &mut R,
+    shell: Pid,
+    project: &ProjectModel,
+) {
+    let editor = ctx.spawn(shell, &ctx.ufs.system.editor.clone());
+    ctx.b.chdir(editor, &project.dir);
+    let ch = project.sources[rng.gen_range(0..project.sources.len())].clone();
+    let fd = ctx.b.open(editor, &ch, OpenMode::ReadWrite);
+    ctx.b.advance(Timestamp::from_secs(rng.gen_range(60..900)));
+    ctx.b.close(editor, fd);
+    ctx.b.exit(editor);
+    if rng.gen_bool(0.6) {
+        let latex = ctx.spawn(shell, &ctx.ufs.system.latex.clone());
+        ctx.b.chdir(latex, &project.dir);
+        for s in project.sources.clone() {
+            ctx.b.touch(latex, &s, OpenMode::Read);
+        }
+        for h in project.headers.clone() {
+            ctx.b.touch(latex, &h, OpenMode::Read);
+        }
+        ctx.b.touch(latex, &project.product.clone(), OpenMode::Write);
+        ctx.b.exit(latex);
+    }
+}
+
+/// Mail reading: the spool plus a few saved messages.
+///
+/// While connected the user browses freely and the touched messages enter
+/// `recent`; while disconnected no new mail arrives, so the user re-reads
+/// recently handled messages (the "briefcase" behavior of §5.2.2).
+pub fn mail_burst<R: Rng + ?Sized>(
+    ctx: &mut SessionCtx<'_>,
+    rng: &mut R,
+    shell: Pid,
+    recent: &mut Vec<usize>,
+    disconnected: bool,
+) {
+    let mail = ctx.spawn(shell, &ctx.ufs.system.mail.clone());
+    ctx.b.touch(mail, &ctx.ufs.system.mail_spool.clone(), OpenMode::ReadWrite);
+    let msgs = ctx.ufs.system.mail_messages.clone();
+    for _ in 0..rng.gen_range(1..4usize) {
+        let idx = if disconnected && !recent.is_empty() {
+            recent[rng.gen_range(0..recent.len())]
+        } else {
+            rng.gen_range(0..msgs.len())
+        };
+        ctx.b.touch(mail, &msgs[idx], OpenMode::Read);
+        if !recent.contains(&idx) {
+            recent.push(idx);
+            if recent.len() > 8 {
+                recent.remove(0);
+            }
+        }
+    }
+    ctx.b.exit(mail);
+}
+
+/// A `find` sweep over the home directory: reads every project directory
+/// and stats every file — the canonical meaningless process (§4.1).
+pub fn find_sweep(ctx: &mut SessionCtx<'_>, shell: Pid) {
+    let find = ctx.spawn(shell, &ctx.ufs.system.find.clone());
+    let projects: Vec<ProjectModel> = ctx.ufs.projects.clone();
+    for p in &projects {
+        let fd = ctx.b.opendir(find, &p.dir);
+        ctx.b.readdir(find, fd, p.len() as u32);
+        ctx.b.close(find, fd);
+        for f in p.all_files().map(str::to_owned).collect::<Vec<_>>() {
+            ctx.b.stat(find, &f);
+        }
+    }
+    ctx.b.exit(find);
+}
+
+/// Miscellaneous document reading outside any project.
+///
+/// Disconnected users stick to documents they recently consulted.
+pub fn misc_burst<R: Rng + ?Sized>(
+    ctx: &mut SessionCtx<'_>,
+    rng: &mut R,
+    shell: Pid,
+    recent: &mut Vec<usize>,
+    disconnected: bool,
+) {
+    let docs = ctx.ufs.system.misc_docs.clone();
+    let idx = if disconnected && !recent.is_empty() {
+        recent[rng.gen_range(0..recent.len())]
+    } else {
+        rng.gen_range(0..docs.len())
+    };
+    ctx.b.touch(shell, &docs[idx], OpenMode::Read);
+    if !recent.contains(&idx) {
+        recent.push(idx);
+        if recent.len() > 6 {
+            recent.remove(0);
+        }
+    }
+}
+
+/// A superuser cron job (§4.10): root-owned housekeeping touching system
+/// logs and spool files. SEER does not trace superuser calls, so none of
+/// this should reach the correlator.
+pub fn cron_burst<R: Rng + ?Sized>(ctx: &mut SessionCtx<'_>, rng: &mut R) {
+    let cron = ctx.alloc_pid();
+    let files = [
+        "/var/log/messages",
+        "/var/log/cron",
+        "/var/run/utmp",
+        "/etc/crontab",
+    ];
+    // Emit superuser events directly (exec + a few file touches).
+    let path = ctx.b.path("/usr/sbin/cron");
+    ctx.b
+        .emit_full(cron, seer_trace::EventKind::Exec { path }, None, true);
+    for f in files {
+        let path = ctx.b.path(f);
+        let fd = seer_trace::Fd(3);
+        ctx.b.emit_full(
+            cron,
+            seer_trace::EventKind::Open { path, mode: OpenMode::ReadWrite, fd },
+            None,
+            true,
+        );
+        ctx.b
+            .emit_full(cron, seer_trace::EventKind::Close { fd }, None, true);
+    }
+    if rng.gen_bool(0.5) {
+        let path = ctx.b.path("/var/log/messages.1");
+        ctx.b
+            .emit_full(cron, seer_trace::EventKind::Unlink { path }, None, true);
+    }
+    ctx.b.emit_full(cron, seer_trace::EventKind::Exit, None, true);
+}
+
+/// Scratch work in `/tmp` (§4.5).
+pub fn temp_burst<R: Rng + ?Sized>(ctx: &mut SessionCtx<'_>, rng: &mut R, shell: Pid) {
+    let name = format!("/tmp/scratch{}", rng.gen_range(0..100_000));
+    ctx.b.create(shell, &name);
+    ctx.b.touch(shell, &name, OpenMode::Write);
+    ctx.b.touch(shell, &name, OpenMode::Read);
+    ctx.b.unlink(shell, &name);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filesystem::build_filesystem;
+    use crate::profile::MachineProfile;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use seer_trace::TraceBuilder;
+
+    fn setup() -> (UserFilesystem, StdRng) {
+        let profile = MachineProfile::by_name("A").expect("A");
+        let mut rng = StdRng::seed_from_u64(5);
+        (build_filesystem(&profile, &mut rng), rng)
+    }
+
+    #[test]
+    fn session_start_reads_dotfiles() {
+        let (ufs, mut rng) = setup();
+        let mut b = TraceBuilder::new();
+        let mut ctx = SessionCtx::new(&mut b, &ufs, 100);
+        session_start(&mut ctx, &mut rng);
+        let trace = b.build();
+        let stats = trace.stats();
+        assert!(stats.count("exec") >= 1);
+        assert!(stats.count("open") >= 3, "dotfiles + libraries opened");
+    }
+
+    #[test]
+    fn compile_burst_has_process_tree_and_stats() {
+        let (ufs, mut rng) = setup();
+        let project = ufs
+            .projects
+            .iter()
+            .find(|p| p.kind == ProjectKind::Code)
+            .expect("code project")
+            .clone();
+        let mut b = TraceBuilder::new();
+        let mut ctx = SessionCtx::new(&mut b, &ufs, 100);
+        let shell = session_start(&mut ctx, &mut rng);
+        compile_burst(&mut ctx, &mut rng, shell, &project);
+        let trace = b.build();
+        let stats = trace.stats();
+        assert!(stats.count("fork") >= 2, "make forks cc children");
+        assert!(stats.count("stat") as usize >= project.len(), "dependency stat storm");
+        assert!(stats.count("unlink") >= 1, "temp files cleaned up");
+        assert!(stats.count("exit") >= 3);
+    }
+
+    #[test]
+    fn find_sweep_touches_every_project_file() {
+        let (ufs, mut rng) = setup();
+        let total: usize = ufs.projects.iter().map(ProjectModel::len).sum();
+        let mut b = TraceBuilder::new();
+        let mut ctx = SessionCtx::new(&mut b, &ufs, 100);
+        let shell = session_start(&mut ctx, &mut rng);
+        find_sweep(&mut ctx, shell);
+        let trace = b.build();
+        assert!(trace.stats().count("stat") as usize >= total);
+        assert!(trace.stats().count("readdir") as usize >= ufs.projects.len());
+    }
+
+    #[test]
+    fn pid_allocation_is_monotone() {
+        let (ufs, mut rng) = setup();
+        let mut b = TraceBuilder::new();
+        let mut ctx = SessionCtx::new(&mut b, &ufs, 100);
+        let a = ctx.alloc_pid();
+        let shell = session_start(&mut ctx, &mut rng);
+        let c = ctx.alloc_pid();
+        assert!(a < shell || a == Pid(100));
+        assert!(shell < c);
+    }
+}

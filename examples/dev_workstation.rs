@@ -1,0 +1,78 @@
+//! A month on a developer's laptop: generate the paper-calibrated
+//! workload for machine A, run the full SEER pipeline over it, and report
+//! what the observer filtered, what clustered, and what would be hoarded.
+//!
+//! Run with: `cargo run -p seer-examples --example dev_workstation --release`
+
+use seer_core::SeerEngine;
+use seer_sim::SizeModel;
+use seer_trace::EventSink;
+use seer_workload::{generate, MachineProfile};
+
+fn main() {
+    let profile = MachineProfile {
+        days: 30,
+        ..MachineProfile::by_name("A").expect("machine A is defined")
+    };
+    println!("generating a {}-day workload for machine {} …", profile.days, profile.name);
+    let workload = generate(&profile, 42);
+    println!(
+        "  {} events, {} projects, {} files on disk, {} disconnections",
+        workload.trace.len(),
+        workload.projects.len(),
+        workload.fs.len(),
+        workload.schedule.len()
+    );
+
+    let mut engine = SeerEngine::default();
+    for ev in &workload.trace.events {
+        engine.on_event(ev, &workload.trace.strings);
+    }
+
+    let stats = engine.observer_stats();
+    println!("\nobserver filters (§4):");
+    println!("  events processed:            {}", stats.events);
+    println!("  references emitted:          {}", stats.refs_emitted);
+    println!("  meaningless-process drops:   {}", stats.suppressed_meaningless);
+    println!("  processes marked meaningless:{}", stats.processes_marked_meaningless);
+    println!("  temp-file drops:             {}", stats.suppressed_temp);
+    println!("  dot-file exclusions:         {}", stats.suppressed_dotfile);
+    println!("  getcwd-walk drops:           {}", stats.suppressed_getcwd);
+    println!("  frequent-file drops (§4.2):  {}", stats.suppressed_frequent);
+
+    println!("\nalways-hoarded system files (frequent/critical, §4.2–§4.3):");
+    let mut names: Vec<&str> = engine
+        .always_hoard()
+        .iter()
+        .filter_map(|&f| engine.paths().resolve(f))
+        .filter(|p| p.starts_with("/lib") || p.starts_with("/usr"))
+        .collect();
+    names.sort_unstable();
+    for n in names {
+        println!("  {n}");
+    }
+
+    let clustering = engine.recluster().clone();
+    let mut sizes: Vec<usize> = clustering.clusters.iter().map(|c| c.len()).collect();
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    println!(
+        "\nclustering: {} clusters; largest: {:?}",
+        clustering.len(),
+        &sizes[..sizes.len().min(8)]
+    );
+
+    let mut size_model = SizeModel::new(&workload.fs, 1);
+    let mut size_by_id = std::collections::HashMap::new();
+    for f in engine.rank() {
+        size_by_id.insert(f, size_model.size_of(engine.paths(), f));
+    }
+    let budget = 2 * 1024 * 1024;
+    let hoard = engine.choose_hoard(budget, &|f| size_by_id.get(&f).copied().unwrap_or(0));
+    println!(
+        "\nhoard for a {budget}-byte budget: {} files / {} bytes ({} projects, {} skipped)",
+        hoard.files.len(),
+        hoard.bytes,
+        hoard.clusters_taken,
+        hoard.clusters_skipped
+    );
+}

@@ -1,0 +1,78 @@
+//! External investigators (§3.2): extracting `#include`, makefile, and
+//! hot-link relationships from file contents and feeding them to the
+//! clustering algorithm.
+//!
+//! Run with: `cargo run -p seer-examples --example investigators`
+
+use seer_cluster::{cluster_files, ClusterConfig};
+use seer_distance::{DistanceConfig, NeighborTable};
+use seer_investigator::{
+    HotLinkInvestigator, IncludeScanner, Investigator, MakefileInvestigator, SourceCorpus,
+};
+use seer_trace::PathTable;
+
+fn main() {
+    // A small project on disk.
+    let mut corpus = SourceCorpus::new();
+    corpus.insert(
+        "/home/user/app/main.c",
+        "#include \"app.h\"\n#include <stdio.h>\nint main(void) { return run(); }\n",
+    );
+    corpus.insert(
+        "/home/user/app/engine.c",
+        "#include \"app.h\"\n#include \"engine.h\"\nint run(void) { return 0; }\n",
+    );
+    corpus.insert(
+        "/home/user/app/Makefile",
+        "app: main.o engine.o\n\tcc -o app main.o engine.o\n\
+         main.o: main.c app.h\n\tcc -c main.c\n\
+         engine.o: engine.c app.h engine.h\n\tcc -c engine.c\n",
+    );
+    corpus.insert(
+        "/home/user/report/status.txt",
+        "Weekly status.\nlink: ../app/main.c\n",
+    );
+
+    let mut paths = PathTable::new();
+    let investigators: Vec<Box<dyn Investigator>> = vec![
+        Box::new(IncludeScanner::default()),
+        Box::new(MakefileInvestigator::default()),
+        Box::new(HotLinkInvestigator::default()),
+    ];
+
+    let mut relations = Vec::new();
+    for inv in &investigators {
+        let found = inv.investigate(&corpus, &mut paths);
+        println!("{} found {} relation(s):", inv.name(), found.len());
+        for r in &found {
+            let names: Vec<&str> = r
+                .files
+                .iter()
+                .filter_map(|&f| paths.resolve(f))
+                .collect();
+            println!("  strength {:>5.1}: {names:?}", r.strength);
+        }
+        relations.extend(found);
+    }
+
+    // Even with NO observed semantic distances, investigator relations
+    // form projects (§3.3.3: relations are tested regardless of whether a
+    // distance was stored; strong ones force clusters).
+    let dc = DistanceConfig::default();
+    let empty_table = NeighborTable::new(
+        dc.n_neighbors,
+        dc.reduction,
+        dc.aging_refs,
+        dc.deletion_delay,
+        dc.seed,
+    );
+    let clustering = cluster_files(&empty_table, &paths, &relations, &ClusterConfig::default());
+    println!("\nclusters from investigator evidence alone:");
+    for (i, c) in clustering.clusters.iter().enumerate() {
+        if c.len() < 2 {
+            continue;
+        }
+        let names: Vec<&str> = c.files.iter().filter_map(|&f| paths.resolve(f)).collect();
+        println!("  project {i}: {names:?}");
+    }
+}

@@ -1,0 +1,1 @@
+//! Helper crate anchoring the SEER runnable examples (see `*.rs` in this directory).

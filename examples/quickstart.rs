@@ -1,0 +1,68 @@
+//! Quickstart: observe a few file accesses, cluster them into projects,
+//! and pick hoard contents.
+//!
+//! Run with: `cargo run -p seer-examples --example quickstart`
+
+use seer_core::SeerEngine;
+use seer_trace::{OpenMode, Pid, TraceBuilder};
+
+fn main() {
+    // 1. Record (or synthesize) a syscall trace. In a deployment the
+    //    observer sits on a kernel trace; here we script one: a user
+    //    alternating between a C project and a paper.
+    let mut b = TraceBuilder::new();
+    let code = ["/home/user/hack/main.c", "/home/user/hack/defs.h",
+        "/home/user/hack/util.c", "/home/user/hack/Makefile"];
+    let paper = ["/home/user/paper/paper.tex", "/home/user/paper/refs.bib"];
+    for round in 0..8u32 {
+        let pid = Pid(100 + round);
+        b.exec(pid, "/usr/bin/cc");
+        let first = b.open(pid, code[round as usize % 4], OpenMode::Read);
+        for k in 1..4 {
+            b.touch(pid, code[(round as usize + k) % 4], OpenMode::Read);
+        }
+        b.close(pid, first);
+        b.exit(pid);
+    }
+    for round in 0..4u32 {
+        let pid = Pid(200 + round);
+        b.exec(pid, "/usr/bin/latex");
+        let doc = b.open(pid, paper[0], OpenMode::ReadWrite);
+        b.touch(pid, paper[1], OpenMode::Read);
+        b.close(pid, doc);
+        b.exit(pid);
+    }
+    let trace = b.build();
+
+    // 2. Feed it to SEER.
+    let mut engine = SeerEngine::default();
+    trace.replay(&mut engine);
+
+    // 3. Cluster into projects.
+    let clustering = engine.recluster().clone();
+    println!("SEER found {} clusters from {} events:", clustering.len(), trace.len());
+    for (i, cluster) in clustering.clusters.iter().enumerate() {
+        let names: Vec<&str> = cluster
+            .files
+            .iter()
+            .filter_map(|&f| engine.paths().resolve(f))
+            .collect();
+        println!("  project {i}: {names:?}");
+    }
+
+    // 4. Choose hoard contents for an imminent disconnection: whole
+    //    projects, most recently active first, within the budget.
+    let hoard = engine.choose_hoard(4096, &|_| 1024);
+    println!(
+        "\nhoard selection (4 KiB budget): {} files, {} bytes, {} projects taken, {} skipped",
+        hoard.files.len(),
+        hoard.bytes,
+        hoard.clusters_taken,
+        hoard.clusters_skipped
+    );
+    for f in &hoard.files {
+        if let Some(p) = engine.paths().resolve(*f) {
+            println!("  hoard: {p}");
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! The replication substrates under SEER (§2, §4.4): hoard fill,
+//! disconnected access, miss-detection capability differences, and
+//! reconnection-time reconciliation with conflicts.
+//!
+//! Run with: `cargo run -p seer-examples --example replication_substrates`
+
+use seer_replication::{
+    AccessOutcome, CheapRumor, CodaLike, MissLog, ReplicationSystem, RumorLike, Severity,
+};
+use seer_trace::{FileId, Timestamp};
+
+fn drive(substrate: &mut dyn ReplicationSystem, miss_log: &mut MissLog) {
+    println!("== {} ==", substrate.name());
+    let caps = substrate.capabilities();
+    println!(
+        "  capabilities: remote_access={}, detects_misses={}",
+        caps.remote_access, caps.detects_misses
+    );
+
+    // Fill the hoard before disconnecting.
+    let report = substrate.fill_hoard(&[(FileId(1), 10_000), (FileId(2), 20_000)]);
+    println!(
+        "  fill: fetched {} files / {} bytes",
+        report.fetched, report.bytes_fetched
+    );
+
+    substrate.set_connected(false);
+    // Hoarded file: fine. Unhoarded-but-existing file: a hoard miss —
+    // detectable or not, depending on the substrate (§4.4).
+    assert_eq!(substrate.access(FileId(1), true), AccessOutcome::Local);
+    match substrate.access(FileId(9), true) {
+        AccessOutcome::MissDetected => {
+            println!("  miss on file 9: detected automatically");
+            miss_log.record_auto(FileId(9), Timestamp::from_hours(2));
+        }
+        AccessOutcome::ErrorIndistinct => {
+            println!(
+                "  miss on file 9: ENOENT-like error — only the user can classify it; \
+                 recording manually at severity 1"
+            );
+            miss_log.record_manual(
+                FileId(9),
+                Timestamp::from_hours(2),
+                Severity::TaskChange,
+                false,
+            );
+        }
+        other => println!("  unexpected outcome: {other:?}"),
+    }
+
+    // Work disconnected: update a hoarded file while the office replica
+    // changes the other one; reconcile at reconnection.
+    substrate.record_local_update(FileId(1), 11_000);
+    substrate.record_remote_update(FileId(2), 22_000);
+    substrate.record_remote_update(FileId(1), 10_500); // Conflict!
+    substrate.set_connected(true);
+    let rec = substrate.reconcile();
+    println!(
+        "  reconcile: pushed {}, pulled {}, conflicts {}\n",
+        rec.pushed, rec.pulled, rec.conflicts
+    );
+}
+
+fn main() {
+    let mut miss_log = MissLog::new();
+    drive(&mut RumorLike::new(), &mut miss_log);
+    drive(&mut CheapRumor::new(), &mut miss_log);
+    drive(&mut CodaLike::new(), &mut miss_log);
+
+    println!("miss log: {} records ({} automatic)", miss_log.records().len(), miss_log.auto_count());
+    let pending = miss_log.take_pending();
+    println!(
+        "files scheduled for hoarding at next reconnection: {:?}",
+        pending
+    );
+}

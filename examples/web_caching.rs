@@ -1,0 +1,103 @@
+//! §7 future work, implemented: "the predictive and inferential methods
+//! pioneered by SEER hold promise for other applications, such as Web
+//! caching".
+//!
+//! URLs play the role of files, page views the role of opens, and browse
+//! sessions the role of processes. Semantic distance clusters pages into
+//! sites/topics; a prefetching cache loads whole clusters when any member
+//! is touched — the same attention-shift benefit hoarding gets.
+//!
+//! Run with: `cargo run -p seer-examples --example web_caching`
+
+use seer_cluster::{cluster_files_excluding, ClusterConfig};
+use seer_core::ActivityTracker;
+use seer_distance::{DistanceConfig, DistanceEngine};
+use seer_observer::{RefKind, Reference, ReferenceSink};
+use seer_trace::{FileId, PathTable, Pid, Seq, Timestamp};
+use std::collections::HashSet;
+
+/// A tiny deterministic model of a user's browsing: three "topics" of
+/// pages, visited in topic-coherent sessions.
+fn browse_log() -> Vec<(u32, String)> {
+    let topics: [(&str, usize); 3] =
+        [("news.example.com", 6), ("docs.rust-lang.org", 8), ("recipes.example.org", 5)];
+    let mut log = Vec::new();
+    let mut session = 0u32;
+    for round in 0..12 {
+        for (t, (host, pages)) in topics.iter().enumerate() {
+            if (round + t) % 3 == 0 {
+                continue; // Not every topic every round.
+            }
+            session += 1;
+            for k in 0..*pages {
+                let page = (round + k) % pages;
+                log.push((session, format!("/{host}/page{page}.html")));
+            }
+        }
+    }
+    log
+}
+
+fn main() {
+    let mut paths = PathTable::new();
+    let mut distance = DistanceEngine::new(DistanceConfig::default());
+    let mut activity = ActivityTracker::new();
+
+    // Feed the browse log as point references, one pseudo-process per
+    // session (per-session streams, like §4.7's per-process streams).
+    for (i, (session, url)) in browse_log().iter().enumerate() {
+        let file = paths.intern(url);
+        let r = Reference {
+            seq: Seq(i as u64),
+            time: Timestamp::from_secs(i as u64 * 30),
+            pid: Pid(*session),
+            file,
+            kind: RefKind::Point { write: false },
+        };
+        distance.on_reference(&r, &paths);
+        activity.on_reference(&r, &paths);
+    }
+
+    // Cluster pages. Directory distance naturally separates hosts.
+    let clustering = cluster_files_excluding(
+        distance.table(),
+        &paths,
+        &[],
+        &HashSet::new(),
+        &ClusterConfig::default(),
+    );
+    println!("pages known: {}; clusters found:", paths.len());
+    let mut clusters: Vec<_> = clustering.clusters.iter().filter(|c| c.len() > 1).collect();
+    clusters.sort_by_key(|c| std::cmp::Reverse(c.len()));
+    for (i, c) in clusters.iter().enumerate() {
+        let hosts: HashSet<&str> = c
+            .files
+            .iter()
+            .filter_map(|&f| paths.resolve(f))
+            .filter_map(|p| p.split('/').nth(1))
+            .collect();
+        println!("  cluster {i}: {} pages across hosts {hosts:?}", c.len());
+    }
+
+    // Prefetch demo: the user touches ONE docs page after a long absence;
+    // cluster-based prefetching pulls the whole topic.
+    let touched = paths.get("/docs.rust-lang.org/page0.html").expect("seen");
+    let prefetch: HashSet<FileId> = clustering
+        .clusters_of(touched)
+        .iter()
+        .flat_map(|&c| clustering.cluster(c).files.iter().copied())
+        .collect();
+    let same_host = prefetch
+        .iter()
+        .filter_map(|&f| paths.resolve(f))
+        .filter(|p| p.starts_with("/docs.rust-lang.org/"))
+        .count();
+    println!(
+        "\ntouching one docs page prefetches {} pages ({} on the same host) —",
+        prefetch.len(),
+        same_host
+    );
+    println!("the browser's next clicks in this topic are already cached, exactly");
+    println!("as one touch of a project member hoards the whole project.");
+    assert!(same_host >= 4, "the topic cluster must be substantial");
+}

@@ -1,0 +1,1 @@
+//! Integration-test helper crate for the SEER workspace (tests live in `tests/`).

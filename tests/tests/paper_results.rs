@@ -1,0 +1,118 @@
+//! Integration checks of the paper's headline result shapes, at reduced
+//! scale so they run in the test suite (full scale lives in the
+//! `seer-bench` binaries).
+
+use seer_sim::{run_live, run_missfree, LiveConfig, MissFreeConfig};
+use seer_workload::{generate, MachineProfile};
+
+fn workload(machine: &str, days: u32, seed: u64) -> seer_workload::Workload {
+    let profile = MachineProfile::by_name(machine)
+        .expect("machine exists")
+        .scaled_to_days(days);
+    generate(&profile, seed)
+}
+
+/// Figure 2's core claim: SEER's miss-free hoard tracks the working set;
+/// LRU needs more.
+#[test]
+fn figure2_shape_seer_close_to_working_set() {
+    let w = workload("F", 28, 41);
+    let out = run_missfree(&w, &MissFreeConfig::weekly());
+    let ws = out.mean_of(|p| p.working_set);
+    let seer = out.mean_of(|p| p.seer.bytes);
+    let lru = out.mean_of(|p| p.lru.bytes);
+    assert!(ws > 0.0, "weekly periods saw work");
+    let seer_ratio = seer / ws;
+    let lru_ratio = lru / ws;
+    assert!(
+        seer_ratio < 2.0,
+        "SEER stays near the working set (got {seer_ratio:.2}×)"
+    );
+    assert!(
+        lru_ratio > seer_ratio,
+        "LRU needs more than SEER ({lru_ratio:.2} vs {seer_ratio:.2})"
+    );
+}
+
+/// Figure 2's daily bars stress the gap harder (more attention shifts per
+/// period boundary).
+#[test]
+fn figure2_daily_gap_at_least_as_large() {
+    let w = workload("F", 28, 42);
+    let daily = run_missfree(&w, &MissFreeConfig::daily());
+    let seer = daily.mean_of(|p| p.seer.bytes);
+    let lru = daily.mean_of(|p| p.lru.bytes);
+    assert!(lru > seer, "daily: lru {lru:.0} > seer {seer:.0}");
+}
+
+/// §5.2.1: external investigators make no dramatic difference.
+#[test]
+fn investigators_do_not_change_the_story() {
+    let w = workload("B", 28, 43);
+    let base = run_missfree(&w, &MissFreeConfig::weekly());
+    let inv = run_missfree(
+        &w,
+        &MissFreeConfig { investigators: true, ..MissFreeConfig::weekly() },
+    );
+    let a = base.mean_of(|p| p.seer.bytes);
+    let b = inv.mean_of(|p| p.seer.bytes);
+    let rel = (a - b).abs() / a.max(1.0);
+    assert!(rel < 0.5, "investigators shifted SEER by {:.0}%", rel * 100.0);
+}
+
+/// Table 4's central contrast: a stressed hoard fails sometimes; a
+/// comfortable hoard essentially never (severity-wise), and severity 0
+/// never occurs.
+#[test]
+fn table4_shape_stressed_vs_comfortable() {
+    let w = workload("F", 30, 44);
+    // Comfortable hoard.
+    let comfy = run_live(&w, &LiveConfig { hoard_bytes: 1 << 40, ..LiveConfig::default() });
+    // Stressed hoard: a fraction of what the comfortable one fetched.
+    let stressed_budget = comfy.bytes_fetched / 20;
+    let stressed = run_live(
+        &w,
+        &LiveConfig { hoard_bytes: stressed_budget.max(100_000), ..LiveConfig::default() },
+    );
+    assert!(
+        stressed.failed_disconnections() >= comfy.failed_disconnections(),
+        "stress does not reduce failures"
+    );
+    for r in [&comfy, &stressed] {
+        assert_eq!(
+            r.count_at(seer_replication::Severity::Unusable),
+            0,
+            "no severity-0 failures, as in the paper"
+        );
+    }
+}
+
+/// Table 5's reading: first misses arrive within the disconnection, not
+/// at its very end — users keep working after a miss.
+#[test]
+fn table5_shape_first_miss_timing() {
+    let w = workload("F", 30, 45);
+    let comfy = run_live(&w, &LiveConfig { hoard_bytes: 1 << 40, ..LiveConfig::default() });
+    let stressed = run_live(
+        &w,
+        &LiveConfig {
+            hoard_bytes: (comfy.bytes_fetched / 20).max(100_000),
+            ..LiveConfig::default()
+        },
+    );
+    for m in &stressed.misses {
+        let disc = &w.schedule[m.disconnection];
+        assert!(m.hours_into <= disc.hours() + 1e-6, "miss inside its disconnection");
+    }
+}
+
+/// The disconnection schedules reproduce Table 3's relative ordering:
+/// machine F has by far the most disconnections; machine B the fewest.
+#[test]
+fn table3_shape_relative_disconnection_counts() {
+    let f = workload("F", 252, 46);
+    let b = workload("B", 79, 46);
+    let d = workload("D", 118, 46);
+    assert!(f.schedule.len() > d.schedule.len());
+    assert!(d.schedule.len() > b.schedule.len());
+}

@@ -1,0 +1,182 @@
+//! End-to-end integration: workload → observer → correlator → clustering
+//! → hoard selection → replication substrate → disconnected access.
+
+use seer_core::SeerEngine;
+use seer_replication::{AccessOutcome, CheapRumor, ReplicationSystem};
+use seer_sim::SizeModel;
+use seer_trace::{EventSink, FileId};
+use seer_workload::{generate, MachineProfile};
+use std::collections::HashMap;
+
+fn small(machine: &str, days: u32) -> seer_workload::Workload {
+    let profile = MachineProfile::by_name(machine)
+        .expect("machine exists")
+        .scaled_to_days(days);
+    generate(&profile, 77)
+}
+
+#[test]
+fn full_pipeline_hoards_active_project_for_disconnection() {
+    let workload = small("A", 25);
+    let mut engine = SeerEngine::default();
+    for ev in &workload.trace.events {
+        engine.on_event(ev, &workload.trace.strings);
+    }
+    engine.recluster();
+
+    // Sizes from the workload image.
+    let mut sizes = SizeModel::new(&workload.fs, 5);
+    let mut size_by_id: HashMap<FileId, u64> = HashMap::new();
+    for f in engine.rank() {
+        size_by_id.insert(f, sizes.size_of(engine.paths(), f));
+    }
+    let budget = 5 * 1024 * 1024;
+    let selection = engine.choose_hoard(budget, &|f| size_by_id.get(&f).copied().unwrap_or(0));
+    assert!(!selection.files.is_empty());
+    assert!(selection.clusters_taken > 0, "at least one whole project hoarded");
+
+    // Install into a substrate and go offline.
+    let mut substrate = CheapRumor::new();
+    let fill = selection.as_fill_list(&|f| size_by_id.get(&f).copied().unwrap_or(0));
+    let report = substrate.fill_hoard(&fill);
+    assert_eq!(report.fetched as usize, selection.files.len());
+    substrate.set_connected(false);
+
+    // Every file of every selected cluster is locally accessible.
+    for &f in &selection.files {
+        assert_eq!(substrate.access(f, true), AccessOutcome::Local);
+    }
+    // A file SEER knows but did not select misses detectably.
+    let unselected = engine
+        .rank()
+        .into_iter()
+        .find(|f| !selection.contains(*f));
+    if let Some(f) = unselected {
+        assert_eq!(substrate.access(f, true), AccessOutcome::MissDetected);
+    }
+}
+
+#[test]
+fn observer_filters_fire_on_realistic_workloads() {
+    let workload = small("F", 20);
+    let mut engine = SeerEngine::default();
+    for ev in &workload.trace.events {
+        engine.on_event(ev, &workload.trace.strings);
+    }
+    let stats = engine.observer_stats();
+    assert!(stats.suppressed_meaningless > 0, "find sweeps filtered (§4.1)");
+    assert!(stats.processes_marked_meaningless > 0);
+    assert!(stats.suppressed_temp > 0, "temp files filtered (§4.5)");
+    assert!(stats.suppressed_dotfile > 0, "dot files filtered (§4.3)");
+    assert!(stats.suppressed_getcwd > 0, "getcwd walks filtered (§4.1)");
+    assert!(stats.suppressed_frequent > 0, "shared libraries filtered (§4.2)");
+    assert!(stats.stats_collapsed > 0, "stat-then-open collapsed (§4.8)");
+    // The shared libraries ended up always-hoarded.
+    let libs_hoarded = workload
+        .system
+        .shared_libs
+        .iter()
+        .filter_map(|p| engine.paths().get(p))
+        .filter(|f| engine.always_hoard().contains(f))
+        .count();
+    assert_eq!(libs_hoarded, workload.system.shared_libs.len());
+}
+
+#[test]
+fn clusters_reflect_ground_truth_projects() {
+    let workload = small("A", 25);
+    let mut engine = SeerEngine::default();
+    for ev in &workload.trace.events {
+        engine.on_event(ev, &workload.trace.strings);
+    }
+    let clustering = engine.recluster().clone();
+    // For each project with enough observed files, the majority of its
+    // observed sources share a cluster.
+    let mut checked = 0;
+    for project in &workload.projects {
+        // Only projects the engine actually observed meaningful work on
+        // can cluster; find-swept-only projects are (correctly) unknown,
+        // and files hot enough to trip the §4.2 frequent rule are carried
+        // in the always-hoard set instead of any cluster.
+        let ids: Vec<FileId> = project
+            .sources
+            .iter()
+            .filter_map(|p| engine.paths().get(p))
+            .filter(|&f| engine.correlator().activity().last_ref(f).is_some())
+            .filter(|f| !engine.always_hoard().contains(f))
+            .collect();
+        if ids.len() < 3 {
+            continue;
+        }
+        checked += 1;
+        let mut counts: HashMap<seer_cluster::ClusterId, usize> = HashMap::new();
+        for &f in &ids {
+            for &c in clustering.clusters_of(f) {
+                *counts.entry(c).or_insert(0) += 1;
+            }
+        }
+        let best = counts.values().copied().max().unwrap_or(0);
+        assert!(
+            best * 2 >= ids.len(),
+            "project {} scattered: best cluster holds {best} of {} sources",
+            project.dir,
+            ids.len()
+        );
+    }
+    assert!(checked >= 2, "enough projects participated");
+}
+
+#[test]
+fn investigator_relations_integrate_with_engine() {
+    use seer_sim::replay::standard_investigators;
+    let workload = small("A", 15);
+    let mut engine = SeerEngine::default();
+    let mut relations = Vec::new();
+    for inv in standard_investigators() {
+        relations.extend(inv.investigate(&workload.corpus, engine.paths_mut()));
+    }
+    assert!(!relations.is_empty(), "corpus yields include/makefile relations");
+    engine.set_relations(relations);
+    for ev in &workload.trace.events {
+        engine.on_event(ev, &workload.trace.strings);
+    }
+    let clustering = engine.recluster().clone();
+    assert!(!clustering.is_empty());
+    // The makefile investigator forces whole-build clusters: a code
+    // project's makefile shares a cluster with its sources.
+    let code = workload
+        .projects
+        .iter()
+        .find(|p| p.makefile.is_some())
+        .expect("a code project exists");
+    let mk = engine
+        .paths()
+        .get(code.makefile.as_ref().expect("checked"))
+        .expect("makefile interned");
+    let src = engine.paths().get(&code.sources[0]).expect("source interned");
+    let shared = clustering
+        .clusters_of(mk)
+        .iter()
+        .any(|c| clustering.clusters_of(src).contains(c));
+    assert!(shared, "makefile clusters with its sources");
+}
+
+#[test]
+fn superuser_cron_activity_is_invisible_to_seer() {
+    let workload = small("D", 15);
+    // The trace contains root events…
+    assert!(
+        workload.trace.events.iter().any(|e| e.root),
+        "cron bursts generate superuser events"
+    );
+    let mut engine = SeerEngine::default();
+    for ev in &workload.trace.events {
+        engine.on_event(ev, &workload.trace.strings);
+    }
+    // …which the observer drops entirely (§4.10).
+    assert!(engine.observer_stats().suppressed_superuser > 0);
+    assert!(
+        engine.paths().get("/var/log/cron").is_none(),
+        "root-only files never enter SEER's tables"
+    );
+}

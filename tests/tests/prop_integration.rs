@@ -1,0 +1,138 @@
+//! Cross-crate property tests: engine invariants under random traces.
+
+use proptest::prelude::*;
+use seer_core::SeerEngine;
+use seer_trace::{OpenMode, Pid, TraceBuilder};
+use std::collections::HashMap;
+
+/// A random but well-formed trace script over a small file universe.
+#[derive(Debug, Clone)]
+enum Op {
+    Touch(u8, u8),
+    Stat(u8, u8),
+    Exec(u8, u8),
+    Fork(u8),
+    Exit(u8),
+    Chdir(u8, u8),
+    Unlink(u8, u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..8u8, 0..20u8).prop_map(|(p, f)| Op::Touch(p, f)),
+        (0..8u8, 0..20u8).prop_map(|(p, f)| Op::Stat(p, f)),
+        (0..8u8, 0..4u8).prop_map(|(p, b)| Op::Exec(p, b)),
+        (0..8u8).prop_map(Op::Fork),
+        (0..8u8).prop_map(Op::Exit),
+        (0..8u8, 0..4u8).prop_map(|(p, d)| Op::Chdir(p, d)),
+        (0..8u8, 0..20u8).prop_map(|(p, f)| Op::Unlink(p, f)),
+    ]
+}
+
+fn build_trace(ops: &[Op]) -> seer_trace::Trace {
+    let mut b = TraceBuilder::new();
+    let mut next_child = 100u32;
+    let mut alive: HashMap<u8, Pid> = HashMap::new();
+    let pid_of = |slot: u8, alive: &mut HashMap<u8, Pid>| {
+        *alive.entry(slot).or_insert(Pid(u32::from(slot) + 1))
+    };
+    for op in ops {
+        match *op {
+            Op::Touch(p, f) => {
+                let pid = pid_of(p, &mut alive);
+                b.touch(pid, &format!("/u/d{}/f{f}", f % 4), OpenMode::Read);
+            }
+            Op::Stat(p, f) => {
+                let pid = pid_of(p, &mut alive);
+                b.stat(pid, &format!("/u/d{}/f{f}", f % 4));
+            }
+            Op::Exec(p, bin) => {
+                let pid = pid_of(p, &mut alive);
+                b.exec(pid, &format!("/bin/b{bin}"));
+            }
+            Op::Fork(p) => {
+                let pid = pid_of(p, &mut alive);
+                let child = Pid(next_child);
+                next_child += 1;
+                b.fork(pid, child);
+                b.exit(child);
+            }
+            Op::Exit(p) => {
+                if let Some(pid) = alive.remove(&p) {
+                    b.exit(pid);
+                }
+            }
+            Op::Chdir(p, d) => {
+                let pid = pid_of(p, &mut alive);
+                b.chdir(pid, &format!("/u/d{d}"));
+            }
+            Op::Unlink(p, f) => {
+                let pid = pid_of(p, &mut alive);
+                b.unlink(pid, &format!("/u/d{}/f{f}", f % 4));
+            }
+        }
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The engine never panics on arbitrary well-formed traces, its
+    /// ranking is duplicate-free, and clustering covers every activity
+    /// file.
+    #[test]
+    fn engine_invariants_under_random_traces(ops in prop::collection::vec(op_strategy(), 0..300)) {
+        let trace = build_trace(&ops);
+        let mut engine = SeerEngine::default();
+        trace.replay(&mut engine);
+        let clustering = engine.recluster().clone();
+        let rank = engine.rank();
+        let mut dedup = rank.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), rank.len(), "duplicate files in ranking");
+        // Every tracked file appears in the ranking.
+        for f in engine.correlator().activity().files() {
+            prop_assert!(rank.contains(&f), "activity file missing from ranking");
+        }
+        // Clustered files are real (resolvable) files.
+        for c in &clustering.clusters {
+            for &f in &c.files {
+                prop_assert!(engine.paths().resolve(f).is_some());
+            }
+        }
+    }
+
+    /// Hoard selection respects the budget up to the always-hoard set,
+    /// and selected projects are complete.
+    #[test]
+    fn hoard_selection_respects_budget(
+        ops in prop::collection::vec(op_strategy(), 50..300),
+        budget in 1_000u64..100_000,
+    ) {
+        let trace = build_trace(&ops);
+        let mut engine = SeerEngine::default();
+        trace.replay(&mut engine);
+        engine.recluster();
+        let always_bytes: u64 = engine.always_hoard().len() as u64 * 100;
+        let sel = engine.choose_hoard(budget, &|_| 100);
+        prop_assert!(
+            sel.bytes <= budget.max(always_bytes),
+            "selection {} exceeds budget {budget} beyond the always-hoard set",
+            sel.bytes
+        );
+        // Bytes accounting is consistent.
+        prop_assert_eq!(sel.bytes, sel.files.len() as u64 * 100);
+        // Whole-project rule: every taken cluster is fully contained.
+        let clustering = engine.clustering().expect("reclustered").clone();
+        let chosen: std::collections::HashSet<_> = sel.files.iter().copied().collect();
+        let mut complete = 0;
+        for c in &clustering.clusters {
+            if c.files.iter().all(|f| chosen.contains(f)) {
+                complete += 1;
+            }
+        }
+        prop_assert!(complete >= sel.clusters_taken, "taken clusters are complete");
+    }
+}
