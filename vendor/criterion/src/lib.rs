@@ -1,0 +1,297 @@
+//! Offline vendored `criterion`.
+//!
+//! A compact re-implementation of the criterion surface this workspace's
+//! benches use: `Criterion::benchmark_group`, `sample_size`, `throughput`,
+//! `bench_function`, `bench_with_input`, `Bencher::{iter, iter_batched}`,
+//! `BatchSize`, `BenchmarkId`, `Throughput`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Differences from real criterion: no statistical analysis, no HTML
+//! reports, no warm-up model. Each benchmark is calibrated to a short
+//! per-sample wall time, timed over `sample_size` samples, and the median
+//! per-iteration time is printed to stdout.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. The stub re-runs setup for
+/// every iteration regardless of size, so this only mirrors the API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Units for reporting throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter rendering.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times closures for one benchmark.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` run back to back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Target wall time per sample; keeps whole-suite runtime modest.
+const SAMPLE_TARGET: Duration = Duration::from_millis(20);
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Registers and runs a benchmark.
+    pub fn bench_function<R>(&mut self, id: impl Display, mut routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.run(&full, &mut routine);
+        self
+    }
+
+    /// Registers and runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, R>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self
+    where
+        R: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.run(&full, &mut |b: &mut Bencher| routine(b, input));
+        self
+    }
+
+    fn run(&self, full_name: &str, routine: &mut dyn FnMut(&mut Bencher)) {
+        // Calibrate: grow the per-sample iteration count until one sample
+        // takes long enough to time meaningfully.
+        let mut iters = 1u64;
+        loop {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            routine(&mut b);
+            if b.elapsed >= SAMPLE_TARGET || iters >= 1 << 20 {
+                break;
+            }
+            let grow = if b.elapsed.is_zero() {
+                8
+            } else {
+                (SAMPLE_TARGET.as_nanos() / b.elapsed.as_nanos().max(1)).clamp(2, 8) as u64
+            };
+            iters = iters.saturating_mul(grow);
+        }
+
+        let mut per_iter_ns: Vec<f64> = (0..self.sample_size)
+            .map(|_| {
+                let mut b = Bencher { iters, elapsed: Duration::ZERO };
+                routine(&mut b);
+                b.elapsed.as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter_ns[per_iter_ns.len() / 2];
+        let lo = per_iter_ns[0];
+        let hi = per_iter_ns[per_iter_ns.len() - 1];
+
+        let mut line = format!(
+            "{full_name:<50} time: [{} {} {}]",
+            format_ns(lo),
+            format_ns(median),
+            format_ns(hi)
+        );
+        match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                let rate = n as f64 / (median / 1e9);
+                line.push_str(&format!("  thrpt: {rate:.0} elem/s"));
+            }
+            Some(Throughput::Bytes(n)) => {
+                let rate = n as f64 / (median / 1e9) / (1024.0 * 1024.0);
+                line.push_str(&format!("  thrpt: {rate:.2} MiB/s"));
+            }
+            None => {}
+        }
+        println!("{line}");
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("benchmarking group `{name}`");
+        BenchmarkGroup { name, sample_size: 10, throughput: None, _criterion: self }
+    }
+
+    /// Registers and runs an ungrouped benchmark.
+    pub fn bench_function<R>(&mut self, id: &str, routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        let mut group = BenchmarkGroup {
+            name: String::new(),
+            sample_size: 10,
+            throughput: None,
+            _criterion: self,
+        };
+        group.name = id.to_string();
+        let mut routine = routine;
+        group.run(id, &mut routine);
+        self
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(100));
+        let mut runs = 0u32;
+        group.bench_function("sum", |b| {
+            runs += 1;
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::new("param", 7), &7u32, |b, &n| {
+            b.iter_batched(|| vec![n; 8], |v| v.iter().sum::<u32>(), BatchSize::LargeInput)
+        });
+        group.finish();
+        assert!(runs >= 3, "calibration plus samples each invoke the routine");
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(format_ns(12.5), "12.50 ns");
+        assert_eq!(format_ns(1_500.0), "1.500 µs");
+        assert_eq!(format_ns(2_000_000.0), "2.000 ms");
+    }
+}

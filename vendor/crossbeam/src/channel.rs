@@ -1,0 +1,455 @@
+//! Multi-producer multi-consumer channels with optional capacity bounds.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Sending failed because all receivers disconnected; returns the message.
+#[derive(PartialEq, Eq, Clone, Copy)]
+pub struct SendError<T>(pub T);
+
+/// Non-blocking send failure.
+#[derive(PartialEq, Eq, Clone, Copy)]
+pub enum TrySendError<T> {
+    /// The channel is at capacity.
+    Full(T),
+    /// All receivers disconnected.
+    Disconnected(T),
+}
+
+/// Receiving failed because the channel is empty and all senders
+/// disconnected.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub struct RecvError;
+
+/// Non-blocking receive failure.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub enum TryRecvError {
+    /// The channel is currently empty.
+    Empty,
+    /// The channel is empty and all senders disconnected.
+    Disconnected,
+}
+
+/// Timed receive failure.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub enum RecvTimeoutError {
+    /// The timeout elapsed with no message.
+    Timeout,
+    /// The channel is empty and all senders disconnected.
+    Disconnected,
+}
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+impl<T> std::error::Error for SendError<T> {}
+
+impl<T> fmt::Debug for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("Full(..)"),
+            TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+        }
+    }
+}
+
+impl<T> fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("sending on a full channel"),
+            TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+        }
+    }
+}
+
+impl<T> std::error::Error for TrySendError<T> {}
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryRecvError::Empty => f.write_str("receiving on an empty channel"),
+            TryRecvError::Disconnected => {
+                f.write_str("receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TryRecvError {}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => f.write_str("timed out waiting on channel"),
+            RecvTimeoutError::Disconnected => {
+                f.write_str("receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    cap: Option<usize>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> Shared<T> {
+    fn len(&self) -> usize {
+        self.inner.lock().expect("channel lock poisoned").queue.len()
+    }
+}
+
+/// Creates a channel holding at most `cap` in-flight messages; `send`
+/// blocks while full, which is the backpressure mechanism.
+///
+/// # Panics
+///
+/// Panics when `cap` is zero: rendezvous channels are not supported by
+/// this vendored implementation.
+#[must_use]
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(cap > 0, "zero-capacity (rendezvous) channels are not supported");
+    with_capacity(Some(cap))
+}
+
+/// Creates a channel with no capacity bound; `send` never blocks.
+#[must_use]
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    with_capacity(None)
+}
+
+fn with_capacity<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(Inner { queue: VecDeque::new(), cap, senders: 1, receivers: 1 }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+}
+
+/// The sending half of a channel.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Sender<T> {
+    /// Blocks until the message is enqueued (or all receivers are gone).
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut inner = self.shared.inner.lock().expect("channel lock poisoned");
+        loop {
+            if inner.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            match inner.cap {
+                Some(cap) if inner.queue.len() >= cap => {
+                    inner = self
+                        .shared
+                        .not_full
+                        .wait(inner)
+                        .expect("channel lock poisoned");
+                }
+                _ => break,
+            }
+        }
+        inner.queue.push_back(msg);
+        drop(inner);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues without blocking, failing if full or disconnected.
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        let mut inner = self.shared.inner.lock().expect("channel lock poisoned");
+        if inner.receivers == 0 {
+            return Err(TrySendError::Disconnected(msg));
+        }
+        if let Some(cap) = inner.cap {
+            if inner.queue.len() >= cap {
+                return Err(TrySendError::Full(msg));
+            }
+        }
+        inner.queue.push_back(msg);
+        drop(inner);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Messages currently queued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shared.len()
+    }
+
+    /// Whether no messages are queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The capacity, or `None` for unbounded channels.
+    #[must_use]
+    pub fn capacity(&self) -> Option<usize> {
+        self.shared.inner.lock().expect("channel lock poisoned").cap
+    }
+
+    /// Whether the queue is at capacity.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        let inner = self.shared.inner.lock().expect("channel lock poisoned");
+        match inner.cap {
+            Some(cap) => inner.queue.len() >= cap,
+            None => false,
+        }
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Sender<T> {
+        self.shared.inner.lock().expect("channel lock poisoned").senders += 1;
+        Sender { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let remaining = {
+            let mut inner = self.shared.inner.lock().expect("channel lock poisoned");
+            inner.senders -= 1;
+            inner.senders
+        };
+        if remaining == 0 {
+            // Wake blocked receivers so they observe the disconnect.
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+/// The receiving half of a channel.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives (or all senders are gone and the
+    /// queue has drained).
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut inner = self.shared.inner.lock().expect("channel lock poisoned");
+        loop {
+            if let Some(msg) = inner.queue.pop_front() {
+                drop(inner);
+                self.shared.not_full.notify_one();
+                return Ok(msg);
+            }
+            if inner.senders == 0 {
+                return Err(RecvError);
+            }
+            inner = self
+                .shared
+                .not_empty
+                .wait(inner)
+                .expect("channel lock poisoned");
+        }
+    }
+
+    /// Like [`Receiver::recv`], giving up after `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.shared.inner.lock().expect("channel lock poisoned");
+        loop {
+            if let Some(msg) = inner.queue.pop_front() {
+                drop(inner);
+                self.shared.not_full.notify_one();
+                return Ok(msg);
+            }
+            if inner.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _result) = self
+                .shared
+                .not_empty
+                .wait_timeout(inner, deadline - now)
+                .expect("channel lock poisoned");
+            inner = guard;
+        }
+    }
+
+    /// Dequeues without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut inner = self.shared.inner.lock().expect("channel lock poisoned");
+        if let Some(msg) = inner.queue.pop_front() {
+            drop(inner);
+            self.shared.not_full.notify_one();
+            return Ok(msg);
+        }
+        if inner.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Messages currently queued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shared.len()
+    }
+
+    /// Whether no messages are queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A blocking iterator ending when the channel disconnects.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { receiver: self }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Receiver<T> {
+        self.shared.inner.lock().expect("channel lock poisoned").receivers += 1;
+        Receiver { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let remaining = {
+            let mut inner = self.shared.inner.lock().expect("channel lock poisoned");
+            inner.receivers -= 1;
+            inner.receivers
+        };
+        if remaining == 0 {
+            // Wake blocked senders so they observe the disconnect.
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+/// Blocking iterator over received messages; see [`Receiver::iter`].
+pub struct Iter<'a, T> {
+    receiver: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.receiver.recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn unbounded_roundtrip_and_disconnect() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.len(), 2);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn bounded_applies_backpressure() {
+        let (tx, rx) = bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+        assert!(tx.is_full());
+
+        // A blocking send proceeds once the consumer drains a slot.
+        let t = thread::spawn(move || tx.send(3).map(|()| tx.len()));
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(1));
+        assert!(t.join().unwrap().is_ok());
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drop() {
+        let (tx, rx) = bounded::<u8>(1);
+        drop(rx);
+        assert_eq!(tx.send(9), Err(SendError(9)));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = bounded(1);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(7));
+    }
+
+    #[test]
+    fn mpmc_fanout_preserves_all_messages() {
+        let (tx, rx) = bounded(4);
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let rx = rx.clone();
+                thread::spawn(move || rx.iter().count())
+            })
+            .collect();
+        drop(rx);
+        let producers: Vec<_> = (0..2)
+            .map(|p| {
+                let tx = tx.clone();
+                thread::spawn(move || {
+                    for i in 0..50 {
+                        tx.send(p * 100 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        for p in producers {
+            p.join().unwrap();
+        }
+        let total: usize = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(total, 100);
+    }
+}

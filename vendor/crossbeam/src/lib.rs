@@ -1,0 +1,14 @@
+//! Offline vendored `crossbeam`.
+//!
+//! Provides the `crossbeam::channel` MPMC channel surface the daemon
+//! pipeline uses: [`channel::bounded`] / [`channel::unbounded`], cloneable
+//! senders and receivers, blocking/timeout/non-blocking operations, and
+//! disconnect semantics (send fails once every receiver is gone; receive
+//! drains remaining messages then fails once every sender is gone).
+//!
+//! Built on `std::sync::{Mutex, Condvar}` rather than lock-free queues, so
+//! it favors correctness over peak throughput.
+
+#![warn(missing_docs)]
+
+pub mod channel;

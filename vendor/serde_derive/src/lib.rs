@@ -1,0 +1,532 @@
+//! Offline vendored `serde_derive`.
+//!
+//! Derives the vendored `serde` facade's `Serialize`/`Deserialize` traits
+//! (`to_value`/`from_value` over a JSON value tree) for the shapes this
+//! workspace uses: named-field structs, tuple structs (newtypes serialize
+//! transparently), unit structs, and enums with unit, newtype, tuple, and
+//! struct variants (externally tagged, as in real serde). Supports
+//! `#[serde(skip)]` on named fields (omitted on write, `Default` on read)
+//! and lifetime-only generics.
+//!
+//! The parser walks raw `proc_macro` token trees — `syn`/`quote` are not
+//! available offline — so unsupported shapes (type parameters, where
+//! clauses) panic with a clear message at derive time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One named or positional field.
+struct Field {
+    /// Field name; positional fields use their index rendered in decimal.
+    name: String,
+    /// Whether `#[serde(skip)]` was present.
+    skip: bool,
+}
+
+/// The shape of a struct body or enum variant body.
+enum Fields {
+    Named(Vec<Field>),
+    Unnamed(Vec<Field>),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Data {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    /// Generic parameter list including angle brackets, e.g. `<'a>`, or
+    /// empty.
+    generics: String,
+    data: Data,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serde_derive: generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("serde_derive: generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+
+/// True if this attribute body (the bracket content) is `serde(skip)`.
+fn attr_is_skip(body: &TokenStream) -> bool {
+    let mut toks = body.clone().into_iter();
+    match (toks.next(), toks.next()) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g))) => {
+            id.to_string() == "serde" && g.stream().to_string().contains("skip")
+        }
+        _ => false,
+    }
+}
+
+/// Consumes leading attributes from `toks[*i..]`, returning whether any was
+/// `#[serde(skip)]`.
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) -> bool {
+    let mut skip = false;
+    while *i < toks.len() {
+        match &toks[*i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                *i += 1;
+                // Inner attribute marker `!` (not expected, but harmless).
+                if let Some(TokenTree::Punct(p)) = toks.get(*i) {
+                    if p.as_char() == '!' {
+                        *i += 1;
+                    }
+                }
+                match toks.get(*i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        skip |= attr_is_skip(&g.stream());
+                        *i += 1;
+                    }
+                    other => panic!("serde_derive: malformed attribute near {other:?}"),
+                }
+            }
+            _ => break,
+        }
+    }
+    skip
+}
+
+/// Consumes a visibility qualifier (`pub`, `pub(crate)`, …) if present.
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = toks.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Consumes type tokens up to (not including) a top-level comma.
+fn skip_type(toks: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0usize;
+    while *i < toks.len() {
+        match &toks[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(group: &TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = group.clone().into_iter().collect();
+    let mut i = 0usize;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let skip = skip_attrs(&toks, &mut i);
+        skip_vis(&toks, &mut i);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name, found {other:?}"),
+        };
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        skip_type(&toks, &mut i);
+        // Consume the separating comma, if any.
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn parse_unnamed_fields(group: &TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = group.clone().into_iter().collect();
+    let mut i = 0usize;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let skip = skip_attrs(&toks, &mut i);
+        skip_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        skip_type(&toks, &mut i);
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        fields.push(Field { name: fields.len().to_string(), skip });
+    }
+    fields
+}
+
+fn parse_variants(group: &TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = group.clone().into_iter().collect();
+    let mut i = 0usize;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, found {other:?}"),
+        };
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(&g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Unnamed(parse_unnamed_fields(&g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip to the next comma (covers discriminants, which we reject by
+        // construction anyway since none exist in this workspace).
+        while i < toks.len() {
+            if let TokenTree::Punct(p) = &toks[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    // Skip outer attributes and visibility.
+    loop {
+        skip_attrs(&toks, &mut i);
+        skip_vis(&toks, &mut i);
+        match toks.get(i) {
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" || id.to_string() == "enum" => {
+                break
+            }
+            Some(_) => i += 1,
+            None => panic!("serde_derive: no struct or enum found"),
+        }
+    }
+    let is_struct = matches!(&toks[i], TokenTree::Ident(id) if id.to_string() == "struct");
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, found {other:?}"),
+    };
+    i += 1;
+    // Generics: lifetimes only.
+    let mut generics = String::new();
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            let mut depth = 0usize;
+            let mut collected = TokenStream::new();
+            while i < toks.len() {
+                if let TokenTree::Punct(p) = &toks[i] {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                collected.extend(std::iter::once(toks[i].clone()));
+                                i += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                if let TokenTree::Ident(id) = &toks[i] {
+                    // A bare ident directly inside the generic list is a
+                    // type or const parameter, which this derive does not
+                    // support; lifetimes arrive as `'` + ident.
+                    let prev_is_quote = matches!(
+                        toks.get(i.wrapping_sub(1)),
+                        Some(TokenTree::Punct(p)) if p.as_char() == '\''
+                    );
+                    if !prev_is_quote && depth == 1 && id.to_string() != "where" {
+                        panic!(
+                            "serde_derive: type parameters are not supported \
+                             (on `{name}`); only lifetime generics"
+                        );
+                    }
+                }
+                collected.extend(std::iter::once(toks[i].clone()));
+                i += 1;
+            }
+            generics = collected.to_string();
+        }
+    }
+    let data = if is_struct {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Struct(Fields::Named(parse_named_fields(&g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::Struct(Fields::Unnamed(parse_unnamed_fields(&g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::Struct(Fields::Unit),
+            other => panic!("serde_derive: unsupported struct body near {other:?}"),
+        }
+    } else {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(&g.stream()))
+            }
+            other => panic!("serde_derive: expected enum body, found {other:?}"),
+        }
+    };
+    Item { name, generics, data }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+
+fn impl_header(item: &Item, trait_path: &str) -> String {
+    format!(
+        "impl{g} {trait_path} for {n}{g}",
+        g = item.generics,
+        n = item.name
+    )
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let body = match &item.data {
+        Data::Struct(Fields::Named(fields)) => {
+            let mut s = String::from(
+                "let mut obj: Vec<(String, ::serde::value::Value)> = Vec::new();\n",
+            );
+            for f in fields.iter().filter(|f| !f.skip) {
+                s.push_str(&format!(
+                    "obj.push((String::from(\"{n}\"), \
+                     ::serde::Serialize::to_value(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            s.push_str("::serde::value::Value::Object(obj)");
+            s
+        }
+        Data::Struct(Fields::Unnamed(fields)) if fields.len() == 1 => {
+            // Newtype structs serialize transparently, as in real serde.
+            String::from("::serde::Serialize::to_value(&self.0)")
+        }
+        Data::Struct(Fields::Unnamed(fields)) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| format!("::serde::Serialize::to_value(&self.{})", f.name))
+                .collect();
+            format!("::serde::value::Value::Array(vec![{}])", items.join(", "))
+        }
+        Data::Struct(Fields::Unit) => String::from("::serde::value::Value::Null"),
+        Data::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let ty = &item.name;
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{ty}::{vn} => ::serde::value::Value::Str(String::from(\"{vn}\")),\n"
+                    )),
+                    Fields::Unnamed(fields) if fields.len() == 1 => arms.push_str(&format!(
+                        "{ty}::{vn}(a0) => ::serde::value::Value::Object(vec![(\
+                         String::from(\"{vn}\"), ::serde::Serialize::to_value(a0))]),\n"
+                    )),
+                    Fields::Unnamed(fields) => {
+                        let binds: Vec<String> =
+                            (0..fields.len()).map(|k| format!("a{k}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{ty}::{vn}({binds}) => ::serde::value::Value::Object(vec![(\
+                             String::from(\"{vn}\"), ::serde::value::Value::Array(\
+                             vec![{items}]))]),\n",
+                            binds = binds.join(", "),
+                            items = items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let mut pushes = String::new();
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            pushes.push_str(&format!(
+                                "obj.push((String::from(\"{n}\"), \
+                                 ::serde::Serialize::to_value({n})));\n",
+                                n = f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{ty}::{vn} {{ {binds} }} => {{\n\
+                             let mut obj: Vec<(String, ::serde::value::Value)> = Vec::new();\n\
+                             {pushes}\
+                             ::serde::value::Value::Object(vec![(String::from(\"{vn}\"), \
+                             ::serde::value::Value::Object(obj))])\n}},\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n{header} {{\n\
+         fn to_value(&self) -> ::serde::value::Value {{\n{body}\n}}\n}}\n",
+        header = impl_header(item, "::serde::Serialize")
+    )
+}
+
+fn gen_named_constructor(path: &str, fields: &[Field], obj_expr: &str) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        if f.skip {
+            inits.push_str(&format!(
+                "{n}: ::core::default::Default::default(),\n",
+                n = f.name
+            ));
+        } else {
+            inits.push_str(&format!(
+                "{n}: ::serde::field({obj_expr}, \"{n}\")?,\n",
+                n = f.name
+            ));
+        }
+    }
+    format!("{path} {{\n{inits}}}")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    if !item.generics.is_empty() {
+        panic!(
+            "serde_derive: Deserialize on generic type `{}` is not supported",
+            item.name
+        );
+    }
+    let name = &item.name;
+    let body = match &item.data {
+        Data::Struct(Fields::Named(fields)) => {
+            let ctor = gen_named_constructor(name, fields, "obj");
+            format!(
+                "let obj = v.as_object().ok_or_else(|| \
+                 ::serde::DeError::expected(\"struct {name}\", v))?;\n\
+                 Ok({ctor})"
+            )
+        }
+        Data::Struct(Fields::Unnamed(fields)) if fields.len() == 1 => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Data::Struct(Fields::Unnamed(fields)) => {
+            let n = fields.len();
+            let items: Vec<String> = (0..n)
+                .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                .collect();
+            format!(
+                "let items = v.as_array().ok_or_else(|| \
+                 ::serde::DeError::expected(\"tuple struct {name}\", v))?;\n\
+                 if items.len() != {n} {{\n\
+                 return Err(::serde::DeError(format!(\
+                 \"tuple struct {name} wants {n} items, got {{}}\", items.len())));\n}}\n\
+                 Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        Data::Struct(Fields::Unit) => format!("let _ = v; Ok({name})"),
+        Data::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => Ok({name}::{vn}),\n"
+                    )),
+                    Fields::Unnamed(fields) if fields.len() == 1 => {
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_value(body)?)),\n"
+                        ));
+                    }
+                    Fields::Unnamed(fields) => {
+                        let n_fields = fields.len();
+                        let items: Vec<String> = (0..n_fields)
+                            .map(|k| {
+                                format!("::serde::Deserialize::from_value(&items[{k}])?")
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let items = body.as_array().ok_or_else(|| \
+                             ::serde::DeError::expected(\"array for {name}::{vn}\", body))?;\n\
+                             if items.len() != {n_fields} {{\n\
+                             return Err(::serde::DeError(format!(\
+                             \"variant {name}::{vn} wants {n_fields} items, got {{}}\", \
+                             items.len())));\n}}\n\
+                             Ok({name}::{vn}({items}))\n}},\n",
+                            items = items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let ctor = gen_named_constructor(&format!("{name}::{vn}"), fields, "obj");
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let obj = body.as_object().ok_or_else(|| \
+                             ::serde::DeError::expected(\"object for {name}::{vn}\", body))?;\n\
+                             Ok({ctor})\n}},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::value::Value::Str(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => Err(::serde::DeError(format!(\
+                 \"unknown variant `{{other}}` of {name}\"))),\n}},\n\
+                 ::serde::value::Value::Object(entries) if entries.len() == 1 => {{\n\
+                 let (tag, body) = &entries[0];\n\
+                 let _ = body;\n\
+                 match tag.as_str() {{\n\
+                 {tagged_arms}\
+                 other => Err(::serde::DeError(format!(\
+                 \"unknown variant `{{other}}` of {name}\"))),\n}}\n}},\n\
+                 other => Err(::serde::DeError::expected(\"enum {name}\", other)),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n{header} {{\n\
+         fn from_value(v: &::serde::value::Value) -> \
+         ::core::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n",
+        header = impl_header(item, "::serde::Deserialize")
+    )
+}
