@@ -1,0 +1,58 @@
+//! Criterion bench: daemon ingestion cost at different client batch sizes.
+//!
+//! Two axes per batch size (1, 64, 1024 events per frame):
+//! - `socket`: the full path — wire serialization, Unix socket, bounded
+//!   pipeline, engine actor — measured by streaming a workload trace and
+//!   waiting for the flush acknowledgement.
+//! - `engine_direct`: the same events applied in-process through
+//!   [`seer_trace::EventSink::on_batch`], isolating what the transport
+//!   and pipeline add on top of raw engine cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use seer_core::SeerEngine;
+use seer_daemon::{Daemon, DaemonClient, DaemonConfig};
+use seer_trace::EventSink;
+use seer_workload::{generate, MachineProfile};
+
+fn bench_daemon_ingest(c: &mut Criterion) {
+    let profile = MachineProfile { days: 5, ..MachineProfile::by_name("A").expect("A") };
+    let trace = generate(&profile, 17).trace;
+    let mut group = c.benchmark_group("daemon_ingest");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.sample_size(10);
+
+    for &chunk in &[1usize, 64, 1024] {
+        group.bench_with_input(BenchmarkId::new("socket", chunk), &chunk, |b, &chunk| {
+            let dir = std::env::temp_dir()
+                .join(format!("seer-bench-ingest-{chunk}-{}", std::process::id()));
+            std::fs::create_dir_all(&dir).expect("mkdir");
+            let handle = Daemon::spawn(DaemonConfig::new(dir.join("sock"))).expect("spawn");
+            let mut client =
+                DaemonClient::connect(handle.socket_path(), "bench").expect("connect");
+            b.iter(|| {
+                client.send_trace(&trace, chunk).expect("send");
+                client.flush().expect("flush")
+            });
+            drop(client);
+            handle.kill();
+            std::fs::remove_dir_all(&dir).ok();
+        });
+
+        group.bench_with_input(
+            BenchmarkId::new("engine_direct", chunk),
+            &chunk,
+            |b, &chunk| {
+                let mut engine = SeerEngine::default();
+                b.iter(|| {
+                    for batch in trace.events.chunks(chunk) {
+                        engine.on_batch(batch, &trace.strings);
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_daemon_ingest);
+criterion_main!(benches);

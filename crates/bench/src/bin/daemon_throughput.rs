@@ -1,0 +1,78 @@
+//! Daemon ingestion throughput at different client batch sizes.
+//!
+//! Streams a machine-F workload through the full socket pipeline at
+//! frame sizes 1, 64, and 1024 events and reports events/second — the
+//! daemon-era version of §5.3's per-event overhead measurement. Larger
+//! frames amortize JSON framing and wakeups, and the batcher coalesces
+//! small frames before the engine sees them, so even the frame-size-1
+//! column reaches the engine in batches.
+//!
+//! Run with: `cargo run -p seer-bench --bin daemon_throughput --release`
+//! (also writes `results/daemon_throughput.txt`).
+
+use seer_daemon::{Daemon, DaemonClient, DaemonConfig};
+use seer_workload::{generate, MachineProfile};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn main() {
+    let profile = MachineProfile { days: 20, ..MachineProfile::by_name("F").expect("F") };
+    let workload = generate(&profile, 9);
+    let trace = workload.trace;
+    let n = trace.len();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "daemon ingestion throughput — machine F, 20 days, {n} events");
+    let _ = writeln!(out, "(socket + bounded pipeline + batched engine apply; flush-acked)\n");
+    let _ = writeln!(
+        out,
+        "{:<12} {:>12} {:>14} {:>16} {:>14}",
+        "frame size", "seconds", "events/s", "µs per event", "batches"
+    );
+
+    for &chunk in &[1usize, 64, 1024] {
+        let dir = std::env::temp_dir()
+            .join(format!("seer-throughput-{chunk}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let handle = Daemon::spawn(DaemonConfig::new(dir.join("sock"))).expect("spawn");
+        let mut client =
+            DaemonClient::connect(handle.socket_path(), "throughput").expect("connect");
+
+        // Warm the engine's tables once so runs compare steady state.
+        client.send_trace(&trace, chunk).expect("warmup send");
+        client.flush().expect("warmup flush");
+
+        let start = Instant::now();
+        client.send_trace(&trace, chunk).expect("send");
+        client.flush().expect("flush");
+        let secs = start.elapsed().as_secs_f64();
+
+        drop(client);
+        let stats = handle.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+
+        let _ = writeln!(
+            out,
+            "{:<12} {:>12.3} {:>14.0} {:>16.2} {:>14}",
+            chunk,
+            secs,
+            n as f64 / secs,
+            secs * 1e6 / n as f64,
+            stats.batches_applied
+        );
+    }
+
+    let _ = writeln!(
+        out,
+        "\nthe paper's observer cost ~35 µs/event on 1997 hardware (§5.3); the\n\
+         daemon pipeline must stay well under that for tracing to be invisible."
+    );
+    print!("{out}");
+
+    let results = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/daemon_throughput.txt");
+    if let Err(e) = std::fs::write(results, &out) {
+        eprintln!("could not write {results}: {e}");
+    } else {
+        println!("\nwrote {results}");
+    }
+}

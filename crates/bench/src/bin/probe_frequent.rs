@@ -31,7 +31,7 @@ fn main() {
             Some((r.count, engine.paths().resolve(f)?.to_owned()))
         })
         .collect();
-    rows.sort_by(|a, b| b.0.cmp(&a.0));
+    rows.sort_by_key(|r| std::cmp::Reverse(r.0));
     println!("total correlator-visible refs: {total}");
     for (count, path) in rows.iter().take(25) {
         println!("{count:>6}  {:6.2}%  {path}", 100.0 * *count as f64 / total as f64);

@@ -15,7 +15,7 @@ fn main() {
     let config = ClusterConfig::default();
     let (kn, kf) = (config.kn, config.kf);
     println!("Table 1 — clustering actions (kn = {kn}, kf = {kf})\n");
-    println!("{:<16} {:<44} {}", "shared x", "action (observed)", "clusters");
+    println!("{:<16} {:<44} clusters", "shared x", "action (observed)");
 
     // Each file gets a companion so the outcome is observable.
     let (a, b, x, y) = (FileId(0), FileId(1), FileId(10), FileId(11));

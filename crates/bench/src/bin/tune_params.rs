@@ -25,12 +25,14 @@ fn main() {
         let workload = generate(&profile, 7);
         for (kn, kf) in [(3.0, 2.0), (4.0, 2.0), (5.0, 2.0), (5.0, 3.0), (6.0, 3.0), (8.0, 4.0)] {
             for dirw in [0.0, 0.5, 1.0, 2.0] {
-                let mut config = SeerConfig::default();
-                config.cluster = ClusterConfig {
-                    kn,
-                    kf,
-                    directory_weight: dirw,
-                    ..ClusterConfig::default()
+                let config = SeerConfig {
+                    cluster: ClusterConfig {
+                        kn,
+                        kf,
+                        directory_weight: dirw,
+                        ..ClusterConfig::default()
+                    },
+                    ..SeerConfig::default()
                 };
                 let mut engine = SeerEngine::new(config);
                 for ev in &workload.trace.events {

@@ -24,6 +24,12 @@ USAGE:
   seer convert <in> <out> [--format text|json]
   seer live --machine <A..I> [--days N] [--seed N] [--budget BYTES]
             [--refill-hours H]
+  seer daemon --socket PATH [--snapshot FILE] [--capacity N] [--batch-max N]
+              [--recluster-every N] [--snapshot-every N] [--file-size BYTES]
+  seer client send <trace> --socket PATH [--chunk N]
+  seer client load --socket PATH --machine <A..I> [--days N] [--seed N] [--chunk N]
+  seer client query <hoard|clusters|stats|health> --socket PATH [--budget BYTES]
+  seer client shutdown --socket PATH
   seer demo [--days N]
   seer help
 ";
@@ -39,6 +45,8 @@ pub fn dispatch(args: &Args) -> Result<(), CliError> {
         Some("missfree") => cmd_missfree(args),
         Some("convert") => cmd_convert(args),
         Some("live") => cmd_live(args),
+        Some("daemon") => crate::daemon_cmd::cmd_daemon(args),
+        Some("client") => crate::daemon_cmd::cmd_client(args),
         Some("demo") => cmd_demo(args),
         Some("help") | None => {
             print!("{USAGE}");
@@ -48,7 +56,7 @@ pub fn dispatch(args: &Args) -> Result<(), CliError> {
     }
 }
 
-fn load_trace(path: &str) -> Result<Trace, CliError> {
+pub(crate) fn load_trace(path: &str) -> Result<Trace, CliError> {
     use std::io::BufRead;
     let mut r = BufReader::new(File::open(path)?);
     // Auto-detect: text traces start with a '#' header, JSON-lines with '{'.
@@ -127,7 +135,7 @@ fn cmd_stats(args: &Args) -> Result<(), CliError> {
     println!("duration:       {:.1} hours", stats.duration.as_hours_f64());
     println!("failures:       {}", stats.failures);
     let mut kinds = stats.per_kind.clone();
-    kinds.sort_by(|a, b| b.1.cmp(&a.1));
+    kinds.sort_by_key(|k| std::cmp::Reverse(k.1));
     for (kind, count) in kinds {
         println!("  {kind:<10} {count}");
     }

@@ -1,0 +1,183 @@
+//! `seer daemon` and `seer client` command implementations.
+
+use crate::args::{Args, CliError};
+use seer_daemon::{Daemon, DaemonClient, DaemonConfig};
+use seer_trace::wire::{QueryRequest, QueryResponse, WireError};
+use seer_workload::{generate, MachineProfile};
+use std::path::Path;
+use std::time::Duration;
+
+impl From<WireError> for CliError {
+    fn from(e: WireError) -> CliError {
+        CliError(e.to_string())
+    }
+}
+
+impl From<seer_daemon::DaemonError> for CliError {
+    fn from(e: seer_daemon::DaemonError) -> CliError {
+        CliError(e.to_string())
+    }
+}
+
+/// `seer daemon --socket PATH [--snapshot FILE] ...` — runs the daemon in
+/// the foreground until a client sends a shutdown frame.
+pub fn cmd_daemon(args: &Args) -> Result<(), CliError> {
+    let mut cfg = DaemonConfig::new(args.require_flag("socket")?);
+    if let Some(p) = args.flag("snapshot") {
+        cfg.snapshot_path = Some(p.into());
+    }
+    cfg.channel_capacity = args.num_flag("capacity", cfg.channel_capacity)?;
+    cfg.batch_max = args.num_flag("batch-max", cfg.batch_max)?;
+    cfg.recluster_every = args.num_flag("recluster-every", cfg.recluster_every)?;
+    cfg.snapshot_every = args.num_flag("snapshot-every", cfg.snapshot_every)?;
+    cfg.file_size = args.num_flag("file-size", cfg.file_size)?;
+    cfg.batch_max_wait = Duration::from_millis(args.num_flag("batch-wait-ms", 20u64)?);
+
+    let recovered = cfg
+        .snapshot_path
+        .as_deref()
+        .is_some_and(Path::exists);
+    let handle = Daemon::spawn(cfg)?;
+    println!(
+        "seer-daemon listening on {}{}",
+        handle.socket_path().display(),
+        if recovered { " (state recovered from snapshot)" } else { "" }
+    );
+    let stats = handle.wait();
+    println!(
+        "seer-daemon exiting: {} events received, {} applied in {} batches, \
+         {} reclusters, {} snapshots, peak queue depth {}",
+        stats.events_received,
+        stats.events_applied,
+        stats.batches_applied,
+        stats.reclusters,
+        stats.snapshots,
+        stats.max_queue_depth
+    );
+    Ok(())
+}
+
+/// `seer client <send|load|query|shutdown> --socket PATH ...`.
+pub fn cmd_client(args: &Args) -> Result<(), CliError> {
+    let socket = Path::new(args.require_flag("socket")?);
+    match args.positional(1) {
+        Some("send") => client_send(args, socket),
+        Some("load") => client_load(args, socket),
+        Some("query") => client_query(args, socket),
+        Some("shutdown") => {
+            let client = DaemonClient::connect(socket, "seer-cli")?;
+            client.shutdown()?;
+            println!("daemon acknowledged shutdown");
+            Ok(())
+        }
+        other => Err(CliError(format!(
+            "unknown client action: {} (send|load|query|shutdown)",
+            other.unwrap_or("<none>")
+        ))),
+    }
+}
+
+fn client_send(args: &Args, socket: &Path) -> Result<(), CliError> {
+    let trace = crate::commands::load_trace(args.require_positional(2, "trace file")?)?;
+    let chunk: usize = args.num_flag("chunk", 64)?;
+    let mut client = DaemonClient::connect(socket, "seer-cli send")?;
+    client.send_trace(&trace, chunk)?;
+    let applied = client.flush()?;
+    println!(
+        "streamed {} events in chunks of {chunk}; daemon has applied {applied} from this connection",
+        trace.len()
+    );
+    Ok(())
+}
+
+/// Workload-driven load generator: synthesizes a machine profile's trace
+/// and streams it at the daemon, reporting throughput.
+fn client_load(args: &Args, socket: &Path) -> Result<(), CliError> {
+    let machine = args.require_flag("machine")?;
+    let mut profile = MachineProfile::by_name(machine)
+        .ok_or_else(|| CliError(format!("unknown machine: {machine} (use A..I)")))?;
+    let days: u32 = args.num_flag("days", profile.days)?;
+    profile = profile.scaled_to_days(days);
+    let seed: u64 = args.num_flag("seed", 1)?;
+    let chunk: usize = args.num_flag("chunk", 64)?;
+    let workload = generate(&profile, seed);
+
+    let mut client = DaemonClient::connect(socket, "seer-cli load")?;
+    let start = std::time::Instant::now();
+    client.send_trace(&workload.trace, chunk)?;
+    let applied = client.flush()?;
+    let secs = start.elapsed().as_secs_f64();
+    let n = workload.trace.len();
+    println!(
+        "machine {machine}, {days} days: {n} events streamed in {secs:.3}s \
+         ({:.0} events/s, chunk {chunk}); daemon applied {applied}",
+        n as f64 / secs.max(1e-9)
+    );
+    Ok(())
+}
+
+fn client_query(args: &Args, socket: &Path) -> Result<(), CliError> {
+    let mut client = DaemonClient::connect(socket, "seer-cli query")?;
+    let response = match args.positional(2) {
+        Some("hoard") => {
+            let budget: u64 = args
+                .require_flag("budget")?
+                .parse()
+                .map_err(|_| CliError("--budget wants a byte count".into()))?;
+            client.query(QueryRequest::Hoard { budget })?
+        }
+        Some("clusters") => client.query(QueryRequest::Clusters)?,
+        Some("stats") => client.query(QueryRequest::Stats)?,
+        Some("health") => client.query(QueryRequest::Health)?,
+        other => {
+            return Err(CliError(format!(
+                "unknown query: {} (hoard|clusters|stats|health)",
+                other.unwrap_or("<none>")
+            )))
+        }
+    };
+    print_response(&response);
+    Ok(())
+}
+
+fn print_response(response: &QueryResponse) {
+    match response {
+        QueryResponse::Hoard { files, bytes, clusters_taken, clusters_skipped } => {
+            println!(
+                "hoard: {} files, {bytes} bytes; {clusters_taken} whole projects \
+                 ({clusters_skipped} skipped)",
+                files.len()
+            );
+            for f in files {
+                println!("  {f}");
+            }
+        }
+        QueryResponse::Clusters { count, largest, files_known } => {
+            println!("{count} clusters over {files_known} known files");
+            println!("largest: {largest:?}");
+        }
+        QueryResponse::Stats {
+            events_received,
+            events_applied,
+            batches_applied,
+            max_queue_depth,
+            reclusters,
+            snapshots,
+            connections,
+        } => {
+            println!("events received:  {events_received}");
+            println!("events applied:   {events_applied}");
+            println!("batches applied:  {batches_applied}");
+            println!("peak queue depth: {max_queue_depth}");
+            println!("reclusters:       {reclusters}");
+            println!("snapshots:        {snapshots}");
+            println!("connections:      {connections}");
+        }
+        QueryResponse::Health { healthy, events_applied, queue_depth } => {
+            println!(
+                "{}: {events_applied} events applied, queue depth {queue_depth}",
+                if *healthy { "healthy" } else { "shutting down" }
+            );
+        }
+    }
+}

@@ -19,5 +19,6 @@
 
 pub mod args;
 pub mod commands;
+pub mod daemon_cmd;
 
 pub use args::{Args, CliError};

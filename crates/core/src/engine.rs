@@ -203,6 +203,10 @@ impl EventSink for SeerEngine {
     fn on_event(&mut self, ev: &TraceEvent, strings: &StringTable) {
         self.observer.on_event(ev, strings);
     }
+
+    fn on_batch(&mut self, events: &[TraceEvent], strings: &StringTable) {
+        self.observer.on_batch(events, strings);
+    }
 }
 
 #[cfg(test)]

@@ -93,7 +93,7 @@ impl SeerEngine {
         SeerSnapshot {
             observer: self.observer_snapshot(),
             correlator: self.correlator().snapshot(),
-            cluster: self.cluster_config().clone(),
+            cluster: *self.cluster_config(),
         }
     }
 
@@ -111,7 +111,7 @@ impl SeerEngine {
         SeerConfig {
             observer: self.observer_snapshot().config,
             distance: self.correlator().distance().config().clone(),
-            cluster: self.cluster_config().clone(),
+            cluster: *self.cluster_config(),
         }
     }
 }

@@ -1,0 +1,164 @@
+//! A synchronous client for the daemon's wire protocol.
+
+use seer_trace::wire::{
+    self, ClientFrame, DaemonFrame, QueryRequest, QueryResponse, WireError, WIRE_VERSION,
+};
+use seer_trace::{RawPathId, StringTable, Trace, TraceEvent};
+use std::io::{BufReader, BufWriter, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// A connection to a running daemon.
+///
+/// The client keeps its own [`StringTable`] mirroring what it has
+/// declared on the wire: events handed to [`DaemonClient::send_events`]
+/// are translated from the caller's id space into the connection's, and
+/// any paths the daemon has not seen yet are declared with
+/// [`ClientFrame::Intern`] frames first. Event frames are buffered and
+/// only flushed to the socket when a reply is needed, so streaming many
+/// small batches stays cheap.
+pub struct DaemonClient {
+    r: BufReader<UnixStream>,
+    w: BufWriter<UnixStream>,
+    strings: StringTable,
+    /// Ids below this are already declared on the wire.
+    declared: usize,
+    sent: u64,
+}
+
+impl DaemonClient {
+    /// Connects and performs the hello/welcome handshake.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Io`] if the socket cannot be reached and
+    /// [`WireError::Format`] on a version mismatch or malformed reply.
+    pub fn connect(socket_path: &Path, client: &str) -> Result<DaemonClient, WireError> {
+        let stream = UnixStream::connect(socket_path)?;
+        let reader = stream.try_clone()?;
+        let mut c = DaemonClient {
+            r: BufReader::new(reader),
+            w: BufWriter::new(stream),
+            strings: StringTable::new(),
+            declared: 0,
+            sent: 0,
+        };
+        wire::write_frame(
+            &mut c.w,
+            &ClientFrame::Hello { client: client.to_owned(), version: WIRE_VERSION },
+        )?;
+        c.w.flush()?;
+        match c.read_reply()? {
+            DaemonFrame::Welcome { .. } => Ok(c),
+            other => Err(WireError::Format(format!("expected Welcome, got {other:?}"))),
+        }
+    }
+
+    /// Events sent on this connection so far.
+    #[must_use]
+    pub fn events_sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Streams a batch of events whose raw-path ids are relative to
+    /// `strings` (the caller's table). New paths are declared first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Io`] if the socket write fails.
+    pub fn send_events(
+        &mut self,
+        events: &[TraceEvent],
+        strings: &StringTable,
+    ) -> Result<(), WireError> {
+        let local = &mut self.strings;
+        let translated: Vec<TraceEvent> = events
+            .iter()
+            .map(|ev| TraceEvent {
+                kind: ev.kind.map_paths(&mut |p| {
+                    let raw = strings.resolve(p).unwrap_or("");
+                    local.intern(raw)
+                }),
+                ..*ev
+            })
+            .collect();
+        for idx in self.declared..self.strings.len() {
+            let id = idx as u32;
+            let path = self
+                .strings
+                .resolve(RawPathId(id))
+                .expect("freshly interned")
+                .to_owned();
+            wire::write_frame(&mut self.w, &ClientFrame::Intern { id, path })?;
+        }
+        self.declared = self.strings.len();
+        wire::write_frame(&mut self.w, &ClientFrame::Events { events: translated })?;
+        self.sent += events.len() as u64;
+        Ok(())
+    }
+
+    /// Streams a whole trace in chunks of `chunk` events.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Io`] if the socket write fails.
+    pub fn send_trace(&mut self, trace: &Trace, chunk: usize) -> Result<(), WireError> {
+        for c in trace.events.chunks(chunk.max(1)) {
+            self.send_events(c, &trace.strings)?;
+        }
+        Ok(())
+    }
+
+    /// Asks the daemon to apply everything sent so far; returns the
+    /// connection's applied-event count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Format`] if the daemon replies with an error.
+    pub fn flush(&mut self) -> Result<u64, WireError> {
+        wire::write_frame(&mut self.w, &ClientFrame::Flush)?;
+        self.w.flush()?;
+        match self.read_reply()? {
+            DaemonFrame::Flushed { events } => Ok(events),
+            other => Err(WireError::Format(format!("expected Flushed, got {other:?}"))),
+        }
+    }
+
+    /// Poses a query; the daemon applies this connection's stream first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Format`] if the daemon replies with an error.
+    pub fn query(&mut self, query: QueryRequest) -> Result<QueryResponse, WireError> {
+        wire::write_frame(&mut self.w, &ClientFrame::Query { query })?;
+        self.w.flush()?;
+        match self.read_reply()? {
+            DaemonFrame::Answer { response } => Ok(response),
+            other => Err(WireError::Format(format!("expected Answer, got {other:?}"))),
+        }
+    }
+
+    /// Asks the daemon to flush, snapshot, and exit; consumes the client.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Format`] on an unexpected reply.
+    pub fn shutdown(mut self) -> Result<(), WireError> {
+        wire::write_frame(&mut self.w, &ClientFrame::Shutdown)?;
+        self.w.flush()?;
+        match self.read_reply()? {
+            DaemonFrame::ShuttingDown => Ok(()),
+            other => Err(WireError::Format(format!("expected ShuttingDown, got {other:?}"))),
+        }
+    }
+
+    fn read_reply(&mut self) -> Result<DaemonFrame, WireError> {
+        match wire::read_frame::<_, DaemonFrame>(&mut self.r)? {
+            Some(DaemonFrame::Error { message }) => {
+                Err(WireError::Format(format!("daemon error: {message}")))
+            }
+            Some(frame) => Ok(frame),
+            None => Err(WireError::Format("connection closed by daemon".into())),
+        }
+    }
+}

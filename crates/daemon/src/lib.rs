@@ -1,0 +1,142 @@
+//! A streaming ingestion daemon for SEER (§4.2's external observer as a
+//! long-running service).
+//!
+//! The paper's SEER runs as user-level daemons fed by an in-kernel trace
+//! stream; this crate is the repo's equivalent: a service that accepts
+//! [`seer_trace::TraceEvent`] streams over a Unix-domain socket (the
+//! newline-delimited JSON protocol of [`seer_trace::wire`]) and feeds
+//! them through a bounded, batched pipeline into a [`seer_core::SeerEngine`]:
+//!
+//! ```text
+//!  clients ──► conn readers ──► ingest ──► batcher ──► apply ──► engine actor
+//!              (1 thread/conn)  (bounded)             (bounded)  (recluster,
+//!                                                                 snapshot,
+//!                                                                 queries)
+//! ```
+//!
+//! Design properties, mirroring the paper's constraints on an
+//! always-running observer (§4.2, §5.3):
+//!
+//! - **Backpressure, not buffering.** Both channels are bounded; a slow
+//!   engine stalls producers all the way back to the client sockets. The
+//!   deepest queue depth ever observed is reported in
+//!   [`DaemonStats::max_queue_depth`] and can never exceed the
+//!   configured capacity.
+//! - **Batching.** The observer's per-event cost is what made SEER's
+//!   overhead noticeable; the batcher coalesces frames into batches of
+//!   up to `batch_max` events so engine locks and table lookups amortize.
+//! - **Crash safety.** The engine's knowledge is periodically written
+//!   with an atomic temp-file-and-rename snapshot. A killed daemon
+//!   restarts from the latest complete snapshot; a graceful shutdown
+//!   flushes in-flight batches and snapshots before exiting.
+//! - **Online queries.** Hoard selection, cluster summaries, stats, and
+//!   health probes are answered on the same socket, after an implicit
+//!   flush of the querying connection's stream — so an online hoard
+//!   query equals an offline replay of the same events.
+
+#![warn(missing_docs)]
+
+mod client;
+mod pipeline;
+mod server;
+mod snapshot;
+mod stats;
+
+pub use client::DaemonClient;
+pub use server::{Daemon, DaemonConfig, DaemonError, DaemonHandle};
+pub use snapshot::DaemonSnapshot;
+pub use stats::DaemonStats;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seer_trace::wire::{QueryRequest, QueryResponse};
+    use seer_trace::{OpenMode, Pid, TraceBuilder};
+    use std::path::PathBuf;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("seer-daemon-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&d).expect("mkdir");
+        d
+    }
+
+    fn small_trace() -> seer_trace::Trace {
+        let mut b = TraceBuilder::new();
+        for round in 0..6u32 {
+            let pid = Pid(round + 1);
+            b.exec(pid, "/usr/bin/cc");
+            b.touch(pid, "/home/u/proj/main.c", OpenMode::Read);
+            b.touch(pid, "/home/u/proj/defs.h", OpenMode::Read);
+            b.exit(pid);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn daemon_round_trip_and_graceful_shutdown() {
+        let dir = scratch_dir("rt");
+        let mut cfg = DaemonConfig::new(dir.join("sock"));
+        cfg.snapshot_path = Some(dir.join("db.json"));
+        let handle = Daemon::spawn(cfg).expect("spawn");
+
+        let trace = small_trace();
+        let mut client =
+            DaemonClient::connect(handle.socket_path(), "test").expect("connect");
+        client.send_trace(&trace, 4).expect("send");
+        let applied = client.flush().expect("flush");
+        assert_eq!(applied, trace.events.len() as u64);
+
+        match client.query(QueryRequest::Hoard { budget: 1 << 20 }).expect("query") {
+            QueryResponse::Hoard { files, .. } => {
+                assert!(
+                    files.iter().any(|f| f.ends_with("main.c")),
+                    "hoard includes the project: {files:?}"
+                );
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+
+        drop(client);
+        let stats = handle.shutdown();
+        assert_eq!(stats.events_applied, trace.events.len() as u64);
+        assert!(dir.join("db.json").exists(), "final snapshot written");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shutdown_frame_stops_the_daemon() {
+        let dir = scratch_dir("shutfr");
+        let cfg = DaemonConfig::new(dir.join("sock"));
+        let handle = Daemon::spawn(cfg).expect("spawn");
+
+        let trace = small_trace();
+        let mut client =
+            DaemonClient::connect(handle.socket_path(), "test").expect("connect");
+        client.send_trace(&trace, 8).expect("send");
+        client.shutdown().expect("shutdown handshake");
+
+        let stats = handle.wait();
+        assert_eq!(stats.events_applied, trace.events.len() as u64, "flushed before exit");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn health_and_stats_queries_answer() {
+        let dir = scratch_dir("health");
+        let cfg = DaemonConfig::new(dir.join("sock"));
+        let handle = Daemon::spawn(cfg).expect("spawn");
+        let mut client =
+            DaemonClient::connect(handle.socket_path(), "probe").expect("connect");
+        match client.query(QueryRequest::Health).expect("health") {
+            QueryResponse::Health { healthy, .. } => assert!(healthy),
+            other => panic!("unexpected response: {other:?}"),
+        }
+        match client.query(QueryRequest::Stats).expect("stats") {
+            QueryResponse::Stats { connections, .. } => assert_eq!(connections, 1),
+            other => panic!("unexpected response: {other:?}"),
+        }
+        drop(client);
+        handle.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

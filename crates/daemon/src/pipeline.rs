@@ -1,0 +1,378 @@
+//! The daemon's bounded, batched ingestion pipeline.
+//!
+//! ```text
+//! conn readers ──► ingest (bounded) ──► batcher ──► apply (bounded) ──► engine actor
+//!                                                      control (queries) ──┘
+//! ```
+//!
+//! Both channels are bounded: when the engine falls behind, the apply
+//! channel fills, the batcher stalls, the ingest channel fills, and the
+//! connection readers block in `send` — backpressure propagates all the
+//! way to the client sockets instead of growing an unbounded queue.
+//!
+//! The batcher coalesces consecutive event frames from the same
+//! connection into batches of up to `batch_max` events, so a client
+//! streaming one event per frame still reaches the engine in large
+//! batches. Any ordering-sensitive message (intern declarations, flush
+//! markers, connection teardown) flushes the pending batch first, which
+//! preserves per-connection order end to end.
+
+use crate::snapshot::DaemonSnapshot;
+use crate::stats::SharedStats;
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use seer_core::SeerEngine;
+use seer_trace::wire::{QueryRequest, QueryResponse};
+use seer_trace::{EventSink, RawPathId, StringTable, TraceEvent};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Messages from connection readers into the pipeline.
+pub(crate) enum Ingest {
+    /// Declare a connection-local raw-path id.
+    Intern { conn: u64, local: u32, path: String },
+    /// Events to apply, ids in the connection's local space.
+    Events { conn: u64, events: Vec<TraceEvent> },
+    /// Ordered marker: everything this connection sent before it must be
+    /// applied before `ack` fires with the connection's applied count.
+    Flush { conn: u64, ack: Sender<u64> },
+    /// The connection hung up; its remap table can be dropped.
+    ConnClosed { conn: u64 },
+}
+
+/// Batched messages from the batcher to the engine actor.
+pub(crate) enum Apply {
+    Interns { conn: u64, entries: Vec<(u32, String)> },
+    Batch { conn: u64, events: Vec<TraceEvent> },
+    Flush { conn: u64, ack: Sender<u64> },
+    ConnClosed { conn: u64 },
+}
+
+/// Out-of-band requests answered by the engine actor.
+pub(crate) enum Control {
+    Query { query: QueryRequest, reply: Sender<QueryResponse> },
+}
+
+/// Tunables the actor needs (a subset of the server's `DaemonConfig`).
+pub(crate) struct ActorConfig {
+    pub snapshot_path: Option<PathBuf>,
+    pub recluster_every: u64,
+    pub snapshot_every: u64,
+    pub tick: Duration,
+    pub file_size: u64,
+}
+
+/// Coalesces ingest messages into batches and forwards them downstream.
+/// Exits when the ingest channel disconnects (graceful shutdown), the
+/// apply channel disconnects (actor died), or `kill` is raised.
+pub(crate) fn run_batcher(
+    batch_max: usize,
+    batch_max_wait: Duration,
+    ingest_rx: Receiver<Ingest>,
+    apply_tx: Sender<Apply>,
+    kill: Arc<AtomicBool>,
+) {
+    let mut pending_events: Option<(u64, Vec<TraceEvent>)> = None;
+    let mut pending_interns: Option<(u64, Vec<(u32, String)>)> = None;
+    let flush_events = |p: &mut Option<(u64, Vec<TraceEvent>)>, tx: &Sender<Apply>| -> bool {
+        match p.take() {
+            Some((conn, events)) => tx.send(Apply::Batch { conn, events }).is_ok(),
+            None => true,
+        }
+    };
+    let flush_interns = |p: &mut Option<(u64, Vec<(u32, String)>)>, tx: &Sender<Apply>| -> bool {
+        match p.take() {
+            Some((conn, entries)) => tx.send(Apply::Interns { conn, entries }).is_ok(),
+            None => true,
+        }
+    };
+    loop {
+        if kill.load(Ordering::Relaxed) {
+            return;
+        }
+        match ingest_rx.recv_timeout(batch_max_wait) {
+            Ok(Ingest::Intern { conn, local, path }) => {
+                if !flush_events(&mut pending_events, &apply_tx) {
+                    return;
+                }
+                match &mut pending_interns {
+                    Some((c, entries)) if *c == conn => entries.push((local, path)),
+                    _ => {
+                        if !flush_interns(&mut pending_interns, &apply_tx) {
+                            return;
+                        }
+                        pending_interns = Some((conn, vec![(local, path)]));
+                    }
+                }
+            }
+            Ok(Ingest::Events { conn, mut events }) => {
+                if !flush_interns(&mut pending_interns, &apply_tx) {
+                    return;
+                }
+                match &mut pending_events {
+                    Some((c, buf)) if *c == conn => buf.append(&mut events),
+                    _ => {
+                        if !flush_events(&mut pending_events, &apply_tx) {
+                            return;
+                        }
+                        pending_events = Some((conn, events));
+                    }
+                }
+                if pending_events.as_ref().is_some_and(|(_, b)| b.len() >= batch_max)
+                    && !flush_events(&mut pending_events, &apply_tx)
+                {
+                    return;
+                }
+            }
+            Ok(Ingest::Flush { conn, ack }) => {
+                if !flush_interns(&mut pending_interns, &apply_tx)
+                    || !flush_events(&mut pending_events, &apply_tx)
+                    || apply_tx.send(Apply::Flush { conn, ack }).is_err()
+                {
+                    return;
+                }
+            }
+            Ok(Ingest::ConnClosed { conn }) => {
+                if !flush_interns(&mut pending_interns, &apply_tx)
+                    || !flush_events(&mut pending_events, &apply_tx)
+                    || apply_tx.send(Apply::ConnClosed { conn }).is_err()
+                {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if !flush_interns(&mut pending_interns, &apply_tx)
+                    || !flush_events(&mut pending_events, &apply_tx)
+                {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                let _ = flush_interns(&mut pending_interns, &apply_tx);
+                let _ = flush_events(&mut pending_events, &apply_tx);
+                return;
+            }
+        }
+    }
+}
+
+/// State owned by the engine actor thread.
+struct Actor {
+    engine: SeerEngine,
+    strings: StringTable,
+    /// Per-connection translation from wire-local ids to global ids.
+    remap: HashMap<u64, Vec<Option<RawPathId>>>,
+    /// Per-connection count of events applied (for flush acks).
+    per_conn: HashMap<u64, u64>,
+    events_applied: u64,
+    since_recluster: u64,
+    since_snapshot: u64,
+    cfg: ActorConfig,
+    stats: SharedStats,
+}
+
+impl Actor {
+    fn apply(&mut self, item: Apply) {
+        match item {
+            Apply::Interns { conn, entries } => {
+                let table = self.remap.entry(conn).or_default();
+                for (local, path) in entries {
+                    let global = self.strings.intern(&path);
+                    let idx = local as usize;
+                    if table.len() <= idx {
+                        table.resize(idx + 1, None);
+                    }
+                    table[idx] = Some(global);
+                }
+            }
+            Apply::Batch { conn, events } => {
+                let n = events.len() as u64;
+                let table = self.remap.entry(conn).or_default();
+                // Translate into the global id space; an undeclared id is a
+                // protocol slip, mapped to a visible sentinel path rather
+                // than silently dropped so counts stay consistent.
+                let strings = &mut self.strings;
+                let remapped: Vec<TraceEvent> = events
+                    .into_iter()
+                    .map(|ev| TraceEvent {
+                        kind: ev.kind.map_paths(&mut |p| {
+                            table
+                                .get(p.index())
+                                .copied()
+                                .flatten()
+                                .unwrap_or_else(|| {
+                                    strings.intern(&format!("/?undeclared/{conn}/{}", p.0))
+                                })
+                        }),
+                        ..ev
+                    })
+                    .collect();
+                self.engine.on_batch(&remapped, &self.strings);
+                self.events_applied += n;
+                *self.per_conn.entry(conn).or_default() += n;
+                self.since_recluster += n;
+                self.since_snapshot += n;
+                {
+                    let mut s = self.stats.lock();
+                    s.events_applied += n;
+                    s.batches_applied += 1;
+                }
+                if self.since_recluster >= self.cfg.recluster_every {
+                    self.recluster();
+                }
+                if self.since_snapshot >= self.cfg.snapshot_every {
+                    self.write_snapshot();
+                }
+            }
+            Apply::Flush { conn, ack } => {
+                let applied = self.per_conn.get(&conn).copied().unwrap_or(0);
+                let _ = ack.send(applied);
+            }
+            Apply::ConnClosed { conn } => {
+                self.remap.remove(&conn);
+            }
+        }
+    }
+
+    fn recluster(&mut self) {
+        self.engine.recluster();
+        self.since_recluster = 0;
+        self.stats.lock().reclusters += 1;
+    }
+
+    fn write_snapshot(&mut self) {
+        if let Some(path) = &self.cfg.snapshot_path {
+            let snap = DaemonSnapshot {
+                engine: self.engine.snapshot(),
+                events_applied: self.events_applied,
+            };
+            if snap.write_atomic(path).is_ok() {
+                self.stats.lock().snapshots += 1;
+            }
+        }
+        self.since_snapshot = 0;
+    }
+
+    fn answer(&mut self, query: QueryRequest, ingest_depth: usize, alive: bool) -> QueryResponse {
+        match query {
+            QueryRequest::Hoard { budget } => {
+                // Recluster so the answer reflects everything applied so
+                // far — this makes an online hoard query equivalent to an
+                // offline replay followed by recluster + choose_hoard.
+                self.recluster();
+                let file_size = self.cfg.file_size;
+                let sel = self.engine.choose_hoard(budget, &|_| file_size);
+                let files = sel
+                    .files
+                    .iter()
+                    .filter_map(|&f| self.engine.paths().resolve(f).map(str::to_owned))
+                    .collect();
+                QueryResponse::Hoard {
+                    files,
+                    bytes: sel.bytes,
+                    clusters_taken: sel.clusters_taken,
+                    clusters_skipped: sel.clusters_skipped,
+                }
+            }
+            QueryRequest::Clusters => {
+                if self.engine.clustering().is_none() || self.since_recluster > 0 {
+                    self.recluster();
+                }
+                let clustering = self.engine.clustering().expect("reclustered above");
+                let mut largest: Vec<usize> =
+                    clustering.clusters.iter().map(|c| c.len()).collect();
+                largest.sort_unstable_by(|a, b| b.cmp(a));
+                largest.truncate(8);
+                QueryResponse::Clusters {
+                    count: clustering.len(),
+                    largest,
+                    files_known: self.engine.paths().len(),
+                }
+            }
+            QueryRequest::Stats => {
+                let s = self.stats.lock().clone();
+                QueryResponse::Stats {
+                    events_received: s.events_received,
+                    events_applied: s.events_applied,
+                    batches_applied: s.batches_applied,
+                    max_queue_depth: s.max_queue_depth,
+                    reclusters: s.reclusters,
+                    snapshots: s.snapshots,
+                    connections: s.connections,
+                }
+            }
+            QueryRequest::Health => QueryResponse::Health {
+                healthy: alive,
+                events_applied: self.events_applied,
+                queue_depth: ingest_depth,
+            },
+        }
+    }
+}
+
+/// Runs the engine actor until the apply channel disconnects (graceful
+/// shutdown: drain, recluster, snapshot, exit) or `kill` is raised
+/// (abrupt: exit immediately *without* snapshotting, leaving the last
+/// on-disk snapshot as the recovery point).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_engine_actor(
+    engine: SeerEngine,
+    events_applied: u64,
+    cfg: ActorConfig,
+    apply_rx: Receiver<Apply>,
+    control_rx: Receiver<Control>,
+    ingest_depth: Receiver<Ingest>,
+    stats: SharedStats,
+    kill: Arc<AtomicBool>,
+) {
+    let tick = cfg.tick;
+    let mut actor = Actor {
+        engine,
+        strings: StringTable::new(),
+        remap: HashMap::new(),
+        per_conn: HashMap::new(),
+        events_applied,
+        since_recluster: 0,
+        since_snapshot: 0,
+        cfg,
+        stats,
+    };
+    actor.stats.lock().events_applied = actor.events_applied;
+    loop {
+        if kill.load(Ordering::Relaxed) {
+            // Abrupt death: no snapshot. Recovery resumes from the last
+            // one written, which write_atomic guarantees is intact.
+            return;
+        }
+        while let Ok(Control::Query { query, reply }) = control_rx.try_recv() {
+            let depth = ingest_depth.len();
+            let answer = actor.answer(query, depth, true);
+            let _ = reply.send(answer);
+        }
+        match apply_rx.recv_timeout(tick) {
+            Ok(item) => actor.apply(item),
+            Err(RecvTimeoutError::Timeout) => {
+                // Idle tick: fold in anything pending so queries and
+                // snapshots don't go stale during quiet periods.
+                if actor.since_recluster > 0 {
+                    actor.recluster();
+                }
+                if actor.since_snapshot > 0 {
+                    actor.write_snapshot();
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    // Graceful epilogue: every producer is gone and the queue is drained.
+    while let Ok(Control::Query { query, reply }) = control_rx.try_recv() {
+        let answer = actor.answer(query, 0, false);
+        let _ = reply.send(answer);
+    }
+    if actor.since_recluster > 0 {
+        actor.recluster();
+    }
+    actor.write_snapshot();
+}

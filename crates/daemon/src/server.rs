@@ -1,0 +1,464 @@
+//! The daemon itself: socket listener, connection readers, and lifecycle.
+
+use crate::pipeline::{self, ActorConfig, Control, Ingest};
+use crate::snapshot::DaemonSnapshot;
+use crate::stats::{self, DaemonStats, SharedStats};
+use crossbeam::channel::{bounded, Sender};
+use parking_lot::Mutex;
+use seer_core::{PersistError, SeerConfig, SeerEngine};
+use seer_trace::wire::{
+    self, ClientFrame, DaemonFrame, QueryRequest, WireError, WIRE_VERSION,
+};
+use std::io::{BufReader, BufWriter, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Configuration for a [`Daemon`].
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Where to bind the Unix-domain socket.
+    pub socket_path: PathBuf,
+    /// Where to persist snapshots; `None` disables persistence.
+    pub snapshot_path: Option<PathBuf>,
+    /// Engine configuration (used only on a cold start; a snapshot's
+    /// embedded configuration wins on recovery).
+    pub engine: SeerConfig,
+    /// Capacity of the bounded ingest and apply channels. Producers block
+    /// when full — this is the backpressure knob.
+    pub channel_capacity: usize,
+    /// Target events per engine batch.
+    pub batch_max: usize,
+    /// How long the batcher waits for more events before flushing a
+    /// partial batch.
+    pub batch_max_wait: Duration,
+    /// Recluster after this many applied events.
+    pub recluster_every: u64,
+    /// Snapshot after this many applied events.
+    pub snapshot_every: u64,
+    /// Engine actor idle tick (stale-work folding, kill-flag polling).
+    pub tick: Duration,
+    /// Nominal size, in bytes, assumed for every file when answering
+    /// hoard queries (the daemon has no investigator measuring real
+    /// sizes; a uniform model keeps selections deterministic).
+    pub file_size: u64,
+}
+
+impl DaemonConfig {
+    /// A configuration with defaults suitable for tests and local use.
+    #[must_use]
+    pub fn new(socket_path: impl Into<PathBuf>) -> DaemonConfig {
+        DaemonConfig {
+            socket_path: socket_path.into(),
+            snapshot_path: None,
+            engine: SeerConfig::default(),
+            channel_capacity: 256,
+            batch_max: 256,
+            batch_max_wait: Duration::from_millis(20),
+            recluster_every: 50_000,
+            snapshot_every: 20_000,
+            tick: Duration::from_millis(50),
+            file_size: 1024,
+        }
+    }
+}
+
+/// Errors from starting or running a daemon.
+#[derive(Debug)]
+pub enum DaemonError {
+    /// Socket or filesystem failure.
+    Io(std::io::Error),
+    /// The snapshot on disk exists but cannot be read.
+    Persist(PersistError),
+}
+
+impl std::fmt::Display for DaemonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DaemonError::Io(e) => write!(f, "daemon I/O error: {e}"),
+            DaemonError::Persist(e) => write!(f, "daemon snapshot error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DaemonError {}
+
+impl From<std::io::Error> for DaemonError {
+    fn from(e: std::io::Error) -> DaemonError {
+        DaemonError::Io(e)
+    }
+}
+
+impl From<PersistError> for DaemonError {
+    fn from(e: PersistError) -> DaemonError {
+        DaemonError::Persist(e)
+    }
+}
+
+/// State shared by the listener, connection readers, and the handle.
+struct Shared {
+    /// Raised to stop accepting and let in-flight work drain (graceful).
+    shutdown: AtomicBool,
+    /// Raised to abandon everything immediately, skipping the final
+    /// snapshot (crash simulation). An `Arc` because the pipeline
+    /// threads poll it independently of the rest of the shared state.
+    kill: Arc<AtomicBool>,
+    stats: SharedStats,
+    /// Duplicate handles of every live client socket, so shutdown can
+    /// unblock readers parked in `read`.
+    conns: Mutex<Vec<UnixStream>>,
+    next_conn: AtomicU64,
+}
+
+impl Shared {
+    /// Starts the shutdown cascade: stop accepting, then close every
+    /// client socket so readers see EOF and drop their channel senders.
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for s in self.conns.lock().drain(..) {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+/// A running daemon. Dropping the handle without calling
+/// [`DaemonHandle::shutdown`] kills the pipeline abruptly (no final
+/// snapshot) so tests and crashed callers never hang on a join.
+pub struct DaemonHandle {
+    shared: Arc<Shared>,
+    socket_path: PathBuf,
+    listener: Option<JoinHandle<()>>,
+    batcher: Option<JoinHandle<()>>,
+    actor: Option<JoinHandle<()>>,
+}
+
+/// Entry point: [`Daemon::spawn`] starts the pipeline threads and the
+/// socket listener, returning a [`DaemonHandle`].
+pub struct Daemon;
+
+impl Daemon {
+    /// Starts a daemon, recovering engine state from
+    /// `config.snapshot_path` when a snapshot exists there.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DaemonError::Persist`] for a corrupt snapshot and
+    /// [`DaemonError::Io`] if the socket cannot be bound.
+    pub fn spawn(config: DaemonConfig) -> Result<DaemonHandle, DaemonError> {
+        let (engine, events_applied) = match &config.snapshot_path {
+            Some(path) => match DaemonSnapshot::load(path)? {
+                Some(snap) => (SeerEngine::from_snapshot(snap.engine), snap.events_applied),
+                None => (SeerEngine::new(config.engine.clone()), 0),
+            },
+            None => (SeerEngine::new(config.engine.clone()), 0),
+        };
+
+        // A stale socket file from a previous (possibly killed) daemon
+        // would make bind fail; remove it first.
+        let _ = std::fs::remove_file(&config.socket_path);
+        let listener = UnixListener::bind(&config.socket_path)?;
+        listener.set_nonblocking(true)?;
+
+        let shared = Arc::new(Shared {
+            shutdown: AtomicBool::new(false),
+            kill: Arc::new(AtomicBool::new(false)),
+            stats: stats::new_shared(),
+            conns: Mutex::new(Vec::new()),
+            next_conn: AtomicU64::new(0),
+        });
+
+        let (ingest_tx, ingest_rx) = bounded::<Ingest>(config.channel_capacity);
+        let (apply_tx, apply_rx) = bounded(config.channel_capacity);
+        let (control_tx, control_rx) = bounded::<Control>(16);
+
+        let batcher = {
+            let ingest_rx = ingest_rx.clone();
+            let kill = Arc::clone(&shared.kill);
+            let batch_max = config.batch_max;
+            let batch_max_wait = config.batch_max_wait;
+            thread::spawn(move || {
+                pipeline::run_batcher(batch_max, batch_max_wait, ingest_rx, apply_tx, kill);
+            })
+        };
+
+        let actor = {
+            let actor_cfg = ActorConfig {
+                snapshot_path: config.snapshot_path.clone(),
+                recluster_every: config.recluster_every,
+                snapshot_every: config.snapshot_every,
+                tick: config.tick,
+                file_size: config.file_size,
+            };
+            let stats = Arc::clone(&shared.stats);
+            let kill = Arc::clone(&shared.kill);
+            // `ingest_rx` is cloned purely to observe queue depth for
+            // Health queries; the actor never receives from it.
+            let depth_probe = ingest_rx;
+            thread::spawn(move || {
+                pipeline::run_engine_actor(
+                    engine,
+                    events_applied,
+                    actor_cfg,
+                    apply_rx,
+                    control_rx,
+                    depth_probe,
+                    stats,
+                    kill,
+                );
+            })
+        };
+
+        let listener_thread = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || run_listener(&listener, &shared, &ingest_tx, &control_tx))
+        };
+
+        Ok(DaemonHandle {
+            shared,
+            socket_path: config.socket_path,
+            listener: Some(listener_thread),
+            batcher: Some(batcher),
+            actor: Some(actor),
+        })
+    }
+}
+
+impl DaemonHandle {
+    /// The socket path clients should connect to.
+    #[must_use]
+    pub fn socket_path(&self) -> &Path {
+        &self.socket_path
+    }
+
+    /// A snapshot of the pipeline counters.
+    #[must_use]
+    pub fn stats(&self) -> DaemonStats {
+        self.shared.stats.lock().clone()
+    }
+
+    /// Blocks until the daemon exits (a client sent
+    /// [`ClientFrame::Shutdown`], or [`DaemonHandle::shutdown`] ran on
+    /// another thread).
+    pub fn wait(mut self) -> DaemonStats {
+        self.join_all();
+        let stats = self.shared.stats.lock().clone();
+        let _ = std::fs::remove_file(&self.socket_path);
+        stats
+    }
+
+    /// Gracefully stops the daemon: in-flight batches are applied, a
+    /// final snapshot is written, and all threads join.
+    pub fn shutdown(mut self) -> DaemonStats {
+        self.shared.begin_shutdown();
+        self.join_all();
+        let stats = self.shared.stats.lock().clone();
+        let _ = std::fs::remove_file(&self.socket_path);
+        stats
+    }
+
+    /// Kills the daemon abruptly: pending work is dropped and **no**
+    /// final snapshot is written, simulating a crash. Recovery must come
+    /// from the last periodic snapshot on disk.
+    pub fn kill(mut self) {
+        self.shared.kill.store(true, Ordering::SeqCst);
+        self.shared.begin_shutdown();
+        self.join_all();
+        let _ = std::fs::remove_file(&self.socket_path);
+    }
+
+    fn join_all(&mut self) {
+        if let Some(h) = self.listener.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.batcher.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.actor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for DaemonHandle {
+    fn drop(&mut self) {
+        if self.listener.is_some() || self.batcher.is_some() || self.actor.is_some() {
+            self.shared.kill.store(true, Ordering::SeqCst);
+            self.shared.begin_shutdown();
+            self.join_all();
+            let _ = std::fs::remove_file(&self.socket_path);
+        }
+    }
+}
+
+/// Accept loop: polls the nonblocking listener, spawning one reader
+/// thread per connection, until shutdown or kill is raised. Exiting
+/// drops this thread's channel senders, which is half of the
+/// disconnect cascade (conn readers hold the other half).
+fn run_listener(
+    listener: &UnixListener,
+    shared: &Arc<Shared>,
+    ingest_tx: &Sender<Ingest>,
+    control_tx: &Sender<Control>,
+) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) || shared.kill.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                let conn = shared.next_conn.fetch_add(1, Ordering::SeqCst);
+                shared.stats.lock().connections += 1;
+                if let Ok(dup) = stream.try_clone() {
+                    shared.conns.lock().push(dup);
+                }
+                let shared = Arc::clone(shared);
+                let ingest_tx = ingest_tx.clone();
+                let control_tx = control_tx.clone();
+                thread::spawn(move || serve_conn(stream, conn, &ingest_tx, &control_tx, &shared));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Sends a flush marker through the pipeline and waits for the engine
+/// actor's acknowledgement, returning the connection's applied count.
+fn flush_pipeline(conn: u64, ingest_tx: &Sender<Ingest>) -> Result<u64, ()> {
+    let (ack_tx, ack_rx) = bounded(1);
+    ingest_tx.send(Ingest::Flush { conn, ack: ack_tx }).map_err(|_| ())?;
+    ack_rx.recv().map_err(|_| ())
+}
+
+/// One connection's reader loop. Runs on its own thread; exits on EOF,
+/// protocol error, or pipeline disconnect.
+fn serve_conn(
+    stream: UnixStream,
+    conn: u64,
+    ingest_tx: &Sender<Ingest>,
+    control_tx: &Sender<Control>,
+    shared: &Arc<Shared>,
+) {
+    let reader = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut r = BufReader::new(reader);
+    let mut w = BufWriter::new(stream);
+    loop {
+        let frame = match wire::read_frame::<_, ClientFrame>(&mut r) {
+            Ok(Some(f)) => f,
+            Ok(None) => break,
+            Err(WireError::Format(m)) => {
+                let _ = wire::write_frame(&mut w, &DaemonFrame::Error { message: m });
+                let _ = w.flush();
+                break;
+            }
+            Err(WireError::Io(_)) => break,
+        };
+        match frame {
+            ClientFrame::Hello { version, .. } => {
+                let reply = if version == WIRE_VERSION {
+                    DaemonFrame::Welcome { version: WIRE_VERSION }
+                } else {
+                    DaemonFrame::Error {
+                        message: format!(
+                            "wire version mismatch: daemon speaks {WIRE_VERSION}, client sent {version}"
+                        ),
+                    }
+                };
+                if wire::write_frame(&mut w, &reply).is_err() || w.flush().is_err() {
+                    break;
+                }
+            }
+            ClientFrame::Intern { id, path } => {
+                if ingest_tx.send(Ingest::Intern { conn, local: id, path }).is_err() {
+                    break;
+                }
+            }
+            ClientFrame::Events { events } => {
+                let n = events.len() as u64;
+                // Depth *before* this send: with a bounded channel the
+                // send below blocks rather than exceed capacity, so this
+                // observation can never exceed the configured bound.
+                let depth = ingest_tx.len();
+                {
+                    let mut s = shared.stats.lock();
+                    s.events_received += n;
+                    if depth > s.max_queue_depth {
+                        s.max_queue_depth = depth;
+                    }
+                }
+                if ingest_tx.send(Ingest::Events { conn, events }).is_err() {
+                    break;
+                }
+            }
+            ClientFrame::Flush => match flush_pipeline(conn, ingest_tx) {
+                Ok(applied) => {
+                    if wire::write_frame(&mut w, &DaemonFrame::Flushed { events: applied })
+                        .is_err()
+                        || w.flush().is_err()
+                    {
+                        break;
+                    }
+                }
+                Err(()) => {
+                    let _ = wire::write_frame(
+                        &mut w,
+                        &DaemonFrame::Error { message: "pipeline unavailable".into() },
+                    );
+                    let _ = w.flush();
+                    break;
+                }
+            },
+            ClientFrame::Query { query } => {
+                match run_query(conn, query, ingest_tx, control_tx) {
+                    Ok(response) => {
+                        if wire::write_frame(&mut w, &DaemonFrame::Answer { response }).is_err()
+                            || w.flush().is_err()
+                        {
+                            break;
+                        }
+                    }
+                    Err(()) => {
+                        let _ = wire::write_frame(
+                            &mut w,
+                            &DaemonFrame::Error { message: "pipeline unavailable".into() },
+                        );
+                        let _ = w.flush();
+                        break;
+                    }
+                }
+            }
+            ClientFrame::Shutdown => {
+                // Flush this connection's stream so nothing it sent is
+                // lost, acknowledge, then start the global cascade.
+                let _ = flush_pipeline(conn, ingest_tx);
+                let _ = wire::write_frame(&mut w, &DaemonFrame::ShuttingDown);
+                let _ = w.flush();
+                shared.begin_shutdown();
+                break;
+            }
+        }
+    }
+    let _ = ingest_tx.send(Ingest::ConnClosed { conn });
+}
+
+/// Flushes the connection's stream, then forwards the query to the
+/// engine actor and waits for its answer.
+fn run_query(
+    conn: u64,
+    query: QueryRequest,
+    ingest_tx: &Sender<Ingest>,
+    control_tx: &Sender<Control>,
+) -> Result<seer_trace::wire::QueryResponse, ()> {
+    flush_pipeline(conn, ingest_tx)?;
+    let (reply_tx, reply_rx) = bounded(1);
+    control_tx.send(Control::Query { query, reply: reply_tx }).map_err(|_| ())?;
+    reply_rx.recv().map_err(|_| ())
+}

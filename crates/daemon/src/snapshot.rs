@@ -1,0 +1,131 @@
+//! Crash-safe persistence of the daemon's engine state.
+
+use seer_core::{PersistError, SeerSnapshot};
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io::{BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Everything the daemon persists: the engine's knowledge plus enough
+/// pipeline bookkeeping to report how far ingestion had progressed.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DaemonSnapshot {
+    /// The engine's persistent knowledge.
+    pub engine: SeerSnapshot,
+    /// Events the engine had applied when this snapshot was taken.
+    pub events_applied: u64,
+}
+
+impl DaemonSnapshot {
+    /// Writes the snapshot atomically: the JSON goes to `<path>.tmp`,
+    /// which replaces `path` only after a complete, flushed write. A
+    /// crash mid-write leaves the previous snapshot intact, never a
+    /// truncated one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Io`] on any filesystem failure.
+    pub fn write_atomic(&self, path: &Path) -> Result<(), PersistError> {
+        let tmp = tmp_path(path);
+        {
+            let file = fs::File::create(&tmp)?;
+            let mut w = BufWriter::new(file);
+            serde_json::to_writer(&mut w, self).map_err(|e| {
+                PersistError::Format(e.to_string())
+            })?;
+            w.flush()?;
+            w.get_ref().sync_all()?;
+        }
+        fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Loads the latest snapshot; `Ok(None)` when none has been written.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Format`] if the file exists but does not
+    /// parse (a corrupt database is an error, not a silent cold start).
+    pub fn load(path: &Path) -> Result<Option<DaemonSnapshot>, PersistError> {
+        let file = match fs::File::open(path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let snap = serde_json::from_reader(&mut BufReader::new(file))
+            .map_err(|e| PersistError::Format(e.to_string()))?;
+        Ok(Some(snap))
+    }
+}
+
+fn tmp_path(path: &Path) -> std::path::PathBuf {
+    let mut os = path.as_os_str().to_owned();
+    os.push(".tmp");
+    os.into()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seer_core::SeerEngine;
+    use seer_trace::{EventSink, OpenMode, Pid, TraceBuilder};
+
+    fn warm_engine() -> SeerEngine {
+        let mut b = TraceBuilder::new();
+        for i in 0..4u32 {
+            b.touch(Pid(i + 1), "/p/a.c", OpenMode::Read);
+            b.touch(Pid(i + 1), "/p/b.h", OpenMode::Read);
+        }
+        let t = b.build();
+        let mut engine = SeerEngine::default();
+        for ev in &t.events {
+            engine.on_event(ev, &t.strings);
+        }
+        engine
+    }
+
+    #[test]
+    fn write_then_load_round_trips() {
+        let dir = std::env::temp_dir().join(format!("seer-snap-{}", std::process::id()));
+        fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("db.json");
+        let snap = DaemonSnapshot { engine: warm_engine().snapshot(), events_applied: 16 };
+        snap.write_atomic(&path).expect("write");
+        let back = DaemonSnapshot::load(&path).expect("load").expect("present");
+        assert_eq!(back.events_applied, 16);
+        let restored = SeerEngine::from_snapshot(back.engine);
+        assert!(restored.paths().get("/p/a.c").is_some());
+        assert!(!tmp_path(&path).exists(), "tmp replaced by rename");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_snapshot_is_none() {
+        let path = std::env::temp_dir().join("seer-snap-definitely-absent.json");
+        assert!(DaemonSnapshot::load(&path).expect("ok").is_none());
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_an_error() {
+        let dir = std::env::temp_dir().join(format!("seer-snapc-{}", std::process::id()));
+        fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("db.json");
+        fs::write(&path, b"{ truncated").expect("write");
+        assert!(DaemonSnapshot::load(&path).is_err());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rewrite_replaces_previous_snapshot() {
+        let dir = std::env::temp_dir().join(format!("seer-snap2-{}", std::process::id()));
+        fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("db.json");
+        let first = DaemonSnapshot { engine: warm_engine().snapshot(), events_applied: 1 };
+        first.write_atomic(&path).expect("write 1");
+        let second = DaemonSnapshot { engine: warm_engine().snapshot(), events_applied: 2 };
+        second.write_atomic(&path).expect("write 2");
+        let back = DaemonSnapshot::load(&path).expect("load").expect("present");
+        assert_eq!(back.events_applied, 2);
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,34 @@
+//! Shared ingestion-pipeline counters.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Counters describing the daemon's ingestion pipeline.
+///
+/// `max_queue_depth` is the backpressure witness: it records the deepest
+/// the bounded ingest queue ever got, and can never exceed the configured
+/// channel capacity because producers block instead of growing the queue.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct DaemonStats {
+    /// Events accepted off client sockets.
+    pub events_received: u64,
+    /// Events applied to the engine.
+    pub events_applied: u64,
+    /// Batches applied to the engine.
+    pub batches_applied: u64,
+    /// Deepest observed ingest-queue depth (messages).
+    pub max_queue_depth: usize,
+    /// Reclusterings performed.
+    pub reclusters: u64,
+    /// Snapshots written to disk.
+    pub snapshots: u64,
+    /// Client connections accepted.
+    pub connections: u64,
+}
+
+/// Stats handle shared between server, pipeline, and callers.
+pub(crate) type SharedStats = Arc<Mutex<DaemonStats>>;
+
+pub(crate) fn new_shared() -> SharedStats {
+    Arc::new(Mutex::new(DaemonStats::default()))
+}

@@ -13,7 +13,7 @@ fn script_strategy(files: u32, len: usize) -> impl Strategy<Value = Vec<ExactEve
     prop::collection::vec(0..files, 1..len).prop_map(|ops| {
         // Alternate opens and closes per file so lifetimes are well formed
         // (no nested double-opens; those are exercised in unit tests).
-        let mut open = vec![false; 64];
+        let mut open = [false; 64];
         let mut out = Vec::new();
         let mut t = 0u64;
         for f in ops {
@@ -34,15 +34,13 @@ fn script_strategy(files: u32, len: usize) -> impl Strategy<Value = Vec<ExactEve
 fn run_engine(config: DistanceConfig, events: &[ExactEvent]) -> DistanceEngine {
     let paths = PathTable::new();
     let mut engine = DistanceEngine::new(config);
-    let mut seq = 0u64;
-    for ev in events {
+    for (seq, ev) in events.iter().enumerate() {
         let (file, kind, time) = match *ev {
             ExactEvent::Open(f, t) => (f, RefKind::Open { read: true, write: false, exec: false }, t),
             ExactEvent::Close(f) => (f, RefKind::Close, Timestamp::ZERO),
         };
-        let r = Reference { seq: Seq(seq), time, pid: Pid(1), file, kind };
+        let r = Reference { seq: Seq(seq as u64), time, pid: Pid(1), file, kind };
         engine.on_reference(&r, &paths);
-        seq += 1;
     }
     engine
 }

@@ -294,9 +294,11 @@ fn control_listed_programs_are_always_meaningless() {
 
 #[test]
 fn frequent_file_is_filtered_and_always_hoarded() {
-    let mut config = ObserverConfig::default();
-    config.frequent_min_total = 100;
-    config.frequent_min_accesses = 10;
+    let config = ObserverConfig {
+        frequent_min_total: 100,
+        frequent_min_accesses: 10,
+        ..ObserverConfig::default()
+    };
     let obs = run(config, |b| {
         let p = Pid(1);
         // The shared library is referenced alongside every distinct file.

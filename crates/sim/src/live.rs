@@ -247,7 +247,7 @@ impl MissSink {
                     } else {
                         Severity::ActivityChange
                     })
-                } else if file.0 % 2 == 0 {
+                } else if file.0.is_multiple_of(2) {
                     Some(Severity::Minor)
                 } else {
                     Some(Severity::Preload)
@@ -255,7 +255,7 @@ impl MissSink {
             }
             // Mail and stray documents: annoying but unobtrusive; some
             // are wanted only for the future (§4.4's severity 4).
-            None if file.0 % 3 == 0 => Some(Severity::Preload),
+            None if file.0.is_multiple_of(3) => Some(Severity::Preload),
             None => Some(Severity::Minor),
         }
     }

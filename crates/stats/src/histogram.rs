@@ -18,7 +18,7 @@ impl Histogram {
     /// not finite.
     #[must_use]
     pub fn new(lo: f64, hi: f64, bins: usize) -> Option<Histogram> {
-        if bins == 0 || !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
+        if bins == 0 || !lo.is_finite() || !hi.is_finite() || lo >= hi {
             return None;
         }
         Some(Histogram { lo, hi, bins: vec![0; bins], underflow: 0, overflow: 0 })

@@ -57,7 +57,7 @@ mod tests {
     #[test]
     fn source_chains() {
         use std::error::Error as _;
-        let e = TraceError::from(io::Error::new(io::ErrorKind::Other, "x"));
+        let e = TraceError::from(io::Error::other("x"));
         assert!(e.source().is_some());
         assert!(TraceError::Format("y".into()).source().is_none());
     }

@@ -150,6 +150,30 @@ impl EventKind {
         }
     }
 
+    /// Rewrites every raw-path id through `f`, leaving other fields alone.
+    ///
+    /// Transports that re-intern paths into a different [`crate::StringTable`]
+    /// (the daemon wire protocol's connection-local tables) use this to
+    /// translate events between id spaces.
+    #[must_use]
+    pub fn map_paths(self, f: &mut dyn FnMut(RawPathId) -> RawPathId) -> EventKind {
+        match self {
+            EventKind::Open { path, mode, fd } => EventKind::Open { path: f(path), mode, fd },
+            EventKind::OpenDir { path, fd } => EventKind::OpenDir { path: f(path), fd },
+            EventKind::Exec { path } => EventKind::Exec { path: f(path) },
+            EventKind::Unlink { path } => EventKind::Unlink { path: f(path) },
+            EventKind::Create { path } => EventKind::Create { path: f(path) },
+            EventKind::Rename { from, to } => EventKind::Rename { from: f(from), to: f(to) },
+            EventKind::Stat { path } => EventKind::Stat { path: f(path) },
+            EventKind::SetAttr { path } => EventKind::SetAttr { path: f(path) },
+            EventKind::Chdir { path } => EventKind::Chdir { path: f(path) },
+            other @ (EventKind::Close { .. }
+            | EventKind::ReadDir { .. }
+            | EventKind::Exit
+            | EventKind::Fork { .. }) => other,
+        }
+    }
+
     /// Short lowercase name of the syscall class (for stats and dumps).
     #[must_use]
     pub fn name(&self) -> &'static str {
@@ -251,6 +275,23 @@ mod tests {
         let json = serde_json::to_string(&e).expect("serialize");
         let back: TraceEvent = serde_json::from_str(&json).expect("deserialize");
         assert_eq!(back, e);
+    }
+
+    #[test]
+    fn map_paths_rewrites_every_path_field() {
+        let mut shift = |p: RawPathId| RawPathId(p.0 + 100);
+        let open = EventKind::Open { path: RawPathId(1), mode: OpenMode::Read, fd: Fd(3) };
+        assert_eq!(
+            open.map_paths(&mut shift),
+            EventKind::Open { path: RawPathId(101), mode: OpenMode::Read, fd: Fd(3) }
+        );
+        let ren = EventKind::Rename { from: RawPathId(1), to: RawPathId(2) };
+        assert_eq!(
+            ren.map_paths(&mut shift),
+            EventKind::Rename { from: RawPathId(101), to: RawPathId(102) }
+        );
+        let exit = EventKind::Exit;
+        assert_eq!(exit.map_paths(&mut shift), EventKind::Exit);
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod strings;
 pub mod text;
 pub mod time;
 pub mod trace;
+pub mod wire;
 
 pub use error::TraceError;
 pub use event::{ErrorKind, EventKind, OpenMode, TraceEvent};
@@ -36,3 +37,4 @@ pub use path::PathTable;
 pub use strings::StringTable;
 pub use time::Timestamp;
 pub use trace::{EventSink, Trace, TraceBuilder, TraceMeta, TraceStats};
+pub use wire::{ClientFrame, DaemonFrame, QueryRequest, QueryResponse, WireError};

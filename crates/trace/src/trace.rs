@@ -29,11 +29,29 @@ pub struct TraceMeta {
 pub trait EventSink {
     /// Handles one event. `strings` resolves the event's [`RawPathId`]s.
     fn on_event(&mut self, ev: &TraceEvent, strings: &StringTable);
+
+    /// Handles a run of consecutive events sharing one string table.
+    ///
+    /// Transport layers (the daemon's ingestion pipeline, batched replays)
+    /// call this so per-delivery overhead — channel handoffs, lock
+    /// acquisitions, dynamic dispatch — is paid once per batch instead of
+    /// once per event. The default forwards to [`EventSink::on_event`];
+    /// sinks with cheaper bulk paths may override it, and overrides must
+    /// preserve per-event semantics and ordering.
+    fn on_batch(&mut self, events: &[TraceEvent], strings: &StringTable) {
+        for ev in events {
+            self.on_event(ev, strings);
+        }
+    }
 }
 
 impl<S: EventSink + ?Sized> EventSink for &mut S {
     fn on_event(&mut self, ev: &TraceEvent, strings: &StringTable) {
         (**self).on_event(ev, strings);
+    }
+
+    fn on_batch(&mut self, events: &[TraceEvent], strings: &StringTable) {
+        (**self).on_batch(events, strings);
     }
 }
 
@@ -44,6 +62,11 @@ impl<A: EventSink, B: EventSink> EventSink for Tee<A, B> {
     fn on_event(&mut self, ev: &TraceEvent, strings: &StringTable) {
         self.0.on_event(ev, strings);
         self.1.on_event(ev, strings);
+    }
+
+    fn on_batch(&mut self, events: &[TraceEvent], strings: &StringTable) {
+        self.0.on_batch(events, strings);
+        self.1.on_batch(events, strings);
     }
 }
 

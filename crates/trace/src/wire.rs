@@ -1,0 +1,318 @@
+//! Wire protocol for streaming trace events to a running SEER daemon.
+//!
+//! The protocol is newline-delimited JSON over a byte stream (in practice a
+//! Unix-domain socket): each frame is one [`ClientFrame`] or [`DaemonFrame`]
+//! serialized on a single line. It reuses the event serialization of
+//! [`crate::Trace::save_jsonl`], with one structural difference: instead of
+//! a monolithic string-table header, raw paths are interned *incrementally*
+//! with [`ClientFrame::Intern`] frames, so a connection can stream
+//! indefinitely without knowing its path vocabulary up front.
+//!
+//! Interning is connection-local: `Intern { id, path }` declares that, on
+//! this connection, [`RawPathId`]`(id)` means `path` in every subsequent
+//! event frame. Ids must be declared before use and must be issued densely
+//! from zero (the order a [`crate::StringTable`] produces naturally). The
+//! daemon remaps them into its own global table on arrival.
+
+use crate::event::TraceEvent;
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, Write};
+
+/// Protocol revision; bumped on incompatible frame changes.
+pub const WIRE_VERSION: u32 = 1;
+
+/// A frame sent from a client to the daemon.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ClientFrame {
+    /// Introduces the connection.
+    Hello {
+        /// Client-chosen label, echoed in daemon logs and stats.
+        client: String,
+        /// The client's [`WIRE_VERSION`].
+        version: u32,
+    },
+    /// Declares a connection-local raw-path id (see module docs).
+    Intern {
+        /// The connection-local id being declared.
+        id: u32,
+        /// The raw path string it denotes.
+        path: String,
+    },
+    /// A batch of observed events; raw-path ids refer to prior `Intern`
+    /// declarations on this connection. A batch of one is a single event.
+    Events {
+        /// The events, in observation order.
+        events: Vec<TraceEvent>,
+    },
+    /// Asks the daemon to apply everything received so far on this
+    /// connection and acknowledge with [`DaemonFrame::Flushed`].
+    Flush,
+    /// A query about current daemon state; answered with
+    /// [`DaemonFrame::Answer`] after an implicit flush of this
+    /// connection's stream.
+    Query {
+        /// The question.
+        query: QueryRequest,
+    },
+    /// Asks the daemon to flush, snapshot, and exit; acknowledged with
+    /// [`DaemonFrame::ShuttingDown`] before the socket closes.
+    Shutdown,
+}
+
+/// A query a client can pose to the daemon.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum QueryRequest {
+    /// Select hoard contents for a disconnection within `budget` bytes.
+    Hoard {
+        /// Byte budget for the hoard.
+        budget: u64,
+    },
+    /// Summarize the current project clustering.
+    Clusters,
+    /// Report ingestion-pipeline counters.
+    Stats,
+    /// Liveness / readiness probe.
+    Health,
+}
+
+/// A frame sent from the daemon to a client.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DaemonFrame {
+    /// Answers [`ClientFrame::Hello`].
+    Welcome {
+        /// The daemon's [`WIRE_VERSION`].
+        version: u32,
+    },
+    /// Acknowledges a [`ClientFrame::Flush`]: every event previously sent
+    /// on this connection has been applied to the engine.
+    Flushed {
+        /// Total events this connection has streamed.
+        events: u64,
+    },
+    /// Answers a [`ClientFrame::Query`].
+    Answer {
+        /// The response payload.
+        response: QueryResponse,
+    },
+    /// Acknowledges [`ClientFrame::Shutdown`].
+    ShuttingDown,
+    /// The daemon could not honor the previous frame.
+    Error {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+/// Payload of a [`DaemonFrame::Answer`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum QueryResponse {
+    /// Hoard selection for [`QueryRequest::Hoard`].
+    Hoard {
+        /// Canonical paths chosen for the hoard, most important first.
+        files: Vec<String>,
+        /// Bytes those files occupy under the daemon's size model.
+        bytes: u64,
+        /// Whole projects included.
+        clusters_taken: usize,
+        /// Projects that did not fit the budget.
+        clusters_skipped: usize,
+    },
+    /// Clustering summary for [`QueryRequest::Clusters`].
+    Clusters {
+        /// Total clusters in the current assignment.
+        count: usize,
+        /// Member counts of the largest clusters, descending (capped).
+        largest: Vec<usize>,
+        /// Canonical paths known to the engine.
+        files_known: usize,
+    },
+    /// Pipeline counters for [`QueryRequest::Stats`].
+    Stats {
+        /// Events accepted off sockets.
+        events_received: u64,
+        /// Events applied to the engine.
+        events_applied: u64,
+        /// Batches applied to the engine.
+        batches_applied: u64,
+        /// Highest ingest-queue depth observed (bounded by the channel
+        /// capacity — the backpressure guarantee).
+        max_queue_depth: usize,
+        /// Reclusterings performed.
+        reclusters: u64,
+        /// Snapshots written.
+        snapshots: u64,
+        /// Connections accepted over the daemon's lifetime.
+        connections: u64,
+    },
+    /// Probe result for [`QueryRequest::Health`].
+    Health {
+        /// Whether the pipeline is accepting and applying events.
+        healthy: bool,
+        /// Events applied so far.
+        events_applied: u64,
+        /// Current ingest-queue depth.
+        queue_depth: usize,
+    },
+}
+
+/// Errors arising while reading or writing frames.
+#[derive(Debug)]
+pub enum WireError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line was not a valid frame.
+    Format(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire I/O error: {e}"),
+            WireError::Format(m) => write!(f, "wire format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> WireError {
+        WireError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for WireError {
+    fn from(e: serde_json::Error) -> WireError {
+        WireError::Format(e.to_string())
+    }
+}
+
+/// Writes one frame as a JSON line. The caller flushes when ordering
+/// matters (sending many event frames unflushed is how batching pays off).
+///
+/// # Errors
+///
+/// Returns [`WireError::Io`] on write failure.
+pub fn write_frame<W: Write, T: Serialize>(w: &mut W, frame: &T) -> Result<(), WireError> {
+    serde_json::to_writer(&mut *w, frame)?;
+    w.write_all(b"\n")?;
+    Ok(())
+}
+
+/// Reads one frame; `Ok(None)` signals a clean end of stream.
+///
+/// # Errors
+///
+/// Returns [`WireError::Format`] for an unparsable line and
+/// [`WireError::Io`] on read failure.
+pub fn read_frame<R: BufRead, T: Deserialize>(r: &mut R) -> Result<Option<T>, WireError> {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if r.read_line(&mut line)? == 0 {
+            return Ok(None);
+        }
+        if !line.trim().is_empty() {
+            return Ok(Some(serde_json::from_str(line.trim_end())?));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, OpenMode};
+    use crate::ids::{Fd, Pid, RawPathId, Seq};
+    use crate::time::Timestamp;
+
+    fn sample_event() -> TraceEvent {
+        TraceEvent {
+            seq: Seq(7),
+            time: Timestamp::from_millis(1234),
+            pid: Pid(42),
+            root: false,
+            kind: EventKind::Open { path: RawPathId(3), mode: OpenMode::Read, fd: Fd(5) },
+            error: None,
+        }
+    }
+
+    #[test]
+    fn client_frames_round_trip() {
+        let frames = vec![
+            ClientFrame::Hello { client: "test".into(), version: WIRE_VERSION },
+            ClientFrame::Intern { id: 3, path: "/home/u/proj/main.c".into() },
+            ClientFrame::Events { events: vec![sample_event(), sample_event()] },
+            ClientFrame::Flush,
+            ClientFrame::Query { query: QueryRequest::Hoard { budget: 1 << 20 } },
+            ClientFrame::Query { query: QueryRequest::Health },
+            ClientFrame::Shutdown,
+        ];
+        let mut buf = Vec::new();
+        for f in &frames {
+            write_frame(&mut buf, f).expect("write");
+        }
+        let mut r = buf.as_slice();
+        for f in &frames {
+            let got: ClientFrame = read_frame(&mut r).expect("read").expect("frame");
+            assert_eq!(&got, f);
+        }
+        assert!(read_frame::<_, ClientFrame>(&mut r).expect("eof").is_none());
+    }
+
+    #[test]
+    fn daemon_frames_round_trip() {
+        let frames = vec![
+            DaemonFrame::Welcome { version: WIRE_VERSION },
+            DaemonFrame::Flushed { events: 999 },
+            DaemonFrame::Answer {
+                response: QueryResponse::Hoard {
+                    files: vec!["/a".into(), "/b".into()],
+                    bytes: 2048,
+                    clusters_taken: 1,
+                    clusters_skipped: 0,
+                },
+            },
+            DaemonFrame::Answer {
+                response: QueryResponse::Stats {
+                    events_received: 10,
+                    events_applied: 10,
+                    batches_applied: 2,
+                    max_queue_depth: 4,
+                    reclusters: 1,
+                    snapshots: 1,
+                    connections: 1,
+                },
+            },
+            DaemonFrame::ShuttingDown,
+            DaemonFrame::Error { message: "nope".into() },
+        ];
+        let mut buf = Vec::new();
+        for f in &frames {
+            write_frame(&mut buf, f).expect("write");
+        }
+        let mut r = buf.as_slice();
+        for f in &frames {
+            let got: DaemonFrame = read_frame(&mut r).expect("read").expect("frame");
+            assert_eq!(&got, f);
+        }
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"\n\n");
+        write_frame(&mut buf, &ClientFrame::Flush).expect("write");
+        let mut r = buf.as_slice();
+        let got: ClientFrame = read_frame(&mut r).expect("read").expect("frame");
+        assert_eq!(got, ClientFrame::Flush);
+    }
+
+    #[test]
+    fn garbage_is_a_format_error() {
+        let mut r = &b"not json\n"[..];
+        assert!(matches!(
+            read_frame::<_, ClientFrame>(&mut r),
+            Err(WireError::Format(_))
+        ));
+    }
+}

@@ -1,0 +1,187 @@
+//! Integration tests for the streaming daemon: online ingestion must be
+//! equivalent to offline replay, crashes must recover from the latest
+//! snapshot, and the bounded pipeline must apply backpressure.
+
+use seer_core::SeerEngine;
+use seer_daemon::{Daemon, DaemonClient, DaemonConfig, DaemonSnapshot};
+use seer_trace::wire::{QueryRequest, QueryResponse};
+use seer_workload::{generate, MachineProfile};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn scratch(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("seer-itest-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&d).expect("mkdir");
+    d
+}
+
+fn machine_a_trace(days: u32, seed: u64) -> seer_trace::Trace {
+    let profile = MachineProfile::by_name("A")
+        .expect("machine A is built in")
+        .scaled_to_days(days);
+    generate(&profile, seed).trace
+}
+
+/// The tentpole property: streaming a workload through the socket and
+/// asking the live daemon for a hoard produces exactly the selection an
+/// offline replay of the same trace produces. The daemon's uniform
+/// file-size model (1024 bytes) is mirrored on the offline side.
+#[test]
+fn online_hoard_equals_offline_replay() {
+    let trace = machine_a_trace(12, 7);
+    let budget: u64 = 2_000_000;
+
+    // Offline: replay, recluster, choose.
+    let mut engine = SeerEngine::default();
+    trace.replay(&mut engine);
+    engine.recluster();
+    let sel = engine.choose_hoard(budget, &|_| 1024);
+    let offline: Vec<String> = sel
+        .files
+        .iter()
+        .filter_map(|&f| engine.paths().resolve(f).map(str::to_owned))
+        .collect();
+    assert!(!offline.is_empty(), "offline hoard selects something");
+
+    // Online: stream in deliberately awkward chunks, flush, query.
+    let dir = scratch("equiv");
+    let cfg = DaemonConfig::new(dir.join("sock"));
+    let handle = Daemon::spawn(cfg).expect("spawn");
+    let mut client = DaemonClient::connect(handle.socket_path(), "equiv").expect("connect");
+    client.send_trace(&trace, 7).expect("send");
+    assert_eq!(client.flush().expect("flush"), trace.len() as u64);
+    let (online, online_bytes) =
+        match client.query(QueryRequest::Hoard { budget }).expect("query") {
+            QueryResponse::Hoard { files, bytes, .. } => (files, bytes),
+            other => panic!("unexpected response: {other:?}"),
+        };
+    drop(client);
+    handle.shutdown();
+
+    assert_eq!(online, offline, "online hoard matches offline replay exactly");
+    assert_eq!(online_bytes, sel.bytes);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A daemon killed mid-stream (simulated crash: no final snapshot) must
+/// restart from the latest periodic snapshot without corruption and keep
+/// ingesting.
+#[test]
+fn killed_daemon_recovers_from_latest_snapshot() {
+    let trace = machine_a_trace(10, 3);
+    let half = trace.events.len() / 2;
+    let dir = scratch("recover");
+    let db = dir.join("db.json");
+    let mut cfg = DaemonConfig::new(dir.join("sock"));
+    cfg.snapshot_path = Some(db.clone());
+    cfg.tick = Duration::from_millis(20);
+
+    let handle = Daemon::spawn(cfg.clone()).expect("spawn");
+    let mut client = DaemonClient::connect(handle.socket_path(), "phase1").expect("connect");
+    for chunk in trace.events[..half].chunks(64) {
+        client.send_events(chunk, &trace.strings).expect("send");
+    }
+    assert_eq!(client.flush().expect("flush"), half as u64);
+
+    // Wait for an idle-tick snapshot covering everything applied so far.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        if let Ok(Some(snap)) = DaemonSnapshot::load(&db) {
+            if snap.events_applied >= half as u64 {
+                break;
+            }
+        }
+        assert!(Instant::now() < deadline, "no snapshot appeared within 5s");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // More events arrive, then the daemon dies abruptly — these may or
+    // may not have reached the engine, and no final snapshot is written.
+    for chunk in trace.events[half..].chunks(64) {
+        let _ = client.send_events(chunk, &trace.strings);
+    }
+    drop(client);
+    handle.kill();
+
+    // The on-disk snapshot is intact and covers at least phase 1.
+    let snap = DaemonSnapshot::load(&db).expect("not corrupt").expect("present");
+    assert!(snap.events_applied >= half as u64, "snapshot covers the flushed prefix");
+
+    // A new daemon recovers from it and keeps working.
+    let handle = Daemon::spawn(cfg).expect("respawn");
+    let mut client = DaemonClient::connect(handle.socket_path(), "phase2").expect("reconnect");
+    match client.query(QueryRequest::Health).expect("health") {
+        QueryResponse::Health { healthy, events_applied, .. } => {
+            assert!(healthy);
+            assert!(events_applied >= half as u64, "recovered state, not a cold start");
+        }
+        other => panic!("unexpected response: {other:?}"),
+    }
+    for chunk in trace.events[half..].chunks(64) {
+        client.send_events(chunk, &trace.strings).expect("send after recovery");
+    }
+    client.flush().expect("flush after recovery");
+    match client.query(QueryRequest::Hoard { budget: 1 << 20 }).expect("hoard") {
+        QueryResponse::Hoard { files, .. } => {
+            assert!(!files.is_empty(), "recovered daemon still selects a hoard");
+        }
+        other => panic!("unexpected response: {other:?}"),
+    }
+    drop(client);
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// With a tiny bounded ingest channel and thousands of single-event
+/// frames, producers must block rather than let the queue grow: the
+/// deepest observed depth can never exceed the configured capacity, and
+/// nothing is dropped.
+#[test]
+fn bounded_channels_apply_backpressure() {
+    let trace = machine_a_trace(20, 11);
+    let dir = scratch("backpressure");
+    let mut cfg = DaemonConfig::new(dir.join("sock"));
+    cfg.channel_capacity = 4;
+    cfg.batch_max = 8;
+    let capacity = cfg.channel_capacity;
+
+    let handle = Daemon::spawn(cfg).expect("spawn");
+    let mut client = DaemonClient::connect(handle.socket_path(), "firehose").expect("connect");
+    client.send_trace(&trace, 1).expect("send one event per frame");
+    assert_eq!(client.flush().expect("flush"), trace.len() as u64, "nothing dropped");
+    drop(client);
+    let stats = handle.shutdown();
+
+    assert_eq!(stats.events_received, trace.len() as u64);
+    assert_eq!(stats.events_applied, trace.len() as u64);
+    assert!(
+        stats.max_queue_depth <= capacity,
+        "queue depth {} must stay within the bound {capacity}",
+        stats.max_queue_depth
+    );
+    assert!(stats.batches_applied < stats.events_received, "frames were coalesced into batches");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A graceful shutdown initiated over the wire applies every in-flight
+/// event before the daemon exits.
+#[test]
+fn graceful_shutdown_flushes_in_flight_batches() {
+    let trace = machine_a_trace(8, 5);
+    let dir = scratch("graceful");
+    let mut cfg = DaemonConfig::new(dir.join("sock"));
+    cfg.snapshot_path = Some(dir.join("db.json"));
+
+    let handle = Daemon::spawn(cfg).expect("spawn");
+    let mut client = DaemonClient::connect(handle.socket_path(), "bye").expect("connect");
+    client.send_trace(&trace, 32).expect("send");
+    // No explicit flush: the shutdown handshake itself must drain the
+    // pipeline before acknowledging.
+    client.shutdown().expect("shutdown handshake");
+    let stats = handle.wait();
+
+    assert_eq!(stats.events_applied, trace.len() as u64, "every event applied before exit");
+    let snap = DaemonSnapshot::load(&dir.join("db.json")).expect("ok").expect("written");
+    assert_eq!(snap.events_applied, trace.len() as u64, "final snapshot covers everything");
+    std::fs::remove_dir_all(&dir).ok();
+}

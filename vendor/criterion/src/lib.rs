@@ -1,3 +1,4 @@
+#![allow(clippy::all, clippy::pedantic, clippy::nursery)]
 //! Offline vendored `criterion`.
 //!
 //! A compact re-implementation of the criterion surface this workspace's

@@ -1,3 +1,4 @@
+#![allow(clippy::all, clippy::pedantic, clippy::nursery)]
 //! Offline vendored `crossbeam`.
 //!
 //! Provides the `crossbeam::channel` MPMC channel surface the daemon

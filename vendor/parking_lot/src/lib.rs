@@ -1,3 +1,4 @@
+#![allow(clippy::all, clippy::pedantic, clippy::nursery)]
 //! Offline vendored `parking_lot`.
 //!
 //! Wraps the std sync primitives behind parking_lot's poison-free API:

@@ -1,3 +1,4 @@
+#![allow(clippy::all, clippy::pedantic, clippy::nursery)]
 //! Offline vendored `proptest`.
 //!
 //! A compact re-implementation of the proptest surface this workspace's

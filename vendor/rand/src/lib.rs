@@ -1,3 +1,4 @@
+#![allow(clippy::all, clippy::pedantic, clippy::nursery)]
 //! Offline vendored `rand`.
 //!
 //! Implements the slice of the `rand 0.8` API this workspace uses —

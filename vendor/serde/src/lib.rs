@@ -1,3 +1,4 @@
+#![allow(clippy::all, clippy::pedantic, clippy::nursery)]
 //! Offline vendored `serde` facade.
 //!
 //! The build environment has no network access and no crates-io mirror, so

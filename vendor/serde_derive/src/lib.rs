@@ -1,3 +1,4 @@
+#![allow(clippy::all, clippy::pedantic, clippy::nursery)]
 //! Offline vendored `serde_derive`.
 //!
 //! Derives the vendored `serde` facade's `Serialize`/`Deserialize` traits

@@ -1,3 +1,4 @@
+#![allow(clippy::all, clippy::pedantic, clippy::nursery)]
 //! Offline vendored `serde_json`.
 //!
 //! Prints and parses ordinary JSON text to and from the vendored `serde`
