@@ -12,7 +12,10 @@ use seer_trace::EventSink;
 use seer_workload::{generate, MachineProfile, Workload};
 
 fn workload() -> Workload {
-    let profile = MachineProfile { days: 8, ..MachineProfile::by_name("F").expect("F") };
+    let profile = MachineProfile {
+        days: 8,
+        ..MachineProfile::by_name("F").expect("F")
+    };
     generate(&profile, 23)
 }
 
@@ -29,7 +32,11 @@ fn bench_ablations(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablations");
     group.sample_size(15);
 
-    for kind in [DistanceKind::Temporal, DistanceKind::Sequence, DistanceKind::Lifetime] {
+    for kind in [
+        DistanceKind::Temporal,
+        DistanceKind::Sequence,
+        DistanceKind::Lifetime,
+    ] {
         group.bench_with_input(
             BenchmarkId::new("distance_kind", format!("{kind:?}")),
             &kind,

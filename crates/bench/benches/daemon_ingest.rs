@@ -15,7 +15,10 @@ use seer_trace::EventSink;
 use seer_workload::{generate, MachineProfile};
 
 fn bench_daemon_ingest(c: &mut Criterion) {
-    let profile = MachineProfile { days: 5, ..MachineProfile::by_name("A").expect("A") };
+    let profile = MachineProfile {
+        days: 5,
+        ..MachineProfile::by_name("A").expect("A")
+    };
     let trace = generate(&profile, 17).trace;
     let mut group = c.benchmark_group("daemon_ingest");
     group.throughput(Throughput::Elements(trace.len() as u64));
@@ -27,8 +30,7 @@ fn bench_daemon_ingest(c: &mut Criterion) {
                 .join(format!("seer-bench-ingest-{chunk}-{}", std::process::id()));
             std::fs::create_dir_all(&dir).expect("mkdir");
             let handle = Daemon::spawn(DaemonConfig::new(dir.join("sock"))).expect("spawn");
-            let mut client =
-                DaemonClient::connect(handle.socket_path(), "bench").expect("connect");
+            let mut client = DaemonClient::connect(handle.socket_path(), "bench").expect("connect");
             b.iter(|| {
                 client.send_trace(&trace, chunk).expect("send");
                 client.flush().expect("flush")

@@ -18,7 +18,11 @@ fn stream(len: u64, files: u32) -> Vec<Reference> {
             pid: Pid(1),
             file: FileId((i % u64::from(files)) as u32),
             kind: if i % 2 == 0 {
-                RefKind::Open { read: true, write: false, exec: false }
+                RefKind::Open {
+                    read: true,
+                    write: false,
+                    exec: false,
+                }
             } else {
                 RefKind::Close
             },

@@ -30,9 +30,7 @@ fn bench_selection(c: &mut Criterion) {
         let always = HashSet::new();
         let budget = u64::from(n_files) * 500; // Roughly half fits.
         group.bench_with_input(BenchmarkId::new("files", n_files), &n_files, |b, _| {
-            b.iter(|| {
-                select_hoard(&clustering, &activity, &always, &|_| 1_000, budget)
-            });
+            b.iter(|| select_hoard(&clustering, &activity, &always, &|_| 1_000, budget));
         });
     }
     group.finish();

@@ -8,7 +8,10 @@ use seer_trace::EventSink;
 use seer_workload::{generate, MachineProfile};
 
 fn bench_observer(c: &mut Criterion) {
-    let profile = MachineProfile { days: 10, ..MachineProfile::by_name("F").expect("F") };
+    let profile = MachineProfile {
+        days: 10,
+        ..MachineProfile::by_name("F").expect("F")
+    };
     let workload = generate(&profile, 17);
     let trace = workload.trace;
     let mut group = c.benchmark_group("observer_cost");

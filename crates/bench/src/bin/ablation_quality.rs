@@ -27,7 +27,10 @@ fn evaluate(name: &str, workload: &Workload, config: SeerConfig) {
     let clustering = engine.recluster().clone();
     let q = cluster_quality(workload, &engine, &clustering);
     // Weekly miss-free size.
-    let cfg = MissFreeConfig { seer: config, ..MissFreeConfig::weekly() };
+    let cfg = MissFreeConfig {
+        seer: config,
+        ..MissFreeConfig::weekly()
+    };
     let out = run_missfree(workload, &cfg);
     let ws = out.mean_of(|p| p.working_set);
     let seer = out.mean_of(|p| p.seer.bytes);
@@ -73,10 +76,22 @@ fn main() {
     evaluate("no frequent filter (no §4.2)", &workload, c);
 
     for (name, strategy) in [
-        ("meaningless: control list only", MeaninglessStrategy::ControlListOnly),
-        ("meaningless: dir-open forever", MeaninglessStrategy::DirOpenForever),
-        ("meaningless: while dir open", MeaninglessStrategy::DirOpenWhileOpen),
-        ("meaningless: access ratio (SEER)", MeaninglessStrategy::PotentialAccessRatio),
+        (
+            "meaningless: control list only",
+            MeaninglessStrategy::ControlListOnly,
+        ),
+        (
+            "meaningless: dir-open forever",
+            MeaninglessStrategy::DirOpenForever,
+        ),
+        (
+            "meaningless: while dir open",
+            MeaninglessStrategy::DirOpenWhileOpen,
+        ),
+        (
+            "meaningless: access ratio (SEER)",
+            MeaninglessStrategy::PotentialAccessRatio,
+        ),
     ] {
         let mut c = SeerConfig::default();
         c.observer.meaningless_strategy = strategy;

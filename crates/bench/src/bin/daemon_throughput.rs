@@ -11,28 +11,83 @@
 //! (also writes `results/daemon_throughput.txt`).
 
 use seer_daemon::{Daemon, DaemonClient, DaemonConfig};
+use seer_telemetry::RegistrySnapshot;
+use seer_trace::wire::{QueryRequest, QueryResponse};
 use seer_workload::{generate, MachineProfile};
 use std::fmt::Write as _;
 use std::time::Instant;
 
+/// Renders a duration in microseconds with sub-µs latencies kept legible.
+fn us(secs: Option<f64>) -> String {
+    match secs {
+        None => "-".into(),
+        Some(s) => format!("{:.1}", s * 1e6),
+    }
+}
+
+/// Appends one per-stage percentile table pulled from the daemon's
+/// telemetry registry after a run.
+fn write_stage_table(out: &mut String, chunk: usize, snap: &RegistrySnapshot) {
+    let _ = writeln!(out, "\nper-stage latency, frame size {chunk} (µs):");
+    let _ = writeln!(
+        out,
+        "  {:<16} {:>10} {:>10} {:>10} {:>10}",
+        "stage", "count", "p50", "p95", "p99"
+    );
+    for m in snap
+        .metrics
+        .iter()
+        .filter(|m| m.name == "seer_daemon_stage_seconds")
+    {
+        let stage = m
+            .labels
+            .iter()
+            .find(|(k, _)| k == "stage")
+            .map_or("?", |(_, v)| v.as_str());
+        let count = match &m.value {
+            seer_telemetry::MetricValue::Histogram { count, .. } => *count,
+            _ => continue,
+        };
+        let _ = writeln!(
+            out,
+            "  {:<16} {:>10} {:>10} {:>10} {:>10}",
+            stage,
+            count,
+            us(m.quantile(0.50)),
+            us(m.quantile(0.95)),
+            us(m.quantile(0.99)),
+        );
+    }
+}
+
 fn main() {
-    let profile = MachineProfile { days: 20, ..MachineProfile::by_name("F").expect("F") };
+    let profile = MachineProfile {
+        days: 20,
+        ..MachineProfile::by_name("F").expect("F")
+    };
     let workload = generate(&profile, 9);
     let trace = workload.trace;
     let n = trace.len();
 
     let mut out = String::new();
-    let _ = writeln!(out, "daemon ingestion throughput — machine F, 20 days, {n} events");
-    let _ = writeln!(out, "(socket + bounded pipeline + batched engine apply; flush-acked)\n");
+    let _ = writeln!(
+        out,
+        "daemon ingestion throughput — machine F, 20 days, {n} events"
+    );
+    let _ = writeln!(
+        out,
+        "(socket + bounded pipeline + batched engine apply; flush-acked)\n"
+    );
     let _ = writeln!(
         out,
         "{:<12} {:>12} {:>14} {:>16} {:>14}",
         "frame size", "seconds", "events/s", "µs per event", "batches"
     );
+    let mut stage_tables = String::new();
 
     for &chunk in &[1usize, 64, 1024] {
-        let dir = std::env::temp_dir()
-            .join(format!("seer-throughput-{chunk}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("seer-throughput-{chunk}-{}", std::process::id()));
         std::fs::create_dir_all(&dir).expect("mkdir");
         let handle = Daemon::spawn(DaemonConfig::new(dir.join("sock"))).expect("spawn");
         let mut client =
@@ -46,6 +101,16 @@ fn main() {
         client.send_trace(&trace, chunk).expect("send");
         client.flush().expect("flush");
         let secs = start.elapsed().as_secs_f64();
+
+        // Pull the telemetry registry over the wire while the daemon is
+        // still up: per-stage percentiles break the wall-clock number
+        // down into where the time actually went.
+        match client.query(QueryRequest::Metrics).expect("metrics query") {
+            QueryResponse::Metrics { snapshot } => {
+                write_stage_table(&mut stage_tables, chunk, &snapshot);
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
 
         drop(client);
         let stats = handle.shutdown();
@@ -62,6 +127,7 @@ fn main() {
         );
     }
 
+    out.push_str(&stage_tables);
     let _ = writeln!(
         out,
         "\nthe paper's observer cost ~35 µs/event on 1997 hardware (§5.3); the\n\
@@ -69,7 +135,10 @@ fn main() {
     );
     print!("{out}");
 
-    let results = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/daemon_throughput.txt");
+    let results = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/daemon_throughput.txt"
+    );
     if let Err(e) = std::fs::write(results, &out) {
         eprintln!("could not write {results}: {e}");
     } else {

@@ -25,7 +25,11 @@ fn main() {
         engine.on_reference(&r, &paths);
         seq += 1;
     };
-    let open = RefKind::Open { read: true, write: false, exec: false };
+    let open = RefKind::Open {
+        read: true,
+        write: false,
+        exec: false,
+    };
     let (a, b, c, d) = (0u32, 1, 2, 3);
     // The Figure 1 sequence.
     send(&mut engine, a, open);
@@ -38,7 +42,10 @@ fn main() {
     send(&mut engine, d, RefKind::Close);
 
     println!("Figure 1 — lifetime semantic distances for {{Ao Bo Bc Co Cc Ac Do Dc}}\n");
-    println!("{:>6} {:>6} {:>10} {:>10}", "from", "to", "measured", "paper");
+    println!(
+        "{:>6} {:>6} {:>10} {:>10}",
+        "from", "to", "measured", "paper"
+    );
     let names = ["A", "B", "C", "D"];
     let expected = [
         (a, b, Some(0.0)),
@@ -71,6 +78,13 @@ fn main() {
             want.map_or("undef".to_owned(), |w| format!("{w:.0}")),
         );
     }
-    println!("\nresult: {}", if all_match { "MATCHES the paper" } else { "MISMATCH" });
+    println!(
+        "\nresult: {}",
+        if all_match {
+            "MATCHES the paper"
+        } else {
+            "MISMATCH"
+        }
+    );
     assert!(all_match);
 }

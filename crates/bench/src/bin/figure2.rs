@@ -40,9 +40,10 @@ fn main() {
             } else {
                 profile.name.clone()
             };
-            for (period_name, base_cfg) in
-                [("daily", MissFreeConfig::daily()), ("weekly", MissFreeConfig::weekly())]
-            {
+            for (period_name, base_cfg) in [
+                ("daily", MissFreeConfig::daily()),
+                ("weekly", MissFreeConfig::weekly()),
+            ] {
                 let mut ws = Vec::new();
                 let mut seer = Vec::new();
                 let mut lru = Vec::new();

@@ -27,7 +27,10 @@ fn main() {
     rows.sort_by_key(|r| r.0);
 
     println!("Figure 3 — machine F, weekly disconnections, sorted by working set (KB)\n");
-    println!("{:>5} {:>12} {:>12} {:>12}", "week", "working", "seer", "lru");
+    println!(
+        "{:>5} {:>12} {:>12} {:>12}",
+        "week", "working", "seer", "lru"
+    );
     for (i, (ws, seer, lru)) in rows.iter().enumerate() {
         println!(
             "{:>5} {:>12.1} {:>12.1} {:>12.1}",
@@ -48,9 +51,7 @@ fn main() {
         .map(|(ws, _, lru)| *lru as f64 / (*ws).max(1) as f64)
         .sum::<f64>()
         / n;
-    println!(
-        "\nmean seer/working = {mean_ratio_seer:.2}; mean lru/working = {mean_ratio_lru:.2}"
-    );
+    println!("\nmean seer/working = {mean_ratio_seer:.2}; mean lru/working = {mean_ratio_lru:.2}");
     println!("paper shape: SEER tracks the working set closely across all weeks;");
     println!("LRU frequently requires significantly more space.");
 }

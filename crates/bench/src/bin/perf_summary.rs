@@ -48,7 +48,10 @@ fn main() {
     let clustering = engine.recluster().clone();
     let cluster_time = t1.elapsed();
 
-    println!("\n{:<38} {:>14} {:>18}", "metric", "measured", "paper (1997 hw)");
+    println!(
+        "\n{:<38} {:>14} {:>18}",
+        "metric", "measured", "paper (1997 hw)"
+    );
     println!(
         "{:<38} {:>11.2} µs {:>18}",
         "observation cost per event", per_event_us, "~35 µs"
@@ -63,8 +66,10 @@ fn main() {
         "{:<38} {:>11.0} B {:>18}",
         "memory per tracked file", per_file_bytes, "~1 KB"
     );
-    println!("\nfiles tracked: {n_files}; neighbor entries: {entries}; clusters: {}",
-        clustering.len());
+    println!(
+        "\nfiles tracked: {n_files}; neighbor entries: {entries}; clusters: {}",
+        clustering.len()
+    );
     println!(
         "structure check: clustering is {}× the per-event cost — a rare, schedulable \
          operation, as the paper argues",

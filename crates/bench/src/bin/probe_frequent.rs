@@ -9,7 +9,10 @@ use seer_workload::{generate, MachineProfile};
 
 fn main() {
     let machine = std::env::args().nth(1).unwrap_or_else(|| "A".into());
-    let days: u32 = std::env::args().nth(2).and_then(|a| a.parse().ok()).unwrap_or(25);
+    let days: u32 = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(25);
     let profile = MachineProfile::by_name(&machine)
         .expect("machine")
         .scaled_to_days(days);
@@ -34,7 +37,10 @@ fn main() {
     rows.sort_by_key(|r| std::cmp::Reverse(r.0));
     println!("total correlator-visible refs: {total}");
     for (count, path) in rows.iter().take(25) {
-        println!("{count:>6}  {:6.2}%  {path}", 100.0 * *count as f64 / total as f64);
+        println!(
+            "{count:>6}  {:6.2}%  {path}",
+            100.0 * *count as f64 / total as f64
+        );
     }
     println!("\n(always-hoard set, for comparison)");
     let mut hoard: Vec<&str> = engine

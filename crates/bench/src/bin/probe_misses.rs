@@ -8,8 +8,14 @@ use std::collections::HashMap;
 
 fn main() {
     let machine = std::env::args().nth(1).unwrap_or_else(|| "D".into());
-    let days: u32 = std::env::args().nth(2).and_then(|a| a.parse().ok()).unwrap_or(60);
-    let scale: u64 = std::env::args().nth(3).and_then(|a| a.parse().ok()).unwrap_or(60_000);
+    let days: u32 = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(60);
+    let scale: u64 = std::env::args()
+        .nth(3)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(60_000);
     let profile = MachineProfile::by_name(&machine)
         .expect("machine")
         .scaled_to_days(days);
@@ -19,18 +25,28 @@ fn main() {
     let budget = {
         use seer_sim::{SizeModel, UniverseBuilder};
         use seer_trace::Timestamp;
-        let total = workload.trace.events.last().map_or(Timestamp::ZERO, |e| e.time);
+        let total = workload
+            .trace
+            .events
+            .last()
+            .map_or(Timestamp::ZERO, |e| e.time);
         let u = UniverseBuilder::with_period(total + Timestamp::from_hours(1), total)
             .build(&workload.trace);
         let mut sizes = SizeModel::new(&workload.fs, seed);
         let bytes: u64 = u.paths.iter().map(|(_, p)| sizes.size_of_path(p)).sum();
         (bytes as f64 * 1.2) as u64
     };
-    let cfg = LiveConfig { hoard_bytes: budget, size_seed: seed, ..LiveConfig::default() };
+    let cfg = LiveConfig {
+        hoard_bytes: budget,
+        size_seed: seed,
+        ..LiveConfig::default()
+    };
     let result = run_live(&workload, &cfg);
     let _counts: HashMap<(), ()> = HashMap::new();
     for m in result.misses.iter().take(40) {
-        let sev = m.severity.map_or("auto".to_owned(), |s| s.code().to_string());
+        let sev = m
+            .severity
+            .map_or("auto".to_owned(), |s| s.code().to_string());
         println!(
             "disc {:>3}  start {:>8.1}h  dur {:>7.1}h  +{:>6.2}h  sev={:>4}  {}",
             m.disconnection,

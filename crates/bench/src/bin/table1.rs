@@ -20,11 +20,7 @@ fn main() {
     // Each file gets a companion so the outcome is observable.
     let (a, b, x, y) = (FileId(0), FileId(1), FileId(10), FileId(11));
     let base = [(a, x, kn), (b, y, kn)];
-    for (label, shared) in [
-        ("x ≥ kn", kn),
-        ("kf ≤ x < kn", kf),
-        ("x < kf", kf - 1.0),
-    ] {
+    for (label, shared) in [("x ≥ kn", kn), ("kf ≤ x < kn", kf), ("x < kf", kf - 1.0)] {
         let mut pairs = base.to_vec();
         pairs.push((a, b, shared));
         let r = cluster_from_counts(&pairs, &[], &config);

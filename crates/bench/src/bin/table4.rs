@@ -61,6 +61,10 @@ fn run(profile: &MachineProfile) -> LiveResult {
     let seed = 1000 + u64::from(profile.name.as_bytes()[0]);
     let workload = generate(profile, seed);
     let budget = live_budget(&workload, seed);
-    let cfg = LiveConfig { hoard_bytes: budget, size_seed: seed, ..LiveConfig::default() };
+    let cfg = LiveConfig {
+        hoard_bytes: budget,
+        size_seed: seed,
+        ..LiveConfig::default()
+    };
     run_live(&workload, &cfg)
 }

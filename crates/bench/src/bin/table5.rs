@@ -16,8 +16,6 @@ use seer_sim::{run_live, LiveConfig};
 use seer_stats::Summary;
 use seer_workload::{generate, MachineProfile};
 
-
-
 fn main() {
     let days_cap: u32 = std::env::args()
         .nth(1)
@@ -33,14 +31,20 @@ fn main() {
         let seed = 1000 + u64::from(profile.name.as_bytes()[0]);
         let workload = generate(&profile, seed);
         let budget = live_budget(&workload, seed);
-        let cfg = LiveConfig { hoard_bytes: budget, size_seed: seed, ..LiveConfig::default() };
+        let cfg = LiveConfig {
+            hoard_bytes: budget,
+            size_seed: seed,
+            ..LiveConfig::default()
+        };
         let result = run_live(&workload, &cfg);
         let by_sev = result.first_miss_hours();
         let mut keys: Vec<Option<Severity>> = by_sev.keys().copied().collect();
         keys.sort_by_key(|k| k.map_or(99, |s| s.code()));
         for sev in keys {
             let hours = &by_sev[&sev];
-            let Some(s) = Summary::of(hours) else { continue };
+            let Some(s) = Summary::of(hours) else {
+                continue;
+            };
             let label = sev.map_or("Auto".to_owned(), |s| s.code().to_string());
             let median = if s.n >= 4 {
                 format!("{:8.2}", s.median)

@@ -16,14 +16,23 @@ use seer_workload::{generate, MachineProfile};
 
 fn main() {
     let machines = ["A", "F"];
-    println!("{:<8} {:>4} {:>4} {:>5}  {:>6} {:>8} {:>8} {:>6} {:>8}", "machine", "kn", "kf",
-        "dirw", "purity", "cohesion", "f1", "nclust", "largest");
+    println!(
+        "{:<8} {:>4} {:>4} {:>5}  {:>6} {:>8} {:>8} {:>6} {:>8}",
+        "machine", "kn", "kf", "dirw", "purity", "cohesion", "f1", "nclust", "largest"
+    );
     for m in machines {
         let profile = MachineProfile::by_name(m)
             .expect("machine exists")
             .scaled_to_days(30);
         let workload = generate(&profile, 7);
-        for (kn, kf) in [(3.0, 2.0), (4.0, 2.0), (5.0, 2.0), (5.0, 3.0), (6.0, 3.0), (8.0, 4.0)] {
+        for (kn, kf) in [
+            (3.0, 2.0),
+            (4.0, 2.0),
+            (5.0, 2.0),
+            (5.0, 3.0),
+            (6.0, 3.0),
+            (8.0, 4.0),
+        ] {
             for dirw in [0.0, 0.5, 1.0, 2.0] {
                 let config = SeerConfig {
                     cluster: ClusterConfig {
@@ -40,7 +49,12 @@ fn main() {
                 }
                 let clustering = engine.recluster().clone();
                 let q = cluster_quality(&workload, &engine, &clustering);
-                let largest = clustering.clusters.iter().map(|c| c.len()).max().unwrap_or(0);
+                let largest = clustering
+                    .clusters
+                    .iter()
+                    .map(|c| c.len())
+                    .max()
+                    .unwrap_or(0);
                 println!(
                     "{:<8} {:>4} {:>4} {:>5.1}  {:>6.3} {:>8.3} {:>8.3} {:>6} {:>8}",
                     m,

@@ -66,7 +66,15 @@ pub fn demand_basis(workload: &Workload, size_seed: u64) -> (u64, u64) {
     let base: u64 = sys
         .shared_libs
         .iter()
-        .chain([&sys.shell, &sys.editor, &sys.cc, &sys.make, &sys.latex, &sys.mail, &sys.find])
+        .chain([
+            &sys.shell,
+            &sys.editor,
+            &sys.cc,
+            &sys.make,
+            &sys.latex,
+            &sys.mail,
+            &sys.find,
+        ])
         .chain(sys.dotfiles.iter())
         .map(|p| sizes.size_of_path(p))
         .sum();

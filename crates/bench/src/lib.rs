@@ -142,9 +142,15 @@ mod tests {
 
     #[test]
     fn quality_math() {
-        let q = ClusterQuality { purity: 1.0, cohesion: 0.5 };
+        let q = ClusterQuality {
+            purity: 1.0,
+            cohesion: 0.5,
+        };
         assert!((q.f1() - 2.0 / 3.0).abs() < 1e-12);
-        let zero = ClusterQuality { purity: 0.0, cohesion: 0.0 };
+        let zero = ClusterQuality {
+            purity: 0.0,
+            cohesion: 0.0,
+        };
         assert_eq!(zero.f1(), 0.0);
     }
 

@@ -28,8 +28,10 @@ USAGE:
               [--recluster-every N] [--snapshot-every N] [--file-size BYTES]
   seer client send <trace> --socket PATH [--chunk N]
   seer client load --socket PATH --machine <A..I> [--days N] [--seed N] [--chunk N]
-  seer client query <hoard|clusters|stats|health> --socket PATH [--budget BYTES]
+  seer client query <hoard|clusters|stats|metrics|health> --socket PATH
+                    [--budget BYTES] [--format json|prom]
   seer client shutdown --socket PATH
+  seer top --socket PATH
   seer demo [--days N]
   seer help
 ";
@@ -47,6 +49,7 @@ pub fn dispatch(args: &Args) -> Result<(), CliError> {
         Some("live") => cmd_live(args),
         Some("daemon") => crate::daemon_cmd::cmd_daemon(args),
         Some("client") => crate::daemon_cmd::cmd_client(args),
+        Some("top") => crate::daemon_cmd::cmd_top(args),
         Some("demo") => cmd_demo(args),
         Some("help") | None => {
             print!("{USAGE}");
@@ -115,13 +118,19 @@ fn cmd_generate(args: &Args) -> Result<(), CliError> {
     if let Some(fs_path) = args.flag("fs") {
         let w = BufWriter::new(File::create(fs_path)?);
         serde_json::to_writer(w, &workload.fs)?;
-        println!("wrote filesystem image ({} objects) to {fs_path}", workload.fs.len());
+        println!(
+            "wrote filesystem image ({} objects) to {fs_path}",
+            workload.fs.len()
+        );
     }
     if let Some(corpus_path) = args.flag("corpus") {
         let entries: Vec<(&str, &str)> = workload.corpus.iter().collect();
         let w = BufWriter::new(File::create(corpus_path)?);
         serde_json::to_writer(w, &entries)?;
-        println!("wrote source corpus ({} files) to {corpus_path}", workload.corpus.len());
+        println!(
+            "wrote source corpus ({} files) to {corpus_path}",
+            workload.corpus.len()
+        );
     }
     Ok(())
 }
@@ -233,15 +242,28 @@ fn cmd_missfree(args: &Args) -> Result<(), CliError> {
         "weekly" => MissFreeConfig::weekly(),
         other => return Err(CliError(format!("unknown period: {other} (daily|weekly)"))),
     };
-    let out = run_missfree_parts(MissFreeInput { trace: &trace, fs: &fs, corpus: None }, &cfg);
+    let out = run_missfree_parts(
+        MissFreeInput {
+            trace: &trace,
+            fs: &fs,
+            corpus: None,
+        },
+        &cfg,
+    );
     let ws = out.mean_of(|p| p.working_set);
     let seer = out.mean_of(|p| p.seer.bytes);
     let lru = out.mean_of(|p| p.lru.bytes);
     println!("periods:          {}", out.periods.len());
     println!("active periods:   {}", out.active_periods().count());
     println!("mean working set: {ws:.0} bytes");
-    println!("mean seer:        {seer:.0} bytes ({:.2}x working set)", seer / ws.max(1.0));
-    println!("mean lru:         {lru:.0} bytes ({:.2}x working set)", lru / ws.max(1.0));
+    println!(
+        "mean seer:        {seer:.0} bytes ({:.2}x working set)",
+        seer / ws.max(1.0)
+    );
+    println!(
+        "mean lru:         {lru:.0} bytes ({:.2}x working set)",
+        lru / ws.max(1.0)
+    );
     Ok(())
 }
 
@@ -272,19 +294,32 @@ fn cmd_live(args: &Args) -> Result<(), CliError> {
                 .map_err(|_| CliError(format!("bad --refill-hours: {h}")))?,
         ),
     };
-    let cfg = LiveConfig { hoard_bytes: budget, size_seed: seed, refill, ..LiveConfig::default() };
+    let cfg = LiveConfig {
+        hoard_bytes: budget,
+        size_seed: seed,
+        refill,
+        ..LiveConfig::default()
+    };
     let result = run_live(&workload, &cfg);
     println!(
         "machine {} over {} days: {} disconnections, budget {}",
         profile.name,
         profile.days,
         result.n_disconnections,
-        if budget == u64::MAX { "unbounded".to_owned() } else { budget.to_string() }
+        if budget == u64::MAX {
+            "unbounded".to_owned()
+        } else {
+            budget.to_string()
+        }
     );
     println!(
         "misses: {} total ({} user-judged, {} auto, {} implied); {} failed disconnections",
         result.misses.len(),
-        result.misses.iter().filter(|m| m.severity.is_some()).count(),
+        result
+            .misses
+            .iter()
+            .filter(|m| m.severity.is_some())
+            .count(),
         result.auto_count(),
         result.misses.iter().filter(|m| m.implied).count(),
         result.failed_disconnections()

@@ -33,15 +33,16 @@ pub fn cmd_daemon(args: &Args) -> Result<(), CliError> {
     cfg.file_size = args.num_flag("file-size", cfg.file_size)?;
     cfg.batch_max_wait = Duration::from_millis(args.num_flag("batch-wait-ms", 20u64)?);
 
-    let recovered = cfg
-        .snapshot_path
-        .as_deref()
-        .is_some_and(Path::exists);
+    let recovered = cfg.snapshot_path.as_deref().is_some_and(Path::exists);
     let handle = Daemon::spawn(cfg)?;
     println!(
         "seer-daemon listening on {}{}",
         handle.socket_path().display(),
-        if recovered { " (state recovered from snapshot)" } else { "" }
+        if recovered {
+            " (state recovered from snapshot)"
+        } else {
+            ""
+        }
     );
     let stats = handle.wait();
     println!(
@@ -128,21 +129,120 @@ fn client_query(args: &Args, socket: &Path) -> Result<(), CliError> {
         }
         Some("clusters") => client.query(QueryRequest::Clusters)?,
         Some("stats") => client.query(QueryRequest::Stats)?,
+        Some("metrics") => client.query(QueryRequest::Metrics)?,
         Some("health") => client.query(QueryRequest::Health)?,
         other => {
             return Err(CliError(format!(
-                "unknown query: {} (hoard|clusters|stats|health)",
+                "unknown query: {} (hoard|clusters|stats|metrics|health)",
                 other.unwrap_or("<none>")
             )))
         }
     };
+    if let QueryResponse::Metrics { snapshot } = &response {
+        // `--format prom` renders the text exposition format a scraper
+        // would ingest; the default is pretty JSON.
+        match args.flag("format") {
+            Some("prom") => print!("{}", seer_telemetry::render_prometheus(snapshot)),
+            Some("json") | None => println!(
+                "{}",
+                serde_json::to_string_pretty(snapshot).map_err(|e| CliError(e.to_string()))?
+            ),
+            Some(other) => return Err(CliError(format!("unknown format: {other} (json|prom)"))),
+        }
+        return Ok(());
+    }
     print_response(&response);
     Ok(())
 }
 
+/// `seer top --socket PATH` — a one-shot human-readable view of the
+/// daemon's telemetry: throughput, queue depth, and per-stage latency
+/// percentiles.
+pub fn cmd_top(args: &Args) -> Result<(), CliError> {
+    let socket = Path::new(args.require_flag("socket")?);
+    let mut client = DaemonClient::connect(socket, "seer-top")?;
+    let snap = match client.query(QueryRequest::Metrics)? {
+        QueryResponse::Metrics { snapshot } => snapshot,
+        other => return Err(CliError(format!("unexpected response: {other:?}"))),
+    };
+
+    let counter = |name: &str| snap.counter(name).unwrap_or(0);
+    let gauge = |name: &str| snap.gauge(name).unwrap_or(0);
+    let uptime = gauge("seer_daemon_uptime_seconds").max(0) as f64;
+    let received = counter("seer_daemon_events_received_total");
+    let rate = received as f64 / uptime.max(1.0);
+    println!("seer daemon @ {}", socket.display());
+    println!(
+        "uptime {uptime:.0}s   events received {received} ({rate:.1}/s)   \
+         applied {}   batches {}",
+        counter("seer_daemon_events_applied_total"),
+        counter("seer_daemon_batches_applied_total"),
+    );
+    println!(
+        "queue depth {} (peak {})   connections {}   reclusters {}   snapshots {}",
+        gauge("seer_daemon_queue_depth"),
+        gauge("seer_daemon_queue_depth_max"),
+        counter("seer_daemon_connections_total"),
+        counter("seer_daemon_reclusters_total"),
+        counter("seer_daemon_snapshots_total"),
+    );
+    println!(
+        "engine: {} files known, {} clusters, {} distance observations",
+        gauge("seer_engine_files_known"),
+        gauge("seer_cluster_count"),
+        counter("seer_distance_observations_total"),
+    );
+    println!();
+    println!(
+        "{:<16} {:>10} {:>10} {:>10} {:>10} {:>12}",
+        "stage", "count", "p50", "p95", "p99", "total"
+    );
+    for m in snap
+        .metrics
+        .iter()
+        .filter(|m| m.name == "seer_daemon_stage_seconds")
+    {
+        let stage = m
+            .labels
+            .iter()
+            .find(|(k, _)| k == "stage")
+            .map_or("?", |(_, v)| v.as_str());
+        let (count, sum) = match &m.value {
+            seer_telemetry::MetricValue::Histogram {
+                count, sum_seconds, ..
+            } => (*count, *sum_seconds),
+            _ => continue,
+        };
+        println!(
+            "{stage:<16} {count:>10} {:>10} {:>10} {:>10} {:>12}",
+            fmt_seconds(m.quantile(0.50)),
+            fmt_seconds(m.quantile(0.95)),
+            fmt_seconds(m.quantile(0.99)),
+            fmt_seconds(Some(sum)),
+        );
+    }
+    Ok(())
+}
+
+/// Renders a duration in seconds with an adaptive unit (`-` when absent).
+fn fmt_seconds(secs: Option<f64>) -> String {
+    match secs {
+        None => "-".into(),
+        Some(s) if s < 1e-6 => format!("{:.0}ns", s * 1e9),
+        Some(s) if s < 1e-3 => format!("{:.1}µs", s * 1e6),
+        Some(s) if s < 1.0 => format!("{:.1}ms", s * 1e3),
+        Some(s) => format!("{s:.2}s"),
+    }
+}
+
 fn print_response(response: &QueryResponse) {
     match response {
-        QueryResponse::Hoard { files, bytes, clusters_taken, clusters_skipped } => {
+        QueryResponse::Hoard {
+            files,
+            bytes,
+            clusters_taken,
+            clusters_skipped,
+        } => {
             println!(
                 "hoard: {} files, {bytes} bytes; {clusters_taken} whole projects \
                  ({clusters_skipped} skipped)",
@@ -152,7 +252,11 @@ fn print_response(response: &QueryResponse) {
                 println!("  {f}");
             }
         }
-        QueryResponse::Clusters { count, largest, files_known } => {
+        QueryResponse::Clusters {
+            count,
+            largest,
+            files_known,
+        } => {
             println!("{count} clusters over {files_known} known files");
             println!("largest: {largest:?}");
         }
@@ -173,7 +277,16 @@ fn print_response(response: &QueryResponse) {
             println!("snapshots:        {snapshots}");
             println!("connections:      {connections}");
         }
-        QueryResponse::Health { healthy, events_applied, queue_depth } => {
+        // Reached only via code paths that did not special-case the
+        // metrics payload; a terse summary beats dumping the registry.
+        QueryResponse::Metrics { snapshot } => {
+            println!("{} metrics in registry", snapshot.metrics.len());
+        }
+        QueryResponse::Health {
+            healthy,
+            events_applied,
+            queue_depth,
+        } => {
             println!(
                 "{}: {events_applied} events applied, queue depth {queue_depth}",
                 if *healthy { "healthy" } else { "shutting down" }

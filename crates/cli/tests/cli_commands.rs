@@ -30,10 +30,18 @@ fn generate_stats_observe_hoard_pipeline() {
     assert!(trace.exists() && fs.exists());
 
     run(&format!("stats {}", trace.display())).expect("stats");
-    run(&format!("observe {} --state {}", trace.display(), state.display()))
-        .expect("observe");
+    run(&format!(
+        "observe {} --state {}",
+        trace.display(),
+        state.display()
+    ))
+    .expect("observe");
     assert!(state.exists());
-    run(&format!("clusters {} --min-size 2 --top 3", state.display())).expect("clusters");
+    run(&format!(
+        "clusters {} --min-size 2 --top 3",
+        state.display()
+    ))
+    .expect("clusters");
     run(&format!(
         "hoard {} --budget 2000000 --fs {}",
         state.display(),
@@ -56,11 +64,22 @@ fn incremental_observe_resumes_from_state() {
     let t2 = dir.join("t2.jsonl");
     let s1 = dir.join("s1.json");
     let s2 = dir.join("s2.json");
-    run(&format!("generate --machine B --days 5 --seed 1 --trace {}", t1.display()))
-        .expect("generate 1");
-    run(&format!("generate --machine B --days 5 --seed 2 --trace {}", t2.display()))
-        .expect("generate 2");
-    run(&format!("observe {} --state {}", t1.display(), s1.display())).expect("observe 1");
+    run(&format!(
+        "generate --machine B --days 5 --seed 1 --trace {}",
+        t1.display()
+    ))
+    .expect("generate 1");
+    run(&format!(
+        "generate --machine B --days 5 --seed 2 --trace {}",
+        t2.display()
+    ))
+    .expect("generate 2");
+    run(&format!(
+        "observe {} --state {}",
+        t1.display(),
+        s1.display()
+    ))
+    .expect("observe 1");
     // Resume: the second observation builds on the first session's state.
     run(&format!(
         "observe {} --state {} --state-in {}",
@@ -71,7 +90,10 @@ fn incremental_observe_resumes_from_state() {
     .expect("observe 2");
     let len1 = std::fs::metadata(&s1).expect("s1").len();
     let len2 = std::fs::metadata(&s2).expect("s2").len();
-    assert!(len2 > len1 / 2, "resumed state carries accumulated knowledge");
+    assert!(
+        len2 > len1 / 2,
+        "resumed state carries accumulated knowledge"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -96,12 +118,23 @@ fn convert_between_formats_round_trips() {
     let json = dir.join("t.jsonl");
     let text = dir.join("t.txt");
     let back = dir.join("back.jsonl");
-    run(&format!("generate --machine E --days 4 --seed 9 --trace {}", json.display()))
-        .expect("generate");
-    run(&format!("convert {} {} --format text", json.display(), text.display()))
-        .expect("to text");
-    run(&format!("convert {} {} --format json", text.display(), back.display()))
-        .expect("back to json");
+    run(&format!(
+        "generate --machine E --days 4 --seed 9 --trace {}",
+        json.display()
+    ))
+    .expect("generate");
+    run(&format!(
+        "convert {} {} --format text",
+        json.display(),
+        text.display()
+    ))
+    .expect("to text");
+    run(&format!(
+        "convert {} {} --format json",
+        text.display(),
+        back.display()
+    ))
+    .expect("back to json");
     // Text is substantially smaller; both load and agree on event count.
     let jlen = std::fs::metadata(&json).expect("json").len();
     let tlen = std::fs::metadata(&text).expect("text").len();

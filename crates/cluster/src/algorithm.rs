@@ -131,7 +131,11 @@ mod tests {
     use super::*;
 
     fn cfg(kn: f64, kf: f64) -> ClusterConfig {
-        ClusterConfig { kn, kf, ..ClusterConfig::default() }
+        ClusterConfig {
+            kn,
+            kf,
+            ..ClusterConfig::default()
+        }
     }
 
     const KN: f64 = 4.0;
@@ -165,7 +169,10 @@ mod tests {
         let r = cluster_from_counts(&[(a, x, KN), (b, y, KN), (a, b, KF)], &[], &c);
         assert_eq!(r.len(), 2, "two distinct clusters remain");
         assert!(r.clusters.iter().all(|cl| cl.contains(a) && cl.contains(b)));
-        assert!(r.clusters.iter().any(|cl| cl.contains(x) && !cl.contains(y)));
+        assert!(r
+            .clusters
+            .iter()
+            .any(|cl| cl.contains(x) && !cl.contains(y)));
         // x < kf: no action.
         let r = cluster_from_counts(&[(a, b, KF - 1.0)], &[], &c);
         assert_eq!(r.len(), 2);
@@ -227,7 +234,10 @@ mod tests {
         let without = cluster_from_counts(
             &pairs,
             &universe,
-            &ClusterConfig { include_singletons: false, ..cfg(KN, KF) },
+            &ClusterConfig {
+                include_singletons: false,
+                ..cfg(KN, KF)
+            },
         );
         assert_eq!(without.len(), 1);
     }
@@ -238,8 +248,13 @@ mod tests {
         // Build a table where files 0 and 1 share neighbors 2..7, by
         // observing small distances from each to the common neighbors.
         let dc = DistanceConfig::default();
-        let mut t = NeighborTable::new(dc.n_neighbors, dc.reduction, dc.aging_refs,
-            dc.deletion_delay, dc.seed);
+        let mut t = NeighborTable::new(
+            dc.n_neighbors,
+            dc.reduction,
+            dc.aging_refs,
+            dc.deletion_delay,
+            dc.seed,
+        );
         let mut paths = PathTable::new();
         for i in 0..10u32 {
             paths.intern(&format!("/proj/f{i}"));
@@ -253,15 +268,23 @@ mod tests {
         let r = cluster_files(&t, &paths, &[], &ClusterConfig::default());
         let c0 = r.clusters_of(FileId(0));
         let c1 = r.clusters_of(FileId(1));
-        assert!(!c0.is_empty() && c0 == c1, "0 and 1 share 6 ≥ kn neighbors: same cluster");
+        assert!(
+            !c0.is_empty() && c0 == c1,
+            "0 and 1 share 6 ≥ kn neighbors: same cluster"
+        );
     }
 
     #[test]
     fn directory_distance_discourages_clustering() {
         use seer_distance::{DistanceConfig, NeighborTable};
         let dc = DistanceConfig::default();
-        let mut t = NeighborTable::new(dc.n_neighbors, dc.reduction, dc.aging_refs,
-            dc.deletion_delay, dc.seed);
+        let mut t = NeighborTable::new(
+            dc.n_neighbors,
+            dc.reduction,
+            dc.aging_refs,
+            dc.deletion_delay,
+            dc.seed,
+        );
         let mut paths = PathTable::new();
         // Files in wildly different trees.
         let a = paths.intern("/home/u/projects/alpha/src/deep/a.c");
@@ -275,11 +298,17 @@ mod tests {
         }
         t.observe(FileId(0), FileId(1), 1.0);
         // Without directory weighting they share 6 ≥ kn neighbors…
-        let loose = ClusterConfig { directory_weight: 0.0, ..ClusterConfig::default() };
+        let loose = ClusterConfig {
+            directory_weight: 0.0,
+            ..ClusterConfig::default()
+        };
         let r = cluster_files(&t, &paths, &[], &loose);
         assert_eq!(r.clusters_of(FileId(0)), r.clusters_of(FileId(1)));
         // …but a strong directory weight keeps the distant trees apart.
-        let strict = ClusterConfig { directory_weight: 1.0, ..ClusterConfig::default() };
+        let strict = ClusterConfig {
+            directory_weight: 1.0,
+            ..ClusterConfig::default()
+        };
         let r = cluster_files(&t, &paths, &[], &strict);
         assert_ne!(r.clusters_of(FileId(0)), r.clusters_of(FileId(1)));
     }
@@ -288,8 +317,13 @@ mod tests {
     fn investigator_relation_bridges_unseen_pairs() {
         use seer_distance::{DistanceConfig, NeighborTable};
         let dc = DistanceConfig::default();
-        let t = NeighborTable::new(dc.n_neighbors, dc.reduction, dc.aging_refs,
-            dc.deletion_delay, dc.seed);
+        let t = NeighborTable::new(
+            dc.n_neighbors,
+            dc.reduction,
+            dc.aging_refs,
+            dc.deletion_delay,
+            dc.seed,
+        );
         let mut paths = PathTable::new();
         let a = paths.intern("/p/a.c");
         let b = paths.intern("/p/a.h");
@@ -304,15 +338,27 @@ mod tests {
     fn forced_relation_overrides_everything() {
         use seer_distance::{DistanceConfig, NeighborTable};
         let dc = DistanceConfig::default();
-        let t = NeighborTable::new(dc.n_neighbors, dc.reduction, dc.aging_refs,
-            dc.deletion_delay, dc.seed);
+        let t = NeighborTable::new(
+            dc.n_neighbors,
+            dc.reduction,
+            dc.aging_refs,
+            dc.deletion_delay,
+            dc.seed,
+        );
         let mut paths = PathTable::new();
         // Enormous directory distance would normally keep these apart.
         let a = paths.intern("/a/b/c/d/e/f/g/x.c");
         let b = paths.intern("/z/y/w/v/u/t/s/y.c");
         let rel = ExternalRelation::new(vec![a, b], 1000.0);
-        let config = ClusterConfig { directory_weight: 50.0, ..ClusterConfig::default() };
+        let config = ClusterConfig {
+            directory_weight: 50.0,
+            ..ClusterConfig::default()
+        };
         let r = cluster_files(&t, &paths, &[rel], &config);
-        assert_eq!(r.clusters_of(a), r.clusters_of(b), "forced cluster (§3.3.3)");
+        assert_eq!(
+            r.clusters_of(a),
+            r.clusters_of(b),
+            "forced cluster (§3.3.3)"
+        );
     }
 }

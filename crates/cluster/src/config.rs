@@ -62,9 +62,17 @@ mod tests {
 
     #[test]
     fn inverted_thresholds_are_invalid() {
-        let c = ClusterConfig { kn: 1.0, kf: 5.0, ..ClusterConfig::default() };
+        let c = ClusterConfig {
+            kn: 1.0,
+            kf: 5.0,
+            ..ClusterConfig::default()
+        };
         assert!(!c.is_valid());
-        let c = ClusterConfig { kn: 5.0, kf: 0.0, ..ClusterConfig::default() };
+        let c = ClusterConfig {
+            kn: 5.0,
+            kf: 0.0,
+            ..ClusterConfig::default()
+        };
         assert!(!c.is_valid());
     }
 

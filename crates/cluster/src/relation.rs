@@ -58,6 +58,9 @@ mod tests {
     #[test]
     fn empty_and_singleton_relations_have_no_pairs() {
         assert_eq!(ExternalRelation::new(vec![], 1.0).pairs().count(), 0);
-        assert_eq!(ExternalRelation::new(vec![FileId(1)], 1.0).pairs().count(), 0);
+        assert_eq!(
+            ExternalRelation::new(vec![FileId(1)], 1.0).pairs().count(),
+            0
+        );
     }
 }

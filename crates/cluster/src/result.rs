@@ -74,7 +74,10 @@ impl Clustering {
                 Cluster { files }
             })
             .collect();
-        Clustering { clusters, membership }
+        Clustering {
+            clusters,
+            membership,
+        }
     }
 
     /// The clusters containing `file` (empty if unknown).
@@ -112,6 +115,40 @@ impl Clustering {
         v.sort_unstable();
         v
     }
+
+    /// A per-file fingerprint of cluster membership: each file maps to a
+    /// hash of the member lists of every cluster containing it. Cluster
+    /// *ids* are not stable across reclusterings, but member lists are
+    /// deterministic, so equal fingerprints mean the file sits in the
+    /// same projects with the same co-members.
+    #[must_use]
+    pub fn membership_fingerprint(&self) -> HashMap<FileId, u64> {
+        use std::hash::{Hash, Hasher};
+        self.membership
+            .iter()
+            .map(|(&file, ids)| {
+                let mut h = std::collections::hash_map::DefaultHasher::new();
+                for &id in ids {
+                    self.clusters[id.index()].files.hash(&mut h);
+                }
+                (file, h.finish())
+            })
+            .collect()
+    }
+
+    /// Number of files whose cluster membership differs between `previous`
+    /// and `self` — files that joined, left, or whose project's member set
+    /// changed. This is the churn a reclustering introduced; telemetry
+    /// tracks its running total to show how unstable project boundaries
+    /// are under a given workload.
+    #[must_use]
+    pub fn churn_from(&self, previous: &Clustering) -> usize {
+        let old = previous.membership_fingerprint();
+        let new = self.membership_fingerprint();
+        let changed_or_new = new.iter().filter(|(f, fp)| old.get(f) != Some(fp)).count();
+        let departed = old.keys().filter(|f| !new.contains_key(f)).count();
+        changed_or_new + departed
+    }
 }
 
 #[cfg(test)]
@@ -134,10 +171,8 @@ mod tests {
 
     #[test]
     fn overlapping_membership() {
-        let c = Clustering::from_members(vec![
-            vec![FileId(1), FileId(2)],
-            vec![FileId(2), FileId(3)],
-        ]);
+        let c =
+            Clustering::from_members(vec![vec![FileId(1), FileId(2)], vec![FileId(2), FileId(3)]]);
         assert_eq!(c.clusters_of(FileId(2)).len(), 2);
         assert!(c.cluster(ClusterId(0)).contains(FileId(2)));
         assert!(c.cluster(ClusterId(1)).contains(FileId(2)));
@@ -145,19 +180,33 @@ mod tests {
 
     #[test]
     fn duplicate_clusters_collapse() {
-        let c = Clustering::from_members(vec![
-            vec![FileId(1), FileId(2)],
-            vec![FileId(2), FileId(1)],
-        ]);
+        let c =
+            Clustering::from_members(vec![vec![FileId(1), FileId(2)], vec![FileId(2), FileId(1)]]);
         assert_eq!(c.len(), 1);
     }
 
     #[test]
+    fn churn_counts_membership_changes() {
+        let a =
+            Clustering::from_members(vec![vec![FileId(1), FileId(2)], vec![FileId(3), FileId(4)]]);
+        // Identical clustering: no churn either way.
+        let same =
+            Clustering::from_members(vec![vec![FileId(1), FileId(2)], vec![FileId(3), FileId(4)]]);
+        assert_eq!(same.churn_from(&a), 0);
+        // File 4 moves into the first project: 1, 2, and 4 all see their
+        // co-member sets change; 3 is now alone so it changes too.
+        let b =
+            Clustering::from_members(vec![vec![FileId(1), FileId(2), FileId(4)], vec![FileId(3)]]);
+        assert_eq!(b.churn_from(&a), 4);
+        // A file disappearing entirely is churn as well.
+        let c = Clustering::from_members(vec![vec![FileId(1), FileId(2)]]);
+        assert_eq!(c.churn_from(&same), 2, "3 and 4 departed");
+    }
+
+    #[test]
     fn all_files_is_sorted_union() {
-        let c = Clustering::from_members(vec![
-            vec![FileId(5), FileId(1)],
-            vec![FileId(3), FileId(1)],
-        ]);
+        let c =
+            Clustering::from_members(vec![vec![FileId(5), FileId(1)], vec![FileId(3), FileId(1)]]);
         assert_eq!(c.all_files(), vec![FileId(1), FileId(3), FileId(5)]);
     }
 }

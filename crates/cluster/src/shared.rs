@@ -132,7 +132,11 @@ mod tests {
         let c = counter();
         assert_eq!(c.shared(FileId(1), FileId(2)), 2);
         assert_eq!(c.shared(FileId(1), FileId(3)), 0);
-        assert_eq!(c.shared(FileId(1), FileId(99)), 0, "unknown file shares nothing");
+        assert_eq!(
+            c.shared(FileId(1), FileId(99)),
+            0,
+            "unknown file shares nothing"
+        );
     }
 
     #[test]

@@ -47,7 +47,11 @@ impl UnionFind {
         if ra == rb {
             return;
         }
-        let (big, small) = if self.size[&ra] >= self.size[&rb] { (ra, rb) } else { (rb, ra) };
+        let (big, small) = if self.size[&ra] >= self.size[&rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
         self.parent.insert(small, big);
         let total = self.size[&ra] + self.size[&rb];
         self.size.insert(big, total);

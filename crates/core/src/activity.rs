@@ -36,10 +36,11 @@ impl ActivityTracker {
     /// Records a reference directly (used by replay paths that bypass the
     /// sink interface).
     pub fn record(&mut self, file: FileId, seq: Seq, time: Timestamp) {
-        let e = self
-            .last
-            .entry(file)
-            .or_insert(LastRef { seq, time, count: 0 });
+        let e = self.last.entry(file).or_insert(LastRef {
+            seq,
+            time,
+            count: 0,
+        });
         e.seq = seq.max(e.seq);
         e.time = time.max(e.time);
         e.count += 1;

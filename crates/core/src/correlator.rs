@@ -114,10 +114,36 @@ mod tests {
     fn forwards_to_both_distance_and_activity() {
         let paths = PathTable::new();
         let mut c = Correlator::new(DistanceConfig::default());
-        c.on_reference(&r(0, 1, RefKind::Open { read: true, write: false, exec: false }), &paths);
-        c.on_reference(&r(1, 2, RefKind::Open { read: true, write: false, exec: false }), &paths);
+        c.on_reference(
+            &r(
+                0,
+                1,
+                RefKind::Open {
+                    read: true,
+                    write: false,
+                    exec: false,
+                },
+            ),
+            &paths,
+        );
+        c.on_reference(
+            &r(
+                1,
+                2,
+                RefKind::Open {
+                    read: true,
+                    write: false,
+                    exec: false,
+                },
+            ),
+            &paths,
+        );
         assert_eq!(c.activity().len(), 2);
-        assert!(c.distance().table().distance(FileId(1), FileId(2)).is_some());
+        assert!(c
+            .distance()
+            .table()
+            .distance(FileId(1), FileId(2))
+            .is_some());
     }
 
     #[test]

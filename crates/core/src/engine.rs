@@ -6,8 +6,81 @@ use crate::manager::{select_hoard, HoardSelection};
 use crate::rankers::{HoardRanker, RankContext, SeerRanker};
 use seer_cluster::{cluster_files_excluding, Clustering, ExternalRelation};
 use seer_observer::Observer;
-use seer_trace::{EventSink, FileId, PathTable, StringTable, TraceEvent};
+use seer_telemetry::{Counter, Gauge, Histogram, Registry};
+use seer_trace::{EventKind, EventSink, FileId, PathTable, StringTable, TraceEvent};
 use std::collections::HashSet;
+
+/// Registry handles the engine updates while processing events; present
+/// only after [`SeerEngine::attach_telemetry`]. Counting is lock-free, so
+/// the unattached and attached hot paths differ by a few relaxed atomic
+/// adds per batch.
+#[derive(Debug)]
+struct EngineTelemetry {
+    /// Ingested events by syscall kind, indexed by [`EventKind::index`].
+    events_by_kind: Vec<Counter>,
+    files_known: Gauge,
+    activity_tracked: Gauge,
+    distance_opens: Counter,
+    distance_observations: Counter,
+    distance_evictions: Counter,
+    distance_purged: Counter,
+    recluster_seconds: Histogram,
+    cluster_count: Gauge,
+    cluster_churn: Counter,
+}
+
+impl EngineTelemetry {
+    fn new(registry: &Registry) -> EngineTelemetry {
+        EngineTelemetry {
+            events_by_kind: EventKind::NAMES
+                .iter()
+                .map(|kind| {
+                    registry.counter_with(
+                        "seer_engine_events_total",
+                        "Trace events ingested by the engine, by syscall kind.",
+                        &[("kind", kind)],
+                    )
+                })
+                .collect(),
+            files_known: registry.gauge(
+                "seer_engine_files_known",
+                "Canonical paths known to the engine.",
+            ),
+            activity_tracked: registry.gauge(
+                "seer_engine_activity_tracked",
+                "Files with recorded reference activity.",
+            ),
+            distance_opens: registry.counter(
+                "seer_distance_opens_total",
+                "Whole-file opening references processed by the distance engine.",
+            ),
+            distance_observations: registry.counter(
+                "seer_distance_observations_total",
+                "Pairwise distance observations folded into the neighbor table.",
+            ),
+            distance_evictions: registry.counter(
+                "seer_distance_evictions_total",
+                "Live neighbors displaced from full neighbor-table rows.",
+            ),
+            distance_purged: registry.counter(
+                "seer_distance_purged_total",
+                "Files purged from the neighbor table after delayed deletion.",
+            ),
+            recluster_seconds: registry.histogram(
+                "seer_cluster_recluster_seconds",
+                "Wall time of full reclusterings.",
+            ),
+            cluster_count: registry.gauge(
+                "seer_cluster_count",
+                "Clusters in the current project assignment.",
+            ),
+            cluster_churn: registry.counter(
+                "seer_cluster_churn_total",
+                "Files whose cluster membership changed across reclusterings.",
+            ),
+        }
+    }
+}
 
 /// The complete SEER pipeline: feed it raw [`TraceEvent`]s, then ask for
 /// hoard contents before a disconnection.
@@ -40,6 +113,7 @@ pub struct SeerEngine {
     cluster_config: seer_cluster::ClusterConfig,
     relations: Vec<ExternalRelation>,
     clustering: Option<Clustering>,
+    telemetry: Option<EngineTelemetry>,
 }
 
 impl Default for SeerEngine {
@@ -58,6 +132,31 @@ impl SeerEngine {
             cluster_config: config.cluster,
             relations: Vec::new(),
             clustering: None,
+            telemetry: None,
+        }
+    }
+
+    /// Registers this engine's metrics (ingest counters by event kind,
+    /// table and activity gauges, recluster timings and churn) in
+    /// `registry` and starts updating them as events flow. Gauges and
+    /// mirrored counters are synced immediately, so attaching to a
+    /// recovered engine reports its restored state.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.telemetry = Some(EngineTelemetry::new(registry));
+        self.sync_telemetry();
+    }
+
+    /// Refreshes gauges and mirrored counters from component stats.
+    fn sync_telemetry(&self) {
+        if let Some(t) = &self.telemetry {
+            t.files_known.set(self.observer.paths().len() as i64);
+            t.activity_tracked
+                .set(self.correlator().activity().len() as i64);
+            let d = self.correlator().distance().stats();
+            t.distance_opens.set_total(d.opens);
+            t.distance_observations.set_total(d.observations);
+            t.distance_evictions.set_total(d.evictions);
+            t.distance_purged.set_total(d.purged);
         }
     }
 
@@ -101,6 +200,7 @@ impl SeerEngine {
     /// Runs the clustering algorithm over the current distance table,
     /// replacing any previous project assignment.
     pub fn recluster(&mut self) -> &Clustering {
+        let started = std::time::Instant::now();
         let clustering = cluster_files_excluding(
             self.correlator().distance().table(),
             self.observer.paths(),
@@ -108,6 +208,13 @@ impl SeerEngine {
             self.observer.always_hoard(),
             &self.cluster_config,
         );
+        if let Some(t) = &self.telemetry {
+            t.recluster_seconds.observe(started.elapsed());
+            t.cluster_count.set(clustering.len() as i64);
+            if let Some(prev) = &self.clustering {
+                t.cluster_churn.add(clustering.churn_from(prev) as u64);
+            }
+        }
         self.clustering = Some(clustering);
         self.clustering.as_ref().expect("just set")
     }
@@ -195,17 +302,28 @@ impl SeerEngine {
             cluster_config,
             relations: Vec::new(),
             clustering: None,
+            telemetry: None,
         }
     }
 }
 
 impl EventSink for SeerEngine {
     fn on_event(&mut self, ev: &TraceEvent, strings: &StringTable) {
+        if let Some(t) = &self.telemetry {
+            t.events_by_kind[ev.kind.index()].inc();
+        }
         self.observer.on_event(ev, strings);
+        self.sync_telemetry();
     }
 
     fn on_batch(&mut self, events: &[TraceEvent], strings: &StringTable) {
+        if let Some(t) = &self.telemetry {
+            for ev in events {
+                t.events_by_kind[ev.kind.index()].inc();
+            }
+        }
         self.observer.on_batch(events, strings);
+        self.sync_telemetry();
     }
 }
 
@@ -261,13 +379,22 @@ mod tests {
         let c_main = clustering.clusters_of(main).to_vec();
         let c_defs = clustering.clusters_of(defs).to_vec();
         let c_tex = clustering.clusters_of(tex).to_vec();
-        assert!(c_main.iter().any(|c| c_defs.contains(c)), "alpha files cluster together");
-        assert!(!c_main.iter().any(|c| c_tex.contains(c)), "projects stay apart");
+        assert!(
+            c_main.iter().any(|c| c_defs.contains(c)),
+            "alpha files cluster together"
+        );
+        assert!(
+            !c_main.iter().any(|c| c_tex.contains(c)),
+            "projects stay apart"
+        );
 
         // Hoard selection: beta was touched last, so with a budget for one
         // project beta wins.
         let sel = engine.choose_hoard(3000, &|_| 1000);
-        assert!(sel.contains(tex) && sel.contains(bib), "most recent project hoarded");
+        assert!(
+            sel.contains(tex) && sel.contains(bib),
+            "most recent project hoarded"
+        );
     }
 
     #[test]
@@ -277,11 +404,54 @@ mod tests {
         engine.recluster();
         let rank = engine.rank();
         let activity_files = engine.correlator().activity().len();
-        assert!(rank.len() >= activity_files, "ranking covers every tracked file");
+        assert!(
+            rank.len() >= activity_files,
+            "ranking covers every tracked file"
+        );
         let mut dedup = rank.clone();
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), rank.len(), "no duplicates in ranking");
+    }
+
+    #[test]
+    fn telemetry_tracks_engine_activity() {
+        let registry = Registry::new();
+        let mut engine = SeerEngine::default();
+        engine.attach_telemetry(&registry);
+        two_project_trace().replay(&mut engine);
+        engine.recluster();
+        engine.recluster(); // A no-op repeat: zero churn, but timed.
+        let snap = registry.snapshot();
+        let opens = snap
+            .find_with("seer_engine_events_total", &[("kind", "open")])
+            .expect("per-kind counter registered");
+        assert!(
+            matches!(opens.value, seer_telemetry::MetricValue::Counter { total } if total > 0),
+            "opens counted: {opens:?}"
+        );
+        assert!(snap.gauge("seer_engine_files_known").expect("gauge") > 0);
+        assert!(snap.gauge("seer_cluster_count").expect("gauge") > 0);
+        assert!(
+            snap.counter("seer_distance_observations_total")
+                .expect("counter")
+                > 0
+        );
+        let recluster = snap
+            .find("seer_cluster_recluster_seconds")
+            .expect("histogram");
+        assert!(
+            matches!(
+                recluster.value,
+                seer_telemetry::MetricValue::Histogram { count: 2, .. }
+            ),
+            "two reclusterings timed: {recluster:?}"
+        );
+        assert_eq!(
+            snap.counter("seer_cluster_churn_total"),
+            Some(0),
+            "identical reclustering produces no churn"
+        );
     }
 
     #[test]
@@ -311,6 +481,9 @@ mod tests {
         let x = engine.paths().get("/home/user/beta/x.tex").expect("seen");
         let rank = engine.rank();
         let pos_x = rank.iter().position(|&f| f == x).expect("ranked");
-        assert!(pos_x <= 2, "missed file's project now leads the ranking: pos {pos_x}");
+        assert!(
+            pos_x <= 2,
+            "missed file's project now leads the ranking: pos {pos_x}"
+        );
     }
 }

@@ -139,14 +139,13 @@ mod tests {
 
     #[test]
     fn partial_projects_are_never_hoarded() {
-        let clustering = Clustering::from_members(vec![vec![
-            FileId(1),
-            FileId(2),
-            FileId(3),
-        ]]);
+        let clustering = Clustering::from_members(vec![vec![FileId(1), FileId(2), FileId(3)]]);
         let act = activity(&[(1, 10)]);
         let sel = select_hoard(&clustering, &act, &HashSet::new(), &unit_sizes, 25);
-        assert_eq!(sel.clusters_taken, 0, "project of 30 bytes cannot fit in 25");
+        assert_eq!(
+            sel.clusters_taken, 0,
+            "project of 30 bytes cannot fit in 25"
+        );
         // The skipped project's *referenced* member still arrives via the
         // recency top-up — as an individual file, not as a project.
         assert_eq!(sel.files, vec![FileId(1)]);
@@ -161,7 +160,10 @@ mod tests {
         let act = activity(&[(1, 100), (4, 5)]);
         let sel = select_hoard(&clustering, &act, &HashSet::new(), &unit_sizes, 15);
         assert_eq!(sel.clusters_taken, 1);
-        assert!(sel.contains(FileId(4)), "selection continues past an oversized project");
+        assert!(
+            sel.contains(FileId(4)),
+            "selection continues past an oversized project"
+        );
     }
 
     #[test]
@@ -182,10 +184,8 @@ mod tests {
 
     #[test]
     fn overlapping_members_counted_once() {
-        let clustering = Clustering::from_members(vec![
-            vec![FileId(1), FileId(2)],
-            vec![FileId(2), FileId(3)],
-        ]);
+        let clustering =
+            Clustering::from_members(vec![vec![FileId(1), FileId(2)], vec![FileId(2), FileId(3)]]);
         let act = activity(&[(1, 100), (3, 90)]);
         let sel = select_hoard(&clustering, &act, &HashSet::new(), &unit_sizes, 30);
         // First project costs 20; second costs only 10 more (2 is shared).

@@ -156,8 +156,18 @@ mod tests {
         let a = engine.paths().get("/p/a.c").expect("known");
         let b = engine.paths().get("/p/b.h").expect("known");
         assert_eq!(
-            restored.correlator().distance().table().distance(a, b).is_some(),
-            engine.correlator().distance().table().distance(a, b).is_some()
+            restored
+                .correlator()
+                .distance()
+                .table()
+                .distance(a, b)
+                .is_some(),
+            engine
+                .correlator()
+                .distance()
+                .table()
+                .distance(a, b)
+                .is_some()
         );
     }
 

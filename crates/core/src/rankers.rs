@@ -6,7 +6,7 @@
 //! of the ranking prefix ending at the worst-ranked referenced file.
 
 use crate::activity::ActivityTracker;
-use seer_cluster::{Clustering, ClusterId};
+use seer_cluster::{ClusterId, Clustering};
 use seer_trace::{FileId, Seq};
 use std::collections::HashSet;
 
@@ -37,10 +37,7 @@ pub trait HoardRanker {
 /// brings the whole project forward — this is what lets SEER survive
 /// attention shifts that defeat LRU (§6.1).
 #[must_use]
-pub fn clusters_by_priority(
-    clustering: &Clustering,
-    activity: &ActivityTracker,
-) -> Vec<ClusterId> {
+pub fn clusters_by_priority(clustering: &Clustering, activity: &ActivityTracker) -> Vec<ClusterId> {
     let mut prio: Vec<(ClusterId, Seq, u64)> = clustering
         .clusters
         .iter()
@@ -153,12 +150,11 @@ impl HoardRanker for CodaInspiredRanker {
             .and_then(|&f| ctx.activity.last_ref(f))
             .map(|r| r.seq.0)
             .unwrap_or(0);
-        let (mut recent, mut old): (Vec<FileId>, Vec<FileId>) =
-            order.into_iter().partition(|&f| {
-                ctx.activity
-                    .last_ref(f)
-                    .is_some_and(|r| newest.saturating_sub(r.seq.0) <= self.horizon_refs)
-            });
+        let (mut recent, mut old): (Vec<FileId>, Vec<FileId>) = order.into_iter().partition(|&f| {
+            ctx.activity
+                .last_ref(f)
+                .is_some_and(|r| newest.saturating_sub(r.seq.0) <= self.horizon_refs)
+        });
         // Beyond the bound the (all-zero) offsets control: arbitrary,
         // deterministic order.
         old.sort_unstable();
@@ -183,7 +179,11 @@ mod tests {
     #[test]
     fn lru_ranker_orders_by_recency() {
         let act = activity(&[(1, 10), (2, 30), (3, 20)]);
-        let ctx = RankContext { activity: &act, clustering: None, always_hoard: &HashSet::new() };
+        let ctx = RankContext {
+            activity: &act,
+            clustering: None,
+            always_hoard: &HashSet::new(),
+        };
         assert_eq!(LruRanker.rank(&ctx), vec![FileId(2), FileId(3), FileId(1)]);
     }
 
@@ -193,10 +193,8 @@ mod tests {
         // {3, 4} is older. File 2 itself is the *oldest* file — LRU would
         // rank it last, SEER keeps it with its project.
         let act = activity(&[(1, 100), (2, 1), (3, 50), (4, 40)]);
-        let clustering = Clustering::from_members(vec![
-            vec![FileId(1), FileId(2)],
-            vec![FileId(3), FileId(4)],
-        ]);
+        let clustering =
+            Clustering::from_members(vec![vec![FileId(1), FileId(2)], vec![FileId(3), FileId(4)]]);
         let ctx = RankContext {
             activity: &act,
             clustering: Some(&clustering),
@@ -205,14 +203,22 @@ mod tests {
         let rank = SeerRanker.rank(&ctx);
         assert_eq!(rank, vec![FileId(1), FileId(2), FileId(3), FileId(4)]);
         let lru = LruRanker.rank(&ctx);
-        assert_eq!(lru.last(), Some(&FileId(2)), "LRU exiles the project member");
+        assert_eq!(
+            lru.last(),
+            Some(&FileId(2)),
+            "LRU exiles the project member"
+        );
     }
 
     #[test]
     fn always_hoard_files_lead() {
         let act = activity(&[(1, 100), (9, 1)]);
         let always: HashSet<FileId> = [FileId(9)].into_iter().collect();
-        let ctx = RankContext { activity: &act, clustering: None, always_hoard: &always };
+        let ctx = RankContext {
+            activity: &act,
+            clustering: None,
+            always_hoard: &always,
+        };
         let rank = SeerRanker.rank(&ctx);
         assert_eq!(rank[0], FileId(9));
     }
@@ -239,14 +245,22 @@ mod tests {
         let clustering =
             Clustering::from_members(vec![vec![FileId(1), FileId(2)], vec![FileId(3)]]);
         let order = clusters_by_priority(&clustering, &act);
-        assert_eq!(order[0], ClusterId(0), "equal recency, more total refs wins");
+        assert_eq!(
+            order[0],
+            ClusterId(0),
+            "equal recency, more total refs wins"
+        );
     }
 
     #[test]
     fn coda_ranker_degrades_old_files_to_id_order() {
         let act = activity(&[(5, 100), (9, 99), (1, 10), (8, 5)]);
         let ranker = CodaInspiredRanker { horizon_refs: 10 };
-        let ctx = RankContext { activity: &act, clustering: None, always_hoard: &HashSet::new() };
+        let ctx = RankContext {
+            activity: &act,
+            clustering: None,
+            always_hoard: &HashSet::new(),
+        };
         let rank = ranker.rank(&ctx);
         // Recent: 5 (seq 100), 9 (seq 99). Old: 1, 8 in id order.
         assert_eq!(rank, vec![FileId(5), FileId(9), FileId(1), FileId(8)]);

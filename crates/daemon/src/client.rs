@@ -45,12 +45,17 @@ impl DaemonClient {
         };
         wire::write_frame(
             &mut c.w,
-            &ClientFrame::Hello { client: client.to_owned(), version: WIRE_VERSION },
+            &ClientFrame::Hello {
+                client: client.to_owned(),
+                version: WIRE_VERSION,
+            },
         )?;
         c.w.flush()?;
         match c.read_reply()? {
             DaemonFrame::Welcome { .. } => Ok(c),
-            other => Err(WireError::Format(format!("expected Welcome, got {other:?}"))),
+            other => Err(WireError::Format(format!(
+                "expected Welcome, got {other:?}"
+            ))),
         }
     }
 
@@ -120,7 +125,9 @@ impl DaemonClient {
         self.w.flush()?;
         match self.read_reply()? {
             DaemonFrame::Flushed { events } => Ok(events),
-            other => Err(WireError::Format(format!("expected Flushed, got {other:?}"))),
+            other => Err(WireError::Format(format!(
+                "expected Flushed, got {other:?}"
+            ))),
         }
     }
 
@@ -148,7 +155,9 @@ impl DaemonClient {
         self.w.flush()?;
         match self.read_reply()? {
             DaemonFrame::ShuttingDown => Ok(()),
-            other => Err(WireError::Format(format!("expected ShuttingDown, got {other:?}"))),
+            other => Err(WireError::Format(format!(
+                "expected ShuttingDown, got {other:?}"
+            ))),
         }
     }
 

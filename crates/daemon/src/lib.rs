@@ -80,13 +80,15 @@ mod tests {
         let handle = Daemon::spawn(cfg).expect("spawn");
 
         let trace = small_trace();
-        let mut client =
-            DaemonClient::connect(handle.socket_path(), "test").expect("connect");
+        let mut client = DaemonClient::connect(handle.socket_path(), "test").expect("connect");
         client.send_trace(&trace, 4).expect("send");
         let applied = client.flush().expect("flush");
         assert_eq!(applied, trace.events.len() as u64);
 
-        match client.query(QueryRequest::Hoard { budget: 1 << 20 }).expect("query") {
+        match client
+            .query(QueryRequest::Hoard { budget: 1 << 20 })
+            .expect("query")
+        {
             QueryResponse::Hoard { files, .. } => {
                 assert!(
                     files.iter().any(|f| f.ends_with("main.c")),
@@ -110,13 +112,16 @@ mod tests {
         let handle = Daemon::spawn(cfg).expect("spawn");
 
         let trace = small_trace();
-        let mut client =
-            DaemonClient::connect(handle.socket_path(), "test").expect("connect");
+        let mut client = DaemonClient::connect(handle.socket_path(), "test").expect("connect");
         client.send_trace(&trace, 8).expect("send");
         client.shutdown().expect("shutdown handshake");
 
         let stats = handle.wait();
-        assert_eq!(stats.events_applied, trace.events.len() as u64, "flushed before exit");
+        assert_eq!(
+            stats.events_applied,
+            trace.events.len() as u64,
+            "flushed before exit"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -125,8 +130,7 @@ mod tests {
         let dir = scratch_dir("health");
         let cfg = DaemonConfig::new(dir.join("sock"));
         let handle = Daemon::spawn(cfg).expect("spawn");
-        let mut client =
-            DaemonClient::connect(handle.socket_path(), "probe").expect("connect");
+        let mut client = DaemonClient::connect(handle.socket_path(), "probe").expect("connect");
         match client.query(QueryRequest::Health).expect("health") {
             QueryResponse::Health { healthy, .. } => assert!(healthy),
             other => panic!("unexpected response: {other:?}"),

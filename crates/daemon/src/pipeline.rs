@@ -18,9 +18,10 @@
 //! preserves per-connection order end to end.
 
 use crate::snapshot::DaemonSnapshot;
-use crate::stats::SharedStats;
+use crate::stats::SharedMetrics;
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use seer_core::SeerEngine;
+use seer_telemetry::{tlog, Histogram, Level};
 use seer_trace::wire::{QueryRequest, QueryResponse};
 use seer_trace::{EventSink, RawPathId, StringTable, TraceEvent};
 use std::collections::HashMap;
@@ -44,15 +45,29 @@ pub(crate) enum Ingest {
 
 /// Batched messages from the batcher to the engine actor.
 pub(crate) enum Apply {
-    Interns { conn: u64, entries: Vec<(u32, String)> },
-    Batch { conn: u64, events: Vec<TraceEvent> },
-    Flush { conn: u64, ack: Sender<u64> },
-    ConnClosed { conn: u64 },
+    Interns {
+        conn: u64,
+        entries: Vec<(u32, String)>,
+    },
+    Batch {
+        conn: u64,
+        events: Vec<TraceEvent>,
+    },
+    Flush {
+        conn: u64,
+        ack: Sender<u64>,
+    },
+    ConnClosed {
+        conn: u64,
+    },
 }
 
 /// Out-of-band requests answered by the engine actor.
 pub(crate) enum Control {
-    Query { query: QueryRequest, reply: Sender<QueryResponse> },
+    Query {
+        query: QueryRequest,
+        reply: Sender<QueryResponse>,
+    },
 }
 
 /// Tunables the actor needs (a subset of the server's `DaemonConfig`).
@@ -72,13 +87,19 @@ pub(crate) fn run_batcher(
     batch_max_wait: Duration,
     ingest_rx: Receiver<Ingest>,
     apply_tx: Sender<Apply>,
+    flush_timer: Histogram,
     kill: Arc<AtomicBool>,
 ) {
     let mut pending_events: Option<(u64, Vec<TraceEvent>)> = None;
     let mut pending_interns: Option<(u64, Vec<(u32, String)>)> = None;
+    // Timing the send captures backpressure: a full apply channel shows
+    // up here as batcher-flush latency, not as silent queue growth.
     let flush_events = |p: &mut Option<(u64, Vec<TraceEvent>)>, tx: &Sender<Apply>| -> bool {
         match p.take() {
-            Some((conn, events)) => tx.send(Apply::Batch { conn, events }).is_ok(),
+            Some((conn, events)) => {
+                let _t = flush_timer.start_timer();
+                tx.send(Apply::Batch { conn, events }).is_ok()
+            }
             None => true,
         }
     };
@@ -120,7 +141,9 @@ pub(crate) fn run_batcher(
                         pending_events = Some((conn, events));
                     }
                 }
-                if pending_events.as_ref().is_some_and(|(_, b)| b.len() >= batch_max)
+                if pending_events
+                    .as_ref()
+                    .is_some_and(|(_, b)| b.len() >= batch_max)
                     && !flush_events(&mut pending_events, &apply_tx)
                 {
                     return;
@@ -170,7 +193,7 @@ struct Actor {
     since_recluster: u64,
     since_snapshot: u64,
     cfg: ActorConfig,
-    stats: SharedStats,
+    metrics: SharedMetrics,
 }
 
 impl Actor {
@@ -188,6 +211,7 @@ impl Actor {
                 }
             }
             Apply::Batch { conn, events } => {
+                let apply_timer = self.metrics.stage_engine_apply.start_timer();
                 let n = events.len() as u64;
                 let table = self.remap.entry(conn).or_default();
                 // Translate into the global id space; an undeclared id is a
@@ -198,13 +222,9 @@ impl Actor {
                     .into_iter()
                     .map(|ev| TraceEvent {
                         kind: ev.kind.map_paths(&mut |p| {
-                            table
-                                .get(p.index())
-                                .copied()
-                                .flatten()
-                                .unwrap_or_else(|| {
-                                    strings.intern(&format!("/?undeclared/{conn}/{}", p.0))
-                                })
+                            table.get(p.index()).copied().flatten().unwrap_or_else(|| {
+                                strings.intern(&format!("/?undeclared/{conn}/{}", p.0))
+                            })
                         }),
                         ..ev
                     })
@@ -214,11 +234,9 @@ impl Actor {
                 *self.per_conn.entry(conn).or_default() += n;
                 self.since_recluster += n;
                 self.since_snapshot += n;
-                {
-                    let mut s = self.stats.lock();
-                    s.events_applied += n;
-                    s.batches_applied += 1;
-                }
+                self.metrics.events_applied.add(n);
+                self.metrics.batches_applied.inc();
+                drop(apply_timer);
                 if self.since_recluster >= self.cfg.recluster_every {
                     self.recluster();
                 }
@@ -237,19 +255,46 @@ impl Actor {
     }
 
     fn recluster(&mut self) {
-        self.engine.recluster();
+        let _t = self.metrics.stage_recluster.start_timer();
+        let clusters = self.engine.recluster().len();
         self.since_recluster = 0;
-        self.stats.lock().reclusters += 1;
+        self.metrics.reclusters.inc();
+        tlog!(
+            Level::Debug,
+            "seer_daemon::pipeline",
+            "reclustered",
+            clusters = clusters,
+            events_applied = self.events_applied,
+        );
     }
 
     fn write_snapshot(&mut self) {
         if let Some(path) = &self.cfg.snapshot_path {
+            let _t = self.metrics.stage_snapshot_write.start_timer();
             let snap = DaemonSnapshot {
                 engine: self.engine.snapshot(),
                 events_applied: self.events_applied,
             };
-            if snap.write_atomic(path).is_ok() {
-                self.stats.lock().snapshots += 1;
+            match snap.write_atomic(path) {
+                Ok(()) => {
+                    self.metrics.snapshots.inc();
+                    tlog!(
+                        Level::Info,
+                        "seer_daemon::pipeline",
+                        "snapshot written",
+                        path = path.display().to_string(),
+                        events_applied = self.events_applied,
+                    );
+                }
+                Err(e) => {
+                    tlog!(
+                        Level::Warn,
+                        "seer_daemon::pipeline",
+                        "snapshot write failed",
+                        path = path.display().to_string(),
+                        error = e.to_string(),
+                    );
+                }
             }
         }
         self.since_snapshot = 0;
@@ -281,8 +326,7 @@ impl Actor {
                     self.recluster();
                 }
                 let clustering = self.engine.clustering().expect("reclustered above");
-                let mut largest: Vec<usize> =
-                    clustering.clusters.iter().map(|c| c.len()).collect();
+                let mut largest: Vec<usize> = clustering.clusters.iter().map(|c| c.len()).collect();
                 largest.sort_unstable_by(|a, b| b.cmp(a));
                 largest.truncate(8);
                 QueryResponse::Clusters {
@@ -292,7 +336,7 @@ impl Actor {
                 }
             }
             QueryRequest::Stats => {
-                let s = self.stats.lock().clone();
+                let s = self.metrics.snapshot_view();
                 QueryResponse::Stats {
                     events_received: s.events_received,
                     events_applied: s.events_applied,
@@ -301,6 +345,13 @@ impl Actor {
                     reclusters: s.reclusters,
                     snapshots: s.snapshots,
                     connections: s.connections,
+                }
+            }
+            QueryRequest::Metrics => {
+                self.metrics.observe_queue_depth(ingest_depth);
+                self.metrics.touch_uptime();
+                QueryResponse::Metrics {
+                    snapshot: self.metrics.registry.snapshot(),
                 }
             }
             QueryRequest::Health => QueryResponse::Health {
@@ -324,7 +375,7 @@ pub(crate) fn run_engine_actor(
     apply_rx: Receiver<Apply>,
     control_rx: Receiver<Control>,
     ingest_depth: Receiver<Ingest>,
-    stats: SharedStats,
+    metrics: SharedMetrics,
     kill: Arc<AtomicBool>,
 ) {
     let tick = cfg.tick;
@@ -337,9 +388,11 @@ pub(crate) fn run_engine_actor(
         since_recluster: 0,
         since_snapshot: 0,
         cfg,
-        stats,
+        metrics,
     };
-    actor.stats.lock().events_applied = actor.events_applied;
+    // A recovered snapshot's applied count seeds the counter so restart
+    // does not appear to reset progress.
+    actor.metrics.events_applied.set_total(actor.events_applied);
     loop {
         if kill.load(Ordering::Relaxed) {
             // Abrupt death: no snapshot. Recovery resumes from the last

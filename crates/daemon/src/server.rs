@@ -2,14 +2,13 @@
 
 use crate::pipeline::{self, ActorConfig, Control, Ingest};
 use crate::snapshot::DaemonSnapshot;
-use crate::stats::{self, DaemonStats, SharedStats};
+use crate::stats::{self, DaemonStats, PipelineMetrics, SharedMetrics};
 use crossbeam::channel::{bounded, Sender};
 use parking_lot::Mutex;
 use seer_core::{PersistError, SeerConfig, SeerEngine};
-use seer_trace::wire::{
-    self, ClientFrame, DaemonFrame, QueryRequest, WireError, WIRE_VERSION,
-};
-use std::io::{BufReader, BufWriter, Write};
+use seer_telemetry::{tlog, Level, RegistrySnapshot};
+use seer_trace::wire::{self, ClientFrame, DaemonFrame, QueryRequest, WireError, WIRE_VERSION};
+use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -106,7 +105,7 @@ struct Shared {
     /// snapshot (crash simulation). An `Arc` because the pipeline
     /// threads poll it independently of the rest of the shared state.
     kill: Arc<AtomicBool>,
-    stats: SharedStats,
+    metrics: SharedMetrics,
     /// Duplicate handles of every live client socket, so shutdown can
     /// unblock readers parked in `read`.
     conns: Mutex<Vec<UnixStream>>,
@@ -148,7 +147,7 @@ impl Daemon {
     /// Returns [`DaemonError::Persist`] for a corrupt snapshot and
     /// [`DaemonError::Io`] if the socket cannot be bound.
     pub fn spawn(config: DaemonConfig) -> Result<DaemonHandle, DaemonError> {
-        let (engine, events_applied) = match &config.snapshot_path {
+        let (mut engine, events_applied) = match &config.snapshot_path {
             Some(path) => match DaemonSnapshot::load(path)? {
                 Some(snap) => (SeerEngine::from_snapshot(snap.engine), snap.events_applied),
                 None => (SeerEngine::new(config.engine.clone()), 0),
@@ -156,16 +155,32 @@ impl Daemon {
             None => (SeerEngine::new(config.engine.clone()), 0),
         };
 
+        // One registry per daemon: pipeline and engine metrics share it,
+        // and every instance (parallel tests included) stays isolated.
+        let metrics = stats::new_shared();
+        engine.attach_telemetry(&metrics.registry);
+
         // A stale socket file from a previous (possibly killed) daemon
         // would make bind fail; remove it first.
         let _ = std::fs::remove_file(&config.socket_path);
         let listener = UnixListener::bind(&config.socket_path)?;
         listener.set_nonblocking(true)?;
 
+        // Initialize the event log eagerly so a bad `SEER_LOG_FILE`
+        // surfaces at startup rather than on the first event.
+        seer_telemetry::init_from_env();
+        tlog!(
+            Level::Info,
+            "seer_daemon",
+            "daemon started",
+            socket = config.socket_path.display().to_string(),
+            recovered_events = events_applied,
+        );
+
         let shared = Arc::new(Shared {
             shutdown: AtomicBool::new(false),
             kill: Arc::new(AtomicBool::new(false)),
-            stats: stats::new_shared(),
+            metrics,
             conns: Mutex::new(Vec::new()),
             next_conn: AtomicU64::new(0),
         });
@@ -179,8 +194,16 @@ impl Daemon {
             let kill = Arc::clone(&shared.kill);
             let batch_max = config.batch_max;
             let batch_max_wait = config.batch_max_wait;
+            let flush_timer = shared.metrics.stage_batcher_flush.clone();
             thread::spawn(move || {
-                pipeline::run_batcher(batch_max, batch_max_wait, ingest_rx, apply_tx, kill);
+                pipeline::run_batcher(
+                    batch_max,
+                    batch_max_wait,
+                    ingest_rx,
+                    apply_tx,
+                    flush_timer,
+                    kill,
+                );
             })
         };
 
@@ -192,7 +215,7 @@ impl Daemon {
                 tick: config.tick,
                 file_size: config.file_size,
             };
-            let stats = Arc::clone(&shared.stats);
+            let metrics = Arc::clone(&shared.metrics);
             let kill = Arc::clone(&shared.kill);
             // `ingest_rx` is cloned purely to observe queue depth for
             // Health queries; the actor never receives from it.
@@ -205,7 +228,7 @@ impl Daemon {
                     apply_rx,
                     control_rx,
                     depth_probe,
-                    stats,
+                    metrics,
                     kill,
                 );
             })
@@ -236,7 +259,17 @@ impl DaemonHandle {
     /// A snapshot of the pipeline counters.
     #[must_use]
     pub fn stats(&self) -> DaemonStats {
-        self.shared.stats.lock().clone()
+        self.shared.metrics.snapshot_view()
+    }
+
+    /// A snapshot of the full telemetry registry — every counter, gauge,
+    /// and stage-latency histogram the daemon and its engine maintain.
+    /// The same data a client gets from the wire protocol's `metrics`
+    /// query, without needing a connection.
+    #[must_use]
+    pub fn metrics(&self) -> RegistrySnapshot {
+        self.shared.metrics.touch_uptime();
+        self.shared.metrics.registry.snapshot()
     }
 
     /// Blocks until the daemon exits (a client sent
@@ -244,7 +277,7 @@ impl DaemonHandle {
     /// another thread).
     pub fn wait(mut self) -> DaemonStats {
         self.join_all();
-        let stats = self.shared.stats.lock().clone();
+        let stats = self.shared.metrics.snapshot_view();
         let _ = std::fs::remove_file(&self.socket_path);
         stats
     }
@@ -254,7 +287,7 @@ impl DaemonHandle {
     pub fn shutdown(mut self) -> DaemonStats {
         self.shared.begin_shutdown();
         self.join_all();
-        let stats = self.shared.stats.lock().clone();
+        let stats = self.shared.metrics.snapshot_view();
         let _ = std::fs::remove_file(&self.socket_path);
         stats
     }
@@ -310,7 +343,13 @@ fn run_listener(
         match listener.accept() {
             Ok((stream, _addr)) => {
                 let conn = shared.next_conn.fetch_add(1, Ordering::SeqCst);
-                shared.stats.lock().connections += 1;
+                shared.metrics.connections.inc();
+                tlog!(
+                    Level::Debug,
+                    "seer_daemon::server",
+                    "connection accepted",
+                    conn = conn
+                );
                 if let Ok(dup) = stream.try_clone() {
                     shared.conns.lock().push(dup);
                 }
@@ -331,8 +370,34 @@ fn run_listener(
 /// actor's acknowledgement, returning the connection's applied count.
 fn flush_pipeline(conn: u64, ingest_tx: &Sender<Ingest>) -> Result<u64, ()> {
     let (ack_tx, ack_rx) = bounded(1);
-    ingest_tx.send(Ingest::Flush { conn, ack: ack_tx }).map_err(|_| ())?;
+    ingest_tx
+        .send(Ingest::Flush { conn, ack: ack_tx })
+        .map_err(|_| ())?;
     ack_rx.recv().map_err(|_| ())
+}
+
+/// Reads one client frame, timing the socket read and the JSON decode as
+/// separate pipeline stages. The read timing includes waiting for the
+/// client, so its tail shows client pauses, not daemon slowness; the
+/// decode timing is pure CPU. `Ok(None)` signals a clean end of stream.
+fn read_timed_frame(
+    r: &mut impl BufRead,
+    metrics: &PipelineMetrics,
+) -> Result<Option<ClientFrame>, WireError> {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let read_timer = metrics.stage_socket_read.start_timer();
+        let n = r.read_line(&mut line)?;
+        read_timer.stop();
+        if n == 0 {
+            return Ok(None);
+        }
+        if !line.trim().is_empty() {
+            let _t = metrics.stage_decode.start_timer();
+            return Ok(Some(serde_json::from_str(line.trim_end())?));
+        }
+    }
 }
 
 /// One connection's reader loop. Runs on its own thread; exits on EOF,
@@ -351,10 +416,17 @@ fn serve_conn(
     let mut r = BufReader::new(reader);
     let mut w = BufWriter::new(stream);
     loop {
-        let frame = match wire::read_frame::<_, ClientFrame>(&mut r) {
+        let frame = match read_timed_frame(&mut r, &shared.metrics) {
             Ok(Some(f)) => f,
             Ok(None) => break,
             Err(WireError::Format(m)) => {
+                tlog!(
+                    Level::Warn,
+                    "seer_daemon::server",
+                    "protocol error on connection",
+                    conn = conn,
+                    error = m.as_str(),
+                );
                 let _ = wire::write_frame(&mut w, &DaemonFrame::Error { message: m });
                 let _ = w.flush();
                 break;
@@ -364,7 +436,9 @@ fn serve_conn(
         match frame {
             ClientFrame::Hello { version, .. } => {
                 let reply = if version == WIRE_VERSION {
-                    DaemonFrame::Welcome { version: WIRE_VERSION }
+                    DaemonFrame::Welcome {
+                        version: WIRE_VERSION,
+                    }
                 } else {
                     DaemonFrame::Error {
                         message: format!(
@@ -377,7 +451,14 @@ fn serve_conn(
                 }
             }
             ClientFrame::Intern { id, path } => {
-                if ingest_tx.send(Ingest::Intern { conn, local: id, path }).is_err() {
+                if ingest_tx
+                    .send(Ingest::Intern {
+                        conn,
+                        local: id,
+                        path,
+                    })
+                    .is_err()
+                {
                     break;
                 }
             }
@@ -386,22 +467,15 @@ fn serve_conn(
                 // Depth *before* this send: with a bounded channel the
                 // send below blocks rather than exceed capacity, so this
                 // observation can never exceed the configured bound.
-                let depth = ingest_tx.len();
-                {
-                    let mut s = shared.stats.lock();
-                    s.events_received += n;
-                    if depth > s.max_queue_depth {
-                        s.max_queue_depth = depth;
-                    }
-                }
+                shared.metrics.observe_queue_depth(ingest_tx.len());
+                shared.metrics.events_received.add(n);
                 if ingest_tx.send(Ingest::Events { conn, events }).is_err() {
                     break;
                 }
             }
             ClientFrame::Flush => match flush_pipeline(conn, ingest_tx) {
                 Ok(applied) => {
-                    if wire::write_frame(&mut w, &DaemonFrame::Flushed { events: applied })
-                        .is_err()
+                    if wire::write_frame(&mut w, &DaemonFrame::Flushed { events: applied }).is_err()
                         || w.flush().is_err()
                     {
                         break;
@@ -410,32 +484,40 @@ fn serve_conn(
                 Err(()) => {
                     let _ = wire::write_frame(
                         &mut w,
-                        &DaemonFrame::Error { message: "pipeline unavailable".into() },
+                        &DaemonFrame::Error {
+                            message: "pipeline unavailable".into(),
+                        },
                     );
                     let _ = w.flush();
                     break;
                 }
             },
-            ClientFrame::Query { query } => {
-                match run_query(conn, query, ingest_tx, control_tx) {
-                    Ok(response) => {
-                        if wire::write_frame(&mut w, &DaemonFrame::Answer { response }).is_err()
-                            || w.flush().is_err()
-                        {
-                            break;
-                        }
-                    }
-                    Err(()) => {
-                        let _ = wire::write_frame(
-                            &mut w,
-                            &DaemonFrame::Error { message: "pipeline unavailable".into() },
-                        );
-                        let _ = w.flush();
+            ClientFrame::Query { query } => match run_query(conn, query, ingest_tx, control_tx) {
+                Ok(response) => {
+                    if wire::write_frame(&mut w, &DaemonFrame::Answer { response }).is_err()
+                        || w.flush().is_err()
+                    {
                         break;
                     }
                 }
-            }
+                Err(()) => {
+                    let _ = wire::write_frame(
+                        &mut w,
+                        &DaemonFrame::Error {
+                            message: "pipeline unavailable".into(),
+                        },
+                    );
+                    let _ = w.flush();
+                    break;
+                }
+            },
             ClientFrame::Shutdown => {
+                tlog!(
+                    Level::Info,
+                    "seer_daemon",
+                    "shutdown requested by client",
+                    conn = conn
+                );
                 // Flush this connection's stream so nothing it sent is
                 // lost, acknowledge, then start the global cascade.
                 let _ = flush_pipeline(conn, ingest_tx);
@@ -446,6 +528,12 @@ fn serve_conn(
             }
         }
     }
+    tlog!(
+        Level::Debug,
+        "seer_daemon::server",
+        "connection closed",
+        conn = conn
+    );
     let _ = ingest_tx.send(Ingest::ConnClosed { conn });
 }
 
@@ -459,6 +547,11 @@ fn run_query(
 ) -> Result<seer_trace::wire::QueryResponse, ()> {
     flush_pipeline(conn, ingest_tx)?;
     let (reply_tx, reply_rx) = bounded(1);
-    control_tx.send(Control::Query { query, reply: reply_tx }).map_err(|_| ())?;
+    control_tx
+        .send(Control::Query {
+            query,
+            reply: reply_tx,
+        })
+        .map_err(|_| ())?;
     reply_rx.recv().map_err(|_| ())
 }

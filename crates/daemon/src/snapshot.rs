@@ -30,9 +30,7 @@ impl DaemonSnapshot {
         {
             let file = fs::File::create(&tmp)?;
             let mut w = BufWriter::new(file);
-            serde_json::to_writer(&mut w, self).map_err(|e| {
-                PersistError::Format(e.to_string())
-            })?;
+            serde_json::to_writer(&mut w, self).map_err(|e| PersistError::Format(e.to_string()))?;
             w.flush()?;
             w.get_ref().sync_all()?;
         }
@@ -89,7 +87,10 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("seer-snap-{}", std::process::id()));
         fs::create_dir_all(&dir).expect("mkdir");
         let path = dir.join("db.json");
-        let snap = DaemonSnapshot { engine: warm_engine().snapshot(), events_applied: 16 };
+        let snap = DaemonSnapshot {
+            engine: warm_engine().snapshot(),
+            events_applied: 16,
+        };
         snap.write_atomic(&path).expect("write");
         let back = DaemonSnapshot::load(&path).expect("load").expect("present");
         assert_eq!(back.events_applied, 16);
@@ -120,9 +121,15 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("seer-snap2-{}", std::process::id()));
         fs::create_dir_all(&dir).expect("mkdir");
         let path = dir.join("db.json");
-        let first = DaemonSnapshot { engine: warm_engine().snapshot(), events_applied: 1 };
+        let first = DaemonSnapshot {
+            engine: warm_engine().snapshot(),
+            events_applied: 1,
+        };
         first.write_atomic(&path).expect("write 1");
-        let second = DaemonSnapshot { engine: warm_engine().snapshot(), events_applied: 2 };
+        let second = DaemonSnapshot {
+            engine: warm_engine().snapshot(),
+            events_applied: 2,
+        };
         second.write_atomic(&path).expect("write 2");
         let back = DaemonSnapshot::load(&path).expect("load").expect("present");
         assert_eq!(back.events_applied, 2);

@@ -1,7 +1,14 @@
-//! Shared ingestion-pipeline counters.
+//! Pipeline metrics: registry-backed counters, gauges, and stage timers.
+//!
+//! The registry is the single source of truth; [`DaemonStats`] survives
+//! only as a point-in-time *view* assembled from it, keeping the wire
+//! protocol's `stats` answer and the [`crate::DaemonHandle`] API stable
+//! while the hot path records through lock-free atomics instead of a
+//! shared mutex.
 
-use parking_lot::Mutex;
+use seer_telemetry::{Counter, Gauge, Histogram, Registry};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Counters describing the daemon's ingestion pipeline.
 ///
@@ -26,9 +33,177 @@ pub struct DaemonStats {
     pub connections: u64,
 }
 
-/// Stats handle shared between server, pipeline, and callers.
-pub(crate) type SharedStats = Arc<Mutex<DaemonStats>>;
+/// Registry handles for every pipeline metric. Connection readers, the
+/// batcher, and the engine actor share one instance; all recording is
+/// lock-free.
+pub(crate) struct PipelineMetrics {
+    /// The registry the handles live in, for `metrics` query snapshots.
+    pub registry: Arc<Registry>,
+    pub events_received: Counter,
+    pub events_applied: Counter,
+    pub batches_applied: Counter,
+    pub reclusters: Counter,
+    pub snapshots: Counter,
+    pub connections: Counter,
+    /// Ingest-queue depth sampled at each event send.
+    pub queue_depth: Gauge,
+    /// High-water mark of `queue_depth` over the daemon's lifetime.
+    pub queue_depth_max: Gauge,
+    /// Seconds since the daemon started, refreshed on metrics queries so
+    /// scrapers can derive events/sec without wall-clock access.
+    uptime_seconds: Gauge,
+    /// Per-stage latency histograms (`seer_daemon_stage_seconds`).
+    pub stage_socket_read: Histogram,
+    pub stage_decode: Histogram,
+    pub stage_batcher_flush: Histogram,
+    pub stage_engine_apply: Histogram,
+    pub stage_recluster: Histogram,
+    pub stage_snapshot_write: Histogram,
+    started: Instant,
+}
 
-pub(crate) fn new_shared() -> SharedStats {
-    Arc::new(Mutex::new(DaemonStats::default()))
+impl PipelineMetrics {
+    pub(crate) fn new(registry: Arc<Registry>) -> PipelineMetrics {
+        let stage = |name: &str, help: &str| {
+            registry.histogram_with("seer_daemon_stage_seconds", help, &[("stage", name)])
+        };
+        PipelineMetrics {
+            events_received: registry.counter(
+                "seer_daemon_events_received_total",
+                "Events accepted off client sockets.",
+            ),
+            events_applied: registry.counter(
+                "seer_daemon_events_applied_total",
+                "Events applied to the engine.",
+            ),
+            batches_applied: registry.counter(
+                "seer_daemon_batches_applied_total",
+                "Batches applied to the engine.",
+            ),
+            reclusters: registry
+                .counter("seer_daemon_reclusters_total", "Reclusterings performed."),
+            snapshots: registry
+                .counter("seer_daemon_snapshots_total", "Snapshots written to disk."),
+            connections: registry.counter(
+                "seer_daemon_connections_total",
+                "Client connections accepted.",
+            ),
+            queue_depth: registry.gauge(
+                "seer_daemon_queue_depth",
+                "Ingest-queue depth at the last event send.",
+            ),
+            queue_depth_max: registry.gauge(
+                "seer_daemon_queue_depth_max",
+                "Deepest observed ingest-queue depth (bounded by channel capacity).",
+            ),
+            uptime_seconds: registry.gauge(
+                "seer_daemon_uptime_seconds",
+                "Seconds since the daemon started.",
+            ),
+            stage_socket_read: stage(
+                "socket_read",
+                "Pipeline stage latency: reading one frame line off a client socket.",
+            ),
+            stage_decode: stage(
+                "decode",
+                "Pipeline stage latency: decoding one frame from JSON.",
+            ),
+            stage_batcher_flush: stage(
+                "batcher_flush",
+                "Pipeline stage latency: handing a coalesced batch to the apply channel \
+                 (includes backpressure blocking).",
+            ),
+            stage_engine_apply: stage(
+                "engine_apply",
+                "Pipeline stage latency: remapping and applying one batch to the engine.",
+            ),
+            stage_recluster: stage(
+                "recluster",
+                "Pipeline stage latency: one full reclustering in the engine actor.",
+            ),
+            stage_snapshot_write: stage(
+                "snapshot_write",
+                "Pipeline stage latency: writing one snapshot atomically to disk.",
+            ),
+            started: Instant::now(),
+            registry,
+        }
+    }
+
+    /// Records a queue-depth observation (live value + high-water mark).
+    pub(crate) fn observe_queue_depth(&self, depth: usize) {
+        let d = i64::try_from(depth).unwrap_or(i64::MAX);
+        self.queue_depth.set(d);
+        self.queue_depth_max.set_max(d);
+    }
+
+    /// Refreshes the uptime gauge; called before registry snapshots.
+    pub(crate) fn touch_uptime(&self) {
+        let secs = i64::try_from(self.started.elapsed().as_secs()).unwrap_or(i64::MAX);
+        self.uptime_seconds.set(secs);
+    }
+
+    /// Assembles the legacy counters view from the registry handles.
+    pub(crate) fn snapshot_view(&self) -> DaemonStats {
+        DaemonStats {
+            events_received: self.events_received.get(),
+            events_applied: self.events_applied.get(),
+            batches_applied: self.batches_applied.get(),
+            max_queue_depth: usize::try_from(self.queue_depth_max.get()).unwrap_or(0),
+            reclusters: self.reclusters.get(),
+            snapshots: self.snapshots.get(),
+            connections: self.connections.get(),
+        }
+    }
+}
+
+/// Metrics handle shared between server, pipeline, and callers.
+pub(crate) type SharedMetrics = Arc<PipelineMetrics>;
+
+pub(crate) fn new_shared() -> SharedMetrics {
+    Arc::new(PipelineMetrics::new(Arc::new(Registry::new())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_view_mirrors_registry() {
+        let m = new_shared();
+        m.events_received.add(10);
+        m.events_applied.add(8);
+        m.batches_applied.inc();
+        m.observe_queue_depth(5);
+        m.observe_queue_depth(2); // live drops, high-water holds
+        m.connections.inc();
+        let view = m.snapshot_view();
+        assert_eq!(view.events_received, 10);
+        assert_eq!(view.events_applied, 8);
+        assert_eq!(view.batches_applied, 1);
+        assert_eq!(view.max_queue_depth, 5);
+        assert_eq!(view.connections, 1);
+        let snap = m.registry.snapshot();
+        assert_eq!(snap.gauge("seer_daemon_queue_depth"), Some(2));
+        assert_eq!(snap.gauge("seer_daemon_queue_depth_max"), Some(5));
+    }
+
+    #[test]
+    fn stage_histograms_share_one_metric_name() {
+        let m = new_shared();
+        m.stage_decode.observe_nanos(1_000);
+        m.stage_engine_apply.observe_nanos(2_000);
+        m.touch_uptime();
+        let snap = m.registry.snapshot();
+        let stages: Vec<_> = snap
+            .metrics
+            .iter()
+            .filter(|ms| ms.name == "seer_daemon_stage_seconds")
+            .collect();
+        assert_eq!(stages.len(), 6, "six instrumented stages");
+        assert!(snap
+            .find_with("seer_daemon_stage_seconds", &[("stage", "decode")])
+            .is_some());
+        assert!(snap.gauge("seer_daemon_uptime_seconds").is_some());
+    }
 }

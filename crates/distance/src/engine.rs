@@ -17,6 +17,10 @@ pub struct DistanceStats {
     pub observations: u64,
     /// Observations capped to the window bound `M` (§3.1.3).
     pub compensated: u64,
+    /// Live neighbors displaced from full rows by closer or fresher
+    /// candidates (the O(n) approximation's forgetting, §3.1.3).
+    #[serde(skip)]
+    pub evictions: u64,
     /// Files purged after delayed deletion (§4.8).
     pub purged: u64,
     /// Child histories merged into parents (§4.7).
@@ -138,7 +142,9 @@ impl DistanceEngine {
             &mut obs,
         );
         for o in &obs {
-            self.table.observe(o.from, file, o.distance);
+            if self.table.observe(o.from, file, o.distance) {
+                self.stats.evictions += 1;
+            }
             self.stats.observations += 1;
             if o.compensated {
                 self.stats.compensated += 1;
@@ -181,11 +187,7 @@ impl ReferenceSink for DistanceEngine {
             }
             RefKind::Fork { child } => {
                 if self.config.per_process {
-                    let parent_hist = self
-                        .histories
-                        .get(&r.pid)
-                        .cloned()
-                        .unwrap_or_default();
+                    let parent_hist = self.histories.get(&r.pid).cloned().unwrap_or_default();
                     self.histories.insert(child, parent_hist);
                 }
             }
@@ -226,7 +228,16 @@ mod tests {
     fn open(e: &mut DistanceEngine, seq: u64, pid: u32, file: u32) {
         let paths = PathTable::new();
         e.on_reference(
-            &mk_ref(seq, pid, file, RefKind::Open { read: true, write: false, exec: false }),
+            &mk_ref(
+                seq,
+                pid,
+                file,
+                RefKind::Open {
+                    read: true,
+                    write: false,
+                    exec: false,
+                },
+            ),
             &paths,
         );
     }
@@ -273,7 +284,10 @@ mod tests {
         open(&mut e, 4, 1, 11);
         open(&mut e, 5, 2, 21);
         let t = e.table();
-        assert!(t.distance(FileId(10), FileId(11)).is_some(), "same-process pair stored");
+        assert!(
+            t.distance(FileId(10), FileId(11)).is_some(),
+            "same-process pair stored"
+        );
         assert!(t.distance(FileId(20), FileId(21)).is_some());
         assert!(
             t.distance(FileId(10), FileId(20)).is_none(),
@@ -286,7 +300,10 @@ mod tests {
     fn merged_streams_create_spurious_relationships() {
         // Ablation: without per-process separation the same interleaving
         // links unrelated files — the problem §4.7 describes.
-        let cfg = DistanceConfig { per_process: false, ..DistanceConfig::default() };
+        let cfg = DistanceConfig {
+            per_process: false,
+            ..DistanceConfig::default()
+        };
         let mut e = DistanceEngine::new(cfg);
         open(&mut e, 0, 1, 10);
         open(&mut e, 1, 2, 20);
@@ -294,7 +311,10 @@ mod tests {
         close(&mut e, 3, 2, 20);
         open(&mut e, 4, 1, 11);
         let t = e.table();
-        assert!(t.distance(FileId(20), FileId(11)).is_some(), "spurious pair appears");
+        assert!(
+            t.distance(FileId(20), FileId(11)).is_some(),
+            "spurious pair appears"
+        );
     }
 
     #[test]
@@ -303,25 +323,44 @@ mod tests {
         let paths = PathTable::new();
         open(&mut e, 0, 1, 10);
         close(&mut e, 1, 1, 10);
-        e.on_reference(&mk_ref(2, 1, u32::MAX, RefKind::Fork { child: Pid(2) }), &paths);
+        e.on_reference(
+            &mk_ref(2, 1, u32::MAX, RefKind::Fork { child: Pid(2) }),
+            &paths,
+        );
         // The child inherits the parent's history: its open relates to 10.
         open(&mut e, 3, 2, 30);
-        assert!(e.table().distance(FileId(10), FileId(30)).is_some(), "inherited history");
+        assert!(
+            e.table().distance(FileId(10), FileId(30)).is_some(),
+            "inherited history"
+        );
         close(&mut e, 4, 2, 30);
         e.on_reference(
-            &mk_ref(5, 2, u32::MAX, RefKind::Exit { parent: Some(Pid(1)) }),
+            &mk_ref(
+                5,
+                2,
+                u32::MAX,
+                RefKind::Exit {
+                    parent: Some(Pid(1)),
+                },
+            ),
             &paths,
         );
         assert_eq!(e.stats().merges, 1);
         // After the merge, the parent's next open relates to the child's
         // file (§4.7 extended relationships).
         open(&mut e, 6, 1, 40);
-        assert!(e.table().distance(FileId(30), FileId(40)).is_some(), "merged history");
+        assert!(
+            e.table().distance(FileId(30), FileId(40)).is_some(),
+            "merged history"
+        );
     }
 
     #[test]
     fn deletes_eventually_purge_files() {
-        let cfg = DistanceConfig { deletion_delay: 2, ..DistanceConfig::default() };
+        let cfg = DistanceConfig {
+            deletion_delay: 2,
+            ..DistanceConfig::default()
+        };
         let mut e = DistanceEngine::new(cfg);
         let paths = PathTable::new();
         open(&mut e, 0, 1, 10);
@@ -352,7 +391,10 @@ mod tests {
 
     #[test]
     fn temporal_kind_uses_wall_clock() {
-        let cfg = DistanceConfig { kind: DistanceKind::Temporal, ..DistanceConfig::default() };
+        let cfg = DistanceConfig {
+            kind: DistanceKind::Temporal,
+            ..DistanceConfig::default()
+        };
         let mut e = DistanceEngine::new(cfg);
         open(&mut e, 0, 1, 10); // t = 0 s
         close(&mut e, 1, 1, 10);
@@ -381,7 +423,10 @@ mod tests {
         close(&mut e, 9, 1, 98);
         open(&mut e, 10, 1, 11); // 10→11 = 3
         let d = e.table().distance(FileId(10), FileId(11)).expect("stored");
-        assert!((d - 2.0).abs() < 1e-9, "arithmetic mean of 1 and 3, got {d}");
+        assert!(
+            (d - 2.0).abs() < 1e-9,
+            "arithmetic mean of 1 and 3, got {d}"
+        );
     }
 
     #[test]
@@ -391,5 +436,31 @@ mod tests {
         open(&mut e, 1, 1, 2);
         assert_eq!(e.stats().opens, 2);
         assert_eq!(e.stats().observations, 1);
+        assert_eq!(e.stats().evictions, 0);
+    }
+
+    #[test]
+    fn stats_count_evictions_from_full_rows() {
+        // One-neighbor rows with temporal distance: a later, closer pair
+        // displaces the stored one.
+        let cfg = DistanceConfig {
+            kind: DistanceKind::Temporal,
+            n_neighbors: 1,
+            ..DistanceConfig::default()
+        };
+        let mut e = DistanceEngine::new(cfg);
+        open(&mut e, 0, 1, 10);
+        close(&mut e, 1, 1, 10);
+        open(&mut e, 100, 1, 11); // 10→11 at temporal distance ~100.
+        close(&mut e, 101, 1, 11);
+        open(&mut e, 200, 1, 10); // Re-reference 10.
+        close(&mut e, 201, 1, 10);
+        open(&mut e, 210, 1, 12); // 10→12 at distance ~10 < 100: evicts 11.
+        assert!(
+            e.stats().evictions >= 1,
+            "full row displaced: {:?}",
+            e.stats()
+        );
+        assert!(e.table().distance(FileId(10), FileId(12)).is_some());
     }
 }

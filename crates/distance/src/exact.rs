@@ -46,9 +46,7 @@ pub fn exact_distances(
                         continue;
                     }
                     let d = match kind {
-                        DistanceKind::Temporal => {
-                            time.saturating_since(rec.time).as_secs() as f64
-                        }
+                        DistanceKind::Temporal => time.saturating_since(rec.time).as_secs() as f64,
                         DistanceKind::Sequence => (index - rec.index).saturating_sub(1) as f64,
                         DistanceKind::Lifetime => {
                             if rec.open {
@@ -63,7 +61,14 @@ pub fn exact_distances(
                         .and_modify(|s| s.observe(reduction, d))
                         .or_insert_with(|| PairSummary::first(reduction, d));
                 }
-                latest.insert(file, OpenRecord { index, time, open: true });
+                latest.insert(
+                    file,
+                    OpenRecord {
+                        index,
+                        time,
+                        open: true,
+                    },
+                );
             }
             ExactEvent::Close(file) => {
                 if let Some(rec) = latest.get_mut(&file) {
@@ -101,7 +106,10 @@ mod tests {
         assert!((g(1, 2) - 1.0).abs() < 1e-9);
         assert!((g(1, 3) - 2.0).abs() < 1e-9);
         assert!((g(2, 3) - 1.0).abs() < 1e-9);
-        assert!(!d.contains_key(&(FileId(3), FileId(0))), "backward distances undefined");
+        assert!(
+            !d.contains_key(&(FileId(3), FileId(0))),
+            "backward distances undefined"
+        );
     }
 
     #[test]

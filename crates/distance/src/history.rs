@@ -134,14 +134,22 @@ impl ProcessHistory {
                 }
             };
             let compensated = raw > m;
-            out.push(Observation { from: f, distance: if compensated { m } else { raw }, compensated });
+            out.push(Observation {
+                from: f,
+                distance: if compensated { m } else { raw },
+                compensated,
+            });
         }
         // Still-open files that have already slid out of the window are at
         // lifetime distance zero (their lifetime encloses this open).
         if kind == DistanceKind::Lifetime {
             for (&f, &count) in &self.open_files {
                 if count > 0 && f != file && !latest.contains_key(&f) {
-                    out.push(Observation { from: f, distance: 0.0, compensated: false });
+                    out.push(Observation {
+                        from: f,
+                        distance: 0.0,
+                        compensated: false,
+                    });
                 }
             }
         }
@@ -151,8 +159,12 @@ impl ProcessHistory {
         if let Some(pos) = self.window.iter().position(|e| e.file == file) {
             self.window.remove(pos);
         }
-        self.window
-            .push_back(WindowEntry { file, index, distinct_index, time });
+        self.window.push_back(WindowEntry {
+            file,
+            index,
+            distinct_index,
+            time,
+        });
         while self.window.len() as u64 > window_m {
             self.window.pop_front();
         }
@@ -205,12 +217,7 @@ impl ProcessHistory {
 mod tests {
     use super::*;
 
-    fn open(
-        h: &mut ProcessHistory,
-        kind: DistanceKind,
-        f: FileId,
-        t: u64,
-    ) -> Vec<(FileId, f64)> {
+    fn open(h: &mut ProcessHistory, kind: DistanceKind, f: FileId, t: u64) -> Vec<(FileId, f64)> {
         let mut out = Vec::new();
         h.record_open(kind, 100, f, Timestamp::from_secs(t), &mut out);
         out.into_iter().map(|o| (o.from, o.distance)).collect()
@@ -269,7 +276,11 @@ mod tests {
         open(&mut h, k, a, 1);
         h.record_close(a);
         let from_b = open(&mut h, k, b, 2);
-        assert_eq!(from_b, vec![(a, 0.0)], "distance from the *latest* open of A");
+        assert_eq!(
+            from_b,
+            vec![(a, 0.0)],
+            "distance from the *latest* open of A"
+        );
     }
 
     #[test]
@@ -323,7 +334,10 @@ mod tests {
         }
         out.clear();
         h.record_open(k, 100, FileId(2), Timestamp::ZERO, &mut out);
-        let oa = out.iter().find(|o| o.from == a).expect("A still in short window");
+        let oa = out
+            .iter()
+            .find(|o| o.from == a)
+            .expect("A still in short window");
         assert_eq!(oa.distance, 100.0, "capped to M");
         assert!(oa.compensated);
     }
@@ -342,7 +356,10 @@ mod tests {
         }
         out.clear();
         h.record_open(k, 100, FileId(999), Timestamp::ZERO, &mut out);
-        let oa = out.iter().find(|o| o.from == a).expect("A reported despite window");
+        let oa = out
+            .iter()
+            .find(|o| o.from == a)
+            .expect("A reported despite window");
         assert_eq!(oa.distance, 0.0, "A's lifetime encloses the open");
     }
 
@@ -361,8 +378,14 @@ mod tests {
         // A subsequent parent open relates to the child's file.
         out.clear();
         parent.record_open(k, 100, FileId(3), Timestamp::ZERO, &mut out);
-        assert!(out.iter().any(|o| o.from == ca), "child file visible to parent");
-        assert!(out.iter().any(|o| o.from == pa), "parent file still visible");
+        assert!(
+            out.iter().any(|o| o.from == ca),
+            "child file visible to parent"
+        );
+        assert!(
+            out.iter().any(|o| o.from == pa),
+            "parent file still visible"
+        );
     }
 
     #[test]
@@ -397,7 +420,11 @@ mod tests {
         }
         out.clear();
         strict.record_open_with(k, 100, false, b, Timestamp::ZERO, &mut out);
-        let d = out.iter().find(|o| o.from == a).expect("A related").distance;
+        let d = out
+            .iter()
+            .find(|o| o.from == a)
+            .expect("A related")
+            .distance;
         assert_eq!(d, 3.0, "strict counting (the paper's choice)");
         // Elided history.
         elided.record_open_with(k, 100, true, a, Timestamp::ZERO, &mut out);
@@ -408,7 +435,11 @@ mod tests {
         }
         out.clear();
         elided.record_open_with(k, 100, true, b, Timestamp::ZERO, &mut out);
-        let d = out.iter().find(|o| o.from == a).expect("A related").distance;
+        let d = out
+            .iter()
+            .find(|o| o.from == a)
+            .expect("A related")
+            .distance;
         assert_eq!(d, 1.0, "elided counting (the footnote alternative)");
     }
 
@@ -420,7 +451,10 @@ mod tests {
         h.record_open(DistanceKind::Lifetime, 100, a, Timestamp::ZERO, &mut out);
         h.record_open(DistanceKind::Lifetime, 100, a, Timestamp::ZERO, &mut out);
         h.record_close(a);
-        assert!(h.is_open(a), "one close of a doubly-open file leaves it open");
+        assert!(
+            h.is_open(a),
+            "one close of a doubly-open file leaves it open"
+        );
         h.record_close(a);
         assert!(!h.is_open(a));
     }

@@ -88,9 +88,14 @@ impl NeighborTable {
     }
 
     /// Folds one distance observation `from → to` into the table.
-    pub fn observe(&mut self, from: FileId, to: FileId, distance: f64) {
+    ///
+    /// Returns `true` when admitting the pair displaced a live neighbor
+    /// from a full row (the O(n)-approximation evictions of §3.1.3);
+    /// replacing a deletion-marked or dead entry is cleanup, not an
+    /// eviction.
+    pub fn observe(&mut self, from: FileId, to: FileId, distance: f64) -> bool {
         if from == to || self.dead.contains(&from) || self.dead.contains(&to) {
-            return;
+            return false;
         }
         // A fresh reference *to* a deletion-marked name means the name was
         // reused; rescue it (§4.8). `from` files are mere window history
@@ -103,7 +108,7 @@ impl NeighborTable {
         if let Some(e) = row.iter_mut().find(|e| e.to == to) {
             e.summary.observe(reduction, distance);
             e.last_update = clock;
-            return;
+            return false;
         }
         let candidate = NeighborEntry {
             to,
@@ -112,7 +117,7 @@ impl NeighborTable {
         };
         if row.len() < self.n {
             row.push(candidate);
-            return;
+            return false;
         }
         // Priority 1: replace a neighbor marked for deletion (or dead).
         if let Some(idx) = row
@@ -120,7 +125,7 @@ impl NeighborTable {
             .position(|e| self.marked.contains_key(&e.to) || self.dead.contains(&e.to))
         {
             row[idx] = candidate;
-            return;
+            return false;
         }
         // Priority 2: replace the largest-distance neighbor (random tie
         // break) if it is farther than the candidate.
@@ -140,7 +145,7 @@ impl NeighborTable {
         if max_d > new_d {
             let pick = max_idxs[self.rng.gen_range(0..max_idxs.len())];
             row[pick] = candidate;
-            return;
+            return true;
         }
         // Priority 3: aging — replace the stalest entry if it has been
         // inactive long enough.
@@ -152,8 +157,10 @@ impl NeighborTable {
         {
             if clock.saturating_sub(stalest) > self.aging_refs {
                 row[idx] = candidate;
+                return true;
             }
         }
+        false
     }
 
     /// Marks `file` as deleted; actual purging happens after
@@ -228,11 +235,8 @@ impl NeighborTable {
     /// files that survives restarts, §5.3).
     #[must_use]
     pub fn snapshot(&self) -> TableSnapshot {
-        let mut rows: Vec<(FileId, Vec<NeighborEntry>)> = self
-            .rows
-            .iter()
-            .map(|(&f, v)| (f, v.clone()))
-            .collect();
+        let mut rows: Vec<(FileId, Vec<NeighborEntry>)> =
+            self.rows.iter().map(|(&f, v)| (f, v.clone())).collect();
         rows.sort_by_key(|(f, _)| *f);
         let mut marked: Vec<(FileId, u64)> = self.marked.iter().map(|(&f, &t)| (f, t)).collect();
         marked.sort_by_key(|(f, _)| *f);
@@ -333,7 +337,10 @@ mod tests {
         t.observe(FileId(0), FileId(2), 80.0);
         // Candidate closer than the current max (80): replaces it.
         t.observe(FileId(0), FileId(3), 10.0);
-        assert!(t.distance(FileId(0), FileId(2)).is_none(), "largest evicted");
+        assert!(
+            t.distance(FileId(0), FileId(2)).is_none(),
+            "largest evicted"
+        );
         assert!(t.distance(FileId(0), FileId(1)).is_some());
         assert!(t.distance(FileId(0), FileId(3)).is_some());
     }
@@ -344,7 +351,10 @@ mod tests {
         t.observe(FileId(0), FileId(1), 5.0);
         t.observe(FileId(0), FileId(2), 8.0);
         t.observe(FileId(0), FileId(3), 100.0);
-        assert!(t.distance(FileId(0), FileId(3)).is_none(), "far candidate dropped");
+        assert!(
+            t.distance(FileId(0), FileId(3)).is_none(),
+            "far candidate dropped"
+        );
         assert_eq!(t.neighbors(FileId(0)).count(), 2);
     }
 
@@ -371,7 +381,10 @@ mod tests {
         }
         // Candidate is farther than both, but both entries are stale.
         t.observe(FileId(0), FileId(3), 99.0);
-        assert!(t.distance(FileId(0), FileId(3)).is_some(), "aged entry replaced");
+        assert!(
+            t.distance(FileId(0), FileId(3)).is_some(),
+            "aged entry replaced"
+        );
         assert_eq!(t.neighbors(FileId(0)).count(), 2);
     }
 
@@ -393,7 +406,10 @@ mod tests {
         let purged = t.note_deletion(FileId(1));
         assert!(purged.is_empty(), "not purged immediately");
         assert!(t.is_marked_deleted(FileId(1)));
-        assert!(t.distance(FileId(1), FileId(2)).is_some(), "row survives the delay");
+        assert!(
+            t.distance(FileId(1), FileId(2)).is_some(),
+            "row survives the delay"
+        );
         // Two more deletions push the tick past the delay of 3.
         t.note_deletion(FileId(10));
         t.note_deletion(FileId(11));
@@ -417,7 +433,10 @@ mod tests {
         t.note_deletion(FileId(20));
         t.note_deletion(FileId(21));
         t.note_deletion(FileId(22));
-        assert!(t.distance(FileId(1), FileId(2)).is_some(), "rescued row survives");
+        assert!(
+            t.distance(FileId(1), FileId(2)).is_some(),
+            "rescued row survives"
+        );
     }
 
     #[test]
@@ -448,7 +467,10 @@ mod tests {
             restored.distance(FileId(1), FileId(2)).expect("stored"),
             t.distance(FileId(1), FileId(2)).expect("stored"),
         );
-        assert!((a - b).abs() < 1e-9, "JSON float round-trip within tolerance");
+        assert!(
+            (a - b).abs() < 1e-9,
+            "JSON float round-trip within tolerance"
+        );
         assert!(restored.is_marked_deleted(FileId(9)));
         assert_eq!(restored.total_entries(), t.total_entries());
     }

@@ -36,10 +36,24 @@ fn run_engine(config: DistanceConfig, events: &[ExactEvent]) -> DistanceEngine {
     let mut engine = DistanceEngine::new(config);
     for (seq, ev) in events.iter().enumerate() {
         let (file, kind, time) = match *ev {
-            ExactEvent::Open(f, t) => (f, RefKind::Open { read: true, write: false, exec: false }, t),
+            ExactEvent::Open(f, t) => (
+                f,
+                RefKind::Open {
+                    read: true,
+                    write: false,
+                    exec: false,
+                },
+                t,
+            ),
             ExactEvent::Close(f) => (f, RefKind::Close, Timestamp::ZERO),
         };
-        let r = Reference { seq: Seq(seq as u64), time, pid: Pid(1), file, kind };
+        let r = Reference {
+            seq: Seq(seq as u64),
+            time,
+            pid: Pid(1),
+            file,
+            kind,
+        };
         engine.on_reference(&r, &paths);
     }
     engine

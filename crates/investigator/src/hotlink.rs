@@ -42,7 +42,9 @@ impl Investigator for HotLinkInvestigator {
             }
             let dir = dirname(path);
             for line in content.lines() {
-                let Some(target) = line.trim_start().strip_prefix("link:") else { continue };
+                let Some(target) = line.trim_start().strip_prefix("link:") else {
+                    continue;
+                };
                 let target = target.trim();
                 if target.is_empty() {
                     continue;
@@ -63,12 +65,18 @@ mod tests {
     #[test]
     fn discovers_links_in_documents() {
         let mut corpus = SourceCorpus::new();
-        corpus.insert("/docs/report.doc", "Quarterly report\nlink: figures/q3.xls\n");
+        corpus.insert(
+            "/docs/report.doc",
+            "Quarterly report\nlink: figures/q3.xls\n",
+        );
         corpus.insert("/docs/code.c", "link: not-a-document\n");
         let mut paths = PathTable::new();
         let rels = HotLinkInvestigator::default().investigate(&corpus, &mut paths);
         assert_eq!(rels.len(), 1);
-        assert_eq!(paths.resolve(rels[0].files[1]), Some("/docs/figures/q3.xls"));
+        assert_eq!(
+            paths.resolve(rels[0].files[1]),
+            Some("/docs/figures/q3.xls")
+        );
     }
 
     #[test]

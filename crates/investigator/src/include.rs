@@ -20,7 +20,10 @@ pub struct IncludeScanner {
 
 impl Default for IncludeScanner {
     fn default() -> IncludeScanner {
-        IncludeScanner { include_dirs: vec!["/usr/include".into()], strength: 6.0 }
+        IncludeScanner {
+            include_dirs: vec!["/usr/include".into()],
+            strength: 6.0,
+        }
     }
 }
 
@@ -41,7 +44,10 @@ impl IncludeScanner {
     }
 
     fn is_c_source(path: &str) -> bool {
-        matches!(extension(path), Some("c" | "h" | "cc" | "cpp" | "hpp" | "cxx"))
+        matches!(
+            extension(path),
+            Some("c" | "h" | "cc" | "cpp" | "hpp" | "cxx")
+        )
     }
 }
 
@@ -58,7 +64,9 @@ impl Investigator for IncludeScanner {
             }
             let dir = dirname(path);
             for line in content.lines() {
-                let Some((target, system)) = Self::parse_line(line) else { continue };
+                let Some((target, system)) = Self::parse_line(line) else {
+                    continue;
+                };
                 let resolved = if system {
                     self.include_dirs
                         .first()
@@ -82,8 +90,14 @@ mod tests {
 
     #[test]
     fn parses_quoted_and_angle_includes() {
-        assert_eq!(IncludeScanner::parse_line("#include \"a.h\""), Some(("a.h", false)));
-        assert_eq!(IncludeScanner::parse_line("  #  include <stdio.h>"), Some(("stdio.h", true)));
+        assert_eq!(
+            IncludeScanner::parse_line("#include \"a.h\""),
+            Some(("a.h", false))
+        );
+        assert_eq!(
+            IncludeScanner::parse_line("  #  include <stdio.h>"),
+            Some(("stdio.h", true))
+        );
         assert_eq!(IncludeScanner::parse_line("int x = 3;"), None);
         assert_eq!(IncludeScanner::parse_line("#define X"), None);
         assert_eq!(IncludeScanner::parse_line("#include \"unterminated"), None);
@@ -103,7 +117,12 @@ mod tests {
         assert_eq!(rels.len(), 2, "two includes in the one C file");
         let names: Vec<Vec<&str>> = rels
             .iter()
-            .map(|r| r.files.iter().map(|&f| paths.resolve(f).expect("interned")).collect())
+            .map(|r| {
+                r.files
+                    .iter()
+                    .map(|&f| paths.resolve(f).expect("interned"))
+                    .collect()
+            })
             .collect();
         assert!(names.contains(&vec!["/home/u/p/main.c", "/home/u/p/defs.h"]));
         assert!(names.contains(&vec!["/home/u/p/main.c", "/usr/include/stdio.h"]));

@@ -48,7 +48,9 @@ impl MakefileInvestigator {
             {
                 continue;
             }
-            let Some(colon) = line.find(':') else { continue };
+            let Some(colon) = line.find(':') else {
+                continue;
+            };
             if line[colon..].starts_with(":=") || line[..colon].contains('=') {
                 continue;
             }
@@ -119,7 +121,10 @@ clean:
             assert!(files.contains(f), "missing {f}");
         }
         assert!(!files.iter().any(|f| f.contains("gcc")), "recipes skipped");
-        assert!(!files.contains("clean"), "extensionless phony target skipped");
+        assert!(
+            !files.contains("clean"),
+            "extensionless phony target skipped"
+        );
     }
 
     #[test]
@@ -137,7 +142,10 @@ clean:
         assert!(names.contains("/p/Makefile"));
         assert!(names.contains("/p/main.c"));
         assert!(names.contains("/p/defs.h"));
-        assert!(names.contains("/p/prog"), "the built program belongs to the project");
+        assert!(
+            names.contains("/p/prog"),
+            "the built program belongs to the project"
+        );
     }
 
     #[test]

@@ -162,7 +162,9 @@ impl ObserverConfig {
     /// Whether a program basename is on the always-meaningless list.
     #[must_use]
     pub fn is_listed_meaningless(&self, program_basename: &str) -> bool {
-        self.meaningless_programs.iter().any(|p| p == program_basename)
+        self.meaningless_programs
+            .iter()
+            .any(|p| p == program_basename)
     }
 }
 
@@ -204,8 +206,14 @@ mod tests {
     #[test]
     fn default_uses_paper_constants() {
         let c = ObserverConfig::default();
-        assert!((c.frequent_fraction - 0.01).abs() < 1e-12, "the 1% rule of §4.2");
-        assert_eq!(c.meaningless_strategy, MeaninglessStrategy::PotentialAccessRatio);
+        assert!(
+            (c.frequent_fraction - 0.01).abs() < 1e-12,
+            "the 1% rule of §4.2"
+        );
+        assert_eq!(
+            c.meaningless_strategy,
+            MeaninglessStrategy::PotentialAccessRatio
+        );
     }
 
     #[test]

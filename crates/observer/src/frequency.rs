@@ -25,7 +25,13 @@ impl FrequencyTracker {
     /// `min_accesses` for the file itself (warm-up guards).
     #[must_use]
     pub fn new(fraction: f64, min_total: u64, min_accesses: u64) -> FrequencyTracker {
-        FrequencyTracker { counts: HashMap::new(), total: 0, fraction, min_total, min_accesses }
+        FrequencyTracker {
+            counts: HashMap::new(),
+            total: 0,
+            fraction,
+            min_total,
+            min_accesses,
+        }
     }
 
     /// Records one access and reports whether the file is now (already)

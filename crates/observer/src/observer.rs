@@ -9,8 +9,8 @@ use crate::reference::{RefKind, Reference, ReferenceSink};
 use crate::stats::ObserverStats;
 use seer_trace::path::{basename, dirname, normalize};
 use seer_trace::{
-    ErrorKind, EventKind, EventSink, FileId, OpenMode, PathTable, Pid, Seq, StringTable,
-    Timestamp, TraceEvent,
+    ErrorKind, EventKind, EventSink, FileId, OpenMode, PathTable, Pid, Seq, StringTable, Timestamp,
+    TraceEvent,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
@@ -211,7 +211,9 @@ impl<S: ReferenceSink> Observer<S> {
         let strategy = self.config.meaningless_strategy;
         let ratio_threshold = self.config.meaningless_ratio;
         let min_learned = self.config.meaningless_min_learned;
-        let Some(proc) = self.procs.get(&pid) else { return false };
+        let Some(proc) = self.procs.get(&pid) else {
+            return false;
+        };
         if proc.meaningless {
             return true;
         }
@@ -239,7 +241,13 @@ impl<S: ReferenceSink> Observer<S> {
     /// Delivers one emission through the filter chain.
     fn deliver(&mut self, pid: Pid, em: Emission) {
         if em.structural {
-            let r = Reference { seq: em.seq, time: em.time, pid, file: em.file, kind: em.kind };
+            let r = Reference {
+                seq: em.seq,
+                time: em.time,
+                pid,
+                file: em.file,
+                kind: em.kind,
+            };
             self.sink.on_reference(&r, &self.paths);
             self.stats.refs_emitted += 1;
             return;
@@ -258,7 +266,9 @@ impl<S: ReferenceSink> Observer<S> {
             self.stats.suppressed_meaningless += 1;
             return;
         }
-        let Some(path) = self.paths.resolve(em.file) else { return };
+        let Some(path) = self.paths.resolve(em.file) else {
+            return;
+        };
         if self.config.is_device(path) {
             self.always_hoard.insert(em.file);
             self.stats.suppressed_device += 1;
@@ -295,25 +305,36 @@ impl<S: ReferenceSink> Observer<S> {
                 return;
             }
         }
-        let r = Reference { seq: em.seq, time: em.time, pid, file: em.file, kind: em.kind };
+        let r = Reference {
+            seq: em.seq,
+            time: em.time,
+            pid,
+            file: em.file,
+            kind: em.kind,
+        };
         self.sink.on_reference(&r, &self.paths);
         self.stats.refs_emitted += 1;
     }
 
     /// Flushes a buffered stat as a point reference (§4.8), unless `skip`.
     fn flush_pending_stat(&mut self, pid: Pid, collapse_with: Option<FileId>) {
-        let pending = self
-            .procs
-            .get_mut(&pid)
-            .and_then(|p| p.pending_stat.take());
-        let Some(PendingStat { file, seq, time }) = pending else { return };
+        let pending = self.procs.get_mut(&pid).and_then(|p| p.pending_stat.take());
+        let Some(PendingStat { file, seq, time }) = pending else {
+            return;
+        };
         if collapse_with == Some(file) {
             self.stats.stats_collapsed += 1;
             return;
         }
         self.deliver(
             pid,
-            Emission { file, kind: RefKind::Point { write: false }, seq, time, structural: false },
+            Emission {
+                file,
+                kind: RefKind::Point { write: false },
+                seq,
+                time,
+                structural: false,
+            },
         );
     }
 
@@ -347,7 +368,9 @@ impl<S: ReferenceSink> Observer<S> {
             }
             return;
         }
-        let EventKind::Open { fd, .. } = ev.kind else { return };
+        let EventKind::Open { fd, .. } = ev.kind else {
+            return;
+        };
         let proc = self.proc_mut(pid);
         proc.touched += 1;
         proc.fds.insert(fd, FdTarget::File(file));
@@ -355,7 +378,11 @@ impl<S: ReferenceSink> Observer<S> {
             pid,
             Emission {
                 file,
-                kind: RefKind::Open { read, write, exec: false },
+                kind: RefKind::Open {
+                    read,
+                    write,
+                    exec: false,
+                },
                 seq: ev.seq,
                 time: ev.time,
                 structural: false,
@@ -440,7 +467,9 @@ impl<S: ReferenceSink> Observer<S> {
 
     fn handle_readdir(&mut self, ev: &TraceEvent, fd: seer_trace::Fd, entries: u32) {
         let pid = ev.pid;
-        let Some(proc) = self.procs.get_mut(&pid) else { return };
+        let Some(proc) = self.procs.get_mut(&pid) else {
+            return;
+        };
         let in_walk = match (&proc.getcwd_walk, proc.fds.get(&fd)) {
             (Some(walk), Some(FdTarget::Dir(d))) => {
                 let walk = walk.clone();
@@ -481,12 +510,10 @@ impl<S: ReferenceSink> Observer<S> {
         }
         // During a getcwd walk, stats of entries in the walked directory
         // are part of the climb and are ignored entirely (§4.1).
-        let in_walk = self.procs.get(&pid).is_some_and(|p| {
-            p.getcwd_walk.as_deref() == self
-                .paths
-                .resolve(file)
-                .map(dirname)
-        });
+        let in_walk = self
+            .procs
+            .get(&pid)
+            .is_some_and(|p| p.getcwd_walk.as_deref() == self.paths.resolve(file).map(dirname));
         if in_walk {
             self.stats.suppressed_getcwd += 1;
             return;
@@ -509,7 +536,11 @@ impl<S: ReferenceSink> Observer<S> {
         } else {
             // Buffer: if the next same-process event opens this file, the
             // examination is discarded as insignificant (§4.8).
-            proc.pending_stat = Some(PendingStat { file, seq: ev.seq, time: ev.time });
+            proc.pending_stat = Some(PendingStat {
+                file,
+                seq: ev.seq,
+                time: ev.time,
+            });
         }
     }
 
@@ -565,7 +596,11 @@ impl<S: ReferenceSink> Observer<S> {
             pid,
             Emission {
                 file,
-                kind: RefKind::Open { read: true, write: false, exec: true },
+                kind: RefKind::Open {
+                    read: true,
+                    write: false,
+                    exec: true,
+                },
                 seq: ev.seq,
                 time: ev.time,
                 structural: false,
@@ -640,7 +675,13 @@ impl<S: ReferenceSink> Observer<S> {
         proc.touched += 1;
         self.deliver(
             pid,
-            Emission { file, kind, seq: ev.seq, time: ev.time, structural: false },
+            Emission {
+                file,
+                kind,
+                seq: ev.seq,
+                time: ev.time,
+                structural: false,
+            },
         );
     }
 

@@ -128,7 +128,10 @@ mod tests {
         assert_eq!(c.parent, Some(Pid(1)));
         assert_eq!(c.cwd, "/home/u");
         assert_eq!(c.fds.get(&Fd(3)), Some(&FdTarget::File(FileId(7))));
-        assert!(c.meaningless, "a meaningless parent implies a meaningless child");
+        assert!(
+            c.meaningless,
+            "a meaningless parent implies a meaningless child"
+        );
         assert_eq!(c.learned, 0, "counters restart in the child");
     }
 

@@ -37,11 +37,15 @@ impl ProgramHistory {
             return;
         }
         let ratio = (touched as f64 / learned as f64).min(1.0);
-        let rec = self
-            .ratios
-            .entry(program)
-            .or_insert(RatioRecord { ema: ratio, runs: 0 });
-        rec.ema = if rec.runs == 0 { ratio } else { ALPHA * ratio + (1.0 - ALPHA) * rec.ema };
+        let rec = self.ratios.entry(program).or_insert(RatioRecord {
+            ema: ratio,
+            runs: 0,
+        });
+        rec.ema = if rec.runs == 0 {
+            ratio
+        } else {
+            ALPHA * ratio + (1.0 - ALPHA) * rec.ema
+        };
         rec.runs += 1;
     }
 

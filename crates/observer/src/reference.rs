@@ -117,8 +117,16 @@ mod tests {
     fn kinds_compare() {
         assert_eq!(RefKind::Close, RefKind::Close);
         assert_ne!(
-            RefKind::Open { read: true, write: false, exec: false },
-            RefKind::Open { read: true, write: true, exec: false }
+            RefKind::Open {
+                read: true,
+                write: false,
+                exec: false
+            },
+            RefKind::Open {
+                read: true,
+                write: true,
+                exec: false
+            }
         );
     }
 }

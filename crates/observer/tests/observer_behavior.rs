@@ -30,7 +30,14 @@ fn open_close_pairs_flow_through() {
     });
     let refs = &obs.sink().refs;
     assert_eq!(refs.len(), 2);
-    assert!(matches!(refs[0].kind, RefKind::Open { read: true, write: false, exec: false }));
+    assert!(matches!(
+        refs[0].kind,
+        RefKind::Open {
+            read: true,
+            write: false,
+            exec: false
+        }
+    ));
     assert!(matches!(refs[1].kind, RefKind::Close));
     assert_eq!(refs[0].file, refs[1].file);
 }
@@ -44,8 +51,15 @@ fn relative_paths_resolve_against_cwd() {
         b.touch(p, "../other/util.c", OpenMode::Read);
     });
     let paths = paths_of(&obs);
-    assert_eq!(paths, vec!["/home/user/proj/main.c", "/home/user/proj/main.c",
-        "/home/user/other/util.c", "/home/user/other/util.c"]);
+    assert_eq!(
+        paths,
+        vec![
+            "/home/user/proj/main.c",
+            "/home/user/proj/main.c",
+            "/home/user/other/util.c",
+            "/home/user/other/util.c"
+        ]
+    );
 }
 
 #[test]
@@ -74,7 +88,10 @@ fn temp_critical_device_and_dot_files_are_suppressed() {
     assert!(hoard.contains(&"/etc/passwd"));
     assert!(hoard.contains(&"/dev/tty1"));
     assert!(hoard.contains(&"/home/user/.login"));
-    assert!(!hoard.contains(&"/tmp/scratch123"), "temp files are ignored, not hoarded");
+    assert!(
+        !hoard.contains(&"/tmp/scratch123"),
+        "temp files are ignored, not hoarded"
+    );
 }
 
 #[test]
@@ -85,7 +102,11 @@ fn superuser_activity_is_excluded() {
         let fd = seer_trace::Fd(3);
         b.emit_full(
             p,
-            seer_trace::EventKind::Open { path, mode: OpenMode::Read, fd },
+            seer_trace::EventKind::Open {
+                path,
+                mode: OpenMode::Read,
+                fd,
+            },
             None,
             true,
         );
@@ -98,8 +119,18 @@ fn superuser_activity_is_excluded() {
 #[test]
 fn failed_opens_of_nonexistent_files_are_ignored() {
     let obs = run(ObserverConfig::default(), |b| {
-        b.open_err(Pid(1), "/home/user/.nonexistent-but-dot", OpenMode::Read, ErrorKind::NotFound);
-        b.open_err(Pid(1), "/home/user/gone.c", OpenMode::Read, ErrorKind::NotFound);
+        b.open_err(
+            Pid(1),
+            "/home/user/.nonexistent-but-dot",
+            OpenMode::Read,
+            ErrorKind::NotFound,
+        );
+        b.open_err(
+            Pid(1),
+            "/home/user/gone.c",
+            OpenMode::Read,
+            ErrorKind::NotFound,
+        );
     });
     assert!(obs.sink().refs.is_empty());
     assert_eq!(obs.stats().suppressed_failed, 2);
@@ -108,7 +139,12 @@ fn failed_opens_of_nonexistent_files_are_ignored() {
 #[test]
 fn not_hoarded_failures_surface_as_hoard_misses() {
     let obs = run(ObserverConfig::default(), |b| {
-        b.open_err(Pid(1), "/home/user/proj/paper.tex", OpenMode::Read, ErrorKind::NotHoarded);
+        b.open_err(
+            Pid(1),
+            "/home/user/proj/paper.tex",
+            OpenMode::Read,
+            ErrorKind::NotHoarded,
+        );
     });
     let refs = &obs.sink().refs;
     assert_eq!(refs.len(), 1);
@@ -171,7 +207,10 @@ fn exec_and_exit_bracket_the_image_like_open_close() {
         .iter()
         .any(|r| matches!(r.kind, RefKind::Close) && r.file == refs[0].file);
     assert!(close_of_image, "exit closes the image (§4.8)");
-    assert!(matches!(refs.last().expect("refs").kind, RefKind::Exit { .. }));
+    assert!(matches!(
+        refs.last().expect("refs").kind,
+        RefKind::Exit { .. }
+    ));
 }
 
 #[test]
@@ -185,14 +224,21 @@ fn fork_emits_structural_reference_and_inherits_cwd() {
         b.exit(child);
     });
     let refs = &obs.sink().refs;
-    assert!(refs.iter().any(|r| matches!(r.kind, RefKind::Fork { child: Pid(2) })));
+    assert!(refs
+        .iter()
+        .any(|r| matches!(r.kind, RefKind::Fork { child: Pid(2) })));
     assert!(paths_of(&obs).contains(&"/home/user/proj/notes.txt".to_owned()));
     let exit = refs
         .iter()
         .find(|r| matches!(r.kind, RefKind::Exit { .. }))
         .expect("exit reference");
     assert!(
-        matches!(exit.kind, RefKind::Exit { parent: Some(Pid(1)) }),
+        matches!(
+            exit.kind,
+            RefKind::Exit {
+                parent: Some(Pid(1))
+            }
+        ),
         "exit names the parent for history merging (§4.7)"
     );
 }
@@ -275,7 +321,10 @@ fn dir_open_forever_strategy_kills_editors_too() {
         b.touch(p, "/home/user/proj/main.c", OpenMode::ReadWrite);
         b.exit(p);
     });
-    assert!(obs.stats().suppressed_meaningless > 0, "editor refs wrongly suppressed");
+    assert!(
+        obs.stats().suppressed_meaningless > 0,
+        "editor refs wrongly suppressed"
+    );
 }
 
 #[test]
@@ -332,11 +381,17 @@ fn getcwd_walk_is_suppressed() {
         b.touch(p, "main.c", OpenMode::Read);
     });
     let paths = paths_of(&obs);
-    assert_eq!(paths, vec![
-        "/home/user/proj/sub/main.c".to_owned(),
-        "/home/user/proj/sub/main.c".to_owned(),
-    ]);
-    assert!(obs.stats().suppressed_getcwd >= 4, "walk activity suppressed");
+    assert_eq!(
+        paths,
+        vec![
+            "/home/user/proj/sub/main.c".to_owned(),
+            "/home/user/proj/sub/main.c".to_owned(),
+        ]
+    );
+    assert!(
+        obs.stats().suppressed_getcwd >= 4,
+        "walk activity suppressed"
+    );
     // The walk must not have poisoned the meaningless counters.
     assert_eq!(obs.stats().processes_marked_meaningless, 0);
 }
@@ -352,7 +407,10 @@ fn directory_references_do_not_reach_the_correlator() {
         b.touch(p, "/home/user/proj/a.c", OpenMode::Read);
     });
     let paths = paths_of(&obs);
-    assert!(paths.iter().all(|p| p.ends_with("a.c")), "only the file got through: {paths:?}");
+    assert!(
+        paths.iter().all(|p| p.ends_with("a.c")),
+        "only the file got through: {paths:?}"
+    );
     assert!(obs.stats().suppressed_directory >= 1);
 }
 

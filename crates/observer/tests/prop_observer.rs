@@ -51,7 +51,11 @@ fn build(ops: &[RawOp]) -> seer_trace::Trace {
     for op in ops {
         match *op {
             RawOp::Open(p, f, w) => {
-                let mode = if w { OpenMode::ReadWrite } else { OpenMode::Read };
+                let mode = if w {
+                    OpenMode::ReadWrite
+                } else {
+                    OpenMode::Read
+                };
                 // Mix relative and absolute paths.
                 let path = if f % 3 == 0 {
                     format!("f{f}.c")
@@ -61,12 +65,26 @@ fn build(ops: &[RawOp]) -> seer_trace::Trace {
                 b.open(Pid(u32::from(p)), &path, mode);
             }
             RawOp::OpenErr(p, f) => {
-                let err = if f % 2 == 0 { ErrorKind::NotFound } else { ErrorKind::NotHoarded };
-                b.open_err(Pid(u32::from(p)), &format!("/gone/f{f}"), OpenMode::Read, err);
+                let err = if f % 2 == 0 {
+                    ErrorKind::NotFound
+                } else {
+                    ErrorKind::NotHoarded
+                };
+                b.open_err(
+                    Pid(u32::from(p)),
+                    &format!("/gone/f{f}"),
+                    OpenMode::Read,
+                    err,
+                );
             }
             RawOp::Close(p, fd) => {
                 // Possibly-dangling close of an arbitrary descriptor.
-                b.emit(Pid(u32::from(p)), EventKind::Close { fd: Fd(u32::from(fd) + 3) });
+                b.emit(
+                    Pid(u32::from(p)),
+                    EventKind::Close {
+                        fd: Fd(u32::from(fd) + 3),
+                    },
+                );
             }
             RawOp::OpenDir(p, d) => {
                 b.opendir(Pid(u32::from(p)), &format!("/u/d{d}"));
@@ -91,7 +109,11 @@ fn build(ops: &[RawOp]) -> seer_trace::Trace {
                 let path = b.path(&format!("/var/sys{f}"));
                 b.emit_full(
                     Pid(u32::from(p) + 50),
-                    EventKind::Open { path, mode: OpenMode::Read, fd: Fd(3) },
+                    EventKind::Open {
+                        path,
+                        mode: OpenMode::Read,
+                        fd: Fd(3),
+                    },
                     None,
                     true,
                 );

@@ -85,14 +85,23 @@ impl MissLog {
         severity: Severity,
         implied: bool,
     ) {
-        self.records
-            .push(MissRecord { file, time, severity: Some(severity), implied });
+        self.records.push(MissRecord {
+            file,
+            time,
+            severity: Some(severity),
+            implied,
+        });
         self.pending_hoard.push(file);
     }
 
     /// Records an automatically detected miss (§4.4's backup mechanism).
     pub fn record_auto(&mut self, file: FileId, time: Timestamp) {
-        self.records.push(MissRecord { file, time, severity: None, implied: false });
+        self.records.push(MissRecord {
+            file,
+            time,
+            severity: None,
+            implied: false,
+        });
         self.pending_hoard.push(file);
     }
 
@@ -147,7 +156,12 @@ mod tests {
     #[test]
     fn manual_record_schedules_hoarding() {
         let mut log = MissLog::new();
-        log.record_manual(FileId(7), Timestamp::from_hours(2), Severity::TaskChange, false);
+        log.record_manual(
+            FileId(7),
+            Timestamp::from_hours(2),
+            Severity::TaskChange,
+            false,
+        );
         assert_eq!(log.count_at(Severity::TaskChange), 1);
         assert_eq!(log.take_pending(), vec![FileId(7)]);
         assert!(log.take_pending().is_empty(), "queue cleared");

@@ -1,9 +1,7 @@
 //! The three simulated substrates: RUMOR, CHEAP RUMOR, and CODA analogs.
 
 use crate::store::HoardStore;
-use crate::system::{
-    AccessOutcome, Capabilities, FillReport, ReconcileReport, ReplicationSystem,
-};
+use crate::system::{AccessOutcome, Capabilities, FillReport, ReconcileReport, ReplicationSystem};
 use seer_trace::FileId;
 use std::collections::HashMap;
 
@@ -143,7 +141,10 @@ impl ReplicationSystem for RumorLike {
     }
 
     fn capabilities(&self) -> Capabilities {
-        Capabilities { remote_access: false, detects_misses: false }
+        Capabilities {
+            remote_access: false,
+            detects_misses: false,
+        }
     }
 
     fn reconcile(&mut self) -> ReconcileReport {
@@ -178,7 +179,10 @@ impl ReplicationSystem for CheapRumor {
     }
 
     fn capabilities(&self) -> Capabilities {
-        Capabilities { remote_access: false, detects_misses: true }
+        Capabilities {
+            remote_access: false,
+            detects_misses: true,
+        }
     }
 
     fn reconcile(&mut self) -> ReconcileReport {
@@ -209,7 +213,10 @@ impl ReplicationSystem for CodaLike {
     }
 
     fn capabilities(&self) -> Capabilities {
-        Capabilities { remote_access: true, detects_misses: true }
+        Capabilities {
+            remote_access: true,
+            detects_misses: true,
+        }
     }
 
     fn reconcile(&mut self) -> ReconcileReport {
@@ -250,7 +257,10 @@ mod tests {
             s.set_connected(false);
         }
         // Existing but unhoarded file, disconnected:
-        assert_eq!(rumor.access(FileId(9), true), AccessOutcome::ErrorIndistinct);
+        assert_eq!(
+            rumor.access(FileId(9), true),
+            AccessOutcome::ErrorIndistinct
+        );
         assert_eq!(cheap.access(FileId(9), true), AccessOutcome::MissDetected);
         assert_eq!(coda.access(FileId(9), true), AccessOutcome::MissDetected);
         // Nonexistent file is NotFound everywhere:
@@ -288,7 +298,10 @@ mod tests {
         r.record_remote_update(FileId(2), 250);
         let report = r.reconcile();
         assert_eq!(report.conflicts, 1);
-        assert_eq!(report.pulled, 1, "only the non-conflicting remote update counts as pulled");
+        assert_eq!(
+            report.pulled, 1,
+            "only the non-conflicting remote update counts as pulled"
+        );
         // Local wins under rumor: file 1 keeps the local size.
         assert_eq!(r.base.store.size_of(FileId(1)), Some(150));
         assert_eq!(r.base.store.size_of(FileId(2)), Some(250));
@@ -303,7 +316,11 @@ mod tests {
         c.record_remote_update(FileId(1), 175);
         let report = c.reconcile();
         assert_eq!(report.conflicts, 1);
-        assert_eq!(c.base.store.size_of(FileId(1)), Some(175), "master copy wins");
+        assert_eq!(
+            c.base.store.size_of(FileId(1)),
+            Some(175),
+            "master copy wins"
+        );
     }
 
     #[test]

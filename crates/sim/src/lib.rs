@@ -26,6 +26,8 @@ pub mod universe;
 
 pub use live::{run_live, LiveConfig, LiveResult, MissEvent, RefillPolicy};
 pub use missfree::{miss_free_size, working_set_bytes, MissFree};
-pub use replay::{run_missfree, run_missfree_parts, MissFreeConfig, MissFreeInput, MissFreeOutcome, PeriodResult};
+pub use replay::{
+    run_missfree, run_missfree_parts, MissFreeConfig, MissFreeInput, MissFreeOutcome, PeriodResult,
+};
 pub use sizes::SizeModel;
 pub use universe::{Universe, UniverseBuilder};

@@ -189,8 +189,12 @@ impl MissSink {
         if !self.in_disconnection {
             return;
         }
-        let Some(dir) = paths.resolve(r.file) else { return };
-        let Some(children) = self.by_dir.get(dir) else { return };
+        let Some(dir) = paths.resolve(r.file) else {
+            return;
+        };
+        let Some(children) = self.by_dir.get(dir) else {
+            return;
+        };
         let noticed: Vec<FileId> = children
             .iter()
             .copied()
@@ -390,8 +394,7 @@ pub fn run_live(workload: &Workload, cfg: &LiveConfig) -> LiveResult {
             let s = sizes.size_of(engine.paths(), f);
             size_by_id.insert(f, s);
         }
-        let selection =
-            engine.choose_hoard(budget, &|f| size_by_id.get(&f).copied().unwrap_or(0));
+        let selection = engine.choose_hoard(budget, &|f| size_by_id.get(&f).copied().unwrap_or(0));
         // Install the hoard: map engine ids → checker ids.
         let mut fill: Vec<(FileId, u64)> = selection
             .files
@@ -410,7 +413,10 @@ pub fn run_live(workload: &Workload, cfg: &LiveConfig) -> LiveResult {
             }
         }
         let report = substrate.fill_hoard(&fill);
-        (fill.into_iter().map(|(f, _)| f).collect(), report.bytes_fetched)
+        (
+            fill.into_iter().map(|(f, _)| f).collect(),
+            report.bytes_fetched,
+        )
     }
 
     for ev in &trace.events {

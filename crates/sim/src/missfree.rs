@@ -28,11 +28,12 @@ pub fn miss_free_size(
     sizes: &mut dyn FnMut(FileId) -> u64,
 ) -> MissFree {
     if needed.is_empty() {
-        return MissFree { bytes: 0, uncovered: 0 };
+        return MissFree {
+            bytes: 0,
+            uncovered: 0,
+        };
     }
-    let last_needed = ranking
-        .iter()
-        .rposition(|f| needed.contains(f));
+    let last_needed = ranking.iter().rposition(|f| needed.contains(f));
     let mut bytes = 0u64;
     let mut covered: HashSet<FileId> = HashSet::new();
     if let Some(last) = last_needed {

@@ -12,9 +12,7 @@ use seer_core::{
     ActivityTracker, CodaInspiredRanker, HoardRanker, LruRanker, RankContext, SeerConfig,
     SeerEngine,
 };
-use seer_investigator::{
-    HotLinkInvestigator, IncludeScanner, Investigator, MakefileInvestigator,
-};
+use seer_investigator::{HotLinkInvestigator, IncludeScanner, Investigator, MakefileInvestigator};
 use seer_observer::{Observer, ObserverConfig};
 use seer_trace::{EventSink, FileId, PathTable, Timestamp};
 use seer_workload::Workload;
@@ -54,7 +52,10 @@ impl MissFreeConfig {
     /// Weekly disconnections, no investigators.
     #[must_use]
     pub fn weekly() -> MissFreeConfig {
-        MissFreeConfig { period: Timestamp::from_hours(24 * 7), ..MissFreeConfig::daily() }
+        MissFreeConfig {
+            period: Timestamp::from_hours(24 * 7),
+            ..MissFreeConfig::daily()
+        }
     }
 }
 
@@ -129,7 +130,11 @@ pub struct MissFreeInput<'a> {
 
 impl<'a> From<&'a Workload> for MissFreeInput<'a> {
     fn from(w: &'a Workload) -> MissFreeInput<'a> {
-        MissFreeInput { trace: &w.trace, fs: &w.fs, corpus: Some(&w.corpus) }
+        MissFreeInput {
+            trace: &w.trace,
+            fs: &w.fs,
+            corpus: Some(&w.corpus),
+        }
     }
 }
 
@@ -143,10 +148,7 @@ pub fn run_missfree(workload: &Workload, cfg: &MissFreeConfig) -> MissFreeOutcom
 #[must_use]
 pub fn run_missfree_parts(input: MissFreeInput<'_>, cfg: &MissFreeConfig) -> MissFreeOutcome {
     let trace = input.trace;
-    let total = trace
-        .events
-        .last()
-        .map_or(Timestamp::ZERO, |e| e.time);
+    let total = trace.events.last().map_or(Timestamp::ZERO, |e| e.time);
 
     // Pass 1: universe and per-period working sets.
     let universe = UniverseBuilder::with_period(cfg.period, total).build(trace);
@@ -179,7 +181,10 @@ pub fn run_missfree_parts(input: MissFreeInput<'_>, cfg: &MissFreeConfig) -> Mis
             coda,
         });
     }
-    MissFreeOutcome { periods, n_files: universe.n_files() }
+    MissFreeOutcome {
+        periods,
+        n_files: universe.n_files(),
+    }
 }
 
 /// Maps a ranking expressed in `from` ids into universe ids, dropping
@@ -273,7 +278,9 @@ mod tests {
     use seer_workload::{generate, MachineProfile};
 
     fn small_workload() -> Workload {
-        let profile = MachineProfile::by_name("A").expect("machine").scaled_to_days(21);
+        let profile = MachineProfile::by_name("A")
+            .expect("machine")
+            .scaled_to_days(21);
         generate(&profile, 11)
     }
 
@@ -285,7 +292,10 @@ mod tests {
         assert!(out.active_periods().count() > 3);
         for p in out.active_periods() {
             assert!(p.working_set > 0);
-            assert!(p.seer.bytes >= p.working_set / 2, "sanity: sizes are comparable scales");
+            assert!(
+                p.seer.bytes >= p.working_set / 2,
+                "sanity: sizes are comparable scales"
+            );
         }
     }
 
@@ -294,7 +304,9 @@ mod tests {
         // Pool several seeds: on tiny 21-day windows a single draw can go
         // either way, but the average must show SEER's advantage (the
         // full-scale comparison lives in the figure2 binary).
-        let profile = MachineProfile::by_name("A").expect("machine").scaled_to_days(21);
+        let profile = MachineProfile::by_name("A")
+            .expect("machine")
+            .scaled_to_days(21);
         let (mut ws, mut seer, mut lru) = (0.0, 0.0, 0.0);
         for seed in [11, 12, 13] {
             let w = generate(&profile, seed);
@@ -349,13 +361,19 @@ mod tests {
     fn investigators_run_without_breaking_anything() {
         let w = small_workload();
         let base = run_missfree(&w, &MissFreeConfig::weekly());
-        let cfg = MissFreeConfig { investigators: true, ..MissFreeConfig::weekly() };
+        let cfg = MissFreeConfig {
+            investigators: true,
+            ..MissFreeConfig::weekly()
+        };
         let with_inv = run_missfree(&w, &cfg);
         assert_eq!(base.periods.len(), with_inv.periods.len());
         // The paper found no statistically significant difference (§5.2.1);
         // at minimum the run must stay in the same ballpark.
         let a = base.mean_of(|p| p.seer.bytes);
         let b = with_inv.mean_of(|p| p.seer.bytes);
-        assert!(b <= a * 3.0 + 1e4, "with investigators {b:.0} vs without {a:.0}");
+        assert!(
+            b <= a * 3.0 + 1e4,
+            "with investigators {b:.0} vs without {a:.0}"
+        );
     }
 }

@@ -111,6 +111,10 @@ mod tests {
         let x = paths.intern("/x");
         let mut m = SizeModel::new(&fs, 3);
         assert_eq!(m.size_of(&paths, x), 77);
-        assert_eq!(m.size_of(&paths, FileId(999)), 0, "unknown id sizes to zero");
+        assert_eq!(
+            m.size_of(&paths, FileId(999)),
+            0,
+            "unknown id sizes to zero"
+        );
     }
 }

@@ -147,7 +147,10 @@ mod tests {
     #[test]
     fn boundaries_tile_the_trace() {
         let b = UniverseBuilder::with_period(hours(24), hours(80));
-        assert_eq!(b.boundaries, vec![hours(0), hours(24), hours(48), hours(72)]);
+        assert_eq!(
+            b.boundaries,
+            vec![hours(0), hours(24), hours(48), hours(72)]
+        );
     }
 
     #[test]

@@ -5,12 +5,18 @@ use seer_sim::{run_live, LiveConfig};
 use seer_workload::{generate, MachineProfile};
 
 fn config(hoard_bytes: u64) -> LiveConfig {
-    LiveConfig { hoard_bytes, size_seed: 1, ..LiveConfig::default() }
+    LiveConfig {
+        hoard_bytes,
+        size_seed: 1,
+        ..LiveConfig::default()
+    }
 }
 
 #[test]
 fn generous_hoard_produces_few_user_misses() {
-    let profile = MachineProfile::by_name("D").expect("machine").scaled_to_days(30);
+    let profile = MachineProfile::by_name("D")
+        .expect("machine")
+        .scaled_to_days(30);
     let w = generate(&profile, 21);
     // A hoard big enough for everything SEER has learned about. Misses
     // remain possible — a file whose only prior references came from
@@ -29,7 +35,9 @@ fn generous_hoard_produces_few_user_misses() {
 
 #[test]
 fn tiny_hoard_forces_misses() {
-    let profile = MachineProfile::by_name("F").expect("machine").scaled_to_days(30);
+    let profile = MachineProfile::by_name("F")
+        .expect("machine")
+        .scaled_to_days(30);
     let w = generate(&profile, 22);
     let result = run_live(&w, &config(200_000));
     assert!(
@@ -48,7 +56,9 @@ fn tiny_hoard_forces_misses() {
 
 #[test]
 fn first_miss_hours_grouping() {
-    let profile = MachineProfile::by_name("F").expect("machine").scaled_to_days(30);
+    let profile = MachineProfile::by_name("F")
+        .expect("machine")
+        .scaled_to_days(30);
     let w = generate(&profile, 23);
     let result = run_live(&w, &config(200_000));
     let by_sev = result.first_miss_hours();
@@ -64,11 +74,17 @@ fn first_miss_hours_grouping() {
 
 #[test]
 fn severity_counts_sum_to_user_misses() {
-    let profile = MachineProfile::by_name("F").expect("machine").scaled_to_days(20);
+    let profile = MachineProfile::by_name("F")
+        .expect("machine")
+        .scaled_to_days(20);
     let w = generate(&profile, 24);
     let result = run_live(&w, &config(150_000));
     let by_sev: usize = Severity::ALL.iter().map(|&s| result.count_at(s)).sum();
-    let user_total = result.misses.iter().filter(|m| m.severity.is_some()).count();
+    let user_total = result
+        .misses
+        .iter()
+        .filter(|m| m.severity.is_some())
+        .count();
     assert_eq!(by_sev, user_total);
     assert_eq!(result.auto_count() + user_total, result.misses.len());
 }
@@ -78,13 +94,18 @@ fn misses_schedule_files_for_future_hoarding() {
     // After a miss, the file's project gets activity and should appear in
     // subsequent hoards — so the same file missing twice in different
     // disconnections is rare with a workable budget.
-    let profile = MachineProfile::by_name("A").expect("machine").scaled_to_days(40);
+    let profile = MachineProfile::by_name("A")
+        .expect("machine")
+        .scaled_to_days(40);
     let w = generate(&profile, 25);
     let result = run_live(&w, &config(2_000_000));
     use std::collections::HashMap;
     let mut per_file: HashMap<&str, Vec<usize>> = HashMap::new();
     for m in &result.misses {
-        per_file.entry(m.path.as_str()).or_default().push(m.disconnection);
+        per_file
+            .entry(m.path.as_str())
+            .or_default()
+            .push(m.disconnection);
     }
     let repeat_offenders = per_file.values().filter(|d| d.len() > 2).count();
     assert!(
@@ -99,7 +120,13 @@ fn periodic_refill_needs_no_disconnection_warning() {
     let profile = MachineProfile::by_name("F").expect("F").scaled_to_days(30);
     let w = generate(&profile, 26);
     let budget = 4_000_000;
-    let on_disc = run_live(&w, &LiveConfig { hoard_bytes: budget, ..LiveConfig::default() });
+    let on_disc = run_live(
+        &w,
+        &LiveConfig {
+            hoard_bytes: budget,
+            ..LiveConfig::default()
+        },
+    );
     let periodic = run_live(
         &w,
         &LiveConfig {
@@ -168,7 +195,10 @@ fn active_hours_discard_suspensions() {
         .filter(|m| m.hours_into > 10.0)
         .any(|m| m.active_hours_into < m.hours_into * 0.8);
     let deep = result.misses.iter().filter(|m| m.hours_into > 10.0).count();
-    assert!(deep == 0 || gapped, "suspension discarding has visible effect");
+    assert!(
+        deep == 0 || gapped,
+        "suspension discarding has visible effect"
+    );
 }
 
 #[test]

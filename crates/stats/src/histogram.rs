@@ -21,7 +21,13 @@ impl Histogram {
         if bins == 0 || !lo.is_finite() || !hi.is_finite() || lo >= hi {
             return None;
         }
-        Some(Histogram { lo, hi, bins: vec![0; bins], underflow: 0, overflow: 0 })
+        Some(Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        })
     }
 
     /// Records one observation.
@@ -76,6 +82,50 @@ impl Histogram {
     }
 }
 
+/// Extracts quantile `q` (in `[0, 1]`) from a log-spaced bucketed
+/// distribution, interpolating geometrically within the winning bucket.
+///
+/// `bounds` are the ascending upper bounds of the finite buckets;
+/// `counts` has one entry per bound **plus one trailing overflow count**
+/// for observations above the last bound (`counts.len() == bounds.len()
+/// + 1`). Geometric interpolation matches log-spaced buckets: the
+/// estimate inside bucket `(lo, hi]` is `lo · (hi/lo)^frac`, which is
+/// linear in log space. A quantile landing in the overflow bucket
+/// reports the last finite bound (a deliberate under-estimate, flagged
+/// by the caller comparing against `bounds.last()`).
+///
+/// Returns `None` for empty data or mismatched slice lengths.
+#[must_use]
+pub fn quantile_from_log_buckets(bounds: &[f64], counts: &[u64], q: f64) -> Option<f64> {
+    if counts.len() != bounds.len() + 1 || bounds.is_empty() {
+        return None;
+    }
+    let total: u64 = counts.iter().sum();
+    if total == 0 || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    // Rank of the target observation, 1-based, clamped into range.
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut seen = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        if seen + c >= rank {
+            if i == bounds.len() {
+                // Overflow bucket: no upper bound to interpolate toward.
+                return Some(bounds[bounds.len() - 1]);
+            }
+            let hi = bounds[i];
+            let lo = if i == 0 { hi / 2.0 } else { bounds[i - 1] };
+            let frac = (rank - seen) as f64 / c as f64;
+            return Some(lo * (hi / lo).powf(frac));
+        }
+        seen += c;
+    }
+    Some(bounds[bounds.len() - 1])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,5 +169,51 @@ mod tests {
         assert_eq!(h.bin_range(0), (0.0, 2.5));
         assert_eq!(h.bin_range(3), (7.5, 10.0));
         assert_eq!(h.num_bins(), 4);
+    }
+
+    #[test]
+    fn log_bucket_quantiles_interpolate_geometrically() {
+        // Bounds 1, 2, 4, 8; all 10 observations in the (2, 4] bucket.
+        let bounds = [1.0, 2.0, 4.0, 8.0];
+        let counts = [0, 0, 10, 0, 0];
+        let median = quantile_from_log_buckets(&bounds, &counts, 0.5).expect("data");
+        assert!(
+            median > 2.0 && median <= 4.0,
+            "median inside its bucket: {median}"
+        );
+        // Geometric midpoint of (2, 4] is 2·√2 ≈ 2.83.
+        assert!(
+            (median - 2.0 * 2.0f64.sqrt()).abs() < 0.2,
+            "≈ geometric mid: {median}"
+        );
+        let p100 = quantile_from_log_buckets(&bounds, &counts, 1.0).expect("data");
+        assert!(
+            (p100 - 4.0).abs() < 1e-9,
+            "p100 is the bucket bound: {p100}"
+        );
+    }
+
+    #[test]
+    fn log_bucket_quantiles_split_across_buckets() {
+        let bounds = [1.0, 2.0, 4.0];
+        let counts = [5, 0, 5, 0];
+        let p25 = quantile_from_log_buckets(&bounds, &counts, 0.25).expect("data");
+        assert!(p25 <= 1.0, "p25 in first bucket: {p25}");
+        let p75 = quantile_from_log_buckets(&bounds, &counts, 0.75).expect("data");
+        assert!(p75 > 2.0 && p75 <= 4.0, "p75 in third bucket: {p75}");
+    }
+
+    #[test]
+    fn log_bucket_quantiles_handle_overflow_and_empty() {
+        let bounds = [1.0, 2.0];
+        assert_eq!(quantile_from_log_buckets(&bounds, &[0, 0, 0], 0.5), None);
+        assert_eq!(
+            quantile_from_log_buckets(&bounds, &[1, 1], 0.5),
+            None,
+            "length mismatch"
+        );
+        // All mass in overflow: the reported value clamps to the last bound.
+        let v = quantile_from_log_buckets(&bounds, &[0, 0, 7], 0.5).expect("data");
+        assert!((v - 2.0).abs() < 1e-9);
     }
 }

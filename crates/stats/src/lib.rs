@@ -15,6 +15,6 @@ pub mod online;
 pub mod summary;
 
 pub use geometric::Geometric;
-pub use histogram::Histogram;
+pub use histogram::{quantile_from_log_buckets, Histogram};
 pub use online::OnlineStats;
 pub use summary::{confidence_interval_99, Summary};

@@ -17,7 +17,13 @@ impl OnlineStats {
     /// Creates an empty accumulator.
     #[must_use]
     pub fn new() -> OnlineStats {
-        OnlineStats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Folds one observation into the accumulator.

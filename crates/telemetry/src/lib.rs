@@ -1,0 +1,63 @@
+//! In-house observability layer for the SEER workspace.
+//!
+//! Three pieces, all dependency-light and cheap on the hot path:
+//!
+//! - a [`Registry`] of named metrics — lock-free atomic [`Counter`]s and
+//!   [`Gauge`]s plus log-bucketed latency [`Histogram`]s with RAII
+//!   [`SpanTimer`]s — snapshotted into a serializable [`RegistrySnapshot`];
+//! - a leveled structured event log ([`log_event`], [`tlog!`]) writing
+//!   JSON lines to stderr (or `SEER_LOG_FILE`), filtered by the
+//!   `SEER_LOG` environment variable;
+//! - a Prometheus-text-format renderer ([`render_prometheus`]) so a
+//!   scraper can consume any snapshot.
+//!
+//! Metric naming follows Prometheus conventions: `snake_case` names
+//! prefixed `seer_`, counters suffixed `_total`, durations in seconds
+//! suffixed `_seconds`, and dimensions expressed as labels
+//! (`seer_daemon_stage_seconds{stage="engine_apply"}`).
+//!
+//! Registration is idempotent: asking a registry for an already-registered
+//! name + label set returns a handle to the same underlying metric, so
+//! components can register their instruments independently.
+
+mod log;
+mod prometheus;
+mod registry;
+
+pub use log::{init_from_env, log_enabled, log_event, set_global_filter, FieldValue, Level};
+pub use prometheus::render_prometheus;
+pub use registry::{
+    BucketSnapshot, Counter, Gauge, Histogram, MetricSnapshot, MetricValue, Registry,
+    RegistrySnapshot, SpanTimer,
+};
+
+use std::sync::OnceLock;
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-wide default registry. Components that are not handed an
+/// explicit registry (standalone engines, CLI one-shots) register here;
+/// the daemon hands its components a private registry instead so that
+/// several daemons in one process (tests) stay isolated.
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Structured event log macro: `tlog!(Level::Info, "target", "message",
+/// key = value, ...)`. Field values are anything with
+/// `Into<FieldValue>` (integers, floats, bools, strings). The filter
+/// check is inlined so a disabled target costs one atomic load and a
+/// prefix match, with no field evaluation.
+#[macro_export]
+macro_rules! tlog {
+    ($level:expr, $target:expr, $msg:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        if $crate::log_enabled($level, $target) {
+            $crate::log_event(
+                $level,
+                $target,
+                $msg,
+                &[$((stringify!($k), $crate::FieldValue::from($v))),*],
+            );
+        }
+    };
+}

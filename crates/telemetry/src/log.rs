@@ -1,0 +1,325 @@
+//! Leveled structured event log: JSON lines to stderr or a file.
+//!
+//! Filtering is controlled by the `SEER_LOG` environment variable, a
+//! comma-separated list of `level` and `target=level` directives, e.g.
+//! `SEER_LOG=info`, `SEER_LOG=warn,seer_daemon=debug`. Target directives
+//! match by prefix, longest prefix wins (`seer_daemon` covers
+//! `seer_daemon::pipeline`). The default level with no `SEER_LOG` is
+//! `warn`. `SEER_LOG_FILE=path` redirects output from stderr to a file
+//! (appending).
+
+use serde::value::Value;
+use std::io::Write;
+use std::sync::{Mutex, OnceLock};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Event severity, ordered from most to least verbose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Very fine-grained tracing.
+    Trace,
+    /// Diagnostic detail.
+    Debug,
+    /// Normal operational events.
+    Info,
+    /// Something surprising but survivable.
+    Warn,
+    /// Something failed.
+    Error,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Trace => "trace",
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "trace" => Some(Level::Trace),
+            "debug" => Some(Level::Debug),
+            "info" => Some(Level::Info),
+            "warn" | "warning" => Some(Level::Warn),
+            "error" => Some(Level::Error),
+            "off" => None,
+            _ => None,
+        }
+    }
+}
+
+/// A parsed `SEER_LOG` filter.
+#[derive(Debug, Clone)]
+struct Filter {
+    /// Minimum level with no matching target directive; `None` = off.
+    default: Option<Level>,
+    /// `(target prefix, minimum level)`; `None` level silences the target.
+    targets: Vec<(String, Option<Level>)>,
+}
+
+impl Filter {
+    fn parse(spec: &str) -> Filter {
+        let mut default = Some(Level::Warn);
+        let mut targets = Vec::new();
+        for directive in spec.split(',') {
+            let directive = directive.trim();
+            if directive.is_empty() {
+                continue;
+            }
+            match directive.split_once('=') {
+                Some((target, level)) => {
+                    let lv = if level.trim().eq_ignore_ascii_case("off") {
+                        None
+                    } else {
+                        Level::parse(level)
+                    };
+                    targets.push((target.trim().to_owned(), lv));
+                }
+                None => {
+                    default = if directive.eq_ignore_ascii_case("off") {
+                        None
+                    } else {
+                        Level::parse(directive).or(default)
+                    };
+                }
+            }
+        }
+        Filter { default, targets }
+    }
+
+    fn enabled(&self, level: Level, target: &str) -> bool {
+        let mut best: Option<&(String, Option<Level>)> = None;
+        for t in &self.targets {
+            if target.starts_with(t.0.as_str()) && best.is_none_or(|b| t.0.len() > b.0.len()) {
+                best = Some(t);
+            }
+        }
+        let min = match best {
+            Some((_, lv)) => *lv,
+            None => self.default,
+        };
+        min.is_some_and(|m| level >= m)
+    }
+}
+
+enum Sink {
+    Stderr,
+    File(Mutex<std::fs::File>),
+}
+
+struct EventLog {
+    filter: Filter,
+    sink: Sink,
+}
+
+static LOG: OnceLock<EventLog> = OnceLock::new();
+
+fn log() -> &'static EventLog {
+    LOG.get_or_init(|| {
+        let filter = Filter::parse(&std::env::var("SEER_LOG").unwrap_or_default());
+        let sink = match std::env::var("SEER_LOG_FILE") {
+            Ok(path) if !path.is_empty() => {
+                match std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&path)
+                {
+                    Ok(f) => Sink::File(Mutex::new(f)),
+                    Err(_) => Sink::Stderr,
+                }
+            }
+            _ => Sink::Stderr,
+        };
+        EventLog { filter, sink }
+    })
+}
+
+/// Initializes the log from the environment now instead of lazily on the
+/// first event. Optional; useful so startup errors with the log file
+/// surface early.
+pub fn init_from_env() {
+    let _ = log();
+}
+
+/// Replaces the global filter, if the log has not been initialized yet.
+/// Later calls (and any call after the first event) are ignored — the
+/// log is write-once, like the `OnceLock` backing it. Intended for tests
+/// and embedders that cannot set `SEER_LOG` before first use.
+pub fn set_global_filter(spec: &str) {
+    let _ = LOG.set(EventLog {
+        filter: Filter::parse(spec),
+        sink: Sink::Stderr,
+    });
+}
+
+/// Whether an event at `level` for `target` would be written.
+#[must_use]
+pub fn log_enabled(level: Level, target: &str) -> bool {
+    log().filter.enabled(level, target)
+}
+
+/// A structured field value.
+#[derive(Debug, Clone)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> FieldValue {
+        FieldValue::U64(v)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> FieldValue {
+        FieldValue::U64(u64::from(v))
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> FieldValue {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> FieldValue {
+        FieldValue::I64(v)
+    }
+}
+impl From<i32> for FieldValue {
+    fn from(v: i32) -> FieldValue {
+        FieldValue::I64(i64::from(v))
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> FieldValue {
+        FieldValue::F64(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> FieldValue {
+        FieldValue::Bool(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> FieldValue {
+        FieldValue::Str(v.to_owned())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> FieldValue {
+        FieldValue::Str(v)
+    }
+}
+
+impl FieldValue {
+    fn to_json(&self) -> Value {
+        match self {
+            FieldValue::U64(v) => Value::UInt(*v),
+            FieldValue::I64(v) => Value::Int(*v),
+            FieldValue::F64(v) => Value::Float(*v),
+            FieldValue::Bool(v) => Value::Bool(*v),
+            FieldValue::Str(v) => Value::Str(v.clone()),
+        }
+    }
+}
+
+/// Writes one structured event as a JSON line:
+/// `{"ts_ms":…,"level":"info","target":"…","msg":"…","fields":{…}}`.
+/// Callers normally go through [`crate::tlog!`], which performs the
+/// filter check before evaluating fields.
+pub fn log_event(level: Level, target: &str, msg: &str, fields: &[(&str, FieldValue)]) {
+    let l = log();
+    if !l.filter.enabled(level, target) {
+        return;
+    }
+    let ts_ms = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    let mut obj: Vec<(String, Value)> = vec![
+        ("ts_ms".to_owned(), Value::UInt(ts_ms)),
+        ("level".to_owned(), Value::Str(level.as_str().to_owned())),
+        ("target".to_owned(), Value::Str(target.to_owned())),
+        ("msg".to_owned(), Value::Str(msg.to_owned())),
+    ];
+    if !fields.is_empty() {
+        obj.push((
+            "fields".to_owned(),
+            Value::Object(
+                fields
+                    .iter()
+                    .map(|(k, v)| ((*k).to_owned(), v.to_json()))
+                    .collect(),
+            ),
+        ));
+    }
+    let line = match serde_json::to_string(&Value::Object(obj)) {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    match &l.sink {
+        Sink::Stderr => {
+            let mut err = std::io::stderr().lock();
+            let _ = writeln!(err, "{line}");
+        }
+        Sink::File(f) => {
+            if let Ok(mut f) = f.lock() {
+                let _ = writeln!(f, "{line}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_filter_is_warn() {
+        let f = Filter::parse("");
+        assert!(f.enabled(Level::Warn, "anything"));
+        assert!(f.enabled(Level::Error, "anything"));
+        assert!(!f.enabled(Level::Info, "anything"));
+    }
+
+    #[test]
+    fn global_level_directive() {
+        let f = Filter::parse("debug");
+        assert!(f.enabled(Level::Debug, "x"));
+        assert!(!f.enabled(Level::Trace, "x"));
+        let off = Filter::parse("off");
+        assert!(!off.enabled(Level::Error, "x"));
+    }
+
+    #[test]
+    fn target_directives_match_by_longest_prefix() {
+        let f = Filter::parse("warn,seer_daemon=debug,seer_daemon::wire=off");
+        assert!(f.enabled(Level::Debug, "seer_daemon::pipeline"));
+        assert!(!f.enabled(Level::Error, "seer_daemon::wire"));
+        assert!(
+            !f.enabled(Level::Info, "seer_core"),
+            "falls back to global warn"
+        );
+        assert!(f.enabled(Level::Warn, "seer_core"));
+    }
+
+    #[test]
+    fn malformed_directives_are_ignored() {
+        let f = Filter::parse("bogus,,seer_x=nonsense,info");
+        assert!(f.enabled(Level::Info, "seer_core"));
+        // `seer_x=nonsense` parses as target silenced (unknown level = off).
+        assert!(!f.enabled(Level::Error, "seer_x"));
+    }
+}

@@ -1,0 +1,155 @@
+//! Prometheus text exposition format (version 0.0.4) for snapshots.
+
+use crate::registry::{MetricSnapshot, MetricValue, RegistrySnapshot};
+use std::fmt::Write as _;
+
+/// Renders a snapshot in the Prometheus text format: `# HELP` / `# TYPE`
+/// headers once per metric name, then one series line per label set;
+/// histograms expand into cumulative `_bucket{le="…"}` series plus
+/// `_sum` and `_count`.
+#[must_use]
+pub fn render_prometheus(snap: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    let mut last_name: Option<&str> = None;
+    for m in &snap.metrics {
+        if last_name != Some(m.name.as_str()) {
+            let _ = writeln!(out, "# HELP {} {}", m.name, escape_help(&m.help));
+            let _ = writeln!(out, "# TYPE {} {}", m.name, type_name(&m.value));
+            last_name = Some(m.name.as_str());
+        }
+        render_metric(&mut out, m);
+    }
+    out
+}
+
+fn type_name(v: &MetricValue) -> &'static str {
+    match v {
+        MetricValue::Counter { .. } => "counter",
+        MetricValue::Gauge { .. } => "gauge",
+        MetricValue::Histogram { .. } => "histogram",
+    }
+}
+
+fn render_metric(out: &mut String, m: &MetricSnapshot) {
+    match &m.value {
+        MetricValue::Counter { total } => {
+            let _ = writeln!(out, "{}{} {}", m.name, label_block(&m.labels, None), total);
+        }
+        MetricValue::Gauge { value } => {
+            let _ = writeln!(out, "{}{} {}", m.name, label_block(&m.labels, None), value);
+        }
+        MetricValue::Histogram {
+            count,
+            sum_seconds,
+            buckets,
+        } => {
+            let mut cumulative = 0u64;
+            for b in buckets {
+                cumulative += b.count;
+                let _ = writeln!(
+                    out,
+                    "{}_bucket{} {}",
+                    m.name,
+                    label_block(&m.labels, Some(&format_f64(b.le))),
+                    cumulative
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{}_bucket{} {}",
+                m.name,
+                label_block(&m.labels, Some("+Inf")),
+                count
+            );
+            let _ = writeln!(
+                out,
+                "{}_sum{} {}",
+                m.name,
+                label_block(&m.labels, None),
+                format_f64(*sum_seconds)
+            );
+            let _ = writeln!(
+                out,
+                "{}_count{} {}",
+                m.name,
+                label_block(&m.labels, None),
+                count
+            );
+        }
+    }
+}
+
+/// Renders `{k="v",…}` (empty string when there are no labels), with an
+/// optional trailing `le` label for histogram buckets.
+fn label_block(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some(le) = le {
+        parts.push(format!("le=\"{le}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+/// Formats an f64 the way Prometheus expects: no exponent surprises for
+/// the magnitudes we emit, and no trailing `.0` stripping games — Rust's
+/// shortest-round-trip `Display` is valid Prometheus number syntax.
+fn format_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}") // "1.0" rather than "1": conventional for sums.
+    } else {
+        format!("{v}")
+    }
+}
+
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn counters_and_gauges_render_one_line_each() {
+        let r = Registry::new();
+        r.counter("seer_events_total", "Events.").add(12);
+        r.gauge("seer_depth", "Depth.").set(-3);
+        let text = render_prometheus(&r.snapshot());
+        assert!(text.contains("# TYPE seer_depth gauge\nseer_depth -3\n"));
+        assert!(text.contains("# TYPE seer_events_total counter\nseer_events_total 12\n"));
+    }
+
+    #[test]
+    fn shared_names_emit_one_header() {
+        let r = Registry::new();
+        r.counter_with("seer_stage_total", "Stages.", &[("stage", "a")])
+            .inc();
+        r.counter_with("seer_stage_total", "Stages.", &[("stage", "b")])
+            .inc();
+        let text = render_prometheus(&r.snapshot());
+        assert_eq!(text.matches("# TYPE seer_stage_total counter").count(), 1);
+        assert!(text.contains("seer_stage_total{stage=\"a\"} 1"));
+        assert!(text.contains("seer_stage_total{stage=\"b\"} 1"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::new();
+        r.counter_with("seer_weird_total", "W.", &[("path", "a\"b\\c")])
+            .inc();
+        let text = render_prometheus(&r.snapshot());
+        assert!(text.contains("{path=\"a\\\"b\\\\c\"}"), "escaped: {text}");
+    }
+}

@@ -1,0 +1,130 @@
+//! Black-box tests of the telemetry crate: an exact golden rendering of
+//! the Prometheus exposition format, and concurrency of the lock-free
+//! instruments under thread hammering.
+
+use seer_telemetry::{render_prometheus, Registry};
+use std::sync::Arc;
+use std::thread;
+
+/// Every byte of the exposition output is pinned: HELP/TYPE headers once
+/// per name, counters and gauges one line per label set, histograms as
+/// cumulative buckets plus `+Inf`, `_sum`, and `_count`. Scrapers parse
+/// this format strictly, so a formatting regression is a real breakage.
+#[test]
+fn golden_prometheus_rendering() {
+    let r = Registry::new();
+    r.counter("seer_demo_events_total", "Events ingested.")
+        .add(42);
+    r.gauge("seer_demo_queue_depth", "Ingest-queue depth.")
+        .set(-7);
+    let h = r.histogram_with(
+        "seer_demo_stage_seconds",
+        "Stage latency.",
+        &[("stage", "apply")],
+    );
+    // 300 ns → the (256, 512] ns bucket; 1 µs → (512, 1024]; 400 s is
+    // beyond the last finite bound and lands only in +Inf.
+    h.observe_nanos(300);
+    h.observe_nanos(1_000);
+    h.observe_nanos(400_000_000_000);
+
+    let text = render_prometheus(&r.snapshot());
+
+    let expected_head = "\
+# HELP seer_demo_events_total Events ingested.
+# TYPE seer_demo_events_total counter
+seer_demo_events_total 42
+# HELP seer_demo_queue_depth Ingest-queue depth.
+# TYPE seer_demo_queue_depth gauge
+seer_demo_queue_depth -7
+# HELP seer_demo_stage_seconds Stage latency.
+# TYPE seer_demo_stage_seconds histogram
+";
+    assert!(
+        text.starts_with(expected_head),
+        "header and scalar lines:\n{text}"
+    );
+
+    // Cumulative buckets: 1 at the 512 ns bound, 2 from 1024 ns on, and
+    // the overflow observation appears only at +Inf.
+    assert!(text.contains("seer_demo_stage_seconds_bucket{stage=\"apply\",le=\"0.000000512\"} 1\n"));
+    assert!(text.contains("seer_demo_stage_seconds_bucket{stage=\"apply\",le=\"0.000001024\"} 2\n"));
+    let last_finite = "seer_demo_stage_seconds_bucket{stage=\"apply\",le=\"274.877906944\"} 2\n";
+    assert!(
+        text.contains(last_finite),
+        "overflow excluded from finite buckets:\n{text}"
+    );
+    let expected_tail = "\
+seer_demo_stage_seconds_bucket{stage=\"apply\",le=\"+Inf\"} 3
+seer_demo_stage_seconds_sum{stage=\"apply\"} 400.0000013
+seer_demo_stage_seconds_count{stage=\"apply\"} 3
+";
+    assert!(text.ends_with(expected_tail), "histogram tail:\n{text}");
+
+    // Buckets are cumulative: counts never decrease down the page.
+    let mut last = 0u64;
+    for line in text.lines().filter(|l| l.contains("_bucket{")) {
+        let v: u64 = line
+            .rsplit(' ')
+            .next()
+            .expect("value")
+            .parse()
+            .expect("integer");
+        assert!(v >= last, "non-monotonic bucket line: {line}");
+        last = v;
+    }
+}
+
+/// Eight threads hammering one counter, one gauge, and one histogram
+/// must lose nothing: the counter total is exact, the high-water mark is
+/// the true maximum, and the histogram count equals the observations.
+#[test]
+fn concurrent_updates_are_exact() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 50_000;
+
+    let r = Arc::new(Registry::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let r = Arc::clone(&r);
+            thread::spawn(move || {
+                // Same (name, labels) from every thread: registration is
+                // idempotent, so all threads share one atomic.
+                let c = r.counter("seer_hammer_total", "Hammered counter.");
+                let g = r.gauge("seer_hammer_peak", "High-water mark.");
+                let h = r.histogram("seer_hammer_seconds", "Hammered histogram.");
+                for i in 0..PER_THREAD {
+                    c.inc();
+                    g.set_max((t * PER_THREAD + i) as i64);
+                    h.observe_nanos(i + 1);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("no panics");
+    }
+
+    let snap = r.snapshot();
+    assert_eq!(
+        snap.counter("seer_hammer_total"),
+        Some(THREADS * PER_THREAD),
+        "every increment counted exactly once"
+    );
+    assert_eq!(
+        snap.gauge("seer_hammer_peak"),
+        Some((THREADS * PER_THREAD - 1) as i64),
+        "set_max converges on the true maximum"
+    );
+    match &snap.find("seer_hammer_seconds").expect("registered").value {
+        seer_telemetry::MetricValue::Histogram { count, buckets, .. } => {
+            assert_eq!(*count, THREADS * PER_THREAD);
+            let in_buckets: u64 = buckets.iter().map(|b| b.count).sum();
+            assert_eq!(
+                in_buckets, *count,
+                "no observation fell outside the finite range"
+            );
+        }
+        other => panic!("expected histogram, got {other:?}"),
+    }
+}

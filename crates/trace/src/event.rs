@@ -158,12 +158,19 @@ impl EventKind {
     #[must_use]
     pub fn map_paths(self, f: &mut dyn FnMut(RawPathId) -> RawPathId) -> EventKind {
         match self {
-            EventKind::Open { path, mode, fd } => EventKind::Open { path: f(path), mode, fd },
+            EventKind::Open { path, mode, fd } => EventKind::Open {
+                path: f(path),
+                mode,
+                fd,
+            },
             EventKind::OpenDir { path, fd } => EventKind::OpenDir { path: f(path), fd },
             EventKind::Exec { path } => EventKind::Exec { path: f(path) },
             EventKind::Unlink { path } => EventKind::Unlink { path: f(path) },
             EventKind::Create { path } => EventKind::Create { path: f(path) },
-            EventKind::Rename { from, to } => EventKind::Rename { from: f(from), to: f(to) },
+            EventKind::Rename { from, to } => EventKind::Rename {
+                from: f(from),
+                to: f(to),
+            },
             EventKind::Stat { path } => EventKind::Stat { path: f(path) },
             EventKind::SetAttr { path } => EventKind::SetAttr { path: f(path) },
             EventKind::Chdir { path } => EventKind::Chdir { path: f(path) },
@@ -191,6 +198,36 @@ impl EventKind {
             EventKind::Stat { .. } => "stat",
             EventKind::SetAttr { .. } => "setattr",
             EventKind::Chdir { .. } => "chdir",
+        }
+    }
+
+    /// Number of event kinds (the length of [`EventKind::NAMES`]).
+    pub const COUNT: usize = 13;
+
+    /// Kind names indexed by [`EventKind::index`], in declaration order.
+    pub const NAMES: [&'static str; EventKind::COUNT] = [
+        "open", "close", "opendir", "readdir", "exec", "exit", "fork", "unlink", "create",
+        "rename", "stat", "setattr", "chdir",
+    ];
+
+    /// Dense index of this kind into [`EventKind::NAMES`] — the key for
+    /// per-kind counter arrays (telemetry's ingest-by-kind counters).
+    #[must_use]
+    pub fn index(&self) -> usize {
+        match self {
+            EventKind::Open { .. } => 0,
+            EventKind::Close { .. } => 1,
+            EventKind::OpenDir { .. } => 2,
+            EventKind::ReadDir { .. } => 3,
+            EventKind::Exec { .. } => 4,
+            EventKind::Exit => 5,
+            EventKind::Fork { .. } => 6,
+            EventKind::Unlink { .. } => 7,
+            EventKind::Create { .. } => 8,
+            EventKind::Rename { .. } => 9,
+            EventKind::Stat { .. } => 10,
+            EventKind::SetAttr { .. } => 11,
+            EventKind::Chdir { .. } => 12,
         }
     }
 }
@@ -248,15 +285,24 @@ mod tests {
     fn path_extraction() {
         let p = RawPathId(3);
         assert_eq!(
-            ev(EventKind::Open { path: p, mode: OpenMode::Read, fd: Fd(4) })
-                .kind
-                .path(),
+            ev(EventKind::Open {
+                path: p,
+                mode: OpenMode::Read,
+                fd: Fd(4)
+            })
+            .kind
+            .path(),
             Some(p)
         );
         assert_eq!(ev(EventKind::Exit).kind.path(), None);
         assert_eq!(ev(EventKind::Close { fd: Fd(4) }).kind.path(), None);
         assert_eq!(
-            ev(EventKind::Rename { from: p, to: RawPathId(9) }).kind.path(),
+            ev(EventKind::Rename {
+                from: p,
+                to: RawPathId(9)
+            })
+            .kind
+            .path(),
             Some(p)
         );
     }
@@ -271,7 +317,11 @@ mod tests {
 
     #[test]
     fn serde_round_trip() {
-        let e = ev(EventKind::Open { path: RawPathId(1), mode: OpenMode::Write, fd: Fd(7) });
+        let e = ev(EventKind::Open {
+            path: RawPathId(1),
+            mode: OpenMode::Write,
+            fd: Fd(7),
+        });
         let json = serde_json::to_string(&e).expect("serialize");
         let back: TraceEvent = serde_json::from_str(&json).expect("deserialize");
         assert_eq!(back, e);
@@ -280,15 +330,29 @@ mod tests {
     #[test]
     fn map_paths_rewrites_every_path_field() {
         let mut shift = |p: RawPathId| RawPathId(p.0 + 100);
-        let open = EventKind::Open { path: RawPathId(1), mode: OpenMode::Read, fd: Fd(3) };
+        let open = EventKind::Open {
+            path: RawPathId(1),
+            mode: OpenMode::Read,
+            fd: Fd(3),
+        };
         assert_eq!(
             open.map_paths(&mut shift),
-            EventKind::Open { path: RawPathId(101), mode: OpenMode::Read, fd: Fd(3) }
+            EventKind::Open {
+                path: RawPathId(101),
+                mode: OpenMode::Read,
+                fd: Fd(3)
+            }
         );
-        let ren = EventKind::Rename { from: RawPathId(1), to: RawPathId(2) };
+        let ren = EventKind::Rename {
+            from: RawPathId(1),
+            to: RawPathId(2),
+        };
         assert_eq!(
             ren.map_paths(&mut shift),
-            EventKind::Rename { from: RawPathId(101), to: RawPathId(102) }
+            EventKind::Rename {
+                from: RawPathId(101),
+                to: RawPathId(102)
+            }
         );
         let exit = EventKind::Exit;
         assert_eq!(exit.map_paths(&mut shift), EventKind::Exit);
@@ -297,6 +361,14 @@ mod tests {
     #[test]
     fn names_are_stable() {
         assert_eq!(ev(EventKind::Exit).kind.name(), "exit");
-        assert_eq!(ev(EventKind::ReadDir { fd: Fd(1), entries: 10 }).kind.name(), "readdir");
+        assert_eq!(
+            ev(EventKind::ReadDir {
+                fd: Fd(1),
+                entries: 10
+            })
+            .kind
+            .name(),
+            "readdir"
+        );
     }
 }

@@ -46,26 +46,38 @@ impl FsEntry {
     /// A regular file of `size` bytes.
     #[must_use]
     pub fn regular(size: u64) -> FsEntry {
-        FsEntry { kind: FileKind::Regular, size }
+        FsEntry {
+            kind: FileKind::Regular,
+            size,
+        }
     }
 
     /// A directory (charged a nominal 1 KiB, the conservative assumption of
     /// §4.6 that all directories are hoarded).
     #[must_use]
     pub fn directory() -> FsEntry {
-        FsEntry { kind: FileKind::Directory, size: 1024 }
+        FsEntry {
+            kind: FileKind::Directory,
+            size: 1024,
+        }
     }
 
     /// A symbolic link.
     #[must_use]
     pub fn symlink() -> FsEntry {
-        FsEntry { kind: FileKind::Symlink, size: 64 }
+        FsEntry {
+            kind: FileKind::Symlink,
+            size: 64,
+        }
     }
 
     /// A device node.
     #[must_use]
     pub fn device() -> FsEntry {
-        FsEntry { kind: FileKind::Device, size: 0 }
+        FsEntry {
+            kind: FileKind::Device,
+            size: 0,
+        }
     }
 }
 

@@ -33,7 +33,10 @@ impl PathTable {
     /// Panics in debug builds if `path` is not absolute; callers normalize
     /// with [`normalize`] first.
     pub fn intern(&mut self, path: &str) -> FileId {
-        debug_assert!(path.starts_with('/'), "PathTable::intern wants absolute paths: {path}");
+        debug_assert!(
+            path.starts_with('/'),
+            "PathTable::intern wants absolute paths: {path}"
+        );
         if let Some(&id) = self.index.get(path) {
             return id;
         }

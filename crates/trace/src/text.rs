@@ -183,7 +183,7 @@ fn parse_line(
     let mut toks = line.split_whitespace().peekable();
     let bad = |what: &str| TraceError::Format(format!("{what} in line: {line}"));
     let next_num = |toks: &mut std::iter::Peekable<std::str::SplitWhitespace<'_>>,
-                        what: &str|
+                    what: &str|
      -> Result<u64, TraceError> {
         toks.next()
             .ok_or_else(|| bad(what))?
@@ -222,34 +222,64 @@ fn parse_line(
         "open" => {
             let mode = parse_mode(toks.next().ok_or_else(|| bad("missing mode"))?)?;
             let fd = Fd(next_num(&mut toks, "missing fd")? as u32);
-            EventKind::Open { path: path_arg(&mut toks)?, mode, fd }
+            EventKind::Open {
+                path: path_arg(&mut toks)?,
+                mode,
+                fd,
+            }
         }
-        "close" => EventKind::Close { fd: Fd(next_num(&mut toks, "missing fd")? as u32) },
+        "close" => EventKind::Close {
+            fd: Fd(next_num(&mut toks, "missing fd")? as u32),
+        },
         "opendir" => {
             let fd = Fd(next_num(&mut toks, "missing fd")? as u32);
-            EventKind::OpenDir { path: path_arg(&mut toks)?, fd }
+            EventKind::OpenDir {
+                path: path_arg(&mut toks)?,
+                fd,
+            }
         }
         "readdir" => {
             let fd = Fd(next_num(&mut toks, "missing fd")? as u32);
             let entries = next_num(&mut toks, "missing entries")? as u32;
             EventKind::ReadDir { fd, entries }
         }
-        "exec" => EventKind::Exec { path: path_arg(&mut toks)? },
+        "exec" => EventKind::Exec {
+            path: path_arg(&mut toks)?,
+        },
         "exit" => EventKind::Exit,
-        "fork" => EventKind::Fork { child: Pid(next_num(&mut toks, "missing child")? as u32) },
-        "unlink" => EventKind::Unlink { path: path_arg(&mut toks)? },
-        "create" => EventKind::Create { path: path_arg(&mut toks)? },
+        "fork" => EventKind::Fork {
+            child: Pid(next_num(&mut toks, "missing child")? as u32),
+        },
+        "unlink" => EventKind::Unlink {
+            path: path_arg(&mut toks)?,
+        },
+        "create" => EventKind::Create {
+            path: path_arg(&mut toks)?,
+        },
         "rename" => {
             let from = path_arg(&mut toks)?;
             let to = path_arg(&mut toks)?;
             EventKind::Rename { from, to }
         }
-        "stat" => EventKind::Stat { path: path_arg(&mut toks)? },
-        "setattr" => EventKind::SetAttr { path: path_arg(&mut toks)? },
-        "chdir" => EventKind::Chdir { path: path_arg(&mut toks)? },
+        "stat" => EventKind::Stat {
+            path: path_arg(&mut toks)?,
+        },
+        "setattr" => EventKind::SetAttr {
+            path: path_arg(&mut toks)?,
+        },
+        "chdir" => EventKind::Chdir {
+            path: path_arg(&mut toks)?,
+        },
         other => return Err(bad(&format!("unknown operation {other}"))),
     };
-    Ok(TraceEvent { seq, time, pid, root, kind, error })
+    Ok(TraceEvent {
+        seq,
+        time,
+        pid,
+        root,
+        kind,
+        error,
+    })
 }
 
 #[cfg(test)]
@@ -343,8 +373,15 @@ mod tests {
         let mut buf = Vec::new();
         t.save_text(&mut buf).expect("save");
         let back = Trace::load_text(&mut buf.as_slice()).expect("load");
-        let errors: Vec<Option<ErrorKind>> =
-            back.events.iter().map(|e| e.error).filter(|e| e.is_some()).collect();
-        assert_eq!(errors, vec![Some(ErrorKind::NotFound), Some(ErrorKind::NotHoarded)]);
+        let errors: Vec<Option<ErrorKind>> = back
+            .events
+            .iter()
+            .map(|e| e.error)
+            .filter(|e| e.is_some())
+            .collect();
+        assert_eq!(
+            errors,
+            vec![Some(ErrorKind::NotFound), Some(ErrorKind::NotHoarded)]
+        );
     }
 }

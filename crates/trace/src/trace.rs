@@ -121,7 +121,10 @@ impl Trace {
             distinct_raw_paths: self.strings.len() as u64,
             failures,
             duration,
-            per_kind: per_kind.into_iter().map(|(k, v)| (k.to_owned(), v)).collect(),
+            per_kind: per_kind
+                .into_iter()
+                .map(|(k, v)| (k.to_owned(), v))
+                .collect(),
         }
     }
 
@@ -137,7 +140,13 @@ impl Trace {
             meta: &'a TraceMeta,
             strings: &'a StringTable,
         }
-        serde_json::to_writer(&mut *w, &Header { meta: &self.meta, strings: &self.strings })?;
+        serde_json::to_writer(
+            &mut *w,
+            &Header {
+                meta: &self.meta,
+                strings: &self.strings,
+            },
+        )?;
         w.write_all(b"\n")?;
         for ev in &self.events {
             serde_json::to_writer(&mut *w, ev)?;
@@ -173,7 +182,11 @@ impl Trace {
             }
             events.push(serde_json::from_str(&line)?);
         }
-        Ok(Trace { meta: header.meta, strings, events })
+        Ok(Trace {
+            meta: header.meta,
+            strings,
+            events,
+        })
     }
 }
 
@@ -278,7 +291,14 @@ impl TraceBuilder {
         error: Option<ErrorKind>,
         root: bool,
     ) -> &mut TraceBuilder {
-        let ev = TraceEvent { seq: self.seq, time: self.clock, pid, root, kind, error };
+        let ev = TraceEvent {
+            seq: self.seq,
+            time: self.clock,
+            pid,
+            root,
+            kind,
+            error,
+        };
         self.trace.events.push(ev);
         self.seq = self.seq.next();
         self.clock = self.clock + self.tick;

@@ -71,6 +71,9 @@ pub enum QueryRequest {
     Clusters,
     /// Report ingestion-pipeline counters.
     Stats,
+    /// Report the full telemetry registry (counters, gauges, and latency
+    /// histograms) as a structured snapshot.
+    Metrics,
     /// Liveness / readiness probe.
     Health,
 }
@@ -143,6 +146,13 @@ pub enum QueryResponse {
         snapshots: u64,
         /// Connections accepted over the daemon's lifetime.
         connections: u64,
+    },
+    /// Telemetry registry snapshot for [`QueryRequest::Metrics`]: every
+    /// counter, gauge, and latency histogram the daemon maintains,
+    /// ready for [`seer_telemetry::render_prometheus`] or JSON dumping.
+    Metrics {
+        /// The registry contents at query time.
+        snapshot: seer_telemetry::RegistrySnapshot,
     },
     /// Probe result for [`QueryRequest::Health`].
     Health {
@@ -231,7 +241,11 @@ mod tests {
             time: Timestamp::from_millis(1234),
             pid: Pid(42),
             root: false,
-            kind: EventKind::Open { path: RawPathId(3), mode: OpenMode::Read, fd: Fd(5) },
+            kind: EventKind::Open {
+                path: RawPathId(3),
+                mode: OpenMode::Read,
+                fd: Fd(5),
+            },
             error: None,
         }
     }
@@ -239,12 +253,27 @@ mod tests {
     #[test]
     fn client_frames_round_trip() {
         let frames = vec![
-            ClientFrame::Hello { client: "test".into(), version: WIRE_VERSION },
-            ClientFrame::Intern { id: 3, path: "/home/u/proj/main.c".into() },
-            ClientFrame::Events { events: vec![sample_event(), sample_event()] },
+            ClientFrame::Hello {
+                client: "test".into(),
+                version: WIRE_VERSION,
+            },
+            ClientFrame::Intern {
+                id: 3,
+                path: "/home/u/proj/main.c".into(),
+            },
+            ClientFrame::Events {
+                events: vec![sample_event(), sample_event()],
+            },
             ClientFrame::Flush,
-            ClientFrame::Query { query: QueryRequest::Hoard { budget: 1 << 20 } },
-            ClientFrame::Query { query: QueryRequest::Health },
+            ClientFrame::Query {
+                query: QueryRequest::Hoard { budget: 1 << 20 },
+            },
+            ClientFrame::Query {
+                query: QueryRequest::Metrics,
+            },
+            ClientFrame::Query {
+                query: QueryRequest::Health,
+            },
             ClientFrame::Shutdown,
         ];
         let mut buf = Vec::new();
@@ -262,7 +291,9 @@ mod tests {
     #[test]
     fn daemon_frames_round_trip() {
         let frames = vec![
-            DaemonFrame::Welcome { version: WIRE_VERSION },
+            DaemonFrame::Welcome {
+                version: WIRE_VERSION,
+            },
             DaemonFrame::Flushed { events: 999 },
             DaemonFrame::Answer {
                 response: QueryResponse::Hoard {
@@ -283,8 +314,23 @@ mod tests {
                     connections: 1,
                 },
             },
+            DaemonFrame::Answer {
+                response: QueryResponse::Metrics {
+                    snapshot: {
+                        let r = seer_telemetry::Registry::new();
+                        r.counter("seer_daemon_events_received_total", "Events.")
+                            .add(10);
+                        r.gauge("seer_daemon_queue_depth", "Depth.").set(4);
+                        r.histogram("seer_daemon_stage_seconds", "Stage.")
+                            .observe_nanos(1_000);
+                        r.snapshot()
+                    },
+                },
+            },
             DaemonFrame::ShuttingDown,
-            DaemonFrame::Error { message: "nope".into() },
+            DaemonFrame::Error {
+                message: "nope".into(),
+            },
         ];
         let mut buf = Vec::new();
         for f in &frames {

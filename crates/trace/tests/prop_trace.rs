@@ -19,8 +19,7 @@ enum Op {
 
 fn path_strategy() -> impl Strategy<Value = String> {
     // Paths with interesting characters: spaces, percent signs, dots.
-    prop::collection::vec("[a-z%. ]{1,6}", 1..4)
-        .prop_map(|segs| format!("/{}", segs.join("/")))
+    prop::collection::vec("[a-z%. ]{1,6}", 1..4).prop_map(|segs| format!("/{}", segs.join("/")))
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
@@ -63,7 +62,11 @@ fn build(ops: &[Op]) -> Trace {
             Op::Chdir(p, s) => b.chdir(Pid(u32::from(*p)), s),
             Op::Rename(p, a, z) => b.rename(Pid(u32::from(*p)), a, z),
             Op::Fail(p, s, hoard) => {
-                let err = if *hoard { ErrorKind::NotHoarded } else { ErrorKind::NotFound };
+                let err = if *hoard {
+                    ErrorKind::NotHoarded
+                } else {
+                    ErrorKind::NotFound
+                };
                 b.open_err(Pid(u32::from(*p)), s, OpenMode::Read, err);
             }
         }

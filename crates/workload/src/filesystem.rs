@@ -104,10 +104,7 @@ pub struct UserFilesystem {
 
 /// Builds the machine's filesystem for a profile.
 #[must_use]
-pub fn build_filesystem<R: Rng + ?Sized>(
-    profile: &MachineProfile,
-    rng: &mut R,
-) -> UserFilesystem {
+pub fn build_filesystem<R: Rng + ?Sized>(profile: &MachineProfile, rng: &mut R) -> UserFilesystem {
     let mut fs = FsImage::new();
     let mut corpus = SourceCorpus::new();
 
@@ -151,7 +148,10 @@ pub fn build_filesystem<R: Rng + ?Sized>(
     for dot in &system.dotfiles {
         fs.insert(dot, FsEntry::regular(rng.gen_range(500..4_000)));
     }
-    fs.insert(&system.mail_spool, FsEntry::regular(rng.gen_range(10_000..200_000)));
+    fs.insert(
+        &system.mail_spool,
+        FsEntry::regular(rng.gen_range(10_000..200_000)),
+    );
     for m in &system.mail_messages {
         fs.insert(m, FsEntry::regular(rng.gen_range(800..20_000)));
     }
@@ -169,11 +169,20 @@ pub fn build_filesystem<R: Rng + ?Sized>(
     // Projects.
     let mut projects = Vec::new();
     for p in 0..profile.n_projects {
-        let kind = if p % 3 == 2 { ProjectKind::Document } else { ProjectKind::Code };
+        let kind = if p % 3 == 2 {
+            ProjectKind::Document
+        } else {
+            ProjectKind::Code
+        };
         projects.push(build_project(p, kind, profile, &mut fs, &mut corpus, rng));
     }
 
-    UserFilesystem { fs, corpus, projects, system }
+    UserFilesystem {
+        fs,
+        corpus,
+        projects,
+        system,
+    }
 }
 
 fn build_project<R: Rng + ?Sized>(
@@ -191,12 +200,9 @@ fn build_project<R: Rng + ?Sized>(
             let dir = format!("/home/user/proj{index}");
             let n_src = (n_files * 3 / 5).max(2);
             let n_hdr = (n_files / 5).max(1);
-            let sources: Vec<String> =
-                (0..n_src).map(|i| format!("{dir}/src{i}.c")).collect();
-            let headers: Vec<String> =
-                (0..n_hdr).map(|i| format!("{dir}/hdr{i}.h")).collect();
-            let objects: Vec<String> =
-                (0..n_src).map(|i| format!("{dir}/src{i}.o")).collect();
+            let sources: Vec<String> = (0..n_src).map(|i| format!("{dir}/src{i}.c")).collect();
+            let headers: Vec<String> = (0..n_hdr).map(|i| format!("{dir}/hdr{i}.h")).collect();
+            let objects: Vec<String> = (0..n_src).map(|i| format!("{dir}/src{i}.o")).collect();
             let makefile = format!("{dir}/Makefile");
             let product = format!("{dir}/prog{index}");
 
@@ -217,16 +223,11 @@ fn build_project<R: Rng + ?Sized>(
                 let mut content = String::new();
                 for k in 0..n_inc {
                     let h = &headers[(i + k) % headers.len()];
-                    content.push_str(&format!(
-                        "#include \"{}\"\n",
-                        seer_trace::path::basename(h)
-                    ));
+                    content.push_str(&format!("#include \"{}\"\n", seer_trace::path::basename(h)));
                 }
                 content.push_str("#include <stdio.h>\nint work(void) { return 0; }\n");
                 corpus.insert(src, &content);
-                make_text.push_str(&format!(
-                    "src{i}.o: src{i}.c\n\tcc -c src{i}.c\n"
-                ));
+                make_text.push_str(&format!("src{i}.o: src{i}.c\n\tcc -c src{i}.c\n"));
             }
             for h in &headers {
                 fs.insert(h, FsEntry::regular(rng.gen_range(300..8_000)));
@@ -251,8 +252,7 @@ fn build_project<R: Rng + ?Sized>(
         ProjectKind::Document => {
             let dir = format!("/home/user/doc{index}");
             let n_tex = (n_files / 2).max(2);
-            let sources: Vec<String> =
-                (0..n_tex).map(|i| format!("{dir}/ch{i}.tex")).collect();
+            let sources: Vec<String> = (0..n_tex).map(|i| format!("{dir}/ch{i}.tex")).collect();
             let headers = vec![format!("{dir}/refs.bib"), format!("{dir}/macros.tex")];
             let product = format!("{dir}/paper{index}.dvi");
             for s in &sources {

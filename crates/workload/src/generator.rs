@@ -73,9 +73,7 @@ pub fn generate(profile: &MachineProfile, seed: u64) -> Workload {
         }
         // Session start hours within the working day, sorted so the trace
         // clock stays monotone.
-        let mut starts: Vec<f64> = (0..n_sessions)
-            .map(|_| rng.gen_range(8.0..22.0))
-            .collect();
+        let mut starts: Vec<f64> = (0..n_sessions).map(|_| rng.gen_range(8.0..22.0)).collect();
         starts.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         // Root housekeeping fires daily regardless of user activity
         // (§4.10: superuser calls are not traced by SEER).
@@ -198,7 +196,11 @@ mod tests {
         assert_eq!(a.trace.len(), b.trace.len());
         assert_eq!(a.trace.events, b.trace.events);
         let c = generate(&small_profile(), 8);
-        assert_ne!(a.trace.len(), c.trace.len(), "different seed, different trace");
+        assert_ne!(
+            a.trace.len(),
+            c.trace.len(),
+            "different seed, different trace"
+        );
     }
 
     #[test]
@@ -223,8 +225,14 @@ mod tests {
 
     #[test]
     fn heavier_machines_generate_more_events() {
-        let light = MachineProfile { days: 15, ..MachineProfile::by_name("E").expect("E") };
-        let heavy = MachineProfile { days: 15, ..MachineProfile::by_name("F").expect("F") };
+        let light = MachineProfile {
+            days: 15,
+            ..MachineProfile::by_name("E").expect("E")
+        };
+        let heavy = MachineProfile {
+            days: 15,
+            ..MachineProfile::by_name("F").expect("F")
+        };
         let wl = generate(&light, 1);
         let wh = generate(&heavy, 1);
         assert!(

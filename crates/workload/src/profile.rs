@@ -100,15 +100,95 @@ impl MachineProfile {
             }
         };
         vec![
-            mk("A", 111, 38, 3.24, 11.16, 71.89, UsageIntensity::Moderate, 6, 50),
-            mk("B", 79, 10, 0.57, 43.20, 404.94, UsageIntensity::Light, 4, 50),
-            mk("C", 113, 75, 1.12, 9.94, 348.20, UsageIntensity::Light, 5, 50),
-            mk("D", 118, 90, 1.38, 3.01, 26.50, UsageIntensity::Moderate, 6, 50),
+            mk(
+                "A",
+                111,
+                38,
+                3.24,
+                11.16,
+                71.89,
+                UsageIntensity::Moderate,
+                6,
+                50,
+            ),
+            mk(
+                "B",
+                79,
+                10,
+                0.57,
+                43.20,
+                404.94,
+                UsageIntensity::Light,
+                4,
+                50,
+            ),
+            mk(
+                "C",
+                113,
+                75,
+                1.12,
+                9.94,
+                348.20,
+                UsageIntensity::Light,
+                5,
+                50,
+            ),
+            mk(
+                "D",
+                118,
+                90,
+                1.38,
+                3.01,
+                26.50,
+                UsageIntensity::Moderate,
+                6,
+                50,
+            ),
             mk("E", 71, 25, 0.81, 1.87, 12.08, UsageIntensity::Light, 4, 50),
-            mk("F", 252, 184, 2.00, 9.30, 90.62, UsageIntensity::Heavy, 10, 50),
-            mk("G", 132, 107, 1.47, 8.06, 390.60, UsageIntensity::Heavy, 8, 98),
-            mk("H", 113, 75, 1.12, 10.17, 348.20, UsageIntensity::Light, 5, 50),
-            mk("I", 123, 116, 0.78, 2.36, 27.68, UsageIntensity::Moderate, 6, 50),
+            mk(
+                "F",
+                252,
+                184,
+                2.00,
+                9.30,
+                90.62,
+                UsageIntensity::Heavy,
+                10,
+                50,
+            ),
+            mk(
+                "G",
+                132,
+                107,
+                1.47,
+                8.06,
+                390.60,
+                UsageIntensity::Heavy,
+                8,
+                98,
+            ),
+            mk(
+                "H",
+                113,
+                75,
+                1.12,
+                10.17,
+                348.20,
+                UsageIntensity::Light,
+                5,
+                50,
+            ),
+            mk(
+                "I",
+                123,
+                116,
+                0.78,
+                2.36,
+                27.68,
+                UsageIntensity::Moderate,
+                6,
+                50,
+            ),
         ]
     }
 
@@ -124,7 +204,9 @@ impl MachineProfile {
     /// (mean = median·exp(σ²/2) for a lognormal distribution).
     #[must_use]
     pub fn duration_sigma(&self) -> f64 {
-        (2.0 * (self.mean_disc_hours / self.median_disc_hours).ln()).max(0.0).sqrt()
+        (2.0 * (self.mean_disc_hours / self.median_disc_hours).ln())
+            .max(0.0)
+            .sqrt()
     }
 
     /// Shortens the measurement period to at most `days`, scaling the
@@ -133,9 +215,13 @@ impl MachineProfile {
     #[must_use]
     pub fn scaled_to_days(&self, days: u32) -> MachineProfile {
         let days = days.min(self.days).max(1);
-        let n = (u64::from(self.n_disconnections) * u64::from(days) / u64::from(self.days))
-            .max(1) as u32;
-        MachineProfile { days, n_disconnections: n, ..self.clone() }
+        let n = (u64::from(self.n_disconnections) * u64::from(days) / u64::from(self.days)).max(1)
+            as u32;
+        MachineProfile {
+            days,
+            n_disconnections: n,
+            ..self.clone()
+        }
     }
 }
 
@@ -167,12 +253,10 @@ mod tests {
     #[test]
     fn intensity_ordering() {
         assert!(
-            UsageIntensity::Heavy.sessions_per_day()
-                > UsageIntensity::Moderate.sessions_per_day()
+            UsageIntensity::Heavy.sessions_per_day() > UsageIntensity::Moderate.sessions_per_day()
         );
         assert!(
-            UsageIntensity::Moderate.sessions_per_day()
-                > UsageIntensity::Light.sessions_per_day()
+            UsageIntensity::Moderate.sessions_per_day() > UsageIntensity::Light.sessions_per_day()
         );
     }
 }

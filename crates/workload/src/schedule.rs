@@ -50,9 +50,7 @@ pub fn generate_schedule<R: Rng + ?Sized>(
             let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
             let u2: f64 = rng.gen_range(0.0..1.0);
             let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-            let hours = (mu + sigma * z)
-                .exp()
-                .clamp(0.25, profile.max_disc_hours);
+            let hours = (mu + sigma * z).exp().clamp(0.25, profile.max_disc_hours);
             let latest_start = (total_hours - hours).max(0.0);
             let start_h = rng.gen_range(0.0..=latest_start);
             DisconnectionPeriod {
@@ -109,7 +107,10 @@ mod tests {
             profile.median_disc_hours
         );
         let n = Summary::of(&counts).expect("n").mean;
-        assert!(n > f64::from(profile.n_disconnections) * 0.7, "merging loses few periods");
+        assert!(
+            n > f64::from(profile.n_disconnections) * 0.7,
+            "merging loses few periods"
+        );
     }
 
     #[test]

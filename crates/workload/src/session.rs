@@ -23,7 +23,11 @@ impl<'a> SessionCtx<'a> {
     /// Creates a context starting pids at `first_pid`.
     #[must_use]
     pub fn new(b: &'a mut TraceBuilder, ufs: &'a UserFilesystem, first_pid: u32) -> SessionCtx<'a> {
-        SessionCtx { b, ufs, next_pid: first_pid }
+        SessionCtx {
+            b,
+            ufs,
+            next_pid: first_pid,
+        }
     }
 
     /// Allocates a fresh process id.
@@ -191,7 +195,8 @@ pub fn doc_burst<R: Rng + ?Sized>(
         for h in project.headers.clone() {
             ctx.b.touch(latex, &h, OpenMode::Read);
         }
-        ctx.b.touch(latex, &project.product.clone(), OpenMode::Write);
+        ctx.b
+            .touch(latex, &project.product.clone(), OpenMode::Write);
         ctx.b.exit(latex);
     }
 }
@@ -209,7 +214,11 @@ pub fn mail_burst<R: Rng + ?Sized>(
     disconnected: bool,
 ) {
     let mail = ctx.spawn(shell, &ctx.ufs.system.mail.clone());
-    ctx.b.touch(mail, &ctx.ufs.system.mail_spool.clone(), OpenMode::ReadWrite);
+    ctx.b.touch(
+        mail,
+        &ctx.ufs.system.mail_spool.clone(),
+        OpenMode::ReadWrite,
+    );
     let msgs = ctx.ufs.system.mail_messages.clone();
     for _ in 0..rng.gen_range(1..4usize) {
         let idx = if disconnected && !recent.is_empty() {
@@ -289,7 +298,11 @@ pub fn cron_burst<R: Rng + ?Sized>(ctx: &mut SessionCtx<'_>, rng: &mut R) {
         let fd = seer_trace::Fd(3);
         ctx.b.emit_full(
             cron,
-            seer_trace::EventKind::Open { path, mode: OpenMode::ReadWrite, fd },
+            seer_trace::EventKind::Open {
+                path,
+                mode: OpenMode::ReadWrite,
+                fd,
+            },
             None,
             true,
         );
@@ -301,7 +314,8 @@ pub fn cron_burst<R: Rng + ?Sized>(ctx: &mut SessionCtx<'_>, rng: &mut R) {
         ctx.b
             .emit_full(cron, seer_trace::EventKind::Unlink { path }, None, true);
     }
-    ctx.b.emit_full(cron, seer_trace::EventKind::Exit, None, true);
+    ctx.b
+        .emit_full(cron, seer_trace::EventKind::Exit, None, true);
 }
 
 /// Scratch work in `/tmp` (§4.5).
@@ -356,7 +370,10 @@ mod tests {
         let trace = b.build();
         let stats = trace.stats();
         assert!(stats.count("fork") >= 2, "make forks cc children");
-        assert!(stats.count("stat") as usize >= project.len(), "dependency stat storm");
+        assert!(
+            stats.count("stat") as usize >= project.len(),
+            "dependency stat storm"
+        );
         assert!(stats.count("unlink") >= 1, "temp files cleaned up");
         assert!(stats.count("exit") >= 3);
     }

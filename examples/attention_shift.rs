@@ -14,7 +14,9 @@ use seer_trace::{FileId, OpenMode, Pid, TraceBuilder};
 use std::collections::HashSet;
 
 fn main() {
-    let alpha: Vec<String> = (0..10).map(|i| format!("/home/user/alpha/a{i}.c")).collect();
+    let alpha: Vec<String> = (0..10)
+        .map(|i| format!("/home/user/alpha/a{i}.c"))
+        .collect();
     let beta: Vec<String> = (0..10).map(|i| format!("/home/user/beta/b{i}.c")).collect();
 
     let mut b = TraceBuilder::new();
@@ -22,14 +24,22 @@ fn main() {
     for round in 0..12u32 {
         let pid = Pid(100 + round);
         for k in 0..beta.len() {
-            b.touch(pid, &beta[(round as usize + k) % beta.len()], OpenMode::Read);
+            b.touch(
+                pid,
+                &beta[(round as usize + k) % beta.len()],
+                OpenMode::Read,
+            );
         }
     }
     // Phase 2: a long stretch on project alpha — beta ages out of LRU.
     for round in 0..30u32 {
         let pid = Pid(300 + round);
         for k in 0..alpha.len() {
-            b.touch(pid, &alpha[(round as usize + k) % alpha.len()], OpenMode::Read);
+            b.touch(
+                pid,
+                &alpha[(round as usize + k) % alpha.len()],
+                OpenMode::Read,
+            );
         }
     }
     // Phase 3: the attention shift — the user touches ONE beta file just
@@ -55,21 +65,26 @@ fn main() {
     // Map LRU ids into the engine's id space for a common comparison.
     let lru_rank: Vec<FileId> = lru_rank
         .iter()
-        .filter_map(|&f| lru_obs.paths().resolve(f).and_then(|p| engine.paths().get(p)))
+        .filter_map(|&f| {
+            lru_obs
+                .paths()
+                .resolve(f)
+                .and_then(|p| engine.paths().get(p))
+        })
         .collect();
 
     // During the disconnection the user works on beta: the whole project
     // is needed.
-    let needed: HashSet<FileId> = beta
-        .iter()
-        .filter_map(|p| engine.paths().get(p))
-        .collect();
+    let needed: HashSet<FileId> = beta.iter().filter_map(|p| engine.paths().get(p)).collect();
     let mut sizes = |_: FileId| 10_000u64;
     let seer = miss_free_size(&seer_rank, &needed, &mut sizes);
     let lru = miss_free_size(&lru_rank, &needed, &mut sizes);
 
     println!("attention shift to project beta (10 files × 10 KB):");
-    println!("  working set:              {:>9} bytes", 10_000 * beta.len());
+    println!(
+        "  working set:              {:>9} bytes",
+        10_000 * beta.len()
+    );
     println!("  SEER miss-free hoard:     {:>9} bytes", seer.bytes);
     println!("  LRU  miss-free hoard:     {:>9} bytes", lru.bytes);
     println!(

@@ -14,7 +14,10 @@ fn main() {
         days: 30,
         ..MachineProfile::by_name("A").expect("machine A is defined")
     };
-    println!("generating a {}-day workload for machine {} …", profile.days, profile.name);
+    println!(
+        "generating a {}-day workload for machine {} …",
+        profile.days, profile.name
+    );
     let workload = generate(&profile, 42);
     println!(
         "  {} events, {} projects, {} files on disk, {} disconnections",
@@ -33,12 +36,24 @@ fn main() {
     println!("\nobserver filters (§4):");
     println!("  events processed:            {}", stats.events);
     println!("  references emitted:          {}", stats.refs_emitted);
-    println!("  meaningless-process drops:   {}", stats.suppressed_meaningless);
-    println!("  processes marked meaningless:{}", stats.processes_marked_meaningless);
+    println!(
+        "  meaningless-process drops:   {}",
+        stats.suppressed_meaningless
+    );
+    println!(
+        "  processes marked meaningless:{}",
+        stats.processes_marked_meaningless
+    );
     println!("  temp-file drops:             {}", stats.suppressed_temp);
-    println!("  dot-file exclusions:         {}", stats.suppressed_dotfile);
+    println!(
+        "  dot-file exclusions:         {}",
+        stats.suppressed_dotfile
+    );
     println!("  getcwd-walk drops:           {}", stats.suppressed_getcwd);
-    println!("  frequent-file drops (§4.2):  {}", stats.suppressed_frequent);
+    println!(
+        "  frequent-file drops (§4.2):  {}",
+        stats.suppressed_frequent
+    );
 
     println!("\nalways-hoarded system files (frequent/critical, §4.2–§4.3):");
     let mut names: Vec<&str> = engine

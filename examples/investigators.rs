@@ -45,11 +45,7 @@ fn main() {
         let found = inv.investigate(&corpus, &mut paths);
         println!("{} found {} relation(s):", inv.name(), found.len());
         for r in &found {
-            let names: Vec<&str> = r
-                .files
-                .iter()
-                .filter_map(|&f| paths.resolve(f))
-                .collect();
+            let names: Vec<&str> = r.files.iter().filter_map(|&f| paths.resolve(f)).collect();
             println!("  strength {:>5.1}: {names:?}", r.strength);
         }
         relations.extend(found);

@@ -11,8 +11,12 @@ fn main() {
     //    observer sits on a kernel trace; here we script one: a user
     //    alternating between a C project and a paper.
     let mut b = TraceBuilder::new();
-    let code = ["/home/user/hack/main.c", "/home/user/hack/defs.h",
-        "/home/user/hack/util.c", "/home/user/hack/Makefile"];
+    let code = [
+        "/home/user/hack/main.c",
+        "/home/user/hack/defs.h",
+        "/home/user/hack/util.c",
+        "/home/user/hack/Makefile",
+    ];
     let paper = ["/home/user/paper/paper.tex", "/home/user/paper/refs.bib"];
     for round in 0..8u32 {
         let pid = Pid(100 + round);
@@ -40,7 +44,11 @@ fn main() {
 
     // 3. Cluster into projects.
     let clustering = engine.recluster().clone();
-    println!("SEER found {} clusters from {} events:", clustering.len(), trace.len());
+    println!(
+        "SEER found {} clusters from {} events:",
+        clustering.len(),
+        trace.len()
+    );
     for (i, cluster) in clustering.clusters.iter().enumerate() {
         let names: Vec<&str> = cluster
             .files

@@ -67,7 +67,11 @@ fn main() {
     drive(&mut CheapRumor::new(), &mut miss_log);
     drive(&mut CodaLike::new(), &mut miss_log);
 
-    println!("miss log: {} records ({} automatic)", miss_log.records().len(), miss_log.auto_count());
+    println!(
+        "miss log: {} records ({} automatic)",
+        miss_log.records().len(),
+        miss_log.auto_count()
+    );
     let pending = miss_log.take_pending();
     println!(
         "files scheduled for hoarding at next reconnection: {:?}",

@@ -19,8 +19,11 @@ use std::collections::HashSet;
 /// A tiny deterministic model of a user's browsing: three "topics" of
 /// pages, visited in topic-coherent sessions.
 fn browse_log() -> Vec<(u32, String)> {
-    let topics: [(&str, usize); 3] =
-        [("news.example.com", 6), ("docs.rust-lang.org", 8), ("recipes.example.org", 5)];
+    let topics: [(&str, usize); 3] = [
+        ("news.example.com", 6),
+        ("docs.rust-lang.org", 8),
+        ("recipes.example.org", 5),
+    ];
     let mut log = Vec::new();
     let mut session = 0u32;
     for round in 0..12 {

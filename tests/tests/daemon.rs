@@ -50,15 +50,18 @@ fn online_hoard_equals_offline_replay() {
     let mut client = DaemonClient::connect(handle.socket_path(), "equiv").expect("connect");
     client.send_trace(&trace, 7).expect("send");
     assert_eq!(client.flush().expect("flush"), trace.len() as u64);
-    let (online, online_bytes) =
-        match client.query(QueryRequest::Hoard { budget }).expect("query") {
-            QueryResponse::Hoard { files, bytes, .. } => (files, bytes),
-            other => panic!("unexpected response: {other:?}"),
-        };
+    let (online, online_bytes) = match client.query(QueryRequest::Hoard { budget }).expect("query")
+    {
+        QueryResponse::Hoard { files, bytes, .. } => (files, bytes),
+        other => panic!("unexpected response: {other:?}"),
+    };
     drop(client);
     handle.shutdown();
 
-    assert_eq!(online, offline, "online hoard matches offline replay exactly");
+    assert_eq!(
+        online, offline,
+        "online hoard matches offline replay exactly"
+    );
     assert_eq!(online_bytes, sel.bytes);
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -104,24 +107,41 @@ fn killed_daemon_recovers_from_latest_snapshot() {
     handle.kill();
 
     // The on-disk snapshot is intact and covers at least phase 1.
-    let snap = DaemonSnapshot::load(&db).expect("not corrupt").expect("present");
-    assert!(snap.events_applied >= half as u64, "snapshot covers the flushed prefix");
+    let snap = DaemonSnapshot::load(&db)
+        .expect("not corrupt")
+        .expect("present");
+    assert!(
+        snap.events_applied >= half as u64,
+        "snapshot covers the flushed prefix"
+    );
 
     // A new daemon recovers from it and keeps working.
     let handle = Daemon::spawn(cfg).expect("respawn");
     let mut client = DaemonClient::connect(handle.socket_path(), "phase2").expect("reconnect");
     match client.query(QueryRequest::Health).expect("health") {
-        QueryResponse::Health { healthy, events_applied, .. } => {
+        QueryResponse::Health {
+            healthy,
+            events_applied,
+            ..
+        } => {
             assert!(healthy);
-            assert!(events_applied >= half as u64, "recovered state, not a cold start");
+            assert!(
+                events_applied >= half as u64,
+                "recovered state, not a cold start"
+            );
         }
         other => panic!("unexpected response: {other:?}"),
     }
     for chunk in trace.events[half..].chunks(64) {
-        client.send_events(chunk, &trace.strings).expect("send after recovery");
+        client
+            .send_events(chunk, &trace.strings)
+            .expect("send after recovery");
     }
     client.flush().expect("flush after recovery");
-    match client.query(QueryRequest::Hoard { budget: 1 << 20 }).expect("hoard") {
+    match client
+        .query(QueryRequest::Hoard { budget: 1 << 20 })
+        .expect("hoard")
+    {
         QueryResponse::Hoard { files, .. } => {
             assert!(!files.is_empty(), "recovered daemon still selects a hoard");
         }
@@ -147,8 +167,14 @@ fn bounded_channels_apply_backpressure() {
 
     let handle = Daemon::spawn(cfg).expect("spawn");
     let mut client = DaemonClient::connect(handle.socket_path(), "firehose").expect("connect");
-    client.send_trace(&trace, 1).expect("send one event per frame");
-    assert_eq!(client.flush().expect("flush"), trace.len() as u64, "nothing dropped");
+    client
+        .send_trace(&trace, 1)
+        .expect("send one event per frame");
+    assert_eq!(
+        client.flush().expect("flush"),
+        trace.len() as u64,
+        "nothing dropped"
+    );
     drop(client);
     let stats = handle.shutdown();
 
@@ -159,7 +185,117 @@ fn bounded_channels_apply_backpressure() {
         "queue depth {} must stay within the bound {capacity}",
         stats.max_queue_depth
     );
-    assert!(stats.batches_applied < stats.events_received, "frames were coalesced into batches");
+    assert!(
+        stats.batches_applied < stats.events_received,
+        "frames were coalesced into batches"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The `metrics` query returns the daemon's full telemetry registry, and
+/// the registry reflects what was actually ingested: pipeline counters
+/// match the wire totals, every instrumented stage has recorded latency,
+/// and engine-level counters (per-kind events, distance observations)
+/// are live. The same snapshot renders as Prometheus text.
+#[test]
+fn metrics_query_reflects_ingestion() {
+    let trace = machine_a_trace(10, 13);
+    let dir = scratch("metrics");
+    let mut cfg = DaemonConfig::new(dir.join("sock"));
+    cfg.snapshot_path = Some(dir.join("db.json"));
+    // Force reclusterings and snapshots during the stream so their
+    // stage histograms have observations by query time.
+    cfg.recluster_every = 500;
+    cfg.snapshot_every = 1000;
+
+    let handle = Daemon::spawn(cfg).expect("spawn");
+    let mut client = DaemonClient::connect(handle.socket_path(), "metrics").expect("connect");
+    client.send_trace(&trace, 64).expect("send");
+    assert_eq!(client.flush().expect("flush"), trace.len() as u64);
+
+    let snap = match client.query(QueryRequest::Metrics).expect("query") {
+        QueryResponse::Metrics { snapshot } => snapshot,
+        other => panic!("unexpected response: {other:?}"),
+    };
+    drop(client);
+    let stats = handle.shutdown();
+
+    // Pipeline counters in the registry match the legacy stats view.
+    assert_eq!(
+        snap.counter("seer_daemon_events_received_total"),
+        Some(trace.len() as u64)
+    );
+    assert_eq!(
+        snap.counter("seer_daemon_events_applied_total"),
+        Some(trace.len() as u64)
+    );
+    assert_eq!(snap.counter("seer_daemon_connections_total"), Some(1));
+    assert!(
+        snap.gauge("seer_daemon_queue_depth").is_some(),
+        "live queue gauge present"
+    );
+    assert!(snap.gauge("seer_daemon_uptime_seconds").is_some());
+
+    // Every instrumented stage recorded at least one observation by now
+    // (the query itself exercises socket_read and decode).
+    for stage in ["socket_read", "decode", "batcher_flush", "engine_apply"] {
+        let m = snap
+            .find_with("seer_daemon_stage_seconds", &[("stage", stage)])
+            .unwrap_or_else(|| panic!("stage {stage} registered"));
+        match &m.value {
+            seer_telemetry::MetricValue::Histogram { count, .. } => {
+                assert!(*count > 0, "stage {stage} has observations");
+                assert!(m.quantile(0.95).is_some(), "stage {stage} has a p95");
+            }
+            other => panic!("stage {stage} is not a histogram: {other:?}"),
+        }
+    }
+    // Batches were applied and each apply was timed.
+    let apply = snap
+        .find_with("seer_daemon_stage_seconds", &[("stage", "engine_apply")])
+        .expect("engine_apply stage");
+    match &apply.value {
+        seer_telemetry::MetricValue::Histogram { count, .. } => {
+            assert_eq!(*count, stats.batches_applied, "one apply timing per batch");
+        }
+        other => panic!("not a histogram: {other:?}"),
+    }
+    // Forced reclusterings and snapshots left timings behind.
+    assert!(
+        snap.counter("seer_daemon_reclusters_total")
+            .expect("counter")
+            > 0
+    );
+    assert!(
+        snap.counter("seer_daemon_snapshots_total")
+            .expect("counter")
+            > 0
+    );
+
+    // Engine-side instrumentation rode along in the same registry.
+    let opens = snap
+        .find_with("seer_engine_events_total", &[("kind", "open")])
+        .expect("per-kind counter");
+    assert!(
+        matches!(opens.value, seer_telemetry::MetricValue::Counter { total } if total > 0),
+        "opens counted: {opens:?}"
+    );
+    assert!(
+        snap.counter("seer_distance_observations_total")
+            .expect("counter")
+            > 0
+    );
+    assert!(snap.gauge("seer_engine_files_known").expect("gauge") > 0);
+    assert!(snap.gauge("seer_cluster_count").expect("gauge") > 0);
+
+    // The snapshot renders as Prometheus text exposition.
+    let text = seer_telemetry::render_prometheus(&snap);
+    assert!(text.contains("# TYPE seer_daemon_stage_seconds histogram"));
+    assert!(text.contains("seer_daemon_stage_seconds_bucket{stage=\"engine_apply\",le=\"+Inf\"}"));
+    assert!(text.contains(&format!(
+        "seer_daemon_events_received_total {}",
+        trace.len()
+    )));
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -180,8 +316,18 @@ fn graceful_shutdown_flushes_in_flight_batches() {
     client.shutdown().expect("shutdown handshake");
     let stats = handle.wait();
 
-    assert_eq!(stats.events_applied, trace.len() as u64, "every event applied before exit");
-    let snap = DaemonSnapshot::load(&dir.join("db.json")).expect("ok").expect("written");
-    assert_eq!(snap.events_applied, trace.len() as u64, "final snapshot covers everything");
+    assert_eq!(
+        stats.events_applied,
+        trace.len() as u64,
+        "every event applied before exit"
+    );
+    let snap = DaemonSnapshot::load(&dir.join("db.json"))
+        .expect("ok")
+        .expect("written");
+    assert_eq!(
+        snap.events_applied,
+        trace.len() as u64,
+        "final snapshot covers everything"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -52,12 +52,19 @@ fn investigators_do_not_change_the_story() {
     let base = run_missfree(&w, &MissFreeConfig::weekly());
     let inv = run_missfree(
         &w,
-        &MissFreeConfig { investigators: true, ..MissFreeConfig::weekly() },
+        &MissFreeConfig {
+            investigators: true,
+            ..MissFreeConfig::weekly()
+        },
     );
     let a = base.mean_of(|p| p.seer.bytes);
     let b = inv.mean_of(|p| p.seer.bytes);
     let rel = (a - b).abs() / a.max(1.0);
-    assert!(rel < 0.5, "investigators shifted SEER by {:.0}%", rel * 100.0);
+    assert!(
+        rel < 0.5,
+        "investigators shifted SEER by {:.0}%",
+        rel * 100.0
+    );
 }
 
 /// Table 4's central contrast: a stressed hoard fails sometimes; a
@@ -67,12 +74,21 @@ fn investigators_do_not_change_the_story() {
 fn table4_shape_stressed_vs_comfortable() {
     let w = workload("F", 30, 44);
     // Comfortable hoard.
-    let comfy = run_live(&w, &LiveConfig { hoard_bytes: 1 << 40, ..LiveConfig::default() });
+    let comfy = run_live(
+        &w,
+        &LiveConfig {
+            hoard_bytes: 1 << 40,
+            ..LiveConfig::default()
+        },
+    );
     // Stressed hoard: a fraction of what the comfortable one fetched.
     let stressed_budget = comfy.bytes_fetched / 20;
     let stressed = run_live(
         &w,
-        &LiveConfig { hoard_bytes: stressed_budget.max(100_000), ..LiveConfig::default() },
+        &LiveConfig {
+            hoard_bytes: stressed_budget.max(100_000),
+            ..LiveConfig::default()
+        },
     );
     assert!(
         stressed.failed_disconnections() >= comfy.failed_disconnections(),
@@ -92,7 +108,13 @@ fn table4_shape_stressed_vs_comfortable() {
 #[test]
 fn table5_shape_first_miss_timing() {
     let w = workload("F", 30, 45);
-    let comfy = run_live(&w, &LiveConfig { hoard_bytes: 1 << 40, ..LiveConfig::default() });
+    let comfy = run_live(
+        &w,
+        &LiveConfig {
+            hoard_bytes: 1 << 40,
+            ..LiveConfig::default()
+        },
+    );
     let stressed = run_live(
         &w,
         &LiveConfig {
@@ -102,7 +124,10 @@ fn table5_shape_first_miss_timing() {
     );
     for m in &stressed.misses {
         let disc = &w.schedule[m.disconnection];
-        assert!(m.hours_into <= disc.hours() + 1e-6, "miss inside its disconnection");
+        assert!(
+            m.hours_into <= disc.hours() + 1e-6,
+            "miss inside its disconnection"
+        );
     }
 }
 

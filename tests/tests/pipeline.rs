@@ -33,7 +33,10 @@ fn full_pipeline_hoards_active_project_for_disconnection() {
     let budget = 5 * 1024 * 1024;
     let selection = engine.choose_hoard(budget, &|f| size_by_id.get(&f).copied().unwrap_or(0));
     assert!(!selection.files.is_empty());
-    assert!(selection.clusters_taken > 0, "at least one whole project hoarded");
+    assert!(
+        selection.clusters_taken > 0,
+        "at least one whole project hoarded"
+    );
 
     // Install into a substrate and go offline.
     let mut substrate = CheapRumor::new();
@@ -47,10 +50,7 @@ fn full_pipeline_hoards_active_project_for_disconnection() {
         assert_eq!(substrate.access(f, true), AccessOutcome::Local);
     }
     // A file SEER knows but did not select misses detectably.
-    let unselected = engine
-        .rank()
-        .into_iter()
-        .find(|f| !selection.contains(*f));
+    let unselected = engine.rank().into_iter().find(|f| !selection.contains(*f));
     if let Some(f) = unselected {
         assert_eq!(substrate.access(f, true), AccessOutcome::MissDetected);
     }
@@ -64,12 +64,18 @@ fn observer_filters_fire_on_realistic_workloads() {
         engine.on_event(ev, &workload.trace.strings);
     }
     let stats = engine.observer_stats();
-    assert!(stats.suppressed_meaningless > 0, "find sweeps filtered (§4.1)");
+    assert!(
+        stats.suppressed_meaningless > 0,
+        "find sweeps filtered (§4.1)"
+    );
     assert!(stats.processes_marked_meaningless > 0);
     assert!(stats.suppressed_temp > 0, "temp files filtered (§4.5)");
     assert!(stats.suppressed_dotfile > 0, "dot files filtered (§4.3)");
     assert!(stats.suppressed_getcwd > 0, "getcwd walks filtered (§4.1)");
-    assert!(stats.suppressed_frequent > 0, "shared libraries filtered (§4.2)");
+    assert!(
+        stats.suppressed_frequent > 0,
+        "shared libraries filtered (§4.2)"
+    );
     assert!(stats.stats_collapsed > 0, "stat-then-open collapsed (§4.8)");
     // The shared libraries ended up always-hoarded.
     let libs_hoarded = workload
@@ -135,7 +141,10 @@ fn investigator_relations_integrate_with_engine() {
     for inv in standard_investigators() {
         relations.extend(inv.investigate(&workload.corpus, engine.paths_mut()));
     }
-    assert!(!relations.is_empty(), "corpus yields include/makefile relations");
+    assert!(
+        !relations.is_empty(),
+        "corpus yields include/makefile relations"
+    );
     engine.set_relations(relations);
     for ev in &workload.trace.events {
         engine.on_event(ev, &workload.trace.strings);
@@ -153,7 +162,10 @@ fn investigator_relations_integrate_with_engine() {
         .paths()
         .get(code.makefile.as_ref().expect("checked"))
         .expect("makefile interned");
-    let src = engine.paths().get(&code.sources[0]).expect("source interned");
+    let src = engine
+        .paths()
+        .get(&code.sources[0])
+        .expect("source interned");
     let shared = clustering
         .clusters_of(mk)
         .iter()

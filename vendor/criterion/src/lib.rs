@@ -52,12 +52,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Creates an id from a function name and a parameter rendering.
     pub fn new<P: Display>(function_name: &str, parameter: P) -> BenchmarkId {
-        BenchmarkId { id: format!("{function_name}/{parameter}") }
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
     }
 
     /// Creates an id from a parameter alone.
     pub fn from_parameter<P: Display>(parameter: P) -> BenchmarkId {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -167,7 +171,10 @@ impl BenchmarkGroup<'_> {
         // takes long enough to time meaningfully.
         let mut iters = 1u64;
         loop {
-            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
             routine(&mut b);
             if b.elapsed >= SAMPLE_TARGET || iters >= 1 << 20 {
                 break;
@@ -182,7 +189,10 @@ impl BenchmarkGroup<'_> {
 
         let mut per_iter_ns: Vec<f64> = (0..self.sample_size)
             .map(|_| {
-                let mut b = Bencher { iters, elapsed: Duration::ZERO };
+                let mut b = Bencher {
+                    iters,
+                    elapsed: Duration::ZERO,
+                };
                 routine(&mut b);
                 b.elapsed.as_nanos() as f64 / iters as f64
             })
@@ -225,7 +235,12 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let name = name.into();
         println!("benchmarking group `{name}`");
-        BenchmarkGroup { name, sample_size: 10, throughput: None, _criterion: self }
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            throughput: None,
+            _criterion: self,
+        }
     }
 
     /// Registers and runs an ungrouped benchmark.
@@ -283,10 +298,17 @@ mod tests {
             b.iter(|| (0..100u64).sum::<u64>())
         });
         group.bench_with_input(BenchmarkId::new("param", 7), &7u32, |b, &n| {
-            b.iter_batched(|| vec![n; 8], |v| v.iter().sum::<u32>(), BatchSize::LargeInput)
+            b.iter_batched(
+                || vec![n; 8],
+                |v| v.iter().sum::<u32>(),
+                BatchSize::LargeInput,
+            )
         });
         group.finish();
-        assert!(runs >= 3, "calibration plus samples each invoke the routine");
+        assert!(
+            runs >= 3,
+            "calibration plus samples each invoke the routine"
+        );
     }
 
     #[test]

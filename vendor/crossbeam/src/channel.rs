@@ -124,7 +124,11 @@ struct Shared<T> {
 
 impl<T> Shared<T> {
     fn len(&self) -> usize {
-        self.inner.lock().expect("channel lock poisoned").queue.len()
+        self.inner
+            .lock()
+            .expect("channel lock poisoned")
+            .queue
+            .len()
     }
 }
 
@@ -137,7 +141,10 @@ impl<T> Shared<T> {
 /// this vendored implementation.
 #[must_use]
 pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
-    assert!(cap > 0, "zero-capacity (rendezvous) channels are not supported");
+    assert!(
+        cap > 0,
+        "zero-capacity (rendezvous) channels are not supported"
+    );
     with_capacity(Some(cap))
 }
 
@@ -149,11 +156,21 @@ pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
 
 fn with_capacity<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
     let shared = Arc::new(Shared {
-        inner: Mutex::new(Inner { queue: VecDeque::new(), cap, senders: 1, receivers: 1 }),
+        inner: Mutex::new(Inner {
+            queue: VecDeque::new(),
+            cap,
+            senders: 1,
+            receivers: 1,
+        }),
         not_empty: Condvar::new(),
         not_full: Condvar::new(),
     });
-    (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
 }
 
 /// The sending half of a channel.
@@ -234,8 +251,14 @@ impl<T> Sender<T> {
 
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Sender<T> {
-        self.shared.inner.lock().expect("channel lock poisoned").senders += 1;
-        Sender { shared: Arc::clone(&self.shared) }
+        self.shared
+            .inner
+            .lock()
+            .expect("channel lock poisoned")
+            .senders += 1;
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
     }
 }
 
@@ -341,8 +364,14 @@ impl<T> Receiver<T> {
 
 impl<T> Clone for Receiver<T> {
     fn clone(&self) -> Receiver<T> {
-        self.shared.inner.lock().expect("channel lock poisoned").receivers += 1;
-        Receiver { shared: Arc::clone(&self.shared) }
+        self.shared
+            .inner
+            .lock()
+            .expect("channel lock poisoned")
+            .receivers += 1;
+        Receiver {
+            shared: Arc::clone(&self.shared),
+        }
     }
 }
 

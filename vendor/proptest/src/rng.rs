@@ -19,7 +19,9 @@ impl TestRng {
             z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
             z ^ (z >> 31)
         };
-        TestRng { s: [next(), next(), next(), next()] }
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
     }
 
     /// The next 64 random bits.

@@ -76,7 +76,10 @@ impl<V> Union<V> {
     /// Panics if `options` is empty.
     #[must_use]
     pub fn new(options: Vec<Box<dyn Strategy<Value = V>>>) -> Union<V> {
-        assert!(!options.is_empty(), "prop_oneof! wants at least one strategy");
+        assert!(
+            !options.is_empty(),
+            "prop_oneof! wants at least one strategy"
+        );
         Union { options }
     }
 }
@@ -300,7 +303,9 @@ mod tests {
         for _ in 0..200 {
             let s = "[a-z%. ]{1,6}".generate(&mut rng);
             assert!(!s.is_empty() && s.len() <= 6, "bad length {}", s.len());
-            assert!(s.chars().all(|c| c.is_ascii_lowercase() || "%. ".contains(c)));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || "%. ".contains(c)));
         }
     }
 

@@ -141,7 +141,10 @@ pub trait Rng: RngCore {
     ///
     /// Panics if `p` is not within `[0, 1]`.
     fn gen_bool(&mut self, p: f64) -> bool {
-        assert!((0.0..=1.0).contains(&p), "gen_bool wants a probability, got {p}");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool wants a probability, got {p}"
+        );
         unit_f64(self) < p
     }
 

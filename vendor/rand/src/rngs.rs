@@ -20,7 +20,9 @@ impl Xoshiro256 {
             z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
             z ^ (z >> 31)
         };
-        Xoshiro256 { s: [next(), next(), next(), next()] }
+        Xoshiro256 {
+            s: [next(), next(), next(), next()],
+        }
     }
 
     fn next(&mut self) -> u64 {

@@ -70,8 +70,7 @@ pub trait Deserialize: Sized {
 /// Returns [`DeError`] if the field is absent or fails to deserialize.
 pub fn field<T: Deserialize>(obj: &[(String, Value)], name: &str) -> Result<T, DeError> {
     match obj.iter().find(|(k, _)| k == name) {
-        Some((_, v)) => T::from_value(v)
-            .map_err(|e| DeError(format!("field `{name}`: {e}"))),
+        Some((_, v)) => T::from_value(v).map_err(|e| DeError(format!("field `{name}`: {e}"))),
         None => Err(DeError(format!("missing field `{name}`"))),
     }
 }
@@ -384,7 +383,11 @@ fn key_from_string<K: Deserialize>(s: &str) -> Result<K, DeError> {
 
 impl<K: Serialize + Eq + std::hash::Hash, V: Serialize> Serialize for HashMap<K, V> {
     fn to_value(&self) -> Value {
-        Value::Object(self.iter().map(|(k, v)| (key_to_string(k), v.to_value())).collect())
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (key_to_string(k), v.to_value()))
+                .collect(),
+        )
     }
 }
 
@@ -402,7 +405,11 @@ impl<K: Deserialize + Eq + std::hash::Hash, V: Deserialize> Deserialize for Hash
 
 impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
     fn to_value(&self) -> Value {
-        Value::Object(self.iter().map(|(k, v)| (key_to_string(k), v.to_value())).collect())
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (key_to_string(k), v.to_value()))
+                .collect(),
+        )
     }
 }
 
@@ -437,7 +444,10 @@ mod tests {
         assert_eq!(Vec::<u64>::from_value(&v.to_value()).expect("vec"), v);
         let mut m = HashMap::new();
         m.insert("a".to_owned(), 1u32);
-        assert_eq!(HashMap::<String, u32>::from_value(&m.to_value()).expect("map"), m);
+        assert_eq!(
+            HashMap::<String, u32>::from_value(&m.to_value()).expect("map"),
+            m
+        );
         let t = (1u8, "x".to_owned(), 2.5f64);
         let back = <(u8, String, f64)>::from_value(&t.to_value()).expect("tuple");
         assert_eq!(back, t);
@@ -445,8 +455,14 @@ mod tests {
 
     #[test]
     fn option_null_round_trip() {
-        assert_eq!(Option::<u32>::from_value(&None::<u32>.to_value()).expect("none"), None);
-        assert_eq!(Option::<u32>::from_value(&Some(3u32).to_value()).expect("some"), Some(3));
+        assert_eq!(
+            Option::<u32>::from_value(&None::<u32>.to_value()).expect("none"),
+            None
+        );
+        assert_eq!(
+            Option::<u32>::from_value(&Some(3u32).to_value()).expect("some"),
+            Some(3)
+        );
     }
 
     #[test]

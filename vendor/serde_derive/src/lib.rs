@@ -52,14 +52,18 @@ struct Item {
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    gen_serialize(&item).parse().expect("serde_derive: generated Serialize impl parses")
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated Serialize impl parses")
 }
 
 /// Derives `serde::Deserialize`.
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    gen_deserialize(&item).parse().expect("serde_derive: generated Deserialize impl parses")
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl parses")
 }
 
 // ---------------------------------------------------------------------------
@@ -179,7 +183,10 @@ fn parse_unnamed_fields(group: &TokenStream) -> Vec<Field> {
                 i += 1;
             }
         }
-        fields.push(Field { name: fields.len().to_string(), skip });
+        fields.push(Field {
+            name: fields.len().to_string(),
+            skip,
+        });
     }
     fields
 }
@@ -231,7 +238,9 @@ fn parse_item(input: TokenStream) -> Item {
         skip_attrs(&toks, &mut i);
         skip_vis(&toks, &mut i);
         match toks.get(i) {
-            Some(TokenTree::Ident(id)) if id.to_string() == "struct" || id.to_string() == "enum" => {
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct" || id.to_string() == "enum" =>
+            {
                 break
             }
             Some(_) => i += 1,
@@ -306,7 +315,11 @@ fn parse_item(input: TokenStream) -> Item {
             other => panic!("serde_derive: expected enum body, found {other:?}"),
         }
     };
-    Item { name, generics, data }
+    Item {
+        name,
+        generics,
+        data,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -323,9 +336,8 @@ fn impl_header(item: &Item, trait_path: &str) -> String {
 fn gen_serialize(item: &Item) -> String {
     let body = match &item.data {
         Data::Struct(Fields::Named(fields)) => {
-            let mut s = String::from(
-                "let mut obj: Vec<(String, ::serde::value::Value)> = Vec::new();\n",
-            );
+            let mut s =
+                String::from("let mut obj: Vec<(String, ::serde::value::Value)> = Vec::new();\n");
             for f in fields.iter().filter(|f| !f.skip) {
                 s.push_str(&format!(
                     "obj.push((String::from(\"{n}\"), \
@@ -377,8 +389,7 @@ fn gen_serialize(item: &Item) -> String {
                         ));
                     }
                     Fields::Named(fields) => {
-                        let binds: Vec<String> =
-                            fields.iter().map(|f| f.name.clone()).collect();
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
                         let mut pushes = String::new();
                         for f in fields.iter().filter(|f| !f.skip) {
                             pushes.push_str(&format!(
@@ -468,9 +479,7 @@ fn gen_deserialize(item: &Item) -> String {
             for v in variants {
                 let vn = &v.name;
                 match &v.fields {
-                    Fields::Unit => unit_arms.push_str(&format!(
-                        "\"{vn}\" => Ok({name}::{vn}),\n"
-                    )),
+                    Fields::Unit => unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n")),
                     Fields::Unnamed(fields) if fields.len() == 1 => {
                         tagged_arms.push_str(&format!(
                             "\"{vn}\" => Ok({name}::{vn}(\
@@ -480,9 +489,7 @@ fn gen_deserialize(item: &Item) -> String {
                     Fields::Unnamed(fields) => {
                         let n_fields = fields.len();
                         let items: Vec<String> = (0..n_fields)
-                            .map(|k| {
-                                format!("::serde::Deserialize::from_value(&items[{k}])?")
-                            })
+                            .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
                             .collect();
                         tagged_arms.push_str(&format!(
                             "\"{vn}\" => {{\n\

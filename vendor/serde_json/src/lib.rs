@@ -84,7 +84,10 @@ pub fn to_writer<W: Write, T: Serialize + ?Sized>(mut w: W, value: &T) -> Result
 ///
 /// Returns [`Error`] if the text is not valid JSON or does not match `T`.
 pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
-    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let v = p.parse_value()?;
     p.skip_ws();
