@@ -128,6 +128,72 @@ fn main() {
     }
 
     out.push_str(&stage_tables);
+
+    // Second experiment: does background reclustering stall ingestion?
+    // Same workload at frame size 64, once with periodic reclustering
+    // disabled and once reclustering aggressively, comparing the
+    // engine_apply latency distribution. Reclustering runs off-actor on
+    // a worker thread, so the apply path should barely notice it.
+    let _ = writeln!(
+        out,
+        "\ningest latency during background reclustering (frame size 64):"
+    );
+    let _ = writeln!(
+        out,
+        "  {:<22} {:>10} {:>10} {:>10} {:>10} {:>12}",
+        "configuration", "p50 µs", "p95 µs", "p99 µs", "applies", "reclusters"
+    );
+    let mut apply_p99 = [f64::NAN; 2];
+    for (i, (label, every)) in [("no reclustering", 0u64), ("recluster every 1000", 1000)]
+        .iter()
+        .enumerate()
+    {
+        let dir =
+            std::env::temp_dir().join(format!("seer-throughput-rc{i}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let mut cfg = DaemonConfig::new(dir.join("sock"));
+        cfg.recluster_every = *every;
+        let handle = Daemon::spawn(cfg).expect("spawn");
+        let mut client =
+            DaemonClient::connect(handle.socket_path(), "recluster-bench").expect("connect");
+        client.send_trace(&trace, 64).expect("warmup send");
+        client.flush().expect("warmup flush");
+        client.send_trace(&trace, 64).expect("send");
+        client.flush().expect("flush");
+        let snap = match client.query(QueryRequest::Metrics).expect("metrics query") {
+            QueryResponse::Metrics { snapshot } => snapshot,
+            other => panic!("unexpected response: {other:?}"),
+        };
+        drop(client);
+        handle.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+
+        let apply = snap
+            .find_with("seer_daemon_stage_seconds", &[("stage", "engine_apply")])
+            .expect("engine_apply stage");
+        let count = match &apply.value {
+            seer_telemetry::MetricValue::Histogram { count, .. } => *count,
+            _ => 0,
+        };
+        apply_p99[i] = apply.quantile(0.99).unwrap_or(f64::NAN);
+        let _ = writeln!(
+            out,
+            "  {:<22} {:>10} {:>10} {:>10} {:>10} {:>12}",
+            label,
+            us(apply.quantile(0.50)),
+            us(apply.quantile(0.95)),
+            us(apply.quantile(0.99)),
+            count,
+            snap.counter("seer_daemon_reclusters_total").unwrap_or(0),
+        );
+    }
+    let ratio = apply_p99[1] / apply_p99[0].max(1e-12);
+    let _ = writeln!(
+        out,
+        "  engine_apply p99 ratio (recluster / baseline): {ratio:.2}x \
+         (target: within 2x — reclustering must not stall ingestion)"
+    );
+
     let _ = writeln!(
         out,
         "\nthe paper's observer cost ~35 µs/event on 1997 hardware (§5.3); the\n\

@@ -26,10 +26,12 @@ USAGE:
             [--refill-hours H]
   seer daemon --socket PATH [--snapshot FILE] [--capacity N] [--batch-max N]
               [--recluster-every N] [--snapshot-every N] [--file-size BYTES]
+              [--recluster-threads N]
+              (N = 0 for --recluster-every / --snapshot-every means never)
   seer client send <trace> --socket PATH [--chunk N]
   seer client load --socket PATH --machine <A..I> [--days N] [--seed N] [--chunk N]
   seer client query <hoard|clusters|stats|metrics|health> --socket PATH
-                    [--budget BYTES] [--format json|prom]
+                    [--budget BYTES] [--cached] [--format json|prom]
   seer client shutdown --socket PATH
   seer top --socket PATH
   seer demo [--days N]

@@ -28,10 +28,21 @@ pub fn cmd_daemon(args: &Args) -> Result<(), CliError> {
     }
     cfg.channel_capacity = args.num_flag("capacity", cfg.channel_capacity)?;
     cfg.batch_max = args.num_flag("batch-max", cfg.batch_max)?;
+    // For both periodic knobs 0 means "never": no periodic reclustering
+    // (queries still compute one on demand) and no periodic snapshots
+    // (the final shutdown snapshot is still written).
     cfg.recluster_every = args.num_flag("recluster-every", cfg.recluster_every)?;
     cfg.snapshot_every = args.num_flag("snapshot-every", cfg.snapshot_every)?;
     cfg.file_size = args.num_flag("file-size", cfg.file_size)?;
     cfg.batch_max_wait = Duration::from_millis(args.num_flag("batch-wait-ms", 20u64)?);
+    cfg.recluster_threads = args.num_flag("recluster-threads", cfg.recluster_threads)?;
+    if cfg.recluster_threads == 0 {
+        return Err(CliError(
+            "--recluster-threads wants at least 1 (the clustering is \
+             bit-identical for any thread count)"
+                .into(),
+        ));
+    }
 
     let recovered = cfg.snapshot_path.as_deref().is_some_and(Path::exists);
     let handle = Daemon::spawn(cfg)?;
@@ -125,9 +136,17 @@ fn client_query(args: &Args, socket: &Path) -> Result<(), CliError> {
                 .require_flag("budget")?
                 .parse()
                 .map_err(|_| CliError("--budget wants a byte count".into()))?;
-            client.query(QueryRequest::Hoard { budget })?
+            // `--cached` answers from the last computed clustering
+            // immediately (possibly marked stale); the default waits for
+            // a clustering that reflects every applied event.
+            client.query(QueryRequest::Hoard {
+                budget,
+                fresh: !args.bool_flag("cached"),
+            })?
         }
-        Some("clusters") => client.query(QueryRequest::Clusters)?,
+        Some("clusters") => client.query(QueryRequest::Clusters {
+            fresh: !args.bool_flag("cached"),
+        })?,
         Some("stats") => client.query(QueryRequest::Stats)?,
         Some("metrics") => client.query(QueryRequest::Metrics)?,
         Some("health") => client.query(QueryRequest::Health)?,
@@ -179,12 +198,15 @@ pub fn cmd_top(args: &Args) -> Result<(), CliError> {
         counter("seer_daemon_batches_applied_total"),
     );
     println!(
-        "queue depth {} (peak {})   connections {}   reclusters {}   snapshots {}",
+        "queue depth {} (peak {})   connections {}   reclusters {} ({} in flight)   \
+         snapshots {}   stale queries {}",
         gauge("seer_daemon_queue_depth"),
         gauge("seer_daemon_queue_depth_max"),
         counter("seer_daemon_connections_total"),
         counter("seer_daemon_reclusters_total"),
+        gauge("seer_daemon_recluster_inflight"),
         counter("seer_daemon_snapshots_total"),
+        counter("seer_daemon_stale_queries_total"),
     );
     println!(
         "engine: {} files known, {} clusters, {} distance observations",
@@ -242,11 +264,14 @@ fn print_response(response: &QueryResponse) {
             bytes,
             clusters_taken,
             clusters_skipped,
+            generation,
+            stale,
         } => {
             println!(
                 "hoard: {} files, {bytes} bytes; {clusters_taken} whole projects \
-                 ({clusters_skipped} skipped)",
-                files.len()
+                 ({clusters_skipped} skipped); clustering generation {generation}{}",
+                files.len(),
+                if *stale { " (stale)" } else { "" }
             );
             for f in files {
                 println!("  {f}");
@@ -256,8 +281,14 @@ fn print_response(response: &QueryResponse) {
             count,
             largest,
             files_known,
+            generation,
+            stale,
         } => {
-            println!("{count} clusters over {files_known} known files");
+            println!(
+                "{count} clusters over {files_known} known files \
+                 (generation {generation}{})",
+                if *stale { ", stale" } else { "" }
+            );
             println!("largest: {largest:?}");
         }
         QueryResponse::Stats {

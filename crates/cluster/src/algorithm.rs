@@ -5,9 +5,10 @@ use crate::relation::ExternalRelation;
 use crate::result::Clustering;
 use crate::shared::SharedNeighborCounter;
 use crate::unionfind::UnionFind;
-use seer_distance::NeighborTable;
+use seer_distance::{ClusterView, NeighborTable};
 use seer_trace::{FileId, PathTable};
 use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
 
 /// Clusters from explicit candidate pairs with precomputed (already
 /// adjusted) shared-neighbor counts.
@@ -50,15 +51,23 @@ pub fn cluster_from_counts(
         }
     }
     // Phase two: overlap. Each file of a mid-strength pair joins the other
-    // file's cluster, but the clusters stay distinct.
+    // file's cluster, but the clusters stay distinct. Two mid-strength
+    // pairs sharing a file — (a,b) and (a,c) with b, c in one phase-one
+    // group — would insert `a` into that group twice; `inserted` keeps
+    // each membership unique.
+    let mut inserted: HashSet<(usize, FileId)> = HashSet::new();
     for &(a, b, count) in pairs {
         if count >= config.kf && count < config.kn {
             let (Some(&ga), Some(&gb)) = (group_of.get(&a), group_of.get(&b)) else {
                 continue;
             };
             if ga != gb {
-                members[gb].push(a);
-                members[ga].push(b);
+                if inserted.insert((gb, a)) {
+                    members[gb].push(a);
+                }
+                if inserted.insert((ga, b)) {
+                    members[ga].push(b);
+                }
             }
         }
     }
@@ -92,38 +101,155 @@ pub fn cluster_files_excluding(
     exclude: &HashSet<FileId>,
     config: &ClusterConfig,
 ) -> Clustering {
-    let counter = SharedNeighborCounter::from_table_excluding(table, exclude);
-    let mut counts: HashMap<(FileId, FileId), f64> = HashMap::new();
-    for (a, b) in counter.candidate_pairs() {
-        let mut count = f64::from(counter.shared(a, b));
-        if let Some(dd) = paths.directory_distance(a, b) {
-            // Widely-separated directories argue against clustering
-            // (§3.3.3: subtracted from the shared-neighbor count).
-            count -= config.directory_weight * f64::from(dd);
-        }
-        counts.insert((a, b), count);
-    }
+    cluster_view_excluding(&table.cluster_view(), paths, relations, exclude, config, 1).clustering
+}
+
+/// Outcome of one clustering computation: the assignment plus the wall
+/// time each count-phase shard spent, for telemetry.
+#[derive(Debug, Clone)]
+pub struct ClusterRun {
+    /// The computed project assignment.
+    pub clustering: Clustering,
+    /// Wall time of each shared-neighbor counting shard (one entry per
+    /// worker thread actually used).
+    pub shard_count_seconds: Vec<Duration>,
+}
+
+/// Full clustering pipeline over a frozen [`ClusterView`], with the
+/// shared-neighbor counting phase sharded across `threads` worker
+/// threads.
+///
+/// Candidate pairs are directed — pair `(a, b)` originates from `a`'s
+/// neighbor row and nowhere else — so partitioning the rows partitions
+/// the pairs, per-shard results merge without collisions, and the merged
+/// pair set is *identical* to the serial one. The merged pairs are then
+/// sorted before the combine/overlap phases, making the resulting
+/// [`Clustering`] bit-identical regardless of `threads`.
+#[must_use]
+pub fn cluster_view_excluding(
+    view: &ClusterView,
+    paths: &PathTable,
+    relations: &[ExternalRelation],
+    exclude: &HashSet<FileId>,
+    config: &ClusterConfig,
+    threads: usize,
+) -> ClusterRun {
+    let counter = SharedNeighborCounter::from_view_excluding(view, exclude);
+    let (mut counts, shard_count_seconds) = count_pairs_sharded(&counter, paths, config, threads);
     // Investigator relations are tested regardless of whether a semantic
     // distance was independently stored (§3.3.3).
     for rel in relations {
         for (a, b) in rel.pairs() {
-            let base = counts.get(&(a, b)).copied().unwrap_or_else(|| {
-                let mut c = f64::from(counter.shared(a, b));
-                if let Some(dd) = paths.directory_distance(a, b) {
-                    c -= config.directory_weight * f64::from(dd);
-                }
-                c
-            });
+            let base = counts
+                .get(&(a, b))
+                .copied()
+                .unwrap_or_else(|| adjusted_count(&counter, paths, config, a, b));
             let adjusted = base + rel.strength;
             // A sufficiently strong relation forces combination outright.
             let forced = rel.strength >= config.force_strength;
             counts.insert((a, b), if forced { f64::INFINITY } else { adjusted });
         }
     }
-    let pairs: Vec<(FileId, FileId, f64)> =
+    let mut pairs: Vec<(FileId, FileId, f64)> =
         counts.into_iter().map(|((a, b), c)| (a, b, c)).collect();
+    // Deterministic order into the combine/overlap phases: the serial and
+    // every parallel schedule see the same sequence.
+    pairs.sort_unstable_by_key(|&(a, b, _)| (a, b));
     let universe = counter.all_files();
-    cluster_from_counts(&pairs, &universe, config)
+    ClusterRun {
+        clustering: cluster_from_counts(&pairs, &universe, config),
+        shard_count_seconds,
+    }
+}
+
+/// Shared-neighbor count of `(a, b)`, adjusted by weighted directory
+/// distance (§3.3.3: widely-separated directories argue against
+/// clustering, subtracted from the shared-neighbor count).
+fn adjusted_count(
+    counter: &SharedNeighborCounter,
+    paths: &PathTable,
+    config: &ClusterConfig,
+    a: FileId,
+    b: FileId,
+) -> f64 {
+    let mut count = f64::from(counter.shared(a, b));
+    if let Some(dd) = paths.directory_distance(a, b) {
+        count -= config.directory_weight * f64::from(dd);
+    }
+    count
+}
+
+/// Counts every directed candidate pair of one row into `out`.
+fn count_row(
+    counter: &SharedNeighborCounter,
+    paths: &PathTable,
+    config: &ClusterConfig,
+    a: FileId,
+    out: &mut Vec<((FileId, FileId), f64)>,
+) {
+    let Some(targets) = counter.neighbors(a) else {
+        return;
+    };
+    for &b in targets {
+        if b != a {
+            out.push(((a, b), adjusted_count(counter, paths, config, a, b)));
+        }
+    }
+}
+
+/// One shard's output: its directed pair counts plus how long the
+/// counting took (fed to the per-shard latency histogram).
+type CountShard = (Vec<((FileId, FileId), f64)>, Duration);
+
+/// The O(files × neighbors) counting phase, partitioned by candidate
+/// row across at most `threads` scoped threads. Row partitioning makes
+/// the shards disjoint in their output keys, so the merge is a plain
+/// extend and the result is independent of the schedule.
+fn count_pairs_sharded(
+    counter: &SharedNeighborCounter,
+    paths: &PathTable,
+    config: &ClusterConfig,
+    threads: usize,
+) -> (HashMap<(FileId, FileId), f64>, Vec<Duration>) {
+    let rows = counter.files_sorted();
+    let threads = threads.clamp(1, rows.len().max(1));
+    let mut merged: HashMap<(FileId, FileId), f64> = HashMap::new();
+    let mut timings = Vec::with_capacity(threads);
+    if threads == 1 {
+        let started = Instant::now();
+        let mut local = Vec::new();
+        for &a in &rows {
+            count_row(counter, paths, config, a, &mut local);
+        }
+        merged.extend(local);
+        timings.push(started.elapsed());
+        return (merged, timings);
+    }
+    let chunk = rows.len().div_ceil(threads);
+    let shards: Vec<CountShard> = std::thread::scope(|s| {
+        let handles: Vec<_> = rows
+            .chunks(chunk)
+            .map(|part| {
+                s.spawn(move || {
+                    let started = Instant::now();
+                    let mut local = Vec::new();
+                    for &a in part {
+                        count_row(counter, paths, config, a, &mut local);
+                    }
+                    (local, started.elapsed())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("count shard panicked"))
+            .collect()
+    });
+    for (local, wall) in shards {
+        merged.extend(local);
+        timings.push(wall);
+    }
+    (merged, timings)
 }
 
 #[cfg(test)]
@@ -240,6 +366,92 @@ mod tests {
             },
         );
         assert_eq!(without.len(), 1);
+    }
+
+    /// Two mid-strength pairs (a,b) and (a,c) with b, c in one phase-one
+    /// group insert `a` into that cluster once, not twice — and more
+    /// broadly no cluster ever lists a file twice.
+    #[test]
+    fn overlap_membership_is_deduplicated() {
+        let (a, b, c, x) = (fid('A'), fid('B'), fid('C'), fid('X'));
+        // Phase one: {B, C} combine; A sits with companion X.
+        let pairs = [
+            (b, c, KN),
+            (a, x, KN),
+            (a, b, KF),
+            (a, c, KF), // Second mid-strength route for A into {B, C}.
+        ];
+        let r = cluster_from_counts(&pairs, &[], &cfg(KN, KF));
+        for cl in &r.clusters {
+            let mut files = cl.files.clone();
+            files.dedup();
+            assert_eq!(files, cl.files, "no cluster lists a file twice: {cl:?}");
+        }
+        // A still overlaps into the {B, C} cluster exactly once.
+        let bc = r
+            .clusters
+            .iter()
+            .find(|cl| cl.contains(b))
+            .expect("BC cluster");
+        assert_eq!(bc.files.iter().filter(|&&f| f == a).count(), 1);
+    }
+
+    /// The sharded counting phase produces a bit-identical clustering to
+    /// the serial path, for every shard width.
+    #[test]
+    fn parallel_clustering_matches_serial() {
+        use seer_distance::{DistanceConfig, NeighborTable};
+        let dc = DistanceConfig::default();
+        let mut t = NeighborTable::new(
+            dc.n_neighbors,
+            dc.reduction,
+            dc.aging_refs,
+            dc.deletion_delay,
+            dc.seed,
+        );
+        let mut paths = PathTable::new();
+        // Three directory-separated pseudo-projects with cross traffic.
+        for p in 0..3u32 {
+            for i in 0..12u32 {
+                paths.intern(&format!("/proj{p}/src/f{i}.c"));
+            }
+        }
+        for p in 0..3u32 {
+            let base = p * 12;
+            for i in 0..12u32 {
+                for j in 0..12u32 {
+                    if i != j {
+                        t.observe(
+                            FileId(base + i),
+                            FileId(base + j),
+                            f64::from((i + j) % 5) + 0.5,
+                        );
+                    }
+                }
+            }
+            // A little cross-project noise.
+            t.observe(FileId(base), FileId((base + 13) % 36), 9.0);
+        }
+        let rel = ExternalRelation::new(vec![FileId(0), FileId(35)], 3.0);
+        let exclude: HashSet<FileId> = [FileId(7)].into_iter().collect();
+        let config = ClusterConfig::default();
+        let view = t.cluster_view();
+        let rels = std::slice::from_ref(&rel);
+        let serial = cluster_view_excluding(&view, &paths, rels, &exclude, &config, 1);
+        assert_eq!(serial.shard_count_seconds.len(), 1);
+        for threads in [2, 3, 8, 64] {
+            let par = cluster_view_excluding(&view, &paths, rels, &exclude, &config, threads);
+            assert_eq!(
+                par.clustering.membership_fingerprint(),
+                serial.clustering.membership_fingerprint(),
+                "threads={threads} diverged from serial"
+            );
+            assert_eq!(par.clustering.clusters, serial.clustering.clusters);
+            assert!(!par.shard_count_seconds.is_empty());
+        }
+        // The table-based entry point is the same computation.
+        let table_path = cluster_files_excluding(&t, &paths, &[rel], &exclude, &config);
+        assert_eq!(table_path.clusters, serial.clustering.clusters);
     }
 
     #[test]

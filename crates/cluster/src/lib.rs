@@ -29,7 +29,9 @@ pub mod result;
 pub mod shared;
 pub mod unionfind;
 
-pub use algorithm::{cluster_files, cluster_files_excluding, cluster_from_counts};
+pub use algorithm::{
+    cluster_files, cluster_files_excluding, cluster_from_counts, cluster_view_excluding, ClusterRun,
+};
 pub use config::ClusterConfig;
 pub use relation::ExternalRelation;
 pub use result::{Cluster, ClusterId, Clustering};

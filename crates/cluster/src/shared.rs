@@ -1,6 +1,6 @@
 //! Shared-neighbor counting from the stored n-neighbor lists.
 
-use seer_distance::NeighborTable;
+use seer_distance::{ClusterView, NeighborTable};
 use seer_trace::FileId;
 use std::collections::HashMap;
 
@@ -52,6 +52,36 @@ impl SharedNeighborCounter {
         SharedNeighborCounter { sets }
     }
 
+    /// Builds the counter from a frozen [`ClusterView`], applying the same
+    /// exclusion rule as [`SharedNeighborCounter::from_table_excluding`].
+    ///
+    /// A view taken with [`seer_distance::NeighborTable::cluster_view`]
+    /// yields exactly the counter the live table would, so a clustering
+    /// computed off-thread from the view is identical to one computed
+    /// in place.
+    #[must_use]
+    pub fn from_view_excluding(
+        view: &ClusterView,
+        exclude: &std::collections::HashSet<FileId>,
+    ) -> SharedNeighborCounter {
+        let mut sets: HashMap<FileId, Vec<FileId>> = HashMap::new();
+        for (f, targets) in view.rows() {
+            if exclude.contains(f) {
+                continue;
+            }
+            let mut targets: Vec<FileId> = targets
+                .iter()
+                .filter(|t| !exclude.contains(t))
+                .copied()
+                .collect();
+            targets.push(*f);
+            targets.sort_unstable();
+            targets.dedup();
+            sets.insert(*f, targets);
+        }
+        SharedNeighborCounter { sets }
+    }
+
     /// Builds the counter directly from neighbor lists (for tests and
     /// synthetic inputs).
     #[must_use]
@@ -94,6 +124,15 @@ impl SharedNeighborCounter {
             .iter()
             .flat_map(|(&a, targets)| targets.iter().map(move |&b| (a, b)))
             .filter(|(a, b)| a != b)
+    }
+
+    /// All files with a stored neighbor set, sorted — the deterministic
+    /// row order the sharded counting phase partitions.
+    #[must_use]
+    pub fn files_sorted(&self) -> Vec<FileId> {
+        let mut v: Vec<FileId> = self.sets.keys().copied().collect();
+        v.sort_unstable();
+        v
     }
 
     /// Every file mentioned anywhere (as a row or as a neighbor).
@@ -145,6 +184,33 @@ mod tests {
         let pairs: Vec<_> = c.candidate_pairs().collect();
         assert!(pairs.contains(&(FileId(1), FileId(10))));
         assert!(!pairs.contains(&(FileId(10), FileId(1))), "10 has no list");
+    }
+
+    #[test]
+    fn view_counter_matches_table_counter() {
+        use seer_distance::{DistanceConfig, NeighborTable};
+        let dc = DistanceConfig::default();
+        let mut t = NeighborTable::new(
+            dc.n_neighbors,
+            dc.reduction,
+            dc.aging_refs,
+            dc.deletion_delay,
+            dc.seed,
+        );
+        for i in 0..6u32 {
+            for j in 0..6u32 {
+                if i != j {
+                    t.observe(FileId(i), FileId(j), f64::from(i + j));
+                }
+            }
+        }
+        let exclude: std::collections::HashSet<FileId> = [FileId(2)].into_iter().collect();
+        let from_table = SharedNeighborCounter::from_table_excluding(&t, &exclude);
+        let from_view = SharedNeighborCounter::from_view_excluding(&t.cluster_view(), &exclude);
+        assert_eq!(from_table.files_sorted(), from_view.files_sorted());
+        for f in from_table.files_sorted() {
+            assert_eq!(from_table.neighbors(f), from_view.neighbors(f));
+        }
     }
 
     #[test]

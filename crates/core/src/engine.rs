@@ -4,11 +4,13 @@ use crate::config::SeerConfig;
 use crate::correlator::Correlator;
 use crate::manager::{select_hoard, HoardSelection};
 use crate::rankers::{HoardRanker, RankContext, SeerRanker};
-use seer_cluster::{cluster_files_excluding, Clustering, ExternalRelation};
+use seer_cluster::{cluster_view_excluding, ClusterRun, Clustering, ExternalRelation};
+use seer_distance::ClusterView;
 use seer_observer::Observer;
 use seer_telemetry::{Counter, Gauge, Histogram, Registry};
 use seer_trace::{EventKind, EventSink, FileId, PathTable, StringTable, TraceEvent};
 use std::collections::HashSet;
+use std::time::Duration;
 
 /// Registry handles the engine updates while processing events; present
 /// only after [`SeerEngine::attach_telemetry`]. Counting is lock-free, so
@@ -25,6 +27,7 @@ struct EngineTelemetry {
     distance_evictions: Counter,
     distance_purged: Counter,
     recluster_seconds: Histogram,
+    shard_count_seconds: Histogram,
     cluster_count: Gauge,
     cluster_churn: Counter,
 }
@@ -69,6 +72,10 @@ impl EngineTelemetry {
             recluster_seconds: registry.histogram(
                 "seer_cluster_recluster_seconds",
                 "Wall time of full reclusterings.",
+            ),
+            shard_count_seconds: registry.histogram(
+                "seer_cluster_shard_count_seconds",
+                "Wall time of each shared-neighbor counting shard within a reclustering.",
             ),
             cluster_count: registry.gauge(
                 "seer_cluster_count",
@@ -200,16 +207,63 @@ impl SeerEngine {
     /// Runs the clustering algorithm over the current distance table,
     /// replacing any previous project assignment.
     pub fn recluster(&mut self) -> &Clustering {
+        self.recluster_with_threads(1)
+    }
+
+    /// [`SeerEngine::recluster`] with the shared-neighbor counting phase
+    /// sharded across `threads` worker threads. The result is
+    /// bit-identical to the serial path (see
+    /// [`seer_cluster::cluster_view_excluding`]).
+    pub fn recluster_with_threads(&mut self, threads: usize) -> &Clustering {
         let started = std::time::Instant::now();
-        let clustering = cluster_files_excluding(
-            self.correlator().distance().table(),
+        let run = cluster_view_excluding(
+            &self.correlator().distance().table().cluster_view(),
             self.observer.paths(),
             &self.relations,
             self.observer.always_hoard(),
             &self.cluster_config,
+            threads,
         );
+        self.install_clustering(run.clustering, started.elapsed(), &run.shard_count_seconds)
+    }
+
+    /// Captures everything a detached worker needs to compute a
+    /// clustering equivalent to [`SeerEngine::recluster`]: a frozen
+    /// neighbor view, the path table, investigator relations, the
+    /// exclusion set, and the configuration.
+    ///
+    /// The snapshot is O(files) — neighbor ids and path strings are
+    /// copied, distances are not — and is fully detached: the engine can
+    /// keep applying events while [`ReclusterInput::compute`] runs
+    /// elsewhere, and the finished [`Clustering`] is folded back in with
+    /// [`SeerEngine::install_clustering`].
+    #[must_use]
+    pub fn recluster_input(&self) -> ReclusterInput {
+        ReclusterInput {
+            view: self.correlator().distance().table().cluster_view(),
+            paths: self.observer.paths().clone(),
+            relations: self.relations.clone(),
+            exclude: self.observer.always_hoard().clone(),
+            config: self.cluster_config,
+        }
+    }
+
+    /// Installs a clustering computed elsewhere (typically from a
+    /// [`ReclusterInput`] on a worker thread), updating recluster
+    /// telemetry exactly as an in-place [`SeerEngine::recluster`] would:
+    /// `wall` is the computation's wall time and `shard_seconds` the
+    /// per-shard count-phase timings.
+    pub fn install_clustering(
+        &mut self,
+        clustering: Clustering,
+        wall: Duration,
+        shard_seconds: &[Duration],
+    ) -> &Clustering {
         if let Some(t) = &self.telemetry {
-            t.recluster_seconds.observe(started.elapsed());
+            t.recluster_seconds.observe(wall);
+            for &s in shard_seconds {
+                t.shard_count_seconds.observe(s);
+            }
             t.cluster_count.set(clustering.len() as i64);
             if let Some(prev) = &self.clustering {
                 t.cluster_churn.add(clustering.churn_from(prev) as u64);
@@ -304,6 +358,36 @@ impl SeerEngine {
             clustering: None,
             telemetry: None,
         }
+    }
+}
+
+/// A self-contained snapshot of the engine state a reclustering reads
+/// (see [`SeerEngine::recluster_input`]). Owns everything it needs, so
+/// it can be sent to a worker thread while the engine keeps mutating.
+#[derive(Debug, Clone)]
+pub struct ReclusterInput {
+    view: ClusterView,
+    paths: PathTable,
+    relations: Vec<ExternalRelation>,
+    exclude: HashSet<FileId>,
+    config: seer_cluster::ClusterConfig,
+}
+
+impl ReclusterInput {
+    /// Computes the clustering this snapshot describes, sharding the
+    /// counting phase across `threads` worker threads. Bit-identical to
+    /// what [`SeerEngine::recluster`] would have produced at snapshot
+    /// time, for any `threads`.
+    #[must_use]
+    pub fn compute(&self, threads: usize) -> ClusterRun {
+        cluster_view_excluding(
+            &self.view,
+            &self.paths,
+            &self.relations,
+            &self.exclude,
+            &self.config,
+            threads,
+        )
     }
 }
 
@@ -451,6 +535,57 @@ mod tests {
             snap.counter("seer_cluster_churn_total"),
             Some(0),
             "identical reclustering produces no churn"
+        );
+    }
+
+    /// A clustering computed off-engine from a [`ReclusterInput`] and
+    /// installed back is indistinguishable — same fingerprint, same
+    /// telemetry effects — from an in-place recluster, serial or sharded.
+    #[test]
+    fn recluster_input_round_trips_through_worker() {
+        let trace = two_project_trace();
+        let mut serial = SeerEngine::default();
+        trace.replay(&mut serial);
+        serial.recluster();
+        let want = serial.clustering().expect("clustered").clone();
+
+        let registry = Registry::new();
+        let mut engine = SeerEngine::default();
+        engine.attach_telemetry(&registry);
+        trace.replay(&mut engine);
+        let input = engine.recluster_input();
+        for threads in [1, 4] {
+            let started = std::time::Instant::now();
+            let run = input.compute(threads);
+            assert_eq!(
+                run.clustering.membership_fingerprint(),
+                want.membership_fingerprint(),
+                "threads={threads}"
+            );
+            engine.install_clustering(run.clustering, started.elapsed(), &run.shard_count_seconds);
+        }
+        let snap = registry.snapshot();
+        assert!(snap.gauge("seer_cluster_count").expect("gauge") > 0);
+        let recluster = snap
+            .find("seer_cluster_recluster_seconds")
+            .expect("histogram");
+        assert!(
+            matches!(
+                recluster.value,
+                seer_telemetry::MetricValue::Histogram { count: 2, .. }
+            ),
+            "both installs timed: {recluster:?}"
+        );
+        let shards = snap
+            .find("seer_cluster_shard_count_seconds")
+            .expect("histogram");
+        assert!(
+            matches!(
+                shards.value,
+                // 1 serial shard + up to 4 parallel shards.
+                seer_telemetry::MetricValue::Histogram { count, .. } if count >= 2
+            ),
+            "shard timings recorded: {shards:?}"
         );
     }
 

@@ -28,7 +28,8 @@ pub mod rankers;
 pub use activity::ActivityTracker;
 pub use config::SeerConfig;
 pub use correlator::Correlator;
-pub use engine::SeerEngine;
+pub use engine::{ReclusterInput, SeerEngine};
 pub use manager::{select_hoard, HoardSelection};
 pub use persist::{PersistError, SeerSnapshot};
 pub use rankers::{CodaInspiredRanker, HoardRanker, LruRanker, RankContext, SeerRanker};
+pub use seer_cluster::Clustering;

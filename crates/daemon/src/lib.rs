@@ -86,7 +86,10 @@ mod tests {
         assert_eq!(applied, trace.events.len() as u64);
 
         match client
-            .query(QueryRequest::Hoard { budget: 1 << 20 })
+            .query(QueryRequest::Hoard {
+                budget: 1 << 20,
+                fresh: true,
+            })
             .expect("query")
         {
             QueryResponse::Hoard { files, .. } => {

@@ -19,16 +19,17 @@
 
 use crate::snapshot::DaemonSnapshot;
 use crate::stats::SharedMetrics;
-use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
-use seer_core::SeerEngine;
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TrySendError};
+use seer_core::{Clustering, ReclusterInput, SeerEngine};
 use seer_telemetry::{tlog, Histogram, Level};
 use seer_trace::wire::{QueryRequest, QueryResponse};
 use seer_trace::{EventSink, RawPathId, StringTable, TraceEvent};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::thread;
+use std::time::{Duration, Instant};
 
 /// Messages from connection readers into the pipeline.
 pub(crate) enum Ingest {
@@ -77,6 +78,50 @@ pub(crate) struct ActorConfig {
     pub snapshot_every: u64,
     pub tick: Duration,
     pub file_size: u64,
+    pub recluster_threads: usize,
+}
+
+/// A frozen reclustering job handed to the background worker. The input
+/// is an immutable copy of the engine's neighbor lists and path table;
+/// the actor keeps applying batches while the worker computes.
+struct ReclusterJob {
+    input: ReclusterInput,
+    /// `events_applied` at snapshot time — the generation the finished
+    /// clustering will be tagged with.
+    generation: u64,
+}
+
+/// A finished clustering coming back from the worker.
+struct ReclusterDone {
+    clustering: Clustering,
+    generation: u64,
+    /// Wall-clock time of the whole computation.
+    wall: Duration,
+    /// Per-shard duration of the shared-neighbor counting phase.
+    shard_seconds: Vec<Duration>,
+}
+
+/// The recluster worker: receives frozen jobs, computes clusterings with
+/// the configured shard count, and sends them back. Exits when the job
+/// channel disconnects (actor gone) or the done channel does.
+fn run_recluster_worker(
+    job_rx: &Receiver<ReclusterJob>,
+    done_tx: &Sender<ReclusterDone>,
+    threads: usize,
+) {
+    while let Ok(job) = job_rx.recv() {
+        let started = Instant::now();
+        let run = job.input.compute(threads);
+        let done = ReclusterDone {
+            clustering: run.clustering,
+            generation: job.generation,
+            wall: started.elapsed(),
+            shard_seconds: run.shard_count_seconds,
+        };
+        if done_tx.send(done).is_err() {
+            return;
+        }
+    }
 }
 
 /// Coalesces ingest messages into batches and forwards them downstream.
@@ -192,6 +237,14 @@ struct Actor {
     events_applied: u64,
     since_recluster: u64,
     since_snapshot: u64,
+    /// `events_applied` when the installed clustering was snapshotted;
+    /// a query is *stale* when this lags the live counter.
+    clustering_generation: u64,
+    /// Generations of jobs handed to the worker, oldest first. The
+    /// worker is FIFO, so completions arrive in this order.
+    inflight: VecDeque<u64>,
+    job_tx: Sender<ReclusterJob>,
+    done_rx: Receiver<ReclusterDone>,
     cfg: ActorConfig,
     metrics: SharedMetrics,
 }
@@ -237,10 +290,14 @@ impl Actor {
                 self.metrics.events_applied.add(n);
                 self.metrics.batches_applied.inc();
                 drop(apply_timer);
-                if self.since_recluster >= self.cfg.recluster_every {
-                    self.recluster();
+                self.poll_recluster_done();
+                if self.cfg.recluster_every > 0
+                    && self.since_recluster >= self.cfg.recluster_every
+                    && self.inflight.is_empty()
+                {
+                    self.request_recluster();
                 }
-                if self.since_snapshot >= self.cfg.snapshot_every {
+                if self.cfg.snapshot_every > 0 && self.since_snapshot >= self.cfg.snapshot_every {
                     self.write_snapshot();
                 }
             }
@@ -254,18 +311,108 @@ impl Actor {
         }
     }
 
-    fn recluster(&mut self) {
-        let _t = self.metrics.stage_recluster.start_timer();
-        let clusters = self.engine.recluster().len();
-        self.since_recluster = 0;
+    /// Hands the worker a frozen copy of the engine's tables. Returns
+    /// `false` only when the worker is gone (channel disconnected);
+    /// a full job queue counts as success because the queued jobs will
+    /// finish first and the caller re-requests as needed.
+    fn request_recluster(&mut self) -> bool {
+        let job = ReclusterJob {
+            input: self.engine.recluster_input(),
+            generation: self.events_applied,
+        };
+        match self.job_tx.try_send(job) {
+            Ok(()) => {
+                self.inflight.push_back(self.events_applied);
+                self.metrics
+                    .recluster_inflight
+                    .set(self.inflight.len() as i64);
+                self.since_recluster = 0;
+                true
+            }
+            Err(TrySendError::Full(_)) => true,
+            Err(TrySendError::Disconnected(_)) => false,
+        }
+    }
+
+    /// Installs a finished clustering delivered by the worker. The
+    /// worker is FIFO and generations are requested in non-decreasing
+    /// order, so installs never regress the generation.
+    fn install_recluster(&mut self, done: ReclusterDone) {
+        if let Some(pos) = self.inflight.iter().position(|&g| g == done.generation) {
+            self.inflight.remove(pos);
+        }
+        self.metrics
+            .recluster_inflight
+            .set(self.inflight.len() as i64);
+        let clusters = self
+            .engine
+            .install_clustering(done.clustering, done.wall, &done.shard_seconds)
+            .len();
+        self.clustering_generation = done.generation;
         self.metrics.reclusters.inc();
+        self.metrics.stage_recluster.observe(done.wall);
         tlog!(
             Level::Debug,
             "seer_daemon::pipeline",
             "reclustered",
             clusters = clusters,
+            generation = done.generation,
             events_applied = self.events_applied,
         );
+    }
+
+    /// Folds in any clusterings the worker has finished, without blocking.
+    fn poll_recluster_done(&mut self) {
+        while let Ok(done) = self.done_rx.try_recv() {
+            self.install_recluster(done);
+        }
+    }
+
+    /// Reclusters on the actor thread — the fallback when the worker is
+    /// unavailable. Still uses the configured shard count.
+    fn recluster_in_place(&mut self) {
+        let started = Instant::now();
+        let clusters = self
+            .engine
+            .recluster_with_threads(self.cfg.recluster_threads)
+            .len();
+        self.clustering_generation = self.events_applied;
+        self.since_recluster = 0;
+        self.metrics.reclusters.inc();
+        self.metrics.stage_recluster.observe(started.elapsed());
+        tlog!(
+            Level::Debug,
+            "seer_daemon::pipeline",
+            "reclustered in place",
+            clusters = clusters,
+            events_applied = self.events_applied,
+        );
+    }
+
+    /// Blocks until a clustering at the *current* generation is
+    /// installed. Reuses an in-flight background job when one covers the
+    /// target; falls back to an in-place recluster if the worker died.
+    fn ensure_fresh_clustering(&mut self) {
+        let target = self.events_applied;
+        self.poll_recluster_done();
+        while self.engine.clustering().is_none() || self.clustering_generation < target {
+            let covered = self.inflight.back().is_some_and(|&g| g >= target);
+            if !covered && !self.request_recluster() {
+                self.inflight.clear();
+                self.metrics.recluster_inflight.set(0);
+                self.recluster_in_place();
+                return;
+            }
+            match self.done_rx.recv() {
+                Ok(done) => self.install_recluster(done),
+                Err(_) => {
+                    self.inflight.clear();
+                    self.metrics.recluster_inflight.set(0);
+                    self.recluster_in_place();
+                    return;
+                }
+            }
+        }
     }
 
     fn write_snapshot(&mut self) {
@@ -300,13 +447,28 @@ impl Actor {
         self.since_snapshot = 0;
     }
 
+    /// Prepares the clustering for a hoard/clusters answer. `fresh`
+    /// blocks until the clustering reflects everything applied so far —
+    /// this makes an online hoard query equivalent to an offline replay
+    /// followed by recluster + choose_hoard. A non-fresh query reuses
+    /// the cached clustering (counting it as stale when the generation
+    /// lags), so it never waits on a recluster.
+    fn prepare_clustering(&mut self, fresh: bool) -> (u64, bool) {
+        self.poll_recluster_done();
+        if fresh || self.engine.clustering().is_none() {
+            self.ensure_fresh_clustering();
+        }
+        let stale = self.clustering_generation < self.events_applied;
+        if stale {
+            self.metrics.stale_queries.inc();
+        }
+        (self.clustering_generation, stale)
+    }
+
     fn answer(&mut self, query: QueryRequest, ingest_depth: usize, alive: bool) -> QueryResponse {
         match query {
-            QueryRequest::Hoard { budget } => {
-                // Recluster so the answer reflects everything applied so
-                // far — this makes an online hoard query equivalent to an
-                // offline replay followed by recluster + choose_hoard.
-                self.recluster();
+            QueryRequest::Hoard { budget, fresh } => {
+                let (generation, stale) = self.prepare_clustering(fresh);
                 let file_size = self.cfg.file_size;
                 let sel = self.engine.choose_hoard(budget, &|_| file_size);
                 let files = sel
@@ -319,13 +481,13 @@ impl Actor {
                     bytes: sel.bytes,
                     clusters_taken: sel.clusters_taken,
                     clusters_skipped: sel.clusters_skipped,
+                    generation,
+                    stale,
                 }
             }
-            QueryRequest::Clusters => {
-                if self.engine.clustering().is_none() || self.since_recluster > 0 {
-                    self.recluster();
-                }
-                let clustering = self.engine.clustering().expect("reclustered above");
+            QueryRequest::Clusters { fresh } => {
+                let (generation, stale) = self.prepare_clustering(fresh);
+                let clustering = self.engine.clustering().expect("prepared above");
                 let mut largest: Vec<usize> = clustering.clusters.iter().map(|c| c.len()).collect();
                 largest.sort_unstable_by(|a, b| b.cmp(a));
                 largest.truncate(8);
@@ -333,6 +495,8 @@ impl Actor {
                     count: clustering.len(),
                     largest,
                     files_known: self.engine.paths().len(),
+                    generation,
+                    stale,
                 }
             }
             QueryRequest::Stats => {
@@ -379,6 +543,18 @@ pub(crate) fn run_engine_actor(
     kill: Arc<AtomicBool>,
 ) {
     let tick = cfg.tick;
+    // The recluster worker owns the expensive computation; both channels
+    // are small because the actor keeps at most one periodic job and one
+    // fresh-query job outstanding at a time.
+    let (job_tx, job_rx) = crossbeam::channel::bounded::<ReclusterJob>(4);
+    let (done_tx, done_rx) = crossbeam::channel::bounded::<ReclusterDone>(4);
+    let worker = {
+        let threads = cfg.recluster_threads.max(1);
+        thread::Builder::new()
+            .name("seer-recluster".into())
+            .spawn(move || run_recluster_worker(&job_rx, &done_tx, threads))
+            .ok()
+    };
     let mut actor = Actor {
         engine,
         strings: StringTable::new(),
@@ -387,6 +563,10 @@ pub(crate) fn run_engine_actor(
         events_applied,
         since_recluster: 0,
         since_snapshot: 0,
+        clustering_generation: 0,
+        inflight: VecDeque::new(),
+        job_tx,
+        done_rx,
         cfg,
         metrics,
     };
@@ -407,12 +587,17 @@ pub(crate) fn run_engine_actor(
         match apply_rx.recv_timeout(tick) {
             Ok(item) => actor.apply(item),
             Err(RecvTimeoutError::Timeout) => {
-                // Idle tick: fold in anything pending so queries and
-                // snapshots don't go stale during quiet periods.
-                if actor.since_recluster > 0 {
-                    actor.recluster();
+                // Idle tick: fold in finished clusterings, start a
+                // background recluster if the cache went stale, and
+                // snapshot pending work so quiet periods converge.
+                actor.poll_recluster_done();
+                if actor.cfg.recluster_every > 0
+                    && actor.since_recluster > 0
+                    && actor.inflight.is_empty()
+                {
+                    actor.request_recluster();
                 }
-                if actor.since_snapshot > 0 {
+                if actor.cfg.snapshot_every > 0 && actor.since_snapshot > 0 {
                     actor.write_snapshot();
                 }
             }
@@ -424,8 +609,18 @@ pub(crate) fn run_engine_actor(
         let answer = actor.answer(query, 0, false);
         let _ = reply.send(answer);
     }
-    if actor.since_recluster > 0 {
-        actor.recluster();
+    actor.poll_recluster_done();
+    if actor.engine.clustering().is_none() || actor.clustering_generation < actor.events_applied {
+        actor.ensure_fresh_clustering();
     }
     actor.write_snapshot();
+    // Dropping the job sender lets the worker's recv disconnect; join so
+    // a graceful shutdown leaves no thread behind. (The kill path above
+    // returns without joining — the worker notices the disconnect and
+    // exits on its own.)
+    let Actor { job_tx, .. } = actor;
+    drop(job_tx);
+    if let Some(handle) = worker {
+        let _ = handle.join();
+    }
 }

@@ -34,9 +34,13 @@ pub struct DaemonConfig {
     /// How long the batcher waits for more events before flushing a
     /// partial batch.
     pub batch_max_wait: Duration,
-    /// Recluster after this many applied events.
+    /// Start a background recluster after this many applied events.
+    /// `0` disables periodic reclustering entirely; queries still
+    /// compute a clustering on demand.
     pub recluster_every: u64,
-    /// Snapshot after this many applied events.
+    /// Snapshot after this many applied events. `0` disables periodic
+    /// snapshots; the final snapshot on graceful shutdown is still
+    /// written whenever `snapshot_path` is set.
     pub snapshot_every: u64,
     /// Engine actor idle tick (stale-work folding, kill-flag polling).
     pub tick: Duration,
@@ -44,6 +48,10 @@ pub struct DaemonConfig {
     /// hoard queries (the daemon has no investigator measuring real
     /// sizes; a uniform model keeps selections deterministic).
     pub file_size: u64,
+    /// Shards for the shared-neighbor counting phase of reclustering.
+    /// The clustering is bit-identical for any value; more threads only
+    /// shorten the count phase. Clamped to at least 1.
+    pub recluster_threads: usize,
 }
 
 impl DaemonConfig {
@@ -61,6 +69,7 @@ impl DaemonConfig {
             snapshot_every: 20_000,
             tick: Duration::from_millis(50),
             file_size: 1024,
+            recluster_threads: 4,
         }
     }
 }
@@ -214,6 +223,7 @@ impl Daemon {
                 snapshot_every: config.snapshot_every,
                 tick: config.tick,
                 file_size: config.file_size,
+                recluster_threads: config.recluster_threads,
             };
             let metrics = Arc::clone(&shared.metrics);
             let kill = Arc::clone(&shared.kill);

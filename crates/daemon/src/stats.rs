@@ -45,6 +45,11 @@ pub(crate) struct PipelineMetrics {
     pub reclusters: Counter,
     pub snapshots: Counter,
     pub connections: Counter,
+    /// Recluster jobs queued or running on the background worker.
+    pub recluster_inflight: Gauge,
+    /// Hoard/cluster queries answered from a clustering older than the
+    /// applied event count (non-fresh queries during a recluster).
+    pub stale_queries: Counter,
     /// Ingest-queue depth sampled at each event send.
     pub queue_depth: Gauge,
     /// High-water mark of `queue_depth` over the daemon's lifetime.
@@ -87,6 +92,14 @@ impl PipelineMetrics {
             connections: registry.counter(
                 "seer_daemon_connections_total",
                 "Client connections accepted.",
+            ),
+            recluster_inflight: registry.gauge(
+                "seer_daemon_recluster_inflight",
+                "Recluster jobs queued or running on the background worker.",
+            ),
+            stale_queries: registry.counter(
+                "seer_daemon_stale_queries_total",
+                "Queries answered from a cached clustering older than the applied event count.",
             ),
             queue_depth: registry.gauge(
                 "seer_daemon_queue_depth",

@@ -231,6 +231,34 @@ impl NeighborTable {
         self.rows.values().map(Vec::len).sum()
     }
 
+    /// Captures an immutable view of the neighbor *identities* for
+    /// clustering off-thread: per-file target lists with dead entries
+    /// filtered out, sorted by file id.
+    ///
+    /// This is the cheap snapshot the daemon hands to its recluster
+    /// worker — O(files × n) id copies, no distances, no RNG state —
+    /// so the table can keep absorbing observations while a clustering
+    /// is computed from the frozen view.
+    #[must_use]
+    pub fn cluster_view(&self) -> ClusterView {
+        let mut rows: Vec<(FileId, Vec<FileId>)> = self
+            .rows
+            .iter()
+            .map(|(&f, entries)| {
+                (
+                    f,
+                    entries
+                        .iter()
+                        .filter(|e| !self.dead.contains(&e.to))
+                        .map(|e| e.to)
+                        .collect(),
+                )
+            })
+            .collect();
+        rows.sort_unstable_by_key(|(f, _)| *f);
+        ClusterView { rows }
+    }
+
     /// Captures the table's persistent state (the SEER database of known
     /// files that survives restarts, §5.3).
     #[must_use]
@@ -271,6 +299,44 @@ impl NeighborTable {
             clock: snap.clock,
             rng: SmallRng::seed_from_u64(seed),
         }
+    }
+}
+
+/// A frozen snapshot of who neighbors whom, detached from the live
+/// [`NeighborTable`] (see [`NeighborTable::cluster_view`]). Clustering
+/// needs only the neighbor identities, so the view carries no distance
+/// summaries and can be cloned and shipped across threads freely.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterView {
+    /// Per-file neighbor targets, sorted by file id.
+    rows: Vec<(FileId, Vec<FileId>)>,
+}
+
+impl ClusterView {
+    /// Builds a view directly from `(file, targets)` rows (tests and
+    /// synthetic inputs).
+    #[must_use]
+    pub fn from_rows(mut rows: Vec<(FileId, Vec<FileId>)>) -> ClusterView {
+        rows.sort_unstable_by_key(|(f, _)| *f);
+        ClusterView { rows }
+    }
+
+    /// The `(file, targets)` rows, sorted by file id.
+    #[must_use]
+    pub fn rows(&self) -> &[(FileId, Vec<FileId>)] {
+        &self.rows
+    }
+
+    /// Number of files with a stored row.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the view holds no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
     }
 }
 
@@ -473,6 +539,26 @@ mod tests {
         );
         assert!(restored.is_marked_deleted(FileId(9)));
         assert_eq!(restored.total_entries(), t.total_entries());
+    }
+
+    #[test]
+    fn cluster_view_freezes_live_neighbors() {
+        let mut t = NeighborTable::new(5, ReductionKind::Geometric, 1000, 1, 42);
+        t.observe(FileId(1), FileId(2), 1.0);
+        t.observe(FileId(1), FileId(3), 2.0);
+        t.observe(FileId(2), FileId(3), 1.0);
+        // Purge 3: its name dies after one further deletion (delay 1).
+        t.note_deletion(FileId(3));
+        t.note_deletion(FileId(9));
+        let view = t.cluster_view();
+        assert_eq!(view.len(), 2);
+        let rows = view.rows();
+        assert_eq!(rows[0].0, FileId(1), "rows sorted by file id");
+        assert_eq!(rows[0].1, vec![FileId(2)], "dead target filtered");
+        assert!(rows[1].1.is_empty(), "row 2 pointed only at the dead file");
+        // Mutating the table afterwards leaves the view untouched.
+        t.observe(FileId(1), FileId(7), 1.0);
+        assert_eq!(view.rows()[0].1.len(), 1);
     }
 
     #[test]

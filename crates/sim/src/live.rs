@@ -150,7 +150,7 @@ impl LiveResult {
             out.entry(sev).or_default().push(h);
         }
         for v in out.values_mut() {
-            v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            v.sort_by(f64::total_cmp);
         }
         out
     }

@@ -1,7 +1,7 @@
 //! Fixed-bin histogram for distribution inspection.
 
-/// A histogram over `[lo, hi)` with equal-width bins plus underflow and
-/// overflow counters.
+/// A histogram over `[lo, hi)` with equal-width bins plus underflow,
+/// overflow, and non-finite counters.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     lo: f64,
@@ -9,6 +9,7 @@ pub struct Histogram {
     bins: Vec<u64>,
     underflow: u64,
     overflow: u64,
+    non_finite: u64,
 }
 
 impl Histogram {
@@ -27,12 +28,17 @@ impl Histogram {
             bins: vec![0; bins],
             underflow: 0,
             overflow: 0,
+            non_finite: 0,
         })
     }
 
-    /// Records one observation.
+    /// Records one observation. NaN and ±∞ have no bin (NaN compares
+    /// false against both bounds, which would otherwise drop it into
+    /// bin 0); they are tallied separately instead.
     pub fn record(&mut self, x: f64) {
-        if x < self.lo {
+        if !x.is_finite() {
+            self.non_finite += 1;
+        } else if x < self.lo {
             self.underflow += 1;
         } else if x >= self.hi {
             self.overflow += 1;
@@ -75,10 +81,17 @@ impl Histogram {
         self.overflow
     }
 
-    /// Total observations recorded, including out-of-range ones.
+    /// Observations that were NaN or infinite.
+    #[must_use]
+    pub fn non_finite(&self) -> u64 {
+        self.non_finite
+    }
+
+    /// Total observations recorded, including out-of-range and
+    /// non-finite ones.
     #[must_use]
     pub fn total(&self) -> u64 {
-        self.underflow + self.overflow + self.bins.iter().sum::<u64>()
+        self.underflow + self.overflow + self.non_finite + self.bins.iter().sum::<u64>()
     }
 }
 
@@ -161,6 +174,20 @@ mod tests {
         assert_eq!(h.underflow(), 1);
         assert_eq!(h.overflow(), 2);
         assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn non_finite_observations_get_no_bin() {
+        let mut h = Histogram::new(0.0, 10.0, 5).expect("valid");
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(f64::NEG_INFINITY);
+        h.record(1.0);
+        assert_eq!(h.non_finite(), 3);
+        assert_eq!(h.bin(0), 1, "only the finite observation lands in a bin");
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+        assert_eq!(h.total(), 4);
     }
 
     #[test]

@@ -37,7 +37,7 @@ impl Summary {
             0.0
         };
         let mut sorted = data.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("values are finite"));
+        sorted.sort_by(f64::total_cmp);
         let median = if n % 2 == 1 {
             sorted[n / 2]
         } else {
@@ -80,7 +80,7 @@ pub fn quantile(data: &[f64], q: f64) -> Option<f64> {
         return None;
     }
     let mut sorted = data.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("values are finite"));
+    sorted.sort_by(f64::total_cmp);
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;

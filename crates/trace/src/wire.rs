@@ -19,7 +19,10 @@ use serde::{Deserialize, Serialize};
 use std::io::{BufRead, Write};
 
 /// Protocol revision; bumped on incompatible frame changes.
-pub const WIRE_VERSION: u32 = 1;
+///
+/// v2: `Hoard`/`Clusters` queries gained a `fresh` flag and their
+/// responses report the clustering `generation` and a `stale` marker.
+pub const WIRE_VERSION: u32 = 2;
 
 /// A frame sent from a client to the daemon.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -60,15 +63,29 @@ pub enum ClientFrame {
 }
 
 /// A query a client can pose to the daemon.
+///
+/// Queries that read the project clustering carry a `fresh` flag. The
+/// daemon tags every clustering with the *generation* (total events
+/// applied) it was computed from. With `fresh: false` the daemon answers
+/// from the cached clustering immediately, reporting its generation and
+/// whether events have been applied since (`stale`). With `fresh: true`
+/// the daemon first waits for a clustering at the current generation —
+/// reusing an in-flight background reclustering when one covers it — so
+/// the answer reflects everything applied so far.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum QueryRequest {
     /// Select hoard contents for a disconnection within `budget` bytes.
     Hoard {
         /// Byte budget for the hoard.
         budget: u64,
+        /// Whether to recluster up to the current generation first.
+        fresh: bool,
     },
     /// Summarize the current project clustering.
-    Clusters,
+    Clusters {
+        /// Whether to recluster up to the current generation first.
+        fresh: bool,
+    },
     /// Report ingestion-pipeline counters.
     Stats,
     /// Report the full telemetry registry (counters, gauges, and latency
@@ -119,6 +136,10 @@ pub enum QueryResponse {
         clusters_taken: usize,
         /// Projects that did not fit the budget.
         clusters_skipped: usize,
+        /// Events applied when the served clustering was computed.
+        generation: u64,
+        /// Whether events have been applied since that clustering.
+        stale: bool,
     },
     /// Clustering summary for [`QueryRequest::Clusters`].
     Clusters {
@@ -128,6 +149,10 @@ pub enum QueryResponse {
         largest: Vec<usize>,
         /// Canonical paths known to the engine.
         files_known: usize,
+        /// Events applied when the served clustering was computed.
+        generation: u64,
+        /// Whether events have been applied since that clustering.
+        stale: bool,
     },
     /// Pipeline counters for [`QueryRequest::Stats`].
     Stats {
@@ -266,7 +291,13 @@ mod tests {
             },
             ClientFrame::Flush,
             ClientFrame::Query {
-                query: QueryRequest::Hoard { budget: 1 << 20 },
+                query: QueryRequest::Hoard {
+                    budget: 1 << 20,
+                    fresh: true,
+                },
+            },
+            ClientFrame::Query {
+                query: QueryRequest::Clusters { fresh: false },
             },
             ClientFrame::Query {
                 query: QueryRequest::Metrics,
@@ -301,6 +332,17 @@ mod tests {
                     bytes: 2048,
                     clusters_taken: 1,
                     clusters_skipped: 0,
+                    generation: 321,
+                    stale: true,
+                },
+            },
+            DaemonFrame::Answer {
+                response: QueryResponse::Clusters {
+                    count: 3,
+                    largest: vec![5, 2],
+                    files_known: 9,
+                    generation: 321,
+                    stale: false,
                 },
             },
             DaemonFrame::Answer {

@@ -74,7 +74,7 @@ pub fn generate(profile: &MachineProfile, seed: u64) -> Workload {
         // Session start hours within the working day, sorted so the trace
         // clock stays monotone.
         let mut starts: Vec<f64> = (0..n_sessions).map(|_| rng.gen_range(8.0..22.0)).collect();
-        starts.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        starts.sort_by(f64::total_cmp);
         // Root housekeeping fires daily regardless of user activity
         // (§4.10: superuser calls are not traced by SEER).
         {

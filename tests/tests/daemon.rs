@@ -50,11 +50,45 @@ fn online_hoard_equals_offline_replay() {
     let mut client = DaemonClient::connect(handle.socket_path(), "equiv").expect("connect");
     client.send_trace(&trace, 7).expect("send");
     assert_eq!(client.flush().expect("flush"), trace.len() as u64);
-    let (online, online_bytes) = match client.query(QueryRequest::Hoard { budget }).expect("query")
+    let (online, online_bytes) = match client
+        .query(QueryRequest::Hoard {
+            budget,
+            fresh: true,
+        })
+        .expect("query")
     {
-        QueryResponse::Hoard { files, bytes, .. } => (files, bytes),
+        QueryResponse::Hoard {
+            files,
+            bytes,
+            generation,
+            stale,
+            ..
+        } => {
+            assert_eq!(
+                generation,
+                trace.len() as u64,
+                "fresh answer reflects every applied event"
+            );
+            assert!(!stale, "a fresh answer is never stale");
+            (files, bytes)
+        }
         other => panic!("unexpected response: {other:?}"),
     };
+    // The clustering behind that answer matches the serial offline one
+    // structurally too (the daemon reclusters in parallel shards).
+    match client
+        .query(QueryRequest::Clusters { fresh: true })
+        .expect("clusters")
+    {
+        QueryResponse::Clusters { count, .. } => {
+            assert_eq!(
+                count,
+                engine.clustering().expect("offline clustering").len(),
+                "parallel online clustering has the same cluster count as serial offline"
+            );
+        }
+        other => panic!("unexpected response: {other:?}"),
+    }
     drop(client);
     handle.shutdown();
 
@@ -139,7 +173,10 @@ fn killed_daemon_recovers_from_latest_snapshot() {
     }
     client.flush().expect("flush after recovery");
     match client
-        .query(QueryRequest::Hoard { budget: 1 << 20 })
+        .query(QueryRequest::Hoard {
+            budget: 1 << 20,
+            fresh: true,
+        })
         .expect("hoard")
     {
         QueryResponse::Hoard { files, .. } => {
@@ -296,6 +333,147 @@ fn metrics_query_reflects_ingestion() {
         "seer_daemon_events_received_total {}",
         trace.len()
     )));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Generation semantics: a cached (non-fresh) query after more events
+/// have been applied answers immediately from the old clustering, marked
+/// stale with the generation it was computed at; a fresh query then
+/// advances the generation to the live event count. `recluster_every: 0`
+/// disables periodic reclustering, so the generation moves only when a
+/// query asks for it — which is what makes this test deterministic.
+#[test]
+fn cached_queries_report_stale_generations() {
+    let trace = machine_a_trace(10, 17);
+    let half = trace.events.len() / 2;
+    let dir = scratch("stale");
+    let mut cfg = DaemonConfig::new(dir.join("sock"));
+    cfg.recluster_every = 0; // never recluster on its own
+
+    let handle = Daemon::spawn(cfg).expect("spawn");
+    let mut client = DaemonClient::connect(handle.socket_path(), "stale").expect("connect");
+    for chunk in trace.events[..half].chunks(64) {
+        client.send_events(chunk, &trace.strings).expect("send");
+    }
+    assert_eq!(client.flush().expect("flush"), half as u64);
+
+    // Fresh query pins the clustering at generation `half`.
+    let g1 = match client
+        .query(QueryRequest::Clusters { fresh: true })
+        .expect("fresh clusters")
+    {
+        QueryResponse::Clusters {
+            generation, stale, ..
+        } => {
+            assert_eq!(generation, half as u64);
+            assert!(!stale);
+            generation
+        }
+        other => panic!("unexpected response: {other:?}"),
+    };
+
+    // More events make the cached clustering stale; a non-fresh query
+    // still answers from it, flagged.
+    for chunk in trace.events[half..].chunks(64) {
+        client.send_events(chunk, &trace.strings).expect("send");
+    }
+    assert_eq!(client.flush().expect("flush"), trace.len() as u64);
+    match client
+        .query(QueryRequest::Hoard {
+            budget: 1 << 20,
+            fresh: false,
+        })
+        .expect("cached hoard")
+    {
+        QueryResponse::Hoard {
+            generation, stale, ..
+        } => {
+            assert_eq!(generation, g1, "cached answer keeps the old generation");
+            assert!(stale, "generation lags the applied count");
+        }
+        other => panic!("unexpected response: {other:?}"),
+    }
+
+    // A fresh query catches the generation back up.
+    match client
+        .query(QueryRequest::Clusters { fresh: true })
+        .expect("fresh again")
+    {
+        QueryResponse::Clusters {
+            generation, stale, ..
+        } => {
+            assert_eq!(generation, trace.len() as u64);
+            assert!(!stale);
+        }
+        other => panic!("unexpected response: {other:?}"),
+    }
+    drop(client);
+
+    let metrics = handle.metrics();
+    assert_eq!(
+        metrics.counter("seer_daemon_stale_queries_total"),
+        Some(1),
+        "exactly the one cached query was answered stale"
+    );
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Killing the daemon while background reclusterings are in flight must
+/// not corrupt anything: the next daemon recovers from the last periodic
+/// snapshot and a fresh hoard query works.
+#[test]
+fn kill_during_background_recluster_recovers() {
+    let trace = machine_a_trace(10, 19);
+    let dir = scratch("killrec");
+    let db = dir.join("db.json");
+    let mut cfg = DaemonConfig::new(dir.join("sock"));
+    cfg.snapshot_path = Some(db.clone());
+    // Small thresholds keep recluster jobs continuously in flight while
+    // the stream runs, so the kill lands mid-computation.
+    cfg.recluster_every = 200;
+    cfg.snapshot_every = 500;
+    cfg.tick = Duration::from_millis(10);
+
+    let handle = Daemon::spawn(cfg.clone()).expect("spawn");
+    let mut client = DaemonClient::connect(handle.socket_path(), "killrec").expect("connect");
+    for chunk in trace.events.chunks(64) {
+        let _ = client.send_events(chunk, &trace.strings);
+    }
+    // Wait for at least one periodic snapshot, then kill without flushing.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        if let Ok(Some(_)) = DaemonSnapshot::load(&db) {
+            break;
+        }
+        assert!(Instant::now() < deadline, "no snapshot appeared within 5s");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    drop(client);
+    handle.kill();
+
+    let snap = DaemonSnapshot::load(&db)
+        .expect("snapshot not corrupt")
+        .expect("snapshot present");
+    assert!(snap.events_applied > 0, "snapshot covers applied events");
+
+    let handle = Daemon::spawn(cfg).expect("respawn");
+    let mut client = DaemonClient::connect(handle.socket_path(), "killrec2").expect("reconnect");
+    match client
+        .query(QueryRequest::Hoard {
+            budget: 1 << 20,
+            fresh: true,
+        })
+        .expect("hoard after recovery")
+    {
+        QueryResponse::Hoard { files, stale, .. } => {
+            assert!(!files.is_empty(), "recovered daemon selects a hoard");
+            assert!(!stale, "fresh answer after recovery");
+        }
+        other => panic!("unexpected response: {other:?}"),
+    }
+    drop(client);
+    handle.shutdown();
     std::fs::remove_dir_all(&dir).ok();
 }
 
