@@ -26,14 +26,20 @@ USAGE:
             [--refill-hours H]
   seer daemon --socket PATH [--snapshot FILE] [--capacity N] [--batch-max N]
               [--recluster-every N] [--snapshot-every N] [--file-size BYTES]
-              [--recluster-threads N]
-              (N = 0 for --recluster-every / --snapshot-every means never)
+              [--recluster-threads N] [--trace-capacity N] [--slow-span-ms MS]
+              [--flight FILE]
+              (N = 0 for --recluster-every / --snapshot-every means never;
+               --trace-capacity 0 disables the flight recorder)
   seer client send <trace> --socket PATH [--chunk N]
   seer client load --socket PATH --machine <A..I> [--days N] [--seed N] [--chunk N]
-  seer client query <hoard|clusters|stats|metrics|health> --socket PATH
+  seer client query <hoard|clusters|stats|metrics|health|dump> --socket PATH
                     [--budget BYTES] [--cached] [--format json|prom]
+  seer client query trace --socket PATH [--budget BYTES] [--out FILE]
+                    [--events TRACE] [--chunk N]
+                    (exports one traced exchange as Chrome trace-event JSON)
   seer client shutdown --socket PATH
-  seer top --socket PATH
+  seer trace <hoard|clusters> --socket PATH [--budget BYTES] [--cached]
+  seer top --socket PATH [--interval SECS]
   seer demo [--days N]
   seer help
 ";
@@ -52,6 +58,7 @@ pub fn dispatch(args: &Args) -> Result<(), CliError> {
         Some("daemon") => crate::daemon_cmd::cmd_daemon(args),
         Some("client") => crate::daemon_cmd::cmd_client(args),
         Some("top") => crate::daemon_cmd::cmd_top(args),
+        Some("trace") => crate::daemon_cmd::cmd_trace(args),
         Some("demo") => cmd_demo(args),
         Some("help") | None => {
             print!("{USAGE}");

@@ -1,9 +1,12 @@
-//! `seer daemon` and `seer client` command implementations.
+//! `seer daemon`, `seer client`, `seer top`, and `seer trace` command
+//! implementations.
 
 use crate::args::{Args, CliError};
 use seer_daemon::{Daemon, DaemonClient, DaemonConfig};
+use seer_telemetry::SpanRecord;
 use seer_trace::wire::{QueryRequest, QueryResponse, WireError};
 use seer_workload::{generate, MachineProfile};
+use std::io::Write;
 use std::path::Path;
 use std::time::Duration;
 
@@ -42,6 +45,16 @@ pub fn cmd_daemon(args: &Args) -> Result<(), CliError> {
              bit-identical for any thread count)"
                 .into(),
         ));
+    }
+    // Flight-recorder knobs: ring capacity (0 disables tracing), the
+    // slow-span promotion threshold, and an optional on-exit dump file.
+    cfg.trace_capacity = args.num_flag("trace-capacity", cfg.trace_capacity)?;
+    cfg.slow_span = Duration::from_millis(args.num_flag(
+        "slow-span-ms",
+        u64::try_from(cfg.slow_span.as_millis()).unwrap_or(100),
+    )?);
+    if let Some(p) = args.flag("flight") {
+        cfg.flight_path = Some(p.into());
     }
 
     let recovered = cfg.snapshot_path.as_deref().is_some_and(Path::exists);
@@ -131,6 +144,7 @@ fn client_load(args: &Args, socket: &Path) -> Result<(), CliError> {
 fn client_query(args: &Args, socket: &Path) -> Result<(), CliError> {
     let mut client = DaemonClient::connect(socket, "seer-cli query")?;
     let response = match args.positional(2) {
+        Some("trace") => return client_query_trace(args, client),
         Some("hoard") => {
             let budget: u64 = args
                 .require_flag("budget")?
@@ -150,9 +164,10 @@ fn client_query(args: &Args, socket: &Path) -> Result<(), CliError> {
         Some("stats") => client.query(QueryRequest::Stats)?,
         Some("metrics") => client.query(QueryRequest::Metrics)?,
         Some("health") => client.query(QueryRequest::Health)?,
+        Some("dump") => client.query(QueryRequest::Dump)?,
         other => {
             return Err(CliError(format!(
-                "unknown query: {} (hoard|clusters|stats|metrics|health)",
+                "unknown query: {} (hoard|clusters|stats|metrics|health|dump|trace)",
                 other.unwrap_or("<none>")
             )))
         }
@@ -174,12 +189,149 @@ fn client_query(args: &Args, socket: &Path) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `seer top --socket PATH` — a one-shot human-readable view of the
-/// daemon's telemetry: throughput, queue depth, and per-stage latency
-/// percentiles.
+/// `seer client query trace [--out FILE]` — drives one fully traced
+/// exchange through the daemon and exports the resulting spans as a
+/// Chrome trace-event JSON document (load it at `chrome://tracing` or
+/// <https://ui.perfetto.dev>).
+///
+/// By default a tiny probe batch (two opens under `/.seer/trace-probe/`)
+/// is streamed so the ingest stages appear in the trace even on an idle
+/// daemon; `--events FILE` streams a real trace file instead. The query
+/// itself is a *fresh* hoard selection, which forces a recluster and so
+/// exercises every pipeline stage.
+fn client_query_trace(args: &Args, mut client: DaemonClient) -> Result<(), CliError> {
+    let trace_id = seer_telemetry::new_trace_id().0;
+    client.set_trace_id(Some(trace_id));
+
+    match args.flag("events") {
+        Some(path) => {
+            let trace = crate::commands::load_trace(path)?;
+            let chunk: usize = args.num_flag("chunk", 64)?;
+            client.send_trace(&trace, chunk)?;
+        }
+        None => {
+            let (events, strings) = probe_events();
+            client.send_events(&events, &strings)?;
+        }
+    }
+    client.flush()?;
+    let budget: u64 = args.num_flag("budget", 1 << 20)?;
+    client.query(QueryRequest::Hoard {
+        budget,
+        fresh: true,
+    })?;
+
+    // Everything after the query would pollute the trace; stop stamping
+    // before fetching the flight recorder.
+    client.set_trace_id(None);
+    let (spans, dropped) = client.dump_spans()?;
+    let ours: Vec<SpanRecord> = spans
+        .into_iter()
+        .filter(|s| s.trace_id == trace_id)
+        .collect();
+    if ours.is_empty() {
+        return Err(CliError(
+            "daemon returned no spans for this trace — was it started with --trace-capacity 0?"
+                .into(),
+        ));
+    }
+    let json = seer_telemetry::render_chrome_trace(&ours);
+    match args.flag("out") {
+        Some(path) => {
+            let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+            w.write_all(json.as_bytes())?;
+            w.flush()?;
+            eprintln!(
+                "trace {trace_id:016x}: {} spans written to {path} (flight recorder dropped {dropped})",
+                ours.len()
+            );
+        }
+        None => print!("{json}"),
+    }
+    Ok(())
+}
+
+/// A two-event probe batch under a reserved namespace, so a traced
+/// exchange has ingest work to record without touching real state much.
+fn probe_events() -> (Vec<seer_trace::TraceEvent>, seer_trace::StringTable) {
+    use seer_trace::{EventKind, Fd, OpenMode, Pid, Seq, StringTable, Timestamp, TraceEvent};
+    let mut strings = StringTable::new();
+    let events = ["/.seer/trace-probe/a", "/.seer/trace-probe/b"]
+        .iter()
+        .enumerate()
+        .map(|(i, p)| TraceEvent {
+            seq: Seq(i as u64),
+            time: Timestamp::ZERO,
+            pid: Pid(1),
+            root: false,
+            kind: EventKind::Open {
+                path: strings.intern(p),
+                mode: OpenMode::Read,
+                fd: Fd(3),
+            },
+            error: None,
+        })
+        .collect();
+    (events, strings)
+}
+
+/// `seer trace <hoard|clusters> --socket PATH` — sends one traced query
+/// and pretty-prints the span tree the daemon recorded for it.
+pub fn cmd_trace(args: &Args) -> Result<(), CliError> {
+    let socket = Path::new(args.require_flag("socket")?);
+    let mut client = DaemonClient::connect(socket, "seer-trace")?;
+    let trace_id = seer_telemetry::new_trace_id().0;
+    client.set_trace_id(Some(trace_id));
+    let fresh = !args.bool_flag("cached");
+    let response = match args.positional(1) {
+        Some("hoard") => {
+            let budget: u64 = args.num_flag("budget", 1 << 20)?;
+            client.query(QueryRequest::Hoard { budget, fresh })?
+        }
+        Some("clusters") | None => client.query(QueryRequest::Clusters { fresh })?,
+        Some(other) => {
+            return Err(CliError(format!(
+                "unknown traced query: {other} (hoard|clusters)"
+            )))
+        }
+    };
+    client.set_trace_id(None);
+    let (spans, _dropped) = client.dump_spans()?;
+    let ours: Vec<SpanRecord> = spans
+        .into_iter()
+        .filter(|s| s.trace_id == trace_id)
+        .collect();
+    if ours.is_empty() {
+        return Err(CliError(
+            "daemon returned no spans for this trace — was it started with --trace-capacity 0?"
+                .into(),
+        ));
+    }
+    print!("{}", seer_telemetry::render_span_tree(&ours));
+    println!();
+    print_response(&response);
+    Ok(())
+}
+
+/// `seer top --socket PATH [--interval SECS]` — a human-readable view of
+/// the daemon's telemetry: throughput, queue depth, and per-stage latency
+/// percentiles. With `--interval` it refreshes on that cadence over one
+/// connection until interrupted.
 pub fn cmd_top(args: &Args) -> Result<(), CliError> {
     let socket = Path::new(args.require_flag("socket")?);
     let mut client = DaemonClient::connect(socket, "seer-top")?;
+    let interval: u64 = args.num_flag("interval", 0)?;
+    loop {
+        top_once(&mut client, socket)?;
+        if interval == 0 {
+            return Ok(());
+        }
+        std::thread::sleep(Duration::from_secs(interval));
+        println!();
+    }
+}
+
+fn top_once(client: &mut DaemonClient, socket: &Path) -> Result<(), CliError> {
     let snap = match client.query(QueryRequest::Metrics)? {
         QueryResponse::Metrics { snapshot } => snapshot,
         other => return Err(CliError(format!("unexpected response: {other:?}"))),
@@ -209,11 +361,41 @@ pub fn cmd_top(args: &Args) -> Result<(), CliError> {
         counter("seer_daemon_stale_queries_total"),
     );
     println!(
-        "engine: {} files known, {} clusters, {} distance observations",
+        "engine: {} files known, {} clusters, {} distance observations, \
+         generation lag {} events",
         gauge("seer_engine_files_known"),
         gauge("seer_cluster_count"),
         counter("seer_distance_observations_total"),
+        gauge("seer_daemon_generation_lag"),
     );
+    // Replication miss counters exist only when a miss log is attached
+    // to this registry; skip the row entirely otherwise.
+    let by_severity: Vec<(String, u64)> = snap
+        .metrics
+        .iter()
+        .filter(|m| m.name == "seer_replication_misses_total")
+        .filter_map(|m| {
+            let sev = m.labels.iter().find(|(k, _)| k == "severity")?.1.clone();
+            match m.value {
+                seer_telemetry::MetricValue::Counter { total } => Some((sev, total)),
+                _ => None,
+            }
+        })
+        .collect();
+    if !by_severity.is_empty() {
+        let total: u64 = by_severity.iter().map(|(_, n)| n).sum();
+        let detail: Vec<String> = by_severity
+            .iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|(sev, n)| format!("sev{sev}:{n}"))
+            .collect();
+        println!(
+            "misses: {total} user-recorded{}{}   auto-detected {}",
+            if detail.is_empty() { "" } else { " — " },
+            detail.join(" "),
+            counter("seer_replication_auto_misses_total"),
+        );
+    }
     println!();
     println!(
         "{:<16} {:>10} {:>10} {:>10} {:>10} {:>12}",
@@ -322,6 +504,13 @@ fn print_response(response: &QueryResponse) {
                 "{}: {events_applied} events applied, queue depth {queue_depth}",
                 if *healthy { "healthy" } else { "shutting down" }
             );
+        }
+        QueryResponse::Dump { spans, dropped } => {
+            println!(
+                "flight recorder: {} spans retained, {dropped} dropped",
+                spans.len()
+            );
+            print!("{}", seer_telemetry::render_span_tree(spans));
         }
     }
 }

@@ -113,6 +113,10 @@ pub struct ClusterRun {
     /// Wall time of each shared-neighbor counting shard (one entry per
     /// worker thread actually used).
     pub shard_count_seconds: Vec<Duration>,
+    /// When each shard started, relative to entering the clustering
+    /// computation — with [`ClusterRun::shard_count_seconds`], enough to
+    /// place every shard on a trace timeline.
+    pub shard_start_offsets: Vec<Duration>,
 }
 
 /// Full clustering pipeline over a frozen [`ClusterView`], with the
@@ -135,7 +139,8 @@ pub fn cluster_view_excluding(
     threads: usize,
 ) -> ClusterRun {
     let counter = SharedNeighborCounter::from_view_excluding(view, exclude);
-    let (mut counts, shard_count_seconds) = count_pairs_sharded(&counter, paths, config, threads);
+    let (mut counts, shard_count_seconds, shard_start_offsets) =
+        count_pairs_sharded(&counter, paths, config, threads);
     // Investigator relations are tested regardless of whether a semantic
     // distance was independently stored (§3.3.3).
     for rel in relations {
@@ -159,6 +164,7 @@ pub fn cluster_view_excluding(
     ClusterRun {
         clustering: cluster_from_counts(&pairs, &universe, config),
         shard_count_seconds,
+        shard_start_offsets,
     }
 }
 
@@ -197,24 +203,28 @@ fn count_row(
     }
 }
 
-/// One shard's output: its directed pair counts plus how long the
-/// counting took (fed to the per-shard latency histogram).
-type CountShard = (Vec<((FileId, FileId), f64)>, Duration);
+/// One shard's output: its directed pair counts, how long the counting
+/// took (fed to the per-shard latency histogram), and when the shard
+/// started relative to the phase entry (fed to trace spans).
+type CountShard = (Vec<((FileId, FileId), f64)>, Duration, Duration);
 
 /// The O(files × neighbors) counting phase, partitioned by candidate
 /// row across at most `threads` scoped threads. Row partitioning makes
 /// the shards disjoint in their output keys, so the merge is a plain
 /// extend and the result is independent of the schedule.
+#[allow(clippy::type_complexity)]
 fn count_pairs_sharded(
     counter: &SharedNeighborCounter,
     paths: &PathTable,
     config: &ClusterConfig,
     threads: usize,
-) -> (HashMap<(FileId, FileId), f64>, Vec<Duration>) {
+) -> (HashMap<(FileId, FileId), f64>, Vec<Duration>, Vec<Duration>) {
     let rows = counter.files_sorted();
     let threads = threads.clamp(1, rows.len().max(1));
+    let base = Instant::now();
     let mut merged: HashMap<(FileId, FileId), f64> = HashMap::new();
     let mut timings = Vec::with_capacity(threads);
+    let mut offsets = Vec::with_capacity(threads);
     if threads == 1 {
         let started = Instant::now();
         let mut local = Vec::new();
@@ -222,8 +232,9 @@ fn count_pairs_sharded(
             count_row(counter, paths, config, a, &mut local);
         }
         merged.extend(local);
+        offsets.push(started.duration_since(base));
         timings.push(started.elapsed());
-        return (merged, timings);
+        return (merged, timings, offsets);
     }
     let chunk = rows.len().div_ceil(threads);
     let shards: Vec<CountShard> = std::thread::scope(|s| {
@@ -236,7 +247,7 @@ fn count_pairs_sharded(
                     for &a in part {
                         count_row(counter, paths, config, a, &mut local);
                     }
-                    (local, started.elapsed())
+                    (local, started.elapsed(), started.duration_since(base))
                 })
             })
             .collect();
@@ -245,11 +256,12 @@ fn count_pairs_sharded(
             .map(|h| h.join().expect("count shard panicked"))
             .collect()
     });
-    for (local, wall) in shards {
+    for (local, wall, offset) in shards {
         merged.extend(local);
         timings.push(wall);
+        offsets.push(offset);
     }
-    (merged, timings)
+    (merged, timings, offsets)
 }
 
 #[cfg(test)]

@@ -28,6 +28,7 @@ struct EngineTelemetry {
     distance_purged: Counter,
     recluster_seconds: Histogram,
     shard_count_seconds: Histogram,
+    hoard_select_seconds: Histogram,
     cluster_count: Gauge,
     cluster_churn: Counter,
 }
@@ -76,6 +77,10 @@ impl EngineTelemetry {
             shard_count_seconds: registry.histogram(
                 "seer_cluster_shard_count_seconds",
                 "Wall time of each shared-neighbor counting shard within a reclustering.",
+            ),
+            hoard_select_seconds: registry.histogram(
+                "seer_engine_hoard_select_seconds",
+                "Wall time of hoard selection (excluding any recluster it triggers).",
             ),
             cluster_count: registry.gauge(
                 "seer_cluster_count",
@@ -310,6 +315,7 @@ impl SeerEngine {
         if self.clustering.is_none() {
             self.recluster();
         }
+        let started = std::time::Instant::now();
         let reserve = self.directory_reserve();
         let clustering = self.clustering.as_ref().expect("reclustered above");
         let mut sel = select_hoard(
@@ -320,6 +326,9 @@ impl SeerEngine {
             budget.saturating_sub(reserve),
         );
         sel.directory_reserve = reserve;
+        if let Some(t) = &self.telemetry {
+            t.hoard_select_seconds.observe(started.elapsed());
+        }
         sel
     }
 

@@ -24,6 +24,9 @@ pub struct DaemonClient {
     /// Ids below this are already declared on the wire.
     declared: usize,
     sent: u64,
+    /// Stamped on every outgoing events/query frame when set, tying the
+    /// daemon-side pipeline spans into one causal trace.
+    trace_id: Option<u64>,
 }
 
 impl DaemonClient {
@@ -42,6 +45,7 @@ impl DaemonClient {
             strings: StringTable::new(),
             declared: 0,
             sent: 0,
+            trace_id: None,
         };
         wire::write_frame(
             &mut c.w,
@@ -63,6 +67,19 @@ impl DaemonClient {
     #[must_use]
     pub fn events_sent(&self) -> u64 {
         self.sent
+    }
+
+    /// Stamps every subsequent events and query frame with `trace_id`,
+    /// so the daemon records its pipeline spans under that trace.
+    /// `None` stops stamping.
+    pub fn set_trace_id(&mut self, trace_id: Option<u64>) {
+        self.trace_id = trace_id;
+    }
+
+    /// The trace id currently stamped on outgoing frames, if any.
+    #[must_use]
+    pub fn trace_id(&self) -> Option<u64> {
+        self.trace_id
     }
 
     /// Streams a batch of events whose raw-path ids are relative to
@@ -97,7 +114,13 @@ impl DaemonClient {
             wire::write_frame(&mut self.w, &ClientFrame::Intern { id, path })?;
         }
         self.declared = self.strings.len();
-        wire::write_frame(&mut self.w, &ClientFrame::Events { events: translated })?;
+        wire::write_frame(
+            &mut self.w,
+            &ClientFrame::Events {
+                events: translated,
+                trace_id: self.trace_id,
+            },
+        )?;
         self.sent += events.len() as u64;
         Ok(())
     }
@@ -137,11 +160,31 @@ impl DaemonClient {
     ///
     /// Returns [`WireError::Format`] if the daemon replies with an error.
     pub fn query(&mut self, query: QueryRequest) -> Result<QueryResponse, WireError> {
-        wire::write_frame(&mut self.w, &ClientFrame::Query { query })?;
+        wire::write_frame(
+            &mut self.w,
+            &ClientFrame::Query {
+                query,
+                trace_id: self.trace_id,
+            },
+        )?;
         self.w.flush()?;
         match self.read_reply()? {
             DaemonFrame::Answer { response } => Ok(response),
             other => Err(WireError::Format(format!("expected Answer, got {other:?}"))),
+        }
+    }
+
+    /// Fetches the daemon's flight-recorder contents: every retained
+    /// span plus the count of spans dropped under contention.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Format`] if the daemon replies with an error
+    /// (e.g. it predates the `Dump` query).
+    pub fn dump_spans(&mut self) -> Result<(Vec<seer_telemetry::SpanRecord>, u64), WireError> {
+        match self.query(QueryRequest::Dump)? {
+            QueryResponse::Dump { spans, dropped } => Ok((spans, dropped)),
+            other => Err(WireError::Format(format!("expected Dump, got {other:?}"))),
         }
     }
 

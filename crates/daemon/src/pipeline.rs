@@ -21,7 +21,7 @@ use crate::snapshot::DaemonSnapshot;
 use crate::stats::SharedMetrics;
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TrySendError};
 use seer_core::{Clustering, ReclusterInput, SeerEngine};
-use seer_telemetry::{tlog, Histogram, Level};
+use seer_telemetry::{tlog, Histogram, Level, SpanContext, Tracer};
 use seer_trace::wire::{QueryRequest, QueryResponse};
 use seer_trace::{EventSink, RawPathId, StringTable, TraceEvent};
 use std::collections::{HashMap, VecDeque};
@@ -35,8 +35,14 @@ use std::time::{Duration, Instant};
 pub(crate) enum Ingest {
     /// Declare a connection-local raw-path id.
     Intern { conn: u64, local: u32, path: String },
-    /// Events to apply, ids in the connection's local space.
-    Events { conn: u64, events: Vec<TraceEvent> },
+    /// Events to apply, ids in the connection's local space. `ctx` is
+    /// the decode span of a traced frame; downstream stages parent their
+    /// spans under it, extending the causal chain.
+    Events {
+        conn: u64,
+        events: Vec<TraceEvent>,
+        ctx: Option<SpanContext>,
+    },
     /// Ordered marker: everything this connection sent before it must be
     /// applied before `ack` fires with the connection's applied count.
     Flush { conn: u64, ack: Sender<u64> },
@@ -53,6 +59,9 @@ pub(crate) enum Apply {
     Batch {
         conn: u64,
         events: Vec<TraceEvent>,
+        /// The batcher-flush span this batch was coalesced under, if any
+        /// frame in it was traced; parents the `engine_apply` span.
+        ctx: Option<SpanContext>,
     },
     Flush {
         conn: u64,
@@ -67,6 +76,9 @@ pub(crate) enum Apply {
 pub(crate) enum Control {
     Query {
         query: QueryRequest,
+        /// The connection's `query` root span; the actor's `engine_answer`
+        /// span (and any recluster it triggers) parents under it.
+        ctx: Option<SpanContext>,
         reply: Sender<QueryResponse>,
     },
 }
@@ -79,6 +91,9 @@ pub(crate) struct ActorConfig {
     pub tick: Duration,
     pub file_size: u64,
     pub recluster_threads: usize,
+    /// Where to dump the flight-recorder ring (JSON lines) when the
+    /// actor exits, gracefully or by kill. `None` skips the dump.
+    pub flight_path: Option<PathBuf>,
 }
 
 /// A frozen reclustering job handed to the background worker. The input
@@ -89,21 +104,37 @@ struct ReclusterJob {
     /// `events_applied` at snapshot time — the generation the finished
     /// clustering will be tagged with.
     generation: u64,
+    /// For a fresh-query-triggered job, the query's `engine_answer` span;
+    /// a periodic job has no inbound context and starts its own trace.
+    ctx: Option<SpanContext>,
 }
 
-/// A finished clustering coming back from the worker.
+/// A finished clustering coming back from the worker. Carries the raw
+/// timings instead of recorded spans: the *actor* records the
+/// `recluster`/`shard_count` spans at install time, where it knows
+/// whether a traced query ended up waiting on this job — an untraced
+/// periodic job a fresh query reuses still lands in that query's trace.
 struct ReclusterDone {
     clustering: Clustering,
     generation: u64,
+    /// When the worker started computing.
+    started: Instant,
     /// Wall-clock time of the whole computation.
     wall: Duration,
     /// Per-shard duration of the shared-neighbor counting phase.
     shard_seconds: Vec<Duration>,
+    /// Offset from `started` at which each counting shard began.
+    shard_start_offsets: Vec<Duration>,
+    /// The context the job was *requested* with, if any.
+    ctx: Option<SpanContext>,
 }
 
 /// The recluster worker: receives frozen jobs, computes clusterings with
 /// the configured shard count, and sends them back. Exits when the job
 /// channel disconnects (actor gone) or the done channel does.
+///
+/// The worker only computes and times; span recording happens on the
+/// actor when the result is installed (see [`ReclusterDone`]).
 fn run_recluster_worker(
     job_rx: &Receiver<ReclusterJob>,
     done_tx: &Sender<ReclusterDone>,
@@ -112,11 +143,15 @@ fn run_recluster_worker(
     while let Ok(job) = job_rx.recv() {
         let started = Instant::now();
         let run = job.input.compute(threads);
+        let wall = started.elapsed();
         let done = ReclusterDone {
             clustering: run.clustering,
             generation: job.generation,
-            wall: started.elapsed(),
+            started,
+            wall,
             shard_seconds: run.shard_count_seconds,
+            shard_start_offsets: run.shard_start_offsets,
+            ctx: job.ctx,
         };
         if done_tx.send(done).is_err() {
             return;
@@ -133,17 +168,34 @@ pub(crate) fn run_batcher(
     ingest_rx: Receiver<Ingest>,
     apply_tx: Sender<Apply>,
     flush_timer: Histogram,
+    tracer: Tracer,
     kill: Arc<AtomicBool>,
 ) {
-    let mut pending_events: Option<(u64, Vec<TraceEvent>)> = None;
+    // A pending batch remembers the first traced frame coalesced into it;
+    // the flush span continues that frame's causal chain.
+    type PendingEvents = (u64, Vec<TraceEvent>, Option<SpanContext>);
+    let mut pending_events: Option<PendingEvents> = None;
     let mut pending_interns: Option<(u64, Vec<(u32, String)>)> = None;
     // Timing the send captures backpressure: a full apply channel shows
     // up here as batcher-flush latency, not as silent queue growth.
-    let flush_events = |p: &mut Option<(u64, Vec<TraceEvent>)>, tx: &Sender<Apply>| -> bool {
+    let flush_events = |p: &mut Option<PendingEvents>, tx: &Sender<Apply>| -> bool {
         match p.take() {
-            Some((conn, events)) => {
+            Some((conn, events, ctx)) => {
                 let _t = flush_timer.start_timer();
-                tx.send(Apply::Batch { conn, events }).is_ok()
+                // The span covers the send, so backpressure blocking is
+                // visible on the trace timeline too.
+                let span = ctx.map(|c| {
+                    let mut s = tracer.child("batcher_flush", c);
+                    s.attr("events", events.len());
+                    s
+                });
+                let flush_ctx = span.as_ref().map(seer_telemetry::Span::context);
+                tx.send(Apply::Batch {
+                    conn,
+                    events,
+                    ctx: flush_ctx,
+                })
+                .is_ok()
             }
             None => true,
         }
@@ -173,22 +225,31 @@ pub(crate) fn run_batcher(
                     }
                 }
             }
-            Ok(Ingest::Events { conn, mut events }) => {
+            Ok(Ingest::Events {
+                conn,
+                mut events,
+                ctx,
+            }) => {
                 if !flush_interns(&mut pending_interns, &apply_tx) {
                     return;
                 }
                 match &mut pending_events {
-                    Some((c, buf)) if *c == conn => buf.append(&mut events),
+                    Some((c, buf, pending_ctx)) if *c == conn => {
+                        buf.append(&mut events);
+                        if pending_ctx.is_none() {
+                            *pending_ctx = ctx;
+                        }
+                    }
                     _ => {
                         if !flush_events(&mut pending_events, &apply_tx) {
                             return;
                         }
-                        pending_events = Some((conn, events));
+                        pending_events = Some((conn, events, ctx));
                     }
                 }
                 if pending_events
                     .as_ref()
-                    .is_some_and(|(_, b)| b.len() >= batch_max)
+                    .is_some_and(|(_, b, _)| b.len() >= batch_max)
                     && !flush_events(&mut pending_events, &apply_tx)
                 {
                     return;
@@ -263,8 +324,9 @@ impl Actor {
                     table[idx] = Some(global);
                 }
             }
-            Apply::Batch { conn, events } => {
+            Apply::Batch { conn, events, ctx } => {
                 let apply_timer = self.metrics.stage_engine_apply.start_timer();
+                let mut span = ctx.map(|c| self.metrics.tracer.child("engine_apply", c));
                 let n = events.len() as u64;
                 let table = self.remap.entry(conn).or_default();
                 // Translate into the global id space; an undeclared id is a
@@ -289,13 +351,20 @@ impl Actor {
                 self.since_snapshot += n;
                 self.metrics.events_applied.add(n);
                 self.metrics.batches_applied.inc();
+                if let Some(s) = &mut span {
+                    s.attr("events", n);
+                    s.attr("events_applied", self.events_applied);
+                }
+                drop(span);
                 drop(apply_timer);
+                self.metrics
+                    .observe_generation_lag(self.events_applied, self.clustering_generation);
                 self.poll_recluster_done();
                 if self.cfg.recluster_every > 0
                     && self.since_recluster >= self.cfg.recluster_every
                     && self.inflight.is_empty()
                 {
-                    self.request_recluster();
+                    self.request_recluster(None);
                 }
                 if self.cfg.snapshot_every > 0 && self.since_snapshot >= self.cfg.snapshot_every {
                     self.write_snapshot();
@@ -315,10 +384,11 @@ impl Actor {
     /// `false` only when the worker is gone (channel disconnected);
     /// a full job queue counts as success because the queued jobs will
     /// finish first and the caller re-requests as needed.
-    fn request_recluster(&mut self) -> bool {
+    fn request_recluster(&mut self, ctx: Option<SpanContext>) -> bool {
         let job = ReclusterJob {
             input: self.engine.recluster_input(),
             generation: self.events_applied,
+            ctx,
         };
         match self.job_tx.try_send(job) {
             Ok(()) => {
@@ -337,7 +407,12 @@ impl Actor {
     /// Installs a finished clustering delivered by the worker. The
     /// worker is FIFO and generations are requested in non-decreasing
     /// order, so installs never regress the generation.
-    fn install_recluster(&mut self, done: ReclusterDone) {
+    ///
+    /// Records the `recluster` span (with `shard_count` children) here,
+    /// retroactively: under the job's own context when it was requested
+    /// by a traced query, else under `waiter_ctx` when a traced query is
+    /// blocked on this install, else under a fresh root trace.
+    fn install_recluster(&mut self, done: ReclusterDone, waiter_ctx: Option<SpanContext>) {
         if let Some(pos) = self.inflight.iter().position(|&g| g == done.generation) {
             self.inflight.remove(pos);
         }
@@ -348,9 +423,43 @@ impl Actor {
             .engine
             .install_clustering(done.clustering, done.wall, &done.shard_seconds)
             .len();
+        let (trace, parent) = match done.ctx.or(waiter_ctx) {
+            Some(c) => (c.trace_id, Some(c.span_id)),
+            None => (seer_telemetry::new_trace_id(), None),
+        };
+        let recluster_ctx = self.metrics.tracer.record_complete(
+            "recluster",
+            trace,
+            parent,
+            done.started,
+            done.wall,
+            &[
+                ("generation", done.generation.to_string()),
+                ("clusters", clusters.to_string()),
+            ],
+        );
+        for (i, (&shard_wall, &offset)) in done
+            .shard_seconds
+            .iter()
+            .zip(&done.shard_start_offsets)
+            .enumerate()
+        {
+            if let Some(shard_start) = done.started.checked_add(offset) {
+                self.metrics.tracer.record_complete(
+                    "shard_count",
+                    trace,
+                    Some(recluster_ctx.span_id),
+                    shard_start,
+                    shard_wall,
+                    &[("shard", i.to_string())],
+                );
+            }
+        }
         self.clustering_generation = done.generation;
         self.metrics.reclusters.inc();
         self.metrics.stage_recluster.observe(done.wall);
+        self.metrics
+            .observe_generation_lag(self.events_applied, self.clustering_generation);
         tlog!(
             Level::Debug,
             "seer_daemon::pipeline",
@@ -363,14 +472,26 @@ impl Actor {
 
     /// Folds in any clusterings the worker has finished, without blocking.
     fn poll_recluster_done(&mut self) {
+        self.poll_recluster_done_for(None);
+    }
+
+    /// Like [`Self::poll_recluster_done`], but on behalf of a traced
+    /// fresh query: a pending result covering the query's target
+    /// generation is the clustering the query will answer from, so its
+    /// span is adopted into the query's trace.
+    fn poll_recluster_done_for(&mut self, waiter: Option<(u64, SpanContext)>) {
         while let Ok(done) = self.done_rx.try_recv() {
-            self.install_recluster(done);
+            let ctx = match waiter {
+                Some((target, c)) if done.generation >= target => Some(c),
+                _ => None,
+            };
+            self.install_recluster(done, ctx);
         }
     }
 
     /// Reclusters on the actor thread — the fallback when the worker is
     /// unavailable. Still uses the configured shard count.
-    fn recluster_in_place(&mut self) {
+    fn recluster_in_place(&mut self, ctx: Option<SpanContext>) {
         let started = Instant::now();
         let clusters = self
             .engine
@@ -380,6 +501,23 @@ impl Actor {
         self.since_recluster = 0;
         self.metrics.reclusters.inc();
         self.metrics.stage_recluster.observe(started.elapsed());
+        self.metrics
+            .observe_generation_lag(self.events_applied, self.clustering_generation);
+        let (trace, parent) = match ctx {
+            Some(c) => (c.trace_id, Some(c.span_id)),
+            None => (seer_telemetry::new_trace_id(), None),
+        };
+        self.metrics.tracer.record_complete(
+            "recluster",
+            trace,
+            parent,
+            started,
+            started.elapsed(),
+            &[
+                ("generation", self.clustering_generation.to_string()),
+                ("in_place", "true".to_owned()),
+            ],
+        );
         tlog!(
             Level::Debug,
             "seer_daemon::pipeline",
@@ -392,23 +530,29 @@ impl Actor {
     /// Blocks until a clustering at the *current* generation is
     /// installed. Reuses an in-flight background job when one covers the
     /// target; falls back to an in-place recluster if the worker died.
-    fn ensure_fresh_clustering(&mut self) {
+    fn ensure_fresh_clustering(&mut self, ctx: Option<SpanContext>) {
         let target = self.events_applied;
-        self.poll_recluster_done();
+        self.poll_recluster_done_for(ctx.map(|c| (target, c)));
         while self.engine.clustering().is_none() || self.clustering_generation < target {
             let covered = self.inflight.back().is_some_and(|&g| g >= target);
-            if !covered && !self.request_recluster() {
+            if !covered && !self.request_recluster(ctx) {
                 self.inflight.clear();
                 self.metrics.recluster_inflight.set(0);
-                self.recluster_in_place();
+                self.recluster_in_place(ctx);
                 return;
             }
             match self.done_rx.recv() {
-                Ok(done) => self.install_recluster(done),
+                // A done covering the target is causally part of this
+                // query even if the job predates it (an untraced
+                // periodic job the query reused): chain it under `ctx`.
+                Ok(done) => {
+                    let waiter = if done.generation >= target { ctx } else { None };
+                    self.install_recluster(done, waiter);
+                }
                 Err(_) => {
                     self.inflight.clear();
                     self.metrics.recluster_inflight.set(0);
-                    self.recluster_in_place();
+                    self.recluster_in_place(ctx);
                     return;
                 }
             }
@@ -453,22 +597,43 @@ impl Actor {
     /// followed by recluster + choose_hoard. A non-fresh query reuses
     /// the cached clustering (counting it as stale when the generation
     /// lags), so it never waits on a recluster.
-    fn prepare_clustering(&mut self, fresh: bool) -> (u64, bool) {
-        self.poll_recluster_done();
+    fn prepare_clustering(&mut self, fresh: bool, ctx: Option<SpanContext>) -> (u64, bool) {
+        let waiter = if fresh {
+            ctx.map(|c| (self.events_applied, c))
+        } else {
+            None
+        };
+        self.poll_recluster_done_for(waiter);
         if fresh || self.engine.clustering().is_none() {
-            self.ensure_fresh_clustering();
+            self.ensure_fresh_clustering(ctx);
         }
         let stale = self.clustering_generation < self.events_applied;
         if stale {
             self.metrics.stale_queries.inc();
         }
+        self.metrics
+            .observe_generation_lag(self.events_applied, self.clustering_generation);
         (self.clustering_generation, stale)
     }
 
-    fn answer(&mut self, query: QueryRequest, ingest_depth: usize, alive: bool) -> QueryResponse {
+    fn answer(
+        &mut self,
+        query: QueryRequest,
+        ctx: Option<SpanContext>,
+        ingest_depth: usize,
+        alive: bool,
+    ) -> QueryResponse {
+        // The answer span covers everything the actor does for the query;
+        // a recluster forced by `fresh` chains under it.
+        let mut span = ctx.map(|c| self.metrics.tracer.child("engine_answer", c));
+        let span_ctx = span.as_ref().map(seer_telemetry::Span::context);
+        if let Some(s) = &mut span {
+            s.attr("query", query_name(&query));
+            s.attr("events_applied", self.events_applied);
+        }
         match query {
             QueryRequest::Hoard { budget, fresh } => {
-                let (generation, stale) = self.prepare_clustering(fresh);
+                let (generation, stale) = self.prepare_clustering(fresh, span_ctx);
                 let file_size = self.cfg.file_size;
                 let sel = self.engine.choose_hoard(budget, &|_| file_size);
                 let files = sel
@@ -486,7 +651,7 @@ impl Actor {
                 }
             }
             QueryRequest::Clusters { fresh } => {
-                let (generation, stale) = self.prepare_clustering(fresh);
+                let (generation, stale) = self.prepare_clustering(fresh, span_ctx);
                 let clustering = self.engine.clustering().expect("prepared above");
                 let mut largest: Vec<usize> = clustering.clusters.iter().map(|c| c.len()).collect();
                 largest.sort_unstable_by(|a, b| b.cmp(a));
@@ -523,7 +688,23 @@ impl Actor {
                 events_applied: self.events_applied,
                 queue_depth: ingest_depth,
             },
+            QueryRequest::Dump => QueryResponse::Dump {
+                spans: self.metrics.tracer.snapshot(),
+                dropped: self.metrics.tracer.dropped(),
+            },
         }
+    }
+}
+
+/// The short name an `engine_answer` span reports for its query.
+fn query_name(query: &QueryRequest) -> &'static str {
+    match query {
+        QueryRequest::Hoard { .. } => "hoard",
+        QueryRequest::Clusters { .. } => "clusters",
+        QueryRequest::Stats => "stats",
+        QueryRequest::Metrics => "metrics",
+        QueryRequest::Health => "health",
+        QueryRequest::Dump => "dump",
     }
 }
 
@@ -575,13 +756,15 @@ pub(crate) fn run_engine_actor(
     actor.metrics.events_applied.set_total(actor.events_applied);
     loop {
         if kill.load(Ordering::Relaxed) {
-            // Abrupt death: no snapshot. Recovery resumes from the last
-            // one written, which write_atomic guarantees is intact.
+            // Abrupt death: no snapshot — but the flight recorder is
+            // exactly for reconstructing what led up to a crash, so dump
+            // it before abandoning everything.
+            dump_flight(&actor);
             return;
         }
-        while let Ok(Control::Query { query, reply }) = control_rx.try_recv() {
+        while let Ok(Control::Query { query, ctx, reply }) = control_rx.try_recv() {
             let depth = ingest_depth.len();
-            let answer = actor.answer(query, depth, true);
+            let answer = actor.answer(query, ctx, depth, true);
             let _ = reply.send(answer);
         }
         match apply_rx.recv_timeout(tick) {
@@ -595,7 +778,7 @@ pub(crate) fn run_engine_actor(
                     && actor.since_recluster > 0
                     && actor.inflight.is_empty()
                 {
-                    actor.request_recluster();
+                    actor.request_recluster(None);
                 }
                 if actor.cfg.snapshot_every > 0 && actor.since_snapshot > 0 {
                     actor.write_snapshot();
@@ -605,15 +788,16 @@ pub(crate) fn run_engine_actor(
         }
     }
     // Graceful epilogue: every producer is gone and the queue is drained.
-    while let Ok(Control::Query { query, reply }) = control_rx.try_recv() {
-        let answer = actor.answer(query, 0, false);
+    while let Ok(Control::Query { query, ctx, reply }) = control_rx.try_recv() {
+        let answer = actor.answer(query, ctx, 0, false);
         let _ = reply.send(answer);
     }
     actor.poll_recluster_done();
     if actor.engine.clustering().is_none() || actor.clustering_generation < actor.events_applied {
-        actor.ensure_fresh_clustering();
+        actor.ensure_fresh_clustering(None);
     }
     actor.write_snapshot();
+    dump_flight(&actor);
     // Dropping the job sender lets the worker's recv disconnect; join so
     // a graceful shutdown leaves no thread behind. (The kill path above
     // returns without joining — the worker notices the disconnect and
@@ -622,5 +806,241 @@ pub(crate) fn run_engine_actor(
     drop(job_tx);
     if let Some(handle) = worker {
         let _ = handle.join();
+    }
+}
+
+/// Writes the flight-recorder ring to the configured dump path, one
+/// JSON line per span. Failures are logged, never fatal — the dump is a
+/// diagnostic of last resort, not part of the data path.
+fn dump_flight(actor: &Actor) {
+    let Some(path) = &actor.cfg.flight_path else {
+        return;
+    };
+    if !actor.metrics.tracer.enabled() {
+        return;
+    }
+    let spans = actor.metrics.tracer.snapshot();
+    let result = std::fs::File::create(path).and_then(|f| {
+        let mut w = std::io::BufWriter::new(f);
+        seer_telemetry::write_flight_jsonl(&mut w, &spans)?;
+        std::io::Write::flush(&mut w)
+    });
+    match result {
+        Ok(()) => tlog!(
+            Level::Info,
+            "seer_daemon::pipeline",
+            "flight recorder dumped",
+            path = path.display().to_string(),
+            spans = spans.len() as u64,
+            dropped = actor.metrics.tracer.dropped(),
+        ),
+        Err(e) => tlog!(
+            Level::Warn,
+            "seer_daemon::pipeline",
+            "flight recorder dump failed",
+            path = path.display().to_string(),
+            error = e.to_string(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seer_telemetry::TraceId;
+
+    /// A traced fresh query that reuses an in-flight recluster job
+    /// *requested without a context* (a periodic or idle-tick job) must
+    /// adopt it: the `recluster` span recorded at install time lands in
+    /// the query's trace, parented under the waiting context.
+    #[test]
+    fn waiting_query_adopts_untraced_recluster_job() {
+        let (job_tx, _job_rx) = crossbeam::channel::bounded::<ReclusterJob>(1);
+        let (done_tx, done_rx) = crossbeam::channel::bounded::<ReclusterDone>(1);
+        let engine = SeerEngine::default();
+        let run = engine.recluster_input().compute(1);
+        let mut actor = Actor {
+            engine,
+            strings: StringTable::new(),
+            remap: HashMap::new(),
+            per_conn: HashMap::new(),
+            events_applied: 5,
+            since_recluster: 0,
+            since_snapshot: 0,
+            clustering_generation: 0,
+            // One untraced job already in flight, covering the target
+            // generation — exactly what the idle tick leaves behind.
+            inflight: VecDeque::from([5u64]),
+            job_tx,
+            done_rx,
+            cfg: ActorConfig {
+                snapshot_path: None,
+                recluster_every: 0,
+                snapshot_every: 0,
+                tick: Duration::from_millis(50),
+                file_size: 1,
+                recluster_threads: 1,
+                flight_path: None,
+            },
+            metrics: crate::stats::new_shared_with(Tracer::new(64, Duration::from_secs(1))),
+        };
+        // The worker stand-in finishes the job only once the query is
+        // already blocked waiting on it.
+        let sender = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            done_tx
+                .send(ReclusterDone {
+                    clustering: run.clustering,
+                    generation: 5,
+                    started: Instant::now(),
+                    wall: Duration::from_millis(3),
+                    shard_seconds: run.shard_count_seconds,
+                    shard_start_offsets: run.shard_start_offsets,
+                    ctx: None,
+                })
+                .expect("actor is waiting");
+        });
+
+        let ctx = actor.metrics.tracer.record_complete(
+            "engine_answer",
+            TraceId(42),
+            None,
+            Instant::now(),
+            Duration::ZERO,
+            &[],
+        );
+        actor.ensure_fresh_clustering(Some(ctx));
+        sender.join().expect("worker stand-in");
+
+        assert_eq!(actor.clustering_generation, 5);
+        let spans = actor.metrics.tracer.snapshot();
+        let recluster = spans
+            .iter()
+            .find(|s| s.name == "recluster")
+            .expect("install recorded the adopted job's span");
+        assert_eq!(recluster.trace_id, 42, "span joins the waiting trace");
+        assert_eq!(recluster.parent_id, Some(ctx.span_id.0));
+        for shard in spans.iter().filter(|s| s.name == "shard_count") {
+            assert_eq!(shard.parent_id, Some(recluster.span_id));
+        }
+    }
+
+    /// A traced fresh query whose covering job *already finished* — the
+    /// done is sitting in the channel when the query polls — still
+    /// adopts it: the clustering being installed is the one the query
+    /// answers from, so its span belongs in the query's trace.
+    #[test]
+    fn traced_query_adopts_already_finished_recluster() {
+        let (job_tx, _job_rx) = crossbeam::channel::bounded::<ReclusterJob>(1);
+        let (done_tx, done_rx) = crossbeam::channel::bounded::<ReclusterDone>(1);
+        let engine = SeerEngine::default();
+        let run = engine.recluster_input().compute(1);
+        let mut actor = Actor {
+            engine,
+            strings: StringTable::new(),
+            remap: HashMap::new(),
+            per_conn: HashMap::new(),
+            events_applied: 7,
+            since_recluster: 0,
+            since_snapshot: 0,
+            clustering_generation: 0,
+            inflight: VecDeque::from([7u64]),
+            job_tx,
+            done_rx,
+            cfg: ActorConfig {
+                snapshot_path: None,
+                recluster_every: 0,
+                snapshot_every: 0,
+                tick: Duration::from_millis(50),
+                file_size: 1,
+                recluster_threads: 1,
+                flight_path: None,
+            },
+            metrics: crate::stats::new_shared_with(Tracer::new(64, Duration::from_secs(1))),
+        };
+        done_tx
+            .send(ReclusterDone {
+                clustering: run.clustering,
+                generation: 7,
+                started: Instant::now(),
+                wall: Duration::from_millis(2),
+                shard_seconds: run.shard_count_seconds,
+                shard_start_offsets: run.shard_start_offsets,
+                ctx: None,
+            })
+            .expect("bounded(1) has room");
+
+        let ctx = actor.metrics.tracer.record_complete(
+            "engine_answer",
+            TraceId(77),
+            None,
+            Instant::now(),
+            Duration::ZERO,
+            &[],
+        );
+        let (generation, stale) = actor.prepare_clustering(true, Some(ctx));
+        assert_eq!(generation, 7);
+        assert!(!stale);
+
+        let spans = actor.metrics.tracer.snapshot();
+        let recluster = spans
+            .iter()
+            .find(|s| s.name == "recluster")
+            .expect("poll recorded the pending job's span");
+        assert_eq!(recluster.trace_id, 77, "span joins the querying trace");
+        assert_eq!(recluster.parent_id, Some(ctx.span_id.0));
+    }
+
+    /// The same install with nobody waiting starts its own root trace —
+    /// background reclusters never alias an unrelated query's trace.
+    #[test]
+    fn background_recluster_records_under_fresh_trace() {
+        let (job_tx, _job_rx) = crossbeam::channel::bounded::<ReclusterJob>(1);
+        let (done_tx, done_rx) = crossbeam::channel::bounded::<ReclusterDone>(1);
+        let engine = SeerEngine::default();
+        let run = engine.recluster_input().compute(1);
+        let mut actor = Actor {
+            engine,
+            strings: StringTable::new(),
+            remap: HashMap::new(),
+            per_conn: HashMap::new(),
+            events_applied: 3,
+            since_recluster: 0,
+            since_snapshot: 0,
+            clustering_generation: 0,
+            inflight: VecDeque::from([3u64]),
+            job_tx,
+            done_rx,
+            cfg: ActorConfig {
+                snapshot_path: None,
+                recluster_every: 0,
+                snapshot_every: 0,
+                tick: Duration::from_millis(50),
+                file_size: 1,
+                recluster_threads: 1,
+                flight_path: None,
+            },
+            metrics: crate::stats::new_shared_with(Tracer::new(64, Duration::from_secs(1))),
+        };
+        done_tx
+            .send(ReclusterDone {
+                clustering: run.clustering,
+                generation: 3,
+                started: Instant::now(),
+                wall: Duration::from_millis(1),
+                shard_seconds: run.shard_count_seconds,
+                shard_start_offsets: run.shard_start_offsets,
+                ctx: None,
+            })
+            .expect("bounded(1) has room");
+        actor.poll_recluster_done();
+
+        let spans = actor.metrics.tracer.snapshot();
+        let recluster = spans
+            .iter()
+            .find(|s| s.name == "recluster")
+            .expect("install recorded the background job's span");
+        assert_eq!(recluster.parent_id, None, "root of its own trace");
+        assert_ne!(recluster.trace_id, 0);
     }
 }

@@ -6,15 +6,17 @@ use crate::stats::{self, DaemonStats, PipelineMetrics, SharedMetrics};
 use crossbeam::channel::{bounded, Sender};
 use parking_lot::Mutex;
 use seer_core::{PersistError, SeerConfig, SeerEngine};
-use seer_telemetry::{tlog, Level, RegistrySnapshot};
-use seer_trace::wire::{self, ClientFrame, DaemonFrame, QueryRequest, WireError, WIRE_VERSION};
+use seer_telemetry::{tlog, Level, RegistrySnapshot, SpanContext, TraceId, Tracer};
+use seer_trace::wire::{
+    self, ClientFrame, DaemonFrame, QueryRequest, WireError, MIN_WIRE_VERSION, WIRE_VERSION,
+};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Configuration for a [`Daemon`].
 #[derive(Debug, Clone)]
@@ -52,6 +54,16 @@ pub struct DaemonConfig {
     /// The clustering is bit-identical for any value; more threads only
     /// shorten the count phase. Clamped to at least 1.
     pub recluster_threads: usize,
+    /// Spans retained by the flight-recorder ring (oldest overwritten
+    /// first). `0` disables tracing entirely.
+    pub trace_capacity: usize,
+    /// Spans lasting at least this long are auto-promoted to the
+    /// structured event log.
+    pub slow_span: Duration,
+    /// Where to dump the flight recorder (JSON lines) when the daemon
+    /// exits, gracefully or by kill. `None` skips the on-exit dump; the
+    /// panic-hook dump to stderr happens regardless.
+    pub flight_path: Option<PathBuf>,
 }
 
 impl DaemonConfig {
@@ -70,6 +82,9 @@ impl DaemonConfig {
             tick: Duration::from_millis(50),
             file_size: 1024,
             recluster_threads: 4,
+            trace_capacity: 4096,
+            slow_span: Duration::from_millis(100),
+            flight_path: None,
         }
     }
 }
@@ -166,7 +181,9 @@ impl Daemon {
 
         // One registry per daemon: pipeline and engine metrics share it,
         // and every instance (parallel tests included) stays isolated.
-        let metrics = stats::new_shared();
+        let tracer = Tracer::new(config.trace_capacity, config.slow_span);
+        seer_telemetry::register_flight_recorder("daemon", &tracer);
+        let metrics = stats::new_shared_with(tracer);
         engine.attach_telemetry(&metrics.registry);
 
         // A stale socket file from a previous (possibly killed) daemon
@@ -204,6 +221,7 @@ impl Daemon {
             let batch_max = config.batch_max;
             let batch_max_wait = config.batch_max_wait;
             let flush_timer = shared.metrics.stage_batcher_flush.clone();
+            let tracer = shared.metrics.tracer.clone();
             thread::spawn(move || {
                 pipeline::run_batcher(
                     batch_max,
@@ -211,6 +229,7 @@ impl Daemon {
                     ingest_rx,
                     apply_tx,
                     flush_timer,
+                    tracer,
                     kill,
                 );
             })
@@ -224,6 +243,7 @@ impl Daemon {
                 tick: config.tick,
                 file_size: config.file_size,
                 recluster_threads: config.recluster_threads,
+                flight_path: config.flight_path.clone(),
             };
             let metrics = Arc::clone(&shared.metrics);
             let kill = Arc::clone(&shared.kill);
@@ -386,6 +406,18 @@ fn flush_pipeline(conn: u64, ingest_tx: &Sender<Ingest>) -> Result<u64, ()> {
     ack_rx.recv().map_err(|_| ())
 }
 
+/// When reading and decoding a frame started and how long each took —
+/// measured before the frame's trace membership is known, so the spans
+/// are recorded retroactively once the trace id is in hand.
+#[derive(Clone, Copy)]
+struct FrameTiming {
+    read_start: Instant,
+    read_time: Duration,
+    decode_start: Instant,
+    decode_time: Duration,
+    bytes: usize,
+}
+
 /// Reads one client frame, timing the socket read and the JSON decode as
 /// separate pipeline stages. The read timing includes waiting for the
 /// client, so its tail shows client pauses, not daemon slowness; the
@@ -393,21 +425,57 @@ fn flush_pipeline(conn: u64, ingest_tx: &Sender<Ingest>) -> Result<u64, ()> {
 fn read_timed_frame(
     r: &mut impl BufRead,
     metrics: &PipelineMetrics,
-) -> Result<Option<ClientFrame>, WireError> {
+) -> Result<Option<(ClientFrame, FrameTiming)>, WireError> {
     let mut line = String::new();
     loop {
         line.clear();
+        let read_start = Instant::now();
         let read_timer = metrics.stage_socket_read.start_timer();
         let n = r.read_line(&mut line)?;
         read_timer.stop();
+        let read_time = read_start.elapsed();
         if n == 0 {
             return Ok(None);
         }
         if !line.trim().is_empty() {
-            let _t = metrics.stage_decode.start_timer();
-            return Ok(Some(serde_json::from_str(line.trim_end())?));
+            let decode_start = Instant::now();
+            let decode_timer = metrics.stage_decode.start_timer();
+            let frame = serde_json::from_str(line.trim_end())?;
+            decode_timer.stop();
+            return Ok(Some((
+                frame,
+                FrameTiming {
+                    read_start,
+                    read_time,
+                    decode_start,
+                    decode_time: decode_start.elapsed(),
+                    bytes: n,
+                },
+            )));
         }
     }
+}
+
+/// Records the retroactive `socket_read` → `decode` chain for a traced
+/// events frame, returning the decode span's context for the batcher to
+/// continue the chain.
+fn record_frame_spans(tracer: &Tracer, trace: TraceId, timing: FrameTiming) -> SpanContext {
+    let read_ctx = tracer.record_complete(
+        "socket_read",
+        trace,
+        None,
+        timing.read_start,
+        timing.read_time,
+        &[("bytes", timing.bytes.to_string())],
+    );
+    tracer.record_complete(
+        "decode",
+        trace,
+        Some(read_ctx.span_id),
+        timing.decode_start,
+        timing.decode_time,
+        &[],
+    )
 }
 
 /// One connection's reader loop. Runs on its own thread; exits on EOF,
@@ -426,7 +494,7 @@ fn serve_conn(
     let mut r = BufReader::new(reader);
     let mut w = BufWriter::new(stream);
     loop {
-        let frame = match read_timed_frame(&mut r, &shared.metrics) {
+        let (frame, timing) = match read_timed_frame(&mut r, &shared.metrics) {
             Ok(Some(f)) => f,
             Ok(None) => break,
             Err(WireError::Format(m)) => {
@@ -445,14 +513,16 @@ fn serve_conn(
         };
         match frame {
             ClientFrame::Hello { version, .. } => {
-                let reply = if version == WIRE_VERSION {
+                // v2 differs only by the absence of trace stamps and the
+                // Dump query, so older clients remain fully functional.
+                let reply = if (MIN_WIRE_VERSION..=WIRE_VERSION).contains(&version) {
                     DaemonFrame::Welcome {
                         version: WIRE_VERSION,
                     }
                 } else {
                     DaemonFrame::Error {
                         message: format!(
-                            "wire version mismatch: daemon speaks {WIRE_VERSION}, client sent {version}"
+                            "wire version mismatch: daemon speaks {MIN_WIRE_VERSION}..={WIRE_VERSION}, client sent {version}"
                         ),
                     }
                 };
@@ -472,14 +542,19 @@ fn serve_conn(
                     break;
                 }
             }
-            ClientFrame::Events { events } => {
+            ClientFrame::Events { events, trace_id } => {
                 let n = events.len() as u64;
                 // Depth *before* this send: with a bounded channel the
                 // send below blocks rather than exceed capacity, so this
                 // observation can never exceed the configured bound.
                 shared.metrics.observe_queue_depth(ingest_tx.len());
                 shared.metrics.events_received.add(n);
-                if ingest_tx.send(Ingest::Events { conn, events }).is_err() {
+                let ctx = trace_id
+                    .map(|t| record_frame_spans(&shared.metrics.tracer, TraceId(t), timing));
+                if ingest_tx
+                    .send(Ingest::Events { conn, events, ctx })
+                    .is_err()
+                {
                     break;
                 }
             }
@@ -502,7 +577,14 @@ fn serve_conn(
                     break;
                 }
             },
-            ClientFrame::Query { query } => match run_query(conn, query, ingest_tx, control_tx) {
+            ClientFrame::Query { query, trace_id } => match run_query(
+                conn,
+                query,
+                trace_id,
+                ingest_tx,
+                control_tx,
+                &shared.metrics.tracer,
+            ) {
                 Ok(response) => {
                     if wire::write_frame(&mut w, &DaemonFrame::Answer { response }).is_err()
                         || w.flush().is_err()
@@ -549,17 +631,30 @@ fn serve_conn(
 
 /// Flushes the connection's stream, then forwards the query to the
 /// engine actor and waits for its answer.
+///
+/// A traced query gets a root `query` span covering the whole exchange,
+/// with a `flush_wait` child for the pipeline drain; the engine actor
+/// hangs its `engine_answer` span (and any recluster it triggers) off
+/// the root via the forwarded context.
 fn run_query(
     conn: u64,
     query: QueryRequest,
+    trace_id: Option<u64>,
     ingest_tx: &Sender<Ingest>,
     control_tx: &Sender<Control>,
+    tracer: &Tracer,
 ) -> Result<seer_trace::wire::QueryResponse, ()> {
-    flush_pipeline(conn, ingest_tx)?;
+    let root = trace_id.map(|t| tracer.span_in("query", TraceId(t), None));
+    let ctx = root.as_ref().map(seer_telemetry::Span::context);
+    {
+        let _flush_span = ctx.map(|c| tracer.child("flush_wait", c));
+        flush_pipeline(conn, ingest_tx)?;
+    }
     let (reply_tx, reply_rx) = bounded(1);
     control_tx
         .send(Control::Query {
             query,
+            ctx,
             reply: reply_tx,
         })
         .map_err(|_| ())?;

@@ -6,7 +6,7 @@
 //! while the hot path records through lock-free atomics instead of a
 //! shared mutex.
 
-use seer_telemetry::{Counter, Gauge, Histogram, Registry};
+use seer_telemetry::{Counter, Gauge, Histogram, Registry, Tracer};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -39,6 +39,9 @@ pub struct DaemonStats {
 pub(crate) struct PipelineMetrics {
     /// The registry the handles live in, for `metrics` query snapshots.
     pub registry: Arc<Registry>,
+    /// The causal-span tracer / flight recorder every pipeline stage
+    /// records into. Disabled (`trace_capacity: 0`) it costs one branch.
+    pub tracer: Tracer,
     pub events_received: Counter,
     pub events_applied: Counter,
     pub batches_applied: Counter,
@@ -50,6 +53,9 @@ pub(crate) struct PipelineMetrics {
     /// Hoard/cluster queries answered from a clustering older than the
     /// applied event count (non-fresh queries during a recluster).
     pub stale_queries: Counter,
+    /// Events applied since the installed clustering was computed — how
+    /// far the hoard's view of the project structure lags reality.
+    pub generation_lag: Gauge,
     /// Ingest-queue depth sampled at each event send.
     pub queue_depth: Gauge,
     /// High-water mark of `queue_depth` over the daemon's lifetime.
@@ -68,7 +74,7 @@ pub(crate) struct PipelineMetrics {
 }
 
 impl PipelineMetrics {
-    pub(crate) fn new(registry: Arc<Registry>) -> PipelineMetrics {
+    pub(crate) fn new(registry: Arc<Registry>, tracer: Tracer) -> PipelineMetrics {
         let stage = |name: &str, help: &str| {
             registry.histogram_with("seer_daemon_stage_seconds", help, &[("stage", name)])
         };
@@ -100,6 +106,10 @@ impl PipelineMetrics {
             stale_queries: registry.counter(
                 "seer_daemon_stale_queries_total",
                 "Queries answered from a cached clustering older than the applied event count.",
+            ),
+            generation_lag: registry.gauge(
+                "seer_daemon_generation_lag",
+                "Events applied since the installed clustering's generation.",
             ),
             queue_depth: registry.gauge(
                 "seer_daemon_queue_depth",
@@ -140,7 +150,15 @@ impl PipelineMetrics {
             ),
             started: Instant::now(),
             registry,
+            tracer,
         }
+    }
+
+    /// Refreshes the generation-lag gauge from the live counters.
+    pub(crate) fn observe_generation_lag(&self, events_applied: u64, generation: u64) {
+        let lag = events_applied.saturating_sub(generation);
+        self.generation_lag
+            .set(i64::try_from(lag).unwrap_or(i64::MAX));
     }
 
     /// Records a queue-depth observation (live value + high-water mark).
@@ -173,8 +191,13 @@ impl PipelineMetrics {
 /// Metrics handle shared between server, pipeline, and callers.
 pub(crate) type SharedMetrics = Arc<PipelineMetrics>;
 
+#[cfg(test)]
 pub(crate) fn new_shared() -> SharedMetrics {
-    Arc::new(PipelineMetrics::new(Arc::new(Registry::new())))
+    new_shared_with(Tracer::disabled())
+}
+
+pub(crate) fn new_shared_with(tracer: Tracer) -> SharedMetrics {
+    Arc::new(PipelineMetrics::new(Arc::new(Registry::new()), tracer))
 }
 
 #[cfg(test)]

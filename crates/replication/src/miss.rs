@@ -1,5 +1,6 @@
 //! Hoard-miss recording (§4.4).
 
+use seer_telemetry::{Counter, Registry};
 use seer_trace::{FileId, Timestamp};
 use serde::{Deserialize, Serialize};
 
@@ -67,6 +68,18 @@ pub struct MissLog {
     records: Vec<MissRecord>,
     /// Files awaiting hoarding at the next reconnection.
     pending_hoard: Vec<FileId>,
+    /// Registry handles, present after [`MissLog::attach_telemetry`].
+    /// Not part of the persisted log.
+    #[serde(skip)]
+    telemetry: Option<MissTelemetry>,
+}
+
+/// Registry counters mirroring the log: manual misses by severity code
+/// plus the automatic detector's count.
+#[derive(Debug, Clone)]
+struct MissTelemetry {
+    by_severity: Vec<Counter>,
+    auto_detected: Counter,
 }
 
 impl MissLog {
@@ -74,6 +87,36 @@ impl MissLog {
     #[must_use]
     pub fn new() -> MissLog {
         MissLog::default()
+    }
+
+    /// Mirrors future recordings into `registry` as
+    /// `seer_replication_misses_total{severity="0".."4"}` and
+    /// `seer_replication_auto_misses_total`, and replays already-recorded
+    /// misses so a log restored from a snapshot reports correct totals.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        let t = MissTelemetry {
+            by_severity: Severity::ALL
+                .iter()
+                .map(|s| {
+                    registry.counter_with(
+                        "seer_replication_misses_total",
+                        "User-recorded hoard misses by severity code (0=unusable … 4=preload).",
+                        &[("severity", &s.code().to_string())],
+                    )
+                })
+                .collect(),
+            auto_detected: registry.counter(
+                "seer_replication_auto_misses_total",
+                "Hoard misses found by the automatic detector (no user judgment).",
+            ),
+        };
+        for r in &self.records {
+            match r.severity {
+                Some(s) => t.by_severity[s.code() as usize].add(1),
+                None => t.auto_detected.add(1),
+            }
+        }
+        self.telemetry = Some(t);
     }
 
     /// Manually records a miss with a severity, scheduling the file for
@@ -92,6 +135,9 @@ impl MissLog {
             implied,
         });
         self.pending_hoard.push(file);
+        if let Some(t) = &self.telemetry {
+            t.by_severity[severity.code() as usize].add(1);
+        }
     }
 
     /// Records an automatically detected miss (§4.4's backup mechanism).
@@ -103,6 +149,9 @@ impl MissLog {
             implied: false,
         });
         self.pending_hoard.push(file);
+        if let Some(t) = &self.telemetry {
+            t.auto_detected.add(1);
+        }
     }
 
     /// All records in order.
@@ -166,6 +215,46 @@ mod tests {
         assert_eq!(log.take_pending(), vec![FileId(7)]);
         assert!(log.take_pending().is_empty(), "queue cleared");
         assert!(!log.is_empty(), "records persist after take");
+    }
+
+    #[test]
+    fn telemetry_mirrors_recordings_and_replays_history() {
+        let registry = seer_telemetry::Registry::new();
+        let mut log = MissLog::new();
+        // Recorded before attachment: must be replayed into the counters.
+        log.record_manual(FileId(1), Timestamp::ZERO, Severity::Unusable, false);
+        log.attach_telemetry(&registry);
+        log.record_manual(FileId(2), Timestamp::ZERO, Severity::Unusable, false);
+        log.record_manual(FileId(3), Timestamp::ZERO, Severity::Preload, true);
+        log.record_auto(FileId(4), Timestamp::ZERO);
+        let snap = registry.snapshot();
+        let count = |severity: &str| {
+            snap.metrics
+                .iter()
+                .find(|m| {
+                    m.name == "seer_replication_misses_total"
+                        && m.labels == vec![("severity".to_owned(), severity.to_owned())]
+                })
+                .map(|m| m.value.clone())
+        };
+        assert_eq!(
+            count("0"),
+            Some(seer_telemetry::MetricValue::Counter { total: 2 }),
+            "pre-attachment record replayed"
+        );
+        assert_eq!(
+            count("4"),
+            Some(seer_telemetry::MetricValue::Counter { total: 1 })
+        );
+        let auto = snap
+            .metrics
+            .iter()
+            .find(|m| m.name == "seer_replication_auto_misses_total")
+            .expect("auto counter");
+        assert_eq!(
+            auto.value,
+            seer_telemetry::MetricValue::Counter { total: 1 }
+        );
     }
 
     #[test]

@@ -1,0 +1,276 @@
+//! Exporters for completed spans: Chrome trace-event JSON (opens in
+//! `chrome://tracing` / Perfetto), an indented span-tree pretty-printer,
+//! and the flight recorder's JSON-lines dump format.
+//!
+//! The Chrome renderer emits *complete* (`"ph":"X"`) events with
+//! microsecond timestamps normalized to the earliest span in the export,
+//! so files are small, diff-stable, and land at t=0 in the viewer. Field
+//! order is fixed by construction (strings are assembled manually), which
+//! the golden test locks down.
+
+use crate::tracing::SpanRecord;
+use std::fmt::Write as _;
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Microseconds with fixed three-decimal precision (nanosecond floor),
+/// the resolution Chrome's `ts`/`dur` fields expect.
+fn micros(nanos: u64) -> String {
+    format!("{}.{:03}", nanos / 1_000, nanos % 1_000)
+}
+
+/// The track ("thread") a span renders on. Parallel recluster shards get
+/// their own lanes so they draw side by side instead of mis-nesting;
+/// everything else shares lane 1 and nests by time containment.
+fn lane(span: &SpanRecord) -> u64 {
+    match span.attr("shard").and_then(|s| s.parse::<u64>().ok()) {
+        Some(shard) => 2 + shard,
+        None => 1,
+    }
+}
+
+/// Renders spans as a Chrome trace-event JSON document. Spans are sorted
+/// by start time then span id; timestamps are relative to the earliest
+/// span. Ids are rendered as zero-padded hex strings in `args` (Chrome's
+/// `id` fields truncate 64-bit integers).
+#[must_use]
+pub fn render_chrome_trace(spans: &[SpanRecord]) -> String {
+    let mut sorted: Vec<&SpanRecord> = spans.iter().collect();
+    sorted.sort_by(|a, b| {
+        a.start_unix_nanos
+            .cmp(&b.start_unix_nanos)
+            .then_with(|| a.span_id.cmp(&b.span_id))
+    });
+    let base = sorted.first().map_or(0, |s| s.start_unix_nanos);
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, s) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n{\"name\":\"");
+        escape_json(&s.name, &mut out);
+        let _ = write!(
+            out,
+            "\",\"cat\":\"seer\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{}",
+            micros(s.start_unix_nanos.saturating_sub(base)),
+            micros(s.duration_nanos),
+            lane(s),
+        );
+        let _ = write!(
+            out,
+            ",\"args\":{{\"trace_id\":\"{:016x}\",\"span_id\":\"{:016x}\"",
+            s.trace_id, s.span_id
+        );
+        if let Some(p) = s.parent_id {
+            let _ = write!(out, ",\"parent_id\":\"{p:016x}\"");
+        }
+        for (k, v) in &s.attrs {
+            out.push_str(",\"");
+            escape_json(k, &mut out);
+            out.push_str("\":\"");
+            escape_json(v, &mut out);
+            out.push('"');
+        }
+        out.push_str("}}");
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+/// Writes spans as JSON lines (one [`SpanRecord`] object per line) — the
+/// flight recorder's dump format for panics and shutdown.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error if the writer fails.
+pub fn write_flight_jsonl<W: std::io::Write>(
+    w: &mut W,
+    spans: &[SpanRecord],
+) -> std::io::Result<()> {
+    for s in spans {
+        let line = serde_json::to_string(s)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        writeln!(w, "{line}")?;
+    }
+    Ok(())
+}
+
+/// A human-legible duration for tree rendering.
+fn fmt_nanos(nanos: u64) -> String {
+    let s = nanos as f64 / 1e9;
+    if s < 1e-6 {
+        format!("{nanos}ns")
+    } else if s < 1e-3 {
+        format!("{:.1}µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.1}ms", s * 1e3)
+    } else {
+        format!("{s:.2}s")
+    }
+}
+
+/// Pretty-prints spans as indented trees, one per trace, children
+/// ordered by start time. Spans whose parent is absent from the set
+/// (overwritten in the ring, or recorded elsewhere) are promoted to
+/// roots, so a partial dump still renders.
+#[must_use]
+pub fn render_span_tree(spans: &[SpanRecord]) -> String {
+    use std::collections::BTreeMap;
+    // Traces in first-seen-start order; spans within a trace by start.
+    let mut by_trace: BTreeMap<u64, Vec<&SpanRecord>> = BTreeMap::new();
+    for s in spans {
+        by_trace.entry(s.trace_id).or_default().push(s);
+    }
+    let mut traces: Vec<(u64, Vec<&SpanRecord>)> = by_trace.into_iter().collect();
+    traces.sort_by_key(|(_, v)| v.iter().map(|s| s.start_unix_nanos).min().unwrap_or(0));
+
+    let mut out = String::new();
+    for (trace_id, mut members) in traces {
+        members.sort_by_key(|s| (s.start_unix_nanos, s.span_id));
+        let ids: std::collections::HashSet<u64> = members.iter().map(|s| s.span_id).collect();
+        let mut children: BTreeMap<u64, Vec<&SpanRecord>> = BTreeMap::new();
+        let mut roots: Vec<&SpanRecord> = Vec::new();
+        for s in &members {
+            match s.parent_id {
+                Some(p) if ids.contains(&p) => children.entry(p).or_default().push(s),
+                _ => roots.push(s),
+            }
+        }
+        let total: u64 = roots.iter().map(|s| s.duration_nanos).sum();
+        let _ = writeln!(
+            out,
+            "trace {trace_id:016x} — {} spans, {}",
+            members.len(),
+            fmt_nanos(total)
+        );
+        fn walk(
+            out: &mut String,
+            s: &SpanRecord,
+            children: &std::collections::BTreeMap<u64, Vec<&SpanRecord>>,
+            prefix: &str,
+            last: bool,
+        ) {
+            let branch = if last { "└─ " } else { "├─ " };
+            let attrs = if s.attrs.is_empty() {
+                String::new()
+            } else {
+                let joined: Vec<String> = s.attrs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                format!(" ({})", joined.join(", "))
+            };
+            let _ = writeln!(
+                out,
+                "{prefix}{branch}{} {}{attrs}",
+                s.name,
+                fmt_nanos(s.duration_nanos)
+            );
+            let next_prefix = format!("{prefix}{}", if last { "   " } else { "│  " });
+            if let Some(kids) = children.get(&s.span_id) {
+                for (i, k) in kids.iter().enumerate() {
+                    walk(out, k, children, &next_prefix, i + 1 == kids.len());
+                }
+            }
+        }
+        for (i, r) in roots.iter().enumerate() {
+            walk(&mut out, r, &children, "", i + 1 == roots.len());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(
+        name: &str,
+        trace: u64,
+        id: u64,
+        parent: Option<u64>,
+        start: u64,
+        dur: u64,
+        attrs: &[(&str, &str)],
+    ) -> SpanRecord {
+        SpanRecord {
+            trace_id: trace,
+            span_id: id,
+            parent_id: parent,
+            name: name.into(),
+            start_unix_nanos: start,
+            duration_nanos: dur,
+            attrs: attrs
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn chrome_timestamps_are_normalized_microseconds() {
+        let spans = vec![
+            span("b", 1, 2, Some(1), 2_000_500, 1_000, &[]),
+            span("a", 1, 1, None, 1_000_000, 3_000_000, &[]),
+        ];
+        let json = render_chrome_trace(&spans);
+        // Earliest span lands at ts 0; the other at 1000.5 µs.
+        assert!(json.contains("\"name\":\"a\",\"cat\":\"seer\",\"ph\":\"X\",\"ts\":0.000"));
+        assert!(json.contains("\"ts\":1000.500,\"dur\":1.000"));
+        assert!(json.contains("\"parent_id\":\"0000000000000001\""));
+    }
+
+    #[test]
+    fn shard_spans_get_their_own_lane() {
+        let spans = vec![
+            span("recluster", 1, 1, None, 0, 10, &[]),
+            span("shard_count", 1, 2, Some(1), 1, 5, &[("shard", "3")]),
+        ];
+        let json = render_chrome_trace(&spans);
+        assert!(json.contains("\"tid\":1,"), "plain spans on lane 1");
+        assert!(json.contains("\"tid\":5,"), "shard 3 renders on lane 5");
+    }
+
+    #[test]
+    fn tree_renders_nested_and_orphaned_spans() {
+        let spans = vec![
+            span("root", 7, 1, None, 0, 1_000_000, &[("conn", "0")]),
+            span("child", 7, 2, Some(1), 10, 500_000, &[]),
+            span("orphan", 7, 3, Some(99), 20, 1_000, &[]),
+        ];
+        let tree = render_span_tree(&spans);
+        assert!(tree.contains("trace 0000000000000007 — 3 spans"));
+        assert!(tree.contains("├─ root 1.0ms (conn=0)"));
+        assert!(tree.contains("│  └─ child 500.0µs"));
+        assert!(tree.contains("└─ orphan 1.0µs"), "missing parent → root");
+    }
+
+    #[test]
+    fn flight_jsonl_is_one_record_per_line() {
+        let spans = vec![
+            span("a", 1, 1, None, 5, 6, &[("k", "v")]),
+            span("b", 1, 2, Some(1), 7, 8, &[]),
+        ];
+        let mut buf = Vec::new();
+        write_flight_jsonl(&mut buf, &spans).expect("write");
+        let text = String::from_utf8(buf).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for (line, original) in lines.iter().zip(&spans) {
+            let back: SpanRecord = serde_json::from_str(line).expect("parse");
+            assert_eq!(&back, original);
+        }
+    }
+}

@@ -9,7 +9,11 @@
 //!   JSON lines to stderr (or `SEER_LOG_FILE`), filtered by the
 //!   `SEER_LOG` environment variable;
 //! - a Prometheus-text-format renderer ([`render_prometheus`]) so a
-//!   scraper can consume any snapshot.
+//!   scraper can consume any snapshot;
+//! - causal span tracing ([`Tracer`], [`Span`]) into a fixed-capacity
+//!   lock-free ring that doubles as a flight recorder
+//!   ([`register_flight_recorder`]), with Chrome trace-event export
+//!   ([`render_chrome_trace`]) and a span-tree pretty-printer.
 //!
 //! Metric naming follows Prometheus conventions: `snake_case` names
 //! prefixed `seer_`, counters suffixed `_total`, durations in seconds
@@ -20,15 +24,22 @@
 //! name + label set returns a handle to the same underlying metric, so
 //! components can register their instruments independently.
 
+mod chrome;
 mod log;
 mod prometheus;
 mod registry;
+mod tracing;
 
+pub use chrome::{render_chrome_trace, render_span_tree, write_flight_jsonl};
 pub use log::{init_from_env, log_enabled, log_event, set_global_filter, FieldValue, Level};
 pub use prometheus::render_prometheus;
 pub use registry::{
     BucketSnapshot, Counter, Gauge, Histogram, MetricSnapshot, MetricValue, Registry,
     RegistrySnapshot, SpanTimer,
+};
+pub use tracing::{
+    new_trace_id, register_flight_recorder, unix_nanos_of, Span, SpanContext, SpanId, SpanRecord,
+    SpanRing, TraceId, Tracer,
 };
 
 use std::sync::OnceLock;

@@ -22,7 +22,17 @@ use std::io::{BufRead, Write};
 ///
 /// v2: `Hoard`/`Clusters` queries gained a `fresh` flag and their
 /// responses report the clustering `generation` and a `stale` marker.
-pub const WIRE_VERSION: u32 = 2;
+///
+/// v3: `Events` and `Query` frames carry an optional `trace_id` stamping
+/// the work into a causal trace, and a `Dump` query returns the daemon's
+/// flight-recorder span ring. v2 frames (no `trace_id` key) still decode
+/// — a missing trace id is `None` — so the daemon accepts both versions.
+pub const WIRE_VERSION: u32 = 3;
+
+/// The oldest client revision the daemon still accepts: v2 differs from
+/// v3 only by the absence of `trace_id` stamps and the `Dump` query, both
+/// of which degrade gracefully.
+pub const MIN_WIRE_VERSION: u32 = 2;
 
 /// A frame sent from a client to the daemon.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -46,6 +56,9 @@ pub enum ClientFrame {
     Events {
         /// The events, in observation order.
         events: Vec<TraceEvent>,
+        /// Optional causal-trace id: when set, the daemon records spans
+        /// for every pipeline stage this batch flows through under it.
+        trace_id: Option<u64>,
     },
     /// Asks the daemon to apply everything received so far on this
     /// connection and acknowledge with [`DaemonFrame::Flushed`].
@@ -56,6 +69,10 @@ pub enum ClientFrame {
     Query {
         /// The question.
         query: QueryRequest,
+        /// Optional causal-trace id: when set, the daemon records the
+        /// query's span tree (flush wait, engine answer, any recluster it
+        /// triggers) under it, retrievable via [`QueryRequest::Dump`].
+        trace_id: Option<u64>,
     },
     /// Asks the daemon to flush, snapshot, and exit; acknowledged with
     /// [`DaemonFrame::ShuttingDown`] before the socket closes.
@@ -93,6 +110,9 @@ pub enum QueryRequest {
     Metrics,
     /// Liveness / readiness probe.
     Health,
+    /// Dump the daemon's flight recorder: every span currently retained
+    /// in the tracing ring, oldest first.
+    Dump,
 }
 
 /// A frame sent from the daemon to a client.
@@ -178,6 +198,15 @@ pub enum QueryResponse {
     Metrics {
         /// The registry contents at query time.
         snapshot: seer_telemetry::RegistrySnapshot,
+    },
+    /// Flight-recorder contents for [`QueryRequest::Dump`].
+    Dump {
+        /// Retained spans, ordered by start time. Filter by `trace_id`
+        /// to reconstruct one request's causal tree.
+        spans: Vec<seer_telemetry::SpanRecord>,
+        /// Spans lost to ring-slot contention since startup (overwritten
+        /// spans are not counted — aging out is the ring working).
+        dropped: u64,
     },
     /// Probe result for [`QueryRequest::Health`].
     Health {
@@ -288,6 +317,7 @@ mod tests {
             },
             ClientFrame::Events {
                 events: vec![sample_event(), sample_event()],
+                trace_id: Some(0xdead_beef),
             },
             ClientFrame::Flush,
             ClientFrame::Query {
@@ -295,15 +325,23 @@ mod tests {
                     budget: 1 << 20,
                     fresh: true,
                 },
+                trace_id: Some(7),
             },
             ClientFrame::Query {
                 query: QueryRequest::Clusters { fresh: false },
+                trace_id: None,
             },
             ClientFrame::Query {
                 query: QueryRequest::Metrics,
+                trace_id: None,
             },
             ClientFrame::Query {
                 query: QueryRequest::Health,
+                trace_id: None,
+            },
+            ClientFrame::Query {
+                query: QueryRequest::Dump,
+                trace_id: None,
             },
             ClientFrame::Shutdown,
         ];
@@ -369,6 +407,20 @@ mod tests {
                     },
                 },
             },
+            DaemonFrame::Answer {
+                response: QueryResponse::Dump {
+                    spans: vec![seer_telemetry::SpanRecord {
+                        trace_id: 0xdead_beef,
+                        span_id: 1,
+                        parent_id: None,
+                        name: "engine_apply".into(),
+                        start_unix_nanos: 123,
+                        duration_nanos: 456,
+                        attrs: vec![("events".into(), "64".into())],
+                    }],
+                    dropped: 0,
+                },
+            },
             DaemonFrame::ShuttingDown,
             DaemonFrame::Error {
                 message: "nope".into(),
@@ -383,6 +435,32 @@ mod tests {
             let got: DaemonFrame = read_frame(&mut r).expect("read").expect("frame");
             assert_eq!(&got, f);
         }
+    }
+
+    /// v2 clients serialize `Events` and `Query` without a `trace_id`
+    /// key; a v3 daemon must decode them as untraced rather than reject
+    /// the connection.
+    #[test]
+    fn v2_frames_without_trace_id_still_decode() {
+        let mut r = &br#"{"Events":{"events":[]}}
+{"Query":{"query":{"Clusters":{"fresh":true}}}}
+"#[..];
+        let events: ClientFrame = read_frame(&mut r).expect("read").expect("frame");
+        assert_eq!(
+            events,
+            ClientFrame::Events {
+                events: vec![],
+                trace_id: None,
+            }
+        );
+        let query: ClientFrame = read_frame(&mut r).expect("read").expect("frame");
+        assert_eq!(
+            query,
+            ClientFrame::Query {
+                query: QueryRequest::Clusters { fresh: true },
+                trace_id: None,
+            }
+        );
     }
 
     #[test]

@@ -71,7 +71,10 @@ pub trait Deserialize: Sized {
 pub fn field<T: Deserialize>(obj: &[(String, Value)], name: &str) -> Result<T, DeError> {
     match obj.iter().find(|(k, _)| k == name) {
         Some((_, v)) => T::from_value(v).map_err(|e| DeError(format!("field `{name}`: {e}"))),
-        None => Err(DeError(format!("missing field `{name}`"))),
+        // A missing field deserializes as if it were `null`, which
+        // succeeds exactly for nullable types (`Option<T>` → `None`), as
+        // in real serde. Everything else keeps the missing-field error.
+        None => T::from_value(&Value::Null).map_err(|_| DeError(format!("missing field `{name}`"))),
     }
 }
 
