@@ -10,7 +10,7 @@
 //! Run with: `cargo run -p seer-bench --bin daemon_throughput --release`
 //! (also writes `results/daemon_throughput.txt`).
 
-use seer_daemon::{Daemon, DaemonClient, DaemonConfig};
+use seer_daemon::{Daemon, DaemonClient, DaemonConfig, FsyncPolicy};
 use seer_telemetry::RegistrySnapshot;
 use seer_trace::wire::{QueryRequest, QueryResponse};
 use seer_workload::{generate, MachineProfile};
@@ -274,6 +274,76 @@ fn main() {
         out,
         "  engine_apply p99 ratio (tracing on / off): {tratio:.2}x \
          (target: within 1.10x — tracing must be invisible on the hot path)"
+    );
+
+    // Fourth experiment: what does write-ahead logging cost the ingest
+    // path? Same workload at frame size 64, once without a WAL and once
+    // per fsync policy. The append itself rides inside the engine_apply
+    // stage, so its p99 captures framing + checksum + write() and — for
+    // fsync=always — the fdatasync on every batch.
+    let _ = writeln!(
+        out,
+        "\ningest latency with the write-ahead log on vs off (frame size 64):"
+    );
+    let _ = writeln!(
+        out,
+        "  {:<22} {:>10} {:>10} {:>10} {:>12} {:>12}",
+        "configuration", "p50 µs", "p95 µs", "p99 µs", "wal records", "wal MiB"
+    );
+    let mut wal_p99 = [f64::NAN; 4];
+    let policies: [(&str, Option<FsyncPolicy>); 4] = [
+        ("wal off", None),
+        ("fsync=never", Some(FsyncPolicy::Never)),
+        (
+            "fsync=interval:50",
+            Some(FsyncPolicy::Interval(std::time::Duration::from_millis(50))),
+        ),
+        ("fsync=always", Some(FsyncPolicy::Always)),
+    ];
+    for (i, (label, policy)) in policies.iter().enumerate() {
+        let dir =
+            std::env::temp_dir().join(format!("seer-throughput-wal{i}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let mut cfg = DaemonConfig::new(dir.join("sock"));
+        cfg.recluster_every = 0;
+        if let Some(p) = policy {
+            cfg.wal_dir = Some(dir.join("wal"));
+            cfg.wal_fsync = *p;
+        }
+        let handle = Daemon::spawn(cfg).expect("spawn");
+        let mut client = DaemonClient::connect(handle.socket_path(), "wal-bench").expect("connect");
+        client.send_trace(&trace, 64).expect("warmup send");
+        client.flush().expect("warmup flush");
+        client.send_trace(&trace, 64).expect("send");
+        client.flush().expect("flush");
+        let snap = match client.query(QueryRequest::Metrics).expect("metrics query") {
+            QueryResponse::Metrics { snapshot } => snapshot,
+            other => panic!("unexpected response: {other:?}"),
+        };
+        drop(client);
+        handle.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+
+        let apply = snap
+            .find_with("seer_daemon_stage_seconds", &[("stage", "engine_apply")])
+            .expect("engine_apply stage");
+        wal_p99[i] = apply.quantile(0.99).unwrap_or(f64::NAN);
+        let _ = writeln!(
+            out,
+            "  {:<22} {:>10} {:>10} {:>10} {:>12} {:>12.2}",
+            label,
+            us(apply.quantile(0.50)),
+            us(apply.quantile(0.95)),
+            us(apply.quantile(0.99)),
+            snap.counter("seer_wal_records_total").unwrap_or(0),
+            snap.counter("seer_wal_appended_bytes_total").unwrap_or(0) as f64 / (1024.0 * 1024.0),
+        );
+    }
+    let wratio = wal_p99[2] / wal_p99[0].max(1e-12);
+    let _ = writeln!(
+        out,
+        "  engine_apply p99 ratio (fsync=interval / wal off): {wratio:.2}x \
+         (target: within 1.25x — durability must not throttle ingestion)"
     );
 
     let _ = writeln!(

@@ -27,13 +27,18 @@ USAGE:
   seer daemon --socket PATH [--snapshot FILE] [--capacity N] [--batch-max N]
               [--recluster-every N] [--snapshot-every N] [--file-size BYTES]
               [--recluster-threads N] [--trace-capacity N] [--slow-span-ms MS]
-              [--flight FILE]
+              [--flight FILE] [--wal-dir DIR] [--fsync always|never|interval:<ms>]
+              [--wal-segment-bytes N] [--restore-to GENERATION]
               (N = 0 for --recluster-every / --snapshot-every means never;
-               --trace-capacity 0 disables the flight recorder)
+               --trace-capacity 0 disables the flight recorder;
+               --wal-dir enables the write-ahead log; --restore-to discards
+               every batch past that generation before starting)
   seer client send <trace> --socket PATH [--chunk N]
   seer client load --socket PATH --machine <A..I> [--days N] [--seed N] [--chunk N]
   seer client query <hoard|clusters|stats|metrics|health|dump> --socket PATH
                     [--budget BYTES] [--cached] [--format json|prom]
+  seer client query history --socket PATH --generation N [--budget BYTES]
+                    (replays the WAL prefix: the answer the daemon gave then)
   seer client query trace --socket PATH [--budget BYTES] [--out FILE]
                     [--events TRACE] [--chunk N]
                     (exports one traced exchange as Chrome trace-event JSON)

@@ -2,7 +2,7 @@
 //! implementations.
 
 use crate::args::{Args, CliError};
-use seer_daemon::{Daemon, DaemonClient, DaemonConfig};
+use seer_daemon::{Daemon, DaemonClient, DaemonConfig, FsyncPolicy};
 use seer_telemetry::SpanRecord;
 use seer_trace::wire::{QueryRequest, QueryResponse, WireError};
 use seer_workload::{generate, MachineProfile};
@@ -55,6 +55,25 @@ pub fn cmd_daemon(args: &Args) -> Result<(), CliError> {
     )?);
     if let Some(p) = args.flag("flight") {
         cfg.flight_path = Some(p.into());
+    }
+    // Durability knobs: a WAL directory turns on write-ahead logging;
+    // the fsync policy trades ingest latency against the loss window.
+    if let Some(p) = args.flag("wal-dir") {
+        cfg.wal_dir = Some(p.into());
+    }
+    if let Some(s) = args.flag("fsync") {
+        cfg.wal_fsync = FsyncPolicy::parse(s).ok_or_else(|| {
+            CliError(format!(
+                "--fsync wants always, never, or interval:<ms> (got {s})"
+            ))
+        })?;
+    }
+    cfg.wal_segment_bytes = args.num_flag("wal-segment-bytes", cfg.wal_segment_bytes)?;
+    if let Some(g) = args.flag("restore-to") {
+        let target: u64 = g.parse().map_err(|_| {
+            CliError("--restore-to wants a generation (applied-event count)".into())
+        })?;
+        cfg.restore_to = Some(target);
     }
 
     let recovered = cfg.snapshot_path.as_deref().is_some_and(Path::exists);
@@ -133,9 +152,10 @@ fn client_load(args: &Args, socket: &Path) -> Result<(), CliError> {
     let applied = client.flush()?;
     let secs = start.elapsed().as_secs_f64();
     let n = workload.trace.len();
+    let bytes = client.bytes_sent();
     println!(
         "machine {machine}, {days} days: {n} events streamed in {secs:.3}s \
-         ({:.0} events/s, chunk {chunk}); daemon applied {applied}",
+         ({:.0} events/s, chunk {chunk}, {bytes} bytes on the wire); daemon applied {applied}",
         n as f64 / secs.max(1e-9)
     );
     Ok(())
@@ -165,9 +185,19 @@ fn client_query(args: &Args, socket: &Path) -> Result<(), CliError> {
         Some("metrics") => client.query(QueryRequest::Metrics)?,
         Some("health") => client.query(QueryRequest::Health)?,
         Some("dump") => client.query(QueryRequest::Dump)?,
+        // `history` replays the daemon's WAL up to --generation and
+        // answers the hoard selection the daemon would have given then.
+        Some("history") => {
+            let generation: u64 = args
+                .require_flag("generation")?
+                .parse()
+                .map_err(|_| CliError("--generation wants an applied-event count".into()))?;
+            let budget: u64 = args.num_flag("budget", 1 << 20)?;
+            client.query(QueryRequest::History { generation, budget })?
+        }
         other => {
             return Err(CliError(format!(
-                "unknown query: {} (hoard|clusters|stats|metrics|health|dump|trace)",
+                "unknown query: {} (hoard|clusters|stats|metrics|health|dump|history|trace)",
                 other.unwrap_or("<none>")
             )))
         }
@@ -368,6 +398,21 @@ fn top_once(client: &mut DaemonClient, socket: &Path) -> Result<(), CliError> {
         counter("seer_distance_observations_total"),
         gauge("seer_daemon_generation_lag"),
     );
+    // The WAL metrics are registered unconditionally but only ever move
+    // on daemons running with --wal-dir; show the row once they have.
+    if gauge("seer_wal_segments") > 0 || counter("seer_wal_records_total") > 0 {
+        println!(
+            "wal: {} segments ({} bytes on disk), {} records / {} bytes appended, \
+             {} rotations, {} compacted, {} append errors",
+            gauge("seer_wal_segments"),
+            gauge("seer_wal_disk_bytes"),
+            counter("seer_wal_records_total"),
+            counter("seer_wal_appended_bytes_total"),
+            counter("seer_wal_rotations_total"),
+            counter("seer_wal_segments_compacted_total"),
+            counter("seer_wal_append_errors_total"),
+        );
+    }
     // Replication miss counters exist only when a miss log is attached
     // to this registry; skip the row entirely otherwise.
     let by_severity: Vec<(String, u64)> = snap
@@ -511,6 +556,28 @@ fn print_response(response: &QueryResponse) {
                 spans.len()
             );
             print!("{}", seer_telemetry::render_span_tree(spans));
+        }
+        QueryResponse::History {
+            generation,
+            files,
+            bytes,
+            clusters_taken,
+            clusters_skipped,
+            clusters,
+            files_known,
+        } => {
+            println!(
+                "history @ generation {generation}: {} files, {bytes} bytes; \
+                 {clusters_taken} whole projects ({clusters_skipped} skipped) \
+                 from {clusters} clusters over {files_known} known files",
+                files.len(),
+            );
+            for f in files {
+                println!("  {f}");
+            }
+        }
+        QueryResponse::Error { message } => {
+            println!("daemon error: {message}");
         }
     }
 }

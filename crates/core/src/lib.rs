@@ -24,6 +24,7 @@ pub mod engine;
 pub mod manager;
 pub mod persist;
 pub mod rankers;
+pub mod replay;
 
 pub use activity::ActivityTracker;
 pub use config::SeerConfig;
@@ -32,4 +33,5 @@ pub use engine::{ReclusterInput, SeerEngine};
 pub use manager::{select_hoard, HoardSelection};
 pub use persist::{PersistError, SeerSnapshot};
 pub use rankers::{CodaInspiredRanker, HoardRanker, LruRanker, RankContext, SeerRanker};
+pub use replay::Replayer;
 pub use seer_cluster::Clustering;

@@ -7,6 +7,27 @@ use seer_trace::{RawPathId, StringTable, Trace, TraceEvent};
 use std::io::{BufReader, BufWriter, Write};
 use std::os::unix::net::UnixStream;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The client's write half, counting every byte that reaches the socket
+/// so callers can report wire throughput without re-serializing frames.
+struct CountingStream {
+    inner: UnixStream,
+    bytes: Arc<AtomicU64>,
+}
+
+impl Write for CountingStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.bytes.fetch_add(n as u64, Ordering::Relaxed);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
 
 /// A connection to a running daemon.
 ///
@@ -19,7 +40,8 @@ use std::path::Path;
 /// small batches stays cheap.
 pub struct DaemonClient {
     r: BufReader<UnixStream>,
-    w: BufWriter<UnixStream>,
+    w: BufWriter<CountingStream>,
+    bytes: Arc<AtomicU64>,
     strings: StringTable,
     /// Ids below this are already declared on the wire.
     declared: usize,
@@ -39,9 +61,14 @@ impl DaemonClient {
     pub fn connect(socket_path: &Path, client: &str) -> Result<DaemonClient, WireError> {
         let stream = UnixStream::connect(socket_path)?;
         let reader = stream.try_clone()?;
+        let bytes = Arc::new(AtomicU64::new(0));
         let mut c = DaemonClient {
             r: BufReader::new(reader),
-            w: BufWriter::new(stream),
+            w: BufWriter::new(CountingStream {
+                inner: stream,
+                bytes: Arc::clone(&bytes),
+            }),
+            bytes,
             strings: StringTable::new(),
             declared: 0,
             sent: 0,
@@ -67,6 +94,13 @@ impl DaemonClient {
     #[must_use]
     pub fn events_sent(&self) -> u64 {
         self.sent
+    }
+
+    /// Bytes written to the socket so far (frames that reached the
+    /// kernel; data still sitting in the client's buffer is not counted).
+    #[must_use]
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
     }
 
     /// Stamps every subsequent events and query frame with `trace_id`,

@@ -26,9 +26,16 @@
 //!   overhead noticeable; the batcher coalesces frames into batches of
 //!   up to `batch_max` events so engine locks and table lookups amortize.
 //! - **Crash safety.** The engine's knowledge is periodically written
-//!   with an atomic temp-file-and-rename snapshot. A killed daemon
-//!   restarts from the latest complete snapshot; a graceful shutdown
-//!   flushes in-flight batches and snapshots before exiting.
+//!   with an atomic temp-file-and-rename snapshot. With a write-ahead
+//!   log configured ([`DaemonConfig::wal_dir`]), every acknowledged
+//!   batch is also appended to a segmented, checksummed log *before* it
+//!   reaches the engine; a killed daemon recovers as snapshot + WAL
+//!   replay, so under [`seer_wal::FsyncPolicy::Always`] nothing
+//!   acknowledged is lost, and under an interval policy the loss window
+//!   is bounded. Without a WAL, recovery falls back to the latest
+//!   complete snapshot alone. The log also enables point-in-time
+//!   restore ([`DaemonConfig::restore_to`]) and the wire protocol's
+//!   `History` query.
 //! - **Online queries.** Hoard selection, cluster summaries, stats, and
 //!   health probes are answered on the same socket, after an implicit
 //!   flush of the querying connection's stream — so an online hoard
@@ -46,6 +53,9 @@ pub use client::DaemonClient;
 pub use server::{Daemon, DaemonConfig, DaemonError, DaemonHandle};
 pub use snapshot::DaemonSnapshot;
 pub use stats::DaemonStats;
+// Re-exported so daemon embedders configure the WAL without a direct
+// seer-wal dependency.
+pub use seer_wal::{FsyncPolicy, WalError};
 
 #[cfg(test)]
 mod tests {

@@ -20,10 +20,11 @@
 use crate::snapshot::DaemonSnapshot;
 use crate::stats::SharedMetrics;
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TrySendError};
-use seer_core::{Clustering, ReclusterInput, SeerEngine};
+use seer_core::{Clustering, ReclusterInput, Replayer, SeerConfig, SeerEngine};
 use seer_telemetry::{tlog, Histogram, Level, SpanContext, Tracer};
 use seer_trace::wire::{QueryRequest, QueryResponse};
 use seer_trace::{EventSink, RawPathId, StringTable, TraceEvent};
+use seer_wal::{Wal, WalRecord};
 use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -94,6 +95,9 @@ pub(crate) struct ActorConfig {
     /// Where to dump the flight-recorder ring (JSON lines) when the
     /// actor exits, gracefully or by kill. `None` skips the dump.
     pub flight_path: Option<PathBuf>,
+    /// Engine configuration for the *cold* base of a `History` replay
+    /// (mirrors the server's cold-start configuration).
+    pub engine: SeerConfig,
 }
 
 /// A frozen reclustering job handed to the background worker. The input
@@ -308,6 +312,9 @@ struct Actor {
     done_rx: Receiver<ReclusterDone>,
     cfg: ActorConfig,
     metrics: SharedMetrics,
+    /// The write-ahead log, when the daemon runs with one. Appended
+    /// before each batch reaches the engine; compacted after snapshots.
+    wal: Option<Wal>,
 }
 
 impl Actor {
@@ -344,6 +351,15 @@ impl Actor {
                         ..ev
                     })
                     .collect();
+                // Durability first: the batch (and the intern deltas
+                // that make its ids meaningful) hits the log before the
+                // engine, so an acknowledged batch is replayable. WAL
+                // time stays inside the engine_apply stage timer — the
+                // ingest latency clients experience includes it.
+                if self.wal.is_some() {
+                    let parent = span.as_ref().map(seer_telemetry::Span::context);
+                    self.wal_append(self.events_applied + n, &remapped, parent);
+                }
                 self.engine.on_batch(&remapped, &self.strings);
                 self.events_applied += n;
                 *self.per_conn.entry(conn).or_default() += n;
@@ -560,6 +576,7 @@ impl Actor {
     }
 
     fn write_snapshot(&mut self) {
+        let mut written = false;
         if let Some(path) = &self.cfg.snapshot_path {
             let _t = self.metrics.stage_snapshot_write.start_timer();
             let snap = DaemonSnapshot {
@@ -568,6 +585,7 @@ impl Actor {
             };
             match snap.write_atomic(path) {
                 Ok(()) => {
+                    written = true;
                     self.metrics.snapshots.inc();
                     tlog!(
                         Level::Info,
@@ -588,7 +606,222 @@ impl Actor {
                 }
             }
         }
+        // A durable snapshot covers every batch at or below its
+        // generation, so sealed WAL segments entirely below it are dead
+        // weight. Compaction never runs after a *failed* write — the
+        // log must keep covering whatever the last good snapshot missed.
+        if written {
+            if let Some(wal) = &mut self.wal {
+                match wal.compact(self.events_applied) {
+                    Ok(report) if report.segments_dropped > 0 => {
+                        self.metrics
+                            .wal_segments_compacted
+                            .add(report.segments_dropped as u64);
+                        tlog!(
+                            Level::Debug,
+                            "seer_daemon::pipeline",
+                            "wal compacted",
+                            segments_dropped = report.segments_dropped as u64,
+                            bytes_dropped = report.bytes_dropped,
+                        );
+                    }
+                    Ok(_) => {}
+                    Err(e) => {
+                        tlog!(
+                            Level::Warn,
+                            "seer_daemon::pipeline",
+                            "wal compaction failed",
+                            error = e.to_string(),
+                        );
+                    }
+                }
+            }
+            self.wal_update_gauges();
+        }
         self.since_snapshot = 0;
+    }
+
+    /// Appends one remapped batch (and any newly interned strings) to
+    /// the WAL. `generation` is the applied-event count *after* the
+    /// batch. Failures degrade durability, not availability: they are
+    /// logged and counted, and ingest continues.
+    fn wal_append(&mut self, generation: u64, events: &[TraceEvent], ctx: Option<SpanContext>) {
+        let Some(wal) = &mut self.wal else {
+            return;
+        };
+        let append_timer = self.metrics.stage_wal_append.start_timer();
+        let started = Instant::now();
+        match wal.append_batch(&self.strings, generation, events) {
+            Ok(out) => {
+                drop(append_timer);
+                self.metrics.wal_records.add(u64::from(out.records));
+                self.metrics.wal_appended_bytes.add(out.bytes);
+                if out.rotated {
+                    self.metrics.wal_rotations.inc();
+                }
+                if let Some(d) = out.fsync {
+                    self.metrics.stage_wal_fsync.observe(d);
+                }
+                if let Some(c) = ctx {
+                    self.metrics.tracer.record_complete(
+                        "wal_append",
+                        c.trace_id,
+                        Some(c.span_id),
+                        started,
+                        started.elapsed(),
+                        &[("bytes", out.bytes.to_string())],
+                    );
+                }
+                if out.rotated {
+                    self.wal_update_gauges();
+                }
+            }
+            Err(e) => {
+                drop(append_timer);
+                self.metrics.wal_append_errors.inc();
+                tlog!(
+                    Level::Warn,
+                    "seer_daemon::pipeline",
+                    "wal append failed",
+                    generation = generation,
+                    error = e.to_string(),
+                );
+            }
+        }
+    }
+
+    /// Idle-tick WAL maintenance: under an interval fsync policy, sync
+    /// if the window elapsed with appends outstanding, so a quiet daemon
+    /// still bounds its loss window.
+    fn wal_idle(&mut self) {
+        if let Some(wal) = &mut self.wal {
+            match wal.maybe_sync() {
+                Ok(Some(d)) => self.metrics.stage_wal_fsync.observe(d),
+                Ok(None) => {}
+                Err(e) => {
+                    self.metrics.wal_append_errors.inc();
+                    tlog!(
+                        Level::Warn,
+                        "seer_daemon::pipeline",
+                        "wal idle sync failed",
+                        error = e.to_string(),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Refreshes the WAL size gauges from the log's own accounting.
+    fn wal_update_gauges(&self) {
+        if let Some(wal) = &self.wal {
+            let status = wal.status();
+            self.metrics
+                .wal_segments
+                .set(i64::try_from(status.segments).unwrap_or(i64::MAX));
+            self.metrics
+                .wal_disk_bytes
+                .set(i64::try_from(status.disk_bytes).unwrap_or(i64::MAX));
+        }
+    }
+
+    /// Answers a `History` query: replay the WAL (from the newest
+    /// snapshot at or below `target`, else from generation zero) into a
+    /// fresh engine, stop after the last batch at or below `target`,
+    /// recluster, and select a hoard — exactly what the live daemon
+    /// would have answered at that generation.
+    ///
+    /// Runs on the actor thread, which is what makes reading the live
+    /// log safe: no append can race the replay. The flush that precedes
+    /// every query means the log already contains everything this
+    /// connection sent.
+    fn answer_history(&mut self, target: u64, budget: u64) -> QueryResponse {
+        let err = |message: String| QueryResponse::Error { message };
+        let Some(wal) = &mut self.wal else {
+            return err("history unavailable: daemon is running without a WAL".into());
+        };
+        if target > self.events_applied {
+            return err(format!(
+                "generation {target} is in the future (events applied: {})",
+                self.events_applied
+            ));
+        }
+        if let Err(e) = wal.sync() {
+            return err(format!("history unavailable: wal sync failed: {e}"));
+        }
+        let compacted = wal.compacted_through();
+        // Base state: prefer the newest on-disk snapshot when it is at
+        // or below the target (fewer batches to replay); otherwise fall
+        // back to a cold engine, which needs the log to reach all the
+        // way back to generation zero.
+        let snap_base =
+            self.cfg
+                .snapshot_path
+                .as_deref()
+                .and_then(|p| match DaemonSnapshot::load(p) {
+                    Ok(Some(s)) if s.events_applied <= target => Some(s),
+                    _ => None,
+                });
+        let (base_engine, base_gen) = match snap_base {
+            Some(s) => (SeerEngine::from_snapshot(s.engine), s.events_applied),
+            None if compacted == 0 => (SeerEngine::new(self.cfg.engine.clone()), 0),
+            None => {
+                return err(format!(
+                    "generation {target} unreachable: log compacted through {compacted} \
+                     and no snapshot at or below the target exists"
+                ));
+            }
+        };
+        let mut rep = Replayer::new(base_engine, StringTable::new(), base_gen);
+        let wal = self.wal.as_ref().expect("checked above");
+        let stats = match wal.replay(|rec| match rec {
+            WalRecord::Interns { base, paths } => {
+                rep.declare(base, &paths);
+                true
+            }
+            WalRecord::Batch { generation, events } => {
+                if generation > target {
+                    return false;
+                }
+                rep.apply(generation, &events);
+                true
+            }
+        }) {
+            Ok(stats) => stats,
+            Err(e) => return err(format!("history replay failed: {e}")),
+        };
+        if stats.damaged && rep.events_applied() < target {
+            return err(format!(
+                "history incomplete: log damage stopped replay at generation {}",
+                rep.events_applied()
+            ));
+        }
+        if rep.gaps() > 0 {
+            return err(format!(
+                "history incomplete: log does not connect to the base state \
+                 ({} generation gaps; the log may not reach back to generation {base_gen})",
+                rep.gaps()
+            ));
+        }
+        let (mut engine, _strings, achieved) = rep.into_parts();
+        let clusters = engine
+            .recluster_with_threads(self.cfg.recluster_threads.max(1))
+            .len();
+        let file_size = self.cfg.file_size;
+        let sel = engine.choose_hoard(budget, &|_| file_size);
+        let files = sel
+            .files
+            .iter()
+            .filter_map(|&f| engine.paths().resolve(f).map(str::to_owned))
+            .collect();
+        QueryResponse::History {
+            generation: achieved,
+            files,
+            bytes: sel.bytes,
+            clusters_taken: sel.clusters_taken,
+            clusters_skipped: sel.clusters_skipped,
+            clusters,
+            files_known: engine.paths().len(),
+        }
     }
 
     /// Prepares the clustering for a hoard/clusters answer. `fresh`
@@ -692,6 +925,7 @@ impl Actor {
                 spans: self.metrics.tracer.snapshot(),
                 dropped: self.metrics.tracer.dropped(),
             },
+            QueryRequest::History { generation, budget } => self.answer_history(generation, budget),
         }
     }
 }
@@ -705,6 +939,7 @@ fn query_name(query: &QueryRequest) -> &'static str {
         QueryRequest::Metrics => "metrics",
         QueryRequest::Health => "health",
         QueryRequest::Dump => "dump",
+        QueryRequest::History { .. } => "history",
     }
 }
 
@@ -715,7 +950,9 @@ fn query_name(query: &QueryRequest) -> &'static str {
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_engine_actor(
     engine: SeerEngine,
+    strings: StringTable,
     events_applied: u64,
+    wal: Option<Wal>,
     cfg: ActorConfig,
     apply_rx: Receiver<Apply>,
     control_rx: Receiver<Control>,
@@ -738,7 +975,7 @@ pub(crate) fn run_engine_actor(
     };
     let mut actor = Actor {
         engine,
-        strings: StringTable::new(),
+        strings,
         remap: HashMap::new(),
         per_conn: HashMap::new(),
         events_applied,
@@ -750,7 +987,9 @@ pub(crate) fn run_engine_actor(
         done_rx,
         cfg,
         metrics,
+        wal,
     };
+    actor.wal_update_gauges();
     // A recovered snapshot's applied count seeds the counter so restart
     // does not appear to reset progress.
     actor.metrics.events_applied.set_total(actor.events_applied);
@@ -783,6 +1022,7 @@ pub(crate) fn run_engine_actor(
                 if actor.cfg.snapshot_every > 0 && actor.since_snapshot > 0 {
                     actor.write_snapshot();
                 }
+                actor.wal_idle();
             }
             Err(RecvTimeoutError::Disconnected) => break,
         }
@@ -797,6 +1037,18 @@ pub(crate) fn run_engine_actor(
         actor.ensure_fresh_clustering(None);
     }
     actor.write_snapshot();
+    // The log's tail may still be unsynced under an interval policy; a
+    // graceful exit leaves nothing for the fsync window to lose.
+    if let Some(wal) = &mut actor.wal {
+        if let Err(e) = wal.sync() {
+            tlog!(
+                Level::Warn,
+                "seer_daemon::pipeline",
+                "wal final sync failed",
+                error = e.to_string(),
+            );
+        }
+    }
     dump_flight(&actor);
     // Dropping the job sender lets the worker's recv disconnect; join so
     // a graceful shutdown leaves no thread behind. (The kill path above
@@ -881,8 +1133,10 @@ mod tests {
                 file_size: 1,
                 recluster_threads: 1,
                 flight_path: None,
+                engine: SeerConfig::default(),
             },
             metrics: crate::stats::new_shared_with(Tracer::new(64, Duration::from_secs(1))),
+            wal: None,
         };
         // The worker stand-in finishes the job only once the query is
         // already blocked waiting on it.
@@ -955,8 +1209,10 @@ mod tests {
                 file_size: 1,
                 recluster_threads: 1,
                 flight_path: None,
+                engine: SeerConfig::default(),
             },
             metrics: crate::stats::new_shared_with(Tracer::new(64, Duration::from_secs(1))),
+            wal: None,
         };
         done_tx
             .send(ReclusterDone {
@@ -1019,8 +1275,10 @@ mod tests {
                 file_size: 1,
                 recluster_threads: 1,
                 flight_path: None,
+                engine: SeerConfig::default(),
             },
             metrics: crate::stats::new_shared_with(Tracer::new(64, Duration::from_secs(1))),
+            wal: None,
         };
         done_tx
             .send(ReclusterDone {

@@ -5,11 +5,14 @@ use crate::snapshot::DaemonSnapshot;
 use crate::stats::{self, DaemonStats, PipelineMetrics, SharedMetrics};
 use crossbeam::channel::{bounded, Sender};
 use parking_lot::Mutex;
-use seer_core::{PersistError, SeerConfig, SeerEngine};
+use seer_core::{PersistError, Replayer, SeerConfig, SeerEngine};
 use seer_telemetry::{tlog, Level, RegistrySnapshot, SpanContext, TraceId, Tracer};
 use seer_trace::wire::{
-    self, ClientFrame, DaemonFrame, QueryRequest, WireError, MIN_WIRE_VERSION, WIRE_VERSION,
+    self, ClientFrame, DaemonFrame, QueryRequest, QueryResponse, WireError, MIN_WIRE_VERSION,
+    WIRE_VERSION,
 };
+use seer_trace::StringTable;
+use seer_wal::{FsyncPolicy, Wal, WalConfig, WalError, WalRecord};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
@@ -64,6 +67,18 @@ pub struct DaemonConfig {
     /// exits, gracefully or by kill. `None` skips the on-exit dump; the
     /// panic-hook dump to stderr happens regardless.
     pub flight_path: Option<PathBuf>,
+    /// Directory for the write-ahead log. `None` runs without a WAL:
+    /// a kill loses everything since the last snapshot.
+    pub wal_dir: Option<PathBuf>,
+    /// When the WAL syncs to disk. [`FsyncPolicy::Always`] makes every
+    /// acknowledged batch durable; the default interval policy bounds
+    /// loss to the window instead of paying an fsync per batch.
+    pub wal_fsync: FsyncPolicy,
+    /// Rotate WAL segments once they exceed this many bytes.
+    pub wal_segment_bytes: u64,
+    /// Point-in-time restore: discard every batch past this generation
+    /// (applied-event count) before starting. Requires `wal_dir`.
+    pub restore_to: Option<u64>,
 }
 
 impl DaemonConfig {
@@ -85,6 +100,10 @@ impl DaemonConfig {
             trace_capacity: 4096,
             slow_span: Duration::from_millis(100),
             flight_path: None,
+            wal_dir: None,
+            wal_fsync: FsyncPolicy::Interval(Duration::from_millis(50)),
+            wal_segment_bytes: 8 * 1024 * 1024,
+            restore_to: None,
         }
     }
 }
@@ -96,6 +115,11 @@ pub enum DaemonError {
     Io(std::io::Error),
     /// The snapshot on disk exists but cannot be read.
     Persist(PersistError),
+    /// The write-ahead log could not be opened, recovered, or truncated.
+    Wal(WalError),
+    /// A `restore_to` request that cannot be honored (no WAL configured,
+    /// or the requested generation is unreachable).
+    Restore(String),
 }
 
 impl std::fmt::Display for DaemonError {
@@ -103,6 +127,8 @@ impl std::fmt::Display for DaemonError {
         match self {
             DaemonError::Io(e) => write!(f, "daemon I/O error: {e}"),
             DaemonError::Persist(e) => write!(f, "daemon snapshot error: {e}"),
+            DaemonError::Wal(e) => write!(f, "daemon wal error: {e}"),
+            DaemonError::Restore(m) => write!(f, "restore failed: {m}"),
         }
     }
 }
@@ -118,6 +144,12 @@ impl From<std::io::Error> for DaemonError {
 impl From<PersistError> for DaemonError {
     fn from(e: PersistError) -> DaemonError {
         DaemonError::Persist(e)
+    }
+}
+
+impl From<WalError> for DaemonError {
+    fn from(e: WalError) -> DaemonError {
+        DaemonError::Wal(e)
     }
 }
 
@@ -164,20 +196,142 @@ pub struct Daemon;
 
 impl Daemon {
     /// Starts a daemon, recovering engine state from
-    /// `config.snapshot_path` when a snapshot exists there.
+    /// `config.snapshot_path` (damaged primaries fall back to the
+    /// previous snapshot, then to a cold start) and replaying the
+    /// write-ahead log on top when `config.wal_dir` is set.
     ///
     /// # Errors
     ///
-    /// Returns [`DaemonError::Persist`] for a corrupt snapshot and
-    /// [`DaemonError::Io`] if the socket cannot be bound.
+    /// Returns [`DaemonError::Io`] if the socket cannot be bound,
+    /// [`DaemonError::Wal`] for an unrecoverable log, and
+    /// [`DaemonError::Restore`] when `config.restore_to` cannot be
+    /// honored.
     pub fn spawn(config: DaemonConfig) -> Result<DaemonHandle, DaemonError> {
-        let (mut engine, events_applied) = match &config.snapshot_path {
-            Some(path) => match DaemonSnapshot::load(path)? {
-                Some(snap) => (SeerEngine::from_snapshot(snap.engine), snap.events_applied),
-                None => (SeerEngine::new(config.engine.clone()), 0),
-            },
+        // Initialize the event log eagerly so a bad `SEER_LOG_FILE`
+        // surfaces at startup — and so recovery warnings are visible.
+        seer_telemetry::init_from_env();
+
+        let (mut engine, mut events_applied) = match &config.snapshot_path {
+            Some(path) => {
+                if let Some(tmp) = crate::snapshot::clean_stale(path) {
+                    tlog!(
+                        Level::Warn,
+                        "seer_daemon",
+                        "removed stale snapshot temp file",
+                        path = tmp.display().to_string(),
+                    );
+                }
+                let (snap, warnings) = DaemonSnapshot::load_with_fallback(path);
+                for warning in &warnings {
+                    tlog!(
+                        Level::Warn,
+                        "seer_daemon",
+                        "snapshot recovery degraded",
+                        detail = warning.as_str(),
+                    );
+                }
+                match snap {
+                    Some(s) => (SeerEngine::from_snapshot(s.engine), s.events_applied),
+                    None => (SeerEngine::new(config.engine.clone()), 0),
+                }
+            }
             None => (SeerEngine::new(config.engine.clone()), 0),
         };
+
+        if config.restore_to.is_some() && config.wal_dir.is_none() {
+            return Err(DaemonError::Restore(
+                "restore requires a write-ahead log (set wal_dir / --wal-dir)".into(),
+            ));
+        }
+
+        let mut strings = StringTable::new();
+        let mut wal = None;
+        if let Some(dir) = &config.wal_dir {
+            let (mut w, report) = Wal::open(WalConfig {
+                dir: dir.clone(),
+                fsync: config.wal_fsync,
+                segment_max_bytes: config.wal_segment_bytes,
+            })?;
+            tlog!(
+                Level::Info,
+                "seer_daemon",
+                "wal recovered",
+                dir = dir.display().to_string(),
+                segments = report.segments as u64,
+                records = report.records,
+                last_generation = report.last_generation,
+                truncated_bytes = report.truncated_bytes,
+                dropped_segments = report.dropped_segments as u64,
+            );
+
+            if let Some(target) = config.restore_to {
+                // A snapshot newer than the target would smuggle the
+                // discarded suffix back in; restoring past it means
+                // rebuilding from generation zero, which needs an
+                // uncompacted log.
+                if events_applied > target {
+                    if w.compacted_through() > 0 {
+                        return Err(DaemonError::Restore(format!(
+                            "generation {target} unreachable: the snapshot is at generation \
+                             {events_applied} and the log is compacted through {}",
+                            w.compacted_through()
+                        )));
+                    }
+                    engine = SeerEngine::new(config.engine.clone());
+                    events_applied = 0;
+                }
+                let achieved = w.truncate_after(target)?;
+                tlog!(
+                    Level::Info,
+                    "seer_daemon",
+                    "wal truncated for restore",
+                    target = target,
+                    achieved = achieved,
+                );
+            }
+
+            let recovered = replay_wal(&w, engine, events_applied)?;
+            if recovered.gaps > 0 {
+                let message = format!(
+                    "wal does not connect to the recovered snapshot \
+                     ({} generation gaps)",
+                    recovered.gaps
+                );
+                if config.restore_to.is_some() {
+                    return Err(DaemonError::Restore(message));
+                }
+                tlog!(
+                    Level::Warn,
+                    "seer_daemon",
+                    "wal replay incomplete",
+                    detail = message.as_str(),
+                );
+            }
+            engine = recovered.engine;
+            strings = recovered.strings;
+            events_applied = recovered.events_applied;
+
+            if let Some(target) = config.restore_to {
+                // Publish the restored state as the snapshot immediately,
+                // so a newer snapshot on disk can never resurrect the
+                // history the truncation just discarded.
+                if let Some(path) = &config.snapshot_path {
+                    let snap = DaemonSnapshot {
+                        engine: engine.snapshot(),
+                        events_applied,
+                    };
+                    snap.write_atomic(path)?;
+                }
+                tlog!(
+                    Level::Info,
+                    "seer_daemon",
+                    "restored to generation",
+                    target = target,
+                    events_applied = events_applied,
+                );
+            }
+            wal = Some(w);
+        }
 
         // One registry per daemon: pipeline and engine metrics share it,
         // and every instance (parallel tests included) stays isolated.
@@ -192,9 +346,6 @@ impl Daemon {
         let listener = UnixListener::bind(&config.socket_path)?;
         listener.set_nonblocking(true)?;
 
-        // Initialize the event log eagerly so a bad `SEER_LOG_FILE`
-        // surfaces at startup rather than on the first event.
-        seer_telemetry::init_from_env();
         tlog!(
             Level::Info,
             "seer_daemon",
@@ -244,6 +395,7 @@ impl Daemon {
                 file_size: config.file_size,
                 recluster_threads: config.recluster_threads,
                 flight_path: config.flight_path.clone(),
+                engine: config.engine.clone(),
             };
             let metrics = Arc::clone(&shared.metrics);
             let kill = Arc::clone(&shared.kill);
@@ -253,7 +405,9 @@ impl Daemon {
             thread::spawn(move || {
                 pipeline::run_engine_actor(
                     engine,
+                    strings,
                     events_applied,
+                    wal,
                     actor_cfg,
                     apply_rx,
                     control_rx,
@@ -277,6 +431,44 @@ impl Daemon {
             actor: Some(actor),
         })
     }
+}
+
+/// Engine state reconstructed from a snapshot base plus a WAL replay.
+struct Recovered {
+    engine: SeerEngine,
+    strings: StringTable,
+    events_applied: u64,
+    /// Generation discontinuities seen during replay; non-zero means the
+    /// log does not connect to the base state (e.g. the WAL was enabled
+    /// after the snapshotted history had already accumulated).
+    gaps: u64,
+}
+
+/// Replays the whole log on top of `engine` (already caught up through
+/// `events_applied` events). Batches at or below that watermark are
+/// skipped, so a snapshot newer than part of the log replays cleanly.
+/// The returned string table is rebuilt from the log's intern records —
+/// segments are self-contained, so even a compacted log declares every
+/// path it references.
+fn replay_wal(wal: &Wal, engine: SeerEngine, events_applied: u64) -> Result<Recovered, WalError> {
+    let mut rep = Replayer::new(engine, StringTable::new(), events_applied);
+    wal.replay(|rec| {
+        match rec {
+            WalRecord::Interns { base, paths } => rep.declare(base, &paths),
+            WalRecord::Batch { generation, events } => {
+                rep.apply(generation, &events);
+            }
+        }
+        true
+    })?;
+    let gaps = rep.gaps();
+    let (engine, strings, events_applied) = rep.into_parts();
+    Ok(Recovered {
+        engine,
+        strings,
+        events_applied,
+        gaps,
+    })
 }
 
 impl DaemonHandle {
@@ -585,6 +777,16 @@ fn serve_conn(
                 control_tx,
                 &shared.metrics.tracer,
             ) {
+                // An in-band error (e.g. an unanswerable History query)
+                // is an answer about *this query*, not a connection
+                // failure: report it and keep serving.
+                Ok(QueryResponse::Error { message }) => {
+                    if wire::write_frame(&mut w, &DaemonFrame::Error { message }).is_err()
+                        || w.flush().is_err()
+                    {
+                        break;
+                    }
+                }
                 Ok(response) => {
                     if wire::write_frame(&mut w, &DaemonFrame::Answer { response }).is_err()
                         || w.flush().is_err()

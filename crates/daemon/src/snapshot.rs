@@ -20,7 +20,9 @@ impl DaemonSnapshot {
     /// Writes the snapshot atomically: the JSON goes to `<path>.tmp`,
     /// which replaces `path` only after a complete, flushed write. A
     /// crash mid-write leaves the previous snapshot intact, never a
-    /// truncated one.
+    /// truncated one. The snapshot being replaced is kept as
+    /// `<path>.prev`, the fallback [`DaemonSnapshot::load_with_fallback`]
+    /// reaches for when the primary is damaged.
     ///
     /// # Errors
     ///
@@ -34,6 +36,10 @@ impl DaemonSnapshot {
             w.flush()?;
             w.get_ref().sync_all()?;
         }
+        // Keep the outgoing snapshot as the fallback generation. Best
+        // effort: a failure here (e.g. no current snapshot yet) must not
+        // block publishing the new one.
+        let _ = fs::rename(path, prev_path(path));
         fs::rename(&tmp, path)?;
         Ok(())
     }
@@ -54,11 +60,70 @@ impl DaemonSnapshot {
             .map_err(|e| PersistError::Format(e.to_string()))?;
         Ok(Some(snap))
     }
+
+    /// Recovery-oriented load: prefers the primary snapshot, falling
+    /// back to `<path>.prev` when the primary is corrupt or missing.
+    /// Never errors on damage — a daemon should start with the best
+    /// state available, not refuse to start. Returns the snapshot (if
+    /// any survived) plus human-readable warnings describing every
+    /// degradation encountered, for the caller to log.
+    #[must_use]
+    pub fn load_with_fallback(path: &Path) -> (Option<DaemonSnapshot>, Vec<String>) {
+        let mut warnings = Vec::new();
+        match DaemonSnapshot::load(path) {
+            Ok(Some(snap)) => return (Some(snap), warnings),
+            Ok(None) => {}
+            Err(e) => warnings.push(format!(
+                "primary snapshot {} unreadable: {e}",
+                path.display()
+            )),
+        }
+        let prev = prev_path(path);
+        match DaemonSnapshot::load(&prev) {
+            Ok(Some(snap)) => {
+                warnings.push(format!(
+                    "recovered from previous snapshot {} (events_applied {})",
+                    prev.display(),
+                    snap.events_applied
+                ));
+                (Some(snap), warnings)
+            }
+            Ok(None) => {
+                if !warnings.is_empty() {
+                    warnings.push("no previous snapshot either; starting cold".into());
+                }
+                (None, warnings)
+            }
+            Err(e) => {
+                warnings.push(format!(
+                    "previous snapshot {} also unreadable: {e}; starting cold",
+                    prev.display()
+                ));
+                (None, warnings)
+            }
+        }
+    }
+}
+
+/// Removes a stale `<path>.tmp` left by a crash mid-write. Returns the
+/// removed path, if there was one, so the caller can log it.
+pub(crate) fn clean_stale(path: &Path) -> Option<std::path::PathBuf> {
+    let tmp = tmp_path(path);
+    if tmp.exists() && fs::remove_file(&tmp).is_ok() {
+        return Some(tmp);
+    }
+    None
 }
 
 fn tmp_path(path: &Path) -> std::path::PathBuf {
     let mut os = path.as_os_str().to_owned();
     os.push(".tmp");
+    os.into()
+}
+
+fn prev_path(path: &Path) -> std::path::PathBuf {
+    let mut os = path.as_os_str().to_owned();
+    os.push(".prev");
     os.into()
 }
 
@@ -113,6 +178,63 @@ mod tests {
         let path = dir.join("db.json");
         fs::write(&path, b"{ truncated").expect("write");
         assert!(DaemonSnapshot::load(&path).is_err());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_primary_falls_back_to_previous() {
+        let dir = std::env::temp_dir().join(format!("seer-snapf-{}", std::process::id()));
+        fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("db.json");
+        let first = DaemonSnapshot {
+            engine: warm_engine().snapshot(),
+            events_applied: 7,
+        };
+        first.write_atomic(&path).expect("write 1");
+        let second = DaemonSnapshot {
+            engine: warm_engine().snapshot(),
+            events_applied: 9,
+        };
+        second.write_atomic(&path).expect("write 2");
+        // Damage the primary; the previous generation must win.
+        fs::write(&path, b"{ torn mid-write").expect("corrupt");
+        let (snap, warnings) = DaemonSnapshot::load_with_fallback(&path);
+        assert_eq!(snap.expect("fallback").events_applied, 7);
+        assert!(!warnings.is_empty(), "degradation is reported");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_primary_without_previous_starts_cold() {
+        let dir = std::env::temp_dir().join(format!("seer-snapg-{}", std::process::id()));
+        fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("db.json");
+        fs::write(&path, b"not json at all").expect("write");
+        let (snap, warnings) = DaemonSnapshot::load_with_fallback(&path);
+        assert!(snap.is_none());
+        assert!(warnings.len() >= 2, "both failures reported: {warnings:?}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_snapshot_has_no_warnings() {
+        let dir = std::env::temp_dir().join(format!("seer-snaph-{}", std::process::id()));
+        fs::create_dir_all(&dir).expect("mkdir");
+        let (snap, warnings) = DaemonSnapshot::load_with_fallback(&dir.join("absent.json"));
+        assert!(snap.is_none());
+        assert!(warnings.is_empty(), "a clean cold start is not a warning");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn clean_stale_removes_orphaned_tmp() {
+        let dir = std::env::temp_dir().join(format!("seer-snapt-{}", std::process::id()));
+        fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("db.json");
+        fs::write(tmp_path(&path), b"half-written").expect("write tmp");
+        let removed = clean_stale(&path).expect("tmp existed");
+        assert!(!removed.exists());
+        assert!(clean_stale(&path).is_none(), "idempotent");
         fs::remove_dir_all(&dir).ok();
     }
 

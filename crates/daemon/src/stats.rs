@@ -63,6 +63,20 @@ pub(crate) struct PipelineMetrics {
     /// Seconds since the daemon started, refreshed on metrics queries so
     /// scrapers can derive events/sec without wall-clock access.
     uptime_seconds: Gauge,
+    /// WAL records appended (interns + batches).
+    pub wal_records: Counter,
+    /// WAL bytes appended, framing included.
+    pub wal_appended_bytes: Counter,
+    /// WAL appends that failed (logged, never fatal to ingest).
+    pub wal_append_errors: Counter,
+    /// WAL segment rotations.
+    pub wal_rotations: Counter,
+    /// WAL segments deleted by snapshot-driven compaction.
+    pub wal_segments_compacted: Counter,
+    /// WAL segment files currently on disk.
+    pub wal_segments: Gauge,
+    /// Total bytes across WAL segment files.
+    pub wal_disk_bytes: Gauge,
     /// Per-stage latency histograms (`seer_daemon_stage_seconds`).
     pub stage_socket_read: Histogram,
     pub stage_decode: Histogram,
@@ -70,6 +84,8 @@ pub(crate) struct PipelineMetrics {
     pub stage_engine_apply: Histogram,
     pub stage_recluster: Histogram,
     pub stage_snapshot_write: Histogram,
+    pub stage_wal_append: Histogram,
+    pub stage_wal_fsync: Histogram,
     started: Instant,
 }
 
@@ -147,6 +163,42 @@ impl PipelineMetrics {
             stage_snapshot_write: stage(
                 "snapshot_write",
                 "Pipeline stage latency: writing one snapshot atomically to disk.",
+            ),
+            wal_records: registry.counter(
+                "seer_wal_records_total",
+                "WAL records appended (intern declarations and event batches).",
+            ),
+            wal_appended_bytes: registry.counter(
+                "seer_wal_appended_bytes_total",
+                "Bytes appended to the WAL, record framing included.",
+            ),
+            wal_append_errors: registry.counter(
+                "seer_wal_append_errors_total",
+                "WAL appends that failed (logged and skipped, never fatal).",
+            ),
+            wal_rotations: registry.counter(
+                "seer_wal_rotations_total",
+                "WAL segments sealed and rotated at the size threshold.",
+            ),
+            wal_segments_compacted: registry.counter(
+                "seer_wal_segments_compacted_total",
+                "WAL segments deleted by snapshot-driven compaction.",
+            ),
+            wal_segments: registry
+                .gauge("seer_wal_segments", "WAL segment files currently on disk."),
+            wal_disk_bytes: registry.gauge(
+                "seer_wal_disk_bytes",
+                "Total bytes across WAL segment files.",
+            ),
+            stage_wal_append: stage(
+                "wal_append",
+                "Pipeline stage latency: appending one batch (plus intern deltas) \
+                 to the write-ahead log, fsync included when the policy syncs.",
+            ),
+            stage_wal_fsync: stage(
+                "wal_fsync",
+                "Pipeline stage latency: the fsync portion of WAL appends, when \
+                 the policy synced.",
             ),
             started: Instant::now(),
             registry,
@@ -236,7 +288,7 @@ mod tests {
             .iter()
             .filter(|ms| ms.name == "seer_daemon_stage_seconds")
             .collect();
-        assert_eq!(stages.len(), 6, "six instrumented stages");
+        assert_eq!(stages.len(), 8, "eight instrumented stages");
         assert!(snap
             .find_with("seer_daemon_stage_seconds", &[("stage", "decode")])
             .is_some());

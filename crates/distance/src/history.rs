@@ -116,7 +116,13 @@ impl ProcessHistory {
                 latest.insert(e.file, *e);
             }
         }
-        for (&f, e) in &latest {
+        // Emit in window order (oldest first) so downstream consumers —
+        // notably the neighbor table's order-sensitive replacement policy
+        // — see a deterministic observation sequence.
+        let mut ordered: Vec<(FileId, WindowEntry)> =
+            latest.iter().map(|(&f, &e)| (f, e)).collect();
+        ordered.sort_unstable_by_key(|(_, e)| e.index);
+        for &(f, ref e) in &ordered {
             let (idx, e_idx) = if elide_repeats {
                 (distinct_index, e.distinct_index)
             } else {
@@ -143,14 +149,19 @@ impl ProcessHistory {
         // Still-open files that have already slid out of the window are at
         // lifetime distance zero (their lifetime encloses this open).
         if kind == DistanceKind::Lifetime {
-            for (&f, &count) in &self.open_files {
-                if count > 0 && f != file && !latest.contains_key(&f) {
-                    out.push(Observation {
-                        from: f,
-                        distance: 0.0,
-                        compensated: false,
-                    });
-                }
+            let mut still_open: Vec<FileId> = self
+                .open_files
+                .iter()
+                .filter(|&(&f, &count)| count > 0 && f != file && !latest.contains_key(&f))
+                .map(|(&f, _)| f)
+                .collect();
+            still_open.sort_unstable();
+            for f in still_open {
+                out.push(Observation {
+                    from: f,
+                    distance: 0.0,
+                    compensated: false,
+                });
             }
         }
 

@@ -27,11 +27,18 @@ use std::io::{BufRead, Write};
 /// the work into a causal trace, and a `Dump` query returns the daemon's
 /// flight-recorder span ring. v2 frames (no `trace_id` key) still decode
 /// — a missing trace id is `None` — so the daemon accepts both versions.
-pub const WIRE_VERSION: u32 = 3;
+///
+/// v4: a `History` query asks for the hoard/clustering as of a past
+/// generation (answered from the daemon's write-ahead log), and queries
+/// that cannot be honored answer with [`QueryResponse::Error`] in-band
+/// instead of tearing down the connection. Purely additive: v2/v3
+/// clients never send `History` and never see the new responses.
+pub const WIRE_VERSION: u32 = 4;
 
-/// The oldest client revision the daemon still accepts: v2 differs from
-/// v3 only by the absence of `trace_id` stamps and the `Dump` query, both
-/// of which degrade gracefully.
+/// The oldest client revision the daemon still accepts: v2 differs only
+/// by the absence of later, purely additive frames (trace stamps and the
+/// `Dump` query from v3, `History` from v4), all of which degrade
+/// gracefully.
 pub const MIN_WIRE_VERSION: u32 = 2;
 
 /// A frame sent from a client to the daemon.
@@ -113,6 +120,18 @@ pub enum QueryRequest {
     /// Dump the daemon's flight recorder: every span currently retained
     /// in the tracing ring, oldest first.
     Dump,
+    /// Answer a hoard query *as of a past generation*: the daemon
+    /// replays its write-ahead log up to the last batch at or below
+    /// `generation` into a fresh engine and reports the hoard and
+    /// clustering that engine produces. Requires the daemon to run with
+    /// a WAL whose history still reaches back that far.
+    History {
+        /// Target generation (total applied events); the answer reports
+        /// the generation actually reached (batch-boundary granularity).
+        generation: u64,
+        /// Byte budget for the as-of hoard selection.
+        budget: u64,
+    },
 }
 
 /// A frame sent from the daemon to a client.
@@ -216,6 +235,31 @@ pub enum QueryResponse {
         events_applied: u64,
         /// Current ingest-queue depth.
         queue_depth: usize,
+    },
+    /// As-of-generation answer for [`QueryRequest::History`].
+    History {
+        /// Generation the replay actually reached: the last logged batch
+        /// at or below the requested target.
+        generation: u64,
+        /// Hoard selection at that generation, most important first.
+        files: Vec<String>,
+        /// Bytes those files occupy under the daemon's size model.
+        bytes: u64,
+        /// Whole projects included.
+        clusters_taken: usize,
+        /// Projects that did not fit the budget.
+        clusters_skipped: usize,
+        /// Total clusters at that generation.
+        clusters: usize,
+        /// Canonical paths known to the engine at that generation.
+        files_known: usize,
+    },
+    /// The query could not be answered (e.g. `History` without a WAL, or
+    /// a generation compaction has discarded). In-band so one failed
+    /// query does not tear down the connection.
+    Error {
+        /// Human-readable reason.
+        message: String,
     },
 }
 
@@ -343,6 +387,13 @@ mod tests {
                 query: QueryRequest::Dump,
                 trace_id: None,
             },
+            ClientFrame::Query {
+                query: QueryRequest::History {
+                    generation: 5_000,
+                    budget: 1 << 20,
+                },
+                trace_id: Some(9),
+            },
             ClientFrame::Shutdown,
         ];
         let mut buf = Vec::new();
@@ -419,6 +470,22 @@ mod tests {
                         attrs: vec![("events".into(), "64".into())],
                     }],
                     dropped: 0,
+                },
+            },
+            DaemonFrame::Answer {
+                response: QueryResponse::History {
+                    generation: 4_992,
+                    files: vec!["/a".into()],
+                    bytes: 1024,
+                    clusters_taken: 1,
+                    clusters_skipped: 2,
+                    clusters: 3,
+                    files_known: 9,
+                },
+            },
+            DaemonFrame::Answer {
+                response: QueryResponse::Error {
+                    message: "history unavailable: daemon is running without a WAL".into(),
                 },
             },
             DaemonFrame::ShuttingDown,

@@ -1,0 +1,262 @@
+//! On-disk record framing: length-prefixed, CRC-checksummed JSON.
+//!
+//! Every record in a segment is framed as
+//!
+//! ```text
+//! [u32 LE payload length][u32 LE CRC-32 of payload][payload JSON bytes]
+//! ```
+//!
+//! The checksum covers only the payload; a flipped bit anywhere in the
+//! frame fails either the length sanity check, the CRC, or the JSON
+//! parse, and decoding classifies the damage as *incomplete* (a torn
+//! tail — more bytes might have made it whole) or *corrupt* (no suffix
+//! could repair it). Recovery truncates at the first record that is
+//! either, so a crash mid-`write` never poisons earlier records.
+
+use seer_trace::TraceEvent;
+use serde::{Deserialize, Serialize};
+
+/// Upper bound on a single record's payload. A length prefix above this
+/// is treated as corruption rather than an allocation request — a torn
+/// header bit-flipped into a huge length must not wedge recovery.
+pub const MAX_RECORD_BYTES: usize = 64 * 1024 * 1024;
+
+/// Bytes of framing overhead per record (length + checksum).
+pub const RECORD_HEADER_BYTES: usize = 8;
+
+/// One logical entry in the log.
+///
+/// The two variants mirror the daemon's wire protocol split between
+/// intern declarations and event batches: `Interns` extends the global
+/// string table with dense ids starting at `base`, and `Batch` carries
+/// events whose raw-path ids refer to previously declared strings.
+/// `generation` is the engine's total applied-event count *after* the
+/// batch — the same generation clusterings and snapshots are tagged
+/// with, which is what makes point-in-time restore line up with live
+/// query answers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WalRecord {
+    /// Declares global string ids `base..base + paths.len()`, in order.
+    ///
+    /// The first record of every segment is an `Interns { base: 0, .. }`
+    /// carrying the *entire* table at segment-creation time, which makes
+    /// each segment self-contained: compaction can drop any prefix of
+    /// sealed segments without losing id→path mappings.
+    Interns {
+        /// First id being declared.
+        base: u32,
+        /// The strings, dense from `base`.
+        paths: Vec<String>,
+    },
+    /// One applied event batch, raw-path ids in the global space.
+    Batch {
+        /// Total events applied *after* this batch.
+        generation: u64,
+        /// The events, in application order.
+        events: Vec<TraceEvent>,
+    },
+}
+
+impl WalRecord {
+    /// The batch generation, if this is a batch record.
+    #[must_use]
+    pub fn generation(&self) -> Option<u64> {
+        match self {
+            WalRecord::Batch { generation, .. } => Some(*generation),
+            WalRecord::Interns { .. } => None,
+        }
+    }
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), table-driven.
+#[must_use]
+pub fn crc32(data: &[u8]) -> u32 {
+    const fn table() -> [u32; 256] {
+        let mut t = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            t[i] = c;
+            i += 1;
+        }
+        t
+    }
+    static TABLE: [u32; 256] = table();
+    let mut c = 0xFFFF_FFFF_u32;
+    for &b in data {
+        c = TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Frames a record for appending: header + JSON payload.
+#[must_use]
+pub fn encode(record: &WalRecord) -> Vec<u8> {
+    let payload = serde_json::to_string(record).expect("WalRecord serializes");
+    let payload = payload.as_bytes();
+    let mut buf = Vec::with_capacity(RECORD_HEADER_BYTES + payload.len());
+    buf.extend_from_slice(
+        &u32::try_from(payload.len())
+            .expect("record < 4 GiB")
+            .to_le_bytes(),
+    );
+    buf.extend_from_slice(&crc32(payload).to_le_bytes());
+    buf.extend_from_slice(payload);
+    buf
+}
+
+/// Outcome of decoding one record from the front of `buf`.
+#[derive(Debug)]
+pub enum Decoded {
+    /// A complete, valid record occupying `consumed` bytes.
+    Record {
+        /// The decoded record.
+        record: WalRecord,
+        /// Frame size in bytes (header + payload).
+        consumed: usize,
+    },
+    /// The buffer ends mid-record: a torn tail, not damage.
+    Incomplete,
+    /// The front of the buffer can never decode, whatever follows.
+    Corrupt(&'static str),
+}
+
+/// Decodes the record at the front of `buf`.
+///
+/// Never panics and never allocates more than [`MAX_RECORD_BYTES`]:
+/// arbitrary garbage classifies as [`Decoded::Incomplete`] or
+/// [`Decoded::Corrupt`].
+#[must_use]
+pub fn decode(buf: &[u8]) -> Decoded {
+    if buf.len() < RECORD_HEADER_BYTES {
+        return Decoded::Incomplete;
+    }
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if len == 0 || len > MAX_RECORD_BYTES {
+        return Decoded::Corrupt("implausible record length");
+    }
+    let Some(total) = len.checked_add(RECORD_HEADER_BYTES) else {
+        return Decoded::Corrupt("record length overflows");
+    };
+    if buf.len() < total {
+        return Decoded::Incomplete;
+    }
+    let expected = u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]);
+    let payload = &buf[RECORD_HEADER_BYTES..total];
+    if crc32(payload) != expected {
+        return Decoded::Corrupt("checksum mismatch");
+    }
+    let Ok(text) = std::str::from_utf8(payload) else {
+        return Decoded::Corrupt("payload is not UTF-8");
+    };
+    match serde_json::from_str::<WalRecord>(text) {
+        Ok(record) => Decoded::Record {
+            record,
+            consumed: total,
+        },
+        Err(_) => Decoded::Corrupt("payload is not a record"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seer_trace::{EventKind, Fd, OpenMode, Pid, RawPathId, Seq, Timestamp};
+
+    fn sample_batch() -> WalRecord {
+        WalRecord::Batch {
+            generation: 42,
+            events: vec![TraceEvent {
+                seq: Seq(1),
+                time: Timestamp::from_millis(5),
+                pid: Pid(9),
+                root: false,
+                kind: EventKind::Open {
+                    path: RawPathId(0),
+                    mode: OpenMode::Read,
+                    fd: Fd(3),
+                },
+                error: None,
+            }],
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        for rec in [
+            WalRecord::Interns {
+                base: 0,
+                paths: vec!["/a".into(), "/b".into()],
+            },
+            sample_batch(),
+        ] {
+            let buf = encode(&rec);
+            match decode(&buf) {
+                Decoded::Record { record, consumed } => {
+                    assert_eq!(record, rec);
+                    assert_eq!(consumed, buf.len());
+                }
+                other => panic!("expected record, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_frames_are_incomplete() {
+        let buf = encode(&sample_batch());
+        for cut in 0..buf.len() {
+            match decode(&buf[..cut]) {
+                Decoded::Incomplete => {}
+                other => panic!("cut at {cut}: expected incomplete, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn flipped_payload_bit_is_corrupt() {
+        let mut buf = encode(&sample_batch());
+        let mid = RECORD_HEADER_BYTES + 3;
+        buf[mid] ^= 0x10;
+        assert!(matches!(decode(&buf), Decoded::Corrupt(_)));
+    }
+
+    #[test]
+    fn absurd_length_is_corrupt_not_an_allocation() {
+        let mut buf = encode(&sample_batch());
+        buf[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(decode(&buf), Decoded::Corrupt(_)));
+        buf[..4].copy_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(decode(&buf), Decoded::Corrupt(_)));
+    }
+
+    #[test]
+    fn decode_consumes_exactly_one_record() {
+        let a = encode(&WalRecord::Interns {
+            base: 0,
+            paths: vec!["/x".into()],
+        });
+        let b = encode(&sample_batch());
+        let mut joined = a.clone();
+        joined.extend_from_slice(&b);
+        match decode(&joined) {
+            Decoded::Record { consumed, .. } => assert_eq!(consumed, a.len()),
+            other => panic!("expected record, got {other:?}"),
+        }
+    }
+}
