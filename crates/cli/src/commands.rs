@@ -10,7 +10,15 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 
 /// Usage text shown by `seer help`.
-pub const USAGE: &str = "\
+///
+/// The `seer client query` line derives its query list from
+/// [`seer_trace::wire::QueryRequest::NAMES`], the same table the
+/// daemon-command dispatcher uses, so help cannot drift from the wire
+/// protocol as queries are added.
+#[must_use]
+pub fn usage() -> String {
+    format!(
+        "\
 seer — automated hoarding for mobile computers (SEER reproduction)
 
 USAGE:
@@ -29,25 +37,38 @@ USAGE:
               [--recluster-threads N] [--trace-capacity N] [--slow-span-ms MS]
               [--flight FILE] [--wal-dir DIR] [--fsync always|never|interval:<ms>]
               [--wal-segment-bytes N] [--restore-to GENERATION]
+              [--eval-every-ms MS] [--eval-window-secs S] [--eval-budget BYTES]
+              [--shadow-lru-cap N]
               (N = 0 for --recluster-every / --snapshot-every means never;
                --trace-capacity 0 disables the flight recorder;
                --wal-dir enables the write-ahead log; --restore-to discards
-               every batch past that generation before starting)
+               every batch past that generation before starting;
+               --eval-every-ms 0 disables the quality plane)
   seer client send <trace> --socket PATH [--chunk N]
   seer client load --socket PATH --machine <A..I> [--days N] [--seed N] [--chunk N]
-  seer client query <hoard|clusters|stats|metrics|health|dump> --socket PATH
+  seer client query <{queries}> --socket PATH
                     [--budget BYTES] [--cached] [--format json|prom]
   seer client query history --socket PATH --generation N [--budget BYTES]
                     (replays the WAL prefix: the answer the daemon gave then)
+  seer client query explain <path> --socket PATH
+                    (rank, clusters, and strongest neighbors for one file)
+  seer client query quality --socket PATH [--html FILE] [--series-json FILE]
+                    (live SEER-vs-LRU miss-free report; exports the dashboard)
+  seer client query miss [ID] --socket PATH
+                    (miss postmortems: why was that file outside the hoard?)
   seer client query trace --socket PATH [--budget BYTES] [--out FILE]
                     [--events TRACE] [--chunk N]
                     (exports one traced exchange as Chrome trace-event JSON)
   seer client shutdown --socket PATH
   seer trace <hoard|clusters> --socket PATH [--budget BYTES] [--cached]
+  seer explain <path> --socket PATH
   seer top --socket PATH [--interval SECS]
   seer demo [--days N]
   seer help
-";
+",
+        queries = seer_trace::wire::QueryRequest::NAMES.join("|"),
+    )
+}
 
 /// Dispatches a parsed command line.
 pub fn dispatch(args: &Args) -> Result<(), CliError> {
@@ -64,12 +85,13 @@ pub fn dispatch(args: &Args) -> Result<(), CliError> {
         Some("client") => crate::daemon_cmd::cmd_client(args),
         Some("top") => crate::daemon_cmd::cmd_top(args),
         Some("trace") => crate::daemon_cmd::cmd_trace(args),
+        Some("explain") => crate::daemon_cmd::cmd_explain(args),
         Some("demo") => cmd_demo(args),
         Some("help") | None => {
-            print!("{USAGE}");
+            print!("{}", usage());
             Ok(())
         }
-        Some(other) => Err(CliError(format!("unknown command: {other}\n\n{USAGE}"))),
+        Some(other) => Err(CliError(format!("unknown command: {other}\n\n{}", usage()))),
     }
 }
 

@@ -75,6 +75,16 @@ pub fn cmd_daemon(args: &Args) -> Result<(), CliError> {
         })?;
         cfg.restore_to = Some(target);
     }
+    // Quality-plane knobs: evaluation cadence (0 disables the evaluator,
+    // shadow LRU, and postmortem capture entirely), the simulated
+    // disconnection window, and the coverage budget.
+    cfg.eval_every = Duration::from_millis(args.num_flag(
+        "eval-every-ms",
+        u64::try_from(cfg.eval_every.as_millis()).unwrap_or(2000),
+    )?);
+    cfg.eval_window_secs = args.num_flag("eval-window-secs", cfg.eval_window_secs)?;
+    cfg.eval_budget = args.num_flag("eval-budget", cfg.eval_budget)?;
+    cfg.shadow_lru_cap = args.num_flag("shadow-lru-cap", cfg.shadow_lru_cap)?;
 
     let recovered = cfg.snapshot_path.as_deref().is_some_and(Path::exists);
     let handle = Daemon::spawn(cfg)?;
@@ -195,10 +205,54 @@ fn client_query(args: &Args, socket: &Path) -> Result<(), CliError> {
             let budget: u64 = args.num_flag("budget", 1 << 20)?;
             client.query(QueryRequest::History { generation, budget })?
         }
+        Some("explain") => {
+            let path = args
+                .positional(3)
+                .or_else(|| args.flag("path"))
+                .ok_or_else(|| {
+                    CliError("explain wants a path: seer client query explain <path>".into())
+                })?
+                .to_owned();
+            client.query(QueryRequest::Explain { path })?
+        }
+        Some("quality") => {
+            let response = client.query(QueryRequest::Quality)?;
+            // Dashboard export: the series history behind the report as
+            // a standalone HTML page or raw JSON.
+            if let QueryResponse::Quality { series, .. } = &response {
+                if let Some(p) = args.flag("html") {
+                    std::fs::write(
+                        p,
+                        seer_telemetry::render_dashboard_html(series, "seer quality"),
+                    )?;
+                    eprintln!("quality dashboard written to {p}");
+                }
+                if let Some(p) = args.flag("series-json") {
+                    std::fs::write(
+                        p,
+                        serde_json::to_string_pretty(series)
+                            .map_err(|e| CliError(e.to_string()))?,
+                    )?;
+                    eprintln!("quality series written to {p}");
+                }
+            }
+            response
+        }
+        Some("miss") => {
+            let id = match args.flag("id").or_else(|| args.positional(3)) {
+                Some(s) => Some(
+                    s.parse()
+                        .map_err(|_| CliError(format!("bad postmortem id: {s}")))?,
+                ),
+                None => None,
+            };
+            client.query(QueryRequest::Miss { id })?
+        }
         other => {
             return Err(CliError(format!(
-                "unknown query: {} (hoard|clusters|stats|metrics|health|dump|history|trace)",
-                other.unwrap_or("<none>")
+                "unknown query: {} ({}|trace)",
+                other.unwrap_or("<none>"),
+                QueryRequest::NAMES.join("|"),
             )))
         }
     };
@@ -343,10 +397,23 @@ pub fn cmd_trace(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `seer explain <path> --socket PATH` — asks the daemon why SEER ranked
+/// one file where it did: hoard rank, cluster memberships, and strongest
+/// semantic-distance neighbors with evidence counts.
+pub fn cmd_explain(args: &Args) -> Result<(), CliError> {
+    let socket = Path::new(args.require_flag("socket")?);
+    let path = args.require_positional(1, "path to explain")?;
+    let mut client = DaemonClient::connect(socket, "seer-explain")?;
+    let response = client.explain(path)?;
+    print_response(&response);
+    Ok(())
+}
+
 /// `seer top --socket PATH [--interval SECS]` — a human-readable view of
-/// the daemon's telemetry: throughput, queue depth, and per-stage latency
-/// percentiles. With `--interval` it refreshes on that cadence over one
-/// connection until interrupted.
+/// the daemon's telemetry: throughput, queue depth, per-stage latency
+/// percentiles, and (when the quality plane is on) the live SEER-vs-LRU
+/// quality line with sparklines. With `--interval` it refreshes on that
+/// cadence over one connection until interrupted.
 pub fn cmd_top(args: &Args) -> Result<(), CliError> {
     let socket = Path::new(args.require_flag("socket")?);
     let mut client = DaemonClient::connect(socket, "seer-top")?;
@@ -440,6 +507,13 @@ fn top_once(client: &mut DaemonClient, socket: &Path) -> Result<(), CliError> {
             detail.join(" "),
             counter("seer_replication_auto_misses_total"),
         );
+    }
+    // The quality plane is optional; a daemon running with
+    // --eval-every-ms 0 answers Quality with an in-band error, which
+    // the client surfaces as a Format error — skip the section then.
+    if let Ok((report, series)) = client.quality() {
+        println!();
+        print_quality(&report, &series);
     }
     println!();
     println!(
@@ -576,8 +650,162 @@ fn print_response(response: &QueryResponse) {
                 println!("  {f}");
             }
         }
+        QueryResponse::Explain {
+            path,
+            rank,
+            ranked,
+            always_hoard,
+            last_ref_secs,
+            ref_count,
+            clusters,
+            neighbors,
+            generation,
+            stale,
+        } => {
+            println!(
+                "{path}: {}{} (clustering generation {generation}{})",
+                match rank {
+                    Some(r) => format!("rank {} of {ranked}", r + 1),
+                    None => format!("unranked ({ranked} files ranked)"),
+                },
+                if *always_hoard { ", always-hoard" } else { "" },
+                if *stale { ", stale" } else { "" },
+            );
+            println!(
+                "  last referenced: {}   references: {ref_count}",
+                last_ref_secs.map_or_else(|| "never".to_owned(), |s| format!("t+{s}s")),
+            );
+            if clusters.is_empty() {
+                println!("  clusters: none");
+            } else {
+                let list: Vec<String> = clusters
+                    .iter()
+                    .map(|(id, members)| format!("#{id} ({members} members)"))
+                    .collect();
+                println!("  clusters: {}", list.join(", "));
+            }
+            if neighbors.is_empty() {
+                println!("  neighbors: none (no pairwise evidence yet)");
+            } else {
+                println!("  strongest neighbors (distance, evidence):");
+                for n in neighbors {
+                    println!("    {:<9.3} x{:<5} {}", n.distance, n.evidence, n.path);
+                }
+            }
+        }
+        QueryResponse::Quality { report, series } => print_quality(report, series),
+        QueryResponse::Misses { postmortems } => {
+            if postmortems.is_empty() {
+                println!("no miss postmortems recorded");
+            }
+            for pm in postmortems {
+                print_postmortem(pm);
+            }
+        }
         QueryResponse::Error { message } => {
             println!("daemon error: {message}");
         }
     }
+}
+
+/// Renders the live quality report with sparklines drawn from the
+/// evaluator's time-series history (oldest sample on the left).
+fn print_quality(
+    report: &seer_trace::wire::QualityReport,
+    series: &seer_telemetry::SeriesSnapshot,
+) {
+    let spark = |name: &str| {
+        series
+            .get(name)
+            .map_or_else(String::new, |s| seer_telemetry::render_sparkline(&s.points))
+    };
+    let first_miss = |m: Option<u64>| m.map_or_else(|| "never".to_owned(), |s| format!("{s}s in"));
+    println!(
+        "quality @ generation {} (clustering {}): window {}s, budget {} bytes, \
+         {} evaluations",
+        report.generation,
+        report.clustering_generation,
+        report.window_secs,
+        report.budget,
+        report.evals,
+    );
+    println!(
+        "needed: {} files, {} bytes working set  {}",
+        report.needed_files,
+        report.working_set_bytes,
+        spark("needed_files"),
+    );
+    println!(
+        "seer: miss-free {} bytes ({} uncovered), coverage {:.1}%, first miss {}  {}",
+        report.seer_missfree_bytes,
+        report.seer_uncovered,
+        report.seer_coverage * 100.0,
+        first_miss(report.seer_first_miss_secs),
+        spark("seer_missfree_bytes"),
+    );
+    println!(
+        "lru:  miss-free {} bytes ({} uncovered), coverage {:.1}%, first miss {}  {}",
+        report.lru_missfree_bytes,
+        report.lru_uncovered,
+        report.lru_coverage * 100.0,
+        first_miss(report.lru_first_miss_secs),
+        spark("lru_missfree_bytes"),
+    );
+    let graded: Vec<String> = report
+        .misses_by_severity
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| **n > 0)
+        .map(|(sev, n)| format!("sev{sev}:{n}"))
+        .collect();
+    println!(
+        "misses: {}   auto-detected {}",
+        if graded.is_empty() {
+            "none graded".to_owned()
+        } else {
+            graded.join(" ")
+        },
+        report.auto_misses,
+    );
+}
+
+/// Renders one miss postmortem: what the daemon knew about the file at
+/// the moment the miss was recorded, and how to replay that moment.
+fn print_postmortem(pm: &seer_trace::wire::MissPostmortem) {
+    println!(
+        "miss #{}: {} at t+{}s ({})",
+        pm.id,
+        pm.path,
+        pm.time_secs,
+        match pm.severity {
+            Some(sev) => format!("severity {sev}"),
+            None if pm.auto => "auto-detected".to_owned(),
+            None => "ungraded".to_owned(),
+        },
+    );
+    println!(
+        "  at capture: {} (clustering generation {})",
+        match pm.rank {
+            Some(r) => format!("rank {} of {}", r + 1, pm.ranked),
+            None => format!("unranked ({} files ranked)", pm.ranked),
+        },
+        pm.clustering_generation,
+    );
+    if pm.clusters.is_empty() {
+        println!("  clusters: none");
+    } else {
+        let list: Vec<String> = pm
+            .clusters
+            .iter()
+            .map(|(id, members)| format!("#{id} ({members} members)"))
+            .collect();
+        println!("  clusters: {}", list.join(", "));
+    }
+    for n in &pm.neighbors {
+        println!("    {:<9.3} x{:<5} {}", n.distance, n.evidence, n.path);
+    }
+    println!(
+        "  replay: seer client query history --generation {} --budget <bytes>",
+        pm.generation,
+    );
 }

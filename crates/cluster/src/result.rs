@@ -96,6 +96,17 @@ impl Clustering {
         &self.clusters[id.index()]
     }
 
+    /// `file`'s memberships with context: `(cluster id, member count)`
+    /// per containing cluster, in membership order. Empty if the file is
+    /// unclustered — exactly what an explanation wants to show.
+    #[must_use]
+    pub fn membership_summary(&self, file: FileId) -> Vec<(u32, usize)> {
+        self.clusters_of(file)
+            .iter()
+            .map(|&id| (id.0, self.cluster(id).len()))
+            .collect()
+    }
+
     /// Number of clusters.
     #[must_use]
     pub fn len(&self) -> usize {

@@ -253,6 +253,23 @@ impl SeerEngine {
         }
     }
 
+    /// Captures everything a detached quality evaluator needs to rank
+    /// files exactly as the engine would right now: the activity
+    /// tracker, the installed clustering, and the always-hoard pins.
+    ///
+    /// Like [`SeerEngine::recluster_input`] the snapshot is fully
+    /// detached — O(tracked files) copied — so the evaluator can compute
+    /// miss-free hoard sizes on a worker thread while the engine keeps
+    /// applying events.
+    #[must_use]
+    pub fn eval_input(&self) -> EvalInput {
+        EvalInput {
+            activity: self.correlator().activity().clone(),
+            clustering: self.clustering.clone(),
+            always_hoard: self.observer.always_hoard().clone(),
+        }
+    }
+
     /// Installs a clustering computed elsewhere (typically from a
     /// [`ReclusterInput`] on a worker thread), updating recluster
     /// telemetry exactly as an in-place [`SeerEngine::recluster`] would:
@@ -397,6 +414,44 @@ impl ReclusterInput {
             &self.config,
             threads,
         )
+    }
+}
+
+/// A self-contained snapshot of the ranking state a quality evaluation
+/// reads (see [`SeerEngine::eval_input`]). Owns everything it needs, so
+/// it can be sent to a worker thread while the engine keeps mutating.
+#[derive(Debug, Clone)]
+pub struct EvalInput {
+    activity: crate::activity::ActivityTracker,
+    clustering: Option<Clustering>,
+    always_hoard: HashSet<FileId>,
+}
+
+impl EvalInput {
+    /// The frozen activity tracker (drives the needed-set derivation).
+    #[must_use]
+    pub fn activity(&self) -> &crate::activity::ActivityTracker {
+        &self.activity
+    }
+
+    /// SEER's full priority ranking at snapshot time — identical to what
+    /// [`SeerEngine::rank`] would have produced when the snapshot was
+    /// taken.
+    #[must_use]
+    pub fn rank(&self) -> Vec<FileId> {
+        let ctx = RankContext {
+            activity: &self.activity,
+            clustering: self.clustering.as_ref(),
+            always_hoard: &self.always_hoard,
+        };
+        SeerRanker.rank(&ctx)
+    }
+
+    /// The pure recency ranking at snapshot time, most recent first —
+    /// the paper's LRU baseline (§6.1).
+    #[must_use]
+    pub fn lru_order(&self) -> Vec<FileId> {
+        self.activity.lru_order()
     }
 }
 

@@ -222,6 +222,56 @@ impl DaemonClient {
         }
     }
 
+    /// Fetches decision provenance for one canonical path: hoard rank,
+    /// cluster memberships, and strongest semantic-distance neighbors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Format`] if the daemon replies with an error
+    /// (e.g. the path was never observed).
+    pub fn explain(&mut self, path: &str) -> Result<QueryResponse, WireError> {
+        match self.query(QueryRequest::Explain {
+            path: path.to_owned(),
+        })? {
+            r @ QueryResponse::Explain { .. } => Ok(r),
+            other => Err(WireError::Format(format!(
+                "expected Explain, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches the live quality report (SEER vs shadow-LRU miss-free
+    /// hoard size) plus the time-series history behind it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Format`] if the daemon replies with an error
+    /// (e.g. the quality plane is disabled).
+    pub fn quality(
+        &mut self,
+    ) -> Result<(wire::QualityReport, seer_telemetry::SeriesSnapshot), WireError> {
+        match self.query(QueryRequest::Quality)? {
+            QueryResponse::Quality { report, series } => Ok((report, series)),
+            other => Err(WireError::Format(format!(
+                "expected Quality, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches miss postmortems: all retained ones (`id: None`) or one
+    /// by id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Format`] if the daemon replies with an error
+    /// (unknown id, or the quality plane is disabled).
+    pub fn misses(&mut self, id: Option<u64>) -> Result<Vec<wire::MissPostmortem>, WireError> {
+        match self.query(QueryRequest::Miss { id })? {
+            QueryResponse::Misses { postmortems } => Ok(postmortems),
+            other => Err(WireError::Format(format!("expected Misses, got {other:?}"))),
+        }
+    }
+
     /// Asks the daemon to flush, snapshot, and exit; consumes the client.
     ///
     /// # Errors

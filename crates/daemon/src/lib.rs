@@ -45,6 +45,7 @@
 
 mod client;
 mod pipeline;
+mod quality;
 mod server;
 mod snapshot;
 mod stats;

@@ -17,13 +17,16 @@
 //! markers, connection teardown) flushes the pending batch first, which
 //! preserves per-connection order end to end.
 
+use crate::quality::{self, QualityState};
 use crate::snapshot::DaemonSnapshot;
 use crate::stats::SharedMetrics;
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TrySendError};
 use seer_core::{Clustering, ReclusterInput, Replayer, SeerConfig, SeerEngine};
 use seer_telemetry::{tlog, Histogram, Level, SpanContext, Tracer};
-use seer_trace::wire::{QueryRequest, QueryResponse};
-use seer_trace::{EventSink, RawPathId, StringTable, TraceEvent};
+use seer_trace::wire::{
+    ExplainNeighbor, MissPostmortem, QualityReport, QueryRequest, QueryResponse,
+};
+use seer_trace::{EventSink, FileId, RawPathId, StringTable, TraceEvent};
 use seer_wal::{Wal, WalRecord};
 use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
@@ -98,6 +101,17 @@ pub(crate) struct ActorConfig {
     /// Engine configuration for the *cold* base of a `History` replay
     /// (mirrors the server's cold-start configuration).
     pub engine: SeerConfig,
+    /// Cadence of background quality evaluations; `Duration::ZERO`
+    /// disables the whole quality plane (evaluator, shadow LRU, and
+    /// postmortem capture).
+    pub eval_every: Duration,
+    /// Simulated-disconnection window the evaluator scores against,
+    /// in trace seconds.
+    pub eval_window_secs: u64,
+    /// Byte budget for the evaluator's coverage-at-budget numbers.
+    pub eval_budget: u64,
+    /// Entry cap of the shadow-LRU comparator.
+    pub shadow_lru_cap: usize,
 }
 
 /// A frozen reclustering job handed to the background worker. The input
@@ -315,6 +329,9 @@ struct Actor {
     /// The write-ahead log, when the daemon runs with one. Appended
     /// before each batch reaches the engine; compacted after snapshots.
     wal: Option<Wal>,
+    /// The quality plane: evaluator worker, shadow LRU, series rings,
+    /// miss log, and retained postmortems. `None` when disabled.
+    quality: Option<QualityState>,
 }
 
 impl Actor {
@@ -361,6 +378,7 @@ impl Actor {
                     self.wal_append(self.events_applied + n, &remapped, parent);
                 }
                 self.engine.on_batch(&remapped, &self.strings);
+                self.quality_ingest(&remapped);
                 self.events_applied += n;
                 *self.per_conn.entry(conn).or_default() += n;
                 self.since_recluster += n;
@@ -375,7 +393,10 @@ impl Actor {
                 drop(apply_timer);
                 self.metrics
                     .observe_generation_lag(self.events_applied, self.clustering_generation);
+                self.capture_postmortems();
                 self.poll_recluster_done();
+                self.poll_eval_done();
+                self.maybe_request_eval();
                 if self.cfg.recluster_every > 0
                     && self.since_recluster >= self.cfg.recluster_every
                     && self.inflight.is_empty()
@@ -824,6 +845,233 @@ impl Actor {
         }
     }
 
+    /// Quality-plane work on the ingest path: advance trace time and
+    /// feed every referenced path into the shadow-LRU comparator. A
+    /// no-op (one branch) when the plane is disabled.
+    ///
+    /// Paths resolve through the *canonical* table, so references the
+    /// observer filtered out (or paths it rewrote during
+    /// canonicalization) are skipped — the shadow only ranks files SEER
+    /// itself could have hoarded, keeping the comparison fair.
+    fn quality_ingest(&mut self, events: &[TraceEvent]) {
+        let Some(q) = self.quality.as_mut() else {
+            return;
+        };
+        let strings = &self.strings;
+        let engine = &self.engine;
+        for ev in events {
+            if ev.time > q.last_event_time {
+                q.last_event_time = ev.time;
+            }
+            let _ = ev.kind.map_paths(&mut |p| {
+                if let Some(s) = strings.resolve(p) {
+                    if let Some(f) = engine.paths().get(s) {
+                        q.shadow.touch(f);
+                    }
+                }
+                p
+            });
+        }
+    }
+
+    /// Drains newly detected hoard misses into the miss log and captures
+    /// a provenance postmortem for each: rank, clusters, and strongest
+    /// neighbors *as they are right now*, plus the WAL generation so
+    /// `History` can replay the hoard as of the miss.
+    fn capture_postmortems(&mut self) {
+        if self.quality.is_none() {
+            return;
+        }
+        let auto = self.engine.take_misses();
+        let q = self.quality.as_mut().expect("checked above");
+        for f in auto {
+            q.miss_log.record_auto(f, q.last_event_time);
+        }
+        // The daemon has no reconnection cycle to consume the
+        // hoard-next queue; drain it so it cannot grow without bound.
+        let _ = q.miss_log.take_pending();
+        let recent: Vec<seer_replication::MissRecord> = q.miss_log.take_recent().to_vec();
+        if recent.is_empty() {
+            return;
+        }
+        let engine = &self.engine;
+        let rank = engine.rank();
+        let pos: HashMap<FileId, usize> = rank.iter().enumerate().map(|(i, &f)| (f, i)).collect();
+        for rec in recent {
+            let path = engine
+                .paths()
+                .resolve(rec.file)
+                .unwrap_or("<unknown>")
+                .to_owned();
+            let pm = MissPostmortem {
+                id: q.next_miss_id,
+                path,
+                generation: self.events_applied,
+                clustering_generation: self.clustering_generation,
+                time_secs: rec.time.as_secs(),
+                severity: rec.severity.map(seer_replication::Severity::code),
+                auto: rec.severity.is_none(),
+                rank: pos.get(&rec.file).copied(),
+                ranked: rank.len(),
+                clusters: engine
+                    .clustering()
+                    .map(|c| c.membership_summary(rec.file))
+                    .unwrap_or_default(),
+                neighbors: neighbor_evidence(engine, rec.file, 5),
+            };
+            q.next_miss_id += 1;
+            q.retain_postmortem(pm);
+        }
+    }
+
+    /// Freezes everything the evaluator needs into a job.
+    fn build_eval_job(&self) -> quality::EvalJob {
+        let q = self.quality.as_ref().expect("quality enabled");
+        quality::EvalJob {
+            input: self.engine.eval_input(),
+            shadow: q.shadow.order(),
+            window_secs: q.window_secs,
+            budget: q.budget,
+            file_size: self.cfg.file_size,
+            generation: self.events_applied,
+            clustering_generation: self.clustering_generation,
+            misses_by_severity: q.miss_log.severity_histogram(),
+            auto_misses: q.miss_log.auto_count() as u64,
+            eval_index: q.evals + 1,
+        }
+    }
+
+    /// Records a finished evaluation: stage timer, gauges, and the
+    /// series rings backing `seer top` sparklines.
+    fn install_eval(&mut self, report: QualityReport, wall: Duration) {
+        self.metrics.stage_evaluate.observe(wall);
+        self.metrics.quality_evals.inc();
+        let clamp = |v: u64| i64::try_from(v).unwrap_or(i64::MAX);
+        self.metrics
+            .quality_seer_missfree_bytes
+            .set(clamp(report.seer_missfree_bytes));
+        self.metrics
+            .quality_lru_missfree_bytes
+            .set(clamp(report.lru_missfree_bytes));
+        self.metrics
+            .quality_working_set_bytes
+            .set(clamp(report.working_set_bytes));
+        self.metrics
+            .quality_needed_files
+            .set(clamp(report.needed_files as u64));
+        if let Some(q) = self.quality.as_mut() {
+            q.install(report);
+        }
+    }
+
+    /// Folds in any evaluations the worker finished, without blocking.
+    fn poll_eval_done(&mut self) {
+        let Some(q) = self.quality.as_mut() else {
+            return;
+        };
+        let mut finished = Vec::new();
+        while let Ok(done) = q.done_rx.try_recv() {
+            q.inflight = false;
+            finished.push(done);
+        }
+        for d in finished {
+            self.install_eval(d.report, d.wall);
+        }
+    }
+
+    /// Hands the evaluator a fresh job when the cadence timer says one
+    /// is due and none is in flight.
+    fn maybe_request_eval(&mut self) {
+        let due = self.quality.as_ref().is_some_and(QualityState::due);
+        if !due || self.events_applied == 0 {
+            return;
+        }
+        let job = self.build_eval_job();
+        let q = self.quality.as_mut().expect("checked above");
+        if let Some(tx) = &q.job_tx {
+            if tx.try_send(job).is_ok() {
+                q.inflight = true;
+                q.last_eval = Some(Instant::now());
+            }
+        }
+    }
+
+    /// Answers an `Explain` query: the file's decision provenance.
+    fn answer_explain(&mut self, path: &str, ctx: Option<SpanContext>) -> QueryResponse {
+        let Some(file) = self.engine.paths().get(path) else {
+            return QueryResponse::Error {
+                message: format!("unknown path: {path} (never observed by the daemon)"),
+            };
+        };
+        let (generation, stale) = self.prepare_clustering(false, ctx);
+        let rank_vec = self.engine.rank();
+        let rank = rank_vec.iter().position(|&f| f == file);
+        let last = self.engine.correlator().activity().last_ref(file);
+        QueryResponse::Explain {
+            path: path.to_owned(),
+            rank,
+            ranked: rank_vec.len(),
+            always_hoard: self.engine.always_hoard().contains(&file),
+            last_ref_secs: last.map(|r| r.time.as_secs()),
+            ref_count: last.map_or(0, |r| r.count),
+            clusters: self
+                .engine
+                .clustering()
+                .map(|c| c.membership_summary(file))
+                .unwrap_or_default(),
+            neighbors: neighbor_evidence(&self.engine, file, 8),
+            generation,
+            stale,
+        }
+    }
+
+    /// Answers a `Quality` query by evaluating *inline* on the actor,
+    /// so after a flush the answer reflects everything applied — an
+    /// online quality query equals an offline evaluation of the same
+    /// events (the equivalence test pins this).
+    fn answer_quality(&mut self) -> QueryResponse {
+        if self.quality.is_none() {
+            return QueryResponse::Error {
+                message: "quality plane disabled (run with a nonzero eval interval)".into(),
+            };
+        }
+        let job = self.build_eval_job();
+        let started = Instant::now();
+        let report = quality::evaluate(&job);
+        self.install_eval(report.clone(), started.elapsed());
+        let q = self.quality.as_ref().expect("checked above");
+        QueryResponse::Quality {
+            report,
+            series: q.series.snapshot(),
+        }
+    }
+
+    /// Answers a `Miss` query from the retained postmortems.
+    fn answer_miss(&self, id: Option<u64>) -> QueryResponse {
+        let Some(q) = self.quality.as_ref() else {
+            return QueryResponse::Error {
+                message: "miss postmortems unavailable: quality plane disabled".into(),
+            };
+        };
+        match id {
+            None => QueryResponse::Misses {
+                postmortems: q.postmortems.iter().cloned().collect(),
+            },
+            Some(want) => match q.postmortems.iter().find(|p| p.id == want) {
+                Some(p) => QueryResponse::Misses {
+                    postmortems: vec![p.clone()],
+                },
+                None => QueryResponse::Error {
+                    message: format!(
+                        "no postmortem with id {want} (retaining {} of {} recorded)",
+                        q.postmortems.len(),
+                        q.next_miss_id
+                    ),
+                },
+            },
+        }
+    }
+
     /// Prepares the clustering for a hoard/clusters answer. `fresh`
     /// blocks until the clustering reflects everything applied so far —
     /// this makes an online hoard query equivalent to an offline replay
@@ -861,7 +1109,7 @@ impl Actor {
         let mut span = ctx.map(|c| self.metrics.tracer.child("engine_answer", c));
         let span_ctx = span.as_ref().map(seer_telemetry::Span::context);
         if let Some(s) = &mut span {
-            s.attr("query", query_name(&query));
+            s.attr("query", query.name());
             s.attr("events_applied", self.events_applied);
         }
         match query {
@@ -926,21 +1174,31 @@ impl Actor {
                 dropped: self.metrics.tracer.dropped(),
             },
             QueryRequest::History { generation, budget } => self.answer_history(generation, budget),
+            QueryRequest::Explain { path } => self.answer_explain(&path, span_ctx),
+            QueryRequest::Quality => self.answer_quality(),
+            QueryRequest::Miss { id } => self.answer_miss(id),
         }
     }
 }
 
-/// The short name an `engine_answer` span reports for its query.
-fn query_name(query: &QueryRequest) -> &'static str {
-    match query {
-        QueryRequest::Hoard { .. } => "hoard",
-        QueryRequest::Clusters { .. } => "clusters",
-        QueryRequest::Stats => "stats",
-        QueryRequest::Metrics => "metrics",
-        QueryRequest::Health => "health",
-        QueryRequest::Dump => "dump",
-        QueryRequest::History { .. } => "history",
-    }
+/// The strongest semantic-distance neighbors of `file`, resolved to
+/// canonical paths with their evidence counts — the shared provenance
+/// payload of `Explain` answers and miss postmortems.
+fn neighbor_evidence(engine: &SeerEngine, file: FileId, k: usize) -> Vec<ExplainNeighbor> {
+    engine
+        .correlator()
+        .distance()
+        .table()
+        .strongest_neighbors(file, k)
+        .into_iter()
+        .filter_map(|(to, distance, evidence)| {
+            engine.paths().resolve(to).map(|p| ExplainNeighbor {
+                path: p.to_owned(),
+                distance,
+                evidence,
+            })
+        })
+        .collect()
 }
 
 /// Runs the engine actor until the apply channel disconnects (graceful
@@ -973,6 +1231,17 @@ pub(crate) fn run_engine_actor(
             .spawn(move || run_recluster_worker(&job_rx, &done_tx, threads))
             .ok()
     };
+    let quality = if cfg.eval_every > Duration::ZERO {
+        Some(QualityState::spawn(
+            cfg.eval_every,
+            cfg.eval_window_secs,
+            cfg.eval_budget,
+            cfg.shadow_lru_cap,
+            &metrics,
+        ))
+    } else {
+        None
+    };
     let mut actor = Actor {
         engine,
         strings,
@@ -988,6 +1257,7 @@ pub(crate) fn run_engine_actor(
         cfg,
         metrics,
         wal,
+        quality,
     };
     actor.wal_update_gauges();
     // A recovered snapshot's applied count seeds the counter so restart
@@ -1009,16 +1279,19 @@ pub(crate) fn run_engine_actor(
         match apply_rx.recv_timeout(tick) {
             Ok(item) => actor.apply(item),
             Err(RecvTimeoutError::Timeout) => {
-                // Idle tick: fold in finished clusterings, start a
-                // background recluster if the cache went stale, and
-                // snapshot pending work so quiet periods converge.
+                // Idle tick: fold in finished clusterings and quality
+                // evaluations, start a background recluster if the
+                // cache went stale, keep the evaluator cadence alive,
+                // and snapshot pending work so quiet periods converge.
                 actor.poll_recluster_done();
+                actor.poll_eval_done();
                 if actor.cfg.recluster_every > 0
                     && actor.since_recluster > 0
                     && actor.inflight.is_empty()
                 {
                     actor.request_recluster(None);
                 }
+                actor.maybe_request_eval();
                 if actor.cfg.snapshot_every > 0 && actor.since_snapshot > 0 {
                     actor.write_snapshot();
                 }
@@ -1052,10 +1325,15 @@ pub(crate) fn run_engine_actor(
     dump_flight(&actor);
     // Dropping the job sender lets the worker's recv disconnect; join so
     // a graceful shutdown leaves no thread behind. (The kill path above
-    // returns without joining — the worker notices the disconnect and
-    // exits on its own.)
-    let Actor { job_tx, .. } = actor;
+    // returns without joining — the workers notice the disconnect and
+    // exit on their own.)
+    let Actor {
+        job_tx, quality, ..
+    } = actor;
     drop(job_tx);
+    if let Some(mut q) = quality {
+        q.shutdown();
+    }
     if let Some(handle) = worker {
         let _ = handle.join();
     }
@@ -1134,9 +1412,14 @@ mod tests {
                 recluster_threads: 1,
                 flight_path: None,
                 engine: SeerConfig::default(),
+                eval_every: Duration::ZERO,
+                eval_window_secs: 0,
+                eval_budget: 0,
+                shadow_lru_cap: 0,
             },
             metrics: crate::stats::new_shared_with(Tracer::new(64, Duration::from_secs(1))),
             wal: None,
+            quality: None,
         };
         // The worker stand-in finishes the job only once the query is
         // already blocked waiting on it.
@@ -1210,9 +1493,14 @@ mod tests {
                 recluster_threads: 1,
                 flight_path: None,
                 engine: SeerConfig::default(),
+                eval_every: Duration::ZERO,
+                eval_window_secs: 0,
+                eval_budget: 0,
+                shadow_lru_cap: 0,
             },
             metrics: crate::stats::new_shared_with(Tracer::new(64, Duration::from_secs(1))),
             wal: None,
+            quality: None,
         };
         done_tx
             .send(ReclusterDone {
@@ -1276,9 +1564,14 @@ mod tests {
                 recluster_threads: 1,
                 flight_path: None,
                 engine: SeerConfig::default(),
+                eval_every: Duration::ZERO,
+                eval_window_secs: 0,
+                eval_budget: 0,
+                shadow_lru_cap: 0,
             },
             metrics: crate::stats::new_shared_with(Tracer::new(64, Duration::from_secs(1))),
             wal: None,
+            quality: None,
         };
         done_tx
             .send(ReclusterDone {

@@ -79,6 +79,20 @@ pub struct DaemonConfig {
     /// Point-in-time restore: discard every batch past this generation
     /// (applied-event count) before starting. Requires `wal_dir`.
     pub restore_to: Option<u64>,
+    /// Cadence of background quality evaluations (live miss-free hoard
+    /// size, SEER vs shadow-LRU). `Duration::ZERO` disables the quality
+    /// plane entirely — no evaluator worker, no shadow LRU on the apply
+    /// path, no postmortem capture.
+    pub eval_every: Duration,
+    /// Simulated-disconnection window the evaluator scores against, in
+    /// trace seconds (default: one day, the paper's canonical
+    /// disconnection scale).
+    pub eval_window_secs: u64,
+    /// Byte budget for the evaluator's coverage-at-budget and
+    /// time-to-first-miss numbers.
+    pub eval_budget: u64,
+    /// Entry cap of the shadow-LRU comparator (bounds its memory).
+    pub shadow_lru_cap: usize,
 }
 
 impl DaemonConfig {
@@ -104,6 +118,10 @@ impl DaemonConfig {
             wal_fsync: FsyncPolicy::Interval(Duration::from_millis(50)),
             wal_segment_bytes: 8 * 1024 * 1024,
             restore_to: None,
+            eval_every: Duration::from_secs(2),
+            eval_window_secs: 86_400,
+            eval_budget: 1 << 20,
+            shadow_lru_cap: 65_536,
         }
     }
 }
@@ -396,6 +414,10 @@ impl Daemon {
                 recluster_threads: config.recluster_threads,
                 flight_path: config.flight_path.clone(),
                 engine: config.engine.clone(),
+                eval_every: config.eval_every,
+                eval_window_secs: config.eval_window_secs,
+                eval_budget: config.eval_budget,
+                shadow_lru_cap: config.shadow_lru_cap,
             };
             let metrics = Arc::clone(&shared.metrics);
             let kill = Arc::clone(&shared.kill);

@@ -86,6 +86,17 @@ pub(crate) struct PipelineMetrics {
     pub stage_snapshot_write: Histogram,
     pub stage_wal_append: Histogram,
     pub stage_wal_fsync: Histogram,
+    pub stage_evaluate: Histogram,
+    /// Quality evaluations completed (background + inline query-driven).
+    pub quality_evals: Counter,
+    /// Latest SEER miss-free hoard size in bytes.
+    pub quality_seer_missfree_bytes: Gauge,
+    /// Latest shadow-LRU miss-free hoard size in bytes.
+    pub quality_lru_missfree_bytes: Gauge,
+    /// Latest simulated-disconnection working-set size in bytes.
+    pub quality_working_set_bytes: Gauge,
+    /// Files the latest evaluation's needed set contained.
+    pub quality_needed_files: Gauge,
     started: Instant,
 }
 
@@ -200,6 +211,31 @@ impl PipelineMetrics {
                 "Pipeline stage latency: the fsync portion of WAL appends, when \
                  the policy synced.",
             ),
+            stage_evaluate: stage(
+                "evaluate",
+                "Pipeline stage latency: one quality evaluation (miss-free hoard \
+                 size, SEER vs shadow-LRU) on the evaluator worker or inline.",
+            ),
+            quality_evals: registry.counter(
+                "seer_daemon_quality_evals_total",
+                "Quality evaluations completed (background and query-driven).",
+            ),
+            quality_seer_missfree_bytes: registry.gauge(
+                "seer_daemon_quality_seer_missfree_bytes",
+                "Latest SEER miss-free hoard size for the simulated disconnection window.",
+            ),
+            quality_lru_missfree_bytes: registry.gauge(
+                "seer_daemon_quality_lru_missfree_bytes",
+                "Latest shadow-LRU miss-free hoard size for the same window.",
+            ),
+            quality_working_set_bytes: registry.gauge(
+                "seer_daemon_quality_working_set_bytes",
+                "Latest simulated-disconnection working-set size (the optimal floor).",
+            ),
+            quality_needed_files: registry.gauge(
+                "seer_daemon_quality_needed_files",
+                "Files referenced inside the latest simulated disconnection window.",
+            ),
             started: Instant::now(),
             registry,
             tracer,
@@ -288,7 +324,7 @@ mod tests {
             .iter()
             .filter(|ms| ms.name == "seer_daemon_stage_seconds")
             .collect();
-        assert_eq!(stages.len(), 8, "eight instrumented stages");
+        assert_eq!(stages.len(), 9, "nine instrumented stages");
         assert!(snap
             .find_with("seer_daemon_stage_seconds", &[("stage", "decode")])
             .is_some());

@@ -198,6 +198,21 @@ impl NeighborTable {
             .filter(|e| !self.dead.contains(&e.to))
     }
 
+    /// The `k` closest stored neighbors of `file` under the configured
+    /// reduction, closest first: `(neighbor, distance, evidence count)`.
+    /// Evidence is the number of reference observations folded into the
+    /// pair's streaming summary — how much data backs the distance.
+    #[must_use]
+    pub fn strongest_neighbors(&self, file: FileId, k: usize) -> Vec<(FileId, f64, u32)> {
+        let mut out: Vec<(FileId, f64, u32)> = self
+            .neighbors(file)
+            .map(|e| (e.to, e.summary.distance(self.reduction), e.summary.count()))
+            .collect();
+        out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        out.truncate(k);
+        out
+    }
+
     /// The reduced distance `from → to`, if stored.
     #[must_use]
     pub fn distance(&self, from: FileId, to: FileId) -> Option<f64> {

@@ -240,7 +240,14 @@ impl<S: ReferenceSink> Observer<S> {
 
     /// Delivers one emission through the filter chain.
     fn deliver(&mut self, pid: Pid, em: Emission) {
-        if em.structural {
+        // A hoard miss is ground truth that the hoard was wrong (§4.4),
+        // not an ordinary reference: the behavioral filters below exist
+        // to keep noise out of the distance model, and a miss is most
+        // likely to land on exactly the files they deem uninteresting
+        // (e.g. ones already marked frequent). It also must not count
+        // toward frequency — a failed open is not a use. The distance
+        // engine ignores `HoardMiss`, so direct delivery cannot skew it.
+        if em.structural || matches!(em.kind, RefKind::HoardMiss) {
             let r = Reference {
                 seq: em.seq,
                 time: em.time,

@@ -362,6 +362,46 @@ fn frequent_file_is_filtered_and_always_hoarded() {
     assert!(obs.stats().suppressed_frequent > 0);
 }
 
+/// A hoard miss on a file the filters would otherwise drop still reaches
+/// the sink: the miss is ground truth about a hoarding failure (§4.4),
+/// and a long-lived observer is exactly where the missed file is likely
+/// to already be marked frequent.
+#[test]
+fn miss_on_a_frequent_file_still_reaches_the_sink() {
+    let config = ObserverConfig {
+        frequent_min_total: 100,
+        frequent_min_accesses: 10,
+        ..ObserverConfig::default()
+    };
+    let obs = run(config, |b| {
+        let p = Pid(1);
+        for i in 0..300 {
+            b.touch(p, "/lib/libc.so", OpenMode::Read);
+            b.touch(p, &format!("/home/user/f{}.c", i % 150), OpenMode::Read);
+        }
+        // Disconnected later, a different process needs the hot file.
+        b.open_err(
+            Pid(2),
+            "/lib/libc.so",
+            OpenMode::Read,
+            ErrorKind::NotHoarded,
+        );
+    });
+    let lib = obs.paths().get("/lib/libc.so").expect("seen");
+    assert!(
+        obs.frequent_files().contains(&lib),
+        "precondition: frequent"
+    );
+    assert_eq!(obs.stats().hoard_misses, 1);
+    assert!(
+        obs.sink()
+            .refs
+            .iter()
+            .any(|r| r.file == lib && matches!(r.kind, RefKind::HoardMiss)),
+        "frequency suppression must not swallow the miss"
+    );
+}
+
 #[test]
 fn getcwd_walk_is_suppressed() {
     let obs = run(ObserverConfig::default(), |b| {

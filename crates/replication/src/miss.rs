@@ -68,6 +68,11 @@ pub struct MissLog {
     records: Vec<MissRecord>,
     /// Files awaiting hoarding at the next reconnection.
     pending_hoard: Vec<FileId>,
+    /// How many records postmortem hooks have already drained via
+    /// [`MissLog::take_recent`]. Defaults to zero on deserialization so
+    /// a restored log re-offers its history to a fresh hook.
+    #[serde(default, skip)]
+    drained: usize,
     /// Registry handles, present after [`MissLog::attach_telemetry`].
     /// Not part of the persisted log.
     #[serde(skip)]
@@ -181,6 +186,28 @@ impl MissLog {
         std::mem::take(&mut self.pending_hoard)
     }
 
+    /// Records added since the last call — the postmortem hook. A
+    /// provenance capturer polls this after recording misses and builds
+    /// a postmortem for each returned record; records stay in the log
+    /// (this drains a cursor, not the history).
+    pub fn take_recent(&mut self) -> &[MissRecord] {
+        let from = self.drained.min(self.records.len());
+        self.drained = self.records.len();
+        &self.records[from..]
+    }
+
+    /// Manual-miss counts indexed by severity code 0..=4.
+    #[must_use]
+    pub fn severity_histogram(&self) -> [u64; 5] {
+        let mut out = [0u64; 5];
+        for r in &self.records {
+            if let Some(s) = r.severity {
+                out[s.code() as usize] += 1;
+            }
+        }
+        out
+    }
+
     /// Whether any miss has been recorded.
     #[must_use]
     pub fn is_empty(&self) -> bool {
@@ -255,6 +282,23 @@ mod tests {
             auto.value,
             seer_telemetry::MetricValue::Counter { total: 1 }
         );
+    }
+
+    #[test]
+    fn take_recent_drains_a_cursor_not_the_history() {
+        let mut log = MissLog::new();
+        log.record_auto(FileId(1), Timestamp::ZERO);
+        log.record_manual(FileId(2), Timestamp::ZERO, Severity::Minor, false);
+        let first: Vec<MissRecord> = log.take_recent().to_vec();
+        assert_eq!(first.len(), 2);
+        assert_eq!(first[0].file, FileId(1));
+        assert!(log.take_recent().is_empty(), "nothing new yet");
+        log.record_auto(FileId(3), Timestamp::ZERO);
+        let next = log.take_recent();
+        assert_eq!(next.len(), 1);
+        assert_eq!(next[0].file, FileId(3));
+        assert_eq!(log.records().len(), 3, "history intact");
+        assert_eq!(log.severity_histogram(), [0, 0, 0, 1, 0]);
     }
 
     #[test]

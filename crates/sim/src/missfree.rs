@@ -33,11 +33,26 @@ pub fn miss_free_size(
             uncovered: 0,
         };
     }
-    let last_needed = ranking.iter().rposition(|f| needed.contains(f));
+    // A file is in the hoard from its first (best) rank onward, so the
+    // prefix boundary is the worst *first occurrence* among needed files
+    // — a duplicate id later in the ranking must not stretch it.
+    let mut seen: HashSet<FileId> = HashSet::new();
+    let mut last_needed: Option<usize> = None;
+    for (i, &f) in ranking.iter().enumerate() {
+        if seen.insert(f) && needed.contains(&f) {
+            last_needed = Some(i);
+        }
+    }
     let mut bytes = 0u64;
     let mut covered: HashSet<FileId> = HashSet::new();
+    // Likewise a file occupies hoard space once however often it is
+    // ranked: duplicates in the prefix are not double-billed.
+    seen.clear();
     if let Some(last) = last_needed {
         for &f in &ranking[..=last] {
+            if !seen.insert(f) {
+                continue;
+            }
             bytes += sizes(f);
             if needed.contains(&f) {
                 covered.insert(f);
@@ -107,6 +122,34 @@ mod tests {
         let mf = miss_free_size(&rank(&[0, 1]), &set(&[7, 8]), &mut |_| 3);
         assert_eq!(mf.bytes, 6, "only the needed files themselves");
         assert_eq!(mf.uncovered, 2);
+    }
+
+    #[test]
+    fn empty_ranking_with_nonempty_needed_is_all_uncovered() {
+        // A manager that has ranked nothing still owes the user every
+        // needed file: all uncovered, working-set-sized hoard.
+        let needed = set(&[3, 4, 5]);
+        let mf = miss_free_size(&rank(&[]), &needed, &mut |_| 8);
+        assert_eq!(mf.bytes, working_set_bytes(&needed, &mut |_| 8));
+        assert_eq!(mf.uncovered, 3);
+    }
+
+    #[test]
+    fn duplicate_ranking_entries_are_counted_once() {
+        // A file occupies hoard space once no matter how many times a
+        // (buggy or merged) ranking lists it.
+        let mf = miss_free_size(&rank(&[0, 1, 0, 1, 2]), &set(&[2]), &mut |_| 10);
+        assert_eq!(mf.bytes, 30, "three distinct files, not five slots");
+        assert_eq!(mf.uncovered, 0);
+    }
+
+    #[test]
+    fn duplicate_needed_entry_covered_by_first_occurrence() {
+        // The duplicate sits past the worst needed rank; coverage must
+        // come from the first occurrence, without double billing.
+        let mf = miss_free_size(&rank(&[7, 0, 7]), &set(&[7]), &mut |_| 4);
+        assert_eq!(mf.bytes, 4);
+        assert_eq!(mf.uncovered, 0);
     }
 
     #[test]

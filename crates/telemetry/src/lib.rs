@@ -10,6 +10,10 @@
 //!   `SEER_LOG` environment variable;
 //! - a Prometheus-text-format renderer ([`render_prometheus`]) so a
 //!   scraper can consume any snapshot;
+//! - fixed-capacity time-series rings ([`SeriesRing`]) holding windowed
+//!   history of any counter/gauge/quantile, rendered as terminal
+//!   sparklines ([`render_sparkline`]) or a standalone HTML dashboard
+//!   ([`render_dashboard_html`]);
 //! - causal span tracing ([`Tracer`], [`Span`]) into a fixed-capacity
 //!   lock-free ring that doubles as a flight recorder
 //!   ([`register_flight_recorder`]), with Chrome trace-event export
@@ -28,6 +32,7 @@ mod chrome;
 mod log;
 mod prometheus;
 mod registry;
+mod series;
 mod tracing;
 
 pub use chrome::{render_chrome_trace, render_span_tree, write_flight_jsonl};
@@ -36,6 +41,9 @@ pub use prometheus::render_prometheus;
 pub use registry::{
     BucketSnapshot, Counter, Gauge, Histogram, MetricSnapshot, MetricValue, Registry,
     RegistrySnapshot, SpanTimer,
+};
+pub use series::{
+    render_dashboard_html, render_sparkline, SeriesPoints, SeriesRing, SeriesSnapshot,
 };
 pub use tracing::{
     new_trace_id, register_flight_recorder, unix_nanos_of, Span, SpanContext, SpanId, SpanRecord,

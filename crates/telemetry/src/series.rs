@@ -1,0 +1,314 @@
+//! Fixed-capacity time-series rings for windowed metric history.
+//!
+//! Prometheus snapshots are point-in-time; `seer top` wants *trends* —
+//! is the miss-free hoard shrinking, is coverage improving since the
+//! last recluster? A [`SeriesRing`] keeps the last `capacity` samples of
+//! any named series (a counter's value, a gauge, a histogram quantile —
+//! the ring stores plain `f64`s and does not care which). Recording is a
+//! short critical section on a plain mutex: samples arrive at evaluator
+//! cadence (seconds apart), never on the per-event hot path.
+//!
+//! The serializable [`SeriesSnapshot`] travels over the wire inside
+//! quality responses and backs both the terminal sparklines
+//! ([`render_sparkline`]) and the standalone HTML dashboard export
+//! ([`render_dashboard_html`]).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// One named series: the most recent `capacity` samples, oldest first.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeriesPoints {
+    /// Series name, following metric naming conventions.
+    pub name: String,
+    /// Samples, oldest first. Length never exceeds the ring capacity.
+    pub points: Vec<f64>,
+}
+
+impl SeriesPoints {
+    /// Most recent sample, if any.
+    #[must_use]
+    pub fn last(&self) -> Option<f64> {
+        self.points.last().copied()
+    }
+
+    /// Change across the retained window: `last - first`. `None` until
+    /// two samples exist.
+    #[must_use]
+    pub fn delta(&self) -> Option<f64> {
+        match (self.points.first(), self.points.last()) {
+            (Some(a), Some(b)) if self.points.len() >= 2 => Some(b - a),
+            _ => None,
+        }
+    }
+}
+
+/// Serializable view of every series in a ring.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SeriesSnapshot {
+    /// Ring capacity (max points retained per series).
+    pub capacity: usize,
+    /// All series, sorted by name (BTreeMap iteration order).
+    pub series: Vec<SeriesPoints>,
+}
+
+impl SeriesSnapshot {
+    /// Looks up one series by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&SeriesPoints> {
+        self.series.iter().find(|s| s.name == name)
+    }
+}
+
+/// Fixed-capacity windowed history for any number of named series.
+///
+/// Names are registered implicitly on first [`record`](SeriesRing::record);
+/// each keeps an independent ring of the last `capacity` values.
+#[derive(Debug)]
+pub struct SeriesRing {
+    capacity: usize,
+    inner: Mutex<BTreeMap<String, VecDeque<f64>>>,
+}
+
+impl SeriesRing {
+    /// Creates a ring retaining up to `capacity` samples per series.
+    /// A capacity of zero disables recording entirely.
+    #[must_use]
+    pub fn new(capacity: usize) -> SeriesRing {
+        SeriesRing {
+            capacity,
+            inner: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Appends one sample to `name`'s ring, evicting the oldest sample
+    /// once the ring is full.
+    pub fn record(&self, name: &str, value: f64) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("series lock");
+        let ring = match inner.get_mut(name) {
+            Some(r) => r,
+            None => inner
+                .entry(name.to_string())
+                .or_insert_with(|| VecDeque::with_capacity(self.capacity)),
+        };
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(value);
+    }
+
+    /// Number of samples currently held for `name` (0 if unknown).
+    #[must_use]
+    pub fn len(&self, name: &str) -> usize {
+        self.inner
+            .lock()
+            .expect("series lock")
+            .get(name)
+            .map_or(0, VecDeque::len)
+    }
+
+    /// True when no series holds any sample.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().expect("series lock").is_empty()
+    }
+
+    /// Snapshots every series, oldest sample first, sorted by name.
+    #[must_use]
+    pub fn snapshot(&self) -> SeriesSnapshot {
+        let inner = self.inner.lock().expect("series lock");
+        SeriesSnapshot {
+            capacity: self.capacity,
+            series: inner
+                .iter()
+                .map(|(name, ring)| SeriesPoints {
+                    name: name.clone(),
+                    points: ring.iter().copied().collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Unicode block characters from lowest to highest.
+const SPARK_LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders samples as a one-line unicode sparkline, scaled to the
+/// min..max of the slice. A flat series renders as a run of the lowest
+/// block; an empty slice renders as an empty string. Non-finite samples
+/// render as spaces.
+#[must_use]
+pub fn render_sparkline(points: &[f64]) -> String {
+    let finite: Vec<f64> = points.iter().copied().filter(|v| v.is_finite()).collect();
+    let (min, max) = finite
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
+    let span = max - min;
+    points
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() {
+                ' '
+            } else if span <= 0.0 {
+                SPARK_LEVELS[0]
+            } else {
+                let idx = ((v - min) / span * 7.0).round() as usize;
+                SPARK_LEVELS[idx.min(7)]
+            }
+        })
+        .collect()
+}
+
+/// Renders a snapshot as a standalone HTML dashboard: one inline SVG
+/// polyline per series with its latest value and windowed delta. No
+/// external assets, no scripts — the file opens anywhere.
+#[must_use]
+pub fn render_dashboard_html(snapshot: &SeriesSnapshot, title: &str) -> String {
+    let mut out = String::new();
+    out.push_str("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n<title>");
+    out.push_str(&escape_html(title));
+    out.push_str(
+        "</title>\n<style>\n\
+         body{font-family:monospace;background:#111;color:#ddd;margin:2em}\n\
+         h1{font-size:1.2em}\n\
+         .card{margin:1em 0;padding:0.6em;border:1px solid #333;border-radius:4px}\n\
+         .name{color:#8cf}.val{color:#cf8;float:right}\n\
+         svg{display:block;width:100%;height:60px;margin-top:0.4em}\n\
+         polyline{fill:none;stroke:#8cf;stroke-width:1.5}\n\
+         </style></head><body>\n<h1>",
+    );
+    out.push_str(&escape_html(title));
+    out.push_str("</h1>\n");
+    for s in &snapshot.series {
+        let last = s.last().map_or_else(|| "-".into(), |v| format!("{v:.3}"));
+        let delta = s
+            .delta()
+            .map_or_else(String::new, |d| format!(" (Δ {d:+.3})"));
+        out.push_str("<div class=\"card\"><span class=\"name\">");
+        out.push_str(&escape_html(&s.name));
+        out.push_str("</span><span class=\"val\">");
+        out.push_str(&escape_html(&format!("{last}{delta}")));
+        out.push_str("</span>");
+        out.push_str(&svg_polyline(&s.points));
+        out.push_str("</div>\n");
+    }
+    out.push_str("</body></html>\n");
+    out
+}
+
+/// One series as an SVG polyline in a 0..100 × 0..60 viewBox.
+fn svg_polyline(points: &[f64]) -> String {
+    let finite: Vec<f64> = points.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.len() < 2 {
+        return "<svg viewBox=\"0 0 100 60\" preserveAspectRatio=\"none\"></svg>".into();
+    }
+    let (min, max) = finite
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
+    let span = (max - min).max(1e-12);
+    let n = points.len().max(2) - 1;
+    let coords: Vec<String> = points
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.is_finite())
+        .map(|(i, &v)| {
+            let x = i as f64 / n as f64 * 100.0;
+            let y = 55.0 - (v - min) / span * 50.0;
+            format!("{x:.1},{y:.1}")
+        })
+        .collect();
+    format!(
+        "<svg viewBox=\"0 0 100 60\" preserveAspectRatio=\"none\">\
+         <polyline points=\"{}\"/></svg>",
+        coords.join(" ")
+    )
+}
+
+/// Minimal HTML escaping for text nodes and attribute values.
+fn escape_html(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest_beyond_capacity() {
+        let ring = SeriesRing::new(3);
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            ring.record("x", v);
+        }
+        let snap = ring.snapshot();
+        let s = snap.get("x").expect("series x");
+        assert_eq!(s.points, vec![3.0, 4.0, 5.0]);
+        assert_eq!(s.last(), Some(5.0));
+        assert_eq!(s.delta(), Some(2.0));
+    }
+
+    #[test]
+    fn zero_capacity_disables_recording() {
+        let ring = SeriesRing::new(0);
+        ring.record("x", 1.0);
+        assert!(ring.is_empty());
+        assert_eq!(ring.len("x"), 0);
+    }
+
+    #[test]
+    fn snapshot_sorted_by_name_and_round_trips() {
+        let ring = SeriesRing::new(8);
+        ring.record("zeta", 1.0);
+        ring.record("alpha", 2.0);
+        ring.record("alpha", 3.0);
+        let snap = ring.snapshot();
+        let names: Vec<&str> = snap.series.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+        let json = serde_json::to_string(&snap).expect("serialize");
+        let back: SeriesSnapshot = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn sparkline_scales_to_range() {
+        assert_eq!(render_sparkline(&[]), "");
+        assert_eq!(render_sparkline(&[5.0, 5.0, 5.0]), "▁▁▁");
+        let line = render_sparkline(&[0.0, 3.5, 7.0]);
+        assert_eq!(line.chars().count(), 3);
+        assert!(line.starts_with('▁') && line.ends_with('█'));
+        // Non-finite samples degrade to blanks, not panics.
+        assert_eq!(render_sparkline(&[f64::NAN, 1.0]).chars().next(), Some(' '));
+    }
+
+    #[test]
+    fn dashboard_html_lists_every_series() {
+        let ring = SeriesRing::new(4);
+        ring.record("seer_quality_coverage", 0.5);
+        ring.record("seer_quality_coverage", 0.75);
+        ring.record("lru<cov>", 0.25);
+        let html = render_dashboard_html(&ring.snapshot(), "seer quality");
+        assert!(html.contains("seer_quality_coverage"));
+        assert!(html.contains("lru&lt;cov&gt;"), "names are escaped");
+        assert!(html.contains("<polyline"));
+        assert!(html.contains("Δ +0.250"));
+    }
+
+    #[test]
+    fn delta_needs_two_samples() {
+        let ring = SeriesRing::new(4);
+        ring.record("x", 9.0);
+        let snap = ring.snapshot();
+        assert_eq!(snap.get("x").expect("x").delta(), None);
+    }
+}

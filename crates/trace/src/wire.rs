@@ -33,12 +33,21 @@ use std::io::{BufRead, Write};
 /// that cannot be honored answer with [`QueryResponse::Error`] in-band
 /// instead of tearing down the connection. Purely additive: v2/v3
 /// clients never send `History` and never see the new responses.
-pub const WIRE_VERSION: u32 = 4;
+///
+/// v5: the quality observability plane. An `Explain` query returns
+/// per-file decision provenance (rank, clusters, strongest semantic
+/// neighbors with evidence counts), a `Quality` query returns the live
+/// evaluator's [`QualityReport`] (SEER vs shadow-LRU miss-free size,
+/// coverage, time-to-first-miss) plus its time-series history, and a
+/// `Miss` query returns recorded [`MissPostmortem`]s. Purely additive:
+/// older clients never send the new queries and never see the new
+/// responses.
+pub const WIRE_VERSION: u32 = 5;
 
 /// The oldest client revision the daemon still accepts: v2 differs only
 /// by the absence of later, purely additive frames (trace stamps and the
-/// `Dump` query from v3, `History` from v4), all of which degrade
-/// gracefully.
+/// `Dump` query from v3, `History` from v4, the quality-plane queries
+/// from v5), all of which degrade gracefully.
 pub const MIN_WIRE_VERSION: u32 = 2;
 
 /// A frame sent from a client to the daemon.
@@ -132,6 +141,141 @@ pub enum QueryRequest {
         /// Byte budget for the as-of hoard selection.
         budget: u64,
     },
+    /// Explain why SEER ranked one file where it did: its hoard rank,
+    /// cluster memberships, and strongest semantic-distance neighbors
+    /// with their evidence counts.
+    Explain {
+        /// Canonical path of the file to explain.
+        path: String,
+    },
+    /// Report the live quality evaluator's latest [`QualityReport`]
+    /// (SEER vs shadow-LRU) together with its time-series history.
+    Quality,
+    /// Fetch recorded miss postmortems: all of them (`id: None`) or one
+    /// by id.
+    Miss {
+        /// Postmortem id to fetch, or `None` for every retained one.
+        id: Option<u64>,
+    },
+}
+
+impl QueryRequest {
+    /// Canonical lowercase names of every query, in declaration order.
+    /// The CLI derives its help text and its "unknown query" message
+    /// from this table so neither can go stale as queries are added.
+    pub const NAMES: [&'static str; 10] = [
+        "hoard", "clusters", "stats", "metrics", "health", "dump", "history", "explain", "quality",
+        "miss",
+    ];
+
+    /// The canonical name of this query (an entry of [`Self::NAMES`]).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            QueryRequest::Hoard { .. } => "hoard",
+            QueryRequest::Clusters { .. } => "clusters",
+            QueryRequest::Stats => "stats",
+            QueryRequest::Metrics => "metrics",
+            QueryRequest::Health => "health",
+            QueryRequest::Dump => "dump",
+            QueryRequest::History { .. } => "history",
+            QueryRequest::Explain { .. } => "explain",
+            QueryRequest::Quality => "quality",
+            QueryRequest::Miss { .. } => "miss",
+        }
+    }
+}
+
+/// One scored semantic-distance neighbor in an explanation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExplainNeighbor {
+    /// Canonical path of the neighbor.
+    pub path: String,
+    /// Semantic distance under the engine's configured reduction
+    /// (smaller = more related).
+    pub distance: f64,
+    /// Evidence count: how many reference observations contributed to
+    /// the pair's streaming summary.
+    pub evidence: u32,
+}
+
+/// The live quality evaluator's answer: how good is the hoard right
+/// now, measured exactly as the paper measures it offline — miss-free
+/// hoard size (§5.1.2) against a trailing simulated-disconnection
+/// window — for SEER's ranking and for the shadow LRU baseline.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct QualityReport {
+    /// Events applied when the evaluated snapshot was frozen.
+    pub generation: u64,
+    /// Generation of the clustering the SEER ranking used.
+    pub clustering_generation: u64,
+    /// Simulated-disconnection window length, in trace seconds.
+    pub window_secs: u64,
+    /// Hoard byte budget used for coverage-at-budget.
+    pub budget: u64,
+    /// Files referenced inside the trailing window (the needed set).
+    pub needed_files: usize,
+    /// Total bytes of the needed set (the lower bound on any miss-free
+    /// hoard).
+    pub working_set_bytes: u64,
+    /// Smallest hoard, following SEER's ranking, with zero misses over
+    /// the window.
+    pub seer_missfree_bytes: u64,
+    /// Needed files SEER's ranking does not rank at all.
+    pub seer_uncovered: usize,
+    /// Smallest miss-free hoard following the shadow LRU's ranking.
+    pub lru_missfree_bytes: u64,
+    /// Needed files the shadow LRU has no recency record for.
+    pub lru_uncovered: usize,
+    /// Fraction of needed files inside SEER's budget-limited hoard.
+    pub seer_coverage: f64,
+    /// Fraction of needed files inside the LRU budget-limited hoard.
+    pub lru_coverage: f64,
+    /// Had a disconnection started a window ago with SEER's
+    /// budget-limited hoard, trace seconds until its first miss
+    /// (`None`: the hoard would have survived the whole window).
+    pub seer_first_miss_secs: Option<u64>,
+    /// Time to first miss for the LRU budget-limited hoard.
+    pub lru_first_miss_secs: Option<u64>,
+    /// Recorded hoard misses by severity code 0..=4 (§4.4's five-point
+    /// scale; index = code).
+    pub misses_by_severity: Vec<u64>,
+    /// Misses recorded automatically (implied severity).
+    pub auto_misses: u64,
+    /// Evaluator passes completed since the daemon started.
+    pub evals: u64,
+}
+
+/// Provenance captured at the moment a hoard miss was recorded: enough
+/// to reconstruct *why* the file was outside the hoard after the engine
+/// has moved on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MissPostmortem {
+    /// Stable id (monotonic per daemon lifetime), for `query miss <id>`.
+    pub id: u64,
+    /// Canonical path of the missed file.
+    pub path: String,
+    /// WAL generation (events applied) when the miss was recorded —
+    /// feed it to a `History` query to replay the hoard as of the miss.
+    pub generation: u64,
+    /// Generation of the clustering in force at the miss.
+    pub clustering_generation: u64,
+    /// Trace time of the miss, in seconds.
+    pub time_secs: u64,
+    /// Severity code 0..=4 when graded, `None` for ungraded misses.
+    pub severity: Option<u8>,
+    /// Whether the miss was detected automatically (implied severity)
+    /// rather than reported by the user.
+    pub auto: bool,
+    /// The file's position in SEER's ranking at capture time, 0-based
+    /// (`None`: not ranked at all).
+    pub rank: Option<usize>,
+    /// Total ranked files at capture time, for context.
+    pub ranked: usize,
+    /// Cluster memberships at capture: `(cluster id, member count)`.
+    pub clusters: Vec<(u32, usize)>,
+    /// Strongest semantic neighbors at capture.
+    pub neighbors: Vec<ExplainNeighbor>,
 }
 
 /// A frame sent from the daemon to a client.
@@ -253,6 +397,42 @@ pub enum QueryResponse {
         clusters: usize,
         /// Canonical paths known to the engine at that generation.
         files_known: usize,
+    },
+    /// Decision provenance for [`QueryRequest::Explain`].
+    Explain {
+        /// The canonical path explained.
+        path: String,
+        /// Position in SEER's hoard ranking, 0-based (`None`: unranked).
+        rank: Option<usize>,
+        /// Total files in the ranking.
+        ranked: usize,
+        /// Whether the file is pinned by the always-hoard set.
+        always_hoard: bool,
+        /// Trace time of the file's most recent reference, in seconds.
+        last_ref_secs: Option<u64>,
+        /// Total references observed for the file.
+        ref_count: u64,
+        /// Cluster memberships: `(cluster id, member count)`.
+        clusters: Vec<(u32, usize)>,
+        /// Strongest semantic neighbors, closest first.
+        neighbors: Vec<ExplainNeighbor>,
+        /// Events applied when the served clustering was computed.
+        generation: u64,
+        /// Whether events have been applied since that clustering.
+        stale: bool,
+    },
+    /// Live quality report for [`QueryRequest::Quality`].
+    Quality {
+        /// The evaluator's most recent report.
+        report: QualityReport,
+        /// Windowed history of the quality series, for sparklines and
+        /// dashboard export.
+        series: seer_telemetry::SeriesSnapshot,
+    },
+    /// Retained postmortems for [`QueryRequest::Miss`], oldest first.
+    Misses {
+        /// The matching postmortems (all retained, or the requested id).
+        postmortems: Vec<MissPostmortem>,
     },
     /// The query could not be answered (e.g. `History` without a WAL, or
     /// a generation compaction has discarded). In-band so one failed
@@ -394,6 +574,20 @@ mod tests {
                 },
                 trace_id: Some(9),
             },
+            ClientFrame::Query {
+                query: QueryRequest::Explain {
+                    path: "/home/u/proj/main.c".into(),
+                },
+                trace_id: None,
+            },
+            ClientFrame::Query {
+                query: QueryRequest::Quality,
+                trace_id: None,
+            },
+            ClientFrame::Query {
+                query: QueryRequest::Miss { id: Some(3) },
+                trace_id: None,
+            },
             ClientFrame::Shutdown,
         ];
         let mut buf = Vec::new();
@@ -484,6 +678,70 @@ mod tests {
                 },
             },
             DaemonFrame::Answer {
+                response: QueryResponse::Explain {
+                    path: "/home/u/proj/main.c".into(),
+                    rank: Some(2),
+                    ranked: 40,
+                    always_hoard: false,
+                    last_ref_secs: Some(86_400),
+                    ref_count: 17,
+                    clusters: vec![(0, 5), (3, 2)],
+                    neighbors: vec![ExplainNeighbor {
+                        path: "/home/u/proj/main.h".into(),
+                        distance: 1.5,
+                        evidence: 12,
+                    }],
+                    generation: 321,
+                    stale: false,
+                },
+            },
+            DaemonFrame::Answer {
+                response: QueryResponse::Quality {
+                    report: QualityReport {
+                        generation: 321,
+                        clustering_generation: 300,
+                        window_secs: 86_400,
+                        budget: 1 << 20,
+                        needed_files: 12,
+                        working_set_bytes: 12_288,
+                        seer_missfree_bytes: 13_312,
+                        seer_uncovered: 0,
+                        lru_missfree_bytes: 20_480,
+                        lru_uncovered: 1,
+                        seer_coverage: 1.0,
+                        lru_coverage: 0.75,
+                        seer_first_miss_secs: None,
+                        lru_first_miss_secs: Some(3_600),
+                        misses_by_severity: vec![0, 1, 0, 2, 0],
+                        auto_misses: 3,
+                        evals: 7,
+                    },
+                    series: {
+                        let ring = seer_telemetry::SeriesRing::new(4);
+                        ring.record("seer_quality_seer_coverage", 0.5);
+                        ring.record("seer_quality_seer_coverage", 1.0);
+                        ring.snapshot()
+                    },
+                },
+            },
+            DaemonFrame::Answer {
+                response: QueryResponse::Misses {
+                    postmortems: vec![MissPostmortem {
+                        id: 1,
+                        path: "/home/u/proj/notes.txt".into(),
+                        generation: 200,
+                        clustering_generation: 150,
+                        time_secs: 7_200,
+                        severity: Some(3),
+                        auto: true,
+                        rank: Some(38),
+                        ranked: 40,
+                        clusters: vec![(2, 4)],
+                        neighbors: vec![],
+                    }],
+                },
+            },
+            DaemonFrame::Answer {
                 response: QueryResponse::Error {
                     message: "history unavailable: daemon is running without a WAL".into(),
                 },
@@ -528,6 +786,37 @@ mod tests {
                 trace_id: None,
             }
         );
+    }
+
+    /// The shared name table must stay in lockstep with the enum: every
+    /// variant's name appears in [`QueryRequest::NAMES`], and the table
+    /// holds nothing else.
+    #[test]
+    fn query_name_table_covers_every_variant() {
+        let all = [
+            QueryRequest::Hoard {
+                budget: 0,
+                fresh: false,
+            },
+            QueryRequest::Clusters { fresh: false },
+            QueryRequest::Stats,
+            QueryRequest::Metrics,
+            QueryRequest::Health,
+            QueryRequest::Dump,
+            QueryRequest::History {
+                generation: 0,
+                budget: 0,
+            },
+            QueryRequest::Explain {
+                path: String::new(),
+            },
+            QueryRequest::Quality,
+            QueryRequest::Miss { id: None },
+        ];
+        assert_eq!(all.len(), QueryRequest::NAMES.len());
+        for (q, &name) in all.iter().zip(QueryRequest::NAMES.iter()) {
+            assert_eq!(q.name(), name, "table order matches declaration order");
+        }
     }
 
     #[test]
