@@ -1,0 +1,79 @@
+//! Microbenchmarks for the neighbor-table row update — the single hottest
+//! call in the ingest path (one [`NeighborTable::observe`] per distance
+//! observation, ~4 per trace event on desktop workloads).
+//!
+//! Three regimes bracket the real cost:
+//!
+//! - `existing_hot`: repeated updates to one cache-resident row — the pure
+//!   ALU cost of the find-and-fold path.
+//! - `existing_cold`: updates scattered over thousands of rows — adds the
+//!   cache-miss cost of real table sizes (§5.3 reports ~10k tracked files).
+//! - `full_row_reject`: a far candidate probing a full row — the worst-case
+//!   priority scan (deletion scan, then max-distance scan over all n).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use seer_distance::{NeighborTable, ReductionKind};
+use seer_trace::FileId;
+
+const N: usize = 20;
+
+fn full_table(rows: u32) -> NeighborTable {
+    let mut t = NeighborTable::new(N, ReductionKind::Geometric, 1_000_000, 100, 42);
+    for i in 0..rows {
+        for k in 0..N as u32 {
+            let to = (i + 1 + k) % rows.max(2);
+            t.observe(FileId(i), FileId(to), f64::from(k % 7));
+        }
+    }
+    t
+}
+
+fn bench_existing_hot(c: &mut Criterion) {
+    let mut t = full_table(64);
+    c.bench_function("table_update/existing_hot", |b| {
+        b.iter(|| {
+            // Entry 10 of row 3 exists (to = 3 + 1 + 10 = 14).
+            std::hint::black_box(t.observe(FileId(3), FileId(14), 3.0));
+        });
+    });
+}
+
+fn bench_existing_cold(c: &mut Criterion) {
+    const ROWS: u32 = 8_192;
+    let mut t = full_table(ROWS);
+    // Pseudo-random row order defeats the prefetcher the same way real
+    // reference streams do.
+    let order: Vec<u32> = (0..ROWS)
+        .map(|i| (i.wrapping_mul(2_654_435_761)) % ROWS)
+        .collect();
+    let mut cursor = 0usize;
+    c.bench_function("table_update/existing_cold", |b| {
+        b.iter(|| {
+            let i = order[cursor];
+            cursor = (cursor + 1) % order.len();
+            let to = (i + 1 + 10) % ROWS;
+            std::hint::black_box(t.observe(FileId(i), FileId(to), 3.0));
+        });
+    });
+}
+
+fn bench_full_row_reject(c: &mut Criterion) {
+    // A rejected candidate leaves the table unchanged, so one table serves
+    // every iteration.
+    let mut t = full_table(64);
+    c.bench_function("table_update/full_row_reject", |b| {
+        b.iter(|| {
+            // Candidate distance far above every stored entry: walks
+            // priority 1 and 2 in full, then rejects.
+            std::hint::black_box(t.observe(FileId(3), FileId(60), 1.0e6));
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_existing_hot,
+    bench_existing_cold,
+    bench_full_row_reject
+);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Layered per-event cost breakdown: observer alone, observer + distance,
+//! and the full engine, over the machine-F 90-day workload. Reports the
+//! minimum of several passes to suppress scheduler noise.
+
+use seer_core::SeerEngine;
+use seer_distance::{DistanceConfig, DistanceEngine};
+use seer_observer::{Observer, ObserverConfig, Reference, ReferenceSink};
+use seer_trace::{EventSink, PathTable};
+use seer_workload::{generate, MachineProfile};
+use std::time::Instant;
+
+struct Null(u64);
+impl ReferenceSink for Null {
+    fn on_reference(&mut self, _r: &Reference, _paths: &PathTable) {
+        self.0 += 1;
+    }
+}
+
+const PASSES: usize = 5;
+
+fn main() {
+    let profile = MachineProfile {
+        days: 90,
+        ..MachineProfile::by_name("F").expect("F")
+    };
+    let workload = generate(&profile, 9);
+    let n = workload.trace.len() as f64;
+
+    let mut best = f64::INFINITY;
+    for _ in 0..PASSES {
+        let mut obs = Observer::new(ObserverConfig::default(), Null(0));
+        let t = Instant::now();
+        for ev in &workload.trace.events {
+            obs.on_event(ev, &workload.trace.strings);
+        }
+        best = best.min(t.elapsed().as_secs_f64() * 1e6 / n);
+    }
+    println!("observer+null:     {best:.3} us/event");
+
+    let mut best = f64::INFINITY;
+    let mut n_obs = 0;
+    for _ in 0..PASSES {
+        let mut obs = Observer::new(
+            ObserverConfig::default(),
+            DistanceEngine::new(DistanceConfig::default()),
+        );
+        let t = Instant::now();
+        for ev in &workload.trace.events {
+            obs.on_event(ev, &workload.trace.strings);
+        }
+        best = best.min(t.elapsed().as_secs_f64() * 1e6 / n);
+        n_obs = obs.sink().stats().observations;
+    }
+    println!(
+        "observer+distance: {best:.3} us/event (obs/event={:.1})",
+        n_obs as f64 / n
+    );
+
+    let mut best = f64::INFINITY;
+    for _ in 0..PASSES {
+        let mut engine = SeerEngine::default();
+        let t = Instant::now();
+        for ev in &workload.trace.events {
+            engine.on_event(ev, &workload.trace.strings);
+        }
+        best = best.min(t.elapsed().as_secs_f64() * 1e6 / n);
+    }
+    println!("full engine:       {best:.3} us/event");
+}

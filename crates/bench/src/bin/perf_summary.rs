@@ -25,13 +25,25 @@ fn main() {
     let n_events = workload.trace.len();
     println!("workload: machine F, 90 days, {n_events} events");
 
+    // Steady-state per-event cost: best of five replays on fresh
+    // engines. A single cold pass is dominated by first-touch page
+    // faults and allocator growth rather than the per-event work the
+    // paper's figure describes; the minimum suppresses scheduler noise.
+    const PASSES: usize = 5;
+    let mut per_event_us = f64::INFINITY;
     let mut engine = SeerEngine::default();
-    let t0 = Instant::now();
-    for ev in &workload.trace.events {
-        engine.on_event(ev, &workload.trace.strings);
+    for pass in 0..PASSES {
+        let mut fresh = SeerEngine::default();
+        let t0 = Instant::now();
+        for ev in &workload.trace.events {
+            fresh.on_event(ev, &workload.trace.strings);
+        }
+        let us = t0.elapsed().as_secs_f64() * 1e6 / n_events as f64;
+        per_event_us = per_event_us.min(us);
+        if pass == PASSES - 1 {
+            engine = fresh;
+        }
     }
-    let observe = t0.elapsed();
-    let per_event_us = observe.as_secs_f64() * 1e6 / n_events as f64;
 
     let n_files = engine.paths().len();
     let table = engine.correlator().distance().table();

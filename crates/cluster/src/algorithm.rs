@@ -5,10 +5,41 @@ use crate::relation::ExternalRelation;
 use crate::result::Clustering;
 use crate::shared::SharedNeighborCounter;
 use crate::unionfind::UnionFind;
-use seer_distance::{ClusterView, NeighborTable};
+use seer_distance::{ClusterView, NeighborTable, TableDirty};
 use seer_trace::{FileId, PathTable};
 use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
+
+/// Pre-relation adjusted pair counts carried between consecutive
+/// reclusterings, plus the context they were computed under.
+///
+/// [`cluster_view_incremental`] reuses the cached counts when the
+/// exclusion set and configuration still match and the caller supplies
+/// the rows whose neighbor membership changed since the cache was built;
+/// only pairs touching a dirty row are then recounted. The cache holds
+/// *raw* adjusted counts — investigator relations are overlaid per run
+/// and never persisted, so a relation added or removed between runs
+/// cannot poison the baseline.
+#[derive(Debug, Default, Clone)]
+pub struct PairCountCache {
+    counts: HashMap<(FileId, FileId), f64>,
+    exclude: Vec<FileId>,
+    config: ClusterConfig,
+}
+
+impl PairCountCache {
+    /// Directed pairs currently cached.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether the cache holds no pairs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+}
 
 /// Clusters from explicit candidate pairs with precomputed (already
 /// adjusted) shared-neighbor counts.
@@ -117,6 +148,9 @@ pub struct ClusterRun {
     /// computation — with [`ClusterRun::shard_count_seconds`], enough to
     /// place every shard on a trace timeline.
     pub shard_start_offsets: Vec<Duration>,
+    /// Whether the counting phase reused a [`PairCountCache`] and only
+    /// recounted dirty pairs (as opposed to a full recount).
+    pub incremental: bool,
 }
 
 /// Full clustering pipeline over a frozen [`ClusterView`], with the
@@ -138,33 +172,155 @@ pub fn cluster_view_excluding(
     config: &ClusterConfig,
     threads: usize,
 ) -> ClusterRun {
+    cluster_view_incremental(
+        view, paths, relations, exclude, config, threads, None, &mut None,
+    )
+}
+
+/// [`cluster_view_excluding`] with incremental shared-neighbor
+/// maintenance across consecutive runs.
+///
+/// `cache` carries the pre-relation pair counts from the previous call;
+/// `dirty` lists the rows whose neighbor membership changed since that
+/// call (from [`seer_distance::NeighborTable::take_dirty`], drained at
+/// the same moment `view` was captured). When the cache is valid — same
+/// configuration, no structural change (snapshot restore) — only pairs
+/// touching a dirty row are recounted: a dirty *first* endpoint
+/// invalidates its whole row (pairs may have appeared or vanished), a
+/// dirty *second* endpoint keeps the pair but refreshes its count.
+/// Exclusion-set changes fold into the delta (the flipped files plus
+/// every row whose raw targets mention one); file deaths arrive
+/// pre-folded the same way from the table's purge path. Everything else
+/// falls back to the sharded full recount.
+///
+/// Either way the result is **bit-identical** to
+/// [`cluster_view_excluding`] on the same view: unchanged pairs reuse a
+/// count that identical inputs would reproduce exactly, and the sorted
+/// pair order into the combine/overlap phases is the same. On return
+/// `cache` holds the baseline for the next call.
+#[allow(clippy::too_many_arguments)]
+#[must_use]
+pub fn cluster_view_incremental(
+    view: &ClusterView,
+    paths: &PathTable,
+    relations: &[ExternalRelation],
+    exclude: &HashSet<FileId>,
+    config: &ClusterConfig,
+    threads: usize,
+    dirty: Option<&TableDirty>,
+    cache: &mut Option<PairCountCache>,
+) -> ClusterRun {
     let counter = SharedNeighborCounter::from_view_excluding(view, exclude);
-    let (mut counts, shard_count_seconds, shard_start_offsets) =
-        count_pairs_sharded(&counter, paths, config, threads);
+    let mut exclude_sorted: Vec<FileId> = exclude.iter().copied().collect();
+    exclude_sorted.sort_unstable();
+    let reusable = matches!(
+        (dirty, cache.as_ref()),
+        (Some(d), Some(c)) if !d.structural && c.config == *config
+    );
+    let (counts, shard_count_seconds, shard_start_offsets, incremental) = if reusable {
+        let d = dirty.expect("reusable implies dirty");
+        let cached = cache.take().expect("reusable implies cache");
+        let mut counts = cached.counts;
+        let started = Instant::now();
+        let mut dirty_rows: HashSet<FileId> = d.rows.iter().copied().collect();
+        // An exclusion-set change (§4.2 frequency threshold crossings) is
+        // itself a precise row delta: the files whose excluded status
+        // flipped, plus every row whose raw targets mention one — those
+        // are exactly the neighbor sets whose membership moves.
+        let (old, new) = (&cached.exclude, &exclude_sorted);
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut flipped: Vec<FileId> = Vec::new();
+        while i < old.len() && j < new.len() {
+            match old[i].cmp(&new[j]) {
+                std::cmp::Ordering::Less => {
+                    flipped.push(old[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    flipped.push(new[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        flipped.extend_from_slice(&old[i..]);
+        flipped.extend_from_slice(&new[j..]);
+        if !flipped.is_empty() {
+            dirty_rows.extend(flipped.iter().copied());
+            for (f, targets) in view.rows() {
+                if targets.iter().any(|t| flipped.binary_search(t).is_ok()) {
+                    dirty_rows.insert(*f);
+                }
+            }
+        }
+        // A dirty first endpoint invalidates the whole row: drop its
+        // pairs and recount the row from scratch below.
+        counts.retain(|&(a, _), _| !dirty_rows.contains(&a));
+        // A dirty second endpoint leaves the pair in place (the first
+        // row's membership is unchanged) but moves its shared count.
+        let stale: Vec<(FileId, FileId)> = counts
+            .keys()
+            .filter(|&&(_, b)| dirty_rows.contains(&b))
+            .copied()
+            .collect();
+        for (a, b) in stale {
+            counts.insert((a, b), adjusted_count(&counter, paths, config, a, b));
+        }
+        let mut local = Vec::new();
+        for &a in &dirty_rows {
+            count_row(&counter, paths, config, a, &mut local);
+        }
+        counts.extend(local);
+        (counts, vec![started.elapsed()], vec![Duration::ZERO], true)
+    } else {
+        let (counts, secs, offsets) = count_pairs_sharded(&counter, paths, config, threads);
+        (counts, secs, offsets, false)
+    };
     // Investigator relations are tested regardless of whether a semantic
-    // distance was independently stored (§3.3.3).
+    // distance was independently stored (§3.3.3). They overlay the raw
+    // counts rather than mutating them, so the cached baseline stays
+    // relation-free; chained relations on one pair compound through the
+    // overlay exactly as sequential inserts would.
+    let mut overlay: HashMap<(FileId, FileId), f64> = HashMap::new();
     for rel in relations {
         for (a, b) in rel.pairs() {
-            let base = counts
+            let base = overlay
                 .get(&(a, b))
+                .or_else(|| counts.get(&(a, b)))
                 .copied()
                 .unwrap_or_else(|| adjusted_count(&counter, paths, config, a, b));
             let adjusted = base + rel.strength;
             // A sufficiently strong relation forces combination outright.
             let forced = rel.strength >= config.force_strength;
-            counts.insert((a, b), if forced { f64::INFINITY } else { adjusted });
+            overlay.insert((a, b), if forced { f64::INFINITY } else { adjusted });
         }
     }
-    let mut pairs: Vec<(FileId, FileId, f64)> =
-        counts.into_iter().map(|((a, b), c)| (a, b, c)).collect();
+    let mut pairs: Vec<(FileId, FileId, f64)> = counts
+        .iter()
+        .map(|(&(a, b), &c)| (a, b, overlay.get(&(a, b)).copied().unwrap_or(c)))
+        .collect();
+    for (&(a, b), &c) in &overlay {
+        if !counts.contains_key(&(a, b)) {
+            pairs.push((a, b, c));
+        }
+    }
     // Deterministic order into the combine/overlap phases: the serial and
     // every parallel schedule see the same sequence.
     pairs.sort_unstable_by_key(|&(a, b, _)| (a, b));
     let universe = counter.all_files();
+    *cache = Some(PairCountCache {
+        counts,
+        exclude: exclude_sorted,
+        config: *config,
+    });
     ClusterRun {
         clustering: cluster_from_counts(&pairs, &universe, config),
         shard_count_seconds,
         shard_start_offsets,
+        incremental,
     }
 }
 
@@ -464,6 +620,181 @@ mod tests {
         // The table-based entry point is the same computation.
         let table_path = cluster_files_excluding(&t, &paths, &[rel], &exclude, &config);
         assert_eq!(table_path.clusters, serial.clustering.clusters);
+    }
+
+    /// Incremental maintenance across a stream of table mutations is
+    /// bit-identical to a full recount at every step, falls back to a
+    /// full recount on structural change or a changed exclusion set,
+    /// and actually takes the incremental path in between.
+    #[test]
+    fn incremental_maintenance_matches_full_recount() {
+        use seer_distance::{DistanceConfig, NeighborTable};
+        let dc = DistanceConfig::default();
+        let mut t = NeighborTable::new(
+            dc.n_neighbors,
+            dc.reduction,
+            dc.aging_refs,
+            dc.deletion_delay,
+            dc.seed,
+        );
+        let mut paths = PathTable::new();
+        for p in 0..4u32 {
+            for i in 0..10u32 {
+                paths.intern(&format!("/proj{p}/f{i}.c"));
+            }
+        }
+        let mut exclude: HashSet<FileId> = [FileId(3)].into_iter().collect();
+        let config = ClusterConfig::default();
+        let mut cache = None;
+        let observe_round = |t: &mut NeighborTable, round: u32| {
+            for p in 0..4u32 {
+                let base = p * 10;
+                for i in 0..10u32 {
+                    let j = (i + round + 1) % 10;
+                    if i != j {
+                        t.observe(
+                            FileId(base + i),
+                            FileId(base + j),
+                            f64::from((i + j + round) % 6) + 0.5,
+                        );
+                    }
+                }
+            }
+            // Cross-project traffic so rows bridge partitions.
+            t.observe(FileId(round % 40), FileId((round * 7 + 13) % 40), 8.0);
+        };
+        // Establish a baseline (first call has no cache: full recount).
+        observe_round(&mut t, 0);
+        let d0 = t.take_dirty();
+        let first = cluster_view_incremental(
+            &t.cluster_view(),
+            &paths,
+            &[],
+            &exclude,
+            &config,
+            1,
+            Some(&d0),
+            &mut cache,
+        );
+        assert!(!first.incremental, "no cache yet: full recount");
+        // Several incremental rounds, each checked against a full
+        // recount of the same view.
+        for round in 1..5u32 {
+            observe_round(&mut t, round);
+            let dirty = t.take_dirty();
+            let view = t.cluster_view();
+            let inc = cluster_view_incremental(
+                &view,
+                &paths,
+                &[],
+                &exclude,
+                &config,
+                1,
+                Some(&dirty),
+                &mut cache,
+            );
+            assert!(inc.incremental, "round {round} should reuse the cache");
+            let full = cluster_view_excluding(&view, &paths, &[], &exclude, &config, 1);
+            assert_eq!(
+                inc.clustering.clusters, full.clustering.clusters,
+                "round {round} diverged from the full recount"
+            );
+        }
+        // Relations overlay both paths identically and never poison the
+        // cached baseline.
+        let rel = ExternalRelation::new(vec![FileId(0), FileId(35)], 4.0);
+        observe_round(&mut t, 5);
+        let dirty = t.take_dirty();
+        let view = t.cluster_view();
+        let rels = std::slice::from_ref(&rel);
+        let inc = cluster_view_incremental(
+            &view,
+            &paths,
+            rels,
+            &exclude,
+            &config,
+            1,
+            Some(&dirty),
+            &mut cache,
+        );
+        assert!(inc.incremental);
+        let full = cluster_view_excluding(&view, &paths, rels, &exclude, &config, 1);
+        assert_eq!(inc.clustering.clusters, full.clustering.clusters);
+        let no_rel = cluster_view_incremental(
+            &view,
+            &paths,
+            &[],
+            &exclude,
+            &config,
+            1,
+            Some(&TableDirty::default()),
+            &mut cache,
+        );
+        assert!(no_rel.incremental, "relation overlay left the cache clean");
+        // A changed exclusion set folds into the delta instead of
+        // invalidating the cache.
+        exclude.insert(FileId(5));
+        let dirty = t.take_dirty();
+        let view = t.cluster_view();
+        let inc = cluster_view_incremental(
+            &view,
+            &paths,
+            &[],
+            &exclude,
+            &config,
+            1,
+            Some(&dirty),
+            &mut cache,
+        );
+        assert!(
+            inc.incremental,
+            "exclusion change is absorbed incrementally"
+        );
+        let full = cluster_view_excluding(&view, &paths, &[], &exclude, &config, 1);
+        assert_eq!(inc.clustering.clusters, full.clustering.clusters);
+        // Un-excluding restores the original pairs, still incrementally.
+        exclude.remove(&FileId(5));
+        let dirty = t.take_dirty();
+        let view = t.cluster_view();
+        let inc = cluster_view_incremental(
+            &view,
+            &paths,
+            &[],
+            &exclude,
+            &config,
+            1,
+            Some(&dirty),
+            &mut cache,
+        );
+        assert!(inc.incremental, "un-exclusion is absorbed incrementally");
+        let full = cluster_view_excluding(&view, &paths, &[], &exclude, &config, 1);
+        assert_eq!(inc.clustering.clusters, full.clustering.clusters);
+        // A file death stays on the incremental path: the purge marks the
+        // dead row plus every row that listed it, and the cached counts
+        // absorb the delta. Mark once, then advance the deletion tick past
+        // the delay with other names (re-marking 17 would only refresh its
+        // own tick).
+        t.note_deletion(FileId(17));
+        for k in 0..=dc.deletion_delay {
+            t.note_deletion(FileId(900 + u32::try_from(k).unwrap()));
+        }
+        let dirty = t.take_dirty();
+        assert!(!dirty.structural, "a purge is a precise row delta");
+        assert!(dirty.rows.contains(&FileId(17)), "the dead row goes dirty");
+        let view = t.cluster_view();
+        let inc = cluster_view_incremental(
+            &view,
+            &paths,
+            &[],
+            &exclude,
+            &config,
+            1,
+            Some(&dirty),
+            &mut cache,
+        );
+        assert!(inc.incremental, "a purge is absorbed incrementally");
+        let full = cluster_view_excluding(&view, &paths, &[], &exclude, &config, 1);
+        assert_eq!(inc.clustering.clusters, full.clustering.clusters);
     }
 
     #[test]

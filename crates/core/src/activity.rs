@@ -3,7 +3,6 @@
 
 use seer_observer::{RefKind, Reference, ReferenceSink};
 use seer_trace::{FileId, PathTable, Seq, Timestamp};
-use std::collections::HashMap;
 
 /// Most recent reference per file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -21,10 +20,22 @@ pub struct LastRef {
 ///
 /// SEER's project priorities derive from member recency; the strict-LRU
 /// baseline of §5.1.2 sorts files by exactly this record.
+///
+/// Records live in a dense vector indexed by [`FileId`] (a slot with
+/// `count == 0` is untracked), so the per-reference update is an indexed
+/// store rather than a hash-map probe.
 #[derive(Debug, Default, Clone)]
 pub struct ActivityTracker {
-    last: HashMap<FileId, LastRef>,
+    last: Vec<LastRef>,
+    tracked: usize,
 }
+
+/// The empty slot value: `count == 0` marks a file never referenced.
+const UNTRACKED: LastRef = LastRef {
+    seq: Seq(0),
+    time: Timestamp(0),
+    count: 0,
+};
 
 impl ActivityTracker {
     /// Creates an empty tracker.
@@ -36,56 +47,92 @@ impl ActivityTracker {
     /// Records a reference directly (used by replay paths that bypass the
     /// sink interface).
     pub fn record(&mut self, file: FileId, seq: Seq, time: Timestamp) {
-        let e = self.last.entry(file).or_insert(LastRef {
-            seq,
-            time,
-            count: 0,
-        });
-        e.seq = seq.max(e.seq);
-        e.time = time.max(e.time);
+        if file == FileId::NONE {
+            return;
+        }
+        let i = file.index();
+        if self.last.len() <= i {
+            self.last.resize(i + 1, UNTRACKED);
+        }
+        let e = &mut self.last[i];
+        if e.count == 0 {
+            self.tracked += 1;
+            e.seq = seq;
+            e.time = time;
+        } else {
+            e.seq = seq.max(e.seq);
+            e.time = time.max(e.time);
+        }
         e.count += 1;
     }
 
     /// The last-reference record of `file`.
     #[must_use]
     pub fn last_ref(&self, file: FileId) -> Option<LastRef> {
-        self.last.get(&file).copied()
+        self.last.get(file.index()).filter(|e| e.count > 0).copied()
     }
 
-    /// All tracked files (unordered).
+    /// All tracked files, in id order.
     pub fn files(&self) -> impl Iterator<Item = FileId> + '_ {
-        self.last.keys().copied()
+        self.last
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.count > 0)
+            .map(|(i, _)| FileId(i as u32))
     }
 
     /// Number of tracked files.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.last.len()
+        self.tracked
     }
 
     /// Whether nothing has been tracked.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.last.is_empty()
+        self.tracked == 0
     }
 
-    /// Exports `(file, last)` pairs for persistence.
+    /// Exports `(file, last)` pairs for persistence, in id order.
     #[must_use]
     pub fn export(&self) -> Vec<(FileId, LastRef)> {
-        let mut v: Vec<(FileId, LastRef)> = self.last.iter().map(|(&f, &r)| (f, r)).collect();
-        v.sort_by_key(|(f, _)| *f);
-        v
+        self.last
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.count > 0)
+            .map(|(i, &r)| (FileId(i as u32), r))
+            .collect()
     }
 
     /// Restores pairs exported by [`ActivityTracker::export`].
     pub fn restore(&mut self, pairs: Vec<(FileId, LastRef)>) {
-        self.last = pairs.into_iter().collect();
+        self.last.clear();
+        self.tracked = 0;
+        for (f, r) in pairs {
+            if f == FileId::NONE || r.count == 0 {
+                continue;
+            }
+            let i = f.index();
+            if self.last.len() <= i {
+                self.last.resize(i + 1, UNTRACKED);
+            }
+            if self.last[i].count == 0 {
+                self.tracked += 1;
+            }
+            self.last[i] = r;
+        }
     }
 
     /// Files sorted by most-recent reference first (the LRU order).
     #[must_use]
     pub fn lru_order(&self) -> Vec<FileId> {
-        let mut v: Vec<(FileId, LastRef)> = self.last.iter().map(|(&f, &r)| (f, r)).collect();
+        let mut v: Vec<(FileId, LastRef)> = self
+            .last
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.count > 0)
+            .map(|(i, &r)| (FileId(i as u32), r))
+            .collect();
         v.sort_by(|a, b| b.1.seq.cmp(&a.1.seq).then(a.0.cmp(&b.0)));
         v.into_iter().map(|(f, _)| f).collect()
     }

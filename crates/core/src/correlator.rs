@@ -50,6 +50,13 @@ impl Correlator {
         std::mem::take(&mut self.misses)
     }
 
+    /// Takes the neighbor-table rows whose membership changed since the
+    /// previous call (see [`seer_distance::NeighborTable::take_dirty`]),
+    /// for incremental shared-neighbor maintenance.
+    pub fn take_dirty(&mut self) -> seer_distance::TableDirty {
+        self.distance.take_dirty()
+    }
+
     /// Captures the correlator's persistent state.
     #[must_use]
     pub fn snapshot(&self) -> CorrelatorSnapshot {

@@ -4,8 +4,11 @@ use crate::config::SeerConfig;
 use crate::correlator::Correlator;
 use crate::manager::{select_hoard, HoardSelection};
 use crate::rankers::{HoardRanker, RankContext, SeerRanker};
-use seer_cluster::{cluster_view_excluding, ClusterRun, Clustering, ExternalRelation};
-use seer_distance::ClusterView;
+use seer_cluster::{
+    cluster_view_excluding, cluster_view_incremental, ClusterRun, Clustering, ExternalRelation,
+    PairCountCache,
+};
+use seer_distance::{ClusterView, TableDirty};
 use seer_observer::Observer;
 use seer_telemetry::{Counter, Gauge, Histogram, Registry};
 use seer_trace::{EventKind, EventSink, FileId, PathTable, StringTable, TraceEvent};
@@ -357,6 +360,15 @@ impl SeerEngine {
         self.observer.sink_mut().take_misses()
     }
 
+    /// Takes the neighbor-table rows whose membership changed since the
+    /// previous call — the delta incremental recluster maintenance
+    /// consumes (see [`ReclusterInput::compute_incremental`]). Drain it
+    /// at the same moment as [`SeerEngine::recluster_input`] so the
+    /// delta describes exactly what changed between consecutive views.
+    pub fn take_dirty(&mut self) -> TableDirty {
+        self.observer.sink_mut().take_dirty()
+    }
+
     /// The clustering configuration in use.
     #[must_use]
     pub fn cluster_config(&self) -> &seer_cluster::ClusterConfig {
@@ -413,6 +425,32 @@ impl ReclusterInput {
             &self.exclude,
             &self.config,
             threads,
+        )
+    }
+
+    /// Like [`ReclusterInput::compute`], but maintains `cache` across
+    /// consecutive inputs: when `dirty` lists the rows whose neighbor
+    /// membership changed since the cache's baseline (drained with
+    /// [`SeerEngine::take_dirty`] at the moment this input was captured)
+    /// and nothing structural happened, only affected pair counts are
+    /// recomputed. Bit-identical to [`ReclusterInput::compute`] either
+    /// way (see [`seer_cluster::cluster_view_incremental`]).
+    #[must_use]
+    pub fn compute_incremental(
+        &self,
+        threads: usize,
+        dirty: Option<&TableDirty>,
+        cache: &mut Option<PairCountCache>,
+    ) -> ClusterRun {
+        cluster_view_incremental(
+            &self.view,
+            &self.paths,
+            &self.relations,
+            &self.exclude,
+            &self.config,
+            threads,
+            dirty,
+            cache,
         )
     }
 }

@@ -49,6 +49,9 @@ pub struct DaemonClient {
     /// Stamped on every outgoing events/query frame when set, tying the
     /// daemon-side pipeline spans into one causal trace.
     trace_id: Option<u64>,
+    /// Whether the daemon welcomed us at v6 or later, enabling binary
+    /// events frames. Handshake, interning, and queries stay JSON.
+    binary: bool,
 }
 
 impl DaemonClient {
@@ -73,6 +76,7 @@ impl DaemonClient {
             declared: 0,
             sent: 0,
             trace_id: None,
+            binary: false,
         };
         wire::write_frame(
             &mut c.w,
@@ -83,11 +87,21 @@ impl DaemonClient {
         )?;
         c.w.flush()?;
         match c.read_reply()? {
-            DaemonFrame::Welcome { .. } => Ok(c),
+            DaemonFrame::Welcome { version } => {
+                c.binary = version >= 6;
+                Ok(c)
+            }
             other => Err(WireError::Format(format!(
                 "expected Welcome, got {other:?}"
             ))),
         }
+    }
+
+    /// Whether events are being sent as v6 binary frames (the daemon
+    /// welcomed at version 6 or later) rather than JSON lines.
+    #[must_use]
+    pub fn binary_events(&self) -> bool {
+        self.binary
     }
 
     /// Events sent on this connection so far.
@@ -148,13 +162,18 @@ impl DaemonClient {
             wire::write_frame(&mut self.w, &ClientFrame::Intern { id, path })?;
         }
         self.declared = self.strings.len();
-        wire::write_frame(
-            &mut self.w,
-            &ClientFrame::Events {
-                events: translated,
-                trace_id: self.trace_id,
-            },
-        )?;
+        if self.binary {
+            let frame = wire::encode_events_binary(&translated, self.trace_id);
+            self.w.write_all(&frame)?;
+        } else {
+            wire::write_frame(
+                &mut self.w,
+                &ClientFrame::Events {
+                    events: translated,
+                    trace_id: self.trace_id,
+                },
+            )?;
+        }
         self.sent += events.len() as u64;
         Ok(())
     }

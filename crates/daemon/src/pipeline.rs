@@ -21,7 +21,9 @@ use crate::quality::{self, QualityState};
 use crate::snapshot::DaemonSnapshot;
 use crate::stats::SharedMetrics;
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TrySendError};
-use seer_core::{Clustering, ReclusterInput, Replayer, SeerConfig, SeerEngine};
+use seer_core::{
+    Clustering, PairCountCache, ReclusterInput, Replayer, SeerConfig, SeerEngine, TableDirty,
+};
 use seer_telemetry::{tlog, Histogram, Level, SpanContext, Tracer};
 use seer_trace::wire::{
     ExplainNeighbor, MissPostmortem, QualityReport, QueryRequest, QueryResponse,
@@ -91,6 +93,11 @@ pub(crate) enum Control {
 pub(crate) struct ActorConfig {
     pub snapshot_path: Option<PathBuf>,
     pub recluster_every: u64,
+    /// Force a full shared-neighbor recount after this many consecutive
+    /// incremental reclusterings (defense in depth against cache drift;
+    /// `0` never forces one — incremental maintenance is exact either
+    /// way, falling back to full on structural change by itself).
+    pub recluster_full_every: u64,
     pub snapshot_every: u64,
     pub tick: Duration,
     pub file_size: u64,
@@ -119,6 +126,11 @@ pub(crate) struct ActorConfig {
 /// the actor keeps applying batches while the worker computes.
 struct ReclusterJob {
     input: ReclusterInput,
+    /// The neighbor-table delta since the previous job's view (drained
+    /// at the same moment `input` was captured), letting the worker
+    /// maintain its pair-count cache incrementally. `None` forces a
+    /// full recount.
+    dirty: Option<TableDirty>,
     /// `events_applied` at snapshot time — the generation the finished
     /// clustering will be tagged with.
     generation: u64,
@@ -143,6 +155,9 @@ struct ReclusterDone {
     shard_seconds: Vec<Duration>,
     /// Offset from `started` at which each counting shard began.
     shard_start_offsets: Vec<Duration>,
+    /// Whether the counting phase ran incrementally off the worker's
+    /// pair-count cache (vs a full recount).
+    incremental: bool,
     /// The context the job was *requested* with, if any.
     ctx: Option<SpanContext>,
 }
@@ -157,10 +172,24 @@ fn run_recluster_worker(
     job_rx: &Receiver<ReclusterJob>,
     done_tx: &Sender<ReclusterDone>,
     threads: usize,
+    full_every: u64,
 ) {
+    // Pre-relation pair counts carried between consecutive jobs. The
+    // queue is FIFO and each job's dirty delta spans exactly the gap to
+    // the previous job's view, so the cache chain stays valid; every
+    // `full_every` incremental runs the cache is dropped to force a
+    // fresh full recount.
+    let mut cache: Option<PairCountCache> = None;
+    let mut since_full: u64 = 0;
     while let Ok(job) = job_rx.recv() {
+        if full_every > 0 && since_full >= full_every {
+            cache = None;
+        }
         let started = Instant::now();
-        let run = job.input.compute(threads);
+        let run = job
+            .input
+            .compute_incremental(threads, job.dirty.as_ref(), &mut cache);
+        since_full = if run.incremental { since_full + 1 } else { 0 };
         let wall = started.elapsed();
         let done = ReclusterDone {
             clustering: run.clustering,
@@ -169,6 +198,7 @@ fn run_recluster_worker(
             wall,
             shard_seconds: run.shard_count_seconds,
             shard_start_offsets: run.shard_start_offsets,
+            incremental: run.incremental,
             ctx: job.ctx,
         };
         if done_tx.send(done).is_err() {
@@ -322,6 +352,10 @@ struct Actor {
     /// Generations of jobs handed to the worker, oldest first. The
     /// worker is FIFO, so completions arrive in this order.
     inflight: VecDeque<u64>,
+    /// A drained dirty delta whose job never reached the worker (full
+    /// queue); merged into the next job so the worker's pair-count
+    /// cache chain stays unbroken.
+    pending_dirty: Option<TableDirty>,
     job_tx: Sender<ReclusterJob>,
     done_rx: Receiver<ReclusterDone>,
     cfg: ActorConfig,
@@ -422,8 +456,16 @@ impl Actor {
     /// a full job queue counts as success because the queued jobs will
     /// finish first and the caller re-requests as needed.
     fn request_recluster(&mut self, ctx: Option<SpanContext>) -> bool {
+        // The dirty delta is drained at the same moment the view is
+        // frozen, so it describes exactly the changes since the previous
+        // drain; any delta stranded by an earlier full queue merges in.
+        let mut dirty = self.engine.take_dirty();
+        if let Some(prev) = self.pending_dirty.take() {
+            dirty.merge(prev);
+        }
         let job = ReclusterJob {
             input: self.engine.recluster_input(),
+            dirty: Some(dirty),
             generation: self.events_applied,
             ctx,
         };
@@ -436,7 +478,12 @@ impl Actor {
                 self.since_recluster = 0;
                 true
             }
-            Err(TrySendError::Full(_)) => true,
+            Err(TrySendError::Full(job)) => {
+                // The worker never saw this delta; carry it forward so
+                // the next job's delta still spans the full gap.
+                self.pending_dirty = job.dirty;
+                true
+            }
             Err(TrySendError::Disconnected(_)) => false,
         }
     }
@@ -473,6 +520,7 @@ impl Actor {
             &[
                 ("generation", done.generation.to_string()),
                 ("clusters", clusters.to_string()),
+                ("incremental", done.incremental.to_string()),
             ],
         );
         for (i, (&shard_wall, &offset)) in done
@@ -494,6 +542,9 @@ impl Actor {
         }
         self.clustering_generation = done.generation;
         self.metrics.reclusters.inc();
+        if done.incremental {
+            self.metrics.reclusters_incremental.inc();
+        }
         self.metrics.stage_recluster.observe(done.wall);
         self.metrics
             .observe_generation_lag(self.events_applied, self.clustering_generation);
@@ -1226,9 +1277,10 @@ pub(crate) fn run_engine_actor(
     let (done_tx, done_rx) = crossbeam::channel::bounded::<ReclusterDone>(4);
     let worker = {
         let threads = cfg.recluster_threads.max(1);
+        let full_every = cfg.recluster_full_every;
         thread::Builder::new()
             .name("seer-recluster".into())
-            .spawn(move || run_recluster_worker(&job_rx, &done_tx, threads))
+            .spawn(move || run_recluster_worker(&job_rx, &done_tx, threads, full_every))
             .ok()
     };
     let quality = if cfg.eval_every > Duration::ZERO {
@@ -1252,6 +1304,7 @@ pub(crate) fn run_engine_actor(
         since_snapshot: 0,
         clustering_generation: 0,
         inflight: VecDeque::new(),
+        pending_dirty: None,
         job_tx,
         done_rx,
         cfg,
@@ -1401,11 +1454,13 @@ mod tests {
             // One untraced job already in flight, covering the target
             // generation — exactly what the idle tick leaves behind.
             inflight: VecDeque::from([5u64]),
+            pending_dirty: None,
             job_tx,
             done_rx,
             cfg: ActorConfig {
                 snapshot_path: None,
                 recluster_every: 0,
+                recluster_full_every: 0,
                 snapshot_every: 0,
                 tick: Duration::from_millis(50),
                 file_size: 1,
@@ -1433,6 +1488,7 @@ mod tests {
                     wall: Duration::from_millis(3),
                     shard_seconds: run.shard_count_seconds,
                     shard_start_offsets: run.shard_start_offsets,
+                    incremental: false,
                     ctx: None,
                 })
                 .expect("actor is waiting");
@@ -1482,11 +1538,13 @@ mod tests {
             since_snapshot: 0,
             clustering_generation: 0,
             inflight: VecDeque::from([7u64]),
+            pending_dirty: None,
             job_tx,
             done_rx,
             cfg: ActorConfig {
                 snapshot_path: None,
                 recluster_every: 0,
+                recluster_full_every: 0,
                 snapshot_every: 0,
                 tick: Duration::from_millis(50),
                 file_size: 1,
@@ -1510,6 +1568,7 @@ mod tests {
                 wall: Duration::from_millis(2),
                 shard_seconds: run.shard_count_seconds,
                 shard_start_offsets: run.shard_start_offsets,
+                incremental: false,
                 ctx: None,
             })
             .expect("bounded(1) has room");
@@ -1553,11 +1612,13 @@ mod tests {
             since_snapshot: 0,
             clustering_generation: 0,
             inflight: VecDeque::from([3u64]),
+            pending_dirty: None,
             job_tx,
             done_rx,
             cfg: ActorConfig {
                 snapshot_path: None,
                 recluster_every: 0,
+                recluster_full_every: 0,
                 snapshot_every: 0,
                 tick: Duration::from_millis(50),
                 file_size: 1,
@@ -1581,6 +1642,7 @@ mod tests {
                 wall: Duration::from_millis(1),
                 shard_seconds: run.shard_count_seconds,
                 shard_start_offsets: run.shard_start_offsets,
+                incremental: false,
                 ctx: None,
             })
             .expect("bounded(1) has room");

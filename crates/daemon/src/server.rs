@@ -43,6 +43,12 @@ pub struct DaemonConfig {
     /// `0` disables periodic reclustering entirely; queries still
     /// compute a clustering on demand.
     pub recluster_every: u64,
+    /// Force a full shared-neighbor recount after this many consecutive
+    /// incremental reclusterings. Between full recounts the worker
+    /// maintains pair counts from the dirty-row delta of each batch —
+    /// bit-identical to a full recount, but proportional to what
+    /// changed. `0` never forces a full recount.
+    pub recluster_full_every: u64,
     /// Snapshot after this many applied events. `0` disables periodic
     /// snapshots; the final snapshot on graceful shutdown is still
     /// written whenever `snapshot_path` is set.
@@ -93,6 +99,12 @@ pub struct DaemonConfig {
     pub eval_budget: u64,
     /// Entry cap of the shadow-LRU comparator (bounds its memory).
     pub shadow_lru_cap: usize,
+    /// Capacity of each connection's socket read buffer. Size it to the
+    /// largest expected events frame so a frame arrives in one kernel
+    /// read; a buffer smaller than the frame forces mid-frame refills,
+    /// which is exactly the `socket_read` p99 outlier small-frame
+    /// benchmarks used to show.
+    pub read_buffer: usize,
 }
 
 impl DaemonConfig {
@@ -107,6 +119,7 @@ impl DaemonConfig {
             batch_max: 256,
             batch_max_wait: Duration::from_millis(20),
             recluster_every: 50_000,
+            recluster_full_every: 16,
             snapshot_every: 20_000,
             tick: Duration::from_millis(50),
             file_size: 1024,
@@ -122,6 +135,7 @@ impl DaemonConfig {
             eval_window_secs: 86_400,
             eval_budget: 1 << 20,
             shadow_lru_cap: 65_536,
+            read_buffer: 256 * 1024,
         }
     }
 }
@@ -408,6 +422,7 @@ impl Daemon {
             let actor_cfg = ActorConfig {
                 snapshot_path: config.snapshot_path.clone(),
                 recluster_every: config.recluster_every,
+                recluster_full_every: config.recluster_full_every,
                 snapshot_every: config.snapshot_every,
                 tick: config.tick,
                 file_size: config.file_size,
@@ -442,7 +457,10 @@ impl Daemon {
 
         let listener_thread = {
             let shared = Arc::clone(&shared);
-            thread::spawn(move || run_listener(&listener, &shared, &ingest_tx, &control_tx))
+            let read_buffer = config.read_buffer;
+            thread::spawn(move || {
+                run_listener(&listener, &shared, &ingest_tx, &control_tx, read_buffer);
+            })
         };
 
         Ok(DaemonHandle {
@@ -579,6 +597,7 @@ fn run_listener(
     shared: &Arc<Shared>,
     ingest_tx: &Sender<Ingest>,
     control_tx: &Sender<Control>,
+    read_buffer: usize,
 ) {
     loop {
         if shared.shutdown.load(Ordering::SeqCst) || shared.kill.load(Ordering::SeqCst) {
@@ -600,7 +619,9 @@ fn run_listener(
                 let shared = Arc::clone(shared);
                 let ingest_tx = ingest_tx.clone();
                 let control_tx = control_tx.clone();
-                thread::spawn(move || serve_conn(stream, conn, &ingest_tx, &control_tx, &shared));
+                thread::spawn(move || {
+                    serve_conn(stream, conn, &ingest_tx, &control_tx, &shared, read_buffer);
+                });
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 thread::sleep(Duration::from_millis(5));
@@ -632,19 +653,62 @@ struct FrameTiming {
     bytes: usize,
 }
 
-/// Reads one client frame, timing the socket read and the JSON decode as
+/// Reads one client frame, timing the socket read and the decode as
 /// separate pipeline stages. The read timing includes waiting for the
 /// client, so its tail shows client pauses, not daemon slowness; the
 /// decode timing is pure CPU. `Ok(None)` signals a clean end of stream.
+///
+/// The framing is sniffed from the first byte: [`wire::BINARY_EVENTS_MAGIC`]
+/// introduces a v6 binary events frame (read into `scratch`, reused across
+/// calls, and decoded without serde); anything else is a JSON line, so
+/// v2–v5 clients keep working on the same code path.
 fn read_timed_frame(
     r: &mut impl BufRead,
     metrics: &PipelineMetrics,
+    scratch: &mut Vec<u8>,
 ) -> Result<Option<(ClientFrame, FrameTiming)>, WireError> {
     let mut line = String::new();
     loop {
         line.clear();
         let read_start = Instant::now();
         let read_timer = metrics.stage_socket_read.start_timer();
+        let first = match r.fill_buf()?.first() {
+            Some(&b) => b,
+            None => {
+                read_timer.stop();
+                return Ok(None);
+            }
+        };
+        if first == wire::BINARY_EVENTS_MAGIC {
+            let mut header = [0u8; 5];
+            r.read_exact(&mut header)?;
+            let len = u32::from_le_bytes([header[1], header[2], header[3], header[4]]) as usize;
+            if len > wire::BINARY_MAX_PAYLOAD {
+                return Err(WireError::Format(format!(
+                    "binary frame length {len} exceeds cap {}",
+                    wire::BINARY_MAX_PAYLOAD
+                )));
+            }
+            scratch.clear();
+            scratch.resize(len, 0);
+            r.read_exact(scratch)?;
+            read_timer.stop();
+            let read_time = read_start.elapsed();
+            let decode_start = Instant::now();
+            let decode_timer = metrics.stage_decode.start_timer();
+            let (events, trace_id) = wire::decode_events_binary(scratch)?;
+            decode_timer.stop();
+            return Ok(Some((
+                ClientFrame::Events { events, trace_id },
+                FrameTiming {
+                    read_start,
+                    read_time,
+                    decode_start,
+                    decode_time: decode_start.elapsed(),
+                    bytes: header.len() + len,
+                },
+            )));
+        }
         let n = r.read_line(&mut line)?;
         read_timer.stop();
         let read_time = read_start.elapsed();
@@ -700,15 +764,19 @@ fn serve_conn(
     ingest_tx: &Sender<Ingest>,
     control_tx: &Sender<Control>,
     shared: &Arc<Shared>,
+    read_buffer: usize,
 ) {
     let reader = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     };
-    let mut r = BufReader::new(reader);
+    // A buffer that holds a whole frame keeps each frame to one kernel
+    // read; see [`DaemonConfig::read_buffer`].
+    let mut r = BufReader::with_capacity(read_buffer.max(512), reader);
     let mut w = BufWriter::new(stream);
+    let mut scratch = Vec::new();
     loop {
-        let (frame, timing) = match read_timed_frame(&mut r, &shared.metrics) {
+        let (frame, timing) = match read_timed_frame(&mut r, &shared.metrics, &mut scratch) {
             Ok(Some(f)) => f,
             Ok(None) => break,
             Err(WireError::Format(m)) => {

@@ -46,6 +46,9 @@ pub(crate) struct PipelineMetrics {
     pub events_applied: Counter,
     pub batches_applied: Counter,
     pub reclusters: Counter,
+    /// Reclusterings whose counting phase ran incrementally off the
+    /// worker's pair-count cache (a subset of `reclusters`).
+    pub reclusters_incremental: Counter,
     pub snapshots: Counter,
     pub connections: Counter,
     /// Recluster jobs queued or running on the background worker.
@@ -120,6 +123,10 @@ impl PipelineMetrics {
             ),
             reclusters: registry
                 .counter("seer_daemon_reclusters_total", "Reclusterings performed."),
+            reclusters_incremental: registry.counter(
+                "seer_daemon_reclusters_incremental_total",
+                "Reclusterings served by incremental shared-neighbor maintenance.",
+            ),
             snapshots: registry
                 .counter("seer_daemon_snapshots_total", "Snapshots written to disk."),
             connections: registry.counter(

@@ -4,9 +4,8 @@ use crate::config::DistanceConfig;
 use crate::history::{Observation, ProcessHistory};
 use crate::table::NeighborTable;
 use seer_observer::{RefKind, Reference, ReferenceSink};
-use seer_trace::{FileId, PathTable, Pid};
+use seer_trace::{FileId, IdHashMap, PathTable, Pid};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Counters describing distance-engine activity.
 #[derive(Debug, Default, Clone, Copy, Serialize, Deserialize)]
@@ -44,7 +43,7 @@ pub struct EngineSnapshot {
 pub struct DistanceEngine {
     config: DistanceConfig,
     table: NeighborTable,
-    histories: HashMap<Pid, ProcessHistory>,
+    histories: IdHashMap<Pid, ProcessHistory>,
     stats: DistanceStats,
     obs_buf: Vec<Observation>,
 }
@@ -63,7 +62,7 @@ impl DistanceEngine {
         DistanceEngine {
             config,
             table,
-            histories: HashMap::new(),
+            histories: IdHashMap::default(),
             stats: DistanceStats::default(),
             obs_buf: Vec::with_capacity(128),
         }
@@ -85,6 +84,13 @@ impl DistanceEngine {
     #[must_use]
     pub fn stats(&self) -> &DistanceStats {
         &self.stats
+    }
+
+    /// Takes the neighbor-table rows whose membership changed since the
+    /// previous call (see [`NeighborTable::take_dirty`]), for incremental
+    /// shared-neighbor maintenance.
+    pub fn take_dirty(&mut self) -> crate::table::TableDirty {
+        self.table.take_dirty()
     }
 
     /// Consumes the engine, returning the table.
@@ -113,7 +119,7 @@ impl DistanceEngine {
         DistanceEngine {
             table: crate::table::NeighborTable::from_snapshot(snap.table, seed),
             config: snap.config,
-            histories: HashMap::new(),
+            histories: IdHashMap::default(),
             stats: snap.stats,
             obs_buf: Vec::with_capacity(128),
         }
@@ -141,15 +147,9 @@ impl DistanceEngine {
             time,
             &mut obs,
         );
-        for o in &obs {
-            if self.table.observe(o.from, file, o.distance) {
-                self.stats.evictions += 1;
-            }
-            self.stats.observations += 1;
-            if o.compensated {
-                self.stats.compensated += 1;
-            }
-        }
+        self.stats.evictions += self.table.observe_window(&obs, file);
+        self.stats.observations += obs.len() as u64;
+        self.stats.compensated += obs.iter().filter(|o| o.compensated).count() as u64;
         self.obs_buf = obs;
     }
 

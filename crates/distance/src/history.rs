@@ -8,7 +8,7 @@
 
 use crate::config::DistanceKind;
 use seer_trace::{FileId, Timestamp};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// One entry in the recent-opens window.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -39,10 +39,15 @@ pub struct Observation {
 #[derive(Debug, Clone, Default)]
 pub struct ProcessHistory {
     /// Last `M` opens, oldest first. Holds the *latest* open of each file
-    /// (the closest-pair rule of §3.1.1, footnote 1).
+    /// (the closest-pair rule of §3.1.1, footnote 1), so every file appears
+    /// at most once and entries are in increasing index order — the
+    /// invariant that lets [`ProcessHistory::record_open_with`] walk it
+    /// directly without a dedup map or sort.
     window: VecDeque<WindowEntry>,
     /// Currently-open count per file (opens minus closes; execs count).
-    open_files: HashMap<FileId, u32>,
+    /// A plain vector: the set is small, and linear scans beat hashing on
+    /// the per-open hot path.
+    open_files: Vec<(FileId, u32)>,
     /// Process-local open counter.
     open_seq: u64,
     /// Distinct-open counter (repeats of the immediately preceding file do
@@ -50,6 +55,13 @@ pub struct ProcessHistory {
     distinct_seq: u64,
     /// The most recently opened file, for repeat elision.
     last_opened: Option<FileId>,
+    /// Reusable buffer for the still-open emission, to keep the per-open
+    /// path allocation-free.
+    scratch_open: Vec<FileId>,
+    /// Reusable seen-flags (parallel to `open_files`) marking which open
+    /// files appeared in the window during the sweep, so the still-open
+    /// emission never rescans the window.
+    scratch_seen: Vec<bool>,
 }
 
 impl ProcessHistory {
@@ -68,7 +80,9 @@ impl ProcessHistory {
     /// Whether `file` is currently open in this process.
     #[must_use]
     pub fn is_open(&self, file: FileId) -> bool {
-        self.open_files.get(&file).copied().unwrap_or(0) > 0
+        self.open_files
+            .iter()
+            .any(|&(f, count)| f == file && count > 0)
     }
 
     /// Records an open of `file`, returning the distance observations from
@@ -109,20 +123,21 @@ impl ProcessHistory {
         let distinct_index = self.distinct_seq;
         let m = window_m as f64;
 
-        // Collect the latest window entry per distinct earlier file.
-        let mut latest: HashMap<FileId, WindowEntry> = HashMap::with_capacity(self.window.len());
-        for e in &self.window {
-            if e.file != file {
-                latest.insert(e.file, *e);
-            }
-        }
         // Emit in window order (oldest first) so downstream consumers —
         // notably the neighbor table's order-sensitive replacement policy
-        // — see a deterministic observation sequence.
-        let mut ordered: Vec<(FileId, WindowEntry)> =
-            latest.iter().map(|(&f, &e)| (f, e)).collect();
-        ordered.sort_unstable_by_key(|(_, e)| e.index);
-        for &(f, ref e) in &ordered {
+        // — see a deterministic observation sequence. The window holds at
+        // most one entry per file, already in index order (see the field
+        // docs), so this is a single allocation-free sweep. The lifetime
+        // kind's open-set probe doubles as membership marking, so the
+        // still-open emission below never rescans the window.
+        let mut seen = std::mem::take(&mut self.scratch_seen);
+        seen.clear();
+        seen.resize(self.open_files.len(), false);
+        for e in &self.window {
+            let f = e.file;
+            if f == file {
+                continue;
+            }
             let (idx, e_idx) = if elide_repeats {
                 (distinct_index, e.distinct_index)
             } else {
@@ -132,10 +147,16 @@ impl ProcessHistory {
                 DistanceKind::Temporal => time.saturating_since(e.time).as_secs() as f64,
                 DistanceKind::Sequence => (idx - e_idx).saturating_sub(1) as f64,
                 DistanceKind::Lifetime => {
-                    if self.is_open(f) {
-                        0.0
-                    } else {
-                        (idx - e_idx) as f64
+                    match self
+                        .open_files
+                        .iter()
+                        .position(|&(g, count)| g == f && count > 0)
+                    {
+                        Some(p) => {
+                            seen[p] = true;
+                            0.0
+                        }
+                        None => (idx - e_idx) as f64,
                     }
                 }
             };
@@ -149,21 +170,24 @@ impl ProcessHistory {
         // Still-open files that have already slid out of the window are at
         // lifetime distance zero (their lifetime encloses this open).
         if kind == DistanceKind::Lifetime {
-            let mut still_open: Vec<FileId> = self
-                .open_files
-                .iter()
-                .filter(|&(&f, &count)| count > 0 && f != file && !latest.contains_key(&f))
-                .map(|(&f, _)| f)
-                .collect();
+            let mut still_open = std::mem::take(&mut self.scratch_open);
+            still_open.clear();
+            for (p, &(f, count)) in self.open_files.iter().enumerate() {
+                if count > 0 && f != file && !seen[p] {
+                    still_open.push(f);
+                }
+            }
             still_open.sort_unstable();
-            for f in still_open {
+            for &f in &still_open {
                 out.push(Observation {
                     from: f,
                     distance: 0.0,
                     compensated: false,
                 });
             }
+            self.scratch_open = still_open;
         }
+        self.scratch_seen = seen;
 
         // Slide the window: drop an older entry for the same file (keep
         // only the closest pair), then append and trim to M entries.
@@ -180,15 +204,19 @@ impl ProcessHistory {
             self.window.pop_front();
         }
 
-        *self.open_files.entry(file).or_insert(0) += 1;
+        match self.open_files.iter_mut().find(|(f, _)| *f == file) {
+            Some((_, count)) => *count += 1,
+            None => self.open_files.push((file, 1)),
+        }
     }
 
     /// Records a close of `file`.
     pub fn record_close(&mut self, file: FileId) {
-        if let Some(c) = self.open_files.get_mut(&file) {
-            *c = c.saturating_sub(1);
-            if *c == 0 {
-                self.open_files.remove(&file);
+        if let Some(pos) = self.open_files.iter().position(|&(f, _)| f == file) {
+            let count = &mut self.open_files[pos].1;
+            *count = count.saturating_sub(1);
+            if *count == 0 {
+                self.open_files.swap_remove(pos);
             }
         }
     }
@@ -220,7 +248,7 @@ impl ProcessHistory {
     /// Drops every trace of `file` (used after delayed deletion, §4.8).
     pub fn forget_file(&mut self, file: FileId) {
         self.window.retain(|e| e.file != file);
-        self.open_files.remove(&file);
+        self.open_files.retain(|&(f, _)| f != file);
     }
 }
 

@@ -18,6 +18,28 @@ pub struct PairSummary {
     count: u32,
 }
 
+/// Precomputed `ln(1 + k)` for small integer distances.
+///
+/// Sequence and lifetime distances are integer-valued and window-capped
+/// (`M = 100` by default), so almost every geometric-reduction observation
+/// hits this table instead of paying for a live `ln` — the single hottest
+/// arithmetic operation on the ingest path. Values are bit-identical to
+/// computing `(1.0 + d).ln()` directly.
+fn ln1p_small() -> &'static [f64; 1024] {
+    static LUT: std::sync::OnceLock<[f64; 1024]> = std::sync::OnceLock::new();
+    LUT.get_or_init(|| std::array::from_fn(|k| (1.0 + k as f64).ln()))
+}
+
+#[inline]
+fn ln1p(d: f64) -> f64 {
+    let k = d as usize;
+    if k < 1024 && k as f64 == d {
+        ln1p_small()[k]
+    } else {
+        (1.0 + d).ln()
+    }
+}
+
 impl PairSummary {
     /// Creates a summary from a first observation.
     #[must_use]
@@ -28,11 +50,12 @@ impl PairSummary {
     }
 
     /// Folds one observation into the summary.
+    #[inline]
     pub fn observe(&mut self, kind: ReductionKind, d: f64) {
         let d = d.max(0.0);
         self.acc += match kind {
             ReductionKind::Arithmetic => d,
-            ReductionKind::Geometric => (1.0 + d).ln(),
+            ReductionKind::Geometric => ln1p(d),
         };
         self.count += 1;
     }
@@ -109,6 +132,18 @@ mod tests {
         let k = ReductionKind::Geometric;
         let s = PairSummary::first(k, -5.0);
         assert!(s.distance(k).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ln1p_lut_is_bit_identical_to_direct_ln() {
+        for k in 0..1024u32 {
+            let d = f64::from(k);
+            assert_eq!(ln1p(d).to_bits(), (1.0 + d).ln().to_bits(), "d = {d}");
+        }
+        // Non-integer and out-of-range values fall through to the live ln.
+        for d in [0.5, 3.25, 1024.0, 5000.5, 1e12] {
+            assert_eq!(ln1p(d).to_bits(), (1.0 + d).ln().to_bits(), "d = {d}");
+        }
     }
 
     #[test]

@@ -7,6 +7,16 @@
 //! current distance (ties broken randomly) if it is farther than the
 //! candidate, and finally an aging rule that lets very old, inactive
 //! references give way to new ones.
+//!
+//! # Storage layout
+//!
+//! Rows are stored struct-of-arrays, indexed by the dense [`FileId`] space:
+//! the row of file index `i` occupies slots `[i*n, i*n + row_len[i])` of
+//! three parallel arrays (target id, streaming summary, last-update clock).
+//! The hot path — one [`NeighborTable::observe`] per distance observation —
+//! therefore never hashes a key: row lookup is one multiply, and the
+//! priority scans walk a few contiguous cache lines. Deletion marks and
+//! dead files are dense bitmaps for the same reason.
 
 use crate::config::ReductionKind;
 use crate::reduction::PairSummary;
@@ -14,7 +24,6 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use seer_trace::FileId;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
 
 /// One stored neighbor relation `from → to`.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -27,6 +36,44 @@ pub struct NeighborEntry {
     pub last_update: u64,
 }
 
+/// Sentinel in the dense mark array: not marked for deletion.
+const UNMARKED: u64 = u64::MAX;
+
+/// The rows whose neighbor *membership* changed since the last
+/// [`NeighborTable::take_dirty`], for incremental shared-neighbor
+/// maintenance. Distance-only updates to an existing entry do not dirty a
+/// row: clustering consumes neighbor identities, not distances.
+#[derive(Debug, Default, Clone)]
+pub struct TableDirty {
+    /// Files whose neighbor target lists gained or swapped members.
+    pub rows: Vec<FileId>,
+    /// Whether a structural change (a file died and was purged) occurred;
+    /// a dead file disappears from *every* row's live view, so incremental
+    /// consumers must fall back to a full recount.
+    pub structural: bool,
+}
+
+impl TableDirty {
+    /// Folds `other` into this delta: the union describes the combined
+    /// span of table changes, so two consecutive deltas merge into one
+    /// that is valid against the older baseline.
+    pub fn merge(&mut self, other: TableDirty) {
+        self.rows.extend(other.rows);
+        self.rows.sort_unstable();
+        self.rows.dedup();
+        self.structural |= other.structural;
+    }
+}
+
+/// Per-slot payload rewritten together on every fold: the running pair
+/// summary and the last-update stamp. One array element (24 bytes) so a
+/// hit touches a single payload cache line.
+#[derive(Debug, Clone, Copy)]
+struct SlotMeta {
+    summary: PairSummary,
+    update: u64,
+}
+
 /// The global semantic-distance table.
 #[derive(Debug)]
 pub struct NeighborTable {
@@ -34,12 +81,39 @@ pub struct NeighborTable {
     reduction: ReductionKind,
     aging_refs: u64,
     deletion_delay: u64,
-    rows: HashMap<FileId, Vec<NeighborEntry>>,
-    /// Files whose names were deleted, with the deletion tick at which the
-    /// mark was placed (§4.8's delayed removal).
-    marked: HashMap<FileId, u64>,
+    /// SoA row storage (see module docs): slot `i*n + k` is entry `k` of
+    /// the row of file index `i`. `slot_to` is the scan-only key array;
+    /// `slot_meta` is the payload the hit path rewrites — summary and
+    /// update stamp together, so a fold dirties one payload cache line
+    /// instead of two.
+    slot_to: Vec<FileId>,
+    slot_meta: Vec<SlotMeta>,
+    /// Memoized reduced distance per slot, valid while `slot_dist_count`
+    /// matches the summary's observation count (0 = never memoized; real
+    /// counts start at 1). Spares the priority-2 scan an `exp` per entry.
+    slot_dist: Vec<f64>,
+    slot_dist_count: Vec<u32>,
+    /// Entries in use per row, indexed by file.
+    row_len: Vec<u32>,
+    live_rows: usize,
+    entries: usize,
+    /// Deletion-mark tick per file ([`UNMARKED`] = live), §4.8's delayed
+    /// removal.
+    marked_tick: Vec<u64>,
+    /// Files currently listed in `marked_list` (rescued files stay listed
+    /// until the next purge scan drops them lazily).
+    in_marked_list: Vec<bool>,
+    marked_list: Vec<FileId>,
     /// Files fully purged; entries pointing at them are garbage.
-    dead: HashSet<FileId>,
+    dead: Vec<bool>,
+    dead_list: Vec<FileId>,
+    /// Rows dirtied since the last `take_dirty` (flag array dedups).
+    dirty_flag: Vec<bool>,
+    dirty_rows: Vec<FileId>,
+    structural: bool,
+    /// Scratch for the priority-2 tie-break scan, kept to avoid a per-call
+    /// allocation.
+    scratch_idxs: Vec<usize>,
     deletion_tick: u64,
     clock: u64,
     rng: SmallRng,
@@ -60,9 +134,22 @@ impl NeighborTable {
             reduction,
             aging_refs,
             deletion_delay,
-            rows: HashMap::new(),
-            marked: HashMap::new(),
-            dead: HashSet::new(),
+            slot_to: Vec::new(),
+            slot_meta: Vec::new(),
+            slot_dist: Vec::new(),
+            slot_dist_count: Vec::new(),
+            row_len: Vec::new(),
+            live_rows: 0,
+            entries: 0,
+            marked_tick: Vec::new(),
+            in_marked_list: Vec::new(),
+            marked_list: Vec::new(),
+            dead: Vec::new(),
+            dead_list: Vec::new(),
+            dirty_flag: Vec::new(),
+            dirty_rows: Vec::new(),
+            structural: false,
+            scratch_idxs: Vec::new(),
             deletion_tick: 0,
             clock: 0,
             rng: SmallRng::seed_from_u64(seed),
@@ -87,6 +174,106 @@ impl NeighborTable {
         self.clock
     }
 
+    /// Grows the per-file metadata arrays to cover `file`.
+    fn ensure_meta(&mut self, file: FileId) {
+        let need = file.index() + 1;
+        if need > self.row_len.len() {
+            self.row_len.resize(need, 0);
+            self.marked_tick.resize(need, UNMARKED);
+            self.in_marked_list.resize(need, false);
+            self.dead.resize(need, false);
+            self.dirty_flag.resize(need, false);
+        }
+    }
+
+    /// Grows the SoA slot arrays to hold the row of `file`.
+    fn ensure_row_slots(&mut self, file: FileId) {
+        let need = (file.index() + 1) * self.n;
+        if need > self.slot_to.len() {
+            self.slot_to.resize(need, FileId::NONE);
+            self.slot_meta.resize(
+                need,
+                SlotMeta {
+                    summary: PairSummary::first(self.reduction, 0.0),
+                    update: 0,
+                },
+            );
+            self.slot_dist.resize(need, 0.0);
+            self.slot_dist_count.resize(need, 0);
+        }
+    }
+
+    /// Requests that the head of `file`'s neighbor row be brought into
+    /// cache ahead of a subsequent [`NeighborTable::observe`] scan.
+    ///
+    /// The distance engine calls this one observation ahead while
+    /// draining a window's observation list: the rows a window references
+    /// are scattered across the table, and a non-blocking prefetch hides
+    /// most of the row-scan miss latency. On non-x86 targets this is a
+    /// no-op. The pointers handed to the intrinsic come from checked
+    /// `get`s, and a prefetch performs no architectural memory access, so
+    /// the `unsafe` blocks are trivially sound.
+    #[inline]
+    pub fn prefetch_row(&self, file: FileId) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            let i = file.index();
+            if i >= self.row_len.len() {
+                return;
+            }
+            if let Some(first) = self.slot_to.get(i * self.n) {
+                unsafe {
+                    _mm_prefetch(std::ptr::from_ref(first).cast::<i8>(), _MM_HINT_T0);
+                }
+            }
+            if let Some(meta) = self.slot_meta.get(i * self.n) {
+                unsafe {
+                    _mm_prefetch(std::ptr::from_ref(meta).cast::<i8>(), _MM_HINT_T0);
+                }
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = file;
+    }
+
+    /// The reduced distance of slot `s`, memoized per summary state: the
+    /// distance is a pure function of the summary, so a matching
+    /// observation-count stamp returns the previously materialized value
+    /// bit-identically.
+    #[inline]
+    fn slot_distance(&mut self, s: usize) -> f64 {
+        let c = self.slot_meta[s].summary.count();
+        if self.slot_dist_count[s] == c {
+            return self.slot_dist[s];
+        }
+        let d = self.slot_meta[s].summary.distance(self.reduction);
+        self.slot_dist[s] = d;
+        self.slot_dist_count[s] = c;
+        d
+    }
+
+    #[inline]
+    fn is_dead(&self, file: FileId) -> bool {
+        self.dead.get(file.index()).copied().unwrap_or(false)
+    }
+
+    #[inline]
+    fn is_marked(&self, file: FileId) -> bool {
+        self.marked_tick
+            .get(file.index())
+            .is_some_and(|&t| t != UNMARKED)
+    }
+
+    #[inline]
+    fn mark_row_dirty(&mut self, file: FileId) {
+        let i = file.index();
+        if !self.dirty_flag[i] {
+            self.dirty_flag[i] = true;
+            self.dirty_rows.push(file);
+        }
+    }
+
     /// Folds one distance observation `from → to` into the table.
     ///
     /// Returns `true` when admitting the pair displaced a live neighbor
@@ -94,69 +281,157 @@ impl NeighborTable {
     /// replacing a deletion-marked or dead entry is cleanup, not an
     /// eviction.
     pub fn observe(&mut self, from: FileId, to: FileId, distance: f64) -> bool {
-        if from == to || self.dead.contains(&from) || self.dead.contains(&to) {
+        if to == FileId::NONE || self.is_dead(to) {
             return false;
         }
         // A fresh reference *to* a deletion-marked name means the name was
         // reused; rescue it (§4.8). `from` files are mere window history
-        // and do not count as reuse.
-        self.marked.remove(&to);
+        // and do not count as reuse. The store is guarded so the common
+        // case (nothing marked) leaves the cache line clean.
+        if let Some(t) = self.marked_tick.get_mut(to.index()) {
+            if *t != UNMARKED {
+                *t = UNMARKED;
+            }
+        }
+        self.ensure_meta(to);
+        self.observe_from(from, to, distance)
+    }
 
-        let clock = self.clock;
-        let reduction = self.reduction;
-        let row = self.rows.entry(from).or_default();
-        if let Some(e) = row.iter_mut().find(|e| e.to == to) {
-            e.summary.observe(reduction, distance);
-            e.last_update = clock;
+    /// Folds one window's observations, all targeting the same new
+    /// reference `to` — semantically identical to calling
+    /// [`NeighborTable::observe`] per item in order, with the target-side
+    /// work (liveness check, §4.8 rescue, metadata growth) hoisted out of
+    /// the loop and each next row prefetched while the current one folds.
+    /// Returns the number of evictions.
+    pub fn observe_window(
+        &mut self,
+        observations: &[crate::history::Observation],
+        to: FileId,
+    ) -> u64 {
+        if to == FileId::NONE || self.is_dead(to) {
+            return 0;
+        }
+        if let Some(t) = self.marked_tick.get_mut(to.index()) {
+            if *t != UNMARKED {
+                *t = UNMARKED;
+            }
+        }
+        self.ensure_meta(to);
+        if let Some(first) = observations.first() {
+            self.prefetch_row(first.from);
+        }
+        let mut evictions = 0;
+        for (k, o) in observations.iter().enumerate() {
+            if let Some(next) = observations.get(k + 1) {
+                self.prefetch_row(next.from);
+            }
+            evictions += u64::from(self.observe_from(o.from, to, o.distance));
+        }
+        evictions
+    }
+
+    /// The from-row half of [`NeighborTable::observe`]: assumes the
+    /// target-side checks already ran.
+    #[inline]
+    fn observe_from(&mut self, from: FileId, to: FileId, distance: f64) -> bool {
+        if from == to || from == FileId::NONE || self.is_dead(from) {
             return false;
         }
-        let candidate = NeighborEntry {
-            to,
-            summary: PairSummary::first(reduction, distance),
-            last_update: clock,
-        };
-        if row.len() < self.n {
-            row.push(candidate);
+        self.ensure_meta(from);
+        self.ensure_row_slots(from);
+        let clock = self.clock;
+        let reduction = self.reduction;
+        let i = from.index();
+        let base = i * self.n;
+        let len = self.row_len[i] as usize;
+        // Slice scan (not an indexed loop) so the search for an existing
+        // entry compiles bounds-check-free — this is the hottest loop in
+        // the observation path.
+        if let Some(k) = self.slot_to[base..base + len].iter().position(|&t| t == to) {
+            let s = base + k;
+            let m = &mut self.slot_meta[s];
+            m.summary.observe(reduction, distance);
+            m.update = clock;
+            return false;
+        }
+        let summary = PairSummary::first(reduction, distance);
+        if len < self.n {
+            self.slot_to[base + len] = to;
+            self.slot_meta[base + len] = SlotMeta {
+                summary,
+                update: clock,
+            };
+            self.slot_dist_count[base + len] = 0;
+            if len == 0 {
+                self.live_rows += 1;
+            }
+            self.row_len[i] += 1;
+            self.entries += 1;
+            self.mark_row_dirty(from);
             return false;
         }
         // Priority 1: replace a neighbor marked for deletion (or dead).
-        if let Some(idx) = row
-            .iter()
-            .position(|e| self.marked.contains_key(&e.to) || self.dead.contains(&e.to))
-        {
-            row[idx] = candidate;
-            return false;
+        for s in base..base + len {
+            let t = self.slot_to[s];
+            if self.is_marked(t) || self.is_dead(t) {
+                self.slot_to[s] = to;
+                self.slot_meta[s] = SlotMeta {
+                    summary,
+                    update: clock,
+                };
+                self.slot_dist_count[s] = 0;
+                self.mark_row_dirty(from);
+                return false;
+            }
         }
         // Priority 2: replace the largest-distance neighbor (random tie
         // break) if it is farther than the candidate.
+        let mut max_idxs = std::mem::take(&mut self.scratch_idxs);
+        max_idxs.clear();
         let mut max_d = f64::NEG_INFINITY;
-        let mut max_idxs: Vec<usize> = Vec::new();
-        for (i, e) in row.iter().enumerate() {
-            let d = e.summary.distance(reduction);
+        for k in 0..len {
+            let d = self.slot_distance(base + k);
             if d > max_d + 1e-12 {
                 max_d = d;
                 max_idxs.clear();
-                max_idxs.push(i);
+                max_idxs.push(k);
             } else if (d - max_d).abs() <= 1e-12 {
-                max_idxs.push(i);
+                max_idxs.push(k);
             }
         }
-        let new_d = candidate.summary.distance(reduction);
+        let new_d = summary.distance(reduction);
         if max_d > new_d {
             let pick = max_idxs[self.rng.gen_range(0..max_idxs.len())];
-            row[pick] = candidate;
+            self.scratch_idxs = max_idxs;
+            self.slot_to[base + pick] = to;
+            self.slot_meta[base + pick] = SlotMeta {
+                summary,
+                update: clock,
+            };
+            self.slot_dist_count[base + pick] = 0;
+            self.mark_row_dirty(from);
             return true;
         }
+        self.scratch_idxs = max_idxs;
         // Priority 3: aging — replace the stalest entry if it has been
         // inactive long enough.
-        if let Some((idx, stalest)) = row
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, e)| e.last_update)
-            .map(|(i, e)| (i, e.last_update))
-        {
+        if len > 0 {
+            let mut stalest_k = 0;
+            let mut stalest = self.slot_meta[base].update;
+            for k in 1..len {
+                if self.slot_meta[base + k].update < stalest {
+                    stalest = self.slot_meta[base + k].update;
+                    stalest_k = k;
+                }
+            }
             if clock.saturating_sub(stalest) > self.aging_refs {
-                row[idx] = candidate;
+                self.slot_to[base + stalest_k] = to;
+                self.slot_meta[base + stalest_k] = SlotMeta {
+                    summary,
+                    update: clock,
+                };
+                self.slot_dist_count[base + stalest_k] = 0;
+                self.mark_row_dirty(from);
                 return true;
             }
         }
@@ -168,17 +443,67 @@ impl NeighborTable {
     /// this deletion.
     pub fn note_deletion(&mut self, file: FileId) -> Vec<FileId> {
         self.deletion_tick += 1;
-        self.marked.insert(file, self.deletion_tick);
-        let due: Vec<FileId> = self
-            .marked
-            .iter()
-            .filter(|&(_, &t)| self.deletion_tick.saturating_sub(t) >= self.deletion_delay)
-            .map(|(&f, _)| f)
-            .collect();
-        for &f in &due {
-            self.marked.remove(&f);
-            self.dead.insert(f);
-            self.rows.remove(&f);
+        if file != FileId::NONE {
+            self.ensure_meta(file);
+            let i = file.index();
+            if !self.in_marked_list[i] {
+                self.in_marked_list[i] = true;
+                self.marked_list.push(file);
+            }
+            self.marked_tick[i] = self.deletion_tick;
+        }
+        let tick = self.deletion_tick;
+        let delay = self.deletion_delay;
+        let mut due = Vec::new();
+        let mut list = std::mem::take(&mut self.marked_list);
+        list.retain(|&f| {
+            let j = f.index();
+            let t = self.marked_tick[j];
+            if t == UNMARKED {
+                // Rescued since it was listed; drop the stale entry.
+                self.in_marked_list[j] = false;
+                return false;
+            }
+            if tick.saturating_sub(t) >= delay {
+                self.in_marked_list[j] = false;
+                self.marked_tick[j] = UNMARKED;
+                due.push(f);
+                return false;
+            }
+            true
+        });
+        self.marked_list = list;
+        if !due.is_empty() {
+            for &f in &due {
+                let j = f.index();
+                self.dead[j] = true;
+                self.dead_list.push(f);
+                let len = self.row_len[j] as usize;
+                if len > 0 {
+                    self.entries -= len;
+                    self.live_rows -= 1;
+                    self.row_len[j] = 0;
+                }
+                self.mark_row_dirty(f);
+            }
+            // A purge changes the frozen view of exactly the dead rows and
+            // every surviving row that listed a dead file as a target (dead
+            // targets are filtered from views). Marking those rows dirty
+            // keeps the delta precise, so incremental shared-neighbor
+            // maintenance survives deletions without a full recount.
+            for i in 0..self.row_len.len() {
+                let len = self.row_len[i] as usize;
+                if len == 0 {
+                    continue;
+                }
+                let base = i * self.n;
+                if self.slot_to[base..base + len]
+                    .iter()
+                    .any(|t| due.contains(t))
+                {
+                    self.mark_row_dirty(FileId(i as u32));
+                }
+            }
         }
         due
     }
@@ -186,16 +511,35 @@ impl NeighborTable {
     /// Whether `file` is currently marked for deletion.
     #[must_use]
     pub fn is_marked_deleted(&self, file: FileId) -> bool {
-        self.marked.contains_key(&file)
+        self.is_marked(file)
+    }
+
+    /// Takes the set of rows dirtied since the previous call, resetting
+    /// the accumulator. Call at the moment a [`ClusterView`] is captured:
+    /// the delta then describes exactly what changed between consecutive
+    /// views, which is what incremental shared-neighbor maintenance needs.
+    pub fn take_dirty(&mut self) -> TableDirty {
+        let rows = std::mem::take(&mut self.dirty_rows);
+        for f in &rows {
+            self.dirty_flag[f.index()] = false;
+        }
+        let structural = self.structural;
+        self.structural = false;
+        TableDirty { rows, structural }
     }
 
     /// The stored neighbors of `file` (dead targets filtered out).
-    pub fn neighbors(&self, file: FileId) -> impl Iterator<Item = &NeighborEntry> {
-        self.rows
-            .get(&file)
-            .into_iter()
-            .flatten()
-            .filter(|e| !self.dead.contains(&e.to))
+    pub fn neighbors(&self, file: FileId) -> impl Iterator<Item = NeighborEntry> + '_ {
+        let i = file.index();
+        let len = self.row_len.get(i).copied().unwrap_or(0) as usize;
+        let base = i * self.n;
+        (base..base + len)
+            .filter(|&s| !self.is_dead(self.slot_to[s]))
+            .map(move |s| NeighborEntry {
+                to: self.slot_to[s],
+                summary: self.slot_meta[s].summary,
+                last_update: self.slot_meta[s].update,
+            })
     }
 
     /// The `k` closest stored neighbors of `file` under the configured
@@ -216,34 +560,39 @@ impl NeighborTable {
     /// The reduced distance `from → to`, if stored.
     #[must_use]
     pub fn distance(&self, from: FileId, to: FileId) -> Option<f64> {
-        self.rows
-            .get(&from)?
-            .iter()
-            .find(|e| e.to == to)
-            .map(|e| e.summary.distance(self.reduction))
+        let i = from.index();
+        let len = self.row_len.get(i).copied().unwrap_or(0) as usize;
+        let base = i * self.n;
+        (base..base + len)
+            .find(|&s| self.slot_to[s] == to)
+            .map(|s| self.slot_meta[s].summary.distance(self.reduction))
     }
 
-    /// All files with at least one stored neighbor.
+    /// All files with at least one stored neighbor, in id order.
     pub fn files(&self) -> impl Iterator<Item = FileId> + '_ {
-        self.rows.keys().copied()
+        self.row_len
+            .iter()
+            .enumerate()
+            .filter(|&(_, &len)| len > 0)
+            .map(|(i, _)| FileId(i as u32))
     }
 
     /// Number of files with stored rows.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.live_rows
     }
 
     /// Whether the table is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.live_rows == 0
     }
 
     /// Total stored neighbor entries (memory diagnostics, §5.3).
     #[must_use]
     pub fn total_entries(&self) -> usize {
-        self.rows.values().map(Vec::len).sum()
+        self.entries
     }
 
     /// Captures an immutable view of the neighbor *identities* for
@@ -253,24 +602,23 @@ impl NeighborTable {
     /// This is the cheap snapshot the daemon hands to its recluster
     /// worker — O(files × n) id copies, no distances, no RNG state —
     /// so the table can keep absorbing observations while a clustering
-    /// is computed from the frozen view.
+    /// is computed from the frozen view. Rows are stored in id order, so
+    /// the capture is a single ordered sweep with no sort.
     #[must_use]
     pub fn cluster_view(&self) -> ClusterView {
-        let mut rows: Vec<(FileId, Vec<FileId>)> = self
-            .rows
-            .iter()
-            .map(|(&f, entries)| {
-                (
-                    f,
-                    entries
-                        .iter()
-                        .filter(|e| !self.dead.contains(&e.to))
-                        .map(|e| e.to)
-                        .collect(),
-                )
-            })
-            .collect();
-        rows.sort_unstable_by_key(|(f, _)| *f);
+        let mut rows: Vec<(FileId, Vec<FileId>)> = Vec::with_capacity(self.live_rows);
+        for (i, &len) in self.row_len.iter().enumerate() {
+            if len == 0 {
+                continue;
+            }
+            let base = i * self.n;
+            let targets: Vec<FileId> = self.slot_to[base..base + len as usize]
+                .iter()
+                .copied()
+                .filter(|&t| !self.is_dead(t))
+                .collect();
+            rows.push((FileId(i as u32), targets));
+        }
         ClusterView { rows }
     }
 
@@ -278,12 +626,31 @@ impl NeighborTable {
     /// files that survives restarts, §5.3).
     #[must_use]
     pub fn snapshot(&self) -> TableSnapshot {
-        let mut rows: Vec<(FileId, Vec<NeighborEntry>)> =
-            self.rows.iter().map(|(&f, v)| (f, v.clone())).collect();
-        rows.sort_by_key(|(f, _)| *f);
-        let mut marked: Vec<(FileId, u64)> = self.marked.iter().map(|(&f, &t)| (f, t)).collect();
+        let mut rows: Vec<(FileId, Vec<NeighborEntry>)> = Vec::with_capacity(self.live_rows);
+        for (i, &len) in self.row_len.iter().enumerate() {
+            if len == 0 {
+                continue;
+            }
+            let base = i * self.n;
+            let entries: Vec<NeighborEntry> = (base..base + len as usize)
+                .map(|s| NeighborEntry {
+                    to: self.slot_to[s],
+                    summary: self.slot_meta[s].summary,
+                    last_update: self.slot_meta[s].update,
+                })
+                .collect();
+            rows.push((FileId(i as u32), entries));
+        }
+        let mut marked: Vec<(FileId, u64)> = self
+            .marked_list
+            .iter()
+            .filter_map(|&f| {
+                let t = self.marked_tick[f.index()];
+                (t != UNMARKED).then_some((f, t))
+            })
+            .collect();
         marked.sort_by_key(|(f, _)| *f);
-        let mut dead: Vec<FileId> = self.dead.iter().copied().collect();
+        let mut dead: Vec<FileId> = self.dead_list.clone();
         dead.sort_unstable();
         TableSnapshot {
             n: self.n,
@@ -302,18 +669,60 @@ impl NeighborTable {
     /// reseeded from `seed`.
     #[must_use]
     pub fn from_snapshot(snap: TableSnapshot, seed: u64) -> NeighborTable {
-        NeighborTable {
-            n: snap.n,
-            reduction: snap.reduction,
-            aging_refs: snap.aging_refs,
-            deletion_delay: snap.deletion_delay,
-            rows: snap.rows.into_iter().collect(),
-            marked: snap.marked.into_iter().collect(),
-            dead: snap.dead.into_iter().collect(),
-            deletion_tick: snap.deletion_tick,
-            clock: snap.clock,
-            rng: SmallRng::seed_from_u64(seed),
+        let mut t = NeighborTable::new(
+            snap.n,
+            snap.reduction,
+            snap.aging_refs,
+            snap.deletion_delay,
+            seed,
+        );
+        t.deletion_tick = snap.deletion_tick;
+        t.clock = snap.clock;
+        for (f, entries) in snap.rows {
+            if f == FileId::NONE || entries.is_empty() {
+                continue;
+            }
+            t.ensure_meta(f);
+            t.ensure_row_slots(f);
+            let i = f.index();
+            let base = i * t.n;
+            let len = entries.len().min(t.n);
+            for (k, e) in entries.into_iter().take(len).enumerate() {
+                t.slot_to[base + k] = e.to;
+                t.slot_meta[base + k] = SlotMeta {
+                    summary: e.summary,
+                    update: e.last_update,
+                };
+            }
+            t.row_len[i] = len as u32;
+            t.live_rows += 1;
+            t.entries += len;
         }
+        for (f, tick) in snap.marked {
+            if f == FileId::NONE {
+                continue;
+            }
+            t.ensure_meta(f);
+            let i = f.index();
+            t.marked_tick[i] = tick;
+            if !t.in_marked_list[i] {
+                t.in_marked_list[i] = true;
+                t.marked_list.push(f);
+            }
+        }
+        for f in snap.dead {
+            if f == FileId::NONE {
+                continue;
+            }
+            t.ensure_meta(f);
+            if !t.dead[f.index()] {
+                t.dead[f.index()] = true;
+                t.dead_list.push(f);
+            }
+        }
+        // A restored table has no valid incremental baseline.
+        t.structural = true;
+        t
     }
 }
 
@@ -583,5 +992,70 @@ mod tests {
         t.observe(FileId(1), FileId(3), 1.0);
         t.observe(FileId(2), FileId(3), 1.0);
         assert_eq!(t.total_entries(), 3);
+    }
+
+    #[test]
+    fn dirty_tracking_reports_membership_changes_only() {
+        let mut t = table(2);
+        t.observe(FileId(1), FileId(2), 1.0);
+        t.observe(FileId(3), FileId(4), 1.0);
+        let d = t.take_dirty();
+        assert_eq!(d.rows, vec![FileId(1), FileId(3)]);
+        assert!(!d.structural);
+        // A distance-only update leaves the membership untouched.
+        t.observe(FileId(1), FileId(2), 5.0);
+        let d = t.take_dirty();
+        assert!(d.rows.is_empty());
+        assert!(!d.structural);
+        // A replacement changes membership and dirties the row again.
+        t.observe(FileId(1), FileId(5), 2.0);
+        t.observe(FileId(1), FileId(6), 0.5);
+        let d = t.take_dirty();
+        assert_eq!(d.rows, vec![FileId(1)]);
+    }
+
+    #[test]
+    fn dirty_tracking_marks_purged_row_and_referrers() {
+        let mut t = NeighborTable::new(5, ReductionKind::Geometric, 1000, 1, 42);
+        t.observe(FileId(1), FileId(2), 1.0);
+        t.observe(FileId(3), FileId(4), 1.0);
+        t.take_dirty();
+        t.note_deletion(FileId(2));
+        let d = t.take_dirty();
+        assert!(
+            d.rows.is_empty() && !d.structural,
+            "marking alone is invisible"
+        );
+        t.note_deletion(FileId(9));
+        let d = t.take_dirty();
+        assert!(
+            !d.structural,
+            "a purge is a precise row delta, not structural"
+        );
+        assert!(d.rows.contains(&FileId(2)), "the dead row goes dirty");
+        assert!(d.rows.contains(&FileId(1)), "the referrer's view changed");
+        assert!(!d.rows.contains(&FileId(3)), "unrelated rows stay clean");
+    }
+
+    #[test]
+    fn dirty_tracking_flags_snapshot_restore_as_structural() {
+        let mut t = NeighborTable::new(5, ReductionKind::Geometric, 1000, 1, 42);
+        t.observe(FileId(1), FileId(2), 1.0);
+        let mut restored = NeighborTable::from_snapshot(t.snapshot(), 42);
+        assert!(
+            restored.take_dirty().structural,
+            "a restored table has no incremental baseline"
+        );
+    }
+
+    #[test]
+    fn soa_rows_grow_on_demand() {
+        let mut t = table(3);
+        t.observe(FileId(1000), FileId(7), 1.0);
+        t.observe(FileId(2), FileId(1000), 2.0);
+        assert_eq!(t.len(), 2);
+        assert!(t.distance(FileId(1000), FileId(7)).is_some());
+        assert_eq!(t.neighbors(FileId(2)).count(), 1);
+        assert_eq!(t.files().collect::<Vec<_>>(), vec![FileId(2), FileId(1000)]);
     }
 }

@@ -7,12 +7,15 @@
 //! calculation, and unconditionally hoarded.
 
 use seer_trace::FileId;
-use std::collections::HashMap;
 
 /// Tracks per-file access counts and flags frequently-referenced files.
+///
+/// Counts live in a dense vector indexed by [`FileId`] — file ids are
+/// arena-minted small integers, so the hot [`FrequencyTracker::record`]
+/// call is a bounds check and an increment, no hashing.
 #[derive(Debug, Default, Clone)]
 pub struct FrequencyTracker {
-    counts: HashMap<FileId, u64>,
+    counts: Vec<u64>,
     total: u64,
     fraction: f64,
     min_total: u64,
@@ -26,7 +29,7 @@ impl FrequencyTracker {
     #[must_use]
     pub fn new(fraction: f64, min_total: u64, min_accesses: u64) -> FrequencyTracker {
         FrequencyTracker {
-            counts: HashMap::new(),
+            counts: Vec::new(),
             total: 0,
             fraction,
             min_total,
@@ -38,26 +41,31 @@ impl FrequencyTracker {
     /// frequently-referenced.
     pub fn record(&mut self, file: FileId) -> bool {
         self.total += 1;
-        let c = self.counts.entry(file).or_insert(0);
-        *c += 1;
-        let c = *c;
-        self.is_frequent_counts(c)
+        if file == FileId::NONE {
+            return false;
+        }
+        let i = file.index();
+        if self.counts.len() <= i {
+            self.counts.resize(i + 1, 0);
+        }
+        self.counts[i] += 1;
+        self.is_frequent_counts(self.counts[i])
     }
 
     /// Whether `file` is currently flagged as frequently-referenced.
     #[must_use]
     pub fn is_frequent(&self, file: FileId) -> bool {
-        let c = self.counts.get(&file).copied().unwrap_or(0);
-        self.is_frequent_counts(c)
+        self.is_frequent_counts(self.count(file))
     }
 
-    /// All currently frequent files (unordered).
+    /// All currently frequent files, in id order.
     #[must_use]
     pub fn frequent_files(&self) -> Vec<FileId> {
         self.counts
             .iter()
+            .enumerate()
             .filter(|&(_, &c)| self.is_frequent_counts(c))
-            .map(|(&f, _)| f)
+            .map(|(i, _)| FileId(i as u32))
             .collect()
     }
 
@@ -70,21 +78,36 @@ impl FrequencyTracker {
     /// Accesses recorded for one file.
     #[must_use]
     pub fn count(&self, file: FileId) -> u64 {
-        self.counts.get(&file).copied().unwrap_or(0)
+        self.counts.get(file.index()).copied().unwrap_or(0)
     }
 
     /// Exports `(file, count)` pairs plus the total, for persistence.
     #[must_use]
     pub fn export(&self) -> (Vec<(FileId, u64)>, u64) {
-        let mut v: Vec<(FileId, u64)> = self.counts.iter().map(|(&f, &c)| (f, c)).collect();
-        v.sort_by_key(|(f, _)| *f);
+        let v: Vec<(FileId, u64)> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (FileId(i as u32), c))
+            .collect();
         (v, self.total)
     }
 
     /// Restores counts exported by [`FrequencyTracker::export`] into a
     /// freshly configured tracker.
     pub fn restore(&mut self, counts: Vec<(FileId, u64)>, total: u64) {
-        self.counts = counts.into_iter().collect();
+        self.counts.clear();
+        for (f, c) in counts {
+            if f == FileId::NONE {
+                continue;
+            }
+            let i = f.index();
+            if self.counts.len() <= i {
+                self.counts.resize(i + 1, 0);
+            }
+            self.counts[i] = c;
+        }
         self.total = total;
     }
 

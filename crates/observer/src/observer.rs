@@ -9,11 +9,11 @@ use crate::reference::{RefKind, Reference, ReferenceSink};
 use crate::stats::ObserverStats;
 use seer_trace::path::{basename, dirname, normalize};
 use seer_trace::{
-    ErrorKind, EventKind, EventSink, FileId, OpenMode, PathTable, Pid, Seq, StringTable, Timestamp,
-    TraceEvent,
+    ErrorKind, EventKind, EventSink, FileId, IdHashMap, OpenMode, PathTable, Pid, RawPathId, Seq,
+    StringTable, Timestamp, TraceEvent,
 };
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 /// Serializable persistent state of an [`Observer`] (see
 /// [`Observer::snapshot`]).
@@ -60,14 +60,44 @@ struct Emission {
 pub struct Observer<S> {
     config: ObserverConfig,
     paths: PathTable,
-    procs: HashMap<Pid, ProcessState>,
+    procs: IdHashMap<Pid, ProcessState>,
     history: ProgramHistory,
     freq: FrequencyTracker,
     stats: ObserverStats,
     known_dirs: HashSet<FileId>,
+    /// Dense mirror of `known_dirs` for the per-reference filter check.
+    known_dirs_dense: Vec<bool>,
     always_hoard: HashSet<FileId>,
+    /// Raw-path resolution memo, indexed by [`RawPathId`]: `(cwd token,
+    /// resolved file)`. A hit skips normalization and path-table hashing;
+    /// see [`Observer::resolve_id`] for the validity rule.
+    resolve_cache: Vec<(u32, FileId)>,
+    /// Next working-directory token (see [`ProcessState::cwd_token`]).
+    next_cwd_token: u32,
+    /// Per-file filter classification memo, indexed by [`FileId`]
+    /// (`CLASS_*` constants; 0 = not yet classified). Sound because the
+    /// classification depends only on the immutable config and the file's
+    /// immutable canonical path.
+    path_class: Vec<u8>,
     sink: S,
 }
+
+/// File not yet classified by the §4.3/§4.5/§4.6 path filters.
+const CLASS_UNKNOWN: u8 = 0;
+/// Ordinary file: passes every path-based filter.
+const CLASS_PLAIN: u8 = 1;
+/// Under a device prefix (§4.6): always hoarded, suppressed.
+const CLASS_DEVICE: u8 = 2;
+/// Under a critical prefix (§4.3): always hoarded, suppressed.
+const CLASS_CRITICAL: u8 = 3;
+/// Under a temporary directory (§4.5): suppressed.
+const CLASS_TEMP: u8 = 4;
+/// Dot-file (§4.3): always hoarded, suppressed.
+const CLASS_DOTFILE: u8 = 5;
+
+/// Cache token meaning "valid under any working directory" (absolute raw
+/// paths).
+const CWD_ANY: u32 = u32::MAX;
 
 impl<S: ReferenceSink> Observer<S> {
     /// Creates an observer delivering references to `sink`.
@@ -81,12 +111,16 @@ impl<S: ReferenceSink> Observer<S> {
         Observer {
             config,
             paths: PathTable::new(),
-            procs: HashMap::new(),
+            procs: IdHashMap::default(),
             history: ProgramHistory::new(),
             freq,
             stats: ObserverStats::default(),
             known_dirs: HashSet::new(),
+            known_dirs_dense: Vec::new(),
             always_hoard: HashSet::new(),
+            resolve_cache: Vec::new(),
+            next_cwd_token: 1,
+            path_class: Vec::new(),
             sink,
         }
     }
@@ -182,6 +216,13 @@ impl<S: ReferenceSink> Observer<S> {
         obs.paths = snap.paths;
         obs.always_hoard = snap.always_hoard.into_iter().collect();
         obs.known_dirs = snap.known_dirs.into_iter().collect();
+        for &d in &obs.known_dirs {
+            let i = d.index();
+            if obs.known_dirs_dense.len() <= i {
+                obs.known_dirs_dense.resize(i + 1, false);
+            }
+            obs.known_dirs_dense[i] = true;
+        }
         obs.freq.restore(snap.freq_counts, snap.freq_total);
         obs.history.restore(snap.program_history);
         obs.stats = snap.stats;
@@ -202,6 +243,79 @@ impl<S: ReferenceSink> Observer<S> {
             .map_or(self.config.default_cwd.as_str(), |p| p.cwd.as_str());
         let abs = normalize(cwd, raw);
         self.paths.intern(&abs)
+    }
+
+    /// [`Observer::resolve`] with a memo keyed by the raw-path intern id.
+    ///
+    /// A cache entry is valid when it was recorded under the same working
+    /// directory: absolute raw paths resolve independently of the cwd
+    /// (token [`CWD_ANY`]), relative ones validate against the process's
+    /// [`ProcessState::cwd_token`] — tokens are never reused, so token
+    /// equality implies cwd-string equality. A hit therefore returns
+    /// exactly what normalization + interning returned before, and file-id
+    /// minting order is unchanged.
+    fn resolve_id(&mut self, pid: Pid, raw_id: RawPathId, raw: &str) -> FileId {
+        let token = if raw.as_bytes().first() == Some(&b'/') {
+            CWD_ANY
+        } else {
+            self.procs.get(&pid).map_or(0, |p| p.cwd_token)
+        };
+        let idx = raw_id.0 as usize;
+        if let Some(&(t, f)) = self.resolve_cache.get(idx) {
+            if f != FileId::NONE && t == token {
+                return f;
+            }
+        }
+        let file = self.resolve(pid, raw);
+        if self.resolve_cache.len() <= idx {
+            self.resolve_cache.resize(idx + 1, (0, FileId::NONE));
+        }
+        self.resolve_cache[idx] = (token, file);
+        file
+    }
+
+    /// Records `file` as a directory object (§4.6) in both the canonical
+    /// set and the dense filter mirror.
+    fn mark_known_dir(&mut self, file: FileId) {
+        let i = file.index();
+        if self.known_dirs_dense.len() <= i {
+            self.known_dirs_dense.resize(i + 1, false);
+        }
+        if !self.known_dirs_dense[i] {
+            self.known_dirs_dense[i] = true;
+            self.known_dirs.insert(file);
+        }
+    }
+
+    /// Classifies `file` against the path-based filters (devices, critical
+    /// prefixes, temp directories, dot-files), memoizing per file. Returns
+    /// `CLASS_UNKNOWN` only when the id has no canonical path.
+    fn classify(&mut self, file: FileId) -> u8 {
+        let i = file.index();
+        if let Some(&c) = self.path_class.get(i) {
+            if c != CLASS_UNKNOWN {
+                return c;
+            }
+        }
+        let Some(path) = self.paths.resolve(file) else {
+            return CLASS_UNKNOWN;
+        };
+        let class = if self.config.is_device(path) {
+            CLASS_DEVICE
+        } else if self.config.is_critical(path) {
+            CLASS_CRITICAL
+        } else if self.config.is_temp(path) {
+            CLASS_TEMP
+        } else if self.config.exclude_dot_files && basename(path).starts_with('.') {
+            CLASS_DOTFILE
+        } else {
+            CLASS_PLAIN
+        };
+        if self.path_class.len() <= i {
+            self.path_class.resize(i + 1, CLASS_UNKNOWN);
+        }
+        self.path_class[i] = class;
+        class
     }
 
     /// Applies the meaningless-process judgment for the active strategy,
@@ -273,29 +387,36 @@ impl<S: ReferenceSink> Observer<S> {
             self.stats.suppressed_meaningless += 1;
             return;
         }
-        let Some(path) = self.paths.resolve(em.file) else {
-            return;
-        };
-        if self.config.is_device(path) {
-            self.always_hoard.insert(em.file);
-            self.stats.suppressed_device += 1;
-            return;
+        match self.classify(em.file) {
+            CLASS_PLAIN => {}
+            CLASS_DEVICE => {
+                self.always_hoard.insert(em.file);
+                self.stats.suppressed_device += 1;
+                return;
+            }
+            CLASS_CRITICAL => {
+                self.always_hoard.insert(em.file);
+                self.stats.suppressed_critical += 1;
+                return;
+            }
+            CLASS_TEMP => {
+                self.stats.suppressed_temp += 1;
+                return;
+            }
+            CLASS_DOTFILE => {
+                self.always_hoard.insert(em.file);
+                self.stats.suppressed_dotfile += 1;
+                return;
+            }
+            // CLASS_UNKNOWN: the id has no canonical path to judge.
+            _ => return,
         }
-        if self.config.is_critical(path) {
-            self.always_hoard.insert(em.file);
-            self.stats.suppressed_critical += 1;
-            return;
-        }
-        if self.config.is_temp(path) {
-            self.stats.suppressed_temp += 1;
-            return;
-        }
-        if self.config.exclude_dot_files && basename(path).starts_with('.') {
-            self.always_hoard.insert(em.file);
-            self.stats.suppressed_dotfile += 1;
-            return;
-        }
-        if self.known_dirs.contains(&em.file) {
+        if self
+            .known_dirs_dense
+            .get(em.file.index())
+            .copied()
+            .unwrap_or(false)
+        {
             self.stats.suppressed_directory += 1;
             return;
         }
@@ -352,9 +473,8 @@ impl<S: ReferenceSink> Observer<S> {
         }
     }
 
-    fn handle_open(&mut self, ev: &TraceEvent, raw: &str, read: bool, write: bool) {
+    fn handle_open(&mut self, ev: &TraceEvent, file: FileId, read: bool, write: bool) {
         let pid = ev.pid;
-        let file = self.resolve(pid, raw);
         self.end_getcwd_walk(pid);
         self.flush_pending_stat(pid, ev.ok().then_some(file));
         if !ev.ok() {
@@ -418,33 +538,35 @@ impl<S: ReferenceSink> Observer<S> {
         }
     }
 
-    fn handle_opendir(&mut self, ev: &TraceEvent, raw: &str) {
+    fn handle_opendir(&mut self, ev: &TraceEvent, file: FileId) {
         let pid = ev.pid;
-        let file = self.resolve(pid, raw);
         self.flush_pending_stat(pid, None);
-        self.known_dirs.insert(file);
+        self.mark_known_dir(file);
         if !ev.ok() {
             self.stats.suppressed_failed += 1;
             return;
         }
         let detect = self.config.detect_getcwd;
-        let path = self
-            .paths
-            .resolve(file)
-            .map(str::to_owned)
-            .unwrap_or_default();
-        let proc = self.proc_mut(pid);
+        // Borrow the canonical path and the process state simultaneously:
+        // they live in disjoint fields, so the walk detector below runs
+        // without copying the path on the common (non-walk) case.
+        let path = self.paths.resolve(file).unwrap_or_default();
+        let default_cwd = &self.config.default_cwd;
+        let proc = self
+            .procs
+            .entry(pid)
+            .or_insert_with(|| ProcessState::new(pid, default_cwd.clone()));
         let mut in_walk = false;
         if detect {
             match &proc.getcwd_walk {
                 None if path == dirname(&proc.cwd) && path != proc.cwd => {
                     // A process opening its cwd's parent looks like the
                     // start of a getcwd climb (§4.1).
-                    proc.getcwd_walk = Some(path.clone());
+                    proc.getcwd_walk = Some(path.to_owned());
                     in_walk = true;
                 }
                 Some(walk) if path == dirname(walk) => {
-                    proc.getcwd_walk = Some(path.clone());
+                    proc.getcwd_walk = Some(path.to_owned());
                     in_walk = true;
                 }
                 Some(walk) if *walk == path => in_walk = true,
@@ -493,9 +615,8 @@ impl<S: ReferenceSink> Observer<S> {
         }
     }
 
-    fn handle_stat(&mut self, ev: &TraceEvent, raw: &str, write: bool) {
+    fn handle_stat(&mut self, ev: &TraceEvent, file: FileId, write: bool) {
         let pid = ev.pid;
-        let file = self.resolve(pid, raw);
         if !ev.ok() {
             self.flush_pending_stat(pid, None);
             if ev.error == Some(ErrorKind::NotHoarded) {
@@ -551,9 +672,8 @@ impl<S: ReferenceSink> Observer<S> {
         }
     }
 
-    fn handle_exec(&mut self, ev: &TraceEvent, raw: &str) {
+    fn handle_exec(&mut self, ev: &TraceEvent, file: FileId) {
         let pid = ev.pid;
-        let file = self.resolve(pid, raw);
         self.end_getcwd_walk(pid);
         self.flush_pending_stat(pid, None);
         if !ev.ok() {
@@ -670,9 +790,8 @@ impl<S: ReferenceSink> Observer<S> {
         );
     }
 
-    fn handle_point(&mut self, ev: &TraceEvent, raw: &str, kind: RefKind) {
+    fn handle_point(&mut self, ev: &TraceEvent, file: FileId, kind: RefKind) {
         let pid = ev.pid;
-        let file = self.resolve(pid, raw);
         self.flush_pending_stat(pid, None);
         if !ev.ok() {
             self.stats.suppressed_failed += 1;
@@ -692,22 +811,25 @@ impl<S: ReferenceSink> Observer<S> {
         );
     }
 
-    fn handle_chdir(&mut self, ev: &TraceEvent, raw: &str) {
+    fn handle_chdir(&mut self, ev: &TraceEvent, file: FileId) {
         let pid = ev.pid;
-        let file = self.resolve(pid, raw);
         self.end_getcwd_walk(pid);
         self.flush_pending_stat(pid, None);
         if !ev.ok() {
             self.stats.suppressed_failed += 1;
             return;
         }
-        self.known_dirs.insert(file);
+        self.mark_known_dir(file);
         let path = self
             .paths
             .resolve(file)
             .map(str::to_owned)
             .unwrap_or_default();
-        self.proc_mut(pid).cwd = path;
+        let token = self.next_cwd_token;
+        self.next_cwd_token += 1;
+        let proc = self.proc_mut(pid);
+        proc.cwd = path;
+        proc.cwd_token = token;
     }
 }
 
@@ -718,65 +840,71 @@ impl<S: ReferenceSink> EventSink for Observer<S> {
             self.stats.suppressed_superuser += 1;
             return;
         }
-        let raw = ev
-            .kind
-            .path()
-            .and_then(|p| strings.resolve(p))
-            .map(str::to_owned);
+        // Resolve the event's raw path (borrowed from the session string
+        // table — no copy) to a canonical file id up front; handlers work
+        // in dense-id space only.
+        let file = ev.kind.path().and_then(|p| {
+            strings
+                .resolve(p)
+                .map(|raw| self.resolve_id(ev.pid, p, raw))
+        });
         match ev.kind {
             EventKind::Open { mode, .. } => {
-                if let Some(raw) = raw {
+                if let Some(file) = file {
                     let read = matches!(mode, OpenMode::Read | OpenMode::ReadWrite);
-                    self.handle_open(ev, &raw, read, mode.writes());
+                    self.handle_open(ev, file, read, mode.writes());
                 }
             }
             EventKind::Close { fd } => self.handle_close(ev, fd),
             EventKind::OpenDir { .. } => {
-                if let Some(raw) = raw {
-                    self.handle_opendir(ev, &raw);
+                if let Some(file) = file {
+                    self.handle_opendir(ev, file);
                 }
             }
             EventKind::ReadDir { fd, entries } => self.handle_readdir(ev, fd, entries),
             EventKind::Exec { .. } => {
-                if let Some(raw) = raw {
-                    self.handle_exec(ev, &raw);
+                if let Some(file) = file {
+                    self.handle_exec(ev, file);
                 }
             }
             EventKind::Exit => self.handle_exit(ev),
             EventKind::Fork { child } => self.handle_fork(ev, child),
             EventKind::Unlink { .. } => {
-                if let Some(raw) = raw {
-                    self.handle_point(ev, &raw, RefKind::Delete);
+                if let Some(file) = file {
+                    self.handle_point(ev, file, RefKind::Delete);
                 }
             }
             EventKind::Create { .. } => {
-                if let Some(raw) = raw {
-                    self.handle_point(ev, &raw, RefKind::Point { write: true });
+                if let Some(file) = file {
+                    self.handle_point(ev, file, RefKind::Point { write: true });
                 }
             }
-            EventKind::Rename { from, to } => {
-                let from = strings.resolve(from).map(str::to_owned);
-                let to = strings.resolve(to).map(str::to_owned);
-                if let Some(from) = from {
-                    self.handle_point(ev, &from, RefKind::Point { write: true });
+            EventKind::Rename { to, .. } => {
+                // `file` already resolved `from` (it is the kind's primary
+                // path); resolve `to` the same way and emit both writes.
+                if let Some(from) = file {
+                    self.handle_point(ev, from, RefKind::Point { write: true });
                 }
-                if let Some(to) = to {
-                    self.handle_point(ev, &to, RefKind::Point { write: true });
+                if let Some(to) = strings
+                    .resolve(to)
+                    .map(|raw| self.resolve_id(ev.pid, to, raw))
+                {
+                    self.handle_point(ev, to, RefKind::Point { write: true });
                 }
             }
             EventKind::Stat { .. } => {
-                if let Some(raw) = raw {
-                    self.handle_stat(ev, &raw, false);
+                if let Some(file) = file {
+                    self.handle_stat(ev, file, false);
                 }
             }
             EventKind::SetAttr { .. } => {
-                if let Some(raw) = raw {
-                    self.handle_stat(ev, &raw, true);
+                if let Some(file) = file {
+                    self.handle_stat(ev, file, true);
                 }
             }
             EventKind::Chdir { .. } => {
-                if let Some(raw) = raw {
-                    self.handle_chdir(ev, &raw);
+                if let Some(file) = file {
+                    self.handle_chdir(ev, file);
                 }
             }
         }

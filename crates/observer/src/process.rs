@@ -1,7 +1,6 @@
 //! Per-process observation state.
 
-use seer_trace::{Fd, FileId, Pid};
-use std::collections::HashMap;
+use seer_trace::{Fd, FileId, IdHashMap, Pid};
 
 /// What a process descriptor refers to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,8 +25,13 @@ pub struct ProcessState {
     pub parent: Option<Pid>,
     /// Current working directory (absolute).
     pub cwd: String,
+    /// Identity token of `cwd` for the observer's resolve cache: 0 means
+    /// the configured default cwd; every observed `chdir` assigns a fresh
+    /// token. Tokens are never reused, so equal tokens imply equal cwd
+    /// strings.
+    pub cwd_token: u32,
     /// Open descriptors.
-    pub fds: HashMap<Fd, FdTarget>,
+    pub fds: IdHashMap<Fd, FdTarget>,
     /// Program image currently executing, if an exec was observed.
     pub program: Option<FileId>,
     /// Basename of the program image.
@@ -68,7 +72,8 @@ impl ProcessState {
             pid,
             parent: None,
             cwd,
-            fds: HashMap::new(),
+            cwd_token: 0,
+            fds: IdHashMap::default(),
             program: None,
             program_name: None,
             learned: 0,
@@ -88,6 +93,7 @@ impl ProcessState {
             pid: child,
             parent: Some(parent.pid),
             cwd: parent.cwd.clone(),
+            cwd_token: parent.cwd_token,
             fds: parent.fds.clone(),
             program: parent.program,
             program_name: parent.program_name.clone(),

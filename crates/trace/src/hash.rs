@@ -1,0 +1,118 @@
+//! Cheap, deterministic hashing for dense id keys.
+//!
+//! The pipeline's hot maps are keyed by small newtype ids ([`crate::Pid`],
+//! [`crate::Fd`], [`crate::FileId`]) whose values are already
+//! well-distributed small integers. SipHash's DoS resistance buys nothing
+//! there and costs a measurable slice of the per-event budget, so these
+//! maps use an FxHash-style multiply hasher instead. The seed is fixed,
+//! which also makes iteration order reproducible across runs — though
+//! nothing may *rely* on that order; every exported collection is sorted
+//! explicitly.
+//!
+//! Not for untrusted or string keys: use the default hasher there.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from FxHash (rustc's hasher); odd, so the
+/// multiplication permutes `u64`.
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// An FxHash-style hasher for small integer keys.
+#[derive(Debug, Default, Clone)]
+pub struct IdHasher(u64);
+
+impl IdHasher {
+    #[inline]
+    fn add(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(K);
+    }
+}
+
+impl Hasher for IdHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// [`std::hash::BuildHasher`] for [`IdHasher`].
+pub type BuildIdHasher = BuildHasherDefault<IdHasher>;
+
+/// A `HashMap` keyed by dense ids, hashed with [`IdHasher`].
+pub type IdHashMap<K, V> = HashMap<K, V, BuildIdHasher>;
+
+/// A `HashSet` of dense ids, hashed with [`IdHasher`].
+pub type IdHashSet<T> = HashSet<T, BuildIdHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FileId, Pid};
+
+    #[test]
+    fn map_with_id_keys_behaves_like_a_map() {
+        let mut m: IdHashMap<Pid, u32> = IdHashMap::default();
+        for i in 0..1000 {
+            m.insert(Pid(i), i * 2);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&Pid(500)), Some(&1000));
+        assert_eq!(m.remove(&Pid(0)), Some(0));
+        assert!(!m.contains_key(&Pid(0)));
+    }
+
+    #[test]
+    fn sequential_ids_spread_across_hashes() {
+        // Distinct small keys must produce distinct hashes (the multiply is
+        // a permutation of u64).
+        let mut seen: HashSet<u64> = HashSet::new();
+        for i in 0..10_000u32 {
+            let mut h = IdHasher::default();
+            h.write_u32(i);
+            assert!(seen.insert(h.finish()), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn set_of_file_ids_works() {
+        let mut s: IdHashSet<FileId> = IdHashSet::default();
+        s.insert(FileId(7));
+        assert!(s.contains(&FileId(7)));
+        assert!(!s.contains(&FileId(8)));
+    }
+}

@@ -21,6 +21,7 @@
 pub mod error;
 pub mod event;
 pub mod fs;
+pub mod hash;
 pub mod ids;
 pub mod path;
 pub mod strings;
@@ -32,6 +33,7 @@ pub mod wire;
 pub use error::TraceError;
 pub use event::{ErrorKind, EventKind, OpenMode, TraceEvent};
 pub use fs::{FileKind, FsEntry, FsImage};
+pub use hash::{IdHashMap, IdHashSet};
 pub use ids::{Fd, FileId, Pid, RawPathId, Seq};
 pub use path::PathTable;
 pub use strings::StringTable;

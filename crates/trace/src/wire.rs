@@ -14,7 +14,9 @@
 //! from zero (the order a [`crate::StringTable`] produces naturally). The
 //! daemon remaps them into its own global table on arrival.
 
-use crate::event::TraceEvent;
+use crate::event::{ErrorKind, EventKind, OpenMode, TraceEvent};
+use crate::ids::{Fd, Pid, RawPathId, Seq};
+use crate::time::Timestamp;
 use serde::{Deserialize, Serialize};
 use std::io::{BufRead, Write};
 
@@ -42,7 +44,15 @@ use std::io::{BufRead, Write};
 /// `Miss` query returns recorded [`MissPostmortem`]s. Purely additive:
 /// older clients never send the new queries and never see the new
 /// responses.
-pub const WIRE_VERSION: u32 = 5;
+///
+/// v6: binary events frames. A client that saw `Welcome { version >= 6 }`
+/// may send event batches as length-prefixed binary frames (magic byte
+/// [`BINARY_EVENTS_MAGIC`], which no JSON line can start with) instead of
+/// JSON `Events` lines; see [`encode_events_binary`] for the layout. Only
+/// the events path changes — handshake, interning, queries, and every
+/// daemon reply stay JSON — and the daemon continues to accept JSON
+/// `Events` lines from v2–v5 clients on the same connection.
+pub const WIRE_VERSION: u32 = 6;
 
 /// The oldest client revision the daemon still accepts: v2 differs only
 /// by the absence of later, purely additive frames (trace stamps and the
@@ -506,6 +516,323 @@ pub fn read_frame<R: BufRead, T: Deserialize>(r: &mut R) -> Result<Option<T>, Wi
     }
 }
 
+// ---------------------------------------------------------------------------
+// v6 binary events frames
+// ---------------------------------------------------------------------------
+
+/// First byte of a binary events frame. JSON frames are lines starting
+/// with `{`, so one peeked byte tells the daemon which decoder to use;
+/// `0xB6` is also never a valid first byte of UTF-8 text, so the two
+/// framings cannot be confused even by a buggy client.
+pub const BINARY_EVENTS_MAGIC: u8 = 0xB6;
+
+/// Upper bound on a binary frame's payload. A length prefix beyond this
+/// is treated as corruption rather than an allocation request.
+pub const BINARY_MAX_PAYLOAD: usize = 64 * 1024 * 1024;
+
+/// Flag bit: the payload opens with an 8-byte little-endian trace id.
+const BIN_FLAG_TRACE_ID: u8 = 0x01;
+
+fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(b);
+            return;
+        }
+        buf.push(b | 0x80);
+    }
+}
+
+/// Borrowed-slice cursor for decoding; every read is bounds-checked so
+/// torn or truncated frames surface as [`WireError::Format`], never a
+/// panic.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn u8(&mut self) -> Result<u8, WireError> {
+        let b = *self
+            .buf
+            .get(self.pos)
+            .ok_or_else(|| WireError::Format("binary frame truncated".into()))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn varint(&mut self) -> Result<u64, WireError> {
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let b = self.u8()?;
+            if shift == 63 && b > 1 {
+                return Err(WireError::Format("varint overflows u64".into()));
+            }
+            v |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(WireError::Format("varint longer than 10 bytes".into()));
+            }
+        }
+    }
+
+    fn varint_u32(&mut self) -> Result<u32, WireError> {
+        u32::try_from(self.varint()?)
+            .map_err(|_| WireError::Format("varint exceeds u32 field".into()))
+    }
+}
+
+/// Encodes an event batch as one self-delimiting binary frame:
+///
+/// ```text
+/// magic (0xB6) | payload_len: u32 LE | payload
+/// payload = flags: u8
+///           [trace_id: u64 LE]      when flags bit 0 is set
+///           count: varint
+///           count × event
+/// event   = tag: u8                 bits 0–3 kind index, 4–5 error code
+///                                   (0 ok / 1 not-found / 2 not-hoarded /
+///                                   3 other), bit 6 root
+///           seq: varint             time: varint (µs)    pid: varint
+///           kind fields, varints in declaration order (open mode is one
+///           raw byte: 0 read / 1 write / 2 read-write)
+/// ```
+///
+/// Raw-path ids refer to the connection's `Intern` declarations exactly
+/// as in a JSON `Events` frame.
+#[must_use]
+pub fn encode_events_binary(events: &[TraceEvent], trace_id: Option<u64>) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(16 + events.len() * 12);
+    buf.push(BINARY_EVENTS_MAGIC);
+    buf.extend_from_slice(&[0; 4]); // Length backpatched below.
+    match trace_id {
+        Some(t) => {
+            buf.push(BIN_FLAG_TRACE_ID);
+            buf.extend_from_slice(&t.to_le_bytes());
+        }
+        None => buf.push(0),
+    }
+    put_varint(&mut buf, events.len() as u64);
+    for ev in events {
+        let err = match ev.error {
+            None => 0u8,
+            Some(ErrorKind::NotFound) => 1,
+            Some(ErrorKind::NotHoarded) => 2,
+            Some(ErrorKind::Other) => 3,
+        };
+        let tag = ev.kind.index() as u8 | (err << 4) | (u8::from(ev.root) << 6);
+        buf.push(tag);
+        put_varint(&mut buf, ev.seq.0);
+        put_varint(&mut buf, ev.time.0);
+        put_varint(&mut buf, u64::from(ev.pid.0));
+        match ev.kind {
+            EventKind::Open { path, mode, fd } => {
+                put_varint(&mut buf, u64::from(path.0));
+                buf.push(match mode {
+                    OpenMode::Read => 0,
+                    OpenMode::Write => 1,
+                    OpenMode::ReadWrite => 2,
+                });
+                put_varint(&mut buf, u64::from(fd.0));
+            }
+            EventKind::Close { fd } => put_varint(&mut buf, u64::from(fd.0)),
+            EventKind::OpenDir { path, fd } => {
+                put_varint(&mut buf, u64::from(path.0));
+                put_varint(&mut buf, u64::from(fd.0));
+            }
+            EventKind::ReadDir { fd, entries } => {
+                put_varint(&mut buf, u64::from(fd.0));
+                put_varint(&mut buf, u64::from(entries));
+            }
+            EventKind::Exec { path }
+            | EventKind::Unlink { path }
+            | EventKind::Create { path }
+            | EventKind::Stat { path }
+            | EventKind::SetAttr { path }
+            | EventKind::Chdir { path } => put_varint(&mut buf, u64::from(path.0)),
+            EventKind::Exit => {}
+            EventKind::Fork { child } => put_varint(&mut buf, u64::from(child.0)),
+            EventKind::Rename { from, to } => {
+                put_varint(&mut buf, u64::from(from.0));
+                put_varint(&mut buf, u64::from(to.0));
+            }
+        }
+    }
+    let len = (buf.len() - 5) as u32;
+    buf[1..5].copy_from_slice(&len.to_le_bytes());
+    buf
+}
+
+/// Decodes the payload of a binary events frame (everything after the
+/// magic and length prefix) straight from the borrowed slice.
+///
+/// # Errors
+///
+/// Returns [`WireError::Format`] for truncation, trailing garbage, or any
+/// out-of-range tag — corrupt input never panics.
+pub fn decode_events_binary(payload: &[u8]) -> Result<(Vec<TraceEvent>, Option<u64>), WireError> {
+    let mut c = Cursor {
+        buf: payload,
+        pos: 0,
+    };
+    let flags = c.u8()?;
+    if flags & !BIN_FLAG_TRACE_ID != 0 {
+        return Err(WireError::Format(format!(
+            "unknown binary frame flags {flags:#04x}"
+        )));
+    }
+    let trace_id = if flags & BIN_FLAG_TRACE_ID != 0 {
+        let mut raw = [0u8; 8];
+        for b in &mut raw {
+            *b = c.u8()?;
+        }
+        Some(u64::from_le_bytes(raw))
+    } else {
+        None
+    };
+    let count = c.varint()?;
+    // Each event is at least 4 bytes; a count claiming more than the
+    // remaining bytes could hold is corruption, not a huge allocation.
+    let remaining = payload.len() - c.pos;
+    if count > (remaining as u64) / 4 + 1 {
+        return Err(WireError::Format(format!(
+            "event count {count} impossible for {remaining}-byte payload"
+        )));
+    }
+    let mut events = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let tag = c.u8()?;
+        if tag & 0x80 != 0 {
+            return Err(WireError::Format(format!(
+                "reserved tag bit set: {tag:#04x}"
+            )));
+        }
+        let error = match (tag >> 4) & 0x3 {
+            0 => None,
+            1 => Some(ErrorKind::NotFound),
+            2 => Some(ErrorKind::NotHoarded),
+            _ => Some(ErrorKind::Other),
+        };
+        let root = tag & 0x40 != 0;
+        let seq = Seq(c.varint()?);
+        let time = Timestamp(c.varint()?);
+        let pid = Pid(c.varint_u32()?);
+        let kind = match tag & 0x0f {
+            0 => {
+                let path = RawPathId(c.varint_u32()?);
+                let mode = match c.u8()? {
+                    0 => OpenMode::Read,
+                    1 => OpenMode::Write,
+                    2 => OpenMode::ReadWrite,
+                    m => {
+                        return Err(WireError::Format(format!("invalid open mode {m}")));
+                    }
+                };
+                EventKind::Open {
+                    path,
+                    mode,
+                    fd: Fd(c.varint_u32()?),
+                }
+            }
+            1 => EventKind::Close {
+                fd: Fd(c.varint_u32()?),
+            },
+            2 => EventKind::OpenDir {
+                path: RawPathId(c.varint_u32()?),
+                fd: Fd(c.varint_u32()?),
+            },
+            3 => EventKind::ReadDir {
+                fd: Fd(c.varint_u32()?),
+                entries: c.varint_u32()?,
+            },
+            4 => EventKind::Exec {
+                path: RawPathId(c.varint_u32()?),
+            },
+            5 => EventKind::Exit,
+            6 => EventKind::Fork {
+                child: Pid(c.varint_u32()?),
+            },
+            7 => EventKind::Unlink {
+                path: RawPathId(c.varint_u32()?),
+            },
+            8 => EventKind::Create {
+                path: RawPathId(c.varint_u32()?),
+            },
+            9 => EventKind::Rename {
+                from: RawPathId(c.varint_u32()?),
+                to: RawPathId(c.varint_u32()?),
+            },
+            10 => EventKind::Stat {
+                path: RawPathId(c.varint_u32()?),
+            },
+            11 => EventKind::SetAttr {
+                path: RawPathId(c.varint_u32()?),
+            },
+            12 => EventKind::Chdir {
+                path: RawPathId(c.varint_u32()?),
+            },
+            k => {
+                return Err(WireError::Format(format!("unknown event kind {k}")));
+            }
+        };
+        events.push(TraceEvent {
+            seq,
+            time,
+            pid,
+            root,
+            kind,
+            error,
+        });
+    }
+    if c.pos != payload.len() {
+        return Err(WireError::Format(format!(
+            "{} trailing bytes after {count} events",
+            payload.len() - c.pos
+        )));
+    }
+    Ok((events, trace_id))
+}
+
+/// Reads one binary events frame — magic byte, length prefix, payload —
+/// into `scratch` (reused across calls to keep the read loop
+/// allocation-free) and decodes it.
+///
+/// Call after peeking [`BINARY_EVENTS_MAGIC`] on the stream.
+///
+/// # Errors
+///
+/// Returns [`WireError::Io`] if the stream ends mid-frame and
+/// [`WireError::Format`] for a corrupt length or payload.
+pub fn read_binary_events<R: BufRead>(
+    r: &mut R,
+    scratch: &mut Vec<u8>,
+) -> Result<(Vec<TraceEvent>, Option<u64>), WireError> {
+    let mut header = [0u8; 5];
+    r.read_exact(&mut header)?;
+    if header[0] != BINARY_EVENTS_MAGIC {
+        return Err(WireError::Format(format!(
+            "expected binary frame magic, got {:#04x}",
+            header[0]
+        )));
+    }
+    let len = u32::from_le_bytes([header[1], header[2], header[3], header[4]]) as usize;
+    if len > BINARY_MAX_PAYLOAD {
+        return Err(WireError::Format(format!(
+            "binary frame length {len} exceeds cap {BINARY_MAX_PAYLOAD}"
+        )));
+    }
+    scratch.clear();
+    scratch.resize(len, 0);
+    r.read_exact(scratch)?;
+    decode_events_binary(scratch)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -834,6 +1161,153 @@ mod tests {
         let mut r = &b"not json\n"[..];
         assert!(matches!(
             read_frame::<_, ClientFrame>(&mut r),
+            Err(WireError::Format(_))
+        ));
+    }
+
+    /// One event of every kind, with every error/root/mode combination
+    /// represented somewhere.
+    fn all_kinds() -> Vec<TraceEvent> {
+        let kinds = vec![
+            EventKind::Open {
+                path: RawPathId(3),
+                mode: OpenMode::Read,
+                fd: Fd(5),
+            },
+            EventKind::Open {
+                path: RawPathId(0),
+                mode: OpenMode::Write,
+                fd: Fd(0),
+            },
+            EventKind::Open {
+                path: RawPathId(u32::MAX - 1),
+                mode: OpenMode::ReadWrite,
+                fd: Fd(u32::MAX),
+            },
+            EventKind::Close { fd: Fd(5) },
+            EventKind::OpenDir {
+                path: RawPathId(9),
+                fd: Fd(7),
+            },
+            EventKind::ReadDir {
+                fd: Fd(7),
+                entries: 300,
+            },
+            EventKind::Exec { path: RawPathId(2) },
+            EventKind::Exit,
+            EventKind::Fork { child: Pid(4242) },
+            EventKind::Unlink { path: RawPathId(8) },
+            EventKind::Create { path: RawPathId(1) },
+            EventKind::Rename {
+                from: RawPathId(1),
+                to: RawPathId(2),
+            },
+            EventKind::Stat { path: RawPathId(6) },
+            EventKind::SetAttr { path: RawPathId(6) },
+            EventKind::Chdir { path: RawPathId(4) },
+        ];
+        kinds
+            .into_iter()
+            .enumerate()
+            .map(|(i, kind)| TraceEvent {
+                seq: Seq(i as u64 * 1_000_003),
+                time: Timestamp(i as u64 * 777_777_777),
+                pid: Pid(42 + i as u32),
+                root: i % 3 == 0,
+                kind,
+                error: match i % 4 {
+                    0 => None,
+                    1 => Some(ErrorKind::NotFound),
+                    2 => Some(ErrorKind::NotHoarded),
+                    _ => Some(ErrorKind::Other),
+                },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn binary_events_round_trip() {
+        let events = all_kinds();
+        for trace_id in [None, Some(0u64), Some(u64::MAX)] {
+            let frame = encode_events_binary(&events, trace_id);
+            assert_eq!(frame[0], BINARY_EVENTS_MAGIC);
+            let mut r = frame.as_slice();
+            let mut scratch = Vec::new();
+            let (got, got_trace) = read_binary_events(&mut r, &mut scratch).expect("decode");
+            assert_eq!(got, events);
+            assert_eq!(got_trace, trace_id);
+            assert!(r.is_empty(), "frame is self-delimiting");
+        }
+    }
+
+    #[test]
+    fn binary_empty_batch_round_trips() {
+        let frame = encode_events_binary(&[], None);
+        let mut scratch = Vec::new();
+        let (got, trace) = read_binary_events(&mut frame.as_slice(), &mut scratch).expect("decode");
+        assert!(got.is_empty());
+        assert_eq!(trace, None);
+    }
+
+    #[test]
+    fn binary_torn_frames_error_cleanly() {
+        let events = all_kinds();
+        let frame = encode_events_binary(&events, Some(7));
+        // Every possible truncation point: an I/O error (stream ended
+        // mid-frame) or a format error, never a panic or a bogus decode.
+        for cut in 0..frame.len() {
+            let mut scratch = Vec::new();
+            let err = read_binary_events(&mut &frame[..cut], &mut scratch)
+                .expect_err("truncated frame must not decode");
+            assert!(matches!(err, WireError::Io(_) | WireError::Format(_)));
+        }
+    }
+
+    #[test]
+    fn binary_corrupt_payloads_error_cleanly() {
+        let events = all_kinds();
+        let clean = encode_events_binary(&events, None);
+        // Flipping any payload byte must never panic (most flips also
+        // fail to decode, but e.g. a path-id bit flip legitimately
+        // decodes to different events).
+        for i in 5..clean.len() {
+            let mut bad = clean.clone();
+            bad[i] ^= 0xff;
+            let mut scratch = Vec::new();
+            let _ = read_binary_events(&mut bad.as_slice(), &mut scratch);
+        }
+        // A length prefix beyond the cap is rejected before allocating.
+        let mut bad = clean;
+        bad[1..5].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut scratch = Vec::new();
+        assert!(matches!(
+            read_binary_events(&mut bad.as_slice(), &mut scratch),
+            Err(WireError::Format(_))
+        ));
+        // An absurd event count inside a tiny payload is rejected
+        // before allocating.
+        let mut tiny = vec![BINARY_EVENTS_MAGIC, 0, 0, 0, 0, 0];
+        put_varint(&mut tiny, u64::MAX);
+        let len = (tiny.len() - 5) as u32;
+        tiny[1..5].copy_from_slice(&len.to_le_bytes());
+        assert!(matches!(
+            read_binary_events(&mut tiny.as_slice(), &mut scratch),
+            Err(WireError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn binary_rejects_unknown_flags_and_tags() {
+        let mut frame = encode_events_binary(&all_kinds(), None);
+        frame[5] = 0x80; // Unknown flag bit.
+        let mut scratch = Vec::new();
+        assert!(matches!(
+            read_binary_events(&mut frame.as_slice(), &mut scratch),
+            Err(WireError::Format(_))
+        ));
+        // Kind nibble 13–15 are unassigned.
+        assert!(matches!(
+            decode_events_binary(&[0, 1, 13, 0, 0, 0]),
             Err(WireError::Format(_))
         ));
     }

@@ -1,0 +1,144 @@
+//! Property tests for the wire protocol: arbitrary event batches survive
+//! both framings identically (a v5 JSON `Events` line and a v6 binary
+//! frame decode to the same events), and damaged binary frames always
+//! error cleanly — truncation and corruption must never panic.
+
+use proptest::prelude::*;
+use seer_trace::wire::{
+    self, decode_events_binary, encode_events_binary, read_binary_events, ClientFrame, WireError,
+};
+use seer_trace::{ErrorKind, EventKind, Fd, OpenMode, Pid, RawPathId, Seq, Timestamp, TraceEvent};
+
+fn path_id() -> impl Strategy<Value = RawPathId> {
+    (0..=u32::MAX).prop_map(RawPathId)
+}
+
+fn fd() -> impl Strategy<Value = Fd> {
+    (0..=u32::MAX).prop_map(Fd)
+}
+
+fn kind_strategy() -> impl Strategy<Value = EventKind> {
+    prop_oneof![
+        (path_id(), 0..3u8, fd()).prop_map(|(path, m, fd)| EventKind::Open {
+            path,
+            mode: match m {
+                0 => OpenMode::Read,
+                1 => OpenMode::Write,
+                _ => OpenMode::ReadWrite,
+            },
+            fd,
+        }),
+        fd().prop_map(|fd| EventKind::Close { fd }),
+        (path_id(), fd()).prop_map(|(path, fd)| EventKind::OpenDir { path, fd }),
+        (fd(), 0..=u32::MAX).prop_map(|(fd, entries)| EventKind::ReadDir { fd, entries }),
+        path_id().prop_map(|path| EventKind::Exec { path }),
+        Just(EventKind::Exit),
+        (0..=u32::MAX).prop_map(|c| EventKind::Fork { child: Pid(c) }),
+        path_id().prop_map(|path| EventKind::Unlink { path }),
+        path_id().prop_map(|path| EventKind::Create { path }),
+        (path_id(), path_id()).prop_map(|(from, to)| EventKind::Rename { from, to }),
+        path_id().prop_map(|path| EventKind::Stat { path }),
+        path_id().prop_map(|path| EventKind::SetAttr { path }),
+        path_id().prop_map(|path| EventKind::Chdir { path }),
+    ]
+}
+
+fn event_strategy() -> impl Strategy<Value = TraceEvent> {
+    (
+        (0..=u64::MAX, 0..=u64::MAX, 0..=u32::MAX),
+        prop::bool::ANY,
+        kind_strategy(),
+        prop_oneof![
+            Just(None),
+            Just(Some(ErrorKind::NotFound)),
+            Just(Some(ErrorKind::NotHoarded)),
+            Just(Some(ErrorKind::Other)),
+        ],
+    )
+        .prop_map(|((seq, time, pid), root, kind, error)| TraceEvent {
+            seq: Seq(seq),
+            time: Timestamp(time),
+            pid: Pid(pid),
+            root,
+            kind,
+            error,
+        })
+}
+
+fn batch_strategy() -> impl Strategy<Value = Vec<TraceEvent>> {
+    prop::collection::vec(event_strategy(), 0..64)
+}
+
+fn trace_id_strategy() -> impl Strategy<Value = Option<u64>> {
+    prop_oneof![Just(None), (0..=u64::MAX).prop_map(Some)]
+}
+
+proptest! {
+    /// The two framings are interchangeable: a batch written as a JSON
+    /// `Events` line and the same batch written as a binary frame decode
+    /// to identical events and trace id.
+    #[test]
+    fn json_and_binary_framings_agree(
+        events in batch_strategy(),
+        trace_id in trace_id_strategy(),
+    ) {
+        // v5 JSON line.
+        let mut line = Vec::new();
+        wire::write_frame(&mut line, &ClientFrame::Events {
+            events: events.clone(),
+            trace_id,
+        }).expect("json encode");
+        let text = std::str::from_utf8(&line[..line.len() - 1]).expect("utf8");
+        let decoded_json: ClientFrame = serde_json::from_str(text).expect("json decode");
+
+        // v6 binary frame.
+        let frame = encode_events_binary(&events, trace_id);
+        let mut scratch = Vec::new();
+        let (decoded_bin, bin_trace) =
+            read_binary_events(&mut frame.as_slice(), &mut scratch).expect("binary decode");
+
+        prop_assert_eq!(
+            decoded_json,
+            ClientFrame::Events { events: decoded_bin, trace_id: bin_trace }
+        );
+    }
+
+    /// Any truncation of a valid binary frame errors cleanly.
+    #[test]
+    fn truncated_binary_frames_error_cleanly(
+        events in batch_strategy(),
+        trace_id in trace_id_strategy(),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let frame = encode_events_binary(&events, trace_id);
+        let cut = (((frame.len() - 1) as f64) * cut_frac) as usize;
+        let mut scratch = Vec::new();
+        let err = read_binary_events(&mut &frame[..cut], &mut scratch)
+            .expect_err("truncated frame must not decode");
+        prop_assert!(matches!(err, WireError::Io(_) | WireError::Format(_)));
+    }
+
+    /// Arbitrary byte flips in the payload never panic: the decoder
+    /// either rejects the frame or yields some batch of events, but it
+    /// must always return.
+    #[test]
+    fn corrupted_binary_payloads_never_panic(
+        events in prop::collection::vec(event_strategy(), 1..32),
+        flips in prop::collection::vec((0..=u16::MAX, 1..=u8::MAX), 1..8),
+    ) {
+        let frame = encode_events_binary(&events, Some(9));
+        let mut payload = frame[5..].to_vec();
+        for (pos, val) in flips {
+            let i = pos as usize % payload.len();
+            payload[i] ^= val;
+        }
+        let _ = decode_events_binary(&payload);
+    }
+
+    /// Arbitrary raw bytes fed straight to the payload decoder never
+    /// panic either.
+    #[test]
+    fn random_bytes_never_panic(payload in prop::collection::vec(0..=u8::MAX, 0..512)) {
+        let _ = decode_events_binary(&payload);
+    }
+}
