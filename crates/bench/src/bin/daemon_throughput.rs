@@ -7,6 +7,12 @@
 //! small frames before the engine sees them, so even the frame-size-1
 //! column reaches the engine in batches.
 //!
+//! The final experiment scales out: all nine paper machines (A–I) stream
+//! concurrently as separate tenants, eight replica clients each over a
+//! mix of unix and tcp transports, into one daemon sharded across engine
+//! actors — reporting aggregate fleet events/s and per-tenant flush
+//! round-trip p99.
+//!
 //! Run with: `cargo run -p seer-bench --bin daemon_throughput --release`
 //! (also writes `results/daemon_throughput.txt`).
 
@@ -418,6 +424,156 @@ fn main() {
         "  engine_apply p99 ratio (quality on / off): {qratio:.2}x \
          (target: within 1.10x — evaluation must stay off the hot path)"
     );
+
+    // Sixth experiment: the fleet. All nine paper machines (A–I) stream
+    // concurrently, each as its own tenant with several replica clients
+    // over a mix of unix and tcp transports, into one daemon sharded
+    // across engine actors. Reported: aggregate events/s across the
+    // whole fleet and the per-tenant flush round-trip p99 (the latency a
+    // client sees between handing over a window of events and the shard
+    // acknowledging them applied).
+    const REPLICAS: usize = 8;
+    const FLEET_SHARDS: usize = 4;
+    const FLEET_CHUNK: usize = 1024;
+    // Flush (and take a latency sample) every this many events.
+    const FLUSH_WINDOW: usize = 2 * FLEET_CHUNK;
+    let machines = ["A", "B", "C", "D", "E", "F", "G", "H", "I"];
+    let fleet: Vec<(&str, seer_trace::Trace)> = machines
+        .iter()
+        .enumerate()
+        .map(|(i, m)| {
+            let profile = MachineProfile::by_name(m).expect("paper machine");
+            (
+                *m,
+                generate(&profile.scaled_to_days(20), 40 + i as u64).trace,
+            )
+        })
+        .collect();
+    let total_events: u64 = fleet
+        .iter()
+        .map(|(_, t)| t.len() as u64 * REPLICAS as u64)
+        .sum();
+
+    let dir = std::env::temp_dir().join(format!("seer-throughput-fleet-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let mut cfg = DaemonConfig::new(dir.join("sock"));
+    cfg.recluster_every = 0;
+    cfg.eval_every = std::time::Duration::ZERO;
+    cfg.tcp_addr = Some("127.0.0.1:0".into());
+    cfg.shards = FLEET_SHARDS;
+    let handle = Daemon::spawn(cfg).expect("spawn");
+    let socket_path = handle.socket_path().to_path_buf();
+    let tcp_addr = handle.tcp_addr().expect("tcp listener");
+
+    let _ = writeln!(
+        out,
+        "\nfleet ingestion — {} machines x {REPLICAS} replicas, {FLEET_SHARDS} shards, mixed unix/tcp:",
+        fleet.len()
+    );
+    let start = Instant::now();
+    // One thread per replica connection; half the fleet arrives over the
+    // unix socket, half over tcp, interleaved so every tenant uses both.
+    let per_replica: Vec<(usize, Vec<f64>)> = std::thread::scope(|s| {
+        let mut workers = Vec::new();
+        for (mi, (name, trace)) in fleet.iter().enumerate() {
+            for r in 0..REPLICAS {
+                let (socket_path, client_name) = (&socket_path, format!("{name}-{r}"));
+                workers.push(s.spawn(move || {
+                    let mut client = if (mi + r) % 2 == 0 {
+                        DaemonClient::connect_tenant(socket_path, &client_name, name)
+                    } else {
+                        DaemonClient::connect_tcp(tcp_addr, &client_name, Some(name))
+                    }
+                    .expect("connect");
+                    let mut latencies = Vec::new();
+                    let mut since_flush = 0usize;
+                    for chunk in trace.events.chunks(FLEET_CHUNK) {
+                        client.send_events(chunk, &trace.strings).expect("send");
+                        since_flush += chunk.len();
+                        if since_flush >= FLUSH_WINDOW {
+                            let t = Instant::now();
+                            client.flush().expect("flush");
+                            latencies.push(t.elapsed().as_secs_f64());
+                            since_flush = 0;
+                        }
+                    }
+                    let t = Instant::now();
+                    let applied = client.flush().expect("final flush");
+                    latencies.push(t.elapsed().as_secs_f64());
+                    assert_eq!(applied, trace.len() as u64, "every event acknowledged");
+                    (mi, latencies)
+                }));
+            }
+        }
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("replica"))
+            .collect()
+    });
+    let fleet_secs = start.elapsed().as_secs_f64();
+
+    let mut per_tenant: Vec<Vec<f64>> = vec![Vec::new(); fleet.len()];
+    for (mi, lat) in per_replica {
+        per_tenant[mi].extend(lat);
+    }
+    let p99 = |samples: &mut Vec<f64>| -> Option<f64> {
+        if samples.is_empty() {
+            return None;
+        }
+        samples.sort_by(f64::total_cmp);
+        Some(samples[(samples.len() - 1) * 99 / 100])
+    };
+    let _ = writeln!(
+        out,
+        "  {:<10} {:>12} {:>14} {:>18}",
+        "tenant", "events", "per replica", "flush p99 (µs)"
+    );
+    for (mi, (name, trace)) in fleet.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  {:<10} {:>12} {:>14} {:>18}",
+            name,
+            trace.len() * REPLICAS,
+            trace.len(),
+            us(p99(&mut per_tenant[mi])),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  aggregate: {total_events} events in {fleet_secs:.3}s = {:.0} events/s \
+         (target: >= 1,000,000 events/s)",
+        total_events as f64 / fleet_secs
+    );
+
+    // The fleet query is the cross-shard witness: every tenant present,
+    // every acknowledged event accounted for in the aggregate.
+    let mut client = DaemonClient::connect(&socket_path, "fleet-check").expect("connect");
+    match client
+        .query(QueryRequest::Fleet { top_k: None })
+        .expect("fleet query")
+    {
+        QueryResponse::Fleet {
+            tenants,
+            total_events: fleet_total,
+            per_tenant,
+        } => {
+            assert!(tenants >= fleet.len(), "all tenants visible");
+            let sum: u64 = per_tenant
+                .iter()
+                .filter(|t| t.tenant != "default")
+                .map(|t| t.events_applied)
+                .sum();
+            assert_eq!(sum, total_events, "fleet query accounts for every event");
+            let _ = writeln!(
+                out,
+                "  fleet query: {tenants} tenants, {fleet_total} events applied daemon-wide"
+            );
+        }
+        other => panic!("unexpected response: {other:?}"),
+    }
+    drop(client);
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
 
     let _ = writeln!(
         out,

@@ -32,7 +32,8 @@ USAGE:
   seer convert <in> <out> [--format text|json]
   seer live --machine <A..I> [--days N] [--seed N] [--budget BYTES]
             [--refill-hours H]
-  seer daemon --socket PATH [--snapshot FILE] [--capacity N] [--batch-max N]
+  seer daemon --socket PATH [--tcp ADDR] [--shards N]
+              [--snapshot FILE] [--capacity N] [--batch-max N]
               [--recluster-every N] [--snapshot-every N] [--file-size BYTES]
               [--recluster-threads N] [--trace-capacity N] [--slow-span-ms MS]
               [--flight FILE] [--wal-dir DIR] [--fsync always|never|interval:<ms>]
@@ -43,11 +44,18 @@ USAGE:
                --trace-capacity 0 disables the flight recorder;
                --wal-dir enables the write-ahead log; --restore-to discards
                every batch past that generation before starting;
-               --eval-every-ms 0 disables the quality plane)
+               --eval-every-ms 0 disables the quality plane;
+               --tcp also listens on that address, --shards spreads the
+               engine actors across cores)
+              (every client/trace/explain/top command below also accepts
+               --tcp ADDR instead of --socket and --tenant NAME to
+               address one observed machine on a multi-tenant daemon)
   seer client send <trace> --socket PATH [--chunk N]
   seer client load --socket PATH --machine <A..I> [--days N] [--seed N] [--chunk N]
   seer client query <{queries}> --socket PATH
                     [--budget BYTES] [--cached] [--format json|prom]
+  seer client query fleet --socket PATH [--top K]
+                    (per-tenant events/hoard/miss-rate table, whole daemon)
   seer client query history --socket PATH --generation N [--budget BYTES]
                     (replays the WAL prefix: the answer the daemon gave then)
   seer client query explain <path> --socket PATH

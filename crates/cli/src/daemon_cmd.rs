@@ -85,12 +85,21 @@ pub fn cmd_daemon(args: &Args) -> Result<(), CliError> {
     cfg.eval_window_secs = args.num_flag("eval-window-secs", cfg.eval_window_secs)?;
     cfg.eval_budget = args.num_flag("eval-budget", cfg.eval_budget)?;
     cfg.shadow_lru_cap = args.num_flag("shadow-lru-cap", cfg.shadow_lru_cap)?;
+    // Hub knobs: an extra TCP listener and the engine-shard count
+    // (tenants hash across shards; each shard is one actor thread).
+    if let Some(a) = args.flag("tcp") {
+        cfg.tcp_addr = Some(a.to_owned());
+    }
+    cfg.shards = args.num_flag("shards", cfg.shards)?;
 
     let recovered = cfg.snapshot_path.as_deref().is_some_and(Path::exists);
     let handle = Daemon::spawn(cfg)?;
     println!(
-        "seer-daemon listening on {}{}",
+        "seer-daemon listening on {}{}{}",
         handle.socket_path().display(),
+        handle
+            .tcp_addr()
+            .map_or_else(String::new, |a| format!(" and tcp {a}")),
         if recovered {
             " (state recovered from snapshot)"
         } else {
@@ -111,15 +120,38 @@ pub fn cmd_daemon(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `seer client <send|load|query|shutdown> --socket PATH ...`.
-pub fn cmd_client(args: &Args) -> Result<(), CliError> {
+/// Connects per the shared transport flags: `--socket PATH` for Unix,
+/// `--tcp HOST:PORT` for TCP, and `--tenant NAME` to land on a named
+/// tenant instead of the default.
+fn connect_from_args(args: &Args, client_name: &str) -> Result<DaemonClient, CliError> {
+    let tenant = args.flag("tenant");
+    if let Some(addr) = args.flag("tcp") {
+        return Ok(DaemonClient::connect_tcp(addr, client_name, tenant)?);
+    }
     let socket = Path::new(args.require_flag("socket")?);
+    Ok(match tenant {
+        Some(t) => DaemonClient::connect_tenant(socket, client_name, t)?,
+        None => DaemonClient::connect(socket, client_name)?,
+    })
+}
+
+/// A human-readable label for where the shared transport flags point.
+fn target_label(args: &Args) -> String {
+    args.flag("tcp").map_or_else(
+        || args.flag("socket").unwrap_or("<unset>").to_owned(),
+        |a| format!("tcp {a}"),
+    )
+}
+
+/// `seer client <send|load|query|shutdown> --socket PATH|--tcp ADDR
+/// [--tenant NAME] ...`.
+pub fn cmd_client(args: &Args) -> Result<(), CliError> {
     match args.positional(1) {
-        Some("send") => client_send(args, socket),
-        Some("load") => client_load(args, socket),
-        Some("query") => client_query(args, socket),
+        Some("send") => client_send(args),
+        Some("load") => client_load(args),
+        Some("query") => client_query(args),
         Some("shutdown") => {
-            let client = DaemonClient::connect(socket, "seer-cli")?;
+            let client = connect_from_args(args, "seer-cli")?;
             client.shutdown()?;
             println!("daemon acknowledged shutdown");
             Ok(())
@@ -131,10 +163,10 @@ pub fn cmd_client(args: &Args) -> Result<(), CliError> {
     }
 }
 
-fn client_send(args: &Args, socket: &Path) -> Result<(), CliError> {
+fn client_send(args: &Args) -> Result<(), CliError> {
     let trace = crate::commands::load_trace(args.require_positional(2, "trace file")?)?;
     let chunk: usize = args.num_flag("chunk", 64)?;
-    let mut client = DaemonClient::connect(socket, "seer-cli send")?;
+    let mut client = connect_from_args(args, "seer-cli send")?;
     client.send_trace(&trace, chunk)?;
     let applied = client.flush()?;
     println!(
@@ -146,7 +178,7 @@ fn client_send(args: &Args, socket: &Path) -> Result<(), CliError> {
 
 /// Workload-driven load generator: synthesizes a machine profile's trace
 /// and streams it at the daemon, reporting throughput.
-fn client_load(args: &Args, socket: &Path) -> Result<(), CliError> {
+fn client_load(args: &Args) -> Result<(), CliError> {
     let machine = args.require_flag("machine")?;
     let mut profile = MachineProfile::by_name(machine)
         .ok_or_else(|| CliError(format!("unknown machine: {machine} (use A..I)")))?;
@@ -156,7 +188,7 @@ fn client_load(args: &Args, socket: &Path) -> Result<(), CliError> {
     let chunk: usize = args.num_flag("chunk", 64)?;
     let workload = generate(&profile, seed);
 
-    let mut client = DaemonClient::connect(socket, "seer-cli load")?;
+    let mut client = connect_from_args(args, "seer-cli load")?;
     let start = std::time::Instant::now();
     client.send_trace(&workload.trace, chunk)?;
     let applied = client.flush()?;
@@ -171,8 +203,8 @@ fn client_load(args: &Args, socket: &Path) -> Result<(), CliError> {
     Ok(())
 }
 
-fn client_query(args: &Args, socket: &Path) -> Result<(), CliError> {
-    let mut client = DaemonClient::connect(socket, "seer-cli query")?;
+fn client_query(args: &Args) -> Result<(), CliError> {
+    let mut client = connect_from_args(args, "seer-cli query")?;
     let response = match args.positional(2) {
         Some("trace") => return client_query_trace(args, client),
         Some("hoard") => {
@@ -195,6 +227,18 @@ fn client_query(args: &Args, socket: &Path) -> Result<(), CliError> {
         Some("metrics") => client.query(QueryRequest::Metrics)?,
         Some("health") => client.query(QueryRequest::Health)?,
         Some("dump") => client.query(QueryRequest::Dump)?,
+        // `fleet` aggregates across every tenant on every shard;
+        // `--top N` keeps only the N worst tenants by miss rate.
+        Some("fleet") => {
+            let top_k = match args.flag("top") {
+                Some(s) => Some(
+                    s.parse()
+                        .map_err(|_| CliError(format!("--top wants a count (got {s})")))?,
+                ),
+                None => None,
+            };
+            client.query(QueryRequest::Fleet { top_k })?
+        }
         // `history` replays the daemon's WAL up to --generation and
         // answers the hoard selection the daemon would have given then.
         Some("history") => {
@@ -362,8 +406,7 @@ fn probe_events() -> (Vec<seer_trace::TraceEvent>, seer_trace::StringTable) {
 /// `seer trace <hoard|clusters> --socket PATH` — sends one traced query
 /// and pretty-prints the span tree the daemon recorded for it.
 pub fn cmd_trace(args: &Args) -> Result<(), CliError> {
-    let socket = Path::new(args.require_flag("socket")?);
-    let mut client = DaemonClient::connect(socket, "seer-trace")?;
+    let mut client = connect_from_args(args, "seer-trace")?;
     let trace_id = seer_telemetry::new_trace_id().0;
     client.set_trace_id(Some(trace_id));
     let fresh = !args.bool_flag("cached");
@@ -401,9 +444,8 @@ pub fn cmd_trace(args: &Args) -> Result<(), CliError> {
 /// one file where it did: hoard rank, cluster memberships, and strongest
 /// semantic-distance neighbors with evidence counts.
 pub fn cmd_explain(args: &Args) -> Result<(), CliError> {
-    let socket = Path::new(args.require_flag("socket")?);
     let path = args.require_positional(1, "path to explain")?;
-    let mut client = DaemonClient::connect(socket, "seer-explain")?;
+    let mut client = connect_from_args(args, "seer-explain")?;
     let response = client.explain(path)?;
     print_response(&response);
     Ok(())
@@ -415,11 +457,11 @@ pub fn cmd_explain(args: &Args) -> Result<(), CliError> {
 /// quality line with sparklines. With `--interval` it refreshes on that
 /// cadence over one connection until interrupted.
 pub fn cmd_top(args: &Args) -> Result<(), CliError> {
-    let socket = Path::new(args.require_flag("socket")?);
-    let mut client = DaemonClient::connect(socket, "seer-top")?;
+    let mut client = connect_from_args(args, "seer-top")?;
+    let target = target_label(args);
     let interval: u64 = args.num_flag("interval", 0)?;
     loop {
-        top_once(&mut client, socket)?;
+        top_once(&mut client, &target)?;
         if interval == 0 {
             return Ok(());
         }
@@ -428,7 +470,7 @@ pub fn cmd_top(args: &Args) -> Result<(), CliError> {
     }
 }
 
-fn top_once(client: &mut DaemonClient, socket: &Path) -> Result<(), CliError> {
+fn top_once(client: &mut DaemonClient, target: &str) -> Result<(), CliError> {
     let snap = match client.query(QueryRequest::Metrics)? {
         QueryResponse::Metrics { snapshot } => snapshot,
         other => return Err(CliError(format!("unexpected response: {other:?}"))),
@@ -439,7 +481,7 @@ fn top_once(client: &mut DaemonClient, socket: &Path) -> Result<(), CliError> {
     let uptime = gauge("seer_daemon_uptime_seconds").max(0) as f64;
     let received = counter("seer_daemon_events_received_total");
     let rate = received as f64 / uptime.max(1.0);
-    println!("seer daemon @ {}", socket.display());
+    println!("seer daemon @ {target}");
     println!(
         "uptime {uptime:.0}s   events received {received} ({rate:.1}/s)   \
          applied {}   batches {}",
@@ -618,11 +660,37 @@ fn print_response(response: &QueryResponse) {
             healthy,
             events_applied,
             queue_depth,
+            wal_fault,
         } => {
             println!(
-                "{}: {events_applied} events applied, queue depth {queue_depth}",
-                if *healthy { "healthy" } else { "shutting down" }
+                "{}: {events_applied} events applied, queue depth {queue_depth}{}",
+                if *healthy { "healthy" } else { "unhealthy" },
+                wal_fault
+                    .as_ref()
+                    .map_or_else(String::new, |f| format!("; wal fault: {f}")),
             );
+        }
+        QueryResponse::Fleet {
+            tenants,
+            total_events,
+            per_tenant,
+        } => {
+            println!("fleet: {tenants} tenants, {total_events} events applied");
+            println!(
+                "{:<20} {:>12} {:>10} {:>8} {:>10}  wal",
+                "tenant", "events", "files", "misses", "miss rate"
+            );
+            for t in per_tenant {
+                println!(
+                    "{:<20} {:>12} {:>10} {:>8} {:>9.4}%  {}",
+                    t.tenant,
+                    t.events_applied,
+                    t.files_known,
+                    t.misses,
+                    t.miss_rate * 100.0,
+                    t.wal_fault.as_deref().unwrap_or("ok"),
+                );
+            }
         }
         QueryResponse::Dump { spans, dropped } => {
             println!(

@@ -4,16 +4,57 @@ use seer_trace::wire::{
     self, ClientFrame, DaemonFrame, QueryRequest, QueryResponse, WireError, WIRE_VERSION,
 };
 use seer_trace::{RawPathId, StringTable, Trace, TraceEvent};
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
 use std::os::unix::net::UnixStream;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+/// The client side of either transport the daemon's hub listens on.
+enum ClientStream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl ClientStream {
+    fn try_clone(&self) -> std::io::Result<ClientStream> {
+        match self {
+            ClientStream::Unix(s) => s.try_clone().map(ClientStream::Unix),
+            ClientStream::Tcp(s) => s.try_clone().map(ClientStream::Tcp),
+        }
+    }
+}
+
+impl Read for ClientStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            ClientStream::Unix(s) => s.read(buf),
+            ClientStream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for ClientStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            ClientStream::Unix(s) => s.write(buf),
+            ClientStream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            ClientStream::Unix(s) => s.flush(),
+            ClientStream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
 /// The client's write half, counting every byte that reaches the socket
 /// so callers can report wire throughput without re-serializing frames.
 struct CountingStream {
-    inner: UnixStream,
+    inner: ClientStream,
     bytes: Arc<AtomicU64>,
 }
 
@@ -39,7 +80,7 @@ impl Write for CountingStream {
 /// only flushed to the socket when a reply is needed, so streaming many
 /// small batches stays cheap.
 pub struct DaemonClient {
-    r: BufReader<UnixStream>,
+    r: BufReader<ClientStream>,
     w: BufWriter<CountingStream>,
     bytes: Arc<AtomicU64>,
     strings: StringTable,
@@ -55,7 +96,8 @@ pub struct DaemonClient {
 }
 
 impl DaemonClient {
-    /// Connects and performs the hello/welcome handshake.
+    /// Connects over the Unix socket and performs the hello/welcome
+    /// handshake, landing on the daemon's default tenant.
     ///
     /// # Errors
     ///
@@ -63,6 +105,48 @@ impl DaemonClient {
     /// [`WireError::Format`] on a version mismatch or malformed reply.
     pub fn connect(socket_path: &Path, client: &str) -> Result<DaemonClient, WireError> {
         let stream = UnixStream::connect(socket_path)?;
+        DaemonClient::handshake(ClientStream::Unix(stream), client, None)
+    }
+
+    /// Connects over the Unix socket as a named tenant: the v7
+    /// handshake carries the tenant id, and everything this connection
+    /// sends or asks lands on that tenant's engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Io`] if the socket cannot be reached and
+    /// [`WireError::Format`] on a version mismatch or malformed reply.
+    pub fn connect_tenant(
+        socket_path: &Path,
+        client: &str,
+        tenant: &str,
+    ) -> Result<DaemonClient, WireError> {
+        let stream = UnixStream::connect(socket_path)?;
+        DaemonClient::handshake(ClientStream::Unix(stream), client, Some(tenant))
+    }
+
+    /// Connects over TCP (`tenant: None` lands on the default tenant).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Io`] if the address cannot be reached and
+    /// [`WireError::Format`] on a version mismatch or malformed reply.
+    pub fn connect_tcp(
+        addr: impl ToSocketAddrs,
+        client: &str,
+        tenant: Option<&str>,
+    ) -> Result<DaemonClient, WireError> {
+        let stream = TcpStream::connect(addr)?;
+        // Request/response with explicit flushes; Nagle only adds latency.
+        let _ = stream.set_nodelay(true);
+        DaemonClient::handshake(ClientStream::Tcp(stream), client, tenant)
+    }
+
+    fn handshake(
+        stream: ClientStream,
+        client: &str,
+        tenant: Option<&str>,
+    ) -> Result<DaemonClient, WireError> {
         let reader = stream.try_clone()?;
         let bytes = Arc::new(AtomicU64::new(0));
         let mut c = DaemonClient {
@@ -83,6 +167,7 @@ impl DaemonClient {
             &ClientFrame::Hello {
                 client: client.to_owned(),
                 version: WIRE_VERSION,
+                tenant: tenant.map(str::to_owned),
             },
         )?;
         c.w.flush()?;

@@ -2,16 +2,18 @@
 //! long-running service).
 //!
 //! The paper's SEER runs as user-level daemons fed by an in-kernel trace
-//! stream; this crate is the repo's equivalent: a service that accepts
-//! [`seer_trace::TraceEvent`] streams over a Unix-domain socket (the
-//! newline-delimited JSON protocol of [`seer_trace::wire`]) and feeds
-//! them through a bounded, batched pipeline into a [`seer_core::SeerEngine`]:
+//! stream; this crate is the repo's equivalent — scaled from one machine
+//! to a fleet. A connection hub accepts [`seer_trace::TraceEvent`]
+//! streams over Unix-domain *and* TCP sockets (the protocol of
+//! [`seer_trace::wire`]); the v7 handshake names a tenant, and frames
+//! route by tenant to a sharded pool of engine actors, each shard owning
+//! one independent SEER instance + WAL + quality plane per tenant:
 //!
 //! ```text
-//!  clients ──► conn readers ──► ingest ──► batcher ──► apply ──► engine actor
-//!              (1 thread/conn)  (bounded)             (bounded)  (recluster,
-//!                                                                 snapshot,
-//!                                                                 queries)
+//!  unix ─┐                          ┌─► shard 0 ─► batcher ─► engine actor (tenants A, D, …)
+//!        ├─► accept ─► conn readers ┼─► shard 1 ─► batcher ─► engine actor (tenants B, E, …)
+//!  tcp ──┘    (1 thread/conn,       └─► shard N ─► batcher ─► engine actor (…)
+//!              route by tenant)          (bounded ingest + apply channels per shard)
 //! ```
 //!
 //! Design properties, mirroring the paper's constraints on an
@@ -39,11 +41,19 @@
 //! - **Online queries.** Hoard selection, cluster summaries, stats, and
 //!   health probes are answered on the same socket, after an implicit
 //!   flush of the querying connection's stream — so an online hoard
-//!   query equals an offline replay of the same events.
+//!   query equals an offline replay of the same events. Per-tenant
+//!   queries see only their tenant; the `Fleet` query fans out across
+//!   shards and merges.
+//! - **Blast-radius isolation.** A hostile or broken client (garbage
+//!   bytes, oversized frames, mid-frame disconnects) kills only its own
+//!   connection, counted in `seer_daemon_connection_errors_total`; a
+//!   tenant whose WAL faults (e.g. ENOSPC) stops being acknowledged and
+//!   reports unhealthy, without perturbing other tenants.
 
 #![warn(missing_docs)]
 
 mod client;
+mod hub;
 mod pipeline;
 mod quality;
 mod server;

@@ -1,14 +1,16 @@
-//! The daemon's bounded, batched ingestion pipeline.
+//! The daemon's bounded, batched ingestion pipeline — one shard of it.
 //!
 //! ```text
 //! conn readers ──► ingest (bounded) ──► batcher ──► apply (bounded) ──► engine actor
 //!                                                      control (queries) ──┘
 //! ```
 //!
-//! Both channels are bounded: when the engine falls behind, the apply
-//! channel fills, the batcher stalls, the ingest channel fills, and the
-//! connection readers block in `send` — backpressure propagates all the
-//! way to the client sockets instead of growing an unbounded queue.
+//! The hub (`crate::hub`) routes every connection's frames to one shard
+//! by tenant id; each shard runs this pipeline. Both channels are
+//! bounded: when the engine falls behind, the apply channel fills, the
+//! batcher stalls, the ingest channel fills, and the connection readers
+//! block in `send` — backpressure propagates all the way to the client
+//! sockets instead of growing an unbounded queue.
 //!
 //! The batcher coalesces consecutive event frames from the same
 //! connection into batches of up to `batch_max` events, so a client
@@ -16,6 +18,11 @@
 //! batches. Any ordering-sensitive message (intern declarations, flush
 //! markers, connection teardown) flushes the pending batch first, which
 //! preserves per-connection order end to end.
+//!
+//! A shard's engine actor owns one [`TenantState`] per tenant routed to
+//! it: a full SEER instance with its own string table, WAL, snapshot
+//! path, and quality plane. Tenants other than the default are created
+//! lazily on first contact, restoring from their own snapshot + WAL.
 
 use crate::quality::{self, QualityState};
 use crate::snapshot::DaemonSnapshot;
@@ -26,44 +33,112 @@ use seer_core::{
 };
 use seer_telemetry::{tlog, Histogram, Level, SpanContext, Tracer};
 use seer_trace::wire::{
-    ExplainNeighbor, MissPostmortem, QualityReport, QueryRequest, QueryResponse,
+    ExplainNeighbor, MissPostmortem, QualityReport, QueryRequest, QueryResponse, TenantFleetStat,
 };
 use seer_trace::{EventSink, FileId, RawPathId, StringTable, TraceEvent};
-use seer_wal::{Wal, WalRecord};
+use seer_wal::{FsyncPolicy, Wal, WalConfig, WalRecord};
 use std::collections::{HashMap, VecDeque};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
+/// A tenant id as routed by the hub. `Arc<str>` so every message clones
+/// a pointer, not a string; pre-v7 connections land on the default.
+pub(crate) type Tenant = Arc<str>;
+
+/// The tenant that v2–v6 clients (no tenant in their handshake) map to.
+pub(crate) const DEFAULT_TENANT: &str = "default";
+
+/// The default tenant id, ready to stamp on messages.
+pub(crate) fn default_tenant() -> Tenant {
+    Arc::from(DEFAULT_TENANT)
+}
+
+/// A tenant name reduced to `[A-Za-z0-9._-]` for use in file-system
+/// paths (snapshot suffixes, WAL directory names). Anything else maps
+/// to `_`; an empty or all-dots name becomes a single `_` so it can
+/// never alias `.` or `..`.
+pub(crate) fn sanitize_tenant(tenant: &str) -> String {
+    let mut out: String = tenant
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.is_empty() || out.chars().all(|c| c == '.') {
+        out = "_".into();
+    }
+    out
+}
+
+/// The snapshot path for a tenant. The default tenant keeps the
+/// configured path exactly (compatibility with every pre-hub daemon on
+/// disk); other tenants get a `.<tenant>` suffixed sibling.
+pub(crate) fn tenant_snapshot_path(base: &Path, tenant: &str) -> PathBuf {
+    if tenant == DEFAULT_TENANT {
+        base.to_path_buf()
+    } else {
+        PathBuf::from(format!("{}.{}", base.display(), sanitize_tenant(tenant)))
+    }
+}
+
+/// The WAL directory for a tenant. The default tenant keeps the
+/// configured directory; other tenants get a `-<tenant>` suffixed
+/// sibling directory (a sibling, not a subdirectory, so the log's own
+/// segment scan never sees foreign entries).
+pub(crate) fn tenant_wal_dir(base: &Path, tenant: &str) -> PathBuf {
+    if tenant == DEFAULT_TENANT {
+        base.to_path_buf()
+    } else {
+        PathBuf::from(format!("{}-{}", base.display(), sanitize_tenant(tenant)))
+    }
+}
+
 /// Messages from connection readers into the pipeline.
 pub(crate) enum Ingest {
     /// Declare a connection-local raw-path id.
-    Intern { conn: u64, local: u32, path: String },
+    Intern {
+        conn: u64,
+        tenant: Tenant,
+        local: u32,
+        path: String,
+    },
     /// Events to apply, ids in the connection's local space. `ctx` is
     /// the decode span of a traced frame; downstream stages parent their
     /// spans under it, extending the causal chain.
     Events {
         conn: u64,
+        tenant: Tenant,
         events: Vec<TraceEvent>,
         ctx: Option<SpanContext>,
     },
     /// Ordered marker: everything this connection sent before it must be
     /// applied before `ack` fires with the connection's applied count.
-    Flush { conn: u64, ack: Sender<u64> },
+    Flush {
+        conn: u64,
+        tenant: Tenant,
+        ack: Sender<u64>,
+    },
     /// The connection hung up; its remap table can be dropped.
-    ConnClosed { conn: u64 },
+    ConnClosed { conn: u64, tenant: Tenant },
 }
 
 /// Batched messages from the batcher to the engine actor.
 pub(crate) enum Apply {
     Interns {
         conn: u64,
+        tenant: Tenant,
         entries: Vec<(u32, String)>,
     },
     Batch {
         conn: u64,
+        tenant: Tenant,
         events: Vec<TraceEvent>,
         /// The batcher-flush span this batch was coalesced under, if any
         /// frame in it was traced; parents the `engine_apply` span.
@@ -71,10 +146,12 @@ pub(crate) enum Apply {
     },
     Flush {
         conn: u64,
+        tenant: Tenant,
         ack: Sender<u64>,
     },
     ConnClosed {
         conn: u64,
+        tenant: Tenant,
     },
 }
 
@@ -82,6 +159,7 @@ pub(crate) enum Apply {
 pub(crate) enum Control {
     Query {
         query: QueryRequest,
+        tenant: Tenant,
         /// The connection's `query` root span; the actor's `engine_answer`
         /// span (and any recluster it triggers) parents under it.
         ctx: Option<SpanContext>,
@@ -91,6 +169,8 @@ pub(crate) enum Control {
 
 /// Tunables the actor needs (a subset of the server's `DaemonConfig`).
 pub(crate) struct ActorConfig {
+    /// Base snapshot path; per-tenant paths derive from it (see
+    /// [`tenant_snapshot_path`]).
     pub snapshot_path: Option<PathBuf>,
     pub recluster_every: u64,
     /// Force a full shared-neighbor recount after this many consecutive
@@ -105,9 +185,20 @@ pub(crate) struct ActorConfig {
     /// Where to dump the flight-recorder ring (JSON lines) when the
     /// actor exits, gracefully or by kill. `None` skips the dump.
     pub flight_path: Option<PathBuf>,
-    /// Engine configuration for the *cold* base of a `History` replay
-    /// (mirrors the server's cold-start configuration).
+    /// Engine configuration for cold starts of lazily created tenants
+    /// and the *cold* base of a `History` replay.
     pub engine: SeerConfig,
+    /// Base WAL directory; per-tenant directories derive from it (see
+    /// [`tenant_wal_dir`]). `None` runs every tenant without a WAL.
+    pub wal_dir: Option<PathBuf>,
+    pub wal_fsync: FsyncPolicy,
+    pub wal_segment_bytes: u64,
+    /// Fault injection for tests: after this many successful appends,
+    /// every WAL append for `wal_fail_tenant` fails. `None` disables.
+    pub wal_fail_after: Option<u64>,
+    /// The tenant whose WAL the injection above targets; `None` means
+    /// the default tenant.
+    pub wal_fail_tenant: Option<String>,
     /// Cadence of background quality evaluations; `Duration::ZERO`
     /// disables the whole quality plane (evaluator, shadow LRU, and
     /// postmortem capture).
@@ -122,9 +213,10 @@ pub(crate) struct ActorConfig {
 }
 
 /// A frozen reclustering job handed to the background worker. The input
-/// is an immutable copy of the engine's neighbor lists and path table;
-/// the actor keeps applying batches while the worker computes.
+/// is an immutable copy of one tenant engine's neighbor lists and path
+/// table; the actor keeps applying batches while the worker computes.
 struct ReclusterJob {
+    tenant: Tenant,
     input: ReclusterInput,
     /// The neighbor-table delta since the previous job's view (drained
     /// at the same moment `input` was captured), letting the worker
@@ -145,6 +237,7 @@ struct ReclusterJob {
 /// whether a traced query ended up waiting on this job — an untraced
 /// periodic job a fresh query reuses still lands in that query's trace.
 struct ReclusterDone {
+    tenant: Tenant,
     clustering: Clustering,
     generation: u64,
     /// When the worker started computing.
@@ -174,24 +267,26 @@ fn run_recluster_worker(
     threads: usize,
     full_every: u64,
 ) {
-    // Pre-relation pair counts carried between consecutive jobs. The
-    // queue is FIFO and each job's dirty delta spans exactly the gap to
-    // the previous job's view, so the cache chain stays valid; every
-    // `full_every` incremental runs the cache is dropped to force a
-    // fresh full recount.
-    let mut cache: Option<PairCountCache> = None;
-    let mut since_full: u64 = 0;
+    // Pre-relation pair counts carried between consecutive jobs, keyed
+    // by tenant: the queue is FIFO and each job's dirty delta spans
+    // exactly the gap to *that tenant's* previous job's view, so each
+    // per-tenant cache chain stays valid even when tenants interleave.
+    // Every `full_every` incremental runs a tenant's cache is dropped to
+    // force a fresh full recount.
+    let mut caches: HashMap<Tenant, (Option<PairCountCache>, u64)> = HashMap::new();
     while let Ok(job) = job_rx.recv() {
-        if full_every > 0 && since_full >= full_every {
-            cache = None;
+        let (cache, since_full) = caches.entry(job.tenant.clone()).or_insert((None, 0));
+        if full_every > 0 && *since_full >= full_every {
+            *cache = None;
         }
         let started = Instant::now();
         let run = job
             .input
-            .compute_incremental(threads, job.dirty.as_ref(), &mut cache);
-        since_full = if run.incremental { since_full + 1 } else { 0 };
+            .compute_incremental(threads, job.dirty.as_ref(), cache);
+        *since_full = if run.incremental { *since_full + 1 } else { 0 };
         let wall = started.elapsed();
         let done = ReclusterDone {
+            tenant: job.tenant,
             clustering: run.clustering,
             generation: job.generation,
             started,
@@ -220,15 +315,19 @@ pub(crate) fn run_batcher(
     kill: Arc<AtomicBool>,
 ) {
     // A pending batch remembers the first traced frame coalesced into it;
-    // the flush span continues that frame's causal chain.
-    type PendingEvents = (u64, Vec<TraceEvent>, Option<SpanContext>);
+    // the flush span continues that frame's causal chain. Coalescing is
+    // keyed by (conn, tenant): conn ids are daemon-unique, but a
+    // connection that re-handshakes onto a new tenant must not leak a
+    // pending batch across the boundary.
+    type PendingEvents = (u64, Tenant, Vec<TraceEvent>, Option<SpanContext>);
+    type PendingInterns = (u64, Tenant, Vec<(u32, String)>);
     let mut pending_events: Option<PendingEvents> = None;
-    let mut pending_interns: Option<(u64, Vec<(u32, String)>)> = None;
+    let mut pending_interns: Option<PendingInterns> = None;
     // Timing the send captures backpressure: a full apply channel shows
     // up here as batcher-flush latency, not as silent queue growth.
     let flush_events = |p: &mut Option<PendingEvents>, tx: &Sender<Apply>| -> bool {
         match p.take() {
-            Some((conn, events, ctx)) => {
+            Some((conn, tenant, events, ctx)) => {
                 let _t = flush_timer.start_timer();
                 // The span covers the send, so backpressure blocking is
                 // visible on the trace timeline too.
@@ -240,6 +339,7 @@ pub(crate) fn run_batcher(
                 let flush_ctx = span.as_ref().map(seer_telemetry::Span::context);
                 tx.send(Apply::Batch {
                     conn,
+                    tenant,
                     events,
                     ctx: flush_ctx,
                 })
@@ -248,9 +348,15 @@ pub(crate) fn run_batcher(
             None => true,
         }
     };
-    let flush_interns = |p: &mut Option<(u64, Vec<(u32, String)>)>, tx: &Sender<Apply>| -> bool {
+    let flush_interns = |p: &mut Option<PendingInterns>, tx: &Sender<Apply>| -> bool {
         match p.take() {
-            Some((conn, entries)) => tx.send(Apply::Interns { conn, entries }).is_ok(),
+            Some((conn, tenant, entries)) => tx
+                .send(Apply::Interns {
+                    conn,
+                    tenant,
+                    entries,
+                })
+                .is_ok(),
             None => true,
         }
     };
@@ -259,22 +365,30 @@ pub(crate) fn run_batcher(
             return;
         }
         match ingest_rx.recv_timeout(batch_max_wait) {
-            Ok(Ingest::Intern { conn, local, path }) => {
+            Ok(Ingest::Intern {
+                conn,
+                tenant,
+                local,
+                path,
+            }) => {
                 if !flush_events(&mut pending_events, &apply_tx) {
                     return;
                 }
                 match &mut pending_interns {
-                    Some((c, entries)) if *c == conn => entries.push((local, path)),
+                    Some((c, t, entries)) if *c == conn && *t == tenant => {
+                        entries.push((local, path));
+                    }
                     _ => {
                         if !flush_interns(&mut pending_interns, &apply_tx) {
                             return;
                         }
-                        pending_interns = Some((conn, vec![(local, path)]));
+                        pending_interns = Some((conn, tenant, vec![(local, path)]));
                     }
                 }
             }
             Ok(Ingest::Events {
                 conn,
+                tenant,
                 mut events,
                 ctx,
             }) => {
@@ -282,7 +396,7 @@ pub(crate) fn run_batcher(
                     return;
                 }
                 match &mut pending_events {
-                    Some((c, buf, pending_ctx)) if *c == conn => {
+                    Some((c, t, buf, pending_ctx)) if *c == conn && *t == tenant => {
                         buf.append(&mut events);
                         if pending_ctx.is_none() {
                             *pending_ctx = ctx;
@@ -292,29 +406,29 @@ pub(crate) fn run_batcher(
                         if !flush_events(&mut pending_events, &apply_tx) {
                             return;
                         }
-                        pending_events = Some((conn, events, ctx));
+                        pending_events = Some((conn, tenant, events, ctx));
                     }
                 }
                 if pending_events
                     .as_ref()
-                    .is_some_and(|(_, b, _)| b.len() >= batch_max)
+                    .is_some_and(|(_, _, b, _)| b.len() >= batch_max)
                     && !flush_events(&mut pending_events, &apply_tx)
                 {
                     return;
                 }
             }
-            Ok(Ingest::Flush { conn, ack }) => {
+            Ok(Ingest::Flush { conn, tenant, ack }) => {
                 if !flush_interns(&mut pending_interns, &apply_tx)
                     || !flush_events(&mut pending_events, &apply_tx)
-                    || apply_tx.send(Apply::Flush { conn, ack }).is_err()
+                    || apply_tx.send(Apply::Flush { conn, tenant, ack }).is_err()
                 {
                     return;
                 }
             }
-            Ok(Ingest::ConnClosed { conn }) => {
+            Ok(Ingest::ConnClosed { conn, tenant }) => {
                 if !flush_interns(&mut pending_interns, &apply_tx)
                     || !flush_events(&mut pending_events, &apply_tx)
-                    || apply_tx.send(Apply::ConnClosed { conn }).is_err()
+                    || apply_tx.send(Apply::ConnClosed { conn, tenant }).is_err()
                 {
                     return;
                 }
@@ -335,8 +449,12 @@ pub(crate) fn run_batcher(
     }
 }
 
-/// State owned by the engine actor thread.
-struct Actor {
+/// One tenant's complete engine state: a full SEER instance plus its
+/// string table, per-connection remaps, WAL, and quality plane. Each
+/// tenant is isolated — a WAL fault or hostile client on one can never
+/// reach into another's state.
+pub(crate) struct TenantState {
+    name: Tenant,
     engine: SeerEngine,
     strings: StringTable,
     /// Per-connection translation from wire-local ids to global ids.
@@ -350,31 +468,204 @@ struct Actor {
     /// a query is *stale* when this lags the live counter.
     clustering_generation: u64,
     /// Generations of jobs handed to the worker, oldest first. The
-    /// worker is FIFO, so completions arrive in this order.
+    /// worker is FIFO, so completions arrive in this order per tenant.
     inflight: VecDeque<u64>,
     /// A drained dirty delta whose job never reached the worker (full
     /// queue); merged into the next job so the worker's pair-count
     /// cache chain stays unbroken.
     pending_dirty: Option<TableDirty>,
-    job_tx: Sender<ReclusterJob>,
-    done_rx: Receiver<ReclusterDone>,
-    cfg: ActorConfig,
-    metrics: SharedMetrics,
     /// The write-ahead log, when the daemon runs with one. Appended
     /// before each batch reaches the engine; compacted after snapshots.
     wal: Option<Wal>,
+    /// Set on the first WAL append/sync failure. A faulted tenant stops
+    /// applying (and acknowledging) batches — acknowledged state must
+    /// stay replayable — and surfaces the fault in Health answers.
+    wal_fault: Option<String>,
+    /// Successful appends so far (drives fault injection in tests).
+    wal_appends: u64,
     /// The quality plane: evaluator worker, shadow LRU, series rings,
     /// miss log, and retained postmortems. `None` when disabled.
     quality: Option<QualityState>,
 }
 
+/// Recovered state for the default tenant, restored eagerly by the
+/// server before the socket binds (so snapshot/WAL/restore errors fail
+/// startup instead of surfacing mid-flight).
+pub(crate) struct DefaultSeed {
+    pub engine: SeerEngine,
+    pub strings: StringTable,
+    pub events_applied: u64,
+    pub wal: Option<Wal>,
+}
+
+/// Builds a tenant's state from its on-disk snapshot + WAL, or cold.
+/// Lazy-path errors cannot fail a running daemon: a snapshot that will
+/// not load falls back (previous snapshot, then cold), and a WAL that
+/// will not open or replay leaves the tenant running *without* a log
+/// but with `wal_fault` set, so the degradation is visible in Health
+/// and the tenant never acknowledges batches it could not make durable.
+fn create_tenant_state(name: Tenant, cfg: &ActorConfig, metrics: &SharedMetrics) -> TenantState {
+    let (mut engine, mut events_applied) = match &cfg.snapshot_path {
+        Some(base) => {
+            let path = tenant_snapshot_path(base, &name);
+            let _ = crate::snapshot::clean_stale(&path);
+            let (snap, warnings) = DaemonSnapshot::load_with_fallback(&path);
+            for warning in &warnings {
+                tlog!(
+                    Level::Warn,
+                    "seer_daemon::pipeline",
+                    "tenant snapshot recovery degraded",
+                    tenant = name.as_ref(),
+                    detail = warning.as_str(),
+                );
+            }
+            match snap {
+                Some(s) => (SeerEngine::from_snapshot(s.engine), s.events_applied),
+                None => (SeerEngine::new(cfg.engine.clone()), 0),
+            }
+        }
+        None => (SeerEngine::new(cfg.engine.clone()), 0),
+    };
+    let mut strings = StringTable::new();
+    let mut wal = None;
+    let mut wal_fault = None;
+    if let Some(base) = &cfg.wal_dir {
+        let dir = tenant_wal_dir(base, &name);
+        match Wal::open(WalConfig {
+            dir,
+            fsync: cfg.wal_fsync,
+            segment_max_bytes: cfg.wal_segment_bytes,
+        }) {
+            Ok((w, _report)) => {
+                let mut rep = Replayer::new(engine, StringTable::new(), events_applied);
+                let replayed = w.replay(|rec| {
+                    match rec {
+                        WalRecord::Interns { base, paths } => rep.declare(base, &paths),
+                        WalRecord::Batch { generation, events } => {
+                            rep.apply(generation, &events);
+                        }
+                    }
+                    true
+                });
+                let gaps = rep.gaps();
+                let (e, s, n) = rep.into_parts();
+                engine = e;
+                strings = s;
+                events_applied = n;
+                match replayed {
+                    Ok(_) => {
+                        if gaps > 0 {
+                            tlog!(
+                                Level::Warn,
+                                "seer_daemon::pipeline",
+                                "tenant wal replay incomplete",
+                                tenant = name.as_ref(),
+                                gaps = gaps,
+                            );
+                        }
+                        wal = Some(w);
+                    }
+                    Err(err) => {
+                        // A log we could not read back is not one we can
+                        // safely keep appending to.
+                        wal_fault = Some(format!("wal replay failed: {err}"));
+                    }
+                }
+            }
+            Err(err) => {
+                wal_fault = Some(format!("wal open failed: {err}"));
+            }
+        }
+    }
+    engine.attach_telemetry(&metrics.registry);
+    if events_applied > 0 {
+        // A lazily restored tenant's history counts toward the fleet
+        // total, same as the default seed's `set_total` at startup.
+        metrics.events_applied.add(events_applied);
+    }
+    if wal_fault.is_some() {
+        metrics.wal_append_errors.inc();
+    }
+    TenantState {
+        name,
+        engine,
+        strings,
+        remap: HashMap::new(),
+        per_conn: HashMap::new(),
+        events_applied,
+        since_recluster: 0,
+        since_snapshot: 0,
+        clustering_generation: 0,
+        inflight: VecDeque::new(),
+        pending_dirty: None,
+        wal,
+        wal_fault,
+        wal_appends: 0,
+        quality: spawn_quality(cfg, metrics),
+    }
+}
+
+fn spawn_quality(cfg: &ActorConfig, metrics: &SharedMetrics) -> Option<QualityState> {
+    if cfg.eval_every > Duration::ZERO {
+        Some(QualityState::spawn(
+            cfg.eval_every,
+            cfg.eval_window_secs,
+            cfg.eval_budget,
+            cfg.shadow_lru_cap,
+            metrics,
+        ))
+    } else {
+        None
+    }
+}
+
+/// State owned by one shard's engine actor thread: every tenant routed
+/// to this shard, plus the shard's recluster worker channels.
+struct Actor {
+    tenants: HashMap<Tenant, TenantState>,
+    job_tx: Sender<ReclusterJob>,
+    done_rx: Receiver<ReclusterDone>,
+    cfg: ActorConfig,
+    metrics: SharedMetrics,
+}
+
 impl Actor {
+    /// Creates the tenant's state on first contact (lazy restore from
+    /// its snapshot + WAL); a no-op for known tenants.
+    fn ensure_tenant(&mut self, tenant: &Tenant) {
+        if self.tenants.contains_key(tenant) {
+            return;
+        }
+        tlog!(
+            Level::Info,
+            "seer_daemon::pipeline",
+            "tenant created",
+            tenant = tenant.as_ref(),
+        );
+        let ts = create_tenant_state(tenant.clone(), &self.cfg, &self.metrics);
+        self.tenants.insert(tenant.clone(), ts);
+        self.metrics.tenants.add(1);
+    }
+
+    fn update_inflight_gauge(&self) {
+        let total: usize = self.tenants.values().map(|t| t.inflight.len()).sum();
+        self.metrics
+            .recluster_inflight
+            .set(i64::try_from(total).unwrap_or(i64::MAX));
+    }
+
     fn apply(&mut self, item: Apply) {
         match item {
-            Apply::Interns { conn, entries } => {
-                let table = self.remap.entry(conn).or_default();
+            Apply::Interns {
+                conn,
+                tenant,
+                entries,
+            } => {
+                self.ensure_tenant(&tenant);
+                let ts = self.tenants.get_mut(&tenant).expect("ensured above");
+                let table = ts.remap.entry(conn).or_default();
                 for (local, path) in entries {
-                    let global = self.strings.intern(&path);
+                    let global = ts.strings.intern(&path);
                     let idx = local as usize;
                     if table.len() <= idx {
                         table.resize(idx + 1, None);
@@ -382,128 +673,228 @@ impl Actor {
                     table[idx] = Some(global);
                 }
             }
-            Apply::Batch { conn, events, ctx } => {
-                let apply_timer = self.metrics.stage_engine_apply.start_timer();
-                let mut span = ctx.map(|c| self.metrics.tracer.child("engine_apply", c));
-                let n = events.len() as u64;
-                let table = self.remap.entry(conn).or_default();
-                // Translate into the global id space; an undeclared id is a
-                // protocol slip, mapped to a visible sentinel path rather
-                // than silently dropped so counts stay consistent.
-                let strings = &mut self.strings;
-                let remapped: Vec<TraceEvent> = events
-                    .into_iter()
-                    .map(|ev| TraceEvent {
-                        kind: ev.kind.map_paths(&mut |p| {
-                            table.get(p.index()).copied().flatten().unwrap_or_else(|| {
-                                strings.intern(&format!("/?undeclared/{conn}/{}", p.0))
-                            })
-                        }),
-                        ..ev
-                    })
-                    .collect();
-                // Durability first: the batch (and the intern deltas
-                // that make its ids meaningful) hits the log before the
-                // engine, so an acknowledged batch is replayable. WAL
-                // time stays inside the engine_apply stage timer — the
-                // ingest latency clients experience includes it.
-                if self.wal.is_some() {
-                    let parent = span.as_ref().map(seer_telemetry::Span::context);
-                    self.wal_append(self.events_applied + n, &remapped, parent);
-                }
-                self.engine.on_batch(&remapped, &self.strings);
-                self.quality_ingest(&remapped);
-                self.events_applied += n;
-                *self.per_conn.entry(conn).or_default() += n;
-                self.since_recluster += n;
-                self.since_snapshot += n;
-                self.metrics.events_applied.add(n);
-                self.metrics.batches_applied.inc();
-                if let Some(s) = &mut span {
-                    s.attr("events", n);
-                    s.attr("events_applied", self.events_applied);
-                }
-                drop(span);
-                drop(apply_timer);
-                self.metrics
-                    .observe_generation_lag(self.events_applied, self.clustering_generation);
-                self.capture_postmortems();
-                self.poll_recluster_done();
-                self.poll_eval_done();
-                self.maybe_request_eval();
-                if self.cfg.recluster_every > 0
-                    && self.since_recluster >= self.cfg.recluster_every
-                    && self.inflight.is_empty()
-                {
-                    self.request_recluster(None);
-                }
-                if self.cfg.snapshot_every > 0 && self.since_snapshot >= self.cfg.snapshot_every {
-                    self.write_snapshot();
-                }
-            }
-            Apply::Flush { conn, ack } => {
-                let applied = self.per_conn.get(&conn).copied().unwrap_or(0);
+            Apply::Batch {
+                conn,
+                tenant,
+                events,
+                ctx,
+            } => self.apply_batch(conn, &tenant, events, ctx),
+            Apply::Flush { conn, tenant, ack } => {
+                let applied = self
+                    .tenants
+                    .get(&tenant)
+                    .and_then(|ts| ts.per_conn.get(&conn).copied())
+                    .unwrap_or(0);
                 let _ = ack.send(applied);
             }
-            Apply::ConnClosed { conn } => {
-                self.remap.remove(&conn);
+            Apply::ConnClosed { conn, tenant } => {
+                if let Some(ts) = self.tenants.get_mut(&tenant) {
+                    ts.remap.remove(&conn);
+                }
             }
         }
     }
 
-    /// Hands the worker a frozen copy of the engine's tables. Returns
-    /// `false` only when the worker is gone (channel disconnected);
-    /// a full job queue counts as success because the queued jobs will
-    /// finish first and the caller re-requests as needed.
-    fn request_recluster(&mut self, ctx: Option<SpanContext>) -> bool {
+    fn apply_batch(
+        &mut self,
+        conn: u64,
+        tenant: &Tenant,
+        events: Vec<TraceEvent>,
+        ctx: Option<SpanContext>,
+    ) {
+        self.ensure_tenant(tenant);
+        let apply_timer = self.metrics.stage_engine_apply.start_timer();
+        let mut span = ctx.map(|c| self.metrics.tracer.child("engine_apply", c));
+        let n = events.len() as u64;
+        let ts = self.tenants.get_mut(tenant).expect("ensured above");
+        if ts.wal_fault.is_some() {
+            // A faulted log can no longer record this batch; applying it
+            // would hand out state a restart cannot reproduce. Drop it
+            // unacknowledged — the client's flush count stops advancing
+            // and Health carries the fault.
+            self.metrics.wal_dropped_batches.inc();
+            return;
+        }
+        let table = ts.remap.entry(conn).or_default();
+        // Translate into the global id space; an undeclared id is a
+        // protocol slip, mapped to a visible sentinel path rather
+        // than silently dropped so counts stay consistent.
+        let strings = &mut ts.strings;
+        let remapped: Vec<TraceEvent> =
+            events
+                .into_iter()
+                .map(|ev| TraceEvent {
+                    kind: ev.kind.map_paths(&mut |p| {
+                        table.get(p.index()).copied().flatten().unwrap_or_else(|| {
+                            strings.intern(&format!("/?undeclared/{conn}/{}", p.0))
+                        })
+                    }),
+                    ..ev
+                })
+                .collect();
+        // Durability first: the batch (and the intern deltas that make
+        // its ids meaningful) hits the log before the engine, so an
+        // acknowledged batch is replayable. WAL time stays inside the
+        // engine_apply stage timer — the ingest latency clients
+        // experience includes it. A failed append faults the tenant:
+        // the batch is dropped rather than applied un-durably.
+        if let Some(wal) = ts.wal.as_mut() {
+            let parent = span.as_ref().map(seer_telemetry::Span::context);
+            let generation = ts.events_applied + n;
+            let injected = matches!(self.cfg.wal_fail_after, Some(limit) if ts.wal_appends >= limit)
+                && self
+                    .cfg
+                    .wal_fail_tenant
+                    .as_deref()
+                    .unwrap_or(DEFAULT_TENANT)
+                    == ts.name.as_ref();
+            let append_timer = self.metrics.stage_wal_append.start_timer();
+            let started = Instant::now();
+            let result = if injected {
+                Err(format!(
+                    "injected append failure (after {} appends)",
+                    ts.wal_appends
+                ))
+            } else {
+                wal.append_batch(&ts.strings, generation, &remapped)
+                    .map_err(|e| e.to_string())
+            };
+            drop(append_timer);
+            match result {
+                Ok(out) => {
+                    ts.wal_appends += 1;
+                    self.metrics.wal_records.add(u64::from(out.records));
+                    self.metrics.wal_appended_bytes.add(out.bytes);
+                    if out.rotated {
+                        self.metrics.wal_rotations.inc();
+                    }
+                    if let Some(d) = out.fsync {
+                        self.metrics.stage_wal_fsync.observe(d);
+                    }
+                    if let Some(c) = parent {
+                        self.metrics.tracer.record_complete(
+                            "wal_append",
+                            c.trace_id,
+                            Some(c.span_id),
+                            started,
+                            started.elapsed(),
+                            &[("bytes", out.bytes.to_string())],
+                        );
+                    }
+                    if out.rotated {
+                        self.wal_update_gauges();
+                        // Re-borrow after the gauge refresh released it.
+                    }
+                }
+                Err(msg) => {
+                    let fault = format!("wal append failed: {msg}");
+                    self.metrics.wal_append_errors.inc();
+                    self.metrics.wal_dropped_batches.inc();
+                    tlog!(
+                        Level::Warn,
+                        "seer_daemon::pipeline",
+                        "wal append failed; tenant faulted",
+                        tenant = ts.name.as_ref(),
+                        generation = generation,
+                        error = msg.as_str(),
+                    );
+                    ts.wal_fault = Some(fault);
+                    return;
+                }
+            }
+        }
+        let ts = self.tenants.get_mut(tenant).expect("ensured above");
+        ts.engine.on_batch(&remapped, &ts.strings);
+        quality_ingest(ts, &remapped);
+        ts.events_applied += n;
+        *ts.per_conn.entry(conn).or_default() += n;
+        ts.since_recluster += n;
+        ts.since_snapshot += n;
+        let (events_applied, clustering_generation) = (ts.events_applied, ts.clustering_generation);
+        self.metrics.events_applied.add(n);
+        self.metrics.batches_applied.inc();
+        if let Some(s) = &mut span {
+            s.attr("events", n);
+            s.attr("events_applied", events_applied);
+        }
+        drop(span);
+        drop(apply_timer);
+        self.metrics
+            .observe_generation_lag(events_applied, clustering_generation);
+        self.capture_postmortems(tenant);
+        self.poll_recluster_done();
+        self.poll_eval_done(tenant);
+        self.maybe_request_eval(tenant);
+        let ts = self.tenants.get(tenant).expect("ensured above");
+        if self.cfg.recluster_every > 0
+            && ts.since_recluster >= self.cfg.recluster_every
+            && ts.inflight.is_empty()
+        {
+            self.request_recluster(tenant, None);
+        }
+        let ts = self.tenants.get(tenant).expect("ensured above");
+        if self.cfg.snapshot_every > 0 && ts.since_snapshot >= self.cfg.snapshot_every {
+            self.write_snapshot(tenant);
+        }
+    }
+
+    /// Hands the worker a frozen copy of one tenant engine's tables.
+    /// Returns `false` only when the worker is gone (channel
+    /// disconnected); a full job queue counts as success because the
+    /// queued jobs will finish first and the caller re-requests.
+    fn request_recluster(&mut self, tenant: &Tenant, ctx: Option<SpanContext>) -> bool {
+        let Some(ts) = self.tenants.get_mut(tenant) else {
+            return true;
+        };
         // The dirty delta is drained at the same moment the view is
         // frozen, so it describes exactly the changes since the previous
         // drain; any delta stranded by an earlier full queue merges in.
-        let mut dirty = self.engine.take_dirty();
-        if let Some(prev) = self.pending_dirty.take() {
+        let mut dirty = ts.engine.take_dirty();
+        if let Some(prev) = ts.pending_dirty.take() {
             dirty.merge(prev);
         }
         let job = ReclusterJob {
-            input: self.engine.recluster_input(),
+            tenant: tenant.clone(),
+            input: ts.engine.recluster_input(),
             dirty: Some(dirty),
-            generation: self.events_applied,
+            generation: ts.events_applied,
             ctx,
         };
-        match self.job_tx.try_send(job) {
+        let ok = match self.job_tx.try_send(job) {
             Ok(()) => {
-                self.inflight.push_back(self.events_applied);
-                self.metrics
-                    .recluster_inflight
-                    .set(self.inflight.len() as i64);
-                self.since_recluster = 0;
+                let generation = ts.events_applied;
+                ts.inflight.push_back(generation);
+                ts.since_recluster = 0;
                 true
             }
             Err(TrySendError::Full(job)) => {
                 // The worker never saw this delta; carry it forward so
                 // the next job's delta still spans the full gap.
-                self.pending_dirty = job.dirty;
+                ts.pending_dirty = job.dirty;
                 true
             }
             Err(TrySendError::Disconnected(_)) => false,
-        }
+        };
+        self.update_inflight_gauge();
+        ok
     }
 
     /// Installs a finished clustering delivered by the worker. The
-    /// worker is FIFO and generations are requested in non-decreasing
-    /// order, so installs never regress the generation.
+    /// worker is FIFO and each tenant's generations are requested in
+    /// non-decreasing order, so installs never regress the generation.
     ///
     /// Records the `recluster` span (with `shard_count` children) here,
     /// retroactively: under the job's own context when it was requested
     /// by a traced query, else under `waiter_ctx` when a traced query is
     /// blocked on this install, else under a fresh root trace.
     fn install_recluster(&mut self, done: ReclusterDone, waiter_ctx: Option<SpanContext>) {
-        if let Some(pos) = self.inflight.iter().position(|&g| g == done.generation) {
-            self.inflight.remove(pos);
+        let Some(ts) = self.tenants.get_mut(&done.tenant) else {
+            return;
+        };
+        if let Some(pos) = ts.inflight.iter().position(|&g| g == done.generation) {
+            ts.inflight.remove(pos);
         }
-        self.metrics
-            .recluster_inflight
-            .set(self.inflight.len() as i64);
-        let clusters = self
+        let clusters = ts
             .engine
             .install_clustering(done.clustering, done.wall, &done.shard_seconds)
             .len();
@@ -540,21 +931,24 @@ impl Actor {
                 );
             }
         }
-        self.clustering_generation = done.generation;
+        ts.clustering_generation = done.generation;
+        let (events_applied, clustering_generation) = (ts.events_applied, ts.clustering_generation);
         self.metrics.reclusters.inc();
         if done.incremental {
             self.metrics.reclusters_incremental.inc();
         }
         self.metrics.stage_recluster.observe(done.wall);
         self.metrics
-            .observe_generation_lag(self.events_applied, self.clustering_generation);
+            .observe_generation_lag(events_applied, clustering_generation);
+        self.update_inflight_gauge();
         tlog!(
             Level::Debug,
             "seer_daemon::pipeline",
             "reclustered",
+            tenant = done.tenant.as_ref(),
             clusters = clusters,
             generation = done.generation,
-            events_applied = self.events_applied,
+            events_applied = events_applied,
         );
     }
 
@@ -564,13 +958,13 @@ impl Actor {
     }
 
     /// Like [`Self::poll_recluster_done`], but on behalf of a traced
-    /// fresh query: a pending result covering the query's target
-    /// generation is the clustering the query will answer from, so its
-    /// span is adopted into the query's trace.
-    fn poll_recluster_done_for(&mut self, waiter: Option<(u64, SpanContext)>) {
+    /// fresh query: a pending result for the *same tenant* covering the
+    /// query's target generation is the clustering the query will answer
+    /// from, so its span is adopted into the query's trace.
+    fn poll_recluster_done_for(&mut self, waiter: Option<(&Tenant, u64, SpanContext)>) {
         while let Ok(done) = self.done_rx.try_recv() {
             let ctx = match waiter {
-                Some((target, c)) if done.generation >= target => Some(c),
+                Some((t, target, c)) if done.tenant == *t && done.generation >= target => Some(c),
                 _ => None,
             };
             self.install_recluster(done, ctx);
@@ -579,18 +973,24 @@ impl Actor {
 
     /// Reclusters on the actor thread — the fallback when the worker is
     /// unavailable. Still uses the configured shard count.
-    fn recluster_in_place(&mut self, ctx: Option<SpanContext>) {
+    fn recluster_in_place(&mut self, tenant: &Tenant, ctx: Option<SpanContext>) {
+        let Some(ts) = self.tenants.get_mut(tenant) else {
+            return;
+        };
+        ts.inflight.clear();
         let started = Instant::now();
-        let clusters = self
+        let clusters = ts
             .engine
             .recluster_with_threads(self.cfg.recluster_threads)
             .len();
-        self.clustering_generation = self.events_applied;
-        self.since_recluster = 0;
+        ts.clustering_generation = ts.events_applied;
+        ts.since_recluster = 0;
+        let (events_applied, clustering_generation) = (ts.events_applied, ts.clustering_generation);
         self.metrics.reclusters.inc();
         self.metrics.stage_recluster.observe(started.elapsed());
         self.metrics
-            .observe_generation_lag(self.events_applied, self.clustering_generation);
+            .observe_generation_lag(events_applied, clustering_generation);
+        self.update_inflight_gauge();
         let (trace, parent) = match ctx {
             Some(c) => (c.trace_id, Some(c.span_id)),
             None => (seer_telemetry::new_trace_id(), None),
@@ -602,7 +1002,7 @@ impl Actor {
             started,
             started.elapsed(),
             &[
-                ("generation", self.clustering_generation.to_string()),
+                ("generation", clustering_generation.to_string()),
                 ("in_place", "true".to_owned()),
             ],
         );
@@ -610,23 +1010,38 @@ impl Actor {
             Level::Debug,
             "seer_daemon::pipeline",
             "reclustered in place",
+            tenant = tenant.as_ref(),
             clusters = clusters,
-            events_applied = self.events_applied,
+            events_applied = events_applied,
         );
     }
 
-    /// Blocks until a clustering at the *current* generation is
+    /// Blocks until a clustering at the tenant's *current* generation is
     /// installed. Reuses an in-flight background job when one covers the
     /// target; falls back to an in-place recluster if the worker died.
-    fn ensure_fresh_clustering(&mut self, ctx: Option<SpanContext>) {
-        let target = self.events_applied;
-        self.poll_recluster_done_for(ctx.map(|c| (target, c)));
-        while self.engine.clustering().is_none() || self.clustering_generation < target {
-            let covered = self.inflight.back().is_some_and(|&g| g >= target);
-            if !covered && !self.request_recluster(ctx) {
-                self.inflight.clear();
-                self.metrics.recluster_inflight.set(0);
-                self.recluster_in_place(ctx);
+    /// Results for other tenants arriving in the meantime are installed
+    /// as they surface — waiting never starves a neighbor.
+    fn ensure_fresh_clustering(&mut self, tenant: &Tenant, ctx: Option<SpanContext>) {
+        let Some(ts) = self.tenants.get(tenant) else {
+            return;
+        };
+        let target = ts.events_applied;
+        self.poll_recluster_done_for(ctx.map(|c| (tenant, target, c)));
+        loop {
+            let (fresh, covered) = {
+                let Some(ts) = self.tenants.get(tenant) else {
+                    return;
+                };
+                (
+                    ts.engine.clustering().is_some() && ts.clustering_generation >= target,
+                    ts.inflight.back().is_some_and(|&g| g >= target),
+                )
+            };
+            if fresh {
+                return;
+            }
+            if !covered && !self.request_recluster(tenant, ctx) {
+                self.recluster_in_place(tenant, ctx);
                 return;
             }
             match self.done_rx.recv() {
@@ -634,28 +1049,34 @@ impl Actor {
                 // query even if the job predates it (an untraced
                 // periodic job the query reused): chain it under `ctx`.
                 Ok(done) => {
-                    let waiter = if done.generation >= target { ctx } else { None };
+                    let waiter = if done.tenant == *tenant && done.generation >= target {
+                        ctx
+                    } else {
+                        None
+                    };
                     self.install_recluster(done, waiter);
                 }
                 Err(_) => {
-                    self.inflight.clear();
-                    self.metrics.recluster_inflight.set(0);
-                    self.recluster_in_place(ctx);
+                    self.recluster_in_place(tenant, ctx);
                     return;
                 }
             }
         }
     }
 
-    fn write_snapshot(&mut self) {
+    fn write_snapshot(&mut self, tenant: &Tenant) {
+        let Some(ts) = self.tenants.get_mut(tenant) else {
+            return;
+        };
         let mut written = false;
-        if let Some(path) = &self.cfg.snapshot_path {
+        if let Some(base) = &self.cfg.snapshot_path {
+            let path = tenant_snapshot_path(base, tenant);
             let _t = self.metrics.stage_snapshot_write.start_timer();
             let snap = DaemonSnapshot {
-                engine: self.engine.snapshot(),
-                events_applied: self.events_applied,
+                engine: ts.engine.snapshot(),
+                events_applied: ts.events_applied,
             };
-            match snap.write_atomic(path) {
+            match snap.write_atomic(&path) {
                 Ok(()) => {
                     written = true;
                     self.metrics.snapshots.inc();
@@ -663,8 +1084,9 @@ impl Actor {
                         Level::Info,
                         "seer_daemon::pipeline",
                         "snapshot written",
+                        tenant = tenant.as_ref(),
                         path = path.display().to_string(),
-                        events_applied = self.events_applied,
+                        events_applied = ts.events_applied,
                     );
                 }
                 Err(e) => {
@@ -672,6 +1094,7 @@ impl Actor {
                         Level::Warn,
                         "seer_daemon::pipeline",
                         "snapshot write failed",
+                        tenant = tenant.as_ref(),
                         path = path.display().to_string(),
                         error = e.to_string(),
                     );
@@ -683,8 +1106,8 @@ impl Actor {
         // weight. Compaction never runs after a *failed* write — the
         // log must keep covering whatever the last good snapshot missed.
         if written {
-            if let Some(wal) = &mut self.wal {
-                match wal.compact(self.events_applied) {
+            if let Some(wal) = &mut ts.wal {
+                match wal.compact(ts.events_applied) {
                     Ok(report) if report.segments_dropped > 0 => {
                         self.metrics
                             .wal_segments_compacted
@@ -693,6 +1116,7 @@ impl Actor {
                             Level::Debug,
                             "seer_daemon::pipeline",
                             "wal compacted",
+                            tenant = tenant.as_ref(),
                             segments_dropped = report.segments_dropped as u64,
                             bytes_dropped = report.bytes_dropped,
                         );
@@ -703,6 +1127,7 @@ impl Actor {
                             Level::Warn,
                             "seer_daemon::pipeline",
                             "wal compaction failed",
+                            tenant = tenant.as_ref(),
                             error = e.to_string(),
                         );
                     }
@@ -710,111 +1135,91 @@ impl Actor {
             }
             self.wal_update_gauges();
         }
-        self.since_snapshot = 0;
-    }
-
-    /// Appends one remapped batch (and any newly interned strings) to
-    /// the WAL. `generation` is the applied-event count *after* the
-    /// batch. Failures degrade durability, not availability: they are
-    /// logged and counted, and ingest continues.
-    fn wal_append(&mut self, generation: u64, events: &[TraceEvent], ctx: Option<SpanContext>) {
-        let Some(wal) = &mut self.wal else {
-            return;
-        };
-        let append_timer = self.metrics.stage_wal_append.start_timer();
-        let started = Instant::now();
-        match wal.append_batch(&self.strings, generation, events) {
-            Ok(out) => {
-                drop(append_timer);
-                self.metrics.wal_records.add(u64::from(out.records));
-                self.metrics.wal_appended_bytes.add(out.bytes);
-                if out.rotated {
-                    self.metrics.wal_rotations.inc();
-                }
-                if let Some(d) = out.fsync {
-                    self.metrics.stage_wal_fsync.observe(d);
-                }
-                if let Some(c) = ctx {
-                    self.metrics.tracer.record_complete(
-                        "wal_append",
-                        c.trace_id,
-                        Some(c.span_id),
-                        started,
-                        started.elapsed(),
-                        &[("bytes", out.bytes.to_string())],
-                    );
-                }
-                if out.rotated {
-                    self.wal_update_gauges();
-                }
-            }
-            Err(e) => {
-                drop(append_timer);
-                self.metrics.wal_append_errors.inc();
-                tlog!(
-                    Level::Warn,
-                    "seer_daemon::pipeline",
-                    "wal append failed",
-                    generation = generation,
-                    error = e.to_string(),
-                );
-            }
+        if let Some(ts) = self.tenants.get_mut(tenant) {
+            ts.since_snapshot = 0;
         }
     }
 
-    /// Idle-tick WAL maintenance: under an interval fsync policy, sync
-    /// if the window elapsed with appends outstanding, so a quiet daemon
-    /// still bounds its loss window.
+    /// Idle-tick WAL maintenance for every tenant: under an interval
+    /// fsync policy, sync if the window elapsed with appends
+    /// outstanding, so a quiet daemon still bounds its loss window. A
+    /// failed idle sync faults the tenant like a failed append would.
     fn wal_idle(&mut self) {
-        if let Some(wal) = &mut self.wal {
-            match wal.maybe_sync() {
-                Ok(Some(d)) => self.metrics.stage_wal_fsync.observe(d),
-                Ok(None) => {}
-                Err(e) => {
-                    self.metrics.wal_append_errors.inc();
-                    tlog!(
-                        Level::Warn,
-                        "seer_daemon::pipeline",
-                        "wal idle sync failed",
-                        error = e.to_string(),
-                    );
+        for ts in self.tenants.values_mut() {
+            if ts.wal_fault.is_some() {
+                continue;
+            }
+            if let Some(wal) = &mut ts.wal {
+                match wal.maybe_sync() {
+                    Ok(Some(d)) => self.metrics.stage_wal_fsync.observe(d),
+                    Ok(None) => {}
+                    Err(e) => {
+                        self.metrics.wal_append_errors.inc();
+                        tlog!(
+                            Level::Warn,
+                            "seer_daemon::pipeline",
+                            "wal idle sync failed; tenant faulted",
+                            tenant = ts.name.as_ref(),
+                            error = e.to_string(),
+                        );
+                        ts.wal_fault = Some(format!("wal sync failed: {e}"));
+                    }
                 }
             }
         }
     }
 
-    /// Refreshes the WAL size gauges from the log's own accounting.
+    /// Refreshes the WAL size gauges from every tenant log's accounting.
     fn wal_update_gauges(&self) {
-        if let Some(wal) = &self.wal {
-            let status = wal.status();
+        let (mut segments, mut disk_bytes) = (0u64, 0u64);
+        let mut any = false;
+        for ts in self.tenants.values() {
+            if let Some(wal) = &ts.wal {
+                let status = wal.status();
+                segments += status.segments as u64;
+                disk_bytes += status.disk_bytes;
+                any = true;
+            }
+        }
+        if any {
             self.metrics
                 .wal_segments
-                .set(i64::try_from(status.segments).unwrap_or(i64::MAX));
+                .set(i64::try_from(segments).unwrap_or(i64::MAX));
             self.metrics
                 .wal_disk_bytes
-                .set(i64::try_from(status.disk_bytes).unwrap_or(i64::MAX));
+                .set(i64::try_from(disk_bytes).unwrap_or(i64::MAX));
         }
     }
 
-    /// Answers a `History` query: replay the WAL (from the newest
-    /// snapshot at or below `target`, else from generation zero) into a
-    /// fresh engine, stop after the last batch at or below `target`,
-    /// recluster, and select a hoard — exactly what the live daemon
-    /// would have answered at that generation.
+    /// Answers a `History` query: replay the tenant's WAL (from its
+    /// newest snapshot at or below `target`, else from generation zero)
+    /// into a fresh engine, stop after the last batch at or below
+    /// `target`, recluster, and select a hoard — exactly what the live
+    /// daemon would have answered at that generation.
     ///
     /// Runs on the actor thread, which is what makes reading the live
     /// log safe: no append can race the replay. The flush that precedes
     /// every query means the log already contains everything this
     /// connection sent.
-    fn answer_history(&mut self, target: u64, budget: u64) -> QueryResponse {
+    fn answer_history(&mut self, tenant: &Tenant, target: u64, budget: u64) -> QueryResponse {
         let err = |message: String| QueryResponse::Error { message };
-        let Some(wal) = &mut self.wal else {
+        let snapshot_base = self
+            .cfg
+            .snapshot_path
+            .as_deref()
+            .map(|p| tenant_snapshot_path(p, tenant));
+        let recluster_threads = self.cfg.recluster_threads.max(1);
+        let (engine_cfg, file_size) = (self.cfg.engine.clone(), self.cfg.file_size);
+        let Some(ts) = self.tenants.get_mut(tenant) else {
+            return err("history unavailable: tenant has no state".into());
+        };
+        let Some(wal) = &mut ts.wal else {
             return err("history unavailable: daemon is running without a WAL".into());
         };
-        if target > self.events_applied {
+        if target > ts.events_applied {
             return err(format!(
                 "generation {target} is in the future (events applied: {})",
-                self.events_applied
+                ts.events_applied
             ));
         }
         if let Err(e) = wal.sync() {
@@ -825,17 +1230,15 @@ impl Actor {
         // or below the target (fewer batches to replay); otherwise fall
         // back to a cold engine, which needs the log to reach all the
         // way back to generation zero.
-        let snap_base =
-            self.cfg
-                .snapshot_path
-                .as_deref()
-                .and_then(|p| match DaemonSnapshot::load(p) {
-                    Ok(Some(s)) if s.events_applied <= target => Some(s),
-                    _ => None,
-                });
+        let snap_base = snapshot_base
+            .as_deref()
+            .and_then(|p| match DaemonSnapshot::load(p) {
+                Ok(Some(s)) if s.events_applied <= target => Some(s),
+                _ => None,
+            });
         let (base_engine, base_gen) = match snap_base {
             Some(s) => (SeerEngine::from_snapshot(s.engine), s.events_applied),
-            None if compacted == 0 => (SeerEngine::new(self.cfg.engine.clone()), 0),
+            None if compacted == 0 => (SeerEngine::new(engine_cfg), 0),
             None => {
                 return err(format!(
                     "generation {target} unreachable: log compacted through {compacted} \
@@ -844,7 +1247,6 @@ impl Actor {
             }
         };
         let mut rep = Replayer::new(base_engine, StringTable::new(), base_gen);
-        let wal = self.wal.as_ref().expect("checked above");
         let stats = match wal.replay(|rec| match rec {
             WalRecord::Interns { base, paths } => {
                 rep.declare(base, &paths);
@@ -875,10 +1277,7 @@ impl Actor {
             ));
         }
         let (mut engine, _strings, achieved) = rep.into_parts();
-        let clusters = engine
-            .recluster_with_threads(self.cfg.recluster_threads.max(1))
-            .len();
-        let file_size = self.cfg.file_size;
+        let clusters = engine.recluster_with_threads(recluster_threads).len();
         let sel = engine.choose_hoard(budget, &|_| file_size);
         let files = sel
             .files
@@ -896,45 +1295,19 @@ impl Actor {
         }
     }
 
-    /// Quality-plane work on the ingest path: advance trace time and
-    /// feed every referenced path into the shadow-LRU comparator. A
-    /// no-op (one branch) when the plane is disabled.
-    ///
-    /// Paths resolve through the *canonical* table, so references the
-    /// observer filtered out (or paths it rewrote during
-    /// canonicalization) are skipped — the shadow only ranks files SEER
-    /// itself could have hoarded, keeping the comparison fair.
-    fn quality_ingest(&mut self, events: &[TraceEvent]) {
-        let Some(q) = self.quality.as_mut() else {
+    /// Drains newly detected hoard misses into the tenant's miss log and
+    /// captures a provenance postmortem for each: rank, clusters, and
+    /// strongest neighbors *as they are right now*, plus the WAL
+    /// generation so `History` can replay the hoard as of the miss.
+    fn capture_postmortems(&mut self, tenant: &Tenant) {
+        let Some(ts) = self.tenants.get_mut(tenant) else {
             return;
         };
-        let strings = &self.strings;
-        let engine = &self.engine;
-        for ev in events {
-            if ev.time > q.last_event_time {
-                q.last_event_time = ev.time;
-            }
-            let _ = ev.kind.map_paths(&mut |p| {
-                if let Some(s) = strings.resolve(p) {
-                    if let Some(f) = engine.paths().get(s) {
-                        q.shadow.touch(f);
-                    }
-                }
-                p
-            });
-        }
-    }
-
-    /// Drains newly detected hoard misses into the miss log and captures
-    /// a provenance postmortem for each: rank, clusters, and strongest
-    /// neighbors *as they are right now*, plus the WAL generation so
-    /// `History` can replay the hoard as of the miss.
-    fn capture_postmortems(&mut self) {
-        if self.quality.is_none() {
+        if ts.quality.is_none() {
             return;
         }
-        let auto = self.engine.take_misses();
-        let q = self.quality.as_mut().expect("checked above");
+        let auto = ts.engine.take_misses();
+        let q = ts.quality.as_mut().expect("checked above");
         for f in auto {
             q.miss_log.record_auto(f, q.last_event_time);
         }
@@ -945,7 +1318,7 @@ impl Actor {
         if recent.is_empty() {
             return;
         }
-        let engine = &self.engine;
+        let engine = &ts.engine;
         let rank = engine.rank();
         let pos: HashMap<FileId, usize> = rank.iter().enumerate().map(|(i, &f)| (f, i)).collect();
         for rec in recent {
@@ -957,8 +1330,8 @@ impl Actor {
             let pm = MissPostmortem {
                 id: q.next_miss_id,
                 path,
-                generation: self.events_applied,
-                clustering_generation: self.clustering_generation,
+                generation: ts.events_applied,
+                clustering_generation: ts.clustering_generation,
                 time_secs: rec.time.as_secs(),
                 severity: rec.severity.map(seer_replication::Severity::code),
                 auto: rec.severity.is_none(),
@@ -975,26 +1348,9 @@ impl Actor {
         }
     }
 
-    /// Freezes everything the evaluator needs into a job.
-    fn build_eval_job(&self) -> quality::EvalJob {
-        let q = self.quality.as_ref().expect("quality enabled");
-        quality::EvalJob {
-            input: self.engine.eval_input(),
-            shadow: q.shadow.order(),
-            window_secs: q.window_secs,
-            budget: q.budget,
-            file_size: self.cfg.file_size,
-            generation: self.events_applied,
-            clustering_generation: self.clustering_generation,
-            misses_by_severity: q.miss_log.severity_histogram(),
-            auto_misses: q.miss_log.auto_count() as u64,
-            eval_index: q.evals + 1,
-        }
-    }
-
     /// Records a finished evaluation: stage timer, gauges, and the
     /// series rings backing `seer top` sparklines.
-    fn install_eval(&mut self, report: QualityReport, wall: Duration) {
+    fn install_eval(&mut self, tenant: &Tenant, report: QualityReport, wall: Duration) {
         self.metrics.stage_evaluate.observe(wall);
         self.metrics.quality_evals.inc();
         let clamp = |v: u64| i64::try_from(v).unwrap_or(i64::MAX);
@@ -1010,14 +1366,23 @@ impl Actor {
         self.metrics
             .quality_needed_files
             .set(clamp(report.needed_files as u64));
-        if let Some(q) = self.quality.as_mut() {
+        if let Some(q) = self
+            .tenants
+            .get_mut(tenant)
+            .and_then(|ts| ts.quality.as_mut())
+        {
             q.install(report);
         }
     }
 
-    /// Folds in any evaluations the worker finished, without blocking.
-    fn poll_eval_done(&mut self) {
-        let Some(q) = self.quality.as_mut() else {
+    /// Folds in any evaluations the tenant's worker finished, without
+    /// blocking.
+    fn poll_eval_done(&mut self, tenant: &Tenant) {
+        let Some(q) = self
+            .tenants
+            .get_mut(tenant)
+            .and_then(|ts| ts.quality.as_mut())
+        else {
             return;
         };
         let mut finished = Vec::new();
@@ -1026,19 +1391,23 @@ impl Actor {
             finished.push(done);
         }
         for d in finished {
-            self.install_eval(d.report, d.wall);
+            self.install_eval(tenant, d.report, d.wall);
         }
     }
 
-    /// Hands the evaluator a fresh job when the cadence timer says one
-    /// is due and none is in flight.
-    fn maybe_request_eval(&mut self) {
-        let due = self.quality.as_ref().is_some_and(QualityState::due);
-        if !due || self.events_applied == 0 {
+    /// Hands the tenant's evaluator a fresh job when the cadence timer
+    /// says one is due and none is in flight.
+    fn maybe_request_eval(&mut self, tenant: &Tenant) {
+        let Some(ts) = self.tenants.get(tenant) else {
+            return;
+        };
+        let due = ts.quality.as_ref().is_some_and(QualityState::due);
+        if !due || ts.events_applied == 0 {
             return;
         }
-        let job = self.build_eval_job();
-        let q = self.quality.as_mut().expect("checked above");
+        let job = build_eval_job(ts, &self.cfg);
+        let ts = self.tenants.get_mut(tenant).expect("checked above");
+        let q = ts.quality.as_mut().expect("checked above");
         if let Some(tx) = &q.job_tx {
             if tx.try_send(job).is_ok() {
                 q.inflight = true;
@@ -1048,29 +1417,39 @@ impl Actor {
     }
 
     /// Answers an `Explain` query: the file's decision provenance.
-    fn answer_explain(&mut self, path: &str, ctx: Option<SpanContext>) -> QueryResponse {
-        let Some(file) = self.engine.paths().get(path) else {
+    fn answer_explain(
+        &mut self,
+        tenant: &Tenant,
+        path: &str,
+        ctx: Option<SpanContext>,
+    ) -> QueryResponse {
+        let found = self
+            .tenants
+            .get(tenant)
+            .and_then(|ts| ts.engine.paths().get(path));
+        let Some(file) = found else {
             return QueryResponse::Error {
                 message: format!("unknown path: {path} (never observed by the daemon)"),
             };
         };
-        let (generation, stale) = self.prepare_clustering(false, ctx);
-        let rank_vec = self.engine.rank();
+        let (generation, stale) = self.prepare_clustering(tenant, false, ctx);
+        let ts = self.tenants.get(tenant).expect("found above");
+        let rank_vec = ts.engine.rank();
         let rank = rank_vec.iter().position(|&f| f == file);
-        let last = self.engine.correlator().activity().last_ref(file);
+        let last = ts.engine.correlator().activity().last_ref(file);
         QueryResponse::Explain {
             path: path.to_owned(),
             rank,
             ranked: rank_vec.len(),
-            always_hoard: self.engine.always_hoard().contains(&file),
+            always_hoard: ts.engine.always_hoard().contains(&file),
             last_ref_secs: last.map(|r| r.time.as_secs()),
             ref_count: last.map_or(0, |r| r.count),
-            clusters: self
+            clusters: ts
                 .engine
                 .clustering()
                 .map(|c| c.membership_summary(file))
                 .unwrap_or_default(),
-            neighbors: neighbor_evidence(&self.engine, file, 8),
+            neighbors: neighbor_evidence(&ts.engine, file, 8),
             generation,
             stale,
         }
@@ -1080,26 +1459,35 @@ impl Actor {
     /// so after a flush the answer reflects everything applied — an
     /// online quality query equals an offline evaluation of the same
     /// events (the equivalence test pins this).
-    fn answer_quality(&mut self) -> QueryResponse {
-        if self.quality.is_none() {
+    fn answer_quality(&mut self, tenant: &Tenant) -> QueryResponse {
+        let Some(ts) = self.tenants.get(tenant) else {
+            return QueryResponse::Error {
+                message: "quality plane disabled (run with a nonzero eval interval)".into(),
+            };
+        };
+        if ts.quality.is_none() {
             return QueryResponse::Error {
                 message: "quality plane disabled (run with a nonzero eval interval)".into(),
             };
         }
-        let job = self.build_eval_job();
+        let job = build_eval_job(ts, &self.cfg);
         let started = Instant::now();
         let report = quality::evaluate(&job);
-        self.install_eval(report.clone(), started.elapsed());
-        let q = self.quality.as_ref().expect("checked above");
+        self.install_eval(tenant, report.clone(), started.elapsed());
+        let q = self
+            .tenants
+            .get(tenant)
+            .and_then(|ts| ts.quality.as_ref())
+            .expect("checked above");
         QueryResponse::Quality {
             report,
             series: q.series.snapshot(),
         }
     }
 
-    /// Answers a `Miss` query from the retained postmortems.
-    fn answer_miss(&self, id: Option<u64>) -> QueryResponse {
-        let Some(q) = self.quality.as_ref() else {
+    /// Answers a `Miss` query from the tenant's retained postmortems.
+    fn answer_miss(&self, tenant: &Tenant, id: Option<u64>) -> QueryResponse {
+        let Some(q) = self.tenants.get(tenant).and_then(|ts| ts.quality.as_ref()) else {
             return QueryResponse::Error {
                 message: "miss postmortems unavailable: quality plane disabled".into(),
             };
@@ -1123,55 +1511,101 @@ impl Actor {
         }
     }
 
-    /// Prepares the clustering for a hoard/clusters answer. `fresh`
-    /// blocks until the clustering reflects everything applied so far —
-    /// this makes an online hoard query equivalent to an offline replay
-    /// followed by recluster + choose_hoard. A non-fresh query reuses
-    /// the cached clustering (counting it as stale when the generation
-    /// lags), so it never waits on a recluster.
-    fn prepare_clustering(&mut self, fresh: bool, ctx: Option<SpanContext>) -> (u64, bool) {
+    /// Answers a `Fleet` query with this shard's local tenants; the
+    /// connection layer merges the per-shard answers into the fleet view.
+    fn answer_fleet(&self, top_k: Option<usize>) -> QueryResponse {
+        let mut per_tenant: Vec<TenantFleetStat> =
+            self.tenants.values().map(tenant_fleet_stat).collect();
+        per_tenant.sort_by(|a, b| {
+            b.miss_rate
+                .total_cmp(&a.miss_rate)
+                .then_with(|| a.tenant.cmp(&b.tenant))
+        });
+        // Truncating per shard is sound: a tenant lives on exactly one
+        // shard, so the global top-k is a subset of the shard top-ks.
+        if let Some(k) = top_k {
+            per_tenant.truncate(k);
+        }
+        QueryResponse::Fleet {
+            tenants: self.tenants.len(),
+            total_events: self.tenants.values().map(|t| t.events_applied).sum(),
+            per_tenant,
+        }
+    }
+
+    /// Prepares the tenant's clustering for a hoard/clusters answer.
+    /// `fresh` blocks until the clustering reflects everything applied
+    /// so far — this makes an online hoard query equivalent to an
+    /// offline replay followed by recluster + choose_hoard. A non-fresh
+    /// query reuses the cached clustering (counting it as stale when the
+    /// generation lags), so it never waits on a recluster.
+    fn prepare_clustering(
+        &mut self,
+        tenant: &Tenant,
+        fresh: bool,
+        ctx: Option<SpanContext>,
+    ) -> (u64, bool) {
+        let Some(ts) = self.tenants.get(tenant) else {
+            return (0, false);
+        };
         let waiter = if fresh {
-            ctx.map(|c| (self.events_applied, c))
+            ctx.map(|c| (tenant, ts.events_applied, c))
         } else {
             None
         };
         self.poll_recluster_done_for(waiter);
-        if fresh || self.engine.clustering().is_none() {
-            self.ensure_fresh_clustering(ctx);
+        let ts = self.tenants.get(tenant).expect("checked above");
+        if fresh || ts.engine.clustering().is_none() {
+            self.ensure_fresh_clustering(tenant, ctx);
         }
-        let stale = self.clustering_generation < self.events_applied;
+        let ts = self.tenants.get(tenant).expect("checked above");
+        let stale = ts.clustering_generation < ts.events_applied;
         if stale {
             self.metrics.stale_queries.inc();
         }
         self.metrics
-            .observe_generation_lag(self.events_applied, self.clustering_generation);
-        (self.clustering_generation, stale)
+            .observe_generation_lag(ts.events_applied, ts.clustering_generation);
+        (ts.clustering_generation, stale)
     }
 
     fn answer(
         &mut self,
+        tenant: &Tenant,
         query: QueryRequest,
         ctx: Option<SpanContext>,
         ingest_depth: usize,
         alive: bool,
     ) -> QueryResponse {
+        // Tenant-scoped queries create the tenant on first contact, so a
+        // freshly restarted daemon answers for any tenant with on-disk
+        // state without waiting for that tenant to send events first.
+        if !matches!(
+            query,
+            QueryRequest::Stats
+                | QueryRequest::Metrics
+                | QueryRequest::Dump
+                | QueryRequest::Fleet { .. }
+        ) {
+            self.ensure_tenant(tenant);
+        }
         // The answer span covers everything the actor does for the query;
         // a recluster forced by `fresh` chains under it.
         let mut span = ctx.map(|c| self.metrics.tracer.child("engine_answer", c));
         let span_ctx = span.as_ref().map(seer_telemetry::Span::context);
         if let Some(s) = &mut span {
             s.attr("query", query.name());
-            s.attr("events_applied", self.events_applied);
+            s.attr("tenant", tenant.as_ref());
         }
         match query {
             QueryRequest::Hoard { budget, fresh } => {
-                let (generation, stale) = self.prepare_clustering(fresh, span_ctx);
+                let (generation, stale) = self.prepare_clustering(tenant, fresh, span_ctx);
                 let file_size = self.cfg.file_size;
-                let sel = self.engine.choose_hoard(budget, &|_| file_size);
+                let ts = self.tenants.get_mut(tenant).expect("ensured above");
+                let sel = ts.engine.choose_hoard(budget, &|_| file_size);
                 let files = sel
                     .files
                     .iter()
-                    .filter_map(|&f| self.engine.paths().resolve(f).map(str::to_owned))
+                    .filter_map(|&f| ts.engine.paths().resolve(f).map(str::to_owned))
                     .collect();
                 QueryResponse::Hoard {
                     files,
@@ -1183,15 +1617,16 @@ impl Actor {
                 }
             }
             QueryRequest::Clusters { fresh } => {
-                let (generation, stale) = self.prepare_clustering(fresh, span_ctx);
-                let clustering = self.engine.clustering().expect("prepared above");
+                let (generation, stale) = self.prepare_clustering(tenant, fresh, span_ctx);
+                let ts = self.tenants.get(tenant).expect("ensured above");
+                let clustering = ts.engine.clustering().expect("prepared above");
                 let mut largest: Vec<usize> = clustering.clusters.iter().map(|c| c.len()).collect();
                 largest.sort_unstable_by(|a, b| b.cmp(a));
                 largest.truncate(8);
                 QueryResponse::Clusters {
                     count: clustering.len(),
                     largest,
-                    files_known: self.engine.paths().len(),
+                    files_known: ts.engine.paths().len(),
                     generation,
                     stale,
                 }
@@ -1215,20 +1650,93 @@ impl Actor {
                     snapshot: self.metrics.registry.snapshot(),
                 }
             }
-            QueryRequest::Health => QueryResponse::Health {
-                healthy: alive,
-                events_applied: self.events_applied,
-                queue_depth: ingest_depth,
-            },
+            QueryRequest::Health => {
+                let ts = self.tenants.get(tenant).expect("ensured above");
+                QueryResponse::Health {
+                    healthy: alive && ts.wal_fault.is_none(),
+                    events_applied: ts.events_applied,
+                    queue_depth: ingest_depth,
+                    wal_fault: ts.wal_fault.clone(),
+                }
+            }
             QueryRequest::Dump => QueryResponse::Dump {
                 spans: self.metrics.tracer.snapshot(),
                 dropped: self.metrics.tracer.dropped(),
             },
-            QueryRequest::History { generation, budget } => self.answer_history(generation, budget),
-            QueryRequest::Explain { path } => self.answer_explain(&path, span_ctx),
-            QueryRequest::Quality => self.answer_quality(),
-            QueryRequest::Miss { id } => self.answer_miss(id),
+            QueryRequest::History { generation, budget } => {
+                self.answer_history(tenant, generation, budget)
+            }
+            QueryRequest::Explain { path } => self.answer_explain(tenant, &path, span_ctx),
+            QueryRequest::Quality => self.answer_quality(tenant),
+            QueryRequest::Miss { id } => self.answer_miss(tenant, id),
+            QueryRequest::Fleet { top_k } => self.answer_fleet(top_k),
         }
+    }
+}
+
+/// Quality-plane work on the ingest path: advance trace time and feed
+/// every referenced path into the shadow-LRU comparator. A no-op (one
+/// branch) when the plane is disabled.
+///
+/// Paths resolve through the *canonical* table, so references the
+/// observer filtered out (or paths it rewrote during canonicalization)
+/// are skipped — the shadow only ranks files SEER itself could have
+/// hoarded, keeping the comparison fair.
+fn quality_ingest(ts: &mut TenantState, events: &[TraceEvent]) {
+    let Some(q) = ts.quality.as_mut() else {
+        return;
+    };
+    let strings = &ts.strings;
+    let engine = &ts.engine;
+    for ev in events {
+        if ev.time > q.last_event_time {
+            q.last_event_time = ev.time;
+        }
+        let _ = ev.kind.map_paths(&mut |p| {
+            if let Some(s) = strings.resolve(p) {
+                if let Some(f) = engine.paths().get(s) {
+                    q.shadow.touch(f);
+                }
+            }
+            p
+        });
+    }
+}
+
+/// Freezes everything the tenant's evaluator needs into a job.
+fn build_eval_job(ts: &TenantState, cfg: &ActorConfig) -> quality::EvalJob {
+    let q = ts.quality.as_ref().expect("quality enabled");
+    quality::EvalJob {
+        input: ts.engine.eval_input(),
+        shadow: q.shadow.order(),
+        window_secs: q.window_secs,
+        budget: q.budget,
+        file_size: cfg.file_size,
+        generation: ts.events_applied,
+        clustering_generation: ts.clustering_generation,
+        misses_by_severity: q.miss_log.severity_histogram(),
+        auto_misses: q.miss_log.auto_count() as u64,
+        eval_index: q.evals + 1,
+    }
+}
+
+/// One tenant's row in a fleet answer.
+fn tenant_fleet_stat(ts: &TenantState) -> TenantFleetStat {
+    let misses = ts.quality.as_ref().map_or(0, |q| {
+        q.miss_log.severity_histogram().iter().sum::<u64>() + q.miss_log.auto_count() as u64
+    });
+    let miss_rate = if ts.events_applied > 0 {
+        misses as f64 / ts.events_applied as f64
+    } else {
+        0.0
+    };
+    TenantFleetStat {
+        tenant: ts.name.to_string(),
+        events_applied: ts.events_applied,
+        files_known: ts.engine.paths().len(),
+        misses,
+        miss_rate,
+        wal_fault: ts.wal_fault.clone(),
     }
 }
 
@@ -1252,16 +1760,14 @@ fn neighbor_evidence(engine: &SeerEngine, file: FileId, k: usize) -> Vec<Explain
         .collect()
 }
 
-/// Runs the engine actor until the apply channel disconnects (graceful
-/// shutdown: drain, recluster, snapshot, exit) or `kill` is raised
-/// (abrupt: exit immediately *without* snapshotting, leaving the last
-/// on-disk snapshot as the recovery point).
-#[allow(clippy::too_many_arguments)]
+/// Runs one shard's engine actor until the apply channel disconnects
+/// (graceful shutdown: drain, recluster, snapshot every tenant, exit)
+/// or `kill` is raised (abrupt: exit immediately *without*
+/// snapshotting, leaving the last on-disk snapshots as the recovery
+/// points). `seed` is the eagerly restored default tenant — present on
+/// exactly the shard the default tenant routes to.
 pub(crate) fn run_engine_actor(
-    engine: SeerEngine,
-    strings: StringTable,
-    events_applied: u64,
-    wal: Option<Wal>,
+    seed: Option<DefaultSeed>,
     cfg: ActorConfig,
     apply_rx: Receiver<Apply>,
     control_rx: Receiver<Control>,
@@ -1272,7 +1778,7 @@ pub(crate) fn run_engine_actor(
     let tick = cfg.tick;
     // The recluster worker owns the expensive computation; both channels
     // are small because the actor keeps at most one periodic job and one
-    // fresh-query job outstanding at a time.
+    // fresh-query job outstanding per tenant at a time.
     let (job_tx, job_rx) = crossbeam::channel::bounded::<ReclusterJob>(4);
     let (done_tx, done_rx) = crossbeam::channel::bounded::<ReclusterDone>(4);
     let worker = {
@@ -1283,39 +1789,42 @@ pub(crate) fn run_engine_actor(
             .spawn(move || run_recluster_worker(&job_rx, &done_tx, threads, full_every))
             .ok()
     };
-    let quality = if cfg.eval_every > Duration::ZERO {
-        Some(QualityState::spawn(
-            cfg.eval_every,
-            cfg.eval_window_secs,
-            cfg.eval_budget,
-            cfg.shadow_lru_cap,
-            &metrics,
-        ))
-    } else {
-        None
-    };
     let mut actor = Actor {
-        engine,
-        strings,
-        remap: HashMap::new(),
-        per_conn: HashMap::new(),
-        events_applied,
-        since_recluster: 0,
-        since_snapshot: 0,
-        clustering_generation: 0,
-        inflight: VecDeque::new(),
-        pending_dirty: None,
+        tenants: HashMap::new(),
         job_tx,
         done_rx,
         cfg,
         metrics,
-        wal,
-        quality,
     };
-    actor.wal_update_gauges();
-    // A recovered snapshot's applied count seeds the counter so restart
-    // does not appear to reset progress.
-    actor.metrics.events_applied.set_total(actor.events_applied);
+    if let Some(seed) = seed {
+        let name = default_tenant();
+        let quality = spawn_quality(&actor.cfg, &actor.metrics);
+        // A recovered snapshot's applied count seeds the counter so
+        // restart does not appear to reset progress.
+        actor.metrics.events_applied.set_total(seed.events_applied);
+        actor.tenants.insert(
+            name.clone(),
+            TenantState {
+                name,
+                engine: seed.engine,
+                strings: seed.strings,
+                remap: HashMap::new(),
+                per_conn: HashMap::new(),
+                events_applied: seed.events_applied,
+                since_recluster: 0,
+                since_snapshot: 0,
+                clustering_generation: 0,
+                inflight: VecDeque::new(),
+                pending_dirty: None,
+                wal: seed.wal,
+                wal_fault: None,
+                wal_appends: 0,
+                quality,
+            },
+        );
+        actor.metrics.tenants.add(1);
+        actor.wal_update_gauges();
+    }
     loop {
         if kill.load(Ordering::Relaxed) {
             // Abrupt death: no snapshot — but the flight recorder is
@@ -1324,29 +1833,41 @@ pub(crate) fn run_engine_actor(
             dump_flight(&actor);
             return;
         }
-        while let Ok(Control::Query { query, ctx, reply }) = control_rx.try_recv() {
+        while let Ok(Control::Query {
+            query,
+            tenant,
+            ctx,
+            reply,
+        }) = control_rx.try_recv()
+        {
             let depth = ingest_depth.len();
-            let answer = actor.answer(query, ctx, depth, true);
+            let answer = actor.answer(&tenant, query, ctx, depth, true);
             let _ = reply.send(answer);
         }
         match apply_rx.recv_timeout(tick) {
             Ok(item) => actor.apply(item),
             Err(RecvTimeoutError::Timeout) => {
                 // Idle tick: fold in finished clusterings and quality
-                // evaluations, start a background recluster if the
-                // cache went stale, keep the evaluator cadence alive,
-                // and snapshot pending work so quiet periods converge.
+                // evaluations, start background reclusters for tenants
+                // whose cache went stale, keep the evaluator cadences
+                // alive, and snapshot pending work so quiet periods
+                // converge — for every tenant on this shard.
                 actor.poll_recluster_done();
-                actor.poll_eval_done();
-                if actor.cfg.recluster_every > 0
-                    && actor.since_recluster > 0
-                    && actor.inflight.is_empty()
-                {
-                    actor.request_recluster(None);
-                }
-                actor.maybe_request_eval();
-                if actor.cfg.snapshot_every > 0 && actor.since_snapshot > 0 {
-                    actor.write_snapshot();
+                let tenants: Vec<Tenant> = actor.tenants.keys().cloned().collect();
+                for tenant in &tenants {
+                    actor.poll_eval_done(tenant);
+                    let ts = actor.tenants.get(tenant).expect("listed above");
+                    if actor.cfg.recluster_every > 0
+                        && ts.since_recluster > 0
+                        && ts.inflight.is_empty()
+                    {
+                        actor.request_recluster(tenant, None);
+                    }
+                    actor.maybe_request_eval(tenant);
+                    let ts = actor.tenants.get(tenant).expect("listed above");
+                    if actor.cfg.snapshot_every > 0 && ts.since_snapshot > 0 {
+                        actor.write_snapshot(tenant);
+                    }
                 }
                 actor.wal_idle();
             }
@@ -1354,25 +1875,38 @@ pub(crate) fn run_engine_actor(
         }
     }
     // Graceful epilogue: every producer is gone and the queue is drained.
-    while let Ok(Control::Query { query, ctx, reply }) = control_rx.try_recv() {
-        let answer = actor.answer(query, ctx, 0, false);
+    while let Ok(Control::Query {
+        query,
+        tenant,
+        ctx,
+        reply,
+    }) = control_rx.try_recv()
+    {
+        let answer = actor.answer(&tenant, query, ctx, 0, false);
         let _ = reply.send(answer);
     }
     actor.poll_recluster_done();
-    if actor.engine.clustering().is_none() || actor.clustering_generation < actor.events_applied {
-        actor.ensure_fresh_clustering(None);
-    }
-    actor.write_snapshot();
-    // The log's tail may still be unsynced under an interval policy; a
-    // graceful exit leaves nothing for the fsync window to lose.
-    if let Some(wal) = &mut actor.wal {
-        if let Err(e) = wal.sync() {
-            tlog!(
-                Level::Warn,
-                "seer_daemon::pipeline",
-                "wal final sync failed",
-                error = e.to_string(),
-            );
+    let tenants: Vec<Tenant> = actor.tenants.keys().cloned().collect();
+    for tenant in &tenants {
+        let ts = actor.tenants.get(tenant).expect("listed above");
+        if ts.engine.clustering().is_none() || ts.clustering_generation < ts.events_applied {
+            actor.ensure_fresh_clustering(tenant, None);
+        }
+        actor.write_snapshot(tenant);
+        // The log's tail may still be unsynced under an interval policy;
+        // a graceful exit leaves nothing for the fsync window to lose.
+        if let Some(ts) = actor.tenants.get_mut(tenant) {
+            if let Some(wal) = &mut ts.wal {
+                if let Err(e) = wal.sync() {
+                    tlog!(
+                        Level::Warn,
+                        "seer_daemon::pipeline",
+                        "wal final sync failed",
+                        tenant = tenant.as_ref(),
+                        error = e.to_string(),
+                    );
+                }
+            }
         }
     }
     dump_flight(&actor);
@@ -1381,11 +1915,13 @@ pub(crate) fn run_engine_actor(
     // returns without joining — the workers notice the disconnect and
     // exit on their own.)
     let Actor {
-        job_tx, quality, ..
+        job_tx, tenants, ..
     } = actor;
     drop(job_tx);
-    if let Some(mut q) = quality {
-        q.shutdown();
+    for (_, ts) in tenants {
+        if let Some(mut q) = ts.quality {
+            q.shutdown();
+        }
     }
     if let Some(handle) = worker {
         let _ = handle.join();
@@ -1432,6 +1968,90 @@ mod tests {
     use super::*;
     use seer_telemetry::TraceId;
 
+    fn test_cfg() -> ActorConfig {
+        ActorConfig {
+            snapshot_path: None,
+            recluster_every: 0,
+            recluster_full_every: 0,
+            snapshot_every: 0,
+            tick: Duration::from_millis(50),
+            file_size: 1,
+            recluster_threads: 1,
+            flight_path: None,
+            engine: SeerConfig::default(),
+            wal_dir: None,
+            wal_fsync: FsyncPolicy::Never,
+            wal_segment_bytes: 8 * 1024 * 1024,
+            wal_fail_after: None,
+            wal_fail_tenant: None,
+            eval_every: Duration::ZERO,
+            eval_window_secs: 0,
+            eval_budget: 0,
+            shadow_lru_cap: 0,
+        }
+    }
+
+    /// An actor holding one default tenant at `events_applied` with the
+    /// given in-flight recluster generations.
+    fn test_actor(
+        engine: SeerEngine,
+        events_applied: u64,
+        inflight: VecDeque<u64>,
+        job_tx: Sender<ReclusterJob>,
+        done_rx: Receiver<ReclusterDone>,
+    ) -> Actor {
+        let name = default_tenant();
+        let mut tenants = HashMap::new();
+        tenants.insert(
+            name.clone(),
+            TenantState {
+                name,
+                engine,
+                strings: StringTable::new(),
+                remap: HashMap::new(),
+                per_conn: HashMap::new(),
+                events_applied,
+                since_recluster: 0,
+                since_snapshot: 0,
+                clustering_generation: 0,
+                inflight,
+                pending_dirty: None,
+                wal: None,
+                wal_fault: None,
+                wal_appends: 0,
+                quality: None,
+            },
+        );
+        Actor {
+            tenants,
+            job_tx,
+            done_rx,
+            cfg: test_cfg(),
+            metrics: crate::stats::new_shared_with(Tracer::new(64, Duration::from_secs(1))),
+        }
+    }
+
+    fn done_for(
+        tenant: Tenant,
+        clustering: Clustering,
+        shard_seconds: Vec<Duration>,
+        shard_start_offsets: Vec<Duration>,
+        generation: u64,
+        wall: Duration,
+    ) -> ReclusterDone {
+        ReclusterDone {
+            tenant,
+            clustering,
+            generation,
+            started: Instant::now(),
+            wall,
+            shard_seconds,
+            shard_start_offsets,
+            incremental: false,
+            ctx: None,
+        }
+    }
+
     /// A traced fresh query that reuses an in-flight recluster job
     /// *requested without a context* (a periodic or idle-tick job) must
     /// adopt it: the `recluster` span recorded at install time lands in
@@ -1442,56 +2062,23 @@ mod tests {
         let (done_tx, done_rx) = crossbeam::channel::bounded::<ReclusterDone>(1);
         let engine = SeerEngine::default();
         let run = engine.recluster_input().compute(1);
-        let mut actor = Actor {
-            engine,
-            strings: StringTable::new(),
-            remap: HashMap::new(),
-            per_conn: HashMap::new(),
-            events_applied: 5,
-            since_recluster: 0,
-            since_snapshot: 0,
-            clustering_generation: 0,
-            // One untraced job already in flight, covering the target
-            // generation — exactly what the idle tick leaves behind.
-            inflight: VecDeque::from([5u64]),
-            pending_dirty: None,
-            job_tx,
-            done_rx,
-            cfg: ActorConfig {
-                snapshot_path: None,
-                recluster_every: 0,
-                recluster_full_every: 0,
-                snapshot_every: 0,
-                tick: Duration::from_millis(50),
-                file_size: 1,
-                recluster_threads: 1,
-                flight_path: None,
-                engine: SeerConfig::default(),
-                eval_every: Duration::ZERO,
-                eval_window_secs: 0,
-                eval_budget: 0,
-                shadow_lru_cap: 0,
-            },
-            metrics: crate::stats::new_shared_with(Tracer::new(64, Duration::from_secs(1))),
-            wal: None,
-            quality: None,
-        };
+        // One untraced job already in flight, covering the target
+        // generation — exactly what the idle tick leaves behind.
+        let mut actor = test_actor(engine, 5, VecDeque::from([5u64]), job_tx, done_rx);
+        let tenant = default_tenant();
         // The worker stand-in finishes the job only once the query is
         // already blocked waiting on it.
+        let done = done_for(
+            tenant.clone(),
+            run.clustering,
+            run.shard_count_seconds,
+            run.shard_start_offsets,
+            5,
+            Duration::from_millis(3),
+        );
         let sender = thread::spawn(move || {
             thread::sleep(Duration::from_millis(20));
-            done_tx
-                .send(ReclusterDone {
-                    clustering: run.clustering,
-                    generation: 5,
-                    started: Instant::now(),
-                    wall: Duration::from_millis(3),
-                    shard_seconds: run.shard_count_seconds,
-                    shard_start_offsets: run.shard_start_offsets,
-                    incremental: false,
-                    ctx: None,
-                })
-                .expect("actor is waiting");
+            done_tx.send(done).expect("actor is waiting");
         });
 
         let ctx = actor.metrics.tracer.record_complete(
@@ -1502,10 +2089,10 @@ mod tests {
             Duration::ZERO,
             &[],
         );
-        actor.ensure_fresh_clustering(Some(ctx));
+        actor.ensure_fresh_clustering(&tenant, Some(ctx));
         sender.join().expect("worker stand-in");
 
-        assert_eq!(actor.clustering_generation, 5);
+        assert_eq!(actor.tenants[&tenant].clustering_generation, 5);
         let spans = actor.metrics.tracer.snapshot();
         let recluster = spans
             .iter()
@@ -1528,49 +2115,17 @@ mod tests {
         let (done_tx, done_rx) = crossbeam::channel::bounded::<ReclusterDone>(1);
         let engine = SeerEngine::default();
         let run = engine.recluster_input().compute(1);
-        let mut actor = Actor {
-            engine,
-            strings: StringTable::new(),
-            remap: HashMap::new(),
-            per_conn: HashMap::new(),
-            events_applied: 7,
-            since_recluster: 0,
-            since_snapshot: 0,
-            clustering_generation: 0,
-            inflight: VecDeque::from([7u64]),
-            pending_dirty: None,
-            job_tx,
-            done_rx,
-            cfg: ActorConfig {
-                snapshot_path: None,
-                recluster_every: 0,
-                recluster_full_every: 0,
-                snapshot_every: 0,
-                tick: Duration::from_millis(50),
-                file_size: 1,
-                recluster_threads: 1,
-                flight_path: None,
-                engine: SeerConfig::default(),
-                eval_every: Duration::ZERO,
-                eval_window_secs: 0,
-                eval_budget: 0,
-                shadow_lru_cap: 0,
-            },
-            metrics: crate::stats::new_shared_with(Tracer::new(64, Duration::from_secs(1))),
-            wal: None,
-            quality: None,
-        };
+        let mut actor = test_actor(engine, 7, VecDeque::from([7u64]), job_tx, done_rx);
+        let tenant = default_tenant();
         done_tx
-            .send(ReclusterDone {
-                clustering: run.clustering,
-                generation: 7,
-                started: Instant::now(),
-                wall: Duration::from_millis(2),
-                shard_seconds: run.shard_count_seconds,
-                shard_start_offsets: run.shard_start_offsets,
-                incremental: false,
-                ctx: None,
-            })
+            .send(done_for(
+                tenant.clone(),
+                run.clustering,
+                run.shard_count_seconds,
+                run.shard_start_offsets,
+                7,
+                Duration::from_millis(2),
+            ))
             .expect("bounded(1) has room");
 
         let ctx = actor.metrics.tracer.record_complete(
@@ -1581,7 +2136,7 @@ mod tests {
             Duration::ZERO,
             &[],
         );
-        let (generation, stale) = actor.prepare_clustering(true, Some(ctx));
+        let (generation, stale) = actor.prepare_clustering(&tenant, true, Some(ctx));
         assert_eq!(generation, 7);
         assert!(!stale);
 
@@ -1602,49 +2157,17 @@ mod tests {
         let (done_tx, done_rx) = crossbeam::channel::bounded::<ReclusterDone>(1);
         let engine = SeerEngine::default();
         let run = engine.recluster_input().compute(1);
-        let mut actor = Actor {
-            engine,
-            strings: StringTable::new(),
-            remap: HashMap::new(),
-            per_conn: HashMap::new(),
-            events_applied: 3,
-            since_recluster: 0,
-            since_snapshot: 0,
-            clustering_generation: 0,
-            inflight: VecDeque::from([3u64]),
-            pending_dirty: None,
-            job_tx,
-            done_rx,
-            cfg: ActorConfig {
-                snapshot_path: None,
-                recluster_every: 0,
-                recluster_full_every: 0,
-                snapshot_every: 0,
-                tick: Duration::from_millis(50),
-                file_size: 1,
-                recluster_threads: 1,
-                flight_path: None,
-                engine: SeerConfig::default(),
-                eval_every: Duration::ZERO,
-                eval_window_secs: 0,
-                eval_budget: 0,
-                shadow_lru_cap: 0,
-            },
-            metrics: crate::stats::new_shared_with(Tracer::new(64, Duration::from_secs(1))),
-            wal: None,
-            quality: None,
-        };
+        let mut actor = test_actor(engine, 3, VecDeque::from([3u64]), job_tx, done_rx);
+        let tenant = default_tenant();
         done_tx
-            .send(ReclusterDone {
-                clustering: run.clustering,
-                generation: 3,
-                started: Instant::now(),
-                wall: Duration::from_millis(1),
-                shard_seconds: run.shard_count_seconds,
-                shard_start_offsets: run.shard_start_offsets,
-                incremental: false,
-                ctx: None,
-            })
+            .send(done_for(
+                tenant,
+                run.clustering,
+                run.shard_count_seconds,
+                run.shard_start_offsets,
+                3,
+                Duration::from_millis(1),
+            ))
             .expect("bounded(1) has room");
         actor.poll_recluster_done();
 
@@ -1655,5 +2178,29 @@ mod tests {
             .expect("install recorded the background job's span");
         assert_eq!(recluster.parent_id, None, "root of its own trace");
         assert_ne!(recluster.trace_id, 0);
+    }
+
+    /// A hostile tenant name cannot escape into path tricks; the default
+    /// tenant keeps the exact legacy paths.
+    #[test]
+    fn tenant_paths_are_sanitized_and_default_preserves_legacy() {
+        let base = Path::new("/tmp/seer.snap");
+        assert_eq!(tenant_snapshot_path(base, DEFAULT_TENANT), base);
+        assert_eq!(
+            tenant_snapshot_path(base, "machine-a"),
+            PathBuf::from("/tmp/seer.snap.machine-a")
+        );
+        assert_eq!(
+            tenant_snapshot_path(base, "../../etc/passwd"),
+            PathBuf::from("/tmp/seer.snap..._.._etc_passwd")
+        );
+        assert_eq!(sanitize_tenant(".."), "_");
+        assert_eq!(sanitize_tenant(""), "_");
+        let wal = Path::new("/tmp/wal");
+        assert_eq!(tenant_wal_dir(wal, DEFAULT_TENANT), wal);
+        assert_eq!(
+            tenant_wal_dir(wal, "machine b"),
+            PathBuf::from("/tmp/wal-machine_b")
+        );
     }
 }

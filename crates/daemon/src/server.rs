@@ -1,38 +1,46 @@
-//! The daemon itself: socket listener, connection readers, and lifecycle.
+//! The daemon itself: listeners, sharded pipelines, and lifecycle.
 
-use crate::pipeline::{self, ActorConfig, Control, Ingest};
+use crate::hub::{self, HubListener, HubStream, ShardHandle, Shards, SocketProbe};
+use crate::pipeline::{self, ActorConfig, DefaultSeed};
 use crate::snapshot::DaemonSnapshot;
-use crate::stats::{self, DaemonStats, PipelineMetrics, SharedMetrics};
-use crossbeam::channel::{bounded, Sender};
+use crate::stats::{self, DaemonStats, SharedMetrics};
+use crossbeam::channel::bounded;
 use parking_lot::Mutex;
 use seer_core::{PersistError, Replayer, SeerConfig, SeerEngine};
-use seer_telemetry::{tlog, Level, RegistrySnapshot, SpanContext, TraceId, Tracer};
-use seer_trace::wire::{
-    self, ClientFrame, DaemonFrame, QueryRequest, QueryResponse, WireError, MIN_WIRE_VERSION,
-    WIRE_VERSION,
-};
+use seer_telemetry::{tlog, Level, RegistrySnapshot, Tracer};
 use seer_trace::StringTable;
 use seer_wal::{FsyncPolicy, Wal, WalConfig, WalError, WalRecord};
-use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::os::unix::net::{UnixListener, UnixStream};
+use std::net::{SocketAddr, TcpListener};
+use std::os::unix::net::UnixListener;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Configuration for a [`Daemon`].
 #[derive(Debug, Clone)]
 pub struct DaemonConfig {
     /// Where to bind the Unix-domain socket.
     pub socket_path: PathBuf,
-    /// Where to persist snapshots; `None` disables persistence.
+    /// TCP address to additionally listen on (e.g. `127.0.0.1:7979`;
+    /// port `0` picks a free port, reported by
+    /// [`DaemonHandle::tcp_addr`]). `None` serves Unix-socket clients
+    /// only.
+    pub tcp_addr: Option<String>,
+    /// Engine shards. Tenants hash across shards; each shard is one
+    /// engine actor + batcher pair owning every tenant routed to it.
+    /// Clamped to at least 1.
+    pub shards: usize,
+    /// Where to persist snapshots; `None` disables persistence. This is
+    /// the *default* tenant's path — other tenants persist next to it
+    /// (`<path>.<tenant>`).
     pub snapshot_path: Option<PathBuf>,
     /// Engine configuration (used only on a cold start; a snapshot's
     /// embedded configuration wins on recovery).
     pub engine: SeerConfig,
-    /// Capacity of the bounded ingest and apply channels. Producers block
-    /// when full — this is the backpressure knob.
+    /// Capacity of the bounded ingest and apply channels (per shard).
+    /// Producers block when full — this is the backpressure knob.
     pub channel_capacity: usize,
     /// Target events per engine batch.
     pub batch_max: usize,
@@ -74,7 +82,9 @@ pub struct DaemonConfig {
     /// panic-hook dump to stderr happens regardless.
     pub flight_path: Option<PathBuf>,
     /// Directory for the write-ahead log. `None` runs without a WAL:
-    /// a kill loses everything since the last snapshot.
+    /// a kill loses everything since the last snapshot. This is the
+    /// *default* tenant's directory — other tenants log to a sibling
+    /// directory (`<dir>-<tenant>`).
     pub wal_dir: Option<PathBuf>,
     /// When the WAL syncs to disk. [`FsyncPolicy::Always`] makes every
     /// acknowledged batch durable; the default interval policy bounds
@@ -82,8 +92,15 @@ pub struct DaemonConfig {
     pub wal_fsync: FsyncPolicy,
     /// Rotate WAL segments once they exceed this many bytes.
     pub wal_segment_bytes: u64,
+    /// Fault injection (tests only): fail every WAL append for
+    /// `wal_fail_tenant` once its append count reaches this value.
+    pub wal_fail_after: Option<u64>,
+    /// Which tenant `wal_fail_after` targets; `None` means the default
+    /// tenant.
+    pub wal_fail_tenant: Option<String>,
     /// Point-in-time restore: discard every batch past this generation
     /// (applied-event count) before starting. Requires `wal_dir`.
+    /// Applies to the default tenant's log.
     pub restore_to: Option<u64>,
     /// Cadence of background quality evaluations (live miss-free hoard
     /// size, SEER vs shadow-LRU). `Duration::ZERO` disables the quality
@@ -113,6 +130,8 @@ impl DaemonConfig {
     pub fn new(socket_path: impl Into<PathBuf>) -> DaemonConfig {
         DaemonConfig {
             socket_path: socket_path.into(),
+            tcp_addr: None,
+            shards: 2,
             snapshot_path: None,
             engine: SeerConfig::default(),
             channel_capacity: 256,
@@ -130,6 +149,8 @@ impl DaemonConfig {
             wal_dir: None,
             wal_fsync: FsyncPolicy::Interval(Duration::from_millis(50)),
             wal_segment_bytes: 8 * 1024 * 1024,
+            wal_fail_after: None,
+            wal_fail_tenant: None,
             restore_to: None,
             eval_every: Duration::from_secs(2),
             eval_window_secs: 86_400,
@@ -145,6 +166,9 @@ impl DaemonConfig {
 pub enum DaemonError {
     /// Socket or filesystem failure.
     Io(std::io::Error),
+    /// The Unix socket path is owned by a live daemon — starting would
+    /// steal its socket, so we refuse instead.
+    SocketBusy(String),
     /// The snapshot on disk exists but cannot be read.
     Persist(PersistError),
     /// The write-ahead log could not be opened, recovered, or truncated.
@@ -158,6 +182,7 @@ impl std::fmt::Display for DaemonError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DaemonError::Io(e) => write!(f, "daemon I/O error: {e}"),
+            DaemonError::SocketBusy(m) => write!(f, "socket busy: {m}"),
             DaemonError::Persist(e) => write!(f, "daemon snapshot error: {e}"),
             DaemonError::Wal(e) => write!(f, "daemon wal error: {e}"),
             DaemonError::Restore(m) => write!(f, "restore failed: {m}"),
@@ -185,28 +210,28 @@ impl From<WalError> for DaemonError {
     }
 }
 
-/// State shared by the listener, connection readers, and the handle.
-struct Shared {
+/// State shared by the listeners, connection readers, and the handle.
+pub(crate) struct Shared {
     /// Raised to stop accepting and let in-flight work drain (graceful).
-    shutdown: AtomicBool,
+    pub(crate) shutdown: AtomicBool,
     /// Raised to abandon everything immediately, skipping the final
     /// snapshot (crash simulation). An `Arc` because the pipeline
     /// threads poll it independently of the rest of the shared state.
-    kill: Arc<AtomicBool>,
-    metrics: SharedMetrics,
+    pub(crate) kill: Arc<AtomicBool>,
+    pub(crate) metrics: SharedMetrics,
     /// Duplicate handles of every live client socket, so shutdown can
     /// unblock readers parked in `read`.
-    conns: Mutex<Vec<UnixStream>>,
-    next_conn: AtomicU64,
+    pub(crate) conns: Mutex<Vec<HubStream>>,
+    pub(crate) next_conn: AtomicU64,
 }
 
 impl Shared {
     /// Starts the shutdown cascade: stop accepting, then close every
     /// client socket so readers see EOF and drop their channel senders.
-    fn begin_shutdown(&self) {
+    pub(crate) fn begin_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
         for s in self.conns.lock().drain(..) {
-            let _ = s.shutdown(std::net::Shutdown::Both);
+            s.shutdown_both();
         }
     }
 }
@@ -217,25 +242,28 @@ impl Shared {
 pub struct DaemonHandle {
     shared: Arc<Shared>,
     socket_path: PathBuf,
-    listener: Option<JoinHandle<()>>,
-    batcher: Option<JoinHandle<()>>,
-    actor: Option<JoinHandle<()>>,
+    tcp_addr: Option<SocketAddr>,
+    listeners: Vec<JoinHandle<()>>,
+    batchers: Vec<JoinHandle<()>>,
+    actors: Vec<JoinHandle<()>>,
 }
 
-/// Entry point: [`Daemon::spawn`] starts the pipeline threads and the
-/// socket listener, returning a [`DaemonHandle`].
+/// Entry point: [`Daemon::spawn`] starts the sharded pipeline threads
+/// and the socket listeners, returning a [`DaemonHandle`].
 pub struct Daemon;
 
 impl Daemon {
-    /// Starts a daemon, recovering engine state from
-    /// `config.snapshot_path` (damaged primaries fall back to the
+    /// Starts a daemon, recovering the default tenant's engine state
+    /// from `config.snapshot_path` (damaged primaries fall back to the
     /// previous snapshot, then to a cold start) and replaying the
-    /// write-ahead log on top when `config.wal_dir` is set.
+    /// write-ahead log on top when `config.wal_dir` is set. Other
+    /// tenants recover lazily, on first contact.
     ///
     /// # Errors
     ///
-    /// Returns [`DaemonError::Io`] if the socket cannot be bound,
-    /// [`DaemonError::Wal`] for an unrecoverable log, and
+    /// Returns [`DaemonError::SocketBusy`] if a live daemon already
+    /// owns the socket path, [`DaemonError::Io`] if a socket cannot be
+    /// bound, [`DaemonError::Wal`] for an unrecoverable log, and
     /// [`DaemonError::Restore`] when `config.restore_to` cannot be
     /// honored.
     pub fn spawn(config: DaemonConfig) -> Result<DaemonHandle, DaemonError> {
@@ -372,17 +400,47 @@ impl Daemon {
         let metrics = stats::new_shared_with(tracer);
         engine.attach_telemetry(&metrics.registry);
 
-        // A stale socket file from a previous (possibly killed) daemon
-        // would make bind fail; remove it first.
-        let _ = std::fs::remove_file(&config.socket_path);
-        let listener = UnixListener::bind(&config.socket_path)?;
-        listener.set_nonblocking(true)?;
+        // Reap the socket path only when it is provably dead. A path a
+        // live daemon owns refuses the start instead of being stolen
+        // out from under it.
+        match hub::probe_unix_socket(&config.socket_path) {
+            SocketProbe::Live { version } => {
+                let spoken = version.map_or_else(String::new, |v| format!(" speaking wire v{v}"));
+                return Err(DaemonError::SocketBusy(format!(
+                    "a live daemon{spoken} already owns {}",
+                    config.socket_path.display()
+                )));
+            }
+            SocketProbe::Stale => {
+                tlog!(
+                    Level::Warn,
+                    "seer_daemon",
+                    "reaped stale socket file",
+                    path = config.socket_path.display().to_string(),
+                );
+                let _ = std::fs::remove_file(&config.socket_path);
+            }
+            SocketProbe::Absent => {}
+        }
+        let unix_listener = UnixListener::bind(&config.socket_path)?;
+        unix_listener.set_nonblocking(true)?;
+
+        let mut listeners = vec![HubListener::Unix(unix_listener)];
+        let mut tcp_addr = None;
+        if let Some(addr) = &config.tcp_addr {
+            let tcp = TcpListener::bind(addr)?;
+            tcp.set_nonblocking(true)?;
+            tcp_addr = Some(tcp.local_addr()?);
+            listeners.push(HubListener::Tcp(tcp));
+        }
 
         tlog!(
             Level::Info,
             "seer_daemon",
             "daemon started",
             socket = config.socket_path.display().to_string(),
+            tcp = tcp_addr.map_or_else(|| "off".to_string(), |a| a.to_string()),
+            shards = config.shards.max(1) as u64,
             recovered_events = events_applied,
         );
 
@@ -394,31 +452,55 @@ impl Daemon {
             next_conn: AtomicU64::new(0),
         });
 
-        let (ingest_tx, ingest_rx) = bounded::<Ingest>(config.channel_capacity);
-        let (apply_tx, apply_rx) = bounded(config.channel_capacity);
-        let (control_tx, control_rx) = bounded::<Control>(16);
+        // Per-shard channel pairs, created before the threads so the
+        // routing table exists first (the default tenant's seed goes to
+        // whichever shard it hashes to).
+        let shard_count = config.shards.max(1);
+        let mut handles = Vec::with_capacity(shard_count);
+        let mut plumbing = Vec::with_capacity(shard_count);
+        for _ in 0..shard_count {
+            let (ingest_tx, ingest_rx) = bounded(config.channel_capacity);
+            let (apply_tx, apply_rx) = bounded(config.channel_capacity);
+            let (control_tx, control_rx) = bounded(16);
+            handles.push(ShardHandle {
+                ingest_tx,
+                control_tx,
+            });
+            plumbing.push((ingest_rx, apply_tx, apply_rx, control_rx));
+        }
+        let shards = Arc::new(Shards { handles });
+        let default_shard = shards.index_for(pipeline::DEFAULT_TENANT);
+        let mut seed = Some(DefaultSeed {
+            engine,
+            strings,
+            events_applied,
+            wal,
+        });
 
-        let batcher = {
-            let ingest_rx = ingest_rx.clone();
-            let kill = Arc::clone(&shared.kill);
-            let batch_max = config.batch_max;
-            let batch_max_wait = config.batch_max_wait;
-            let flush_timer = shared.metrics.stage_batcher_flush.clone();
-            let tracer = shared.metrics.tracer.clone();
-            thread::spawn(move || {
-                pipeline::run_batcher(
-                    batch_max,
-                    batch_max_wait,
-                    ingest_rx,
-                    apply_tx,
-                    flush_timer,
-                    tracer,
-                    kill,
-                );
-            })
-        };
+        let mut batchers = Vec::with_capacity(shard_count);
+        let mut actors = Vec::with_capacity(shard_count);
+        for (i, (ingest_rx, apply_tx, apply_rx, control_rx)) in plumbing.into_iter().enumerate() {
+            let batcher = {
+                let ingest_rx = ingest_rx.clone();
+                let kill = Arc::clone(&shared.kill);
+                let batch_max = config.batch_max;
+                let batch_max_wait = config.batch_max_wait;
+                let flush_timer = shared.metrics.stage_batcher_flush.clone();
+                let tracer = shared.metrics.tracer.clone();
+                thread::spawn(move || {
+                    pipeline::run_batcher(
+                        batch_max,
+                        batch_max_wait,
+                        ingest_rx,
+                        apply_tx,
+                        flush_timer,
+                        tracer,
+                        kill,
+                    );
+                })
+            };
+            batchers.push(batcher);
 
-        let actor = {
             let actor_cfg = ActorConfig {
                 snapshot_path: config.snapshot_path.clone(),
                 recluster_every: config.recluster_every,
@@ -429,22 +511,29 @@ impl Daemon {
                 recluster_threads: config.recluster_threads,
                 flight_path: config.flight_path.clone(),
                 engine: config.engine.clone(),
+                wal_dir: config.wal_dir.clone(),
+                wal_fsync: config.wal_fsync,
+                wal_segment_bytes: config.wal_segment_bytes,
+                wal_fail_after: config.wal_fail_after,
+                wal_fail_tenant: config.wal_fail_tenant.clone(),
                 eval_every: config.eval_every,
                 eval_window_secs: config.eval_window_secs,
                 eval_budget: config.eval_budget,
                 shadow_lru_cap: config.shadow_lru_cap,
             };
+            let shard_seed = if i == default_shard {
+                seed.take()
+            } else {
+                None
+            };
             let metrics = Arc::clone(&shared.metrics);
             let kill = Arc::clone(&shared.kill);
-            // `ingest_rx` is cloned purely to observe queue depth for
-            // Health queries; the actor never receives from it.
+            // `ingest_rx` doubles as a depth probe for Health queries;
+            // the actor never receives from it.
             let depth_probe = ingest_rx;
-            thread::spawn(move || {
+            actors.push(thread::spawn(move || {
                 pipeline::run_engine_actor(
-                    engine,
-                    strings,
-                    events_applied,
-                    wal,
+                    shard_seed,
                     actor_cfg,
                     apply_rx,
                     control_rx,
@@ -452,23 +541,28 @@ impl Daemon {
                     metrics,
                     kill,
                 );
-            })
-        };
+            }));
+        }
 
-        let listener_thread = {
-            let shared = Arc::clone(&shared);
-            let read_buffer = config.read_buffer;
-            thread::spawn(move || {
-                run_listener(&listener, &shared, &ingest_tx, &control_tx, read_buffer);
+        let listener_threads = listeners
+            .into_iter()
+            .map(|listener| {
+                let shared = Arc::clone(&shared);
+                let shards = Arc::clone(&shards);
+                let read_buffer = config.read_buffer;
+                thread::spawn(move || {
+                    hub::run_listener(&listener, &shared, &shards, read_buffer);
+                })
             })
-        };
+            .collect();
 
         Ok(DaemonHandle {
             shared,
             socket_path: config.socket_path,
-            listener: Some(listener_thread),
-            batcher: Some(batcher),
-            actor: Some(actor),
+            tcp_addr,
+            listeners: listener_threads,
+            batchers,
+            actors,
         })
     }
 }
@@ -518,6 +612,13 @@ impl DaemonHandle {
         &self.socket_path
     }
 
+    /// The bound TCP address, when `tcp_addr` was configured. With port
+    /// `0` in the config this is where the kernel actually put us.
+    #[must_use]
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
     /// A snapshot of the pipeline counters.
     #[must_use]
     pub fn stats(&self) -> DaemonStats {
@@ -535,8 +636,8 @@ impl DaemonHandle {
     }
 
     /// Blocks until the daemon exits (a client sent
-    /// [`ClientFrame::Shutdown`], or [`DaemonHandle::shutdown`] ran on
-    /// another thread).
+    /// [`ClientFrame::Shutdown`](seer_trace::wire::ClientFrame::Shutdown),
+    /// or [`DaemonHandle::shutdown`] ran on another thread).
     pub fn wait(mut self) -> DaemonStats {
         self.join_all();
         let stats = self.shared.metrics.snapshot_view();
@@ -565,13 +666,13 @@ impl DaemonHandle {
     }
 
     fn join_all(&mut self) {
-        if let Some(h) = self.listener.take() {
+        for h in self.listeners.drain(..) {
             let _ = h.join();
         }
-        if let Some(h) = self.batcher.take() {
+        for h in self.batchers.drain(..) {
             let _ = h.join();
         }
-        if let Some(h) = self.actor.take() {
+        for h in self.actors.drain(..) {
             let _ = h.join();
         }
     }
@@ -579,376 +680,11 @@ impl DaemonHandle {
 
 impl Drop for DaemonHandle {
     fn drop(&mut self) {
-        if self.listener.is_some() || self.batcher.is_some() || self.actor.is_some() {
+        if !(self.listeners.is_empty() && self.batchers.is_empty() && self.actors.is_empty()) {
             self.shared.kill.store(true, Ordering::SeqCst);
             self.shared.begin_shutdown();
             self.join_all();
             let _ = std::fs::remove_file(&self.socket_path);
         }
     }
-}
-
-/// Accept loop: polls the nonblocking listener, spawning one reader
-/// thread per connection, until shutdown or kill is raised. Exiting
-/// drops this thread's channel senders, which is half of the
-/// disconnect cascade (conn readers hold the other half).
-fn run_listener(
-    listener: &UnixListener,
-    shared: &Arc<Shared>,
-    ingest_tx: &Sender<Ingest>,
-    control_tx: &Sender<Control>,
-    read_buffer: usize,
-) {
-    loop {
-        if shared.shutdown.load(Ordering::SeqCst) || shared.kill.load(Ordering::SeqCst) {
-            return;
-        }
-        match listener.accept() {
-            Ok((stream, _addr)) => {
-                let conn = shared.next_conn.fetch_add(1, Ordering::SeqCst);
-                shared.metrics.connections.inc();
-                tlog!(
-                    Level::Debug,
-                    "seer_daemon::server",
-                    "connection accepted",
-                    conn = conn
-                );
-                if let Ok(dup) = stream.try_clone() {
-                    shared.conns.lock().push(dup);
-                }
-                let shared = Arc::clone(shared);
-                let ingest_tx = ingest_tx.clone();
-                let control_tx = control_tx.clone();
-                thread::spawn(move || {
-                    serve_conn(stream, conn, &ingest_tx, &control_tx, &shared, read_buffer);
-                });
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                thread::sleep(Duration::from_millis(5));
-            }
-            Err(_) => return,
-        }
-    }
-}
-
-/// Sends a flush marker through the pipeline and waits for the engine
-/// actor's acknowledgement, returning the connection's applied count.
-fn flush_pipeline(conn: u64, ingest_tx: &Sender<Ingest>) -> Result<u64, ()> {
-    let (ack_tx, ack_rx) = bounded(1);
-    ingest_tx
-        .send(Ingest::Flush { conn, ack: ack_tx })
-        .map_err(|_| ())?;
-    ack_rx.recv().map_err(|_| ())
-}
-
-/// When reading and decoding a frame started and how long each took —
-/// measured before the frame's trace membership is known, so the spans
-/// are recorded retroactively once the trace id is in hand.
-#[derive(Clone, Copy)]
-struct FrameTiming {
-    read_start: Instant,
-    read_time: Duration,
-    decode_start: Instant,
-    decode_time: Duration,
-    bytes: usize,
-}
-
-/// Reads one client frame, timing the socket read and the decode as
-/// separate pipeline stages. The read timing includes waiting for the
-/// client, so its tail shows client pauses, not daemon slowness; the
-/// decode timing is pure CPU. `Ok(None)` signals a clean end of stream.
-///
-/// The framing is sniffed from the first byte: [`wire::BINARY_EVENTS_MAGIC`]
-/// introduces a v6 binary events frame (read into `scratch`, reused across
-/// calls, and decoded without serde); anything else is a JSON line, so
-/// v2–v5 clients keep working on the same code path.
-fn read_timed_frame(
-    r: &mut impl BufRead,
-    metrics: &PipelineMetrics,
-    scratch: &mut Vec<u8>,
-) -> Result<Option<(ClientFrame, FrameTiming)>, WireError> {
-    let mut line = String::new();
-    loop {
-        line.clear();
-        let read_start = Instant::now();
-        let read_timer = metrics.stage_socket_read.start_timer();
-        let first = match r.fill_buf()?.first() {
-            Some(&b) => b,
-            None => {
-                read_timer.stop();
-                return Ok(None);
-            }
-        };
-        if first == wire::BINARY_EVENTS_MAGIC {
-            let mut header = [0u8; 5];
-            r.read_exact(&mut header)?;
-            let len = u32::from_le_bytes([header[1], header[2], header[3], header[4]]) as usize;
-            if len > wire::BINARY_MAX_PAYLOAD {
-                return Err(WireError::Format(format!(
-                    "binary frame length {len} exceeds cap {}",
-                    wire::BINARY_MAX_PAYLOAD
-                )));
-            }
-            scratch.clear();
-            scratch.resize(len, 0);
-            r.read_exact(scratch)?;
-            read_timer.stop();
-            let read_time = read_start.elapsed();
-            let decode_start = Instant::now();
-            let decode_timer = metrics.stage_decode.start_timer();
-            let (events, trace_id) = wire::decode_events_binary(scratch)?;
-            decode_timer.stop();
-            return Ok(Some((
-                ClientFrame::Events { events, trace_id },
-                FrameTiming {
-                    read_start,
-                    read_time,
-                    decode_start,
-                    decode_time: decode_start.elapsed(),
-                    bytes: header.len() + len,
-                },
-            )));
-        }
-        let n = r.read_line(&mut line)?;
-        read_timer.stop();
-        let read_time = read_start.elapsed();
-        if n == 0 {
-            return Ok(None);
-        }
-        if !line.trim().is_empty() {
-            let decode_start = Instant::now();
-            let decode_timer = metrics.stage_decode.start_timer();
-            let frame = serde_json::from_str(line.trim_end())?;
-            decode_timer.stop();
-            return Ok(Some((
-                frame,
-                FrameTiming {
-                    read_start,
-                    read_time,
-                    decode_start,
-                    decode_time: decode_start.elapsed(),
-                    bytes: n,
-                },
-            )));
-        }
-    }
-}
-
-/// Records the retroactive `socket_read` → `decode` chain for a traced
-/// events frame, returning the decode span's context for the batcher to
-/// continue the chain.
-fn record_frame_spans(tracer: &Tracer, trace: TraceId, timing: FrameTiming) -> SpanContext {
-    let read_ctx = tracer.record_complete(
-        "socket_read",
-        trace,
-        None,
-        timing.read_start,
-        timing.read_time,
-        &[("bytes", timing.bytes.to_string())],
-    );
-    tracer.record_complete(
-        "decode",
-        trace,
-        Some(read_ctx.span_id),
-        timing.decode_start,
-        timing.decode_time,
-        &[],
-    )
-}
-
-/// One connection's reader loop. Runs on its own thread; exits on EOF,
-/// protocol error, or pipeline disconnect.
-fn serve_conn(
-    stream: UnixStream,
-    conn: u64,
-    ingest_tx: &Sender<Ingest>,
-    control_tx: &Sender<Control>,
-    shared: &Arc<Shared>,
-    read_buffer: usize,
-) {
-    let reader = match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    };
-    // A buffer that holds a whole frame keeps each frame to one kernel
-    // read; see [`DaemonConfig::read_buffer`].
-    let mut r = BufReader::with_capacity(read_buffer.max(512), reader);
-    let mut w = BufWriter::new(stream);
-    let mut scratch = Vec::new();
-    loop {
-        let (frame, timing) = match read_timed_frame(&mut r, &shared.metrics, &mut scratch) {
-            Ok(Some(f)) => f,
-            Ok(None) => break,
-            Err(WireError::Format(m)) => {
-                tlog!(
-                    Level::Warn,
-                    "seer_daemon::server",
-                    "protocol error on connection",
-                    conn = conn,
-                    error = m.as_str(),
-                );
-                let _ = wire::write_frame(&mut w, &DaemonFrame::Error { message: m });
-                let _ = w.flush();
-                break;
-            }
-            Err(WireError::Io(_)) => break,
-        };
-        match frame {
-            ClientFrame::Hello { version, .. } => {
-                // v2 differs only by the absence of trace stamps and the
-                // Dump query, so older clients remain fully functional.
-                let reply = if (MIN_WIRE_VERSION..=WIRE_VERSION).contains(&version) {
-                    DaemonFrame::Welcome {
-                        version: WIRE_VERSION,
-                    }
-                } else {
-                    DaemonFrame::Error {
-                        message: format!(
-                            "wire version mismatch: daemon speaks {MIN_WIRE_VERSION}..={WIRE_VERSION}, client sent {version}"
-                        ),
-                    }
-                };
-                if wire::write_frame(&mut w, &reply).is_err() || w.flush().is_err() {
-                    break;
-                }
-            }
-            ClientFrame::Intern { id, path } => {
-                if ingest_tx
-                    .send(Ingest::Intern {
-                        conn,
-                        local: id,
-                        path,
-                    })
-                    .is_err()
-                {
-                    break;
-                }
-            }
-            ClientFrame::Events { events, trace_id } => {
-                let n = events.len() as u64;
-                // Depth *before* this send: with a bounded channel the
-                // send below blocks rather than exceed capacity, so this
-                // observation can never exceed the configured bound.
-                shared.metrics.observe_queue_depth(ingest_tx.len());
-                shared.metrics.events_received.add(n);
-                let ctx = trace_id
-                    .map(|t| record_frame_spans(&shared.metrics.tracer, TraceId(t), timing));
-                if ingest_tx
-                    .send(Ingest::Events { conn, events, ctx })
-                    .is_err()
-                {
-                    break;
-                }
-            }
-            ClientFrame::Flush => match flush_pipeline(conn, ingest_tx) {
-                Ok(applied) => {
-                    if wire::write_frame(&mut w, &DaemonFrame::Flushed { events: applied }).is_err()
-                        || w.flush().is_err()
-                    {
-                        break;
-                    }
-                }
-                Err(()) => {
-                    let _ = wire::write_frame(
-                        &mut w,
-                        &DaemonFrame::Error {
-                            message: "pipeline unavailable".into(),
-                        },
-                    );
-                    let _ = w.flush();
-                    break;
-                }
-            },
-            ClientFrame::Query { query, trace_id } => match run_query(
-                conn,
-                query,
-                trace_id,
-                ingest_tx,
-                control_tx,
-                &shared.metrics.tracer,
-            ) {
-                // An in-band error (e.g. an unanswerable History query)
-                // is an answer about *this query*, not a connection
-                // failure: report it and keep serving.
-                Ok(QueryResponse::Error { message }) => {
-                    if wire::write_frame(&mut w, &DaemonFrame::Error { message }).is_err()
-                        || w.flush().is_err()
-                    {
-                        break;
-                    }
-                }
-                Ok(response) => {
-                    if wire::write_frame(&mut w, &DaemonFrame::Answer { response }).is_err()
-                        || w.flush().is_err()
-                    {
-                        break;
-                    }
-                }
-                Err(()) => {
-                    let _ = wire::write_frame(
-                        &mut w,
-                        &DaemonFrame::Error {
-                            message: "pipeline unavailable".into(),
-                        },
-                    );
-                    let _ = w.flush();
-                    break;
-                }
-            },
-            ClientFrame::Shutdown => {
-                tlog!(
-                    Level::Info,
-                    "seer_daemon",
-                    "shutdown requested by client",
-                    conn = conn
-                );
-                // Flush this connection's stream so nothing it sent is
-                // lost, acknowledge, then start the global cascade.
-                let _ = flush_pipeline(conn, ingest_tx);
-                let _ = wire::write_frame(&mut w, &DaemonFrame::ShuttingDown);
-                let _ = w.flush();
-                shared.begin_shutdown();
-                break;
-            }
-        }
-    }
-    tlog!(
-        Level::Debug,
-        "seer_daemon::server",
-        "connection closed",
-        conn = conn
-    );
-    let _ = ingest_tx.send(Ingest::ConnClosed { conn });
-}
-
-/// Flushes the connection's stream, then forwards the query to the
-/// engine actor and waits for its answer.
-///
-/// A traced query gets a root `query` span covering the whole exchange,
-/// with a `flush_wait` child for the pipeline drain; the engine actor
-/// hangs its `engine_answer` span (and any recluster it triggers) off
-/// the root via the forwarded context.
-fn run_query(
-    conn: u64,
-    query: QueryRequest,
-    trace_id: Option<u64>,
-    ingest_tx: &Sender<Ingest>,
-    control_tx: &Sender<Control>,
-    tracer: &Tracer,
-) -> Result<seer_trace::wire::QueryResponse, ()> {
-    let root = trace_id.map(|t| tracer.span_in("query", TraceId(t), None));
-    let ctx = root.as_ref().map(seer_telemetry::Span::context);
-    {
-        let _flush_span = ctx.map(|c| tracer.child("flush_wait", c));
-        flush_pipeline(conn, ingest_tx)?;
-    }
-    let (reply_tx, reply_rx) = bounded(1);
-    control_tx
-        .send(Control::Query {
-            query,
-            ctx,
-            reply: reply_tx,
-        })
-        .map_err(|_| ())?;
-    reply_rx.recv().map_err(|_| ())
 }

@@ -45,6 +45,15 @@ pub(crate) struct PipelineMetrics {
     pub events_received: Counter,
     pub events_applied: Counter,
     pub batches_applied: Counter,
+    /// Connections torn down by a protocol violation or mid-frame I/O
+    /// failure (hostile or broken clients). Each kills only its own
+    /// connection; this counter is the blast-radius witness.
+    pub connection_errors: Counter,
+    /// Tenants the engine shards currently hold state for.
+    pub tenants: Gauge,
+    /// Batches dropped (not applied, not acknowledged) because the
+    /// tenant's write-ahead log has faulted.
+    pub wal_dropped_batches: Counter,
     pub reclusters: Counter,
     /// Reclusterings whose counting phase ran incrementally off the
     /// worker's pair-count cache (a subset of `reclusters`).
@@ -132,6 +141,18 @@ impl PipelineMetrics {
             connections: registry.counter(
                 "seer_daemon_connections_total",
                 "Client connections accepted.",
+            ),
+            connection_errors: registry.counter(
+                "seer_daemon_connection_errors_total",
+                "Connections torn down by a protocol violation or mid-frame I/O failure.",
+            ),
+            tenants: registry.gauge(
+                "seer_daemon_tenants",
+                "Tenants the engine shards currently hold state for.",
+            ),
+            wal_dropped_batches: registry.counter(
+                "seer_daemon_wal_dropped_batches_total",
+                "Batches dropped unacknowledged because the tenant's WAL has faulted.",
             ),
             recluster_inflight: registry.gauge(
                 "seer_daemon_recluster_inflight",

@@ -52,7 +52,17 @@ use std::io::{BufRead, Write};
 /// the events path changes — handshake, interning, queries, and every
 /// daemon reply stay JSON — and the daemon continues to accept JSON
 /// `Events` lines from v2–v5 clients on the same connection.
-pub const WIRE_VERSION: u32 = 6;
+///
+/// v7: multi-tenant handshake. `Hello` carries an optional `tenant`
+/// label naming the observed machine this connection streams for; the
+/// daemon routes the connection's frames to that tenant's engine shard.
+/// A v2–v6 `Hello` (no `tenant` key) decodes as `None` and lands on the
+/// default tenant, so every older client keeps its exact pre-hub
+/// behavior. A `Fleet` query summarizes every tenant (aggregate event
+/// counts, per-tenant miss rates, WAL health) and `Health` answers gain
+/// an optional `wal_fault` describing a tenant whose write-ahead log
+/// has failed and is no longer acknowledging batches.
+pub const WIRE_VERSION: u32 = 7;
 
 /// The oldest client revision the daemon still accepts: v2 differs only
 /// by the absence of later, purely additive frames (trace stamps and the
@@ -69,6 +79,10 @@ pub enum ClientFrame {
         client: String,
         /// The client's [`WIRE_VERSION`].
         version: u32,
+        /// The tenant (observed machine) this connection streams for.
+        /// `None` — including every pre-v7 `Hello`, which has no such
+        /// key — selects the daemon's default tenant.
+        tenant: Option<String>,
     },
     /// Declares a connection-local raw-path id (see module docs).
     Intern {
@@ -167,15 +181,24 @@ pub enum QueryRequest {
         /// Postmortem id to fetch, or `None` for every retained one.
         id: Option<u64>,
     },
+    /// Summarize every tenant the hub is serving: aggregate applied
+    /// events plus a per-tenant table (event counts, hoard-miss rates,
+    /// WAL health), sorted by miss rate so the worst-served machines
+    /// lead. Answered fleet-wide, regardless of the connection's tenant.
+    Fleet {
+        /// Keep only the `top_k` tenants with the highest miss rate in
+        /// the per-tenant table (`None`: all tenants).
+        top_k: Option<usize>,
+    },
 }
 
 impl QueryRequest {
     /// Canonical lowercase names of every query, in declaration order.
     /// The CLI derives its help text and its "unknown query" message
     /// from this table so neither can go stale as queries are added.
-    pub const NAMES: [&'static str; 10] = [
+    pub const NAMES: [&'static str; 11] = [
         "hoard", "clusters", "stats", "metrics", "health", "dump", "history", "explain", "quality",
-        "miss",
+        "miss", "fleet",
     ];
 
     /// The canonical name of this query (an entry of [`Self::NAMES`]).
@@ -192,6 +215,7 @@ impl QueryRequest {
             QueryRequest::Explain { .. } => "explain",
             QueryRequest::Quality => "quality",
             QueryRequest::Miss { .. } => "miss",
+            QueryRequest::Fleet { .. } => "fleet",
         }
     }
 }
@@ -286,6 +310,25 @@ pub struct MissPostmortem {
     pub clusters: Vec<(u32, usize)>,
     /// Strongest semantic neighbors at capture.
     pub neighbors: Vec<ExplainNeighbor>,
+}
+
+/// One tenant's row in a [`QueryResponse::Fleet`] answer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantFleetStat {
+    /// The tenant's label (the default tenant reports as `"default"`).
+    pub tenant: String,
+    /// Events applied to this tenant's engine.
+    pub events_applied: u64,
+    /// Canonical paths this tenant's engine knows.
+    pub files_known: usize,
+    /// Hoard misses recorded for this tenant (auto-detected plus
+    /// severity-classified), since startup.
+    pub misses: u64,
+    /// `misses / events_applied` — the fleet ranking key. Zero when the
+    /// tenant has applied nothing.
+    pub miss_rate: f64,
+    /// Description of the tenant's WAL fault, if its log has failed.
+    pub wal_fault: Option<String>,
 }
 
 /// A frame sent from the daemon to a client.
@@ -383,12 +426,19 @@ pub enum QueryResponse {
     },
     /// Probe result for [`QueryRequest::Health`].
     Health {
-        /// Whether the pipeline is accepting and applying events.
+        /// Whether the pipeline is accepting and applying events. A
+        /// tenant whose WAL has faulted reports `false`: its batches are
+        /// no longer acknowledged.
         healthy: bool,
-        /// Events applied so far.
+        /// Events applied so far (for the connection's tenant).
         events_applied: u64,
         /// Current ingest-queue depth.
         queue_depth: usize,
+        /// Description of this tenant's write-ahead-log fault, when its
+        /// log has failed (e.g. a full disk). `None`: the log is healthy
+        /// or the daemon runs without one. Absent in pre-v7 answers,
+        /// which decodes as `None`.
+        wal_fault: Option<String>,
     },
     /// As-of-generation answer for [`QueryRequest::History`].
     History {
@@ -443,6 +493,17 @@ pub enum QueryResponse {
     Misses {
         /// The matching postmortems (all retained, or the requested id).
         postmortems: Vec<MissPostmortem>,
+    },
+    /// Fleet-wide summary for [`QueryRequest::Fleet`].
+    Fleet {
+        /// Tenants the hub has engine state for (before any `top_k`
+        /// truncation of the table below).
+        tenants: usize,
+        /// Events applied across every tenant.
+        total_events: u64,
+        /// Per-tenant summaries, highest miss rate first (truncated to
+        /// `top_k` when the query asked for one).
+        per_tenant: Vec<TenantFleetStat>,
     },
     /// The query could not be answered (e.g. `History` without a WAL, or
     /// a generation compaction has discarded). In-band so one failed
@@ -861,6 +922,7 @@ mod tests {
             ClientFrame::Hello {
                 client: "test".into(),
                 version: WIRE_VERSION,
+                tenant: Some("machine-a".into()),
             },
             ClientFrame::Intern {
                 id: 3,
@@ -913,6 +975,10 @@ mod tests {
             },
             ClientFrame::Query {
                 query: QueryRequest::Miss { id: Some(3) },
+                trace_id: None,
+            },
+            ClientFrame::Query {
+                query: QueryRequest::Fleet { top_k: Some(5) },
                 trace_id: None,
             },
             ClientFrame::Shutdown,
@@ -1069,6 +1135,28 @@ mod tests {
                 },
             },
             DaemonFrame::Answer {
+                response: QueryResponse::Health {
+                    healthy: false,
+                    events_applied: 512,
+                    queue_depth: 3,
+                    wal_fault: Some("wal append failed: disk full".into()),
+                },
+            },
+            DaemonFrame::Answer {
+                response: QueryResponse::Fleet {
+                    tenants: 2,
+                    total_events: 1024,
+                    per_tenant: vec![TenantFleetStat {
+                        tenant: "machine-a".into(),
+                        events_applied: 512,
+                        files_known: 40,
+                        misses: 3,
+                        miss_rate: 3.0 / 512.0,
+                        wal_fault: None,
+                    }],
+                },
+            },
+            DaemonFrame::Answer {
                 response: QueryResponse::Error {
                     message: "history unavailable: daemon is running without a WAL".into(),
                 },
@@ -1115,6 +1203,24 @@ mod tests {
         );
     }
 
+    /// v2–v6 clients serialize `Hello` without a `tenant` key; a v7
+    /// daemon must decode it as `None` (the default tenant) so every
+    /// pre-hub client keeps its exact behavior.
+    #[test]
+    fn pre_v7_hello_without_tenant_still_decodes() {
+        let mut r = &br#"{"Hello":{"client":"legacy","version":6}}
+"#[..];
+        let hello: ClientFrame = read_frame(&mut r).expect("read").expect("frame");
+        assert_eq!(
+            hello,
+            ClientFrame::Hello {
+                client: "legacy".into(),
+                version: 6,
+                tenant: None,
+            }
+        );
+    }
+
     /// The shared name table must stay in lockstep with the enum: every
     /// variant's name appears in [`QueryRequest::NAMES`], and the table
     /// holds nothing else.
@@ -1139,6 +1245,7 @@ mod tests {
             },
             QueryRequest::Quality,
             QueryRequest::Miss { id: None },
+            QueryRequest::Fleet { top_k: None },
         ];
         assert_eq!(all.len(), QueryRequest::NAMES.len());
         for (q, &name) in all.iter().zip(QueryRequest::NAMES.iter()) {
