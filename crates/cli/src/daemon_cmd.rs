@@ -91,6 +91,17 @@ pub fn cmd_daemon(args: &Args) -> Result<(), CliError> {
         cfg.tcp_addr = Some(a.to_owned());
     }
     cfg.shards = args.num_flag("shards", cfg.shards)?;
+    // Fleet-observability knobs: per-tenant instruments, health scoring,
+    // burn-rate alerts, and the self-watchdog are on by default;
+    // `--no-fleet` turns the whole plane off at once.
+    cfg.fleet_observability = !args.bool_flag("no-fleet");
+    cfg.slo_miss_rate = args.num_flag("slo-miss-rate", cfg.slo_miss_rate)?;
+    cfg.burn_fast_window =
+        Duration::from_secs(args.num_flag("burn-fast-secs", cfg.burn_fast_window.as_secs())?);
+    cfg.burn_slow_window =
+        Duration::from_secs(args.num_flag("burn-slow-secs", cfg.burn_slow_window.as_secs())?);
+    cfg.burn_threshold = args.num_flag("burn-threshold", cfg.burn_threshold)?;
+    cfg.alert_ring = args.num_flag("alert-ring", cfg.alert_ring)?;
 
     let recovered = cfg.snapshot_path.as_deref().is_some_and(Path::exists);
     let handle = Daemon::spawn(cfg)?;
@@ -292,6 +303,16 @@ fn client_query(args: &Args) -> Result<(), CliError> {
             };
             client.query(QueryRequest::Miss { id })?
         }
+        // `alerts` dumps the daemon's alert ring in firing order;
+        // `--for NAME` (or a trailing positional) filters to one tenant,
+        // with `_self` selecting the daemon's own watchdog alerts.
+        Some("alerts") => {
+            let tenant = args
+                .flag("for")
+                .or_else(|| args.positional(3))
+                .map(str::to_owned);
+            client.query(QueryRequest::Alerts { tenant })?
+        }
         other => {
             return Err(CliError(format!(
                 "unknown query: {} ({}|trace)",
@@ -455,19 +476,90 @@ pub fn cmd_explain(args: &Args) -> Result<(), CliError> {
 /// the daemon's telemetry: throughput, queue depth, per-stage latency
 /// percentiles, and (when the quality plane is on) the live SEER-vs-LRU
 /// quality line with sparklines. With `--interval` it refreshes on that
-/// cadence over one connection until interrupted.
+/// cadence over one connection until interrupted; with `--tenant NAME`
+/// the quality section tracks that tenant's engine instead of the
+/// default one. `--fleet` switches to the per-tenant health view
+/// (score, firing alerts, sparkline per tenant), and `--html FILE`
+/// additionally exports that view as a standalone dashboard page on
+/// every refresh.
 pub fn cmd_top(args: &Args) -> Result<(), CliError> {
     let mut client = connect_from_args(args, "seer-top")?;
-    let target = target_label(args);
+    let target = match args.flag("tenant") {
+        Some(t) => format!("{} (tenant {t})", target_label(args)),
+        None => target_label(args),
+    };
     let interval: u64 = args.num_flag("interval", 0)?;
+    let fleet = args.bool_flag("fleet");
     loop {
-        top_once(&mut client, &target)?;
+        if fleet {
+            top_fleet_once(&mut client, &target, args.flag("html"))?;
+        } else {
+            top_once(&mut client, &target)?;
+        }
         if interval == 0 {
             return Ok(());
         }
         std::thread::sleep(Duration::from_secs(interval));
         println!();
     }
+}
+
+/// One `seer top --fleet` frame: every tenant's health row plus the
+/// alerts currently firing (including the daemon's own `_self` watchdog
+/// alerts, which have no fleet row of their own).
+fn top_fleet_once(
+    client: &mut DaemonClient,
+    target: &str,
+    html: Option<&str>,
+) -> Result<(), CliError> {
+    let (tenants, total_events, per_tenant) =
+        match client.query(QueryRequest::Fleet { top_k: None })? {
+            QueryResponse::Fleet {
+                tenants,
+                total_events,
+                per_tenant,
+            } => (tenants, total_events, per_tenant),
+            other => return Err(CliError(format!("unexpected response: {other:?}"))),
+        };
+    let (alerts, now_secs) = client.alerts(None)?;
+    let firing: Vec<&seer_telemetry::AlertRecord> = alerts
+        .iter()
+        .filter(|a| a.resolved_secs.is_none())
+        .collect();
+    println!(
+        "seer fleet @ {target} — {tenants} tenants, {total_events} events applied, \
+         {} alert{} firing",
+        firing.len(),
+        if firing.len() == 1 { "" } else { "s" },
+    );
+    print_fleet_rows(&per_tenant);
+    if !firing.is_empty() {
+        println!();
+        for a in &firing {
+            print_alert(a, now_secs);
+        }
+    }
+    if let Some(p) = html {
+        let panels: Vec<seer_telemetry::FleetPanel> = per_tenant
+            .iter()
+            .map(|t| seer_telemetry::FleetPanel {
+                tenant: t.tenant.clone(),
+                score: t.health_score,
+                status: t
+                    .wal_fault
+                    .as_ref()
+                    .map_or_else(|| "healthy".to_owned(), |f| format!("wal fault: {f}")),
+                firing: t.alerts_firing,
+                score_points: t.score_spark.clone(),
+            })
+            .collect();
+        std::fs::write(
+            p,
+            seer_telemetry::render_fleet_dashboard_html(&panels, "seer fleet"),
+        )?;
+        eprintln!("fleet dashboard written to {p}");
+    }
+    Ok(())
 }
 
 fn top_once(client: &mut DaemonClient, target: &str) -> Result<(), CliError> {
@@ -676,21 +768,7 @@ fn print_response(response: &QueryResponse) {
             per_tenant,
         } => {
             println!("fleet: {tenants} tenants, {total_events} events applied");
-            println!(
-                "{:<20} {:>12} {:>10} {:>8} {:>10}  wal",
-                "tenant", "events", "files", "misses", "miss rate"
-            );
-            for t in per_tenant {
-                println!(
-                    "{:<20} {:>12} {:>10} {:>8} {:>9.4}%  {}",
-                    t.tenant,
-                    t.events_applied,
-                    t.files_known,
-                    t.misses,
-                    t.miss_rate * 100.0,
-                    t.wal_fault.as_deref().unwrap_or("ok"),
-                );
-            }
+            print_fleet_rows(per_tenant);
         }
         QueryResponse::Dump { spans, dropped } => {
             println!(
@@ -770,9 +848,64 @@ fn print_response(response: &QueryResponse) {
                 print_postmortem(pm);
             }
         }
+        QueryResponse::Alerts { alerts, now_secs } => {
+            if alerts.is_empty() {
+                println!("no alerts recorded");
+            }
+            for a in alerts {
+                print_alert(a, *now_secs);
+            }
+        }
         QueryResponse::Error { message } => {
             println!("daemon error: {message}");
         }
+    }
+}
+
+/// The shared per-tenant fleet table: health score, firing alerts, and
+/// a health-score sparkline next to the original throughput columns.
+fn print_fleet_rows(per_tenant: &[seer_trace::wire::TenantFleetStat]) {
+    println!(
+        "{:<20} {:>7} {:>7} {:>12} {:>10} {:>8} {:>10}  {:<14} wal",
+        "tenant", "health", "alerts", "events", "files", "misses", "miss rate", "score"
+    );
+    for t in per_tenant {
+        println!(
+            "{:<20} {:>7.0} {:>7} {:>12} {:>10} {:>8} {:>9.4}%  {:<14} {}",
+            t.tenant,
+            t.health_score,
+            t.alerts_firing,
+            t.events_applied,
+            t.files_known,
+            t.misses,
+            t.miss_rate * 100.0,
+            seer_telemetry::render_sparkline(&t.score_spark),
+            t.wal_fault.as_deref().unwrap_or("ok"),
+        );
+    }
+}
+
+/// Renders one alert-ring record with ages relative to the daemon's
+/// alert clock (`now_secs` = seconds since the daemon started).
+fn print_alert(a: &seer_telemetry::AlertRecord, now_secs: f64) {
+    match a.resolved_secs {
+        None => println!(
+            "FIRING   #{:<4} {:<16} {:<22} for {:.0}s  {}",
+            a.id,
+            a.tenant,
+            a.kind,
+            (now_secs - a.fired_secs).max(0.0),
+            a.message,
+        ),
+        Some(r) => println!(
+            "resolved #{:<4} {:<16} {:<22} after {:.0}s ({:.0}s ago)  {}",
+            a.id,
+            a.tenant,
+            a.kind,
+            (r - a.fired_secs).max(0.0),
+            (now_secs - r).max(0.0),
+            a.message,
+        ),
     }
 }
 

@@ -362,6 +362,29 @@ impl DaemonClient {
         }
     }
 
+    /// Fetches the daemon's alert ring: SLO burn, WAL fault, and
+    /// watchdog alerts with firing/resolved transitions. `tenant`
+    /// filters to one tenant (the watchdog's alerts live under
+    /// `_self`); `None` returns the whole fleet's. Also returns the
+    /// daemon's alert clock (seconds since start) so callers can render
+    /// relative ages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Format`] if the daemon replies with an
+    /// error (e.g. it predates the v8 `Alerts` query).
+    pub fn alerts(
+        &mut self,
+        tenant: Option<&str>,
+    ) -> Result<(Vec<seer_telemetry::AlertRecord>, f64), WireError> {
+        match self.query(QueryRequest::Alerts {
+            tenant: tenant.map(str::to_owned),
+        })? {
+            QueryResponse::Alerts { alerts, now_secs } => Ok((alerts, now_secs)),
+            other => Err(WireError::Format(format!("expected Alerts, got {other:?}"))),
+        }
+    }
+
     /// Fetches miss postmortems: all retained ones (`id: None`) or one
     /// by id.
     ///

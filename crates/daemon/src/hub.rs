@@ -427,6 +427,10 @@ fn serve_conn(
     let mut line = Vec::new();
     let mut tenant: Tenant = pipeline::default_tenant();
     let mut shard = shards.handle_for(&tenant);
+    // The per-tenant twin of `connection_errors`, resolved once per
+    // connection (and again on a tenant re-handshake) so the error
+    // paths below never intern a label set.
+    let mut tenant_conn_errors = shared.metrics.tenant_connection_errors(&tenant);
     loop {
         let (frame, timing) =
             match read_timed_frame(&mut r, &shared.metrics, &mut scratch, &mut line) {
@@ -437,6 +441,7 @@ fn serve_conn(
                     // half a handshake) kills this connection and nothing
                     // else — the counter is the blast-radius witness.
                     shared.metrics.connection_errors.inc();
+                    tenant_conn_errors.inc();
                     tlog!(
                         Level::Warn,
                         "seer_daemon::hub",
@@ -452,6 +457,7 @@ fn serve_conn(
                     // A mid-frame disconnect: not a clean EOF (that is
                     // `Ok(None)` above), so count it as a broken client.
                     shared.metrics.connection_errors.inc();
+                    tenant_conn_errors.inc();
                     break;
                 }
             };
@@ -476,6 +482,7 @@ fn serve_conn(
                             });
                             tenant = next;
                             shard = shards.handle_for(&tenant);
+                            tenant_conn_errors = shared.metrics.tenant_connection_errors(&tenant);
                         }
                     }
                     DaemonFrame::Welcome {

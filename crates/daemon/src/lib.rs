@@ -5,7 +5,7 @@
 //! stream; this crate is the repo's equivalent — scaled from one machine
 //! to a fleet. A connection hub accepts [`seer_trace::TraceEvent`]
 //! streams over Unix-domain *and* TCP sockets (the protocol of
-//! [`seer_trace::wire`]); the v7 handshake names a tenant, and frames
+//! [`seer_trace::wire`]); the v7+ handshake names a tenant, and frames
 //! route by tenant to a sharded pool of engine actors, each shard owning
 //! one independent SEER instance + WAL + quality plane per tenant:
 //!
@@ -49,10 +49,19 @@
 //!   connection, counted in `seer_daemon_connection_errors_total`; a
 //!   tenant whose WAL faults (e.g. ENOSPC) stops being acknowledged and
 //!   reports unhealthy, without perturbing other tenants.
+//! - **Fleet observability.** Every hot-path instrument has a
+//!   per-tenant twin (labeled series under `seer_daemon_tenant_*`,
+//!   resolved once per tenant so the apply path never re-interns
+//!   labels); a health scorer folds each tenant's signals into a 0–100
+//!   score with multi-window SLO burn-rate alerts, and a watchdog
+//!   thread alerts on the daemon itself (pseudo-tenant `_self`) when a
+//!   shard stalls, a background worker wedges, or snapshots go stale.
+//!   The v8 `Alerts` query reads the bounded alert ring.
 
 #![warn(missing_docs)]
 
 mod client;
+mod health;
 mod hub;
 mod pipeline;
 mod quality;

@@ -24,9 +24,10 @@
 //! path, and quality plane. Tenants other than the default are created
 //! lazily on first contact, restoring from their own snapshot + WAL.
 
+use crate::health::{HealthConfig, HealthSignals, ShardBeat, TenantHealth};
 use crate::quality::{self, QualityState};
 use crate::snapshot::DaemonSnapshot;
-use crate::stats::SharedMetrics;
+use crate::stats::{SharedMetrics, TenantMetrics};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TrySendError};
 use seer_core::{
     Clustering, PairCountCache, ReclusterInput, Replayer, SeerConfig, SeerEngine, TableDirty,
@@ -210,6 +211,13 @@ pub(crate) struct ActorConfig {
     pub eval_budget: u64,
     /// Entry cap of the shadow-LRU comparator.
     pub shadow_lru_cap: usize,
+    /// Health-scorer knobs; `health.enabled` is the master switch for
+    /// the fleet observability plane (per-tenant instruments, scoring,
+    /// burn alerts).
+    pub health: HealthConfig,
+    /// Capacity of the bounded ingest channel, so queue depth converts
+    /// to a 0–1 fraction in health signals.
+    pub channel_capacity: usize,
 }
 
 /// A frozen reclustering job handed to the background worker. The input
@@ -486,6 +494,15 @@ pub(crate) struct TenantState {
     /// The quality plane: evaluator worker, shadow LRU, series rings,
     /// miss log, and retained postmortems. `None` when disabled.
     quality: Option<QualityState>,
+    /// Per-tenant instrument handles, resolved (label sets interned)
+    /// exactly once here so the apply path only touches atomics.
+    tm: TenantMetrics,
+    /// Health scorer state: burn gauge, current score, sparkline.
+    health: TenantHealth,
+    /// Events inside batches dropped unacknowledged under a WAL
+    /// fault — they count as "bad ops"
+    /// against the SLO burn budget alongside hoard misses.
+    dropped_events: u64,
 }
 
 /// Recovered state for the default tenant, restored eagerly by the
@@ -578,10 +595,12 @@ fn create_tenant_state(name: Tenant, cfg: &ActorConfig, metrics: &SharedMetrics)
         }
     }
     engine.attach_telemetry(&metrics.registry);
+    let tm = metrics.tenant(&name);
     if events_applied > 0 {
         // A lazily restored tenant's history counts toward the fleet
         // total, same as the default seed's `set_total` at startup.
         metrics.events_applied.add(events_applied);
+        tm.events_applied.set_total(events_applied);
     }
     if wal_fault.is_some() {
         metrics.wal_append_errors.inc();
@@ -602,6 +621,9 @@ fn create_tenant_state(name: Tenant, cfg: &ActorConfig, metrics: &SharedMetrics)
         wal_fault,
         wal_appends: 0,
         quality: spawn_quality(cfg, metrics),
+        tm,
+        health: TenantHealth::new(&cfg.health),
+        dropped_events: 0,
     }
 }
 
@@ -654,7 +676,84 @@ impl Actor {
             .set(i64::try_from(total).unwrap_or(i64::MAX));
     }
 
-    fn apply(&mut self, item: Apply) {
+    /// Folds one tenant's live signals into its health score and drives
+    /// its `slo-burn` and `wal-fault` alerts. Called from the apply path
+    /// (both success and drop) and the idle tick; throttled inside
+    /// [`TenantHealth::observe`] so at most one sample lands per gap. A
+    /// single branch when the plane is disabled.
+    fn observe_tenant_health(&mut self, tenant: &Tenant, ingest_depth: usize) {
+        if !self.cfg.health.enabled {
+            return;
+        }
+        let Some(ts) = self.tenants.get_mut(tenant) else {
+            return;
+        };
+        let misses = tenant_misses(ts);
+        let eval_stale = ts.quality.as_ref().is_some_and(|q| {
+            q.last_eval
+                .is_some_and(|t| t.elapsed() > self.cfg.eval_every * 4)
+        });
+        let queue_frac = if self.cfg.channel_capacity > 0 {
+            ingest_depth as f64 / self.cfg.channel_capacity as f64
+        } else {
+            0.0
+        };
+        let sig = HealthSignals {
+            total_ops: ts.events_applied + ts.dropped_events,
+            bad_ops: misses + ts.dropped_events,
+            wal_fault: ts.wal_fault.is_some(),
+            queue_frac,
+            eval_stale,
+        };
+        let Some(verdict) = ts.health.observe(&self.cfg.health, &sig) else {
+            return;
+        };
+        // Mirror the miss log into the per-tenant counter at sampling
+        // cadence (the log is the source of truth; the counter is its
+        // scrapeable twin).
+        ts.tm.misses.set_total(misses);
+        ts.tm.health_score.set(verdict.score.round() as i64);
+        let name = ts.name.clone();
+        let wal_fault = ts.wal_fault.clone();
+        let th = self.cfg.health.burn_threshold;
+        // Multi-window burn rule with hysteresis: fire only when both
+        // the fast and slow windows burn above threshold, resolve once
+        // the fast window cools; in between, leave the alert as is.
+        if verdict.burn_fast > th && verdict.burn_slow > th {
+            self.metrics.alert(&name, "slo-burn", true, || {
+                format!(
+                    "error budget burning at {:.1}x (fast) / {:.1}x (slow) the SLO rate \
+                     (threshold {th:.1}x)",
+                    verdict.burn_fast, verdict.burn_slow
+                )
+            });
+        } else if verdict.burn_fast < th {
+            self.metrics.alert(&name, "slo-burn", false, String::new);
+        }
+        self.metrics
+            .alert(&name, "wal-fault", wal_fault.is_some(), || {
+                wal_fault.clone().unwrap_or_default()
+            });
+    }
+
+    /// Publishes this shard's busy/dirty marks for the watchdog: any
+    /// recluster generation in flight, any eval job in flight, any
+    /// tenant with unsnapshotted state (only meaningful when periodic
+    /// snapshots are configured). Edge-latched inside [`ShardBeat`], so
+    /// re-marking while busy keeps the original start time.
+    fn refresh_beats(&self, beat: &ShardBeat) {
+        beat.set_recluster_busy(self.tenants.values().any(|t| !t.inflight.is_empty()));
+        beat.set_eval_busy(
+            self.tenants
+                .values()
+                .any(|t| t.quality.as_ref().is_some_and(|q| q.inflight)),
+        );
+        beat.set_snapshot_dirty(
+            self.cfg.snapshot_every > 0 && self.tenants.values().any(|t| t.since_snapshot > 0),
+        );
+    }
+
+    fn apply(&mut self, item: Apply, depth: usize) {
         match item {
             Apply::Interns {
                 conn,
@@ -678,11 +777,15 @@ impl Actor {
                 tenant,
                 events,
                 ctx,
-            } => self.apply_batch(conn, &tenant, events, ctx),
+            } => self.apply_batch(conn, &tenant, events, ctx, depth),
             Apply::Flush { conn, tenant, ack } => {
-                let applied = self
-                    .tenants
-                    .get(&tenant)
+                let ts = self.tenants.get(&tenant);
+                if self.cfg.health.enabled {
+                    if let Some(ts) = ts {
+                        ts.tm.flushes.inc();
+                    }
+                }
+                let applied = ts
                     .and_then(|ts| ts.per_conn.get(&conn).copied())
                     .unwrap_or(0);
                 let _ = ack.send(applied);
@@ -701,9 +804,11 @@ impl Actor {
         tenant: &Tenant,
         events: Vec<TraceEvent>,
         ctx: Option<SpanContext>,
+        depth: usize,
     ) {
         self.ensure_tenant(tenant);
         let apply_timer = self.metrics.stage_engine_apply.start_timer();
+        let tenant_apply_start = self.cfg.health.enabled.then(Instant::now);
         let mut span = ctx.map(|c| self.metrics.tracer.child("engine_apply", c));
         let n = events.len() as u64;
         let ts = self.tenants.get_mut(tenant).expect("ensured above");
@@ -713,6 +818,11 @@ impl Actor {
             // unacknowledged — the client's flush count stops advancing
             // and Health carries the fault.
             self.metrics.wal_dropped_batches.inc();
+            ts.dropped_events += n;
+            if self.cfg.health.enabled {
+                ts.tm.wal_dropped_batches.inc();
+            }
+            self.observe_tenant_health(tenant, depth);
             return;
         }
         let table = ts.remap.entry(conn).or_default();
@@ -760,10 +870,16 @@ impl Actor {
                     .map_err(|e| e.to_string())
             };
             drop(append_timer);
+            if self.cfg.health.enabled {
+                ts.tm.stage_wal_append.observe(started.elapsed());
+            }
             match result {
                 Ok(out) => {
                     ts.wal_appends += 1;
                     self.metrics.wal_records.add(u64::from(out.records));
+                    if self.cfg.health.enabled {
+                        ts.tm.wal_records.add(u64::from(out.records));
+                    }
                     self.metrics.wal_appended_bytes.add(out.bytes);
                     if out.rotated {
                         self.metrics.wal_rotations.inc();
@@ -799,6 +915,11 @@ impl Actor {
                         error = msg.as_str(),
                     );
                     ts.wal_fault = Some(fault);
+                    ts.dropped_events += n;
+                    if self.cfg.health.enabled {
+                        ts.tm.wal_dropped_batches.inc();
+                    }
+                    self.observe_tenant_health(tenant, depth);
                     return;
                 }
             }
@@ -810,6 +931,13 @@ impl Actor {
         *ts.per_conn.entry(conn).or_default() += n;
         ts.since_recluster += n;
         ts.since_snapshot += n;
+        if self.cfg.health.enabled {
+            ts.tm.events_applied.add(n);
+            ts.tm.batches_applied.inc();
+            if let Some(t0) = tenant_apply_start {
+                ts.tm.stage_engine_apply.observe(t0.elapsed());
+            }
+        }
         let (events_applied, clustering_generation) = (ts.events_applied, ts.clustering_generation);
         self.metrics.events_applied.add(n);
         self.metrics.batches_applied.inc();
@@ -821,6 +949,7 @@ impl Actor {
         drop(apply_timer);
         self.metrics
             .observe_generation_lag(events_applied, clustering_generation);
+        self.observe_tenant_health(tenant, depth);
         self.capture_postmortems(tenant);
         self.poll_recluster_done();
         self.poll_eval_done(tenant);
@@ -1514,8 +1643,11 @@ impl Actor {
     /// Answers a `Fleet` query with this shard's local tenants; the
     /// connection layer merges the per-shard answers into the fleet view.
     fn answer_fleet(&self, top_k: Option<usize>) -> QueryResponse {
-        let mut per_tenant: Vec<TenantFleetStat> =
-            self.tenants.values().map(tenant_fleet_stat).collect();
+        let mut per_tenant: Vec<TenantFleetStat> = self
+            .tenants
+            .values()
+            .map(|ts| tenant_fleet_stat(ts, &self.metrics))
+            .collect();
         per_tenant.sort_by(|a, b| {
             b.miss_rate
                 .total_cmp(&a.miss_rate)
@@ -1585,6 +1717,7 @@ impl Actor {
                 | QueryRequest::Metrics
                 | QueryRequest::Dump
                 | QueryRequest::Fleet { .. }
+                | QueryRequest::Alerts { .. }
         ) {
             self.ensure_tenant(tenant);
         }
@@ -1670,6 +1803,15 @@ impl Actor {
             QueryRequest::Quality => self.answer_quality(tenant),
             QueryRequest::Miss { id } => self.answer_miss(tenant, id),
             QueryRequest::Fleet { top_k } => self.answer_fleet(top_k),
+            QueryRequest::Alerts { tenant: filter } => {
+                // The ring is daemon-global (shared by every shard), so
+                // any one shard answers for the whole fleet, including
+                // the watchdog's `_self` pseudo-tenant.
+                QueryResponse::Alerts {
+                    alerts: self.metrics.alerts.snapshot(filter.as_deref()),
+                    now_secs: self.metrics.alerts.uptime_secs(),
+                }
+            }
         }
     }
 }
@@ -1720,11 +1862,17 @@ fn build_eval_job(ts: &TenantState, cfg: &ActorConfig) -> quality::EvalJob {
     }
 }
 
-/// One tenant's row in a fleet answer.
-fn tenant_fleet_stat(ts: &TenantState) -> TenantFleetStat {
-    let misses = ts.quality.as_ref().map_or(0, |q| {
+/// Cumulative hoard misses (real + auto-detected) from the quality
+/// plane's miss log; zero with the plane disabled.
+fn tenant_misses(ts: &TenantState) -> u64 {
+    ts.quality.as_ref().map_or(0, |q| {
         q.miss_log.severity_histogram().iter().sum::<u64>() + q.miss_log.auto_count() as u64
-    });
+    })
+}
+
+/// One tenant's row in a fleet answer.
+fn tenant_fleet_stat(ts: &TenantState, metrics: &SharedMetrics) -> TenantFleetStat {
+    let misses = tenant_misses(ts);
     let miss_rate = if ts.events_applied > 0 {
         misses as f64 / ts.events_applied as f64
     } else {
@@ -1737,6 +1885,9 @@ fn tenant_fleet_stat(ts: &TenantState) -> TenantFleetStat {
         misses,
         miss_rate,
         wal_fault: ts.wal_fault.clone(),
+        health_score: ts.health.score(),
+        alerts_firing: metrics.alerts.firing_count_for(&ts.name) as u64,
+        score_spark: ts.health.spark(),
     }
 }
 
@@ -1766,6 +1917,7 @@ fn neighbor_evidence(engine: &SeerEngine, file: FileId, k: usize) -> Vec<Explain
 /// snapshotting, leaving the last on-disk snapshots as the recovery
 /// points). `seed` is the eagerly restored default tenant — present on
 /// exactly the shard the default tenant routes to.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_engine_actor(
     seed: Option<DefaultSeed>,
     cfg: ActorConfig,
@@ -1774,6 +1926,7 @@ pub(crate) fn run_engine_actor(
     ingest_depth: Receiver<Ingest>,
     metrics: SharedMetrics,
     kill: Arc<AtomicBool>,
+    beat: Arc<ShardBeat>,
 ) {
     let tick = cfg.tick;
     // The recluster worker owns the expensive computation; both channels
@@ -1802,6 +1955,9 @@ pub(crate) fn run_engine_actor(
         // A recovered snapshot's applied count seeds the counter so
         // restart does not appear to reset progress.
         actor.metrics.events_applied.set_total(seed.events_applied);
+        let tm = actor.metrics.tenant(&name);
+        tm.events_applied.set_total(seed.events_applied);
+        let health = TenantHealth::new(&actor.cfg.health);
         actor.tenants.insert(
             name.clone(),
             TenantState {
@@ -1820,12 +1976,19 @@ pub(crate) fn run_engine_actor(
                 wal_fault: None,
                 wal_appends: 0,
                 quality,
+                tm,
+                health,
+                dropped_events: 0,
             },
         );
         actor.metrics.tenants.add(1);
         actor.wal_update_gauges();
     }
     loop {
+        // Liveness stamp: one relaxed store per loop iteration. A
+        // heartbeat older than the watchdog's `stall_after` means the
+        // actor is stuck inside a single message below.
+        beat.stamp_heartbeat();
         if kill.load(Ordering::Relaxed) {
             // Abrupt death: no snapshot — but the flight recorder is
             // exactly for reconstructing what led up to a crash, so dump
@@ -1845,13 +2008,18 @@ pub(crate) fn run_engine_actor(
             let _ = reply.send(answer);
         }
         match apply_rx.recv_timeout(tick) {
-            Ok(item) => actor.apply(item),
+            Ok(item) => {
+                let depth = ingest_depth.len();
+                actor.apply(item, depth);
+            }
             Err(RecvTimeoutError::Timeout) => {
                 // Idle tick: fold in finished clusterings and quality
                 // evaluations, start background reclusters for tenants
                 // whose cache went stale, keep the evaluator cadences
                 // alive, and snapshot pending work so quiet periods
-                // converge — for every tenant on this shard.
+                // converge — for every tenant on this shard. Health is
+                // sampled here too so burn windows decay (and alerts
+                // resolve) while a tenant is quiet.
                 actor.poll_recluster_done();
                 let tenants: Vec<Tenant> = actor.tenants.keys().cloned().collect();
                 for tenant in &tenants {
@@ -1864,6 +2032,7 @@ pub(crate) fn run_engine_actor(
                         actor.request_recluster(tenant, None);
                     }
                     actor.maybe_request_eval(tenant);
+                    actor.observe_tenant_health(tenant, ingest_depth.len());
                     let ts = actor.tenants.get(tenant).expect("listed above");
                     if actor.cfg.snapshot_every > 0 && ts.since_snapshot > 0 {
                         actor.write_snapshot(tenant);
@@ -1873,6 +2042,7 @@ pub(crate) fn run_engine_actor(
             }
             Err(RecvTimeoutError::Disconnected) => break,
         }
+        actor.refresh_beats(&beat);
     }
     // Graceful epilogue: every producer is gone and the queue is drained.
     while let Ok(Control::Query {
@@ -1988,6 +2158,8 @@ mod tests {
             eval_window_secs: 0,
             eval_budget: 0,
             shadow_lru_cap: 0,
+            health: HealthConfig::default(),
+            channel_capacity: 1024,
         }
     }
 
@@ -2001,10 +2173,13 @@ mod tests {
         done_rx: Receiver<ReclusterDone>,
     ) -> Actor {
         let name = default_tenant();
+        let cfg = test_cfg();
+        let metrics = crate::stats::new_shared_with(Tracer::new(64, Duration::from_secs(1)));
         let mut tenants = HashMap::new();
         tenants.insert(
             name.clone(),
             TenantState {
+                tm: metrics.tenant(&name),
                 name,
                 engine,
                 strings: StringTable::new(),
@@ -2020,14 +2195,16 @@ mod tests {
                 wal_fault: None,
                 wal_appends: 0,
                 quality: None,
+                health: TenantHealth::new(&cfg.health),
+                dropped_events: 0,
             },
         );
         Actor {
             tenants,
             job_tx,
             done_rx,
-            cfg: test_cfg(),
-            metrics: crate::stats::new_shared_with(Tracer::new(64, Duration::from_secs(1))),
+            cfg,
+            metrics,
         }
     }
 

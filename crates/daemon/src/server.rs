@@ -1,5 +1,6 @@
 //! The daemon itself: listeners, sharded pipelines, and lifecycle.
 
+use crate::health::{watchdog_check, HealthConfig, ShardBeat, WatchdogConfig, SELF_TENANT};
 use crate::hub::{self, HubListener, HubStream, ShardHandle, Shards, SocketProbe};
 use crate::pipeline::{self, ActorConfig, DefaultSeed};
 use crate::snapshot::DaemonSnapshot;
@@ -122,6 +123,35 @@ pub struct DaemonConfig {
     /// which is exactly the `socket_read` p99 outlier small-frame
     /// benchmarks used to show.
     pub read_buffer: usize,
+    /// Master switch for the fleet observability plane: per-tenant
+    /// instrument twins, health scoring, SLO burn alerts, and the
+    /// self-watchdog thread.
+    pub fleet_observability: bool,
+    /// SLO error budget: the tolerated bad-op fraction (hoard misses
+    /// plus WAL-dropped events, over events applied plus dropped).
+    pub slo_miss_rate: f64,
+    /// Fast SLO burn window (sensitive, quick to fire and resolve).
+    pub burn_fast_window: Duration,
+    /// Slow SLO burn window (suppresses short blips).
+    pub burn_slow_window: Duration,
+    /// Burn-rate multiple of the SLO budget above which the `slo-burn`
+    /// alert fires (both windows must exceed it; it resolves once the
+    /// fast window cools).
+    pub burn_threshold: f64,
+    /// Capacity of the bounded alert ring (resolved alerts are evicted
+    /// first). `0` disables alert retention entirely.
+    pub alert_ring: usize,
+    /// Watchdog check cadence; `Duration::ZERO` disables the watchdog
+    /// thread (the rest of the plane still runs).
+    pub watchdog_tick: Duration,
+    /// Shard heartbeat age above which `_self` reports the shard stalled.
+    pub watchdog_stall_after: Duration,
+    /// Continuous recluster/eval in-flight time above which `_self`
+    /// reports the background worker wedged.
+    pub watchdog_wedge_after: Duration,
+    /// Unsnapshotted-state age above which `_self` reports periodic
+    /// snapshots stale (only meaningful with `snapshot_every > 0`).
+    pub watchdog_snapshot_stale_after: Duration,
 }
 
 impl DaemonConfig {
@@ -157,6 +187,16 @@ impl DaemonConfig {
             eval_budget: 1 << 20,
             shadow_lru_cap: 65_536,
             read_buffer: 256 * 1024,
+            fleet_observability: true,
+            slo_miss_rate: 0.02,
+            burn_fast_window: Duration::from_secs(300),
+            burn_slow_window: Duration::from_secs(3600),
+            burn_threshold: 4.0,
+            alert_ring: 256,
+            watchdog_tick: Duration::from_millis(250),
+            watchdog_stall_after: Duration::from_secs(5),
+            watchdog_wedge_after: Duration::from_secs(60),
+            watchdog_snapshot_stale_after: Duration::from_secs(300),
         }
     }
 }
@@ -246,6 +286,7 @@ pub struct DaemonHandle {
     listeners: Vec<JoinHandle<()>>,
     batchers: Vec<JoinHandle<()>>,
     actors: Vec<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
 }
 
 /// Entry point: [`Daemon::spawn`] starts the sharded pipeline threads
@@ -397,7 +438,7 @@ impl Daemon {
         // and every instance (parallel tests included) stays isolated.
         let tracer = Tracer::new(config.trace_capacity, config.slow_span);
         seer_telemetry::register_flight_recorder("daemon", &tracer);
-        let metrics = stats::new_shared_with(tracer);
+        let metrics = stats::new_shared_full(tracer, config.alert_ring);
         engine.attach_telemetry(&metrics.registry);
 
         // Reap the socket path only when it is provably dead. A path a
@@ -479,6 +520,10 @@ impl Daemon {
 
         let mut batchers = Vec::with_capacity(shard_count);
         let mut actors = Vec::with_capacity(shard_count);
+        // One beat per shard: the actor stamps it, the watchdog reads it.
+        let beats: Vec<Arc<ShardBeat>> = (0..shard_count)
+            .map(|_| Arc::new(ShardBeat::new()))
+            .collect();
         for (i, (ingest_rx, apply_tx, apply_rx, control_rx)) in plumbing.into_iter().enumerate() {
             let batcher = {
                 let ingest_rx = ingest_rx.clone();
@@ -520,6 +565,14 @@ impl Daemon {
                 eval_window_secs: config.eval_window_secs,
                 eval_budget: config.eval_budget,
                 shadow_lru_cap: config.shadow_lru_cap,
+                health: HealthConfig {
+                    enabled: config.fleet_observability,
+                    slo_miss_rate: config.slo_miss_rate,
+                    fast_window: config.burn_fast_window,
+                    slow_window: config.burn_slow_window,
+                    burn_threshold: config.burn_threshold,
+                },
+                channel_capacity: config.channel_capacity,
             };
             let shard_seed = if i == default_shard {
                 seed.take()
@@ -528,6 +581,7 @@ impl Daemon {
             };
             let metrics = Arc::clone(&shared.metrics);
             let kill = Arc::clone(&shared.kill);
+            let beat = Arc::clone(&beats[i]);
             // `ingest_rx` doubles as a depth probe for Health queries;
             // the actor never receives from it.
             let depth_probe = ingest_rx;
@@ -540,9 +594,27 @@ impl Daemon {
                     depth_probe,
                     metrics,
                     kill,
+                    beat,
                 );
             }));
         }
+
+        let watchdog = if config.fleet_observability && config.watchdog_tick > Duration::ZERO {
+            let wcfg = WatchdogConfig {
+                tick: config.watchdog_tick,
+                stall_after: config.watchdog_stall_after,
+                wedge_after: config.watchdog_wedge_after,
+                snapshot_stale_after: config.watchdog_snapshot_stale_after,
+            };
+            let shared = Arc::clone(&shared);
+            Some(
+                thread::Builder::new()
+                    .name("seer-watchdog".into())
+                    .spawn(move || run_watchdog(&shared, &beats, &wcfg))?,
+            )
+        } else {
+            None
+        };
 
         let listener_threads = listeners
             .into_iter()
@@ -563,7 +635,25 @@ impl Daemon {
             listeners: listener_threads,
             batchers,
             actors,
+            watchdog,
         })
+    }
+}
+
+/// The daemon self-watchdog loop: every tick, evaluate each shard's
+/// beat against the thresholds and drive the corresponding `_self`
+/// alerts. Exits when shutdown or kill is raised (so a graceful
+/// shutdown waits at most one tick for it).
+fn run_watchdog(shared: &Shared, beats: &[Arc<ShardBeat>], cfg: &WatchdogConfig) {
+    while !(shared.shutdown.load(Ordering::SeqCst) || shared.kill.load(Ordering::SeqCst)) {
+        for (i, beat) in beats.iter().enumerate() {
+            for f in watchdog_check(i, beat, cfg) {
+                shared
+                    .metrics
+                    .alert(SELF_TENANT, &f.kind, f.firing, || f.message.clone());
+            }
+        }
+        thread::sleep(cfg.tick);
     }
 }
 
@@ -673,6 +763,9 @@ impl DaemonHandle {
             let _ = h.join();
         }
         for h in self.actors.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(h) = self.watchdog.take() {
             let _ = h.join();
         }
     }

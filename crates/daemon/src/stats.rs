@@ -6,9 +6,13 @@
 //! while the hot path records through lock-free atomics instead of a
 //! shared mutex.
 
-use seer_telemetry::{Counter, Gauge, Histogram, Registry, Tracer};
+use seer_telemetry::{AlertCenter, AlertTransition, Counter, Gauge, Histogram, Registry, Tracer};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Default bounded-alert-ring capacity when none is configured.
+#[cfg(test)]
+pub(crate) const DEFAULT_ALERT_CAPACITY: usize = 256;
 
 /// Counters describing the daemon's ingestion pipeline.
 ///
@@ -109,11 +113,53 @@ pub(crate) struct PipelineMetrics {
     pub quality_working_set_bytes: Gauge,
     /// Files the latest evaluation's needed set contained.
     pub quality_needed_files: Gauge,
+    /// The fleet alert ring: SLO burn, WAL fault, and watchdog alerts
+    /// with firing/resolved transitions, shared by every shard actor,
+    /// the hub, and the watchdog thread.
+    pub alerts: AlertCenter,
+    /// Alerts ever fired (including since-evicted and resolved ones).
+    pub alerts_fired: Counter,
+    /// Alerts currently firing across all tenants and `_self`.
+    pub alerts_firing: Gauge,
     started: Instant,
 }
 
+/// Per-tenant instrument handles, resolved once per tenant at state
+/// creation so the apply path never re-interns a label set. Cloning is
+/// cheap (each handle is an `Arc` around its atomics).
+///
+/// Per-tenant stage histograms live under their own metric name
+/// (`seer_daemon_tenant_stage_seconds`) so the global per-stage tables
+/// keyed on `seer_daemon_stage_seconds` stay tenant-agnostic.
+#[derive(Debug, Clone)]
+pub(crate) struct TenantMetrics {
+    /// Events applied for this tenant.
+    pub events_applied: Counter,
+    /// Batches applied for this tenant.
+    pub batches_applied: Counter,
+    /// Flush acknowledgements answered for this tenant's connections.
+    pub flushes: Counter,
+    /// Hoard misses (real + auto-detected), mirrored from the quality
+    /// plane's miss log at health-sampling cadence.
+    pub misses: Counter,
+    /// WAL records appended for this tenant.
+    pub wal_records: Counter,
+    /// Per-tenant twin of `seer_daemon_wal_dropped_batches_total`.
+    pub wal_dropped_batches: Counter,
+    /// Engine-apply latency for this tenant's batches.
+    pub stage_engine_apply: Histogram,
+    /// WAL-append latency for this tenant's batches.
+    pub stage_wal_append: Histogram,
+    /// The folded 0–100 health score.
+    pub health_score: Gauge,
+}
+
 impl PipelineMetrics {
-    pub(crate) fn new(registry: Arc<Registry>, tracer: Tracer) -> PipelineMetrics {
+    pub(crate) fn with_alert_capacity(
+        registry: Arc<Registry>,
+        tracer: Tracer,
+        alert_capacity: usize,
+    ) -> PipelineMetrics {
         let stage = |name: &str, help: &str| {
             registry.histogram_with("seer_daemon_stage_seconds", help, &[("stage", name)])
         };
@@ -264,10 +310,106 @@ impl PipelineMetrics {
                 "seer_daemon_quality_needed_files",
                 "Files referenced inside the latest simulated disconnection window.",
             ),
+            alerts: AlertCenter::new(alert_capacity),
+            alerts_fired: registry.counter(
+                "seer_daemon_alerts_fired_total",
+                "Alerts ever fired (SLO burn, WAL fault, watchdog).",
+            ),
+            alerts_firing: registry.gauge(
+                "seer_daemon_alerts_firing",
+                "Alerts currently firing across all tenants and _self.",
+            ),
             started: Instant::now(),
             registry,
             tracer,
         }
+    }
+
+    /// Resolves the per-tenant handle bundle, interning each label set
+    /// exactly once. Called at tenant-state creation, never on the
+    /// apply path.
+    pub(crate) fn tenant(&self, tenant: &str) -> TenantMetrics {
+        let t = &[("tenant", tenant)];
+        let stage = |name: &str, help: &str| {
+            self.registry.histogram_with(
+                "seer_daemon_tenant_stage_seconds",
+                help,
+                &[("tenant", tenant), ("stage", name)],
+            )
+        };
+        TenantMetrics {
+            events_applied: self.registry.counter_with(
+                "seer_daemon_tenant_events_total",
+                "Events applied, per tenant.",
+                t,
+            ),
+            batches_applied: self.registry.counter_with(
+                "seer_daemon_tenant_batches_total",
+                "Batches applied, per tenant.",
+                t,
+            ),
+            flushes: self.registry.counter_with(
+                "seer_daemon_tenant_flushes_total",
+                "Flush acknowledgements answered, per tenant.",
+                t,
+            ),
+            misses: self.registry.counter_with(
+                "seer_daemon_tenant_misses_total",
+                "Hoard misses (real + auto-detected), per tenant.",
+                t,
+            ),
+            wal_records: self.registry.counter_with(
+                "seer_daemon_tenant_wal_records_total",
+                "WAL records appended, per tenant.",
+                t,
+            ),
+            wal_dropped_batches: self.registry.counter_with(
+                "seer_daemon_tenant_wal_dropped_batches_total",
+                "Batches dropped unacknowledged under a WAL fault, per tenant.",
+                t,
+            ),
+            stage_engine_apply: stage(
+                "engine_apply",
+                "Per-tenant engine-apply latency (twin of the global stage).",
+            ),
+            stage_wal_append: stage(
+                "wal_append",
+                "Per-tenant WAL-append latency (twin of the global stage).",
+            ),
+            health_score: self.registry.gauge_with(
+                "seer_daemon_tenant_health_score",
+                "Folded 0-100 per-tenant health score (100 = healthy).",
+                t,
+            ),
+        }
+    }
+
+    /// The per-tenant connection-error twin alone — the hub caches one
+    /// per connection (re-resolved on a tenant re-handshake) so error
+    /// paths never re-intern.
+    pub(crate) fn tenant_connection_errors(&self, tenant: &str) -> Counter {
+        self.registry.counter_with(
+            "seer_daemon_tenant_connection_errors_total",
+            "Connections torn down by protocol violations or I/O failures, per tenant.",
+            &[("tenant", tenant)],
+        )
+    }
+
+    /// Drives the (tenant, kind) alert from its condition, keeping the
+    /// fired counter and firing gauge in step with the ring.
+    pub(crate) fn alert(
+        &self,
+        tenant: &str,
+        kind: &str,
+        firing: bool,
+        message: impl FnOnce() -> String,
+    ) {
+        match self.alerts.observe(tenant, kind, firing, message) {
+            Some(AlertTransition::Fired) => self.alerts_fired.inc(),
+            Some(AlertTransition::Resolved) | None => {}
+        }
+        self.alerts_firing
+            .set(i64::try_from(self.alerts.firing_count()).unwrap_or(i64::MAX));
     }
 
     /// Refreshes the generation-lag gauge from the live counters.
@@ -312,8 +454,17 @@ pub(crate) fn new_shared() -> SharedMetrics {
     new_shared_with(Tracer::disabled())
 }
 
+#[cfg(test)]
 pub(crate) fn new_shared_with(tracer: Tracer) -> SharedMetrics {
-    Arc::new(PipelineMetrics::new(Arc::new(Registry::new()), tracer))
+    new_shared_full(tracer, DEFAULT_ALERT_CAPACITY)
+}
+
+pub(crate) fn new_shared_full(tracer: Tracer, alert_capacity: usize) -> SharedMetrics {
+    Arc::new(PipelineMetrics::with_alert_capacity(
+        Arc::new(Registry::new()),
+        tracer,
+        alert_capacity,
+    ))
 }
 
 #[cfg(test)]
@@ -338,6 +489,62 @@ mod tests {
         let snap = m.registry.snapshot();
         assert_eq!(snap.gauge("seer_daemon_queue_depth"), Some(2));
         assert_eq!(snap.gauge("seer_daemon_queue_depth_max"), Some(5));
+    }
+
+    #[test]
+    fn tenant_bundle_interns_once_and_stays_off_the_global_stage_name() {
+        let m = new_shared();
+        let a = m.tenant("machine-a");
+        let again = m.tenant("machine-a");
+        a.events_applied.add(5);
+        again.events_applied.add(2);
+        let snap = m.registry.snapshot();
+        assert_eq!(
+            snap.find_with(
+                "seer_daemon_tenant_events_total",
+                &[("tenant", "machine-a")]
+            )
+            .and_then(|ms| match ms.value {
+                seer_telemetry::MetricValue::Counter { total } => Some(total),
+                _ => None,
+            }),
+            Some(7),
+            "re-resolving the bundle shares the same atomics"
+        );
+        a.stage_engine_apply.observe_nanos(1_000);
+        let global_stages = snap
+            .metrics
+            .iter()
+            .filter(|ms| ms.name == "seer_daemon_stage_seconds")
+            .count();
+        assert_eq!(
+            global_stages, 9,
+            "tenant stages don't pollute the global name"
+        );
+        assert!(m
+            .registry
+            .snapshot()
+            .find_with(
+                "seer_daemon_tenant_stage_seconds",
+                &[("tenant", "machine-a"), ("stage", "engine_apply")]
+            )
+            .is_some());
+    }
+
+    #[test]
+    fn alert_helper_tracks_fired_and_firing() {
+        let m = new_shared();
+        m.alert("a", "slo-burn", true, || "burning".into());
+        m.alert("a", "slo-burn", true, || "still".into());
+        assert_eq!(m.alerts_fired.get(), 1, "one edge, one fired");
+        let snap = m.registry.snapshot();
+        assert_eq!(snap.gauge("seer_daemon_alerts_firing"), Some(1));
+        m.alert("a", "slo-burn", false, || unreachable!());
+        assert_eq!(
+            m.registry.snapshot().gauge("seer_daemon_alerts_firing"),
+            Some(0)
+        );
+        assert_eq!(m.alerts.snapshot(Some("a")).len(), 1);
     }
 
     #[test]

@@ -13,7 +13,10 @@
 //! - fixed-capacity time-series rings ([`SeriesRing`]) holding windowed
 //!   history of any counter/gauge/quantile, rendered as terminal
 //!   sparklines ([`render_sparkline`]) or a standalone HTML dashboard
-//!   ([`render_dashboard_html`]);
+//!   ([`render_dashboard_html`], [`render_fleet_dashboard_html`]);
+//! - SLO alerting primitives: a bounded [`AlertCenter`] with
+//!   firing/resolved transitions and a multi-window [`BurnGauge`] for
+//!   burn-rate health signals;
 //! - causal span tracing ([`Tracer`], [`Span`]) into a fixed-capacity
 //!   lock-free ring that doubles as a flight recorder
 //!   ([`register_flight_recorder`]), with Chrome trace-event export
@@ -28,6 +31,7 @@
 //! name + label set returns a handle to the same underlying metric, so
 //! components can register their instruments independently.
 
+mod alerts;
 mod chrome;
 mod log;
 mod prometheus;
@@ -35,6 +39,7 @@ mod registry;
 mod series;
 mod tracing;
 
+pub use alerts::{AlertCenter, AlertRecord, AlertTransition, BurnGauge};
 pub use chrome::{render_chrome_trace, render_span_tree, write_flight_jsonl};
 pub use log::{init_from_env, log_enabled, log_event, set_global_filter, FieldValue, Level};
 pub use prometheus::render_prometheus;
@@ -43,7 +48,8 @@ pub use registry::{
     RegistrySnapshot, SpanTimer,
 };
 pub use series::{
-    render_dashboard_html, render_sparkline, SeriesPoints, SeriesRing, SeriesSnapshot,
+    render_dashboard_html, render_fleet_dashboard_html, render_sparkline, FleetPanel, SeriesPoints,
+    SeriesRing, SeriesSnapshot,
 };
 pub use tracing::{
     new_trace_id, register_flight_recorder, unix_nanos_of, Span, SpanContext, SpanId, SpanRecord,

@@ -144,6 +144,35 @@ mod tests {
         assert!(text.contains("seer_stage_total{stage=\"b\"} 1"));
     }
 
+    /// Golden render for per-tenant series: label order follows
+    /// registration order within a series, series order follows the
+    /// snapshot's (name, labels) sort, and tenant names containing `"`
+    /// and `\` are escaped exactly as the exposition format demands.
+    #[test]
+    fn golden_render_of_tenant_labels_with_quotes_and_backslashes() {
+        let r = Registry::new();
+        r.counter_with(
+            "seer_daemon_tenant_events_total",
+            "Per-tenant events.",
+            &[("tenant", "machine\\a"), ("shard", "0")],
+        )
+        .add(7);
+        r.counter_with(
+            "seer_daemon_tenant_events_total",
+            "Per-tenant events.",
+            &[("tenant", "quote\"y"), ("shard", "1")],
+        )
+        .add(3);
+        let text = render_prometheus(&r.snapshot());
+        assert_eq!(
+            text,
+            "# HELP seer_daemon_tenant_events_total Per-tenant events.\n\
+             # TYPE seer_daemon_tenant_events_total counter\n\
+             seer_daemon_tenant_events_total{tenant=\"machine\\\\a\",shard=\"0\"} 7\n\
+             seer_daemon_tenant_events_total{tenant=\"quote\\\"y\",shard=\"1\"} 3\n",
+        );
+    }
+
     #[test]
     fn label_values_are_escaped() {
         let r = Registry::new();

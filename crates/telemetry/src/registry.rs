@@ -517,6 +517,45 @@ mod tests {
         assert!(p99 > 1.0, "p99.9 lands in the 40 s observation, got {p99}");
     }
 
+    /// The labeled-registry hot path: 8 threads race to register *and*
+    /// increment the same (name, labels) pair. Idempotent interning must
+    /// hand every thread the same underlying atomic — no increments
+    /// lost, exactly one entry in the snapshot.
+    #[test]
+    fn concurrent_labeled_registration_shares_one_atomic() {
+        const THREADS: usize = 8;
+        const INCS: u64 = 10_000;
+        let r = Registry::new();
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                s.spawn(|| {
+                    let c = r.counter_with(
+                        "seer_daemon_tenant_events_total",
+                        "Per-tenant events.",
+                        &[("tenant", "machine-a")],
+                    );
+                    for _ in 0..INCS {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        let snap = r.snapshot();
+        let entries: Vec<_> = snap
+            .metrics
+            .iter()
+            .filter(|m| m.name == "seer_daemon_tenant_events_total")
+            .collect();
+        assert_eq!(entries.len(), 1, "one entry despite 8 racing registrations");
+        assert_eq!(
+            entries[0].value,
+            MetricValue::Counter {
+                total: THREADS as u64 * INCS
+            },
+            "no increment lost to a racing registration"
+        );
+    }
+
     #[test]
     fn span_timer_records_on_drop() {
         let r = Registry::new();

@@ -203,6 +203,67 @@ pub fn render_dashboard_html(snapshot: &SeriesSnapshot, title: &str) -> String {
     out
 }
 
+/// One tenant's card on the fleet dashboard: identity, health score,
+/// a free-form status line, and the score history to plot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetPanel {
+    /// Tenant name (`_self` for the daemon's own watchdog panel).
+    pub tenant: String,
+    /// Health score in 0..=100 (100 = fully healthy).
+    pub score: f64,
+    /// One-line status, e.g. `healthy` or `wal fault: append failed`.
+    pub status: String,
+    /// Number of alerts currently firing for this tenant.
+    pub firing: u64,
+    /// Recent health-score samples, oldest first.
+    pub score_points: Vec<f64>,
+}
+
+/// Renders a fleet of tenants as a standalone HTML dashboard: one card
+/// per tenant with its health score, status, firing-alert count, and a
+/// score-history polyline. Same zero-asset contract as
+/// [`render_dashboard_html`].
+#[must_use]
+pub fn render_fleet_dashboard_html(panels: &[FleetPanel], title: &str) -> String {
+    let mut out = String::new();
+    out.push_str("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n<title>");
+    out.push_str(&escape_html(title));
+    out.push_str(
+        "</title>\n<style>\n\
+         body{font-family:monospace;background:#111;color:#ddd;margin:2em}\n\
+         h1{font-size:1.2em}\n\
+         .card{margin:1em 0;padding:0.6em;border:1px solid #333;border-radius:4px}\n\
+         .name{color:#8cf}.status{color:#999;margin-left:1em}.val{float:right}\n\
+         .ok{color:#cf8}.warn{color:#fc6}.bad{color:#f66}\n\
+         svg{display:block;width:100%;height:60px;margin-top:0.4em}\n\
+         polyline{fill:none;stroke:#8cf;stroke-width:1.5}\n\
+         </style></head><body>\n<h1>",
+    );
+    out.push_str(&escape_html(title));
+    out.push_str("</h1>\n");
+    for p in panels {
+        let class = if p.score >= 80.0 {
+            "ok"
+        } else if p.score >= 50.0 {
+            "warn"
+        } else {
+            "bad"
+        };
+        out.push_str("<div class=\"card\"><span class=\"name\">");
+        out.push_str(&escape_html(&p.tenant));
+        out.push_str("</span><span class=\"status\">");
+        out.push_str(&escape_html(&p.status));
+        out.push_str(&format!(
+            "</span><span class=\"val {class}\">score {:.0} · {} firing</span>",
+            p.score, p.firing
+        ));
+        out.push_str(&svg_polyline(&p.score_points));
+        out.push_str("</div>\n");
+    }
+    out.push_str("</body></html>\n");
+    out
+}
+
 /// One series as an SVG polyline in a 0..100 × 0..60 viewBox.
 fn svg_polyline(points: &[f64]) -> String {
     let finite: Vec<f64> = points.iter().copied().filter(|v| v.is_finite()).collect();
@@ -302,6 +363,34 @@ mod tests {
         assert!(html.contains("lru&lt;cov&gt;"), "names are escaped");
         assert!(html.contains("<polyline"));
         assert!(html.contains("Δ +0.250"));
+    }
+
+    #[test]
+    fn fleet_dashboard_renders_every_tenant_with_score_class() {
+        let panels = vec![
+            FleetPanel {
+                tenant: "machine-a".into(),
+                score: 97.0,
+                status: "healthy".into(),
+                firing: 0,
+                score_points: vec![95.0, 96.0, 97.0],
+            },
+            FleetPanel {
+                tenant: "<sick>".into(),
+                score: 30.0,
+                status: "wal fault: append failed".into(),
+                firing: 2,
+                score_points: vec![100.0, 60.0, 30.0],
+            },
+        ];
+        let html = render_fleet_dashboard_html(&panels, "seer fleet");
+        assert!(html.contains("machine-a"));
+        assert!(html.contains("&lt;sick&gt;"), "tenant names are escaped");
+        assert!(html.contains("score 97"));
+        assert!(html.contains("val ok"), "healthy tenants render green");
+        assert!(html.contains("val bad"), "sick tenants render red");
+        assert!(html.contains("2 firing"));
+        assert!(html.contains("<polyline"));
     }
 
     #[test]

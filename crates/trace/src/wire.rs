@@ -62,7 +62,17 @@ use std::io::{BufRead, Write};
 /// counts, per-tenant miss rates, WAL health) and `Health` answers gain
 /// an optional `wal_fault` describing a tenant whose write-ahead log
 /// has failed and is no longer acknowledging batches.
-pub const WIRE_VERSION: u32 = 7;
+///
+/// v8: the fleet observability plane. An `Alerts` query returns the
+/// daemon's bounded alert ring (SLO burn-rate, WAL fault, and watchdog
+/// alerts with firing/resolved transitions), optionally filtered to one
+/// tenant — the daemon's self-watchdog alerts under pseudo-tenant
+/// `_self`. `Fleet` rows gain a 0–100 per-tenant health score, the
+/// count of alerts currently firing, and a short score history for
+/// sparklines. Purely additive: older clients never send `Alerts` and
+/// ignore unknown `Fleet` row fields only if they re-serialize — in
+/// practice v7 clients are in-repo and bumped together.
+pub const WIRE_VERSION: u32 = 8;
 
 /// The oldest client revision the daemon still accepts: v2 differs only
 /// by the absence of later, purely additive frames (trace stamps and the
@@ -190,15 +200,24 @@ pub enum QueryRequest {
         /// the per-tenant table (`None`: all tenants).
         top_k: Option<usize>,
     },
+    /// Fetch the daemon's alert ring: SLO burn-rate, WAL-fault, and
+    /// watchdog alerts with their firing/resolved transitions, oldest
+    /// first. Answered daemon-wide regardless of the connection's
+    /// tenant; the self-watchdog's alerts appear under pseudo-tenant
+    /// `_self`.
+    Alerts {
+        /// Restrict to one tenant's alerts (`None`: every tenant).
+        tenant: Option<String>,
+    },
 }
 
 impl QueryRequest {
     /// Canonical lowercase names of every query, in declaration order.
     /// The CLI derives its help text and its "unknown query" message
     /// from this table so neither can go stale as queries are added.
-    pub const NAMES: [&'static str; 11] = [
+    pub const NAMES: [&'static str; 12] = [
         "hoard", "clusters", "stats", "metrics", "health", "dump", "history", "explain", "quality",
-        "miss", "fleet",
+        "miss", "fleet", "alerts",
     ];
 
     /// The canonical name of this query (an entry of [`Self::NAMES`]).
@@ -216,6 +235,7 @@ impl QueryRequest {
             QueryRequest::Quality => "quality",
             QueryRequest::Miss { .. } => "miss",
             QueryRequest::Fleet { .. } => "fleet",
+            QueryRequest::Alerts { .. } => "alerts",
         }
     }
 }
@@ -329,6 +349,14 @@ pub struct TenantFleetStat {
     pub miss_rate: f64,
     /// Description of the tenant's WAL fault, if its log has failed.
     pub wal_fault: Option<String>,
+    /// Folded 0–100 health score (100 = fully healthy; see the daemon's
+    /// health scorer for the formula). 100.0 before the first sample or
+    /// with the observability plane disabled.
+    pub health_score: f64,
+    /// Alerts currently firing for this tenant.
+    pub alerts_firing: u64,
+    /// Recent health-score samples, oldest first, for sparkline rows.
+    pub score_spark: Vec<f64>,
 }
 
 /// A frame sent from the daemon to a client.
@@ -504,6 +532,15 @@ pub enum QueryResponse {
         /// Per-tenant summaries, highest miss rate first (truncated to
         /// `top_k` when the query asked for one).
         per_tenant: Vec<TenantFleetStat>,
+    },
+    /// Alert-ring contents for [`QueryRequest::Alerts`], oldest first.
+    Alerts {
+        /// The retained alert records (firing and resolved).
+        alerts: Vec<seer_telemetry::AlertRecord>,
+        /// Seconds since daemon start at answer time — the clock the
+        /// records' `fired_secs`/`resolved_secs` are measured on, so
+        /// clients can render ages without wall-clock agreement.
+        now_secs: f64,
     },
     /// The query could not be answered (e.g. `History` without a WAL, or
     /// a generation compaction has discarded). In-band so one failed
@@ -1153,7 +1190,23 @@ mod tests {
                         misses: 3,
                         miss_rate: 3.0 / 512.0,
                         wal_fault: None,
+                        health_score: 72.5,
+                        alerts_firing: 1,
+                        score_spark: vec![100.0, 88.0, 72.5],
                     }],
+                },
+            },
+            DaemonFrame::Answer {
+                response: QueryResponse::Alerts {
+                    alerts: vec![seer_telemetry::AlertRecord {
+                        id: 0,
+                        tenant: "machine-a".into(),
+                        kind: "slo-burn".into(),
+                        message: "fast 12.0x / slow 6.1x over budget".into(),
+                        fired_secs: 4.25,
+                        resolved_secs: Some(9.5),
+                    }],
+                    now_secs: 11.0,
                 },
             },
             DaemonFrame::Answer {
@@ -1246,6 +1299,7 @@ mod tests {
             QueryRequest::Quality,
             QueryRequest::Miss { id: None },
             QueryRequest::Fleet { top_k: None },
+            QueryRequest::Alerts { tenant: None },
         ];
         assert_eq!(all.len(), QueryRequest::NAMES.len());
         for (q, &name) in all.iter().zip(QueryRequest::NAMES.iter()) {
